@@ -1,0 +1,80 @@
+// Command dvfsim runs the paper's evaluation experiments and prints
+// their tables.
+//
+// Usage:
+//
+//	dvfsim [-seed N] [-quick] [-list] [experiment ...]
+//
+// With no experiment arguments, every table and figure is regenerated
+// in paper order. Experiment IDs: table3, table4, fig2, fig3, fig10,
+// fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18, fig19,
+// casestudy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "workload generation seed")
+	quick := flag.Bool("quick", false, "trim workloads for a fast run")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	charts := flag.Bool("charts", false, "render ASCII plots for figure experiments")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.ExperimentIDs {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	lab := exp.NewLab(*seed)
+	lab.Quick = *quick
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "dvfsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = exp.ExperimentIDs
+	}
+	start := time.Now()
+	for _, id := range ids {
+		t, err := exp.Run(lab, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvfsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Render())
+		if *charts {
+			chart, err := exp.Chart(lab, id)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dvfsim: %v\n", err)
+				os.Exit(1)
+			}
+			if chart != "" {
+				fmt.Println(chart)
+			}
+		}
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, t.ID+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "dvfsim: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Printf("completed %d experiment(s) in %s\n", len(ids), time.Since(start).Round(time.Millisecond))
+}

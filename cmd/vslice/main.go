@@ -1,0 +1,85 @@
+// Command vslice runs the paper's offline flow on a Verilog source
+// file: parse → detect FSMs and counters → instrument features → slice
+// — and writes the generated predictor slice back out as Verilog.
+//
+// Usage:
+//
+//	vslice [-o slice.v] [-report] design.v
+//
+// The input module must use the supported synthesizable subset (see
+// package repro/internal/verilog) and have an output named done. With
+// no model in the loop, vslice keeps every detected feature; feed the
+// design through the full training flow (package core) to slice only
+// the features a trained model selects.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/instrument"
+	"repro/internal/rtl"
+	"repro/internal/slice"
+	"repro/internal/verilog"
+)
+
+func main() {
+	out := flag.String("o", "", "write the slice Verilog here (default: stdout)")
+	report := flag.Bool("report", true, "print the detection report to stderr")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vslice [-o slice.v] design.v")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	m, err := verilog.ParseAndElaborate(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	ins, err := instrument.Instrument(m)
+	if err != nil {
+		fatal(err)
+	}
+	if *report {
+		a := ins.Analysis
+		fmt.Fprintf(os.Stderr, "%s: %d nodes, %d registers\n", m.Name, len(m.Nodes), len(m.Regs))
+		fmt.Fprintf(os.Stderr, "detected %d FSM(s), %d counter(s), %d wait state(s)\n",
+			len(a.FSMs), len(a.Counters), len(a.WaitStates))
+		for _, f := range ins.Features {
+			fmt.Fprintf(os.Stderr, "  feature %s\n", f.Name)
+		}
+	}
+	keep := make([]int, len(ins.Features))
+	for i := range keep {
+		keep[i] = i
+	}
+	sl, err := slice.Slice(ins, keep, slice.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	if *report {
+		full := rtl.Stats(m)
+		ss := rtl.Stats(sl.M)
+		fmt.Fprintf(os.Stderr, "slice: %d nodes, %d registers, %.1f%% of the design's logic\n",
+			ss.Nodes, ss.Regs, 100*ss.LogicArea()/full.LogicArea())
+		fmt.Fprintf(os.Stderr, "elided %d counter wait(s), approximated %d data wait(s)\n",
+			sl.ElidedWaits, sl.ApproxWaits)
+	}
+	text := verilog.Emit(sl.M)
+	if *out == "" {
+		fmt.Print(text)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "vslice: %v\n", err)
+	os.Exit(1)
+}

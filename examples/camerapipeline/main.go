@@ -1,0 +1,83 @@
+// Camerapipeline: burst photography with a JPEG encode deadline per
+// shot — the paper's §4.2 example of a throughput-oriented accelerator
+// acquiring a response-time requirement.
+//
+// A burst produces images of wildly varying encoded complexity, and
+// consecutive shots are uncorrelated, which defeats reactive control
+// (§2.4). The example compares the table-based controller a real SoC
+// driver uses (worst case per size class, like the Exynos MFC) with
+// PID and slice-driven prediction.
+//
+// Run with: go run ./examples/camerapipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/accel/jpegenc"
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/power"
+	"repro/internal/rtl"
+	"repro/internal/sim"
+)
+
+func main() {
+	spec := jpegenc.Spec()
+	fmt.Println("training the encoder's execution-time predictor...")
+	pred, err := core.Train(spec, core.Options{Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Training traces feed the table controller's worst-case table.
+	trainTraces, err := pred.CollectTraces(spec.TrainJobs(21))
+	if err != nil {
+		log.Fatal(err)
+	}
+	table := control.NewTable(control.TableFromTraces(trainTraces), 0.10)
+
+	burst := spec.TestJobs(99)
+	traces, err := pred.CollectTraces(burst)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pm := power.FromStats(rtl.Stats(spec.Build()), power.DefaultParams(spec.NominalHz))
+	spm := power.FromStats(rtl.Stats(pred.Slice.M), power.DefaultParams(spec.NominalHz))
+	device := dvfs.ASIC(spec.NominalHz, false)
+
+	const deadline = 16.7e-3
+	run := func(ctrl control.Controller) sim.Result {
+		r, err := sim.Run(traces, sim.Config{
+			Device: device, Power: pm, SlicePower: spm,
+			Deadline: deadline, Controller: ctrl,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
+	}
+
+	base := run(control.NewBaseline())
+	results := []sim.Result{
+		base,
+		run(table),
+		run(control.NewPID(control.DefaultPIDConfig(deadline))),
+		run(control.NewPredictive(0.05, false)),
+	}
+
+	fmt.Printf("\nburst of %d shots, %0.1f ms budget per shot\n\n", len(traces), deadline*1e3)
+	fmt.Printf("%-12s %-14s %-12s %s\n", "scheme", "energy", "vs baseline", "late shots")
+	for _, r := range results {
+		fmt.Printf("%-12s %10.3f mJ %10.1f%% %d/%d\n",
+			r.Scheme, r.Energy*1e3, sim.Normalized(r, base), r.Misses, r.Jobs)
+	}
+
+	fmt.Println("\nThe table controller is safe but coarse: every shot in a size")
+	fmt.Println("class pays that class's worst case (§2.4). The PID chases the")
+	fmt.Println("uncorrelated shot sizes. The slice-driven predictor reads each")
+	fmt.Println("shot's actual complexity before choosing a level.")
+}

@@ -1,0 +1,132 @@
+// Framepipeline: two accelerators in series under one frame deadline —
+// an H.264 decoder followed by a stencil post-processing filter, the
+// multi-accelerator handheld scenario of the paper's related work
+// (Nachiappan et al., HPCA 2015), driven here by per-accelerator
+// execution-time predictors.
+//
+// The frame budget is split between the stages in proportion to their
+// *predicted* times, so a heavy decode borrows budget from an easy
+// filter and vice versa — something a per-device reactive governor
+// cannot do. The example compares that predictive budget split against
+// a fixed 50/50 split and the constant-frequency baseline.
+//
+// Run with: go run ./examples/framepipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/accel"
+	"repro/internal/accel/h264"
+	"repro/internal/accel/stencil"
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/power"
+	"repro/internal/rtl"
+	"repro/internal/workload"
+)
+
+// stage bundles one accelerator's predictor, device, and power model.
+type stage struct {
+	name   string
+	pred   *core.Predictor
+	device *dvfs.Device
+	pm     power.Model
+	traces []core.JobTrace
+}
+
+func newStage(name string, spec accel.Spec, jobs []accel.Job, seed int64) *stage {
+	pred, err := core.Train(spec, core.Options{Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	traces, err := pred.CollectTraces(jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return &stage{
+		name:   name,
+		pred:   pred,
+		device: dvfs.ASIC(spec.NominalHz, false),
+		pm:     power.FromStats(rtl.Stats(spec.Build()), power.DefaultParams(spec.NominalHz)),
+		traces: traces,
+	}
+}
+
+// runFrame executes one pipeline stage within its share of the budget
+// and returns (time, energy).
+func (st *stage) runFrame(i int, budget float64, predictive bool) (float64, float64) {
+	tr := st.traces[i]
+	var level int
+	if predictive {
+		dec := st.device.Select(dvfs.Request{
+			PredictedT0: tr.PredSeconds,
+			Margin:      0.05 * tr.PredSeconds,
+			Budget:      budget,
+			SliceTime:   tr.SliceSeconds,
+			SwitchTime:  st.device.SwitchTime,
+		})
+		level = dec.Level
+	} else {
+		level = st.device.Nominal
+	}
+	pt := st.device.Points[level]
+	t := tr.Cycles / pt.Freq
+	if predictive {
+		t += tr.SliceSeconds + st.device.SwitchTime
+	}
+	e := st.pm.JobEnergy(pt, tr.Cycles)
+	return t, e
+}
+
+func main() {
+	const frames = 240
+	const deadline = 16.7e-3
+
+	fmt.Println("training predictors for both pipeline stages...")
+	decodeJobs := h264.Jobs(workload.Video(workload.ClipForeman, frames, 24, 5), 5)
+	// Post-processing filters a fixed-resolution frame whose tile count
+	// wobbles with cropping decisions.
+	rng := rand.New(rand.NewSource(9))
+	filterImgs := make([]workload.StencilImage, frames)
+	for i := range filterImgs {
+		filterImgs[i] = workload.StencilImage{
+			Rows: 14 + rng.Intn(6), Cols: 16 + rng.Intn(6), Class: "frame",
+		}
+	}
+	dec := newStage("h264", h264.Spec(), decodeJobs, 11)
+	fil := newStage("stencil", stencil.Spec(), stencil.JobsFrom(filterImgs, 9), 13)
+
+	run := func(name string, predictive, proportional bool) {
+		var energy float64
+		misses := 0
+		for i := 0; i < frames; i++ {
+			decShare := 0.5
+			if proportional {
+				pd := dec.traces[i].PredSeconds
+				pf := fil.traces[i].PredSeconds
+				decShare = pd / (pd + pf)
+			}
+			t1, e1 := dec.runFrame(i, deadline*decShare, predictive)
+			// The filter gets whatever is actually left.
+			t2, e2 := fil.runFrame(i, deadline-t1, predictive)
+			energy += e1 + e2
+			if t1+t2 > deadline {
+				misses++
+			}
+		}
+		fmt.Printf("%-28s %9.2f mJ   %d/%d late frames\n", name, energy*1e3, misses, frames)
+	}
+
+	fmt.Printf("\n%d frames, decode+filter within %.1f ms each:\n\n", frames, deadline*1e3)
+	run("baseline (both nominal)", false, false)
+	run("prediction, 50/50 split", true, false)
+	run("prediction, predicted split", true, true)
+
+	fmt.Println("\nSplitting the frame budget by predicted stage times lets a")
+	fmt.Println("heavy decode borrow slack from an easy filter, which a fixed")
+	fmt.Println("split wastes — the multi-device coordination the paper's")
+	fmt.Println("related work calls for, enabled by per-job prediction.")
+}

@@ -1,0 +1,51 @@
+// The paper's Figure 8 example accelerator, written as plain Verilog.
+// A control FSM reads work items from the "work" scratchpad (word 0 is
+// the item count), dispatches each to one of two computations with
+// different latencies (S2 variable, S3 fixed), and writes results.
+//
+// Run the predictor-generation flow on it with:
+//   go run ./cmd/vslice examples/verilogflow/fig8.v
+module fig8(input clk, output done);
+  reg [2:0] state = 0;      // 0=IDLE 1=S1 2=S2 3=S3 4=S4 5=DONE
+  reg [7:0] cnt = 0;        // variable-latency counter for S2
+  reg [7:0] fix = 0;        // fixed-latency counter for S3
+  reg [7:0] idx = 1;
+  reg [15:0] outv = 0;
+  reg [15:0] res [0:63];
+  reg [15:0] work [0:63];
+
+  wire [15:0] item = work[idx];
+  wire [0:0] heavy = item[0];
+  wire [7:0] lat = item[8:1];
+  wire [7:0] n = work[0];
+
+  always @(posedge clk) begin
+    case (state)
+      0: state <= 1;
+      1: begin
+        if (heavy) begin
+          cnt <= lat;
+          state <= 2;
+        end else begin
+          fix <= 8'd4;
+          state <= 3;
+        end
+      end
+      2: begin
+        if (cnt == 0) state <= 4;
+        cnt <= (cnt == 0) ? cnt : cnt - 8'd1;
+      end
+      3: begin
+        if (fix == 0) state <= 4;
+        fix <= (fix == 0) ? fix : fix - 8'd1;
+      end
+      4: begin
+        res[idx] <= outv;
+        idx <= idx + 8'd1;
+        state <= (idx >= n) ? 3'd5 : 3'd1;
+      end
+    endcase
+    outv <= outv + item * item;
+  end
+  assign done = state == 5;
+endmodule

@@ -1,0 +1,38 @@
+// A hierarchical accelerator in the shape of the paper's Figure 9: a
+// top-level controller streaming work items through an instantiated
+// variable-latency compute engine. The frontend flattens the hierarchy
+// (engine state becomes u_eng.cnt etc.) before FSM/counter detection.
+//
+//   go run ./cmd/vslice examples/verilogflow/pipeline.v
+//   go run ./cmd/rtlsim -mem items=3,20,4,11 examples/verilogflow/pipeline.v
+module engine(input clk, input start, input [7:0] work, output busy);
+  reg [7:0] cnt = 0;
+  always @(posedge clk) begin
+    if (start) cnt <= work;
+    else if (cnt != 0) cnt <= cnt - 8'd1;
+  end
+  assign busy = cnt != 0;
+endmodule
+
+module pipeline(input clk, output done);
+  reg [31:0] items [0:63];
+  reg [6:0] idx = 1;
+  reg [1:0] state = 0;
+  reg [31:0] checksum = 0;
+  wire [6:0] n = items[0];
+  wire [31:0] item = items[idx];
+  wire busy;
+  wire kick = state == 0;
+  engine u_eng (.clk(clk), .start(kick), .work(item[7:0]), .busy(busy));
+  always @(posedge clk) begin
+    case (state)
+      0: state <= 1;
+      1: if (!busy) begin
+        checksum <= checksum ^ {item[15:0], item[31:16]};
+        idx <= idx + 7'd1;
+        state <= (idx >= n) ? 2'd2 : 2'd0;
+      end
+    endcase
+  end
+  assign done = state == 2;
+endmodule

@@ -1,0 +1,85 @@
+// Videoplayer: a 60 fps H.264 playback session under different DVFS
+// schemes — the paper's motivating scenario (§1, §2.3).
+//
+// It decodes a three-clip playlist with the H.264 accelerator and
+// compares constant-frequency, PID-reactive, and slice-driven
+// predictive control, then shows the effect of deadline slack (30 fps
+// playback) and the emergency boost level.
+//
+// Run with: go run ./examples/videoplayer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/accel/h264"
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/power"
+	"repro/internal/rtl"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	spec := h264.Spec()
+	fmt.Println("training the decoder's execution-time predictor...")
+	pred, err := core.Train(spec, core.Options{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A playlist of three clips with different content character.
+	var jobs []struct{}
+	_ = jobs
+	playlist := append(append(
+		h264.Jobs(workload.Video(workload.ClipNews, 240, 24, 100), 100),
+		h264.Jobs(workload.Video(workload.ClipForeman, 240, 24, 200), 200)...),
+		h264.Jobs(workload.Video(workload.ClipCoastguard, 240, 24, 300), 300)...)
+	traces, err := pred.CollectTraces(playlist)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pm := power.FromStats(rtl.Stats(spec.Build()), power.DefaultParams(spec.NominalHz))
+	spm := power.FromStats(rtl.Stats(pred.Slice.M), power.DefaultParams(spec.NominalHz))
+
+	run := func(name string, d *dvfs.Device, ctrl control.Controller, deadline float64) sim.Result {
+		r, err := sim.Run(traces, sim.Config{
+			Device: d, Power: pm, SlicePower: spm,
+			Deadline: deadline, Controller: ctrl,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
+	}
+
+	asic := dvfs.ASIC(spec.NominalHz, false)
+	boost := dvfs.ASIC(spec.NominalHz, true)
+
+	fmt.Printf("\nplaylist: %d frames at 60 fps (16.7 ms deadline)\n\n", len(traces))
+	base := run("baseline", asic, control.NewBaseline(), 16.7e-3)
+	schemes := []sim.Result{
+		base,
+		run("pid", asic, control.NewPID(control.DefaultPIDConfig(16.7e-3)), 16.7e-3),
+		run("prediction", asic, control.NewPredictive(0.05, false), 16.7e-3),
+		run("prediction+boost", boost, control.NewPredictive(0.05, true), 16.7e-3),
+	}
+	fmt.Printf("%-18s %-14s %-14s %s\n", "scheme", "energy", "vs baseline", "dropped frames")
+	for _, r := range schemes {
+		fmt.Printf("%-18s %10.2f mJ %12.1f%% %d/%d\n",
+			r.Scheme, r.Energy*1e3, sim.Normalized(r, base), r.Misses, r.Jobs)
+	}
+
+	fmt.Println("\n30 fps playback (33.4 ms deadline) leaves more slack:")
+	base30 := run("baseline", asic, control.NewBaseline(), 33.4e-3)
+	pred30 := run("prediction", asic, control.NewPredictive(0.05, false), 33.4e-3)
+	fmt.Printf("%-18s %10.2f mJ %12.1f%% %d/%d\n",
+		pred30.Scheme, pred30.Energy*1e3, sim.Normalized(pred30, base30), pred30.Misses, pred30.Jobs)
+
+	fmt.Println("\nNo predictor retraining was needed for the new deadline —")
+	fmt.Println("only the DVFS model's budget changed (§4.3).")
+}

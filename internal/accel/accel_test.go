@@ -1,0 +1,114 @@
+package accel
+
+import (
+	"testing"
+
+	"repro/internal/rtl"
+)
+
+func validSpec() Spec {
+	return Spec{
+		Name:       "toy",
+		NominalHz:  100e6,
+		CycleScale: 512,
+		Build:      func() *rtl.Module { return nil },
+		TrainJobs:  func(int64) []Job { return nil },
+		TestJobs:   func(int64) []Job { return nil },
+		MaxTicks:   1 << 10,
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	s := validSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.NominalHz = 0 },
+		func(s *Spec) { s.CycleScale = 0 },
+		func(s *Spec) { s.Build = nil },
+		func(s *Spec) { s.TrainJobs = nil },
+		func(s *Spec) { s.TestJobs = nil },
+		func(s *Spec) { s.MaxTicks = 0 },
+	}
+	for i, mutate := range cases {
+		s := validSpec()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}
+
+func TestCyclesAndSeconds(t *testing.T) {
+	s := validSpec()
+	if got := s.Cycles(10); got != 5120 {
+		t.Errorf("Cycles(10) = %v", got)
+	}
+	if got := s.Seconds(10); got != 5120/100e6 {
+		t.Errorf("Seconds(10) = %v", got)
+	}
+}
+
+func TestRunJobLoadsAndRuns(t *testing.T) {
+	b := rtl.NewBuilder("tiny")
+	mem := b.Memory("in", 4)
+	v := b.Read(mem, b.Const(0, 2), 8)
+	cnt := b.Reg("cnt", 8, 0)
+	b.SetNext(cnt, cnt.Inc())
+	b.SetDone(cnt.Eq(v))
+	m := b.MustBuild()
+	sim := rtl.NewSim(m)
+	job := Job{Mems: map[string][]uint64{"in": {5}}}
+	ticks, err := RunJob(sim, job, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 6 {
+		t.Errorf("ticks = %d, want 6 (count to 5, one done cycle)", ticks)
+	}
+	// A second job with different data must reset state.
+	job2 := Job{Mems: map[string][]uint64{"in": {2}}}
+	ticks2, err := RunJob(sim, job2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ticks2 != 3 {
+		t.Errorf("ticks2 = %d, want 3", ticks2)
+	}
+	// Unknown memory name must error.
+	bad := Job{Mems: map[string][]uint64{"nope": {1}}}
+	if _, err := RunJob(sim, bad, 100); err == nil {
+		t.Error("unknown memory accepted")
+	}
+}
+
+func TestMACFarmBuildsLanesAndStaysOutOfControl(t *testing.T) {
+	b := rtl.NewBuilder("farm")
+	en := b.Input("en", 1)
+	seed := b.Input("seed", 16)
+	out := MACFarm(b, "mac", 6, 48, en, seed)
+	r := b.Reg("r", 48, 0)
+	b.SetNext(r, out)
+	b.SetDone(b.Const(1, 1))
+	m := b.MustBuild()
+	muls := 0
+	for i := range m.Nodes {
+		if m.Nodes[i].Op == rtl.OpMul {
+			muls++
+		}
+	}
+	if muls < 6 {
+		t.Errorf("multipliers = %d, want >= lanes", muls)
+	}
+	// The farm must actually accumulate when enabled.
+	s := rtl.NewSim(m)
+	s.SetInput(en.ID(), 1)
+	s.SetInput(seed.ID(), 1234)
+	s.Step()
+	s.Step()
+	if s.RegValue(len(m.Regs)-1) == 0 {
+		t.Error("farm output stuck at zero")
+	}
+}

@@ -1,0 +1,159 @@
+package aes
+
+import (
+	"bytes"
+	"crypto/aes"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/instrument"
+	"repro/internal/rtl"
+	"repro/internal/workload"
+)
+
+func TestSboxMatchesKnownValues(t *testing.T) {
+	sbox := Sbox()
+	// Spot values from FIPS-197.
+	known := map[int]byte{
+		0x00: 0x63, 0x01: 0x7c, 0x10: 0xca, 0x53: 0xed,
+		0xff: 0x16, 0xaa: 0xac, 0x9a: 0xb8,
+	}
+	for in, want := range known {
+		if got := sbox[in]; got != want {
+			t.Errorf("sbox[%#02x] = %#02x, want %#02x", in, got, want)
+		}
+	}
+}
+
+// encryptRef computes AES-128 ECB over padded payload with crypto/aes.
+func encryptRef(t *testing.T, key [16]byte, payload []byte) []byte {
+	t.Helper()
+	blocks := (len(payload) + 15) / 16
+	if blocks == 0 {
+		blocks = 1
+	}
+	padded := make([]byte, blocks*16)
+	copy(padded, payload)
+	c, err := aes.NewCipher(key[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(padded))
+	for i := 0; i < len(padded); i += 16 {
+		c.Encrypt(out[i:i+16], padded[i:i+16])
+	}
+	return out
+}
+
+func runHW(t *testing.T, payload []byte) []byte {
+	t.Helper()
+	m := Build()
+	s := rtl.NewSim(m)
+	job := EncodePiece(workload.DataPiece{Bytes: len(payload), Payload: payload}, TestKey)
+	if _, err := accel.RunJob(s, job, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	blocks := (len(payload) + 15) / 16
+	if blocks == 0 {
+		blocks = 1
+	}
+	outMem := s.Mem("out")
+	out := make([]byte, blocks*16)
+	for w := 0; w < blocks*4; w++ {
+		v := outMem[w]
+		out[4*w] = byte(v >> 24)
+		out[4*w+1] = byte(v >> 16)
+		out[4*w+2] = byte(v >> 8)
+		out[4*w+3] = byte(v)
+	}
+	return out
+}
+
+func TestHardwareMatchesCryptoAES(t *testing.T) {
+	cases := [][]byte{
+		make([]byte, 16), // all zeros, one block
+		[]byte("The quick brown fox jumps over the lazy dog!!!!"), // 3 blocks
+		bytes.Repeat([]byte{0xa5}, 80),
+	}
+	// FIPS-197 appendix B vector.
+	fips := []byte{
+		0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+		0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34,
+	}
+	cases = append(cases, fips)
+	for ci, payload := range cases {
+		want := encryptRef(t, TestKey, payload)
+		got := runHW(t, payload)
+		if !bytes.Equal(got, want) {
+			t.Errorf("case %d: hardware ciphertext mismatch\n got %x\nwant %x", ci, got, want)
+		}
+	}
+}
+
+func TestFIPSVectorExact(t *testing.T) {
+	// FIPS-197 appendix B: plaintext 3243f6a8885a308d313198a2e0370734
+	// with key 2b7e151628aed2a6abf7158809cf4f3c encrypts to
+	// 3925841d02dc09fbdc118597196a0b32.
+	payload := []byte{
+		0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+		0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34,
+	}
+	want := []byte{
+		0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+		0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32,
+	}
+	got := runHW(t, payload)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("FIPS vector mismatch\n got %x\nwant %x", got, want)
+	}
+}
+
+func TestExecutionTimeAffineInBlocks(t *testing.T) {
+	m := Build()
+	s := rtl.NewSim(m)
+	ticksFor := func(blocks int) uint64 {
+		payload := make([]byte, blocks*16)
+		job := EncodePiece(workload.DataPiece{Bytes: len(payload), Payload: payload}, TestKey)
+		ticks, err := accel.RunJob(s, job, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ticks
+	}
+	t1, t2, t3 := ticksFor(1), ticksFor(2), ticksFor(3)
+	d12, d23 := t2-t1, t3-t2
+	if d12 != d23 {
+		t.Errorf("per-block cost not constant: %d vs %d", d12, d23)
+	}
+	if d12 == 0 {
+		t.Error("block count does not affect execution time")
+	}
+}
+
+func TestInstrumentationAndWaits(t *testing.T) {
+	m := Build()
+	ins, err := instrument.Instrument(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins.Features) == 0 {
+		t.Fatal("no features detected")
+	}
+	if len(ins.Analysis.WaitStates) < 3 {
+		t.Errorf("wait states = %d, want >= 3 (keyload/keyexpand/blockload/rounds)",
+			len(ins.Analysis.WaitStates))
+	}
+	if len(ins.Analysis.FSMs) < 1 {
+		t.Error("controller FSM not detected")
+	}
+}
+
+func TestSpec(t *testing.T) {
+	s := Spec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.TrainJobs(1)) != 100 || len(s.TestJobs(1)) != 100 {
+		t.Error("workload sizes do not match Table 3")
+	}
+}

@@ -1,0 +1,31 @@
+package accel
+
+import "repro/internal/rtl"
+
+// MACFarm instantiates a bank of multiply-accumulate lanes — the bulk
+// compute array of a realistic accelerator datapath (pixel
+// reconstruction lanes, DCT butterflies, force evaluation lanes). Each
+// lane squares a rotated view of the seed, multiplies by a lane
+// constant, and accumulates while en is high. The farm's outputs feed
+// nothing that affects control, so slicing removes it entirely; its
+// purpose is to give the designs the datapath-dominated area profile of
+// the accelerators in the paper (the control unit is a small fraction
+// of total area, which is what makes a control-only slice cheap).
+//
+// It returns the XOR of the lane accumulators so callers can write a
+// witness value to an output memory.
+func MACFarm(b *rtl.Builder, name string, lanes int, width uint8, en, seed rtl.Signal) rtl.Signal {
+	wide := seed.Or(b.Const(0, width))
+	var out rtl.Signal
+	for l := 0; l < lanes; l++ {
+		rot := wide.ShlK(uint8(l % int(width))).Or(wide.ShrK(uint8((int(width) - l) % int(width))))
+		prod := rot.Mul(rot.Add(b.Const(uint64(2*l+1), width)), width)
+		acc := b.Accum(name+"_acc", width, en, prod)
+		if l == 0 {
+			out = acc.Signal
+		} else {
+			out = out.Xor(acc.Signal)
+		}
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+// Package h264 models the paper's H.264 baseline video decoder
+// benchmark (Xu & Choy) as an rtl netlist with the block structure of
+// the paper's Figure 9: bitstream parser / residue decoding, intra
+// prediction, inter prediction with data preloading and quarter-pixel
+// interpolation, a deblocking filter, and a pixel datapath.
+//
+// Per-macroblock cost is decided by control logic from the macroblock
+// descriptor — prediction type, coefficient count, motion vectors,
+// quarter-pel flag — which is exactly the input-dependence §2.3 shows
+// for the real decoder: same-resolution frames differ several-fold in
+// decode time depending on content.
+package h264
+
+import (
+	"repro/internal/accel"
+	"repro/internal/rtl"
+	"repro/internal/workload"
+)
+
+// Macroblock descriptor encoding in the "in" scratchpad.
+//
+//	word 0:  macroblock count N
+//	word i:  bits 0-1  type (0 skip, 1 intra, 2 inter)
+//	         bits 2-7  coefficient count (0..63)
+//	         bit  8    quarter-pel flag
+//	         bits 9-11 motion vector count (1..4)
+//	         bits 12-27 pixel payload (datapath only)
+const (
+	typeSkip  = 0
+	typeIntra = 1
+	typeInter = 2
+)
+
+// FSM states of the top-level decode controller.
+const (
+	stIdle uint64 = iota
+	stParse
+	stResidue
+	stDispatch
+	stIntra
+	stPreload
+	stInterCompute
+	stDeblock
+	stWriteback
+	stDone
+)
+
+// Build constructs the decoder netlist.
+func Build() *rtl.Module {
+	b := rtl.NewBuilder("h264")
+	in := b.Memory("in", 4096)
+	out := b.Memory("out", 4096)
+
+	idx := b.Reg("mb_idx", 13, 1)
+	n := b.Read(in, b.Const(0, 13), 13)
+	mb := b.Read(in, idx.Signal, 28)
+
+	mbType := mb.Bits(0, 2)
+	coeffs := mb.Bits(2, 6)
+	qpel := mb.Bits(8, 1)
+	mvs := mb.Bits(9, 3)
+	pixels := mb.Bits(12, 16)
+
+	f := b.FSM("decode_ctrl", 10)
+
+	// Residue decoding: entropy-decode latency grows with the number of
+	// non-zero transform coefficients (one tick per two coefficients).
+	resLat := coeffs.ShrK(1)
+	resLoad := f.In(stParse)
+	resCnt := b.DownCounter("residue_cnt", 8, resLoad, resLat)
+
+	// Intra prediction: mode reconstruction plus coefficient-dependent
+	// texture synthesis (intra-coded groups are the expensive ones, so
+	// I-frames spike several ms above the P-frame plateau, Figure 2).
+	c34 := coeffs.Or(b.Const(0, 8)).Sub(coeffs.ShrK(2)) // 3/4 of coeffs
+	intraLat := b.Const(10, 8).Add(c34).Trunc(8)
+	intraLoad := f.In(stDispatch).And(mbType.EqK(typeIntra))
+	intraCnt := b.DownCounter("intra_cnt", 8, intraLoad, intraLat)
+
+	// Inter prediction preload: reference-pixel DMA grows with the
+	// number of motion vectors (three ticks per MV).
+	mvw := mvs.Or(b.Const(0, 8))
+	mv3 := mvw.Add(mvw.ShlK(1)).Trunc(8)
+	preLat := b.Const(3, 8).Add(mv3).Trunc(8)
+	interSel := mbType.EqK(typeInter)
+	preLoad := f.In(stDispatch).And(interSel)
+	preCnt := b.DownCounter("preload_cnt", 8, preLoad, preLat)
+
+	// Inter compute: per-MV filtering; quarter-pel interpolation adds a
+	// long latency — the subtle effect the paper's hand-built predictor
+	// missed (§3.7).
+	qpelCost := qpel.Mux(b.Const(20, 8), b.Const(0, 8))
+	cmpLat := b.Const(2, 8).Add(mv3).Add(qpelCost).Trunc(8)
+	cmpLoad := f.In(stPreload).And(preCnt.EqK(0))
+	cmpCnt := b.DownCounter("intercmp_cnt", 8, cmpLoad, cmpLat)
+
+	// Deblocking filter: constant latency plus extra for groups with
+	// residue (boundary-strength recomputation).
+	dbLat := coeffs.NonZero().Mux(b.Const(12, 8), b.Const(8, 8))
+	dbLoad := f.In(stIntra).And(intraCnt.EqK(0)).
+		Or(f.In(stInterCompute).And(cmpCnt.EqK(0))).
+		Or(f.In(stDispatch).And(mbType.EqK(typeSkip)))
+	dbCnt := b.DownCounter("deblock_cnt", 8, dbLoad, dbLat)
+
+	f.Always(stIdle, stParse)
+	f.Always(stParse, stResidue)
+	f.When(stResidue, resCnt.EqK(0), stDispatch)
+	f.When(stDispatch, mbType.EqK(typeSkip), stDeblock)
+	f.When(stDispatch, mbType.EqK(typeIntra), stIntra)
+	f.Always(stDispatch, stPreload)
+	f.When(stIntra, intraCnt.EqK(0), stDeblock)
+	f.When(stPreload, preCnt.EqK(0), stInterCompute)
+	f.When(stInterCompute, cmpCnt.EqK(0), stDeblock)
+	f.When(stDeblock, dbCnt.EqK(0), stWriteback)
+	f.When(stWriteback, idx.Ge(n), stDone)
+	f.Always(stWriteback, stParse)
+	f.Build()
+
+	b.SetNext(idx, f.In(stWriteback).Mux(idx.Inc(), idx.Signal))
+
+	// Pixel datapath: parallel reconstruction/interpolation lanes plus a
+	// deblocking filter chain. None of it feeds control, so the slicer
+	// removes all of it.
+	active := f.In(stIntra).Or(f.In(stInterCompute)).Or(f.In(stDeblock))
+	lanes := accel.MACFarm(b, "pixel", 12, 48, active, pixels)
+	pred := pixels.Mul(pixels, 32)
+	recon := pred.Add(coeffs.Mul(coeffs, 32))
+	filt3 := recon.ShrK(2).Add(recon.ShrK(1)).Add(recon)
+	acc := b.Accum("pixel_acc", 32, active, filt3.Xor(lanes.Trunc(32)))
+	b.Write(out, idx.Signal, acc.Signal, f.In(stWriteback))
+
+	b.SetDone(f.In(stDone))
+	return b.MustBuild()
+}
+
+// mbsPerFrame is the number of macroblock groups per frame at the fixed
+// test resolution (all clips share one resolution, as in Table 3). The
+// decoder pipelines macroblocks in groups, so one descriptor covers one
+// group with its dominant mode and aggregate statistics.
+const mbsPerFrame = 24
+
+// encodeFrame packs frame statistics into the input scratchpad image.
+func encodeFrame(fr workload.FrameStats, seed int64) accel.Job {
+	mem := make([]uint64, 1+len(fr.MBs))
+	mem[0] = uint64(len(fr.MBs))
+	rng := seed
+	for i, mb := range fr.MBs {
+		var w uint64
+		switch {
+		case mb.Skip:
+			w = typeSkip
+		case mb.Intra:
+			w = typeIntra
+		default:
+			w = typeInter
+		}
+		w |= uint64(mb.Coeffs) << 2
+		if mb.QPel {
+			w |= 1 << 8
+		}
+		mv := mb.MVs
+		if mv < 1 {
+			mv = 1
+		}
+		w |= uint64(mv) << 9
+		// Cheap deterministic payload for the datapath.
+		rng = rng*6364136223846793005 + 1442695040888963407
+		w |= (uint64(rng) & 0xffff) << 12
+		mem[1+i] = w
+	}
+	desc := "P-frame"
+	if fr.IFrame {
+		desc = "I-frame"
+	}
+	return accel.Job{
+		Mems:  map[string][]uint64{"in": mem},
+		Class: "720x480", // single resolution: one table-controller class
+		Desc:  desc,
+	}
+}
+
+// Jobs converts clip frame statistics into accelerator jobs.
+func Jobs(frames []workload.FrameStats, seed int64) []accel.Job {
+	jobs := make([]accel.Job, len(frames))
+	for i, fr := range frames {
+		jobs[i] = encodeFrame(fr, seed+int64(i))
+	}
+	return jobs
+}
+
+// TrainClips returns the training workload of Table 3: 2 clips, 600
+// frames total, same resolution.
+func TrainClips(seed int64) []accel.Job {
+	var jobs []accel.Job
+	jobs = append(jobs, Jobs(workload.Video(workload.ClipForeman, 300, mbsPerFrame, seed), seed)...)
+	jobs = append(jobs, Jobs(workload.Video(workload.ClipNews, 300, mbsPerFrame, seed+1), seed+1000)...)
+	return jobs
+}
+
+// TestClips returns the test workload of Table 3: 5 clips, 1500 frames.
+func TestClips(seed int64) []accel.Job {
+	profiles := []workload.VideoProfile{
+		workload.ClipCoastguard,
+		workload.ClipForeman,
+		workload.ClipNews,
+		{Name: "sports", Motion: 0.9, Detail: 0.6, SceneChange: 0.03, GOP: 30},
+		{Name: "interview", Motion: 0.25, Detail: 0.45, SceneChange: 0.005, GOP: 30},
+	}
+	var jobs []accel.Job
+	for i, p := range profiles {
+		jobs = append(jobs, Jobs(workload.Video(p, 300, mbsPerFrame, seed+int64(i)), seed+int64(i)*7919)...)
+	}
+	return jobs
+}
+
+// Spec returns the benchmark description (Tables 3 and 4).
+func Spec() accel.Spec {
+	return accel.Spec{
+		Name:        "h264",
+		Description: "H.264 video decoder",
+		TaskDesc:    "Decode one frame",
+		TrainDesc:   "2 videos (600 frames, same size)",
+		TestDesc:    "5 videos (1500 frames, same size)",
+		NominalHz:   250e6,
+		CycleScale:  1600,
+		AreaUM2:     659506,
+		MemFraction: 0.22,
+		Build:       Build,
+		TrainJobs:   TrainClips,
+		TestJobs:    TestClips,
+		MaxTicks:    1 << 16,
+	}
+}

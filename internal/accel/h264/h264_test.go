@@ -1,0 +1,138 @@
+package h264
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/instrument"
+	"repro/internal/rtl"
+	"repro/internal/workload"
+)
+
+// frameOf builds a single-frame job from explicit macroblock stats.
+func frameOf(t *testing.T, mbs []workload.MBStat) accel.Job {
+	t.Helper()
+	return encodeFrame(workload.FrameStats{MBs: mbs}, 1)
+}
+
+func ticksFor(t *testing.T, s *rtl.Sim, job accel.Job) uint64 {
+	t.Helper()
+	ticks, err := accel.RunJob(s, job, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ticks
+}
+
+func TestQuarterPelAddsLongLatency(t *testing.T) {
+	m := Build()
+	s := rtl.NewSim(m)
+	base := []workload.MBStat{{MVs: 2, Coeffs: 10}}
+	qpel := []workload.MBStat{{MVs: 2, Coeffs: 10, QPel: true}}
+	tBase := ticksFor(t, s, frameOf(t, base))
+	tQpel := ticksFor(t, s, frameOf(t, qpel))
+	if tQpel-tBase != 20 {
+		t.Errorf("qpel latency delta = %d ticks, want 20", tQpel-tBase)
+	}
+}
+
+func TestSkipBlocksAreCheap(t *testing.T) {
+	m := Build()
+	s := rtl.NewSim(m)
+	skip := ticksFor(t, s, frameOf(t, []workload.MBStat{{Skip: true}}))
+	intra := ticksFor(t, s, frameOf(t, []workload.MBStat{{Intra: true, Coeffs: 30}}))
+	if skip >= intra {
+		t.Errorf("skip (%d) not cheaper than intra (%d)", skip, intra)
+	}
+}
+
+func TestCoefficientsIncreaseDecodingTime(t *testing.T) {
+	m := Build()
+	s := rtl.NewSim(m)
+	lo := ticksFor(t, s, frameOf(t, []workload.MBStat{{Intra: true, Coeffs: 4}}))
+	hi := ticksFor(t, s, frameOf(t, []workload.MBStat{{Intra: true, Coeffs: 60}}))
+	if hi <= lo {
+		t.Errorf("more coefficients not slower: %d vs %d", hi, lo)
+	}
+}
+
+func TestMotionVectorsIncreaseInterTime(t *testing.T) {
+	m := Build()
+	s := rtl.NewSim(m)
+	one := ticksFor(t, s, frameOf(t, []workload.MBStat{{MVs: 1, Coeffs: 8}}))
+	four := ticksFor(t, s, frameOf(t, []workload.MBStat{{MVs: 4, Coeffs: 8}}))
+	// 3 preload + 3 compute ticks per extra MV.
+	if four-one != 18 {
+		t.Errorf("3 extra MVs cost %d ticks, want 18", four-one)
+	}
+}
+
+func TestIFramesSpike(t *testing.T) {
+	// An all-intra frame with rich coefficients decodes slower than a
+	// typical P-frame — the Figure 2 spike shape.
+	m := Build()
+	s := rtl.NewSim(m)
+	var iMBs, pMBs []workload.MBStat
+	for i := 0; i < mbsPerFrame; i++ {
+		iMBs = append(iMBs, workload.MBStat{Intra: true, Coeffs: 40})
+		if i%5 == 0 {
+			pMBs = append(pMBs, workload.MBStat{Skip: true})
+		} else {
+			pMBs = append(pMBs, workload.MBStat{MVs: 2, Coeffs: 15})
+		}
+	}
+	iT := ticksFor(t, s, frameOf(t, iMBs))
+	pT := ticksFor(t, s, frameOf(t, pMBs))
+	if float64(iT) < 1.2*float64(pT) {
+		t.Errorf("I-frame (%d) not clearly slower than P-frame (%d)", iT, pT)
+	}
+}
+
+func TestWorkloadsSizedPerTable3(t *testing.T) {
+	if got := len(TrainClips(1)); got != 600 {
+		t.Errorf("train frames = %d, want 600", got)
+	}
+	if got := len(TestClips(1)); got != 1500 {
+		t.Errorf("test frames = %d, want 1500", got)
+	}
+	for _, j := range TestClips(2)[:10] {
+		if j.Class != "720x480" {
+			t.Errorf("class = %s, want single resolution", j.Class)
+		}
+	}
+}
+
+func TestDecoderStructureDetected(t *testing.T) {
+	ins, err := instrument.Instrument(Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ins.Analysis
+	if len(a.FSMs) != 1 {
+		t.Errorf("FSMs = %d, want 1 top-level controller", len(a.FSMs))
+	}
+	// Five latency counters (residue, intra, preload, intercmp, deblock)
+	// plus the free-running MB index.
+	withLoads := 0
+	for _, c := range a.Counters {
+		if len(c.Loads) > 0 {
+			withLoads++
+		}
+	}
+	if withLoads != 5 {
+		t.Errorf("latency counters = %d, want 5", withLoads)
+	}
+	if len(a.WaitStates) != 5 {
+		t.Errorf("wait states = %d, want 5", len(a.WaitStates))
+	}
+}
+
+func TestSpec(t *testing.T) {
+	s := Spec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "h264" || s.NominalHz != 250e6 {
+		t.Errorf("spec = %+v", s)
+	}
+}

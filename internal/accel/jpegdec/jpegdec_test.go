@@ -1,0 +1,126 @@
+package jpegdec
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/instrument"
+	"repro/internal/rtl"
+	"repro/internal/slice"
+	"repro/internal/workload"
+)
+
+func imageOf(blocks, coeffs int) workload.Image {
+	img := workload.Image{Blocks: blocks, Class: "test"}
+	img.BlockCoeffs = make([]int, blocks)
+	for i := range img.BlockCoeffs {
+		img.BlockCoeffs[i] = coeffs
+	}
+	return img
+}
+
+func run(t *testing.T, s *rtl.Sim, img workload.Image, seed int64) uint64 {
+	t.Helper()
+	ticks, err := accel.RunJob(s, EncodeImage(img, seed), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ticks
+}
+
+// TestHuffmanLatencyIsDataDependent is the djpeg design's defining
+// property: two images with identical control statistics (same blocks,
+// same coefficient counts) decode in different times because the coded
+// bit patterns drive the Huffman loop differently. This is the variance
+// that no extracted feature can explain (Figure 10's djpeg box).
+func TestHuffmanLatencyIsDataDependent(t *testing.T) {
+	m := Build()
+	s := rtl.NewSim(m)
+	img := imageOf(40, 24)
+	t1 := run(t, s, img, 1)
+	var differs bool
+	for seed := int64(2); seed < 8; seed++ {
+		if run(t, s, img, seed) != t1 {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Error("identical control stats always produced identical time; Huffman variance missing")
+	}
+}
+
+func TestCoefficientsStillExplainMostCost(t *testing.T) {
+	m := Build()
+	s := rtl.NewSim(m)
+	lo := run(t, s, imageOf(30, 4), 3)
+	hi := run(t, s, imageOf(30, 60), 3)
+	if hi <= lo {
+		t.Errorf("denser blocks not slower: %d vs %d", hi, lo)
+	}
+}
+
+func TestHuffmanStateHasNoCounter(t *testing.T) {
+	ins, err := instrument.Instrument(Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ins.Analysis
+	// The huff_sr shift register must not be classified as a counter
+	// (it shifts by a variable amount).
+	for i := range a.Counters {
+		if a.Counters[i].Name == "huff_sr" {
+			t.Error("huffman shifter misclassified as a counter")
+		}
+	}
+	// The wait on huffDone is therefore NOT a counter wait state; only
+	// dequant and idct waits are.
+	if len(a.WaitStates) != 2 {
+		t.Errorf("counter wait states = %d, want 2 (dequant, idct)", len(a.WaitStates))
+	}
+}
+
+func TestSliceApproximatesHuffmanWait(t *testing.T) {
+	ins, err := instrument.Instrument(Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := make([]int, len(ins.Features))
+	for i := range keep {
+		keep[i] = i
+	}
+	sl, err := slice.Slice(ins, keep, slice.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.ApproxWaits == 0 {
+		t.Error("huffman data wait was not approximated in the slice")
+	}
+	// The slice must still compute features identical to the full design.
+	fullSim := rtl.NewSim(ins.M)
+	sliceSim := rtl.NewSim(sl.M)
+	job := EncodeImage(imageOf(25, 30), 9)
+	if _, err := accel.RunJob(fullSim, job, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := accel.RunJob(sliceSim, job, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	fullF := ins.ReadFeatures(fullSim)
+	sliceF := sl.ReadFeatures(sliceSim)
+	for i, k := range sl.Kept {
+		if sliceF[i] != fullF[k] {
+			t.Errorf("feature %s differs: slice=%v full=%v", ins.Features[k].Name, sliceF[i], fullF[k])
+		}
+	}
+}
+
+func TestSpec(t *testing.T) {
+	s := Spec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.TestJobs(4)) != 100 {
+		t.Error("workload size mismatch")
+	}
+}

@@ -1,0 +1,130 @@
+// Package jpegenc models the paper's cjpeg benchmark: a JPEG encoder
+// (OpenCores video systems project) processing images of widely varying
+// sizes. Per-block cost: fixed-latency DCT and quantization plus an
+// entropy-encode stage whose latency grows with the number of non-zero
+// quantized coefficients. Job-to-job variation is dominated by image
+// size (Table 4 spans 0.88–13.90 ms), with content complexity adding
+// finer structure; consecutive images are independent, which is what
+// defeats reactive controllers on this workload (§2.4).
+package jpegenc
+
+import (
+	"repro/internal/accel"
+	"repro/internal/rtl"
+	"repro/internal/workload"
+)
+
+// Encoder FSM states.
+const (
+	stIdle uint64 = iota
+	stFetch
+	stDCT
+	stQuant
+	stEntropy
+	stWrite
+	stDone
+)
+
+// Input layout: word 0 = block count; word i = bits 0-5 coefficient
+// count, bits 6-21 pixel payload.
+
+// Build constructs the encoder netlist.
+func Build() *rtl.Module {
+	b := rtl.NewBuilder("cjpeg")
+	in := b.Memory("in", 2048)
+	out := b.Memory("out", 2048)
+
+	idx := b.Reg("blk_idx", 11, 1)
+	n := b.Read(in, b.Const(0, 11), 11)
+	blk := b.Read(in, idx.Signal, 22)
+	coeffs := blk.Bits(0, 6)
+	pixels := blk.Bits(6, 16)
+
+	f := b.FSM("enc_ctrl", 7)
+
+	// Forward DCT: fixed twelve-tick 2-D butterfly latency per block.
+	dctLoad := f.In(stFetch)
+	dctCnt := b.DownCounter("dct_cnt", 4, dctLoad, b.Const(12, 4))
+
+	// Entropy encoding: run-length/Huffman cost grows with non-zero
+	// coefficients (one tick per coefficient plus setup).
+	entLat := coeffs.Or(b.Const(0, 7)).Add(b.Const(3, 7)).Trunc(7)
+	entLoad := f.In(stQuant)
+	entCnt := b.DownCounter("entropy_cnt", 7, entLoad, entLat)
+
+	f.Always(stIdle, stFetch)
+	f.Always(stFetch, stDCT)
+	f.When(stDCT, dctCnt.EqK(0), stQuant)
+	f.Always(stQuant, stEntropy)
+	f.When(stEntropy, entCnt.EqK(0), stWrite)
+	f.When(stWrite, idx.Ge(n), stDone)
+	f.Always(stWrite, stFetch)
+	f.Build()
+
+	b.SetNext(idx, f.In(stWrite).Mux(idx.Inc(), idx.Signal))
+
+	// DCT/quantization datapath: butterfly MAC lanes (sliced out).
+	active := f.In(stDCT).Or(f.In(stEntropy))
+	lanes := accel.MACFarm(b, "dct", 8, 40, active, pixels)
+	t1 := pixels.Mul(pixels, 32)
+	t2 := t1.Add(pixels.ShlK(4))
+	t3 := t2.Mul(coeffs.Add(b.Const(1, 6)), 32)
+	acc := b.Accum("coef_acc", 32, active, t3.Xor(lanes.Trunc(32)))
+	b.Write(out, idx.Signal, acc.Signal, f.In(stWrite))
+
+	b.SetDone(f.In(stDone))
+	return b.MustBuild()
+}
+
+// maxBlocks bounds the largest generated image; with worst-case content
+// the largest image stays just inside the 60 fps deadline at nominal
+// frequency, matching Table 4's near-deadline maximum.
+const maxBlocks = 340
+
+// EncodeImage packs an image into a job.
+func EncodeImage(img workload.Image) accel.Job {
+	mem := make([]uint64, 1+img.Blocks)
+	mem[0] = uint64(img.Blocks)
+	payload := uint64(0x9e37)
+	for i := 0; i < img.Blocks; i++ {
+		payload = payload*2654435761 + 12345
+		mem[1+i] = uint64(img.BlockCoeffs[i]) | ((payload & 0xffff) << 6)
+	}
+	return accel.Job{
+		Mems:  map[string][]uint64{"in": mem},
+		Class: img.Class,
+		Desc:  "image",
+	}
+}
+
+// JobsFrom converts images into jobs.
+func JobsFrom(imgs []workload.Image) []accel.Job {
+	jobs := make([]accel.Job, len(imgs))
+	for i, img := range imgs {
+		jobs[i] = EncodeImage(img)
+	}
+	return jobs
+}
+
+// Spec returns the benchmark description (Tables 3 and 4).
+func Spec() accel.Spec {
+	return accel.Spec{
+		Name:        "cjpeg",
+		Description: "JPEG encoder",
+		TaskDesc:    "Encode one image",
+		TrainDesc:   "100 images (various sizes)",
+		TestDesc:    "100 images (various sizes)",
+		NominalHz:   250e6,
+		CycleScale:  256,
+		AreaUM2:     175225,
+		MemFraction: 0.22,
+		Build:       Build,
+		TrainJobs: func(seed int64) []accel.Job {
+			return JobsFrom(workload.Images(100, maxBlocks, seed))
+		},
+		TestJobs: func(seed int64) []accel.Job {
+			return JobsFrom(workload.Images(100, maxBlocks, seed+777))
+		},
+		MaxTicks: 1 << 16,
+	}
+}

@@ -1,0 +1,102 @@
+package jpegenc
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/instrument"
+	"repro/internal/rtl"
+	"repro/internal/workload"
+)
+
+func imageOf(blocks int, coeffs int) workload.Image {
+	img := workload.Image{Blocks: blocks, Class: "test"}
+	img.BlockCoeffs = make([]int, blocks)
+	for i := range img.BlockCoeffs {
+		img.BlockCoeffs[i] = coeffs
+	}
+	return img
+}
+
+func run(t *testing.T, s *rtl.Sim, img workload.Image) uint64 {
+	t.Helper()
+	ticks, err := accel.RunJob(s, EncodeImage(img), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ticks
+}
+
+func TestTimeAffineInBlockCount(t *testing.T) {
+	m := Build()
+	s := rtl.NewSim(m)
+	t1 := run(t, s, imageOf(10, 16))
+	t2 := run(t, s, imageOf(20, 16))
+	t3 := run(t, s, imageOf(30, 16))
+	if t2-t1 != t3-t2 || t2 == t1 {
+		t.Errorf("per-block cost not constant: %d %d %d", t1, t2, t3)
+	}
+}
+
+func TestEntropyCostGrowsWithCoefficients(t *testing.T) {
+	m := Build()
+	s := rtl.NewSim(m)
+	lo := run(t, s, imageOf(20, 0))
+	hi := run(t, s, imageOf(20, 48))
+	if hi-lo != 20*48 {
+		t.Errorf("coefficient cost = %d ticks over 20 blocks, want %d", hi-lo, 20*48)
+	}
+}
+
+func TestGeneratedImagesStayWithinDeadline(t *testing.T) {
+	// The content model bounds per-block coefficient density, so even
+	// the largest generated images finish inside the frame budget at
+	// nominal frequency (Table 4's max < deadline). Check across seeds.
+	spec := Spec()
+	m := Build()
+	s := rtl.NewSim(m)
+	for seed := int64(0); seed < 3; seed++ {
+		for _, job := range spec.TestJobs(seed) {
+			ticks, err := accel.RunJob(s, job, 1<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sec := spec.Seconds(ticks); sec > 16.7e-3 {
+				t.Fatalf("seed %d: image takes %.2f ms, exceeds the frame budget", seed, sec*1e3)
+			}
+		}
+	}
+}
+
+func TestStructureDetected(t *testing.T) {
+	ins, err := instrument.Instrument(Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins.Analysis.FSMs) != 1 {
+		t.Errorf("FSMs = %d", len(ins.Analysis.FSMs))
+	}
+	if len(ins.Analysis.WaitStates) != 2 {
+		t.Errorf("wait states = %d, want 2 (dct, entropy)", len(ins.Analysis.WaitStates))
+	}
+}
+
+func TestImageClassesPresent(t *testing.T) {
+	jobs := Spec().TestJobs(5)
+	classes := map[string]int{}
+	for _, j := range jobs {
+		classes[j.Class]++
+	}
+	for _, c := range []string{"small", "medium", "large"} {
+		if classes[c] == 0 {
+			t.Errorf("no %s images generated", c)
+		}
+	}
+}
+
+func TestSpec(t *testing.T) {
+	s := Spec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package md
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/instrument"
+	"repro/internal/rtl"
+	"repro/internal/workload"
+)
+
+func stepOf(neighbors []int) workload.MDStep {
+	return workload.MDStep{Neighbors: neighbors}
+}
+
+func run(t *testing.T, s *rtl.Sim, st workload.MDStep) uint64 {
+	t.Helper()
+	ticks, err := accel.RunJob(s, EncodeStep(st, 1), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ticks
+}
+
+func TestTicksExactlyMatchNeighborModel(t *testing.T) {
+	// Per particle: FETCH(1) + FORCE(neighbors+1) + INTEGRATE(1); plus
+	// IDLE and DONE. The netlist must implement exactly this.
+	m := Build()
+	s := rtl.NewSim(m)
+	cases := [][]int{
+		{1},
+		{5, 10},
+		{3, 3, 3, 3},
+		{70, 1, 35},
+	}
+	for _, nb := range cases {
+		want := uint64(2) // IDLE + DONE
+		for _, n := range nb {
+			want += uint64(3 + n)
+		}
+		if got := run(t, s, stepOf(nb)); got != want {
+			t.Errorf("neighbors %v: ticks = %d, want %d", nb, got, want)
+		}
+	}
+}
+
+func TestDenseStepsNearDeadline(t *testing.T) {
+	// A fully packed system must land just inside the frame budget at
+	// nominal frequency (the §4.3 budget-exhaustion corner).
+	spec := Spec()
+	m := Build()
+	s := rtl.NewSim(m)
+	nb := make([]int, particles)
+	for i := range nb {
+		nb[i] = maxNeighbors
+	}
+	sec := spec.Seconds(run(t, s, stepOf(nb)))
+	if sec > 16.7e-3 {
+		t.Errorf("densest step %.2f ms exceeds the deadline", sec*1e3)
+	}
+	if sec < 15.0e-3 {
+		t.Errorf("densest step %.2f ms too far from the deadline for the miss band", sec*1e3)
+	}
+}
+
+func TestStructureDetected(t *testing.T) {
+	ins, err := instrument.Instrument(Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins.Analysis.FSMs) != 1 || len(ins.Analysis.WaitStates) != 1 {
+		t.Errorf("fsms=%d waits=%d, want 1/1", len(ins.Analysis.FSMs), len(ins.Analysis.WaitStates))
+	}
+}
+
+func TestWorkloadAutocorrelated(t *testing.T) {
+	// Successive MD steps must be correlated (density evolves smoothly):
+	// the mean |Δ| between neighbours of successive steps is much
+	// smaller than between random step pairs.
+	steps := workload.MDSteps(100, particles, maxNeighbors, 7)
+	avgOf := func(s workload.MDStep) float64 {
+		sum := 0
+		for _, n := range s.Neighbors {
+			sum += n
+		}
+		return float64(sum) / float64(len(s.Neighbors))
+	}
+	var adj, far float64
+	for i := 1; i < len(steps); i++ {
+		d := avgOf(steps[i]) - avgOf(steps[i-1])
+		if d < 0 {
+			d = -d
+		}
+		adj += d
+		d2 := avgOf(steps[i]) - avgOf(steps[(i*37)%len(steps)])
+		if d2 < 0 {
+			d2 = -d2
+		}
+		far += d2
+	}
+	if adj >= far {
+		t.Errorf("no autocorrelation: adjacent delta %.1f vs random %.1f", adj, far)
+	}
+}
+
+func TestSpec(t *testing.T) {
+	s := Spec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.TrainJobs(1)) != 200 || len(s.TestJobs(1)) != 200 {
+		t.Error("workload sizes do not match Table 3 (200 steps)")
+	}
+}

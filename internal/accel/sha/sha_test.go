@@ -1,0 +1,109 @@
+package sha
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/instrument"
+	"repro/internal/rtl"
+	"repro/internal/workload"
+)
+
+func hashHW(t *testing.T, payload []byte) []byte {
+	t.Helper()
+	m := Build()
+	s := rtl.NewSim(m)
+	job := EncodePiece(workload.DataPiece{Bytes: len(payload), Payload: payload})
+	if _, err := accel.RunJob(s, job, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	outMem := s.Mem("out")
+	out := make([]byte, 32)
+	for w := 0; w < 8; w++ {
+		v := outMem[w]
+		out[4*w] = byte(v >> 24)
+		out[4*w+1] = byte(v >> 16)
+		out[4*w+2] = byte(v >> 8)
+		out[4*w+3] = byte(v)
+	}
+	return out
+}
+
+func TestHardwareMatchesCryptoSHA256(t *testing.T) {
+	cases := [][]byte{
+		{},
+		[]byte("abc"),
+		[]byte("The quick brown fox jumps over the lazy dog"),
+		bytes.Repeat([]byte{0x5a}, 200), // multi-block
+		bytes.Repeat([]byte("0123456789"), 40),
+	}
+	for ci, payload := range cases {
+		want := sha256.Sum256(payload)
+		got := hashHW(t, payload)
+		if !bytes.Equal(got, want[:]) {
+			t.Errorf("case %d (%d bytes): digest mismatch\n got %x\nwant %x",
+				ci, len(payload), got, want)
+		}
+	}
+}
+
+func TestPadBlockCounts(t *testing.T) {
+	cases := []struct {
+		bytes, blocks int
+	}{
+		{0, 1}, {1, 1}, {55, 1}, {56, 2}, {64, 2}, {119, 2}, {120, 3},
+	}
+	for _, c := range cases {
+		words := Pad(make([]byte, c.bytes))
+		if len(words)%16 != 0 {
+			t.Errorf("%d bytes: padded words %d not a block multiple", c.bytes, len(words))
+		}
+		if got := len(words) / 16; got != c.blocks {
+			t.Errorf("%d bytes: blocks = %d, want %d", c.bytes, got, c.blocks)
+		}
+	}
+}
+
+func TestExecutionTimeAffineInBlocks(t *testing.T) {
+	m := Build()
+	s := rtl.NewSim(m)
+	ticksFor := func(payloadLen int) uint64 {
+		job := EncodePiece(workload.DataPiece{Bytes: payloadLen, Payload: make([]byte, payloadLen)})
+		ticks, err := accel.RunJob(s, job, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ticks
+	}
+	// 10, 74, 138 bytes → 1, 2, 3 blocks.
+	t1, t2, t3 := ticksFor(10), ticksFor(74), ticksFor(138)
+	if t2-t1 != t3-t2 || t2 == t1 {
+		t.Errorf("per-block cost not constant/positive: %d %d %d", t1, t2, t3)
+	}
+}
+
+func TestInstrumentationAndWaits(t *testing.T) {
+	m := Build()
+	ins, err := instrument.Instrument(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins.Features) == 0 {
+		t.Fatal("no features detected")
+	}
+	if len(ins.Analysis.WaitStates) < 2 {
+		t.Errorf("wait states = %d, want >= 2 (dma/rounds)", len(ins.Analysis.WaitStates))
+	}
+}
+
+func TestSpec(t *testing.T) {
+	s := Spec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.TrainJobs(3)) != 100 || len(s.TestJobs(3)) != 100 {
+		t.Error("workload sizes do not match Table 3")
+	}
+}

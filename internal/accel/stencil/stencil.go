@@ -1,0 +1,136 @@
+// Package stencil models the paper's image-filtering benchmark
+// (MachSuite stencil): a 3×3 convolution over a tiled image. Execution
+// time scales with the tile geometry (rows × columns plus per-row setup
+// overhead). The datapath is a 9-multiplier convolution kernel — on an
+// FPGA it maps to DSP blocks while the control logic uses a handful of
+// LUTs, which is why the paper's Figure 17 shows stencil's *relative*
+// slice resource overhead as an outlier even though the absolute slice
+// is tiny (§4.4).
+package stencil
+
+import (
+	"repro/internal/accel"
+	"repro/internal/rtl"
+	"repro/internal/workload"
+)
+
+// Filter controller states.
+const (
+	stIdle uint64 = iota
+	stRowSetup
+	stRow
+	stRowDone
+	stDone
+)
+
+// Input layout: word 0 = row count, word 1 = column count, word 2+ =
+// row pixel payloads.
+
+// Build constructs the stencil accelerator netlist.
+func Build() *rtl.Module {
+	b := rtl.NewBuilder("stencil")
+	in := b.Memory("in", 128)
+	out := b.Memory("out", 128)
+
+	rows := b.Read(in, b.Const(0, 7), 7)
+	cols := b.Read(in, b.Const(1, 7), 7)
+	rowIdx := b.Reg("row_idx", 7, 0)
+	pix := b.Read(in, rowIdx.AddW(b.Const(2, 7), 7), 16)
+
+	f := b.FSM("filt_ctrl", 5)
+
+	// Per-row setup: line-buffer rotation, two ticks.
+	setupLoad := f.In(stIdle).Or(f.In(stRowDone))
+	setupCnt := b.DownCounter("setup_cnt", 3, setupLoad, b.Const(2, 3))
+
+	// Column walk: one tile per tick across the row.
+	colLoad := f.In(stRowSetup).And(setupCnt.EqK(0))
+	colCnt := b.DownCounter("col_cnt", 7, colLoad, cols)
+
+	f.Always(stIdle, stRowSetup)
+	f.When(stRowSetup, setupCnt.EqK(0), stRow)
+	f.When(stRow, colCnt.EqK(0), stRowDone)
+	f.When(stRowDone, rowIdx.Inc().Ge(rows), stDone)
+	f.Always(stRowDone, stRowSetup)
+	f.Build()
+
+	b.SetNext(rowIdx, f.In(stRowDone).Mux(rowIdx.Inc(), rowIdx.Signal))
+
+	// 3×3 convolution kernel: nine multiplies per tile (the DSP block
+	// array); entirely sliced out.
+	k := []uint64{1, 2, 1, 2, 4, 2, 1, 2, 1}
+	var sum rtl.Signal
+	shifted := pix.Mul(pix, 32) // widen the line-buffer taps to full precision
+	for i, kv := range k {
+		tap := shifted.Mul(b.Const(kv, 4), 32)
+		if i == 0 {
+			sum = tap
+		} else {
+			sum = sum.Add(tap)
+		}
+		shifted = shifted.ShrK(1).Xor(colCnt.Or(b.Const(0, 32)))
+	}
+	acc := b.Accum("conv_acc", 32, f.In(stRow), sum)
+	b.Write(out, rowIdx.Signal, acc.Signal, f.In(stRowDone))
+
+	b.SetDone(f.In(stDone))
+	return b.MustBuild()
+}
+
+// Geometry bounds for the generated images. The largest image finishes
+// just inside the deadline at nominal frequency but *outside* it once
+// the RTL slice and DVFS switch run first — the budget-exhaustion miss
+// §4.3 attributes to md and stencil, removed by HLS slicing (§4.5).
+const (
+	maxRows = 46
+	maxCols = 46
+)
+
+// EncodeImage packs a tile geometry into a job.
+func EncodeImage(img workload.StencilImage, seed int64) accel.Job {
+	mem := make([]uint64, 2+img.Rows)
+	mem[0] = uint64(img.Rows)
+	mem[1] = uint64(img.Cols)
+	payload := uint64(seed) * 2654435761
+	for i := 0; i < img.Rows; i++ {
+		payload = payload*6364136223846793005 + 1
+		mem[2+i] = payload & 0xffff
+	}
+	return accel.Job{
+		Mems:  map[string][]uint64{"in": mem},
+		Class: img.Class,
+		Desc:  "image",
+	}
+}
+
+// JobsFrom converts images to jobs.
+func JobsFrom(imgs []workload.StencilImage, seed int64) []accel.Job {
+	jobs := make([]accel.Job, len(imgs))
+	for i, img := range imgs {
+		jobs[i] = EncodeImage(img, seed+int64(i))
+	}
+	return jobs
+}
+
+// Spec returns the benchmark description (Tables 3 and 4).
+func Spec() accel.Spec {
+	return accel.Spec{
+		Name:        "stencil",
+		Description: "Image filtering",
+		TaskDesc:    "Filter one image",
+		TrainDesc:   "100 images (various sizes)",
+		TestDesc:    "100 images (various sizes)",
+		NominalHz:   602e6,
+		CycleScale:  4096,
+		AreaUM2:     10140,
+		MemFraction: 0.30,
+		Build:       Build,
+		TrainJobs: func(seed int64) []accel.Job {
+			return JobsFrom(workload.StencilImages(100, maxRows, maxCols, seed), seed)
+		},
+		TestJobs: func(seed int64) []accel.Job {
+			return JobsFrom(workload.StencilImages(100, maxRows, maxCols, seed+4242), seed+4242)
+		},
+		MaxTicks: 1 << 15,
+	}
+}

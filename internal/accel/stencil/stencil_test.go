@@ -1,0 +1,92 @@
+package stencil
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/instrument"
+	"repro/internal/rtl"
+	"repro/internal/workload"
+)
+
+func run(t *testing.T, s *rtl.Sim, rows, cols int) uint64 {
+	t.Helper()
+	job := EncodeImage(workload.StencilImage{Rows: rows, Cols: cols, Class: "t"}, 1)
+	ticks, err := accel.RunJob(s, job, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ticks
+}
+
+func TestTicksScaleWithGeometry(t *testing.T) {
+	m := Build()
+	s := rtl.NewSim(m)
+	t11 := run(t, s, 4, 8)
+	t21 := run(t, s, 8, 8)
+	t12 := run(t, s, 4, 16)
+	// Per-row cost is constant for a given width: doubling rows doubles
+	// the total (modulo the constant DONE tick).
+	if t21-t11 != t11-(t11-(t21-t11)) || t21 <= t11 {
+		t.Errorf("row scaling wrong: 4 rows=%d, 8 rows=%d", t11, t21)
+	}
+	perRow8 := (t21 - t11) / 4 // marginal cost of one row at cols=8
+	if perRow8 == 0 {
+		t.Error("rows have no cost")
+	}
+	if t12 <= t11 {
+		t.Error("wider rows not slower")
+	}
+	// Column cost is exactly one tick per extra column per row.
+	if t12-t11 != 4*8 {
+		t.Errorf("8 extra cols over 4 rows cost %d ticks, want 32", t12-t11)
+	}
+}
+
+func TestWorstCaseNearDeadline(t *testing.T) {
+	spec := Spec()
+	m := Build()
+	s := rtl.NewSim(m)
+	sec := spec.Seconds(run(t, s, maxRows, maxCols))
+	if sec > 16.7e-3 {
+		t.Errorf("full-frame image %.2f ms exceeds the deadline", sec*1e3)
+	}
+	if sec < 15.0e-3 {
+		t.Errorf("full-frame image %.2f ms too far below the deadline for the miss band", sec*1e3)
+	}
+}
+
+func TestDSPHeavyDatapath(t *testing.T) {
+	// The convolution kernel must contain several multipliers (DSP
+	// blocks on FPGA — the Figure 17 stencil anomaly driver).
+	m := Build()
+	muls := 0
+	for i := range m.Nodes {
+		if m.Nodes[i].Op == rtl.OpMul {
+			muls++
+		}
+	}
+	if muls < 9 {
+		t.Errorf("multipliers = %d, want >= 9 (3x3 kernel)", muls)
+	}
+}
+
+func TestStructureDetected(t *testing.T) {
+	ins, err := instrument.Instrument(Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins.Analysis.FSMs) != 1 {
+		t.Errorf("FSMs = %d", len(ins.Analysis.FSMs))
+	}
+	if len(ins.Analysis.WaitStates) != 2 {
+		t.Errorf("wait states = %d, want 2 (setup, row)", len(ins.Analysis.WaitStates))
+	}
+}
+
+func TestSpec(t *testing.T) {
+	s := Spec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package control
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestBaselinePlansNominal(t *testing.T) {
+	c := NewBaseline()
+	p := c.Plan(JobView{PredSeconds: 1, ActualSeconds: 2})
+	if !p.RunNominal {
+		t.Error("baseline did not request nominal")
+	}
+	if c.Name() != "baseline" {
+		t.Errorf("name = %s", c.Name())
+	}
+}
+
+func TestTableUsesClassWorstCase(t *testing.T) {
+	c := NewTable(map[string]float64{"small": 2e-3, "large": 12e-3}, 0.1)
+	p := c.Plan(JobView{Class: "small"})
+	if p.PredT0 != 2e-3 {
+		t.Errorf("small class pred = %v", p.PredT0)
+	}
+	p = c.Plan(JobView{Class: "large"})
+	if p.PredT0 != 12e-3 {
+		t.Errorf("large class pred = %v", p.PredT0)
+	}
+	// Unknown class: global worst.
+	p = c.Plan(JobView{Class: "huge"})
+	if p.PredT0 != 12e-3 {
+		t.Errorf("unknown class pred = %v, want global worst", p.PredT0)
+	}
+	if p.MarginFrac != 0.1 {
+		t.Errorf("margin = %v", p.MarginFrac)
+	}
+}
+
+func TestTableFromTraces(t *testing.T) {
+	traces := []core.JobTrace{
+		{Class: "a", Seconds: 1},
+		{Class: "a", Seconds: 3},
+		{Class: "b", Seconds: 2},
+	}
+	w := TableFromTraces(traces)
+	if w["a"] != 3 || w["b"] != 2 {
+		t.Errorf("table = %v", w)
+	}
+}
+
+func TestPIDTracksConstantLoad(t *testing.T) {
+	c := NewPID(DefaultPIDConfig(10e-3))
+	for i := 0; i < 50; i++ {
+		c.Observe(5e-3)
+	}
+	p := c.Plan(JobView{})
+	if math.Abs(p.PredT0-5e-3) > 0.2e-3 {
+		t.Errorf("PID prediction %v, want ~5ms on constant load", p.PredT0)
+	}
+}
+
+func TestPIDLagsBehindSpike(t *testing.T) {
+	// The paper's Figure 3: a one-job spike is mispredicted (the PID
+	// under-predicts the spike job and over-predicts the one after).
+	c := NewPID(DefaultPIDConfig(10e-3))
+	for i := 0; i < 30; i++ {
+		c.Observe(5e-3)
+	}
+	spikePred := c.Plan(JobView{}).PredT0
+	if spikePred > 6e-3 {
+		t.Fatalf("pre-spike prediction %v unexpectedly high", spikePred)
+	}
+	c.Observe(9e-3) // the spike
+	afterPred := c.Plan(JobView{}).PredT0
+	if afterPred <= spikePred {
+		t.Error("PID did not react after the spike")
+	}
+	// The spike itself was under-predicted by a wide margin.
+	if 9e-3-spikePred < 2e-3 {
+		t.Error("spike was not under-predicted (workload too easy)")
+	}
+}
+
+func TestPIDResetClearsState(t *testing.T) {
+	c := NewPID(DefaultPIDConfig(7e-3))
+	c.Observe(1e-3)
+	c.Observe(2e-3)
+	c.Reset()
+	if got := c.Plan(JobView{}).PredT0; got != 7e-3 {
+		t.Errorf("after reset pred = %v, want init", got)
+	}
+}
+
+func TestPIDNeverNegative(t *testing.T) {
+	c := NewPID(PIDConfig{Kp: 2, Ki: 1, Kd: 1, InitSeconds: 5e-3})
+	for i := 0; i < 20; i++ {
+		c.Observe(0)
+		if p := c.Plan(JobView{}).PredT0; p < 0 {
+			t.Fatalf("negative prediction %v", p)
+		}
+	}
+}
+
+func TestPredictivePlan(t *testing.T) {
+	c := NewPredictive(0.05, false)
+	p := c.Plan(JobView{PredSeconds: 4e-3, SliceSeconds: 0.3e-3})
+	if p.PredT0 != 4e-3 || p.SliceTime != 0.3e-3 {
+		t.Errorf("plan = %+v", p)
+	}
+	if p.MarginFrac != 0.05 || p.AllowBoost {
+		t.Errorf("plan = %+v", p)
+	}
+	if !p.ChargeSwitch {
+		t.Error("predictive must charge switching overheads")
+	}
+	cb := NewPredictive(0.05, true)
+	if !cb.Plan(JobView{}).AllowBoost {
+		t.Error("boost variant does not allow boost")
+	}
+	if cb.Name() != "prediction+boost" || c.Name() != "prediction" {
+		t.Error("names wrong")
+	}
+}
+
+func TestOraclePlan(t *testing.T) {
+	c := NewOracle()
+	p := c.Plan(JobView{ActualSeconds: 6e-3, PredSeconds: 1e-3})
+	if p.PredT0 != 6e-3 {
+		t.Errorf("oracle pred = %v, want actual", p.PredT0)
+	}
+	if p.ChargeSwitch || p.SliceTime != 0 || p.MarginFrac != 0 {
+		t.Errorf("oracle has overheads: %+v", p)
+	}
+}

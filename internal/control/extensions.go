@@ -1,0 +1,118 @@
+package control
+
+// Additional controllers referenced by the paper's related-work and
+// extension discussions: the interval-based governor Linux devfreq
+// ships for non-CPU devices (§2.4, §5.1), and a worst-case-execution-
+// time controller in the style of hard real-time DVFS (§5.1). Both are
+// baselines the paper argues against; implementing them makes the
+// argument reproducible.
+
+// intervalGovernor is a devfreq "ondemand"-style controller: it watches
+// the utilization of the previous interval (busy time over the period)
+// and steps the requested performance up or down. It has no notion of
+// per-job deadlines — which is exactly its failure mode on bursty
+// workloads.
+type intervalGovernor struct {
+	// upThreshold and downThreshold bound the target utilization band.
+	upThreshold, downThreshold float64
+	// period is the interval length (one job period here).
+	period float64
+	// perf is the current requested performance fraction of nominal,
+	// in (0, 1].
+	perf float64
+	// lastBusy is the previous interval's busy time.
+	lastBusy float64
+}
+
+// NewIntervalGovernor returns a devfreq-ondemand-style controller with
+// the kernel's default thresholds (90% up, 30% down) over the job
+// period.
+func NewIntervalGovernor(period float64) Controller {
+	return &intervalGovernor{
+		upThreshold:   0.90,
+		downThreshold: 0.30,
+		period:        period,
+		perf:          1.0,
+	}
+}
+
+func (g *intervalGovernor) Name() string { return "interval" }
+
+func (g *intervalGovernor) Plan(JobView) Plan {
+	// Requesting perf fraction p is equivalent to predicting that the
+	// job needs p of the period at nominal speed.
+	return Plan{
+		PredT0:       g.perf * g.period,
+		ChargeSwitch: true,
+	}
+}
+
+func (g *intervalGovernor) Observe(actual float64) {
+	// Utilization of the elapsed interval at the current performance:
+	// busy = actual / perf (the job ran slower at reduced performance).
+	busy := actual / g.perf
+	util := busy / g.period
+	if util > 1 {
+		util = 1
+	}
+	switch {
+	case util >= g.upThreshold:
+		g.perf = 1.0 // jump to max, like ondemand
+	case util < g.downThreshold:
+		// Step down proportionally to the headroom.
+		g.perf *= 0.8
+		if g.perf < 0.2 {
+			g.perf = 0.2
+		}
+	}
+	g.lastBusy = busy
+}
+
+func (g *intervalGovernor) Reset() {
+	g.perf = 1.0
+	g.lastBusy = 0
+}
+
+// wcet is a worst-case-execution-time controller: it runs every job at
+// the level that would fit the *analysed worst case* (§5.1's hard
+// real-time approach). It never misses, and never exploits per-job
+// slack.
+type wcet struct {
+	worst  float64
+	margin float64
+}
+
+// NewWCET returns the worst-case controller. worst is the analysed
+// worst-case execution time at nominal frequency (here: the training
+// maximum, inflated by the analysis margin).
+func NewWCET(worst, margin float64) Controller {
+	return &wcet{worst: worst, margin: margin}
+}
+
+func (w *wcet) Name() string { return "wcet" }
+
+func (w *wcet) Plan(JobView) Plan {
+	return Plan{PredT0: w.worst, MarginFrac: w.margin, ChargeSwitch: true}
+}
+
+func (w *wcet) Observe(actual float64) {
+	// A sound WCET bound dominates every observation; ratchet if the
+	// analysis was optimistic so the guarantee is preserved.
+	if actual > w.worst {
+		w.worst = actual
+	}
+}
+
+func (w *wcet) Reset() {}
+
+// WorstFromTraces extracts the maximum execution time of a trace set —
+// the "static analysis result" our WCET controller consumes.
+func WorstFromTraces(seconds []float64) float64 {
+	worst := 0.0
+	for _, s := range seconds {
+		if s > worst {
+			worst = s
+		}
+	}
+	return worst
+}

@@ -1,0 +1,101 @@
+package control
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntervalGovernorStartsAtMax(t *testing.T) {
+	g := NewIntervalGovernor(16.7e-3)
+	p := g.Plan(JobView{})
+	if math.Abs(p.PredT0-16.7e-3) > 1e-12 {
+		t.Errorf("initial demand %v, want full period", p.PredT0)
+	}
+	if !p.ChargeSwitch {
+		t.Error("governor must charge switching overheads")
+	}
+	if g.Name() != "interval" {
+		t.Errorf("name = %s", g.Name())
+	}
+}
+
+func TestIntervalGovernorStepsDownWhenIdle(t *testing.T) {
+	g := NewIntervalGovernor(16.7e-3)
+	// Short jobs: utilization far below the down threshold.
+	for i := 0; i < 10; i++ {
+		g.Observe(1e-3)
+	}
+	p := g.Plan(JobView{})
+	if p.PredT0 >= 16.7e-3 {
+		t.Errorf("governor did not step down: demand %v", p.PredT0)
+	}
+	// The floor prevents collapse to zero performance.
+	for i := 0; i < 100; i++ {
+		g.Observe(0.01e-3)
+	}
+	if got := g.Plan(JobView{}).PredT0; got < 0.19*16.7e-3 {
+		t.Errorf("performance collapsed below floor: %v", got)
+	}
+}
+
+func TestIntervalGovernorJumpsToMaxOnSaturation(t *testing.T) {
+	g := NewIntervalGovernor(16.7e-3)
+	for i := 0; i < 10; i++ {
+		g.Observe(1e-3) // drive it down
+	}
+	low := g.Plan(JobView{}).PredT0
+	g.Observe(15.5e-3) // saturated interval
+	high := g.Plan(JobView{}).PredT0
+	if high <= low {
+		t.Errorf("no ondemand jump: %v -> %v", low, high)
+	}
+	if math.Abs(high-16.7e-3) > 1e-9 {
+		t.Errorf("saturation should request max, got %v", high)
+	}
+}
+
+func TestIntervalGovernorReset(t *testing.T) {
+	g := NewIntervalGovernor(10e-3)
+	for i := 0; i < 5; i++ {
+		g.Observe(0.5e-3)
+	}
+	g.Reset()
+	if got := g.Plan(JobView{}).PredT0; math.Abs(got-10e-3) > 1e-12 {
+		t.Errorf("reset did not restore max performance: %v", got)
+	}
+}
+
+func TestWCETPlansWorstCaseAlways(t *testing.T) {
+	w := NewWCET(12e-3, 0.1)
+	for _, actual := range []float64{1e-3, 5e-3, 12e-3} {
+		p := w.Plan(JobView{ActualSeconds: actual})
+		if p.PredT0 != 12e-3 {
+			t.Errorf("wcet plan %v, want the bound", p.PredT0)
+		}
+		w.Observe(actual)
+	}
+	if w.Name() != "wcet" {
+		t.Errorf("name = %s", w.Name())
+	}
+}
+
+func TestWCETRatchets(t *testing.T) {
+	w := NewWCET(5e-3, 0)
+	w.Observe(9e-3) // the bound was beaten: tighten it
+	if got := w.Plan(JobView{}).PredT0; got != 9e-3 {
+		t.Errorf("wcet did not ratchet: %v", got)
+	}
+	w.Reset() // reset must not weaken a sound bound
+	if got := w.Plan(JobView{}).PredT0; got != 9e-3 {
+		t.Errorf("reset weakened the bound: %v", got)
+	}
+}
+
+func TestWorstFromTraces(t *testing.T) {
+	if got := WorstFromTraces([]float64{1, 9, 3}); got != 9 {
+		t.Errorf("worst = %v", got)
+	}
+	if got := WorstFromTraces(nil); got != 0 {
+		t.Errorf("empty worst = %v", got)
+	}
+}

@@ -1,0 +1,262 @@
+// Package core implements the paper's central contribution: an
+// automated flow that, given an accelerator netlist and a training
+// workload, produces an execution-time predictor consisting of
+//
+//  1. an instrumented design whose FSM/counter features are recorded in
+//     witness registers (§3.2–§3.3),
+//  2. a sparse linear model mapping features to execution time, trained
+//     with the asymmetric Lasso objective (§3.4),
+//  3. a hardware slice that computes exactly the model's selected
+//     features in a fraction of the accelerator's time and area (§3.5).
+//
+// The Predictor produced here is what the DVFS controller of package
+// control consults before each job (§3.6): run the slice on the job's
+// input, evaluate the dot product, choose the lowest safe DVFS level.
+//
+// Everything is automatic: no stage receives benchmark-specific
+// knowledge beyond the netlist and the job bytes.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/instrument"
+	"repro/internal/model"
+	"repro/internal/rtl"
+	"repro/internal/slice"
+)
+
+// Options configures Train.
+type Options struct {
+	// Seed drives workload generation when TrainJobs is nil.
+	Seed int64
+	// TrainJobs overrides the spec's training workload.
+	TrainJobs []accel.Job
+	// Model holds solver hyper-parameters; zero value = defaults.
+	Model model.Config
+	// Gammas overrides the γ path for sparsity selection.
+	Gammas []float64
+	// Slice holds slicing options; zero value = DefaultOptions.
+	Slice *slice.Options
+}
+
+// Predictor is a trained execution-time predictor for one accelerator.
+type Predictor struct {
+	// Spec is the accelerator this predictor was trained for.
+	Spec accel.Spec
+	// Ins is the instrumented full design (used for evaluation and for
+	// collecting ground truth).
+	Ins *instrument.Instrumented
+	// Model maps full feature vectors to execution seconds at nominal
+	// frequency.
+	Model *model.Predictor
+	// Gamma is the selected L1 weight.
+	Gamma float64
+	// Kept lists the feature indices with non-zero coefficients — the
+	// features the hardware slice must compute.
+	Kept []int
+	// Slice is the generated hardware slice.
+	Slice *slice.Result
+	// TrainErr summarizes accuracy on the training set.
+	TrainErr model.Errors
+
+	fullSim  *rtl.Sim
+	sliceSim *rtl.Sim
+}
+
+// Train runs the full offline flow of Figure 6 for one accelerator.
+func Train(spec accel.Spec, opt Options) (*Predictor, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m := spec.Build()
+	ins, err := instrument.Instrument(m)
+	if err != nil {
+		return nil, fmt.Errorf("core: instrument %s: %w", spec.Name, err)
+	}
+	jobs := opt.TrainJobs
+	if jobs == nil {
+		jobs = spec.TrainJobs(opt.Seed)
+	}
+	if len(jobs) < 8 {
+		return nil, fmt.Errorf("core: %s: %d training jobs is too few", spec.Name, len(jobs))
+	}
+
+	// RTL simulation of the training set: features + execution time.
+	sim := rtl.NewSim(ins.M)
+	X := make([][]float64, 0, len(jobs))
+	y := make([]float64, 0, len(jobs))
+	for i, job := range jobs {
+		ticks, err := accel.RunJob(sim, job, spec.MaxTicks)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s train job %d: %w", spec.Name, i, err)
+		}
+		X = append(X, ins.ReadFeatures(sim))
+		y = append(y, spec.Seconds(ticks))
+	}
+
+	cfg := opt.Model
+	if cfg.Alpha == 0 {
+		cfg = model.DefaultConfig()
+	}
+	p, gamma, err := model.SelectGamma(X, y, 0.25, cfg, opt.Gammas)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", spec.Name, err)
+	}
+	kept := p.NonZero()
+	if len(kept) == 0 {
+		// Constant-time accelerator: the model is its intercept. The
+		// slice still needs one witness so the flow stays uniform; keep
+		// the cheapest (first) feature.
+		kept = []int{0}
+	}
+
+	so := slice.DefaultOptions()
+	if opt.Slice != nil {
+		so = *opt.Slice
+	}
+	sl, err := slice.Slice(ins, kept, so)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", spec.Name, err)
+	}
+
+	pred := &Predictor{
+		Spec:     spec,
+		Ins:      ins,
+		Model:    p,
+		Gamma:    gamma,
+		Kept:     kept,
+		Slice:    sl,
+		TrainErr: model.Evaluate(p, X, y),
+		fullSim:  sim,
+		sliceSim: rtl.NewSim(sl.M),
+	}
+	return pred, nil
+}
+
+// PredictFromSlice evaluates the model given the slice's feature values
+// (aligned with Kept). This is the runtime dot product of §3.4.
+func (p *Predictor) PredictFromSlice(sliceFeats []float64) float64 {
+	yhat := p.Model.Intercept
+	for i, k := range p.Kept {
+		yhat += p.Model.Coef[k] * sliceFeats[i]
+	}
+	return yhat
+}
+
+// JobTrace records one test job's ground truth and predictor outputs.
+// Controllers and experiments replay traces: cycle counts are
+// frequency-independent (T = C/f, §3.6), so each job's RTL simulation
+// runs once no matter how many schemes and deadlines are evaluated.
+type JobTrace struct {
+	// Ticks and Seconds are the full design's execution at nominal.
+	Ticks   uint64
+	Seconds float64
+	// Cycles is Ticks scaled to hardware cycles.
+	Cycles float64
+	// PredSeconds is the slice-driven model prediction of Seconds.
+	PredSeconds float64
+	// SliceTicks and SliceSeconds are the slice's own execution time.
+	SliceTicks   uint64
+	SliceSeconds float64
+	// SliceFeatures are the kept features' values (aligned with
+	// Predictor.Kept); equal to the full design's values by the slicing
+	// invariant.
+	SliceFeatures []float64
+	// Items is the job's work-item count, read as the largest counter
+	// initialization count (IC) across all instrumented features — the
+	// number of iterations any feature-computing loop must make. Used
+	// by the HLS slicing extension's cost model (§4.5).
+	Items float64
+	// Class is the job's coarse parameter (for table-based control).
+	Class string
+}
+
+// CollectTraces runs each job on both the instrumented design and the
+// slice, returning per-job traces.
+func (p *Predictor) CollectTraces(jobs []accel.Job) ([]JobTrace, error) {
+	traces := make([]JobTrace, 0, len(jobs))
+	for i, job := range jobs {
+		ticks, err := accel.RunJob(p.fullSim, job, p.Spec.MaxTicks)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s job %d: %w", p.Spec.Name, i, err)
+		}
+		sliceTicks, err := accel.RunJob(p.sliceSim, job, p.Spec.MaxTicks)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s slice job %d: %w", p.Spec.Name, i, err)
+		}
+		sliceFeats := p.Slice.ReadFeatures(p.sliceSim)
+		fullFeats := p.Ins.ReadFeatures(p.fullSim)
+		var items float64
+		for fi, f := range p.Ins.Features {
+			if f.Kind == instrument.IC && fullFeats[fi] > items {
+				items = fullFeats[fi]
+			}
+		}
+		traces = append(traces, JobTrace{
+			Items:         items,
+			Ticks:         ticks,
+			Seconds:       p.Spec.Seconds(ticks),
+			Cycles:        p.Spec.Cycles(ticks),
+			PredSeconds:   p.PredFromSliceOrFloor(sliceFeats),
+			SliceTicks:    sliceTicks,
+			SliceSeconds:  p.Spec.Seconds(sliceTicks),
+			SliceFeatures: sliceFeats,
+			Class:         job.Class,
+		})
+	}
+	return traces, nil
+}
+
+// PredFromSliceOrFloor clamps predictions at a small positive floor so
+// downstream frequency demands stay meaningful.
+func (p *Predictor) PredFromSliceOrFloor(sliceFeats []float64) float64 {
+	yhat := p.PredictFromSlice(sliceFeats)
+	if yhat < 1e-6 {
+		yhat = 1e-6
+	}
+	return yhat
+}
+
+// EvaluateTest computes prediction-error statistics over test jobs,
+// comparing slice-driven predictions against full-design ground truth
+// (the data behind the paper's Figure 10).
+func (p *Predictor) EvaluateTest(jobs []accel.Job) (model.Errors, error) {
+	traces, err := p.CollectTraces(jobs)
+	if err != nil {
+		return model.Errors{}, err
+	}
+	return TraceErrors(traces), nil
+}
+
+// TraceErrors derives error statistics from collected traces.
+func TraceErrors(traces []JobTrace) model.Errors {
+	X := make([][]float64, len(traces))
+	y := make([]float64, len(traces))
+	for i, t := range traces {
+		X[i] = []float64{t.PredSeconds}
+		y[i] = t.Seconds
+	}
+	ident := &model.Predictor{Coef: []float64{1}}
+	return model.Evaluate(ident, X, y)
+}
+
+// FeatureNames returns the names of the kept features.
+func (p *Predictor) FeatureNames() []string {
+	names := make([]string, len(p.Kept))
+	all := p.Ins.Names()
+	for i, k := range p.Kept {
+		names[i] = all[k]
+	}
+	return names
+}
+
+// Report renders a human-readable training summary.
+func (p *Predictor) Report() string {
+	return fmt.Sprintf(
+		"%s: %d features detected, %d kept (gamma=%.3g)\n%s  train error: median %+.2f%%, worst under %+.2f%%, worst over %+.2f%%\n",
+		p.Spec.Name, len(p.Ins.Features), len(p.Kept), p.Gamma,
+		p.Model.Report(p.Ins.Names()),
+		100*p.TrainErr.Median, 100*p.TrainErr.WorstUnder, 100*p.TrainErr.WorstOver)
+}

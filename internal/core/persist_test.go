@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/accel/md"
+	"repro/internal/accel/stencil"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	spec := md.Spec()
+	orig, err := Train(spec, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := orig.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"benchmark": "md"`) {
+		t.Errorf("saved form missing benchmark:\n%s", data)
+	}
+	loaded, err := Load(data, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions must be identical on fresh test jobs.
+	jobs := spec.TestJobs(4)[:25]
+	trOrig, err := orig.CollectTraces(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trLoaded, err := loaded.CollectTraces(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range trOrig {
+		if math.Abs(trOrig[i].PredSeconds-trLoaded[i].PredSeconds) > 1e-15 {
+			t.Errorf("job %d: prediction %v vs %v after reload",
+				i, trOrig[i].PredSeconds, trLoaded[i].PredSeconds)
+		}
+		if trOrig[i].SliceTicks != trLoaded[i].SliceTicks {
+			t.Errorf("job %d: slice ticks differ after reload", i)
+		}
+	}
+}
+
+func TestLoadRejectsMismatches(t *testing.T) {
+	spec := md.Spec()
+	p, err := Train(spec, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := p.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong benchmark.
+	if _, err := Load(data, stencil.Spec()); err == nil {
+		t.Error("model for md loaded into stencil spec")
+	}
+	// Corrupt JSON.
+	if _, err := Load([]byte("{nope"), spec); err == nil {
+		t.Error("corrupt JSON accepted")
+	}
+	// Unknown feature name.
+	bad := strings.Replace(string(data), "aiv:", "aiv:gone_", 1)
+	if bad == string(data) {
+		t.Skip("model kept no aiv features to corrupt")
+	}
+	if _, err := Load([]byte(bad), spec); err == nil {
+		t.Error("unknown feature accepted")
+	}
+}

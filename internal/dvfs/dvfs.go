@@ -1,0 +1,195 @@
+// Package dvfs models dynamic voltage and frequency scaling for
+// accelerators: the voltage-frequency relationship, discrete operating
+// points, and the level-selection rule of the paper's §3.6:
+//
+//	f = ⌈ f0·(T0 + Tmargin) / (Tbudget − Tslice − TDVFS) ⌉
+//
+// where ⌈·⌉ rounds up to the next discrete frequency level.
+//
+// The paper characterizes voltage-to-frequency with SPICE simulations of
+// an FO4-loaded inverter chain; with no circuit simulator available we
+// substitute the standard alpha-power-law MOSFET delay model
+// (Sakurai–Newton), which produces the same monotone, concave f(V)
+// shape: f(V) ∝ (V − Vt)^a / V, normalized so f(Vnominal) = f0.
+package dvfs
+
+import (
+	"fmt"
+	"math"
+)
+
+// OperatingPoint is one voltage/frequency pair of a device.
+type OperatingPoint struct {
+	// V is the supply voltage in volts.
+	V float64
+	// Freq is the clock frequency in hertz at this voltage.
+	Freq float64
+}
+
+// Device is a DVFS-capable accelerator power domain: an ascending table
+// of operating points plus switching overhead.
+type Device struct {
+	// Name labels the profile ("asic", "fpga").
+	Name string
+	// Points are operating points in ascending voltage order. The
+	// nominal point is the highest non-boost point.
+	Points []OperatingPoint
+	// Nominal indexes the nominal (synthesis) operating point.
+	Nominal int
+	// Boost indexes an above-nominal emergency point, or -1. The boost
+	// level is only used when the remaining budget is infeasible at the
+	// nominal frequency (§4.3, Figure 14).
+	Boost int
+	// SwitchTime is the voltage/frequency transition time in seconds.
+	SwitchTime float64
+}
+
+// vf computes the alpha-power-law frequency at voltage v, scaled so
+// that vf(vnom) == fnom.
+func vf(v, vnom, fnom, vt, alpha float64) float64 {
+	shape := func(x float64) float64 {
+		if x <= vt {
+			return 0
+		}
+		return math.Pow(x-vt, alpha) / x
+	}
+	return fnom * shape(v) / shape(vnom)
+}
+
+// asicVt and asicAlpha characterize the 65 nm-class ASIC profile; the
+// resulting frequency span over 1.0 → 0.625 V is ≈ 1.9×, matching
+// published FO4 characterizations of that node.
+const (
+	asicVt    = 0.35
+	asicAlpha = 1.3
+	// fpga parameters give the flatter curve reported for 28 nm FPGA
+	// fabric in the paper's FPGA reference.
+	fpgaVt    = 0.40
+	fpgaAlpha = 1.1
+)
+
+// switchTime is the paper's conservative 100 µs DVFS transition time
+// (off-chip regulator plus driver overhead).
+const switchTime = 100e-6
+
+// ASIC builds the paper's ASIC profile: six equally spaced voltage
+// levels from 0.625 V to 1.0 V (§4.2), nominal at 1.0 V. If withBoost,
+// a 1.08 V boost point is appended (Figure 14).
+func ASIC(nominalHz float64, withBoost bool) *Device {
+	d := &Device{Name: "asic", Boost: -1, SwitchTime: switchTime}
+	const n = 6
+	for i := 0; i < n; i++ {
+		v := 0.625 + (1.0-0.625)*float64(i)/float64(n-1)
+		d.Points = append(d.Points, OperatingPoint{V: v, Freq: vf(v, 1.0, nominalHz, asicVt, asicAlpha)})
+	}
+	d.Nominal = n - 1
+	if withBoost {
+		v := 1.08
+		d.Points = append(d.Points, OperatingPoint{V: v, Freq: vf(v, 1.0, nominalHz, asicVt, asicAlpha)})
+		d.Boost = n
+	}
+	return d
+}
+
+// FPGA builds the FPGA profile: seven equally spaced voltage levels
+// from 0.7 V to 1.0 V (§4.2).
+func FPGA(nominalHz float64) *Device {
+	d := &Device{Name: "fpga", Boost: -1, SwitchTime: switchTime}
+	const n = 7
+	for i := 0; i < n; i++ {
+		v := 0.7 + (1.0-0.7)*float64(i)/float64(n-1)
+		d.Points = append(d.Points, OperatingPoint{V: v, Freq: vf(v, 1.0, nominalHz, fpgaVt, fpgaAlpha)})
+	}
+	d.Nominal = n - 1
+	return d
+}
+
+// NominalFreq returns the nominal operating frequency in hertz.
+func (d *Device) NominalFreq() float64 { return d.Points[d.Nominal].Freq }
+
+// Validate checks profile invariants.
+func (d *Device) Validate() error {
+	if len(d.Points) == 0 {
+		return fmt.Errorf("dvfs: device %s has no operating points", d.Name)
+	}
+	for i := 1; i < len(d.Points); i++ {
+		if d.Points[i].V <= d.Points[i-1].V || d.Points[i].Freq <= d.Points[i-1].Freq {
+			return fmt.Errorf("dvfs: device %s points not strictly ascending at %d", d.Name, i)
+		}
+	}
+	if d.Nominal < 0 || d.Nominal >= len(d.Points) {
+		return fmt.Errorf("dvfs: device %s nominal index out of range", d.Name)
+	}
+	if d.Boost >= 0 && d.Boost <= d.Nominal {
+		return fmt.Errorf("dvfs: device %s boost must lie above nominal", d.Name)
+	}
+	return nil
+}
+
+// Request carries the inputs to level selection for one job.
+type Request struct {
+	// PredictedT0 is the predicted execution time at nominal frequency,
+	// in seconds.
+	PredictedT0 float64
+	// Margin is the safety margin added to the prediction, in seconds.
+	Margin float64
+	// Budget is the time remaining until the job's deadline, in seconds.
+	Budget float64
+	// SliceTime is the predictor execution time to subtract, in seconds.
+	SliceTime float64
+	// SwitchTime is the DVFS transition time to subtract, in seconds.
+	SwitchTime float64
+	// AllowBoost permits selecting the boost point when the budget is
+	// infeasible at nominal frequency.
+	AllowBoost bool
+}
+
+// Decision is the result of level selection.
+type Decision struct {
+	// Level indexes Device.Points.
+	Level int
+	// RequiredFreq is the unrounded frequency demand in hertz.
+	RequiredFreq float64
+	// Feasible is false when even the highest permitted level cannot
+	// meet the budget (the job is predicted to miss its deadline).
+	Feasible bool
+}
+
+// Select implements §3.6: compute the required frequency and round up
+// to the lowest operating point that satisfies it. Non-boost points are
+// preferred; the boost point is used only when allowed and needed.
+func (d *Device) Select(r Request) Decision {
+	avail := r.Budget - r.SliceTime - r.SwitchTime
+	f0 := d.NominalFreq()
+	if avail <= 0 {
+		// No budget left: run as fast as permitted and report infeasible.
+		lvl := d.Nominal
+		if r.AllowBoost && d.Boost >= 0 {
+			lvl = d.Boost
+		}
+		return Decision{Level: lvl, RequiredFreq: math.Inf(1), Feasible: false}
+	}
+	need := f0 * (r.PredictedT0 + r.Margin) / avail
+	for i, pt := range d.Points {
+		if d.Boost >= 0 && i == d.Boost {
+			continue // boost handled below
+		}
+		if pt.Freq >= need {
+			return Decision{Level: i, RequiredFreq: need, Feasible: true}
+		}
+	}
+	if r.AllowBoost && d.Boost >= 0 && d.Points[d.Boost].Freq >= need {
+		return Decision{Level: d.Boost, RequiredFreq: need, Feasible: true}
+	}
+	lvl := d.Nominal
+	if r.AllowBoost && d.Boost >= 0 {
+		lvl = d.Boost
+	}
+	return Decision{Level: lvl, RequiredFreq: need, Feasible: false}
+}
+
+// ExecTime converts a cycle count at the given level to seconds, per the
+// paper's compute-bound model T = C/f (§3.6, Tmemory ≈ 0).
+func (d *Device) ExecTime(cycles float64, level int) float64 {
+	return cycles / d.Points[level].Freq
+}

@@ -1,0 +1,211 @@
+package dvfs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestASICProfileShape(t *testing.T) {
+	d := ASIC(250e6, false)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Points) != 6 {
+		t.Fatalf("points = %d, want 6", len(d.Points))
+	}
+	if d.Points[0].V != 0.625 || d.Points[5].V != 1.0 {
+		t.Errorf("voltage span = [%v, %v], want [0.625, 1.0]", d.Points[0].V, d.Points[5].V)
+	}
+	if got := d.NominalFreq(); math.Abs(got-250e6) > 1 {
+		t.Errorf("nominal freq = %v, want 250MHz", got)
+	}
+	// The low end of the curve should be roughly half the nominal
+	// frequency, like published FO4 chains at this node.
+	ratio := d.Points[0].Freq / d.NominalFreq()
+	if ratio < 0.35 || ratio > 0.65 {
+		t.Errorf("min/nominal freq ratio = %v, want ~0.5", ratio)
+	}
+	if d.Boost != -1 {
+		t.Error("no-boost profile has boost point")
+	}
+}
+
+func TestASICBoost(t *testing.T) {
+	d := ASIC(500e6, true)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Boost != 6 || len(d.Points) != 7 {
+		t.Fatalf("boost index = %d, points = %d", d.Boost, len(d.Points))
+	}
+	if d.Points[d.Boost].V != 1.08 {
+		t.Errorf("boost voltage = %v, want 1.08", d.Points[d.Boost].V)
+	}
+	if d.Points[d.Boost].Freq <= d.NominalFreq() {
+		t.Error("boost frequency not above nominal")
+	}
+}
+
+func TestFPGAProfileShape(t *testing.T) {
+	d := FPGA(150e6)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Points) != 7 {
+		t.Fatalf("points = %d, want 7", len(d.Points))
+	}
+	if d.Points[0].V != 0.7 || d.Points[6].V != 1.0 {
+		t.Errorf("voltage span = [%v, %v], want [0.7, 1.0]", d.Points[0].V, d.Points[6].V)
+	}
+}
+
+func TestVFMonotone(t *testing.T) {
+	f := func(raw uint16) bool {
+		v1 := 0.5 + float64(raw%400)/1000.0  // 0.5 .. 0.9
+		v2 := v1 + 0.01 + float64(raw%7)/100 // strictly above v1
+		return vf(v2, 1.0, 1e9, asicVt, asicAlpha) > vf(v1, 1.0, 1e9, asicVt, asicAlpha)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVFBelowThresholdIsZero(t *testing.T) {
+	if got := vf(0.3, 1.0, 1e9, asicVt, asicAlpha); got != 0 {
+		t.Errorf("f below Vt = %v, want 0", got)
+	}
+}
+
+func TestSelectPicksLowestSufficientLevel(t *testing.T) {
+	d := ASIC(250e6, false)
+	// Predicted 4 ms of a 16.7 ms budget: required ratio ≈ 0.25, below
+	// the minimum point, so the lowest level is chosen.
+	dec := d.Select(Request{PredictedT0: 4e-3, Budget: 16.7e-3})
+	if !dec.Feasible || dec.Level != 0 {
+		t.Errorf("decision = %+v, want level 0 feasible", dec)
+	}
+	// Predicted 12 ms: required ratio ≈ 0.72 → a middle level.
+	dec = d.Select(Request{PredictedT0: 12e-3, Budget: 16.7e-3})
+	if !dec.Feasible {
+		t.Fatalf("decision infeasible: %+v", dec)
+	}
+	if dec.Level == 0 || dec.Level == d.Nominal {
+		t.Errorf("level = %d, want a middle level", dec.Level)
+	}
+	// Chosen level satisfies the demand; the one below does not.
+	if d.Points[dec.Level].Freq < dec.RequiredFreq {
+		t.Error("selected level below required frequency")
+	}
+	if dec.Level > 0 && d.Points[dec.Level-1].Freq >= dec.RequiredFreq {
+		t.Error("a lower level would have sufficed")
+	}
+}
+
+func TestSelectInfeasibleWithoutBoost(t *testing.T) {
+	d := ASIC(250e6, false)
+	dec := d.Select(Request{PredictedT0: 20e-3, Budget: 16.7e-3})
+	if dec.Feasible {
+		t.Error("infeasible request reported feasible")
+	}
+	if dec.Level != d.Nominal {
+		t.Errorf("infeasible level = %d, want nominal %d", dec.Level, d.Nominal)
+	}
+}
+
+func TestSelectUsesBoostOnlyWhenNeeded(t *testing.T) {
+	d := ASIC(250e6, true)
+	// Feasible at nominal: boost must not be chosen.
+	dec := d.Select(Request{PredictedT0: 15e-3, Budget: 16.7e-3, AllowBoost: true})
+	if !dec.Feasible || dec.Level == d.Boost {
+		t.Errorf("boost chosen unnecessarily: %+v", dec)
+	}
+	// Slightly beyond nominal capability but within boost.
+	t0 := 16.7e-3 * 1.03
+	dec = d.Select(Request{PredictedT0: t0, Budget: 16.7e-3, AllowBoost: true})
+	if !dec.Feasible || dec.Level != d.Boost {
+		t.Errorf("boost not used when needed: %+v", dec)
+	}
+	// Without AllowBoost the same request is infeasible.
+	dec = d.Select(Request{PredictedT0: t0, Budget: 16.7e-3})
+	if dec.Feasible {
+		t.Error("request feasible without boost permission")
+	}
+}
+
+func TestSelectAccountsForOverheads(t *testing.T) {
+	d := ASIC(250e6, false)
+	base := Request{PredictedT0: 8e-3, Budget: 16.7e-3}
+	noOv := d.Select(base)
+	withOv := base
+	withOv.SliceTime = 0.5e-3
+	withOv.SwitchTime = 100e-6
+	withOv.Margin = 0.4e-3
+	ov := d.Select(withOv)
+	if ov.RequiredFreq <= noOv.RequiredFreq {
+		t.Error("overheads did not raise the frequency demand")
+	}
+	if ov.Level < noOv.Level {
+		t.Error("overheads lowered the level")
+	}
+}
+
+func TestSelectZeroBudget(t *testing.T) {
+	d := ASIC(250e6, true)
+	dec := d.Select(Request{PredictedT0: 1e-3, Budget: 0.1e-3, SliceTime: 0.2e-3, AllowBoost: true})
+	if dec.Feasible {
+		t.Error("negative available budget reported feasible")
+	}
+	if dec.Level != d.Boost {
+		t.Errorf("exhausted budget should run at boost, got level %d", dec.Level)
+	}
+}
+
+func TestSelectMonotoneInPrediction(t *testing.T) {
+	d := ASIC(602e6, false)
+	f := func(raw uint16) bool {
+		t1 := float64(raw%1500) * 1e-5 // 0 .. 15 ms
+		t2 := t1 + 1e-3
+		d1 := d.Select(Request{PredictedT0: t1, Budget: 16.7e-3})
+		d2 := d.Select(Request{PredictedT0: t2, Budget: 16.7e-3})
+		return d2.Level >= d1.Level
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExecTime(t *testing.T) {
+	d := ASIC(250e6, false)
+	cycles := 2.5e6
+	if got := d.ExecTime(cycles, d.Nominal); math.Abs(got-10e-3) > 1e-9 {
+		t.Errorf("exec time at nominal = %v, want 10ms", got)
+	}
+	if d.ExecTime(cycles, 0) <= d.ExecTime(cycles, d.Nominal) {
+		t.Error("execution at the lowest level not slower than nominal")
+	}
+}
+
+func TestValidateCatchesBadDevices(t *testing.T) {
+	bad := &Device{Name: "bad"}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty device validated")
+	}
+	bad = &Device{
+		Name:    "bad2",
+		Points:  []OperatingPoint{{V: 1, Freq: 100}, {V: 0.9, Freq: 90}},
+		Nominal: 0,
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("descending points validated")
+	}
+	bad = &Device{
+		Name:    "bad3",
+		Points:  []OperatingPoint{{V: 0.9, Freq: 90}, {V: 1, Freq: 100}},
+		Nominal: 1,
+		Boost:   0,
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("boost below nominal validated")
+	}
+}

@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders data series as ASCII line plots so cmd/dvfsim output
+// resembles the paper's figures, not just its tables.
+
+// chartHeight and chartWidth bound the plotting canvas.
+const (
+	chartHeight = 14
+	chartWidth  = 100
+)
+
+// RenderChart draws one or more series on a shared y-axis. Series
+// longer than the canvas are downsampled by striding; marks cycle
+// through a per-series glyph.
+func RenderChart(title, yLabel string, series []Series) string {
+	if len(series) == 0 {
+		return ""
+	}
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v < minY {
+				minY = v
+			}
+			if v > maxY {
+				maxY = v
+			}
+		}
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	if maxLen == 0 || math.IsInf(minY, 1) {
+		return ""
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	width := maxLen
+	if width > chartWidth {
+		width = chartWidth
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#'}
+	grid := make([][]byte, chartHeight)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for c := 0; c < width; c++ {
+			idx := c * len(s.Values) / width
+			if idx >= len(s.Values) {
+				break
+			}
+			v := s.Values[idx]
+			row := int((maxY - v) / (maxY - minY) * float64(chartHeight-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= chartHeight {
+				row = chartHeight - 1
+			}
+			grid[row][c] = g
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "-- %s --\n", title)
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.2f ", maxY)
+		case chartHeight - 1:
+			label = fmt.Sprintf("%7.2f ", minY)
+		case chartHeight / 2:
+			label = fmt.Sprintf("%7.2f ", (maxY+minY)/2)
+		}
+		sb.WriteString(label)
+		sb.WriteString("|")
+		sb.Write(line)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("        +")
+	sb.WriteString(strings.Repeat("-", width))
+	sb.WriteByte('\n')
+	sb.WriteString("        ")
+	for si, s := range series {
+		fmt.Fprintf(&sb, " %c %s", glyphs[si%len(glyphs)], s.Name)
+	}
+	fmt.Fprintf(&sb, "   (y: %s, x: job index)\n", yLabel)
+	return sb.String()
+}
+
+// CSV renders a table as comma-separated values (quoting cells that
+// contain commas or quotes).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			sb.WriteString(c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}

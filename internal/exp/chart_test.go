@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderChartBasics(t *testing.T) {
+	s := []Series{
+		{Name: "a", Values: []float64{1, 2, 3, 4, 5}},
+		{Name: "b", Values: []float64{5, 4, 3, 2, 1}},
+	}
+	out := RenderChart("title", "ms", s)
+	if !strings.Contains(out, "title") || !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Errorf("chart missing elements:\n%s", out)
+	}
+	if !strings.Contains(out, "5.00") || !strings.Contains(out, "1.00") {
+		t.Errorf("chart missing y labels:\n%s", out)
+	}
+}
+
+func TestRenderChartDegenerateInputs(t *testing.T) {
+	if out := RenderChart("t", "y", nil); out != "" {
+		t.Error("empty series should render nothing")
+	}
+	if out := RenderChart("t", "y", []Series{{Name: "e"}}); out != "" {
+		t.Error("series with no values should render nothing")
+	}
+	// Constant series must not divide by zero.
+	out := RenderChart("t", "y", []Series{{Name: "c", Values: []float64{7, 7, 7}}})
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Errorf("constant series render broken:\n%s", out)
+	}
+}
+
+func TestRenderChartDownsamplesLongSeries(t *testing.T) {
+	vals := make([]float64, 5000)
+	for i := range vals {
+		vals[i] = float64(i % 50)
+	}
+	out := RenderChart("t", "y", []Series{{Name: "long", Values: vals}})
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > chartWidth+20 {
+			t.Errorf("line too long (%d): %q", len(line), line[:40])
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{
+		ID:     "x",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "two, quoted \"q\""}},
+	}
+	csv := tab.CSV()
+	want := "a,b\n1,\"two, quoted \"\"q\"\"\"\n"
+	if csv != want {
+		t.Errorf("csv = %q, want %q", csv, want)
+	}
+}
+
+func TestChartForFigures(t *testing.T) {
+	l := quickLab(t)
+	for _, id := range []string{"fig2", "fig3"} {
+		out, err := Chart(l, id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if out == "" {
+			t.Errorf("%s produced no chart", id)
+		}
+	}
+	out, err := Chart(l, "table3")
+	if err != nil || out != "" {
+		t.Error("tabular experiment produced a chart")
+	}
+}

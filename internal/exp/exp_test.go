@@ -1,0 +1,582 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLab is trained once (quick mode) and reused by all experiment
+// tests; experiments only replay cached traces, so sharing is safe.
+var (
+	labOnce   sync.Once
+	sharedLab *Lab
+)
+
+func quickLab(t *testing.T) *Lab {
+	t.Helper()
+	labOnce.Do(func() {
+		sharedLab = NewLab(42)
+		sharedLab.Quick = true
+		if _, err := sharedLab.All(); err != nil {
+			t.Fatalf("lab: %v", err)
+		}
+	})
+	return sharedLab
+}
+
+func TestTable3ListsAllBenchmarks(t *testing.T) {
+	l := quickLab(t)
+	tab, err := Table3(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Errorf("table3 rows = %d, want 7", len(tab.Rows))
+	}
+	r := tab.Render()
+	for _, name := range l.Names() {
+		if !strings.Contains(r, name) {
+			t.Errorf("table3 missing %s", name)
+		}
+	}
+}
+
+func TestTable4WithinDeadline(t *testing.T) {
+	l := quickLab(t)
+	tab, err := Table4(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("table4 rows = %d", len(tab.Rows))
+	}
+	// Max execution time never exceeds the 16.7 ms frame budget — a
+	// property of the paper's Table 4 the whole evaluation relies on.
+	for _, name := range l.Names() {
+		e, err := l.Entry(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, tr := range e.Test {
+			if tr.Seconds > Deadline {
+				t.Errorf("%s job %d: %.2f ms exceeds the deadline", name, i, tr.Seconds*1e3)
+			}
+		}
+	}
+}
+
+func TestFigure2ShowsVariation(t *testing.T) {
+	l := quickLab(t)
+	r, err := Figure2(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Clips) != 3 {
+		t.Fatalf("clips = %d, want 3", len(r.Clips))
+	}
+	// Each clip must vary frame-to-frame and clips must differ.
+	var avgs []float64
+	for _, clip := range r.Clips {
+		minV, maxV, sum := 1e9, 0.0, 0.0
+		for _, v := range clip.Values {
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+			sum += v
+		}
+		if maxV-minV < 0.5 {
+			t.Errorf("clip %s: spread %.2f ms too small", clip.Name, maxV-minV)
+		}
+		avgs = append(avgs, sum/float64(len(clip.Values)))
+	}
+	spread := 0.0
+	for _, a := range avgs {
+		for _, b := range avgs {
+			if d := a - b; d > spread {
+				spread = d
+			}
+		}
+	}
+	if spread < 0.3 {
+		t.Errorf("inter-clip average spread %.2f ms too small", spread)
+	}
+}
+
+func TestFigure3PIDLagsSpikes(t *testing.T) {
+	l := quickLab(t)
+	r, err := Figure3(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Actual.Values) != len(r.PID.Values) || len(r.Actual.Values) == 0 {
+		t.Fatal("series shape wrong")
+	}
+	// Somewhere the PID under-predicts (the lag) — the figure's point.
+	under := 0
+	for i := range r.Actual.Values {
+		if r.PID.Values[i] < r.Actual.Values[i]*0.98 {
+			under++
+		}
+	}
+	if under == 0 {
+		t.Error("PID never under-predicted: no lag to show")
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	l := quickLab(t)
+	rows, tab, err := Figure10(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 || len(tab.Rows) != 7 {
+		t.Fatal("figure 10 must cover all benchmarks")
+	}
+	byName := map[string]Figure10Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// djpeg is the paper's outlier: visibly wider error box than the
+	// rest (variable-latency Huffman state without a counter).
+	djpegSpread := byName["djpeg"].Max - byName["djpeg"].Min
+	for _, name := range []string{"h264", "md", "aes", "sha", "stencil"} {
+		s := byName[name].Max - byName[name].Min
+		if s >= djpegSpread {
+			t.Errorf("%s error spread %.4f >= djpeg %.4f; djpeg must be the outlier", name, s, djpegSpread)
+		}
+		if s > 0.10 {
+			t.Errorf("%s error spread %.4f too wide for 'negligible'", name, s)
+		}
+	}
+	// Conservative training: under-predictions are rare and shallow.
+	for _, r := range rows {
+		if r.WorstUnder < -0.15 {
+			t.Errorf("%s worst under-prediction %.3f too deep", r.Name, r.WorstUnder)
+		}
+	}
+}
+
+func TestFigure11HeadlineShape(t *testing.T) {
+	l := quickLab(t)
+	r, err := Figure11(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := r.AvgNormalized["prediction"]
+	pid := r.AvgNormalized["pid"]
+	// Paper: 36.7% savings (normalized 63.3%); allow a band.
+	if pred < 50 || pred > 75 {
+		t.Errorf("prediction normalized energy %.1f%%, want ~63%%", pred)
+	}
+	if r.AvgMiss["prediction"] > 0.03 {
+		t.Errorf("prediction miss rate %.3f, want ~0.4%%", r.AvgMiss["prediction"])
+	}
+	// PID: several times more misses, and no cheaper than prediction.
+	if r.AvgMiss["pid"] < 3*r.AvgMiss["prediction"] {
+		t.Errorf("pid misses %.3f not well above prediction %.3f",
+			r.AvgMiss["pid"], r.AvgMiss["prediction"])
+	}
+	if r.AvgMiss["pid"] < 0.03 || r.AvgMiss["pid"] > 0.20 {
+		t.Errorf("pid miss rate %.3f outside the paper's regime (~10%%)", r.AvgMiss["pid"])
+	}
+	if pid < pred-2 {
+		t.Errorf("pid energy %.1f%% well below prediction %.1f%%; paper has pid above", pid, pred)
+	}
+}
+
+func TestFigure12OverheadBands(t *testing.T) {
+	l := quickLab(t)
+	rows, _, err := Figure12(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumA, sumE, sumT float64
+	for _, r := range rows {
+		sumA += r.AreaPct
+		sumE += r.EnergyPct
+		sumT += r.TimePct
+		if r.AreaPct <= 0 || r.AreaPct > 40 {
+			t.Errorf("%s slice area %.1f%% implausible", r.Benchmark, r.AreaPct)
+		}
+		if r.TimePct <= 0 || r.TimePct > 12 {
+			t.Errorf("%s slice time %.1f%% of budget implausible", r.Benchmark, r.TimePct)
+		}
+	}
+	n := float64(len(rows))
+	if avg := sumE / n; avg > 4 {
+		t.Errorf("average slice energy %.1f%%, want small (paper 1.5%%)", avg)
+	}
+	if avg := sumT / n; avg > 6 {
+		t.Errorf("average slice time %.1f%% of budget, want ~3.5%%", avg)
+	}
+}
+
+func TestFigure13OrderingAndOracleGap(t *testing.T) {
+	l := quickLab(t)
+	r, err := Figure13(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := map[string]float64{}
+	miss := map[string]float64{}
+	count := map[string]float64{}
+	for _, row := range r.Rows {
+		avg[row.Scheme] += row.Normalized
+		miss[row.Scheme] += row.MissRate
+		count[row.Scheme]++
+	}
+	for s := range avg {
+		avg[s] /= count[s]
+		miss[s] /= count[s]
+	}
+	if !(avg["oracle"] <= avg["prediction w/o overhead"]+0.5 &&
+		avg["prediction w/o overhead"] <= avg["prediction"]+0.5) {
+		t.Errorf("energy ordering wrong: oracle %.1f, w/o overhead %.1f, prediction %.1f",
+			avg["oracle"], avg["prediction w/o overhead"], avg["prediction"])
+	}
+	// Paper: the no-overhead scheme is within ~1% of oracle.
+	if gap := avg["prediction w/o overhead"] - avg["oracle"]; gap > 3 {
+		t.Errorf("no-overhead to oracle gap %.1f%%, want ~0.7%%", gap)
+	}
+	if miss["prediction w/o overhead"] != 0 || miss["oracle"] != 0 {
+		t.Errorf("no-overhead/oracle misses nonzero: %v / %v",
+			miss["prediction w/o overhead"], miss["oracle"])
+	}
+}
+
+func TestFigure14BoostEliminatesMisses(t *testing.T) {
+	l := quickLab(t)
+	r, err := Figure14(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var boostMiss, predE, boostE, n float64
+	for _, row := range r.Rows {
+		if row.Scheme == "prediction+boost" {
+			boostMiss += row.MissRate
+			boostE += row.Normalized
+			n++
+		} else {
+			predE += row.Normalized
+		}
+	}
+	if boostMiss != 0 {
+		t.Errorf("boost scheme still misses (%.3f)", boostMiss/n)
+	}
+	// Energy increase from boosting is small (paper: 0.24%).
+	if d := (boostE - predE) / n; d > 3 || d < 0 {
+		t.Errorf("boost energy delta %.2f%%, want small positive", d)
+	}
+}
+
+func TestFigure15Monotonicity(t *testing.T) {
+	l := quickLab(t)
+	pts, _, err := Figure15(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byScale := map[float64]map[string]Figure15Point{}
+	for _, p := range pts {
+		if byScale[p.DeadlineScale] == nil {
+			byScale[p.DeadlineScale] = map[string]Figure15Point{}
+		}
+		byScale[p.DeadlineScale][p.Scheme] = p
+	}
+	// Longer deadlines → lower prediction energy; misses vanish at and
+	// above 1.0x; short deadlines cause misses even for the baseline.
+	if byScale[1.6]["prediction"].Normalized >= byScale[0.8]["prediction"].Normalized {
+		t.Error("prediction energy not decreasing with longer deadlines")
+	}
+	if byScale[1.2]["prediction"].MissRate > 0.005 {
+		t.Errorf("prediction misses at 1.2x deadline: %.3f", byScale[1.2]["prediction"].MissRate)
+	}
+	if byScale[0.6]["baseline"].MissRate == 0 {
+		t.Error("baseline shows no misses at 0.6x deadline")
+	}
+	if byScale[0.6]["prediction"].MissRate == 0 {
+		t.Error("prediction shows no misses at 0.6x deadline (budget must be infeasible)")
+	}
+	if byScale[1.6]["pid"].MissRate <= byScale[1.6]["prediction"].MissRate {
+		t.Error("pid should still miss at long deadlines (low accuracy), prediction should not")
+	}
+}
+
+func TestFigure16FPGAComparable(t *testing.T) {
+	l := quickLab(t)
+	r, err := Figure16(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := r.AvgNormalized["prediction"]
+	if pred < 50 || pred > 80 {
+		t.Errorf("FPGA prediction normalized %.1f%%, want comparable to ASIC (~64%%)", pred)
+	}
+	if r.AvgMiss["prediction"] > 0.03 {
+		t.Errorf("FPGA prediction misses %.3f too high", r.AvgMiss["prediction"])
+	}
+}
+
+func TestFigure17StencilAnomaly(t *testing.T) {
+	l := quickLab(t)
+	rows, _, err := Figure17(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]OverheadRow{}
+	var sum float64
+	for _, r := range rows {
+		byName[r.Benchmark] = r
+		sum += r.AreaPct
+	}
+	avg := sum / float64(len(rows))
+	// The paper's stencil anomaly: its relative resource overhead is far
+	// above the average because the datapath is DSP blocks.
+	if byName["stencil"].AreaPct < 1.5*avg {
+		t.Errorf("stencil resource overhead %.1f%% not an outlier (avg %.1f%%)",
+			byName["stencil"].AreaPct, avg)
+	}
+}
+
+func TestFigure18HLSRemovesMisses(t *testing.T) {
+	l := quickLab(t)
+	rows, _, err := Figure18(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCfg := map[string]HLSRow{}
+	for _, r := range rows {
+		byCfg[r.Benchmark+"-"+r.Level] = r
+	}
+	for _, b := range []string{"md", "stencil"} {
+		rtl, hls := byCfg[b+"-rtl"], byCfg[b+"-hls"]
+		// Accuracy identical across levels.
+		if rtl.MeanAbsErrPct != hls.MeanAbsErrPct {
+			t.Errorf("%s: error changed between levels", b)
+		}
+		if hls.MissRate > rtl.MissRate {
+			t.Errorf("%s: HLS slicing increased misses", b)
+		}
+		if hls.MissRate != 0 {
+			t.Errorf("%s-hls misses %.3f, want 0", b, hls.MissRate)
+		}
+	}
+	// Note: quick-mode workloads may not sample the near-deadline tail,
+	// so rtl.MissRate > 0 is only asserted by the full benchmark run.
+}
+
+func TestFigure19HLSSliceFaster(t *testing.T) {
+	l := quickLab(t)
+	rows, _, err := Figure19(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCfg := map[string]HLSRow{}
+	for _, r := range rows {
+		byCfg[r.Benchmark+"-"+r.Level] = r
+	}
+	for _, b := range []string{"md", "stencil"} {
+		if byCfg[b+"-hls"].TimePct >= byCfg[b+"-rtl"].TimePct {
+			t.Errorf("%s: HLS slice not faster (%.2f%% vs %.2f%%)",
+				b, byCfg[b+"-hls"].TimePct, byCfg[b+"-rtl"].TimePct)
+		}
+	}
+}
+
+func TestCaseStudyShape(t *testing.T) {
+	l := quickLab(t)
+	r, err := CaseStudy(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FeaturesKept >= r.FeaturesDetected {
+		t.Errorf("lasso kept %d of %d features: no reduction", r.FeaturesKept, r.FeaturesDetected)
+	}
+	if r.FeaturesKept > 10 {
+		t.Errorf("kept %d features, want a handful (paper: 7)", r.FeaturesKept)
+	}
+	if r.SliceAreaPct > 20 {
+		t.Errorf("slice area %.1f%%, want small (paper: 5.7%%)", r.SliceAreaPct)
+	}
+	if r.SliceEnergyPct > 6 {
+		t.Errorf("slice energy %.1f%%, want small (paper: 2.8%%)", r.SliceEnergyPct)
+	}
+	if r.SliceTimeMaxPct > 30 {
+		t.Errorf("slice time up to %.1f%% of job, want bounded (paper: 5-15%%)", r.SliceTimeMaxPct)
+	}
+	if r.WorstErrPct > 8 {
+		t.Errorf("worst-case error %.1f%%, want ~3%%", r.WorstErrPct)
+	}
+}
+
+func TestRunAllExperimentIDs(t *testing.T) {
+	l := quickLab(t)
+	for _, id := range ExperimentIDs {
+		tab, err := Run(l, id)
+		if err != nil {
+			t.Errorf("%s: %v", id, err)
+			continue
+		}
+		if tab.ID != id {
+			t.Errorf("experiment %s returned table %s", id, tab.ID)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s produced no rows", id)
+		}
+		if tab.Render() == "" {
+			t.Errorf("%s rendered empty", id)
+		}
+	}
+	if _, err := Run(l, "nonesuch"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestExtGovernorsShape(t *testing.T) {
+	l := quickLab(t)
+	tab, err := ExtGovernors(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string][2]float64{} // scheme -> (norm, miss) averages
+	for _, row := range tab.Rows {
+		if row[0] != "average" {
+			continue
+		}
+		var norm, miss float64
+		if _, err := fmtSscan(row[2], &norm); err != nil {
+			t.Fatalf("parse %q: %v", row[2], err)
+		}
+		if _, err := fmtSscan(strings.TrimSuffix(row[3], "%"), &miss); err != nil {
+			t.Fatalf("parse %q: %v", row[3], err)
+		}
+		vals[row[1]] = [2]float64{norm, miss}
+	}
+	// WCET: (almost) zero misses, but clearly less savings than
+	// prediction. Quick-mode trims the training profile, so the analysed
+	// bound can be beaten once before the controller ratchets; the full
+	// run has zero.
+	if vals["wcet"][1] > 0.5 {
+		t.Errorf("wcet missed %.1f%%, want ~0", vals["wcet"][1])
+	}
+	if vals["wcet"][0] <= vals["prediction"][0] {
+		t.Errorf("wcet energy %.1f not above prediction %.1f", vals["wcet"][0], vals["prediction"][0])
+	}
+	// Interval governor: strictly worse than prediction on both axes.
+	if vals["interval"][0] <= vals["prediction"][0] {
+		t.Errorf("interval energy %.1f not above prediction %.1f", vals["interval"][0], vals["prediction"][0])
+	}
+	if vals["interval"][1] <= vals["prediction"][1] {
+		t.Errorf("interval misses %.1f not above prediction %.1f", vals["interval"][1], vals["prediction"][1])
+	}
+}
+
+func TestExtSoftwarePredictor(t *testing.T) {
+	l := quickLab(t)
+	tab, err := ExtSoftwarePredictor(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Accuracy identical between hardware and software predictors.
+	if tab.Rows[0][1] != tab.Rows[1][1] {
+		t.Errorf("accuracy differs: hw %s vs sw %s", tab.Rows[0][1], tab.Rows[1][1])
+	}
+	if tab.Rows[1][3] != "0%" {
+		t.Errorf("software slice area = %s, want 0%%", tab.Rows[1][3])
+	}
+}
+
+func TestExtReconfigSavesEnergyWithoutVoltageScaling(t *testing.T) {
+	l := quickLab(t)
+	tab, err := ExtReconfig(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[0] != "average" {
+		t.Fatal("missing average row")
+	}
+	var norm float64
+	if _, err := fmtSscan(last[2], &norm); err != nil {
+		t.Fatal(err)
+	}
+	// Reconfiguration saves real energy, but less than DVFS (it cannot
+	// scale voltage): between the two bounds.
+	if norm >= 100 || norm <= 60 {
+		t.Errorf("reconfig normalized energy %.1f, want between DVFS (~64) and baseline (100)", norm)
+	}
+}
+
+func fmtSscan(s string, out *float64) (int, error) {
+	return fmt.Sscanf(s, "%f", out)
+}
+
+func TestExtSwitchSweepMonotone(t *testing.T) {
+	l := quickLab(t)
+	tab, err := ExtSwitchSweep(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Energy and misses must be non-decreasing in switching time.
+	var prevE, prevM float64 = -1, -1
+	for _, row := range tab.Rows {
+		var e, m float64
+		if _, err := fmtSscan(row[1], &e); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscan(strings.TrimSuffix(row[2], "%"), &m); err != nil {
+			t.Fatal(err)
+		}
+		if e < prevE-0.05 {
+			t.Errorf("energy decreased with slower switching: %v -> %v", prevE, e)
+		}
+		if m < prevM-0.05 {
+			t.Errorf("misses decreased with slower switching: %v -> %v", prevM, m)
+		}
+		prevE, prevM = e, m
+	}
+}
+
+func TestExtMarginSweep(t *testing.T) {
+	l := quickLab(t)
+	tab, err := ExtMarginSweep(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Energy grows with margin; the first and last rows bound it.
+	var first, last float64
+	if _, err := fmtSscan(tab.Rows[0][1], &first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(tab.Rows[len(tab.Rows)-1][1], &last); err != nil {
+		t.Fatal(err)
+	}
+	if last <= first {
+		t.Errorf("larger margins did not cost energy: %v vs %v", first, last)
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tab := &Table{
+		ID:     "t",
+		Title:  "x",
+		Header: []string{"a", "bbbb"},
+		Rows:   [][]string{{"lonnng", "1"}},
+		Notes:  []string{"n"},
+	}
+	r := tab.Render()
+	if !strings.Contains(r, "== t: x ==") || !strings.Contains(r, "note: n") {
+		t.Errorf("render malformed:\n%s", r)
+	}
+	lines := strings.Split(r, "\n")
+	if len(lines) < 4 {
+		t.Fatal("render too short")
+	}
+}

@@ -1,0 +1,180 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/accel/h264"
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Series is a per-job data series (a figure's line).
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Figure2Result carries the per-frame execution times of three clips
+// decoded by the H.264 accelerator (the paper's Figure 2).
+type Figure2Result struct {
+	Clips []Series
+	Table *Table
+}
+
+// Figure2 decodes three same-resolution clips and reports per-frame
+// execution time, demonstrating large inter- and intra-clip variation.
+func Figure2(l *Lab) (*Figure2Result, error) {
+	e, err := l.Entry("h264")
+	if err != nil {
+		return nil, err
+	}
+	frames := 300
+	if l.Quick {
+		frames = 60
+	}
+	profiles := []workload.VideoProfile{
+		workload.ClipCoastguard, workload.ClipForeman, workload.ClipNews,
+	}
+	res := &Figure2Result{}
+	t := &Table{
+		ID:     "fig2",
+		Title:  "H.264 per-frame execution time, three clips at one resolution (ms)",
+		Header: []string{"Clip", "Frames", "Min", "Avg", "Max", "Spread"},
+		Notes: []string{
+			"paper shows ~5-12 ms spread across clips of identical resolution",
+		},
+	}
+	for i, p := range profiles {
+		jobs := h264.Jobs(workload.Video(p, frames, 24, l.Seed+100+int64(i)), l.Seed+int64(i))
+		traces, err := e.Pred.CollectTraces(jobs)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Name: p.Name}
+		minV, maxV, sum := 1e9, 0.0, 0.0
+		for _, tr := range traces {
+			ms := tr.Seconds * 1e3
+			s.Values = append(s.Values, ms)
+			if ms < minV {
+				minV = ms
+			}
+			if ms > maxV {
+				maxV = ms
+			}
+			sum += ms
+		}
+		res.Clips = append(res.Clips, s)
+		t.Rows = append(t.Rows, []string{
+			p.Name, fmt.Sprintf("%d", len(s.Values)),
+			f2(minV), f2(sum / float64(len(s.Values))), f2(maxV),
+			f2(maxV - minV),
+		})
+	}
+	res.Table = t
+	return res, nil
+}
+
+// Figure3Result carries actual vs PID-predicted execution times.
+type Figure3Result struct {
+	Actual, PID Series
+	Table       *Table
+}
+
+// Figure3 replays an H.264 window under the PID controller and records
+// its per-job predictions next to the actual times, reproducing the
+// one-frame lag around spikes.
+func Figure3(l *Lab) (*Figure3Result, error) {
+	e, err := l.Entry("h264")
+	if err != nil {
+		return nil, err
+	}
+	n := 35
+	if len(e.Test) < n {
+		n = len(e.Test)
+	}
+	window := e.Test[:n]
+	pid := control.NewPID(control.DefaultPIDConfig(Deadline))
+	pid.Reset()
+	res := &Figure3Result{Actual: Series{Name: "actual"}, PID: Series{Name: "PID"}}
+	lagMisses := 0
+	for _, tr := range window {
+		pred := pid.Plan(control.JobView{}).PredT0
+		res.Actual.Values = append(res.Actual.Values, tr.Seconds*1e3)
+		res.PID.Values = append(res.PID.Values, pred*1e3)
+		if pred < tr.Seconds*0.95 {
+			lagMisses++
+		}
+		pid.Observe(tr.Seconds)
+	}
+	res.Table = &Table{
+		ID:     "fig3",
+		Title:  "Actual vs PID-predicted execution time, H.264 window",
+		Header: []string{"Job", "Actual (ms)", "PID (ms)", "Error"},
+		Notes: []string{
+			fmt.Sprintf("%d/%d jobs under-predicted by >5%% (reactive lag)", lagMisses, n),
+		},
+	}
+	for i := range res.Actual.Values {
+		a, p := res.Actual.Values[i], res.PID.Values[i]
+		res.Table.Rows = append(res.Table.Rows, []string{
+			fmt.Sprintf("%d", i), f2(a), f2(p), pct(100 * (p - a) / a),
+		})
+	}
+	return res, nil
+}
+
+// Figure10Row is one benchmark's slice-based prediction error stats.
+type Figure10Row struct {
+	Name                       string
+	Median, P25, P75, Min, Max float64
+	WorstUnder                 float64
+}
+
+// Figure10 evaluates slice-driven prediction error per benchmark on the
+// test workloads (box-and-whisker data of the paper's Figure 10).
+func Figure10(l *Lab) ([]Figure10Row, *Table, error) {
+	t := &Table{
+		ID:     "fig10",
+		Title:  "Errors of slice-based execution time prediction (%, + = over)",
+		Header: []string{"Benchmark", "Min", "P25", "Median", "P75", "Max", "MeanAbs"},
+		Notes: []string{
+			"paper: negligible error for most benchmarks; djpeg visibly worse (uncounted variable-latency state); very few under-predictions",
+		},
+	}
+	var rows []Figure10Row
+	for _, name := range l.Names() {
+		e, err := l.Entry(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		er := e.testErrors()
+		rows = append(rows, Figure10Row{
+			Name: name, Median: er.Median, P25: er.P25, P75: er.P75,
+			Min: er.Min, Max: er.Max, WorstUnder: er.WorstUnder,
+		})
+		t.Rows = append(t.Rows, []string{
+			name,
+			pct(100 * er.Min), pct(100 * er.P25), pct(100 * er.Median),
+			pct(100 * er.P75), pct(100 * er.Max), pct(100 * er.MeanAbs),
+		})
+	}
+	return rows, t, nil
+}
+
+// TraceStats summarizes a trace set (diagnostics used by several
+// experiments).
+func TraceStats(traces []core.JobTrace) (minS, avgS, maxS float64) {
+	minS = 1e9
+	for _, tr := range traces {
+		if tr.Seconds < minS {
+			minS = tr.Seconds
+		}
+		if tr.Seconds > maxS {
+			maxS = tr.Seconds
+		}
+		avgS += tr.Seconds
+	}
+	avgS /= float64(len(traces))
+	return
+}

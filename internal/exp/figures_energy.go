@@ -1,0 +1,364 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/control"
+	"repro/internal/sim"
+)
+
+// SchemeRow is one benchmark's result under one scheme.
+type SchemeRow struct {
+	Benchmark  string
+	Scheme     string
+	Normalized float64 // % of baseline energy
+	MissRate   float64 // fraction
+}
+
+// Figure11Result carries normalized energy and deadline misses for
+// baseline / pid / prediction on the ASIC profile.
+type Figure11Result struct {
+	Rows []SchemeRow
+	// AvgNormalized and AvgMiss index by scheme name.
+	AvgNormalized map[string]float64
+	AvgMiss       map[string]float64
+	Table         *Table
+}
+
+// Figure11 reproduces the paper's headline comparison (§4.3): the
+// prediction scheme saves ~36.7% energy with ~0.4% misses, while PID
+// misses ~10.5% of deadlines at higher energy.
+func Figure11(l *Lab) (*Figure11Result, error) {
+	return energyComparison(l, "fig11",
+		"Normalized energy and deadline misses of DVFS schemes (ASIC)",
+		false,
+		[]string{
+			"paper averages: prediction 63.3% energy (36.7% savings) with 0.4% misses; pid ~4.3% more energy with 10.5% misses",
+		})
+}
+
+// energyComparison runs baseline/pid/prediction on either device class.
+func energyComparison(l *Lab, id, title string, fpga bool, notes []string) (*Figure11Result, error) {
+	res := &Figure11Result{
+		AvgNormalized: map[string]float64{},
+		AvgMiss:       map[string]float64{},
+	}
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"Benchmark", "Scheme", "Norm. Energy", "Misses"},
+		Notes:  notes,
+	}
+	counts := map[string]int{}
+	for _, name := range l.Names() {
+		e, err := l.Entry(name)
+		if err != nil {
+			return nil, err
+		}
+		dev := asicDevice(e, false)
+		pm, spm := e.Power, e.SlicePower
+		if fpga {
+			dev = fpgaDevice(e)
+			pm, spm = fpgaPower(e)
+		}
+		baseC, pidC, predC := e.schemes()
+		base, err := e.run(dev, pm, spm, Deadline, baseC, false)
+		if err != nil {
+			return nil, err
+		}
+		for _, ctrl := range []control.Controller{pidC, predC} {
+			r, err := e.run(dev, pm, spm, Deadline, ctrl, false)
+			if err != nil {
+				return nil, err
+			}
+			row := SchemeRow{
+				Benchmark:  name,
+				Scheme:     r.Scheme,
+				Normalized: sim.Normalized(r, base),
+				MissRate:   r.MissRate(),
+			}
+			res.Rows = append(res.Rows, row)
+			res.AvgNormalized[r.Scheme] += row.Normalized
+			res.AvgMiss[r.Scheme] += row.MissRate
+			counts[r.Scheme]++
+			t.Rows = append(t.Rows, []string{
+				name, r.Scheme, f1(row.Normalized), pct(100 * row.MissRate),
+			})
+		}
+	}
+	for s, c := range counts {
+		res.AvgNormalized[s] /= float64(c)
+		res.AvgMiss[s] /= float64(c)
+		t.Rows = append(t.Rows, []string{
+			"average", s, f1(res.AvgNormalized[s]), pct(100 * res.AvgMiss[s]),
+		})
+	}
+	res.Table = t
+	return res, nil
+}
+
+// OverheadRow is one benchmark's slice overhead triple (Figure 12/17).
+type OverheadRow struct {
+	Benchmark string
+	// AreaPct is slice logic area over accelerator logic area.
+	AreaPct float64
+	// EnergyPct is average slice energy over job energy.
+	EnergyPct float64
+	// TimePct is average slice time over the job deadline.
+	TimePct float64
+}
+
+// Figure12 measures the prediction slice's area, energy, and time
+// overheads on the ASIC profile.
+func Figure12(l *Lab) ([]OverheadRow, *Table, error) {
+	return overheads(l, "fig12",
+		"Area, energy and execution time overhead of prediction slice (ASIC)",
+		false)
+}
+
+func overheads(l *Lab, id, title string, fpga bool) ([]OverheadRow, *Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"Benchmark", "Slice Area", "Slice Energy", "Slice Time"},
+		Notes: []string{
+			"area normalized to accelerator logic; energy to the job's energy; time to the 16.7 ms deadline",
+			"paper ASIC averages: 5.1% area, 1.5% energy, 3.5% of budget",
+		},
+	}
+	var rows []OverheadRow
+	var sumA, sumE, sumT float64
+	for _, name := range l.Names() {
+		e, err := l.Entry(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		var areaPct float64
+		if fpga {
+			fullR := FPGAResources(e.Pred.Spec.Build())
+			sliceR := FPGASliceResources(e.Pred.Slice.M)
+			areaPct = 100 * sliceR.RelativeTo(fullR)
+		} else {
+			areaPct = 100 * e.SliceStats.LogicArea() / e.FullStats.LogicArea()
+		}
+		pm, spm := e.Power, e.SlicePower
+		if fpga {
+			pm, spm = fpgaPower(e)
+		}
+		dev := asicDevice(e, false)
+		if fpga {
+			dev = fpgaDevice(e)
+		}
+		var ePct, tPct float64
+		for _, tr := range e.Test {
+			jobE := pm.JobEnergy(dev.Points[dev.Nominal], tr.Cycles)
+			sliceCycles := float64(tr.SliceTicks) * e.Pred.Spec.CycleScale
+			sliceE := spm.SliceEnergy(dev, sliceCycles)
+			ePct += 100 * sliceE / jobE
+			tPct += 100 * tr.SliceSeconds / Deadline
+		}
+		ePct /= float64(len(e.Test))
+		tPct /= float64(len(e.Test))
+		rows = append(rows, OverheadRow{Benchmark: name, AreaPct: areaPct, EnergyPct: ePct, TimePct: tPct})
+		sumA += areaPct
+		sumE += ePct
+		sumT += tPct
+		t.Rows = append(t.Rows, []string{name, pct(areaPct), pct(ePct), pct(tPct)})
+	}
+	n := float64(len(rows))
+	t.Rows = append(t.Rows, []string{"average", pct(sumA / n), pct(sumE / n), pct(sumT / n)})
+	return rows, t, nil
+}
+
+// Figure13Result compares prediction, prediction without overheads, and
+// the oracle.
+type Figure13Result struct {
+	Rows  []SchemeRow
+	Table *Table
+}
+
+// Figure13 removes slice and DVFS-switching overheads and adds the
+// oracle bound (§4.3): without overheads the prediction scheme is
+// within ~1% of oracle energy at zero misses.
+func Figure13(l *Lab) (*Figure13Result, error) {
+	res := &Figure13Result{}
+	t := &Table{
+		ID:     "fig13",
+		Title:  "Normalized energy and misses with overheads removed (ASIC)",
+		Header: []string{"Benchmark", "Scheme", "Norm. Energy", "Misses"},
+		Notes: []string{
+			"paper: removing overheads improves savings 36.7%→39.8% and misses 0.4%→0%; oracle at 40.5% savings",
+		},
+	}
+	avg := map[string]float64{}
+	avgMiss := map[string]float64{}
+	count := 0.0
+	for _, name := range l.Names() {
+		e, err := l.Entry(name)
+		if err != nil {
+			return nil, err
+		}
+		base, err := e.runASIC(control.NewBaseline(), Deadline, false)
+		if err != nil {
+			return nil, err
+		}
+		type cfg struct {
+			ctrl control.Controller
+			name string
+			noOv bool
+		}
+		cfgs := []cfg{
+			{control.NewPredictive(PredictiveMargin, false), "prediction", false},
+			{control.NewPredictive(PredictiveMargin, false), "prediction w/o overhead", true},
+			{control.NewOracle(), "oracle", false},
+		}
+		for _, c := range cfgs {
+			r, err := e.runASIC(c.ctrl, Deadline, c.noOv)
+			if err != nil {
+				return nil, err
+			}
+			row := SchemeRow{
+				Benchmark:  name,
+				Scheme:     c.name,
+				Normalized: sim.Normalized(r, base),
+				MissRate:   r.MissRate(),
+			}
+			res.Rows = append(res.Rows, row)
+			avg[c.name] += row.Normalized
+			avgMiss[c.name] += row.MissRate
+			t.Rows = append(t.Rows, []string{name, c.name, f1(row.Normalized), pct(100 * row.MissRate)})
+		}
+		count++
+	}
+	for _, s := range []string{"prediction", "prediction w/o overhead", "oracle"} {
+		t.Rows = append(t.Rows, []string{"average", s, f1(avg[s] / count), pct(100 * avgMiss[s] / count)})
+	}
+	res.Table = t
+	return res, nil
+}
+
+// Figure14Result compares prediction with and without the boost level.
+type Figure14Result struct {
+	Rows  []SchemeRow
+	Table *Table
+}
+
+// Figure14 introduces the 1.08 V boost level (§4.3): remaining misses
+// (budget exhaustion on near-deadline jobs) are eliminated for a
+// fraction of a percent more energy.
+func Figure14(l *Lab) (*Figure14Result, error) {
+	res := &Figure14Result{}
+	t := &Table{
+		ID:     "fig14",
+		Title:  "Normalized energy and deadline misses with voltage boosting (ASIC)",
+		Header: []string{"Benchmark", "Scheme", "Norm. Energy", "Misses"},
+		Notes: []string{
+			"paper: boosting eliminates all misses while increasing energy by 0.24% (36.7%→36.4% savings)",
+		},
+	}
+	avg := map[string]float64{}
+	avgMiss := map[string]float64{}
+	count := 0.0
+	for _, name := range l.Names() {
+		e, err := l.Entry(name)
+		if err != nil {
+			return nil, err
+		}
+		base, err := e.runASIC(control.NewBaseline(), Deadline, false)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := e.runASIC(control.NewPredictive(PredictiveMargin, false), Deadline, false)
+		if err != nil {
+			return nil, err
+		}
+		boostDev := asicDevice(e, true)
+		boost, err := e.run(boostDev, e.Power, e.SlicePower, Deadline,
+			control.NewPredictive(PredictiveMargin, true), false)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range []sim.Result{pred, boost} {
+			row := SchemeRow{
+				Benchmark:  name,
+				Scheme:     r.Scheme,
+				Normalized: sim.Normalized(r, base),
+				MissRate:   r.MissRate(),
+			}
+			res.Rows = append(res.Rows, row)
+			avg[r.Scheme] += row.Normalized
+			avgMiss[r.Scheme] += row.MissRate
+			t.Rows = append(t.Rows, []string{name, r.Scheme, f1(row.Normalized), pct(100 * row.MissRate)})
+		}
+		count++
+	}
+	for _, s := range []string{"prediction", "prediction+boost"} {
+		t.Rows = append(t.Rows, []string{"average", s, f1(avg[s] / count), pct(100 * avgMiss[s] / count)})
+	}
+	res.Table = t
+	return res, nil
+}
+
+// Figure15Point is one deadline-sweep sample.
+type Figure15Point struct {
+	DeadlineScale float64
+	Scheme        string
+	Normalized    float64
+	MissRate      float64
+}
+
+// Figure15 sweeps the deadline from 0.6x to 1.6x (§4.3): longer
+// deadlines let the deadline-aware predictive controller save more;
+// shorter ones force misses even at the highest level.
+func Figure15(l *Lab) ([]Figure15Point, *Table, error) {
+	scales := []float64{0.6, 0.8, 1.0, 1.2, 1.4, 1.6}
+	t := &Table{
+		ID:     "fig15",
+		Title:  "Energy and misses vs deadline scale (averaged across benchmarks, ASIC)",
+		Header: []string{"Deadline", "Scheme", "Norm. Energy", "Misses"},
+		Notes: []string{
+			"paper: prediction misses appear only below 1.0x (budget infeasible even at max level); pid misses persist at all deadlines",
+		},
+	}
+	var pts []Figure15Point
+	for _, sc := range scales {
+		deadline := Deadline * sc
+		sums := map[string]*Figure15Point{}
+		var count float64
+		for _, name := range l.Names() {
+			e, err := l.Entry(name)
+			if err != nil {
+				return nil, nil, err
+			}
+			baseC, pidC, predC := e.schemes()
+			base, err := e.runASIC(baseC, deadline, false)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, ctrl := range []control.Controller{baseC, pidC, predC} {
+				r, err := e.runASIC(ctrl, deadline, false)
+				if err != nil {
+					return nil, nil, err
+				}
+				p, ok := sums[r.Scheme]
+				if !ok {
+					p = &Figure15Point{DeadlineScale: sc, Scheme: r.Scheme}
+					sums[r.Scheme] = p
+				}
+				p.Normalized += sim.Normalized(r, base)
+				p.MissRate += r.MissRate()
+			}
+			count++
+		}
+		for _, s := range []string{"baseline", "pid", "prediction"} {
+			p := sums[s]
+			p.Normalized /= count
+			p.MissRate /= count
+			pts = append(pts, *p)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.1fx", sc), s, f1(p.Normalized), pct(100 * p.MissRate),
+			})
+		}
+	}
+	return pts, t, nil
+}

@@ -1,0 +1,116 @@
+package exp
+
+import "repro/internal/rtl"
+
+// Resources models an FPGA implementation's resource usage: lookup
+// tables for general logic and registers, DSP blocks for multipliers,
+// and block RAM for memories. This substitutes for the paper's Vivado
+// place-and-route reports on the Kintex-7 target.
+type Resources struct {
+	LUT  float64
+	DSP  float64
+	BRAM float64
+}
+
+// FPGASliceResources estimates a slice's own resource usage: the input
+// scratchpad BRAMs are the accelerator's, accessed by time-multiplexing
+// (Figure 5), so only ROM tables the slice itself carries count.
+func FPGASliceResources(m *rtl.Module) Resources {
+	r := FPGAResources(m)
+	r.BRAM = 0
+	for _, mem := range m.Mems {
+		if mem.ROM {
+			blocks := (mem.Words*36 + 18*1024 - 1) / (18 * 1024)
+			if blocks < 1 {
+				blocks = 1
+			}
+			r.BRAM += float64(blocks)
+		}
+	}
+	return r
+}
+
+// FPGAResources estimates a netlist's resource usage.
+func FPGAResources(m *rtl.Module) Resources {
+	var r Resources
+	for i := range m.Nodes {
+		n := &m.Nodes[i]
+		w := float64(n.Width)
+		switch n.Op {
+		case rtl.OpConst, rtl.OpInput:
+			// free
+		case rtl.OpMul:
+			// DSP48-style blocks handle up to ~18x18; wide multipliers
+			// cascade several.
+			blocks := (int(n.Width) + 17) / 18
+			r.DSP += float64(blocks * blocks)
+		case rtl.OpReg:
+			r.LUT += 0.5 * w // FF-dominated; pairs pack with LUTs
+		case rtl.OpMemRead:
+			r.LUT += 0.25 * w // read-port mux
+		default:
+			r.LUT += 0.5 * w
+		}
+	}
+	for _, mem := range m.Mems {
+		// One 18 kb BRAM holds 512 x 36; small memories still occupy one.
+		words := mem.Words
+		blocks := (words*36 + 18*1024 - 1) / (18 * 1024)
+		if blocks < 1 {
+			blocks = 1
+		}
+		r.BRAM += float64(blocks)
+	}
+	return r
+}
+
+// RelativeTo returns the paper's Figure 17 metric: the average of the
+// per-resource-type slice/full ratios, over the types the full design
+// actually uses. A control-only slice of a DSP-heavy design scores high
+// on this metric even when its absolute usage is tiny — the stencil
+// anomaly the paper calls out.
+func (r Resources) RelativeTo(full Resources) float64 {
+	var sum, n float64
+	if full.LUT > 0 {
+		sum += r.LUT / full.LUT
+		n++
+	}
+	if full.DSP > 0 {
+		sum += r.DSP / full.DSP
+		n++
+	}
+	if full.BRAM > 0 {
+		sum += r.BRAM / full.BRAM
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// Figure16 repeats the scheme comparison on the FPGA profile (§4.4):
+// seven levels from 1.0 V to 0.7 V, flatter f(V), higher leakage.
+func Figure16(l *Lab) (*Figure11Result, error) {
+	return energyComparison(l, "fig16",
+		"Normalized energy and deadline misses of DVFS schemes (FPGA)",
+		true,
+		[]string{
+			"paper: 35.9% average savings with 0.4% misses on Kintex-7",
+		})
+}
+
+// Figure17 measures slice overheads on the FPGA resource model (§4.4).
+func Figure17(l *Lab) ([]OverheadRow, *Table, error) {
+	rows, t, err := overheads(l, "fig17",
+		"Resource, energy and execution time overhead of prediction slice (FPGA)",
+		true)
+	if err != nil {
+		return nil, nil, err
+	}
+	t.Notes = []string{
+		"resources normalized as the average of LUT/DSP/BRAM ratios",
+		"paper FPGA averages: 9.4% resources, 2% energy, 3.5% of budget; stencil's relative overhead is an outlier because its datapath is DSP blocks while its control is a handful of LUTs",
+	}
+	return rows, t, nil
+}

@@ -1,0 +1,131 @@
+package exp
+
+import "fmt"
+
+// Experiment names in paper order.
+var ExperimentIDs = []string{
+	"table3", "table4", "fig2", "fig3", "fig10", "fig11", "fig12",
+	"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+	"casestudy", "ext-governors", "ext-swpredict", "ext-reconfig",
+	"ext-switch", "ext-margin",
+}
+
+// Run executes one experiment by ID and returns its table.
+func Run(l *Lab, id string) (*Table, error) {
+	switch id {
+	case "table3":
+		return Table3(l)
+	case "table4":
+		return Table4(l)
+	case "fig2":
+		r, err := Figure2(l)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table, nil
+	case "fig3":
+		r, err := Figure3(l)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table, nil
+	case "fig10":
+		_, t, err := Figure10(l)
+		return t, err
+	case "fig11":
+		r, err := Figure11(l)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table, nil
+	case "fig12":
+		_, t, err := Figure12(l)
+		return t, err
+	case "fig13":
+		r, err := Figure13(l)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table, nil
+	case "fig14":
+		r, err := Figure14(l)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table, nil
+	case "fig15":
+		_, t, err := Figure15(l)
+		return t, err
+	case "fig16":
+		r, err := Figure16(l)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table, nil
+	case "fig17":
+		_, t, err := Figure17(l)
+		return t, err
+	case "fig18":
+		_, t, err := Figure18(l)
+		return t, err
+	case "fig19":
+		_, t, err := Figure19(l)
+		return t, err
+	case "casestudy":
+		r, err := CaseStudy(l)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table, nil
+	case "ext-governors":
+		return ExtGovernors(l)
+	case "ext-swpredict":
+		return ExtSoftwarePredictor(l)
+	case "ext-reconfig":
+		return ExtReconfig(l)
+	case "ext-switch":
+		return ExtSwitchSweep(l)
+	case "ext-margin":
+		return ExtMarginSweep(l)
+	}
+	return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", id, ExperimentIDs)
+}
+
+// Chart returns an ASCII plot for the experiments that are figures of
+// per-job series (fig2, fig3), or "" for tabular experiments.
+func Chart(l *Lab, id string) (string, error) {
+	switch id {
+	case "fig2":
+		r, err := Figure2(l)
+		if err != nil {
+			return "", err
+		}
+		return RenderChart("H.264 per-frame execution time (three clips)", "ms", r.Clips), nil
+	case "fig3":
+		r, err := Figure3(l)
+		if err != nil {
+			return "", err
+		}
+		return RenderChart("actual vs PID-predicted execution time", "ms",
+			[]Series{r.Actual, r.PID}), nil
+	}
+	return "", nil
+}
+
+// RunAll executes every experiment in paper order.
+func RunAll(l *Lab) ([]*Table, error) {
+	// Train all benchmarks in parallel first; individual experiments
+	// then hit the cache.
+	if _, err := l.All(); err != nil {
+		return nil, err
+	}
+	out := make([]*Table, 0, len(ExperimentIDs))
+	for _, id := range ExperimentIDs {
+		t, err := Run(l, id)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

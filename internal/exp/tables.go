@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/suite"
+)
+
+// Table3 reproduces the paper's Table 3: benchmarks, tasks, and
+// train/test workloads. It is static (the suite definition), but
+// emitting it from the same Spec structs the experiments consume keeps
+// documentation and code in sync.
+func Table3(l *Lab) (*Table, error) {
+	t := &Table{
+		ID:     "table3",
+		Title:  "Summary of benchmarks and workloads",
+		Header: []string{"Bmark.", "Description", "Task", "Workload (Train)", "Workload (Test)"},
+	}
+	for _, s := range suite.All() {
+		t.Rows = append(t.Rows, []string{
+			s.Name, s.Description, s.TaskDesc, s.TrainDesc, s.TestDesc,
+		})
+	}
+	return t, nil
+}
+
+// Table4 reproduces the paper's Table 4: per-benchmark area, nominal
+// frequency, and execution-time statistics (max/avg/min in ms) over the
+// test workload at nominal voltage and frequency.
+func Table4(l *Lab) (*Table, error) {
+	t := &Table{
+		ID:     "table4",
+		Title:  "Summary of ASIC implementation results",
+		Header: []string{"Benchmark", "Area (um2)", "Freq. (MHz)", "Max (ms)", "Avg (ms)", "Min (ms)"},
+		Notes: []string{
+			"areas use the gate-equivalent model calibrated per design to the paper's place-and-route results",
+			"paper values: h264 11.46/7.56/6.50, cjpeg 13.90/5.22/0.88, djpeg 14.79/3.78/1.82, md 15.52/7.11/0.80, stencil 15.97/5.92/1.41, aes 16.19/4.62/1.94, sha 12.94/4.11/1.11",
+		},
+	}
+	for _, name := range l.Names() {
+		e, err := l.Entry(name)
+		if err != nil {
+			return nil, err
+		}
+		spec := e.Pred.Spec
+		minS, maxS, sum := 1e9, 0.0, 0.0
+		for _, tr := range e.Test {
+			if tr.Seconds < minS {
+				minS = tr.Seconds
+			}
+			if tr.Seconds > maxS {
+				maxS = tr.Seconds
+			}
+			sum += tr.Seconds
+		}
+		avg := sum / float64(len(e.Test))
+		t.Rows = append(t.Rows, []string{
+			spec.Name,
+			fmt.Sprintf("%.0f", spec.AreaUM2),
+			fmt.Sprintf("%.0f", spec.NominalHz/1e6),
+			f2(maxS * 1e3), f2(avg * 1e3), f2(minS * 1e3),
+		})
+	}
+	return t, nil
+}
+
+// AreaCalibration returns the µm² per gate-equivalent implied by each
+// design's paper area — the constant that maps our structural area
+// model onto the paper's 65 nm standard-cell results.
+func AreaCalibration(l *Lab) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, name := range l.Names() {
+		e, err := l.Entry(name)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = e.Pred.Spec.AreaUM2 / e.FullStats.Total()
+	}
+	return out, nil
+}

@@ -1,0 +1,226 @@
+package instrument
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/rtl"
+	"repro/internal/testdesigns"
+)
+
+// runToy executes the toy design on the given items and returns cycles
+// and features.
+func runToy(t *testing.T, ins *Instrumented, items []uint64) (uint64, []float64) {
+	t.Helper()
+	s := rtl.NewSim(ins.M)
+	if err := s.LoadMem("in", testdesigns.ToyJob(items)); err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := s.Run(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cycles, ins.ReadFeatures(s)
+}
+
+func featureByName(t *testing.T, ins *Instrumented, name string) int {
+	t.Helper()
+	for i, f := range ins.Features {
+		if f.Name == name {
+			return i
+		}
+	}
+	t.Fatalf("feature %q not found in %v", name, ins.Names())
+	return -1
+}
+
+func TestInstrumentationPreservesTiming(t *testing.T) {
+	items := []uint64{
+		testdesigns.ToyItem(false, 0),
+		testdesigns.ToyItem(true, 9),
+		testdesigns.ToyItem(true, 2),
+		testdesigns.ToyItem(false, 0),
+	}
+	plain := testdesigns.Toy()
+	sPlain := rtl.NewSim(plain.M)
+	if err := sPlain.LoadMem("in", testdesigns.ToyJob(items)); err != nil {
+		t.Fatal(err)
+	}
+	cyclesPlain, err := sPlain.Run(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	instrumented := testdesigns.Toy()
+	ins, err := Instrument(instrumented.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyclesIns, _ := runToy(t, ins, items)
+	if cyclesPlain != cyclesIns {
+		t.Errorf("instrumentation changed timing: %d vs %d", cyclesPlain, cyclesIns)
+	}
+	if want := testdesigns.ToyCycles(items); cyclesPlain != want {
+		t.Errorf("cycles = %d, want hand-computed %d", cyclesPlain, want)
+	}
+}
+
+func TestSTCCountsTransitions(t *testing.T) {
+	toy := testdesigns.Toy()
+	ins, err := Instrument(toy.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []uint64{
+		testdesigns.ToyItem(false, 0),
+		testdesigns.ToyItem(true, 5),
+		testdesigns.ToyItem(true, 7),
+	}
+	_, feats := runToy(t, ins, items)
+	fastIdx := featureByName(t, ins, "stc:ctrl:2->3")
+	slowIdx := featureByName(t, ins, "stc:ctrl:2->4")
+	if feats[fastIdx] != 1 {
+		t.Errorf("fast dispatches = %v, want 1", feats[fastIdx])
+	}
+	if feats[slowIdx] != 2 {
+		t.Errorf("slow dispatches = %v, want 2", feats[slowIdx])
+	}
+	fetchIdx := featureByName(t, ins, "stc:ctrl:1->2")
+	if feats[fetchIdx] != 3 {
+		t.Errorf("fetches = %v, want 3", feats[fetchIdx])
+	}
+}
+
+func TestNoSelfLoopSTCFeatures(t *testing.T) {
+	toy := testdesigns.Toy()
+	ins, err := Instrument(toy.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range ins.Features {
+		if f.Kind == STC && f.From == f.To {
+			t.Errorf("self-loop STC feature %s present", f.Name)
+		}
+	}
+}
+
+func TestCounterFeatures(t *testing.T) {
+	toy := testdesigns.Toy()
+	ins, err := Instrument(toy.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []uint64{
+		testdesigns.ToyItem(true, 5),
+		testdesigns.ToyItem(true, 11),
+		testdesigns.ToyItem(false, 0),
+	}
+	_, feats := runToy(t, ins, items)
+	ic := featureByName(t, ins, "ic:slow_cnt")
+	aiv := featureByName(t, ins, "aiv:slow_cnt")
+	apv := featureByName(t, ins, "apv:slow_cnt")
+	if feats[ic] != 2 {
+		t.Errorf("slow IC = %v, want 2", feats[ic])
+	}
+	if feats[aiv] != 16 {
+		t.Errorf("slow AIV = %v, want 5+11=16", feats[aiv])
+	}
+	// The counter has fully counted down before each subsequent load, so
+	// every pre-reset value is 0.
+	if feats[apv] != 0 {
+		t.Errorf("slow APV = %v, want 0", feats[apv])
+	}
+	icFast := featureByName(t, ins, "ic:fast_cnt")
+	aivFast := featureByName(t, ins, "aiv:fast_cnt")
+	if feats[icFast] != 1 {
+		t.Errorf("fast IC = %v, want 1", feats[icFast])
+	}
+	if feats[aivFast] != 3 {
+		t.Errorf("fast AIV = %v, want 3", feats[aivFast])
+	}
+}
+
+func TestFeatureCatalogConsistency(t *testing.T) {
+	toy := testdesigns.Toy()
+	ins, err := Instrument(toy.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := ins.Names()
+	if len(names) != len(ins.Features) {
+		t.Fatal("names/features length mismatch")
+	}
+	seen := map[string]bool{}
+	for i, f := range ins.Features {
+		if names[i] != f.Name {
+			t.Errorf("name order mismatch at %d", i)
+		}
+		if seen[f.Name] {
+			t.Errorf("duplicate feature name %s", f.Name)
+		}
+		seen[f.Name] = true
+		if f.Witness < 0 || f.Witness >= len(ins.M.Regs) {
+			t.Errorf("feature %s witness out of range", f.Name)
+		}
+		if ins.M.Regs[f.Witness].Node != f.WitnessNode {
+			t.Errorf("feature %s witness node mismatch", f.Name)
+		}
+		if !strings.Contains(f.Name, ":") {
+			t.Errorf("feature name %q not namespaced", f.Name)
+		}
+	}
+}
+
+func TestFeaturesAreDeterministic(t *testing.T) {
+	toy := testdesigns.Toy()
+	ins, err := Instrument(toy.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	items := make([]uint64, 10)
+	for i := range items {
+		items[i] = testdesigns.ToyItem(rng.Intn(2) == 0, uint8(rng.Intn(30)))
+	}
+	c1, f1 := runToy(t, ins, items)
+	c2, f2 := runToy(t, ins, items)
+	if c1 != c2 {
+		t.Errorf("cycles differ: %d vs %d", c1, c2)
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Errorf("feature %s differs: %v vs %v", ins.Features[i].Name, f1[i], f2[i])
+		}
+	}
+}
+
+// TestFeaturesExplainExecutionTime verifies the paper's core hypothesis
+// on the toy design: execution cycles are an exact linear function of
+// the recovered features (item counts and counter AIVs).
+func TestFeaturesExplainExecutionTime(t *testing.T) {
+	toy := testdesigns.Toy()
+	ins, err := Instrument(toy.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(12)
+		items := make([]uint64, n)
+		for i := range items {
+			items[i] = testdesigns.ToyItem(rng.Intn(2) == 0, uint8(rng.Intn(40)))
+		}
+		cycles, feats := runToy(t, ins, items)
+		fast := feats[featureByName(t, ins, "stc:ctrl:2->3")]
+		slow := feats[featureByName(t, ins, "stc:ctrl:2->4")]
+		aivSlow := feats[featureByName(t, ins, "aiv:slow_cnt")]
+		aivFast := feats[featureByName(t, ins, "aiv:fast_cnt")]
+		// cycles = 2 + per-item(2 fetch/dispatch + 1 exit + 1 writeback)
+		//          + total wait = aivFast + aivSlow.
+		want := 2 + 4*(fast+slow) + aivFast + aivSlow
+		if float64(cycles) != want {
+			t.Errorf("trial %d: cycles=%d, linear model=%v", trial, cycles, want)
+		}
+	}
+}

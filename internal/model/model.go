@@ -1,0 +1,344 @@
+// Package model implements the paper's execution-time prediction model
+// (§3.4): a linear map from feature values to execution time, trained by
+// minimizing the asymmetric, L1-regularized convex objective
+//
+//	minimize_β  ‖pos(Xβ−y)‖² + α·‖neg(Xβ−y)‖² + γ·‖β‖₁
+//
+// with α > 1 so under-predictions (which cause deadline misses) are
+// penalized more than over-predictions (which only cost energy), and a
+// Lasso term that drives most coefficients to zero so the hardware slice
+// only needs to compute a handful of features.
+//
+// The objective's smooth part has a Lipschitz-continuous gradient, so it
+// is minimized with FISTA (accelerated proximal gradient) using the
+// soft-threshold operator as the L1 proximal map. Everything is written
+// from scratch on float64 slices; there are no external dependencies.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Config holds training hyper-parameters.
+type Config struct {
+	// Alpha is the under-prediction penalty weight (α in the paper).
+	// Must be >= 1; the paper sets it well above 1 for conservatism.
+	Alpha float64
+	// Gamma is the L1 penalty weight (γ). Zero disables sparsity.
+	Gamma float64
+	// MaxIter bounds FISTA iterations.
+	MaxIter int
+	// Tol is the relative objective-change convergence threshold.
+	Tol float64
+}
+
+// DefaultConfig mirrors the paper's design goals: strongly conservative,
+// sparse, accurate.
+func DefaultConfig() Config {
+	return Config{Alpha: 8, Gamma: 0, MaxIter: 4000, Tol: 1e-10}
+}
+
+// Predictor is a trained linear execution-time model. Predictions are a
+// dot product plus intercept over raw (unstandardized) feature values —
+// exactly the multiply-accumulate hardware evaluation of §3.4.
+type Predictor struct {
+	// Coef are per-feature coefficients in raw feature units.
+	Coef []float64
+	// Intercept is the constant term.
+	Intercept float64
+	// Iters is the number of FISTA iterations performed during training.
+	Iters int
+	// Objective is the final training objective value.
+	Objective float64
+}
+
+// Predict evaluates the model on one feature vector.
+func (p *Predictor) Predict(x []float64) float64 {
+	y := p.Intercept
+	for i, c := range p.Coef {
+		if c != 0 {
+			y += c * x[i]
+		}
+	}
+	return y
+}
+
+// NonZero returns the indices of features with non-zero coefficients.
+func (p *Predictor) NonZero() []int {
+	var idx []int
+	for i, c := range p.Coef {
+		if c != 0 {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// ErrBadShape reports inconsistent training data dimensions.
+var ErrBadShape = errors.New("model: inconsistent training data shape")
+
+// Fit trains a predictor on the design matrix X (rows = jobs, columns =
+// features) and target vector y (execution times).
+func Fit(X [][]float64, y []float64, cfg Config) (*Predictor, error) {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("%w: %d rows, %d targets", ErrBadShape, n, len(y))
+	}
+	d := len(X[0])
+	for _, row := range X {
+		if len(row) != d {
+			return nil, fmt.Errorf("%w: ragged rows", ErrBadShape)
+		}
+	}
+	if cfg.Alpha < 1 {
+		return nil, fmt.Errorf("model: alpha %v < 1", cfg.Alpha)
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = DefaultConfig().MaxIter
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = DefaultConfig().Tol
+	}
+
+	st := standardize(X)
+	Z := st.apply(X)
+	// Center the target; the intercept in standardized space is trained
+	// as an explicit unpenalized coordinate starting from mean(y).
+	w := make([]float64, d)
+	b0 := mean(y)
+
+	// Lipschitz constant of the smooth part: 2·max(1,α)·λmax(AᵀA) where
+	// A is Z with an all-ones intercept column.
+	lam := powerIterLambda(Z, 60)
+	L := 2 * cfg.Alpha * (lam + float64(n)) // +n bounds the intercept column's contribution
+	if L <= 0 || math.IsNaN(L) {
+		L = 1
+	}
+	step := 1 / (1.1 * L)
+
+	obj := func(w []float64, b0 float64) float64 {
+		return objective(Z, y, w, b0, cfg.Alpha, cfg.Gamma)
+	}
+
+	// FISTA state.
+	wPrev := append([]float64(nil), w...)
+	b0Prev := b0
+	tk := 1.0
+	prevObj := obj(w, b0)
+	iters := 0
+	r := make([]float64, n)
+	g := make([]float64, n)
+	gradW := make([]float64, d)
+
+	for iters = 1; iters <= cfg.MaxIter; iters++ {
+		// Extrapolated point.
+		tNext := (1 + math.Sqrt(1+4*tk*tk)) / 2
+		beta := (tk - 1) / tNext
+		yw := make([]float64, d)
+		for j := range yw {
+			yw[j] = w[j] + beta*(w[j]-wPrev[j])
+		}
+		yb0 := b0 + beta*(b0-b0Prev)
+
+		// Gradient of the smooth part at the extrapolated point.
+		residual(Z, y, yw, yb0, r)
+		var gradB0 float64
+		for i := range r {
+			if r[i] > 0 {
+				g[i] = 2 * r[i]
+			} else {
+				g[i] = 2 * cfg.Alpha * r[i]
+			}
+			gradB0 += g[i]
+		}
+		matTVec(Z, g, gradW)
+
+		// Proximal step: soft threshold on w, plain step on intercept.
+		copy(wPrev, w)
+		b0Prev = b0
+		thr := cfg.Gamma * step
+		for j := range w {
+			v := yw[j] - step*gradW[j]
+			w[j] = softThreshold(v, thr)
+		}
+		b0 = yb0 - step*gradB0
+		tk = tNext
+
+		if iters%25 == 0 {
+			cur := obj(w, b0)
+			if math.Abs(prevObj-cur) <= cfg.Tol*(math.Abs(prevObj)+1) {
+				prevObj = cur
+				break
+			}
+			// FISTA is not monotone; restart momentum on increase.
+			if cur > prevObj {
+				tk = 1
+			}
+			prevObj = cur
+		}
+	}
+
+	// Translate standardized coefficients back to raw feature units:
+	// ŷ = b0 + Σ w_j (x_j − μ_j)/σ_j.
+	p := &Predictor{Coef: make([]float64, d), Iters: iters, Objective: prevObj}
+	p.Intercept = b0
+	for j := 0; j < d; j++ {
+		if st.sigma[j] == 0 || w[j] == 0 {
+			continue
+		}
+		c := w[j] / st.sigma[j]
+		p.Coef[j] = c
+		p.Intercept -= c * st.mu[j]
+	}
+	return p, nil
+}
+
+// objective computes the full training objective.
+func objective(Z [][]float64, y, w []float64, b0, alpha, gamma float64) float64 {
+	var s float64
+	for i := range Z {
+		r := dot(Z[i], w) + b0 - y[i]
+		if r > 0 {
+			s += r * r
+		} else {
+			s += alpha * r * r
+		}
+	}
+	for _, c := range w {
+		s += gamma * math.Abs(c)
+	}
+	return s
+}
+
+// residual fills r with Zw + b0 − y.
+func residual(Z [][]float64, y, w []float64, b0 float64, r []float64) {
+	for i := range Z {
+		r[i] = dot(Z[i], w) + b0 - y[i]
+	}
+}
+
+func softThreshold(v, t float64) float64 {
+	switch {
+	case v > t:
+		return v - t
+	case v < -t:
+		return v + t
+	default:
+		return 0
+	}
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// matTVec computes out = Zᵀ g.
+func matTVec(Z [][]float64, g []float64, out []float64) {
+	for j := range out {
+		out[j] = 0
+	}
+	for i := range Z {
+		gi := g[i]
+		if gi == 0 {
+			continue
+		}
+		row := Z[i]
+		for j := range row {
+			out[j] += row[j] * gi
+		}
+	}
+}
+
+// powerIterLambda estimates λmax(ZᵀZ) by power iteration.
+func powerIterLambda(Z [][]float64, iters int) float64 {
+	if len(Z) == 0 || len(Z[0]) == 0 {
+		return 0
+	}
+	d := len(Z[0])
+	v := make([]float64, d)
+	for j := range v {
+		v[j] = 1 / math.Sqrt(float64(d))
+	}
+	zv := make([]float64, len(Z))
+	ztzv := make([]float64, d)
+	lam := 0.0
+	for it := 0; it < iters; it++ {
+		for i := range Z {
+			zv[i] = dot(Z[i], v)
+		}
+		matTVec(Z, zv, ztzv)
+		norm := math.Sqrt(dot(ztzv, ztzv))
+		if norm == 0 {
+			return 0
+		}
+		for j := range v {
+			v[j] = ztzv[j] / norm
+		}
+		lam = norm
+	}
+	return lam
+}
+
+// scaler holds per-column standardization parameters.
+type scaler struct {
+	mu, sigma []float64
+}
+
+func standardize(X [][]float64) scaler {
+	d := len(X[0])
+	n := float64(len(X))
+	st := scaler{mu: make([]float64, d), sigma: make([]float64, d)}
+	for _, row := range X {
+		for j, v := range row {
+			st.mu[j] += v
+		}
+	}
+	for j := range st.mu {
+		st.mu[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			dv := v - st.mu[j]
+			st.sigma[j] += dv * dv
+		}
+	}
+	for j := range st.sigma {
+		s := math.Sqrt(st.sigma[j] / n)
+		// Columns that are constant up to floating-point noise must be
+		// treated as exactly constant, or the back-transform divides by
+		// a denormal-scale sigma and manufactures enormous coefficients.
+		if s < 1e-9*(math.Abs(st.mu[j])+1) {
+			s = 0
+		}
+		st.sigma[j] = s
+	}
+	return st
+}
+
+func (st scaler) apply(X [][]float64) [][]float64 {
+	Z := make([][]float64, len(X))
+	for i, row := range X {
+		z := make([]float64, len(row))
+		for j, v := range row {
+			if st.sigma[j] > 0 {
+				z[j] = (v - st.mu[j]) / st.sigma[j]
+			}
+		}
+		Z[i] = z
+	}
+	return Z
+}
+
+func mean(y []float64) float64 {
+	var s float64
+	for _, v := range y {
+		s += v
+	}
+	return s / float64(len(y))
+}

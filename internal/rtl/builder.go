@@ -1,0 +1,368 @@
+package rtl
+
+import "fmt"
+
+// Signal is a typed handle to a node during construction. It carries the
+// builder so expression methods read naturally: a.Add(b), x.Eq(y), ...
+type Signal struct {
+	b  *Builder
+	id NodeID
+}
+
+// ID returns the underlying node ID.
+func (s Signal) ID() NodeID { return s.id }
+
+// Width returns the signal's bit width.
+func (s Signal) Width() uint8 { return s.b.m.Nodes[s.id].Width }
+
+// Builder incrementally constructs a Module. Nodes are appended in
+// dependency order, so the resulting netlist is SSA by construction.
+//
+// The builder performs global value numbering (hash-consing) on pure
+// combinational nodes, exactly like the common-subexpression
+// elimination a synthesis tool applies: two structurally identical
+// expressions become one node. This matters beyond area — the slicer's
+// guard substitution is keyed by node identity, so semantically equal
+// guards must be the same node. Registers and inputs are never merged.
+type Builder struct {
+	m      *Module
+	consts map[constKey]NodeID
+	pure   map[pureKey]NodeID
+	fsmErr error
+}
+
+type constKey struct {
+	v uint64
+	w uint8
+}
+
+// pureKey identifies a deterministic combinational node for value
+// numbering. Memory reads are included: two reads of the same memory at
+// the same address see the same value within a cycle (shared read port).
+type pureKey struct {
+	op    Op
+	width uint8
+	args  [3]NodeID
+	mem   int32
+}
+
+// NewBuilder starts a new module with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		m:      &Module{Name: name},
+		consts: make(map[constKey]NodeID),
+		pure:   make(map[pureKey]NodeID),
+	}
+}
+
+// Extend wraps an existing module for in-place extension: new nodes and
+// registers are appended, preserving SSA order (new logic may reference
+// existing nodes but not vice versa). Used by the instrumentation pass
+// to add feature witness hardware. Build re-validates the module.
+func Extend(m *Module) *Builder {
+	b := &Builder{m: m, consts: make(map[constKey]NodeID), pure: make(map[pureKey]NodeID)}
+	for i := range m.Nodes {
+		n := &m.Nodes[i]
+		if n.Op == OpConst {
+			b.consts[constKey{n.Const & n.Mask(), n.Width}] = NodeID(i)
+		} else if k, ok := pureKeyFor(n); ok {
+			b.pure[k] = NodeID(i)
+		}
+	}
+	m.invalidateCaches()
+	return b
+}
+
+// pureKeyFor returns the value-numbering key for a node, or ok=false
+// for nodes that must stay unique (state, ports, literals).
+func pureKeyFor(n *Node) (pureKey, bool) {
+	switch n.Op {
+	case OpConst, OpInput, OpReg:
+		return pureKey{}, false
+	}
+	return pureKey{op: n.Op, width: n.Width, args: n.Args, mem: n.Mem}, true
+}
+
+// Wrap returns a Signal handle for an existing node, so extension code
+// can combine pre-existing logic with new nodes.
+func (b *Builder) Wrap(id NodeID) Signal {
+	if id < 0 || int(id) >= len(b.m.Nodes) {
+		panic(fmt.Sprintf("rtl: Wrap(%d) out of range", id))
+	}
+	return Signal{b: b, id: id}
+}
+
+// node appends a raw node (or returns the existing value-numbered
+// equivalent) and returns its signal.
+func (b *Builder) node(n Node) Signal {
+	if n.Width == 0 || n.Width > 64 {
+		panic(fmt.Sprintf("rtl: builder %s: bad width %d for %s", b.m.Name, n.Width, n.Op))
+	}
+	k, pure := pureKeyFor(&n)
+	if pure {
+		if id, ok := b.pure[k]; ok {
+			return Signal{b: b, id: id}
+		}
+	}
+	id := NodeID(len(b.m.Nodes))
+	b.m.Nodes = append(b.m.Nodes, n)
+	if pure {
+		b.pure[k] = id
+	}
+	return Signal{b: b, id: id}
+}
+
+// Const creates (or reuses) a literal of the given width.
+func (b *Builder) Const(v uint64, width uint8) Signal {
+	v &= WidthMask(width)
+	k := constKey{v, width}
+	if id, ok := b.consts[k]; ok {
+		return Signal{b: b, id: id}
+	}
+	s := b.node(Node{Op: OpConst, Width: width, Const: v})
+	b.consts[k] = s.id
+	return s
+}
+
+// Input declares a module input port.
+func (b *Builder) Input(name string, width uint8) Signal {
+	return b.node(Node{Op: OpInput, Width: width, Name: name})
+}
+
+// RegSignal is a register under construction: its current-value signal
+// is usable immediately; the next-value expression is bound later with
+// SetNext (or implicitly held if never bound).
+type RegSignal struct {
+	Signal
+	regIndex int
+}
+
+// Reg declares a register with a reset value. Until SetNext is called
+// the register holds its value (next == current).
+func (b *Builder) Reg(name string, width uint8, init uint64) RegSignal {
+	if init&^WidthMask(width) != 0 {
+		panic(fmt.Sprintf("rtl: builder %s: reg %s init %d exceeds width %d", b.m.Name, name, init, width))
+	}
+	s := b.node(Node{Op: OpReg, Width: width, Name: name})
+	b.m.Regs = append(b.m.Regs, Reg{Node: s.id, Next: s.id, Init: init, Name: name})
+	return RegSignal{Signal: s, regIndex: len(b.m.Regs) - 1}
+}
+
+// SetNext binds the register's next-value expression.
+func (b *Builder) SetNext(r RegSignal, next Signal) {
+	if next.Width() != r.Width() {
+		panic(fmt.Sprintf("rtl: builder %s: reg %s next width %d != reg width %d",
+			b.m.Name, b.m.Regs[r.regIndex].Name, next.Width(), r.Width()))
+	}
+	b.m.Regs[r.regIndex].Next = next.id
+}
+
+// Memory declares a read/write scratchpad of the given word count.
+func (b *Builder) Memory(name string, words int) *Mem {
+	mem := &Mem{Name: name, Words: words}
+	b.m.Mems = append(b.m.Mems, mem)
+	return mem
+}
+
+// ROM declares a read-only memory initialized with the given contents.
+func (b *Builder) ROM(name string, data []uint64) *Mem {
+	cp := make([]uint64, len(data))
+	copy(cp, data)
+	mem := &Mem{Name: name, Words: len(data), Data: cp, ROM: true}
+	b.m.Mems = append(b.m.Mems, mem)
+	return mem
+}
+
+// Read creates a combinational read of mem at addr with the given data
+// width.
+func (b *Builder) Read(mem *Mem, addr Signal, width uint8) Signal {
+	idx := int32(-1)
+	for i, m := range b.m.Mems {
+		if m == mem {
+			idx = int32(i)
+			break
+		}
+	}
+	if idx < 0 {
+		panic("rtl: builder: Read of foreign memory")
+	}
+	n := Node{Op: OpMemRead, Width: width, Mem: idx}
+	n.Args[0] = addr.id
+	n.NArgs = 1
+	return b.node(n)
+}
+
+// Write adds a synchronous write port: when en is nonzero at cycle end,
+// data is stored at addr.
+func (b *Builder) Write(mem *Mem, addr, data, en Signal) {
+	idx := int32(-1)
+	for i, m := range b.m.Mems {
+		if m == mem {
+			idx = int32(i)
+			break
+		}
+	}
+	if idx < 0 {
+		panic("rtl: builder: Write to foreign memory")
+	}
+	b.m.Writes = append(b.m.Writes, MemWrite{Mem: idx, Addr: addr.id, Data: data.id, En: en.id})
+}
+
+// SetDone designates the module's done signal.
+func (b *Builder) SetDone(done Signal) { b.m.Done = done.id }
+
+// Build validates and returns the finished module. The builder must not
+// be used afterwards.
+func (b *Builder) Build() (*Module, error) {
+	if b.fsmErr != nil {
+		return nil, b.fsmErr
+	}
+	m := b.m
+	b.m = nil
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// MustBuild is Build that panics on error; for use in tests and in
+// accelerator constructors whose inputs are static.
+func (b *Builder) MustBuild() *Module {
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// AddRaw appends a pre-formed node. It exists for lowering passes and
+// tests that need ops outside the Signal method set; Build still
+// validates the result.
+func (b *Builder) AddRaw(n Node) Signal { return b.node(n) }
+
+func (b *Builder) binary(op Op, width uint8, x, y Signal) Signal {
+	n := Node{Op: op, Width: width}
+	n.Args[0], n.Args[1] = x.id, y.id
+	n.NArgs = 2
+	return b.node(n)
+}
+
+func widest(x, y Signal) uint8 {
+	w := x.Width()
+	if yw := y.Width(); yw > w {
+		return yw
+	}
+	return w
+}
+
+// Add returns s+y at the wider operand width.
+func (s Signal) Add(y Signal) Signal { return s.b.binary(OpAdd, widest(s, y), s, y) }
+
+// AddW returns s+y truncated/extended to the given width.
+func (s Signal) AddW(y Signal, width uint8) Signal { return s.b.binary(OpAdd, width, s, y) }
+
+// Sub returns s-y (modular) at the wider operand width.
+func (s Signal) Sub(y Signal) Signal { return s.b.binary(OpSub, widest(s, y), s, y) }
+
+// Mul returns s*y at the given result width.
+func (s Signal) Mul(y Signal, width uint8) Signal { return s.b.binary(OpMul, width, s, y) }
+
+// And returns the bitwise AND.
+func (s Signal) And(y Signal) Signal { return s.b.binary(OpAnd, widest(s, y), s, y) }
+
+// Or returns the bitwise OR.
+func (s Signal) Or(y Signal) Signal { return s.b.binary(OpOr, widest(s, y), s, y) }
+
+// Xor returns the bitwise XOR.
+func (s Signal) Xor(y Signal) Signal { return s.b.binary(OpXor, widest(s, y), s, y) }
+
+// Not returns the bitwise complement at s's width.
+func (s Signal) Not() Signal {
+	n := Node{Op: OpNot, Width: s.Width()}
+	n.Args[0] = s.id
+	n.NArgs = 1
+	return s.b.node(n)
+}
+
+// Shl returns s << y at s's width.
+func (s Signal) Shl(y Signal) Signal { return s.b.binary(OpShl, s.Width(), s, y) }
+
+// Shr returns s >> y at s's width.
+func (s Signal) Shr(y Signal) Signal { return s.b.binary(OpShr, s.Width(), s, y) }
+
+// ShlK and ShrK shift by a constant amount.
+func (s Signal) ShlK(k uint8) Signal { return s.Shl(s.b.Const(uint64(k), 7)) }
+
+// ShrK shifts right by a constant amount.
+func (s Signal) ShrK(k uint8) Signal { return s.Shr(s.b.Const(uint64(k), 7)) }
+
+// Eq returns the 1-bit comparison s == y.
+func (s Signal) Eq(y Signal) Signal { return s.b.binary(OpEq, 1, s, y) }
+
+// EqK returns the 1-bit comparison s == k.
+func (s Signal) EqK(k uint64) Signal { return s.Eq(s.b.Const(k, s.Width())) }
+
+// Ne returns the 1-bit comparison s != y.
+func (s Signal) Ne(y Signal) Signal { return s.b.binary(OpNe, 1, s, y) }
+
+// NeK returns the 1-bit comparison s != k.
+func (s Signal) NeK(k uint64) Signal { return s.Ne(s.b.Const(k, s.Width())) }
+
+// Lt returns the 1-bit unsigned comparison s < y.
+func (s Signal) Lt(y Signal) Signal { return s.b.binary(OpLt, 1, s, y) }
+
+// Le returns the 1-bit unsigned comparison s <= y.
+func (s Signal) Le(y Signal) Signal { return s.b.binary(OpLe, 1, s, y) }
+
+// Gt returns the 1-bit unsigned comparison s > y.
+func (s Signal) Gt(y Signal) Signal { return y.Lt(s) }
+
+// Ge returns the 1-bit unsigned comparison s >= y.
+func (s Signal) Ge(y Signal) Signal { return y.Le(s) }
+
+// IsZero returns the 1-bit test s == 0.
+func (s Signal) IsZero() Signal { return s.EqK(0) }
+
+// NonZero returns the 1-bit test s != 0.
+func (s Signal) NonZero() Signal { return s.NeK(0) }
+
+// Mux returns a if s (a 1-bit condition) is nonzero, else c.
+func (s Signal) Mux(a, c Signal) Signal {
+	w := widest(a, c)
+	n := Node{Op: OpMux, Width: w}
+	n.Args[0], n.Args[1], n.Args[2] = s.id, a.id, c.id
+	n.NArgs = 3
+	return s.b.node(n)
+}
+
+// Inc returns s+1 at s's width.
+func (s Signal) Inc() Signal { return s.AddW(s.b.Const(1, s.Width()), s.Width()) }
+
+// Dec returns s-1 at s's width.
+func (s Signal) Dec() Signal { return s.Sub(s.b.Const(1, s.Width())) }
+
+// WidenTo zero-extends the signal to the given width (no-op if the
+// signal is already at least that wide).
+func (s Signal) WidenTo(width uint8) Signal {
+	if s.Width() >= width {
+		return s
+	}
+	return s.Or(s.b.Const(0, width))
+}
+
+// Trunc re-types the signal to a narrower width via AND with a mask.
+func (s Signal) Trunc(width uint8) Signal {
+	if width >= s.Width() {
+		return s
+	}
+	return s.b.binary(OpAnd, width, s, s.b.Const(WidthMask(width), s.Width()))
+}
+
+// Bits extracts bits [lo, lo+n) as an n-bit value.
+func (s Signal) Bits(lo, n uint8) Signal {
+	sh := s
+	if lo > 0 {
+		sh = s.ShrK(lo)
+	}
+	return sh.Trunc(n)
+}

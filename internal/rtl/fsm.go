@@ -1,0 +1,140 @@
+package rtl
+
+import "fmt"
+
+// FSMBuilder lowers a textbook finite state machine — a state register
+// plus a transition table — into plain mux-tree logic. The lowered form
+// contains no FSM metadata: package analyze must (and does) rediscover
+// the machine structurally, exactly as the paper's Yosys-based flow
+// rediscovers FSMs in third-party RTL.
+//
+// Transitions for each source state are evaluated in the order added;
+// the first one whose condition holds wins, and a state with no matching
+// transition holds (self-loop).
+type FSMBuilder struct {
+	b         *Builder
+	name      string
+	state     RegSignal
+	numStates uint64
+	trans     map[uint64][]fsmTransition
+	built     bool
+}
+
+type fsmTransition struct {
+	cond   Signal // 1-bit; InvalidNode sentinel via condValid=false means unconditional
+	hasCnd bool
+	target uint64
+}
+
+// FSM starts a state machine with the given number of states, resetting
+// to state 0. The state register is sized to fit numStates-1.
+func (b *Builder) FSM(name string, numStates uint64) *FSMBuilder {
+	if numStates < 2 {
+		panic(fmt.Sprintf("rtl: fsm %s needs at least 2 states", name))
+	}
+	w := WidthFor(numStates - 1)
+	st := b.Reg(name, w, 0)
+	return &FSMBuilder{
+		b:         b,
+		name:      name,
+		state:     st,
+		numStates: numStates,
+		trans:     make(map[uint64][]fsmTransition),
+	}
+}
+
+// State returns the state register's current-value signal.
+func (f *FSMBuilder) State() Signal { return f.state.Signal }
+
+// In returns a 1-bit signal that is high while the machine is in state s.
+func (f *FSMBuilder) In(s uint64) Signal { return f.state.EqK(s) }
+
+// When adds a conditional transition src --cond--> dst.
+func (f *FSMBuilder) When(src uint64, cond Signal, dst uint64) *FSMBuilder {
+	f.check(src, dst)
+	f.trans[src] = append(f.trans[src], fsmTransition{cond: cond, hasCnd: true, target: dst})
+	return f
+}
+
+// Always adds an unconditional transition src --> dst. It must be the
+// last transition added for src.
+func (f *FSMBuilder) Always(src, dst uint64) *FSMBuilder {
+	f.check(src, dst)
+	f.trans[src] = append(f.trans[src], fsmTransition{target: dst})
+	return f
+}
+
+func (f *FSMBuilder) check(src, dst uint64) {
+	if f.built {
+		panic(fmt.Sprintf("rtl: fsm %s: transition added after Build", f.name))
+	}
+	if src >= f.numStates || dst >= f.numStates {
+		f.b.fsmErr = fmt.Errorf("rtl: fsm %s: transition %d->%d out of range", f.name, src, dst)
+	}
+	if ts := f.trans[src]; len(ts) > 0 && !ts[len(ts)-1].hasCnd {
+		f.b.fsmErr = fmt.Errorf("rtl: fsm %s: transition after unconditional one in state %d", f.name, src)
+	}
+}
+
+// Build lowers the transition table to a mux tree and binds it as the
+// state register's next value. It returns the state signal.
+func (f *FSMBuilder) Build() Signal {
+	if f.built {
+		panic(fmt.Sprintf("rtl: fsm %s: Build called twice", f.name))
+	}
+	f.built = true
+	b := f.b
+	w := f.state.Width()
+	// next = mux(state==0, next0, mux(state==1, next1, ... state))
+	next := f.state.Signal // unreachable fallback: hold
+	for s := int64(f.numStates) - 1; s >= 0; s-- {
+		ts := f.trans[uint64(s)]
+		// Per-state next: fold transitions right to left; default hold.
+		stNext := f.state.Signal
+		for i := len(ts) - 1; i >= 0; i-- {
+			t := ts[i]
+			tgt := b.Const(t.target, w)
+			if !t.hasCnd {
+				stNext = tgt
+				continue
+			}
+			stNext = t.cond.Mux(tgt, stNext)
+		}
+		if len(ts) == 0 {
+			continue // pure hold state; no mux level needed
+		}
+		next = f.In(uint64(s)).Mux(stNext, next)
+	}
+	b.SetNext(f.state, next)
+	return f.state.Signal
+}
+
+// DownCounter builds the canonical variable-latency idiom of the paper:
+// a register that loads loadVal when load is high, otherwise decrements
+// toward zero and holds at zero. Its "counting done" condition is
+// Sig.IsZero(). The lowered netlist is plain mux logic; package analyze
+// re-derives counter-ness, direction, and the load criteria structurally.
+func (b *Builder) DownCounter(name string, width uint8, load, loadVal Signal) RegSignal {
+	c := b.Reg(name, width, 0)
+	dec := c.NonZero().Mux(c.Dec(), c.Signal)
+	b.SetNext(c, load.Mux(loadVal.Trunc(width), dec))
+	return c
+}
+
+// UpCounter builds an incrementing counter: it resets to zero when clear
+// is high, otherwise adds one while en is high.
+func (b *Builder) UpCounter(name string, width uint8, clear, en Signal) RegSignal {
+	c := b.Reg(name, width, 0)
+	inc := en.Mux(c.Inc(), c.Signal)
+	b.SetNext(c, clear.Mux(b.Const(0, width), inc))
+	return c
+}
+
+// Accum builds an accumulator register: when en is high it adds v,
+// otherwise it holds. Used by the instrumentation pass for feature
+// witnesses, and occasionally by datapaths.
+func (b *Builder) Accum(name string, width uint8, en, v Signal) RegSignal {
+	a := b.Reg(name, width, 0)
+	b.SetNext(a, en.Mux(a.AddW(v, width), a.Signal))
+	return a
+}

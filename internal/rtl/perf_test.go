@@ -1,0 +1,28 @@
+package rtl_test
+
+import (
+	"testing"
+
+	"repro/internal/rtl"
+	"repro/internal/testdesigns"
+)
+
+func BenchmarkToySim(b *testing.B) {
+	toy := testdesigns.Toy()
+	items := make([]uint64, 100)
+	for i := range items {
+		items[i] = testdesigns.ToyItem(i%2 == 0, uint8(20))
+	}
+	s := rtl.NewSim(toy.M)
+	job := testdesigns.ToyJob(items)
+	b.ResetTimer()
+	total := uint64(0)
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		s.LoadMem("in", job)
+		c, _ := s.Run(1 << 20)
+		total += c
+	}
+	b.ReportMetric(float64(total*uint64(len(toy.M.Nodes)))/float64(b.Elapsed().Seconds())/1e6, "Mevals/s")
+	b.ReportMetric(float64(total)/float64(b.N), "ticks/job")
+}

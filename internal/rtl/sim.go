@@ -1,0 +1,267 @@
+package rtl
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sim is a cycle-accurate interpreter for a Module. One Sim instance can
+// run many jobs back to back; Reset restores registers and clears
+// scratchpads between jobs.
+//
+// Evaluation model per cycle:
+//  1. combinational nodes are evaluated in ID order (SSA guarantees
+//     arguments are ready; OpReg nodes read latched state),
+//  2. memory write ports with En != 0 commit,
+//  3. registers latch their Next values,
+//  4. activity (toggle) counters are updated for the energy model.
+type Sim struct {
+	m *Module
+	// vals holds the current cycle's node values.
+	vals []uint64
+	// prev holds the previous cycle's values for toggle counting.
+	prev []uint64
+	// inputs are the values driven on OpInput nodes.
+	inputs map[NodeID]uint64
+	// toggles accumulates per-node value-change counts across a Run; a
+	// proxy for switching activity used by the energy model.
+	toggles []uint64
+	// countToggles enables activity tracking (small slowdown).
+	countToggles bool
+	// latch is scratch space for the simultaneous register update.
+	latch []uint64
+	// cycles counts the cycles executed since the last Reset.
+	cycles uint64
+}
+
+// ErrNoProgress is returned by Run when the cycle limit is reached
+// before the module raises Done.
+var ErrNoProgress = errors.New("rtl: cycle limit reached before done")
+
+// NewSim prepares a simulator for the module. The module must be valid
+// (Builder.Build validates; hand-built modules should call Validate).
+func NewSim(m *Module) *Sim {
+	s := &Sim{
+		m:      m,
+		vals:   make([]uint64, len(m.Nodes)),
+		prev:   make([]uint64, len(m.Nodes)),
+		inputs: make(map[NodeID]uint64),
+	}
+	s.Reset()
+	return s
+}
+
+// EnableActivity turns on per-node toggle counting for energy modeling.
+func (s *Sim) EnableActivity() {
+	s.countToggles = true
+	if s.toggles == nil {
+		s.toggles = make([]uint64, len(s.m.Nodes))
+	}
+}
+
+// Toggles returns the per-node toggle counts accumulated since Reset.
+// The slice is owned by the simulator; callers must not modify it.
+func (s *Sim) Toggles() []uint64 { return s.toggles }
+
+// Reset restores registers to their init values, zeroes non-ROM memory,
+// clears inputs, the cycle counter, and activity counts.
+func (s *Sim) Reset() {
+	for i := range s.vals {
+		s.vals[i] = 0
+	}
+	for i := range s.m.Regs {
+		r := &s.m.Regs[i]
+		s.vals[r.Node] = r.Init
+	}
+	for i := range s.m.Nodes {
+		if s.m.Nodes[i].Op == OpConst {
+			s.vals[i] = s.m.Nodes[i].Const & s.m.Nodes[i].Mask()
+		}
+	}
+	for _, mem := range s.m.Mems {
+		if mem.ROM {
+			continue
+		}
+		if len(mem.Data) != mem.Words {
+			mem.Data = make([]uint64, mem.Words)
+		}
+		for i := range mem.Data {
+			mem.Data[i] = 0
+		}
+	}
+	for k := range s.inputs {
+		delete(s.inputs, k)
+	}
+	for i := range s.toggles {
+		s.toggles[i] = 0
+	}
+	s.cycles = 0
+	copy(s.prev, s.vals)
+}
+
+// SetInput drives an input port for subsequent cycles.
+func (s *Sim) SetInput(id NodeID, v uint64) {
+	if s.m.Nodes[id].Op != OpInput {
+		panic(fmt.Sprintf("rtl: SetInput on non-input node %d", id))
+	}
+	s.inputs[id] = v & s.m.Nodes[id].Mask()
+}
+
+// LoadMem fills a named scratchpad with job input data (the DMA transfer
+// of the paper's system model). Excess words are zero.
+func (s *Sim) LoadMem(name string, data []uint64) error {
+	mem := s.m.MemByName(name)
+	if mem == nil {
+		return fmt.Errorf("rtl: module %s has no memory %q", s.m.Name, name)
+	}
+	if mem.ROM {
+		return fmt.Errorf("rtl: memory %q is a ROM", name)
+	}
+	if len(data) > mem.Words {
+		return fmt.Errorf("rtl: %d words exceed memory %q size %d", len(data), name, mem.Words)
+	}
+	if len(mem.Data) != mem.Words {
+		mem.Data = make([]uint64, mem.Words)
+	}
+	copy(mem.Data, data)
+	for i := len(data); i < mem.Words; i++ {
+		mem.Data[i] = 0
+	}
+	return nil
+}
+
+// Mem returns the named memory's current contents (aliased, not copied).
+func (s *Sim) Mem(name string) []uint64 {
+	mem := s.m.MemByName(name)
+	if mem == nil {
+		return nil
+	}
+	return mem.Data
+}
+
+// Value returns the value computed for a node in the last executed
+// cycle (for OpReg nodes, the current latched state).
+func (s *Sim) Value(id NodeID) uint64 { return s.vals[id] }
+
+// Cycles returns the number of cycles executed since Reset.
+func (s *Sim) Cycles() uint64 { return s.cycles }
+
+// Step executes one cycle and reports whether Done was high.
+func (s *Sim) Step() bool {
+	m := s.m
+	vals := s.vals
+	// Phase 1: combinational evaluation in SSA order.
+	for i := range m.Nodes {
+		n := &m.Nodes[i]
+		switch n.Op {
+		case OpConst, OpReg:
+			// Constants preloaded; registers hold latched state.
+			continue
+		case OpInput:
+			vals[i] = s.inputs[NodeID(i)]
+		case OpMemRead:
+			mem := m.Mems[n.Mem]
+			addr := vals[n.Args[0]]
+			if addr < uint64(len(mem.Data)) {
+				vals[i] = mem.Data[addr] & n.Mask()
+			} else {
+				vals[i] = 0
+			}
+		case OpMux:
+			if vals[n.Args[0]] != 0 {
+				vals[i] = vals[n.Args[1]] & n.Mask()
+			} else {
+				vals[i] = vals[n.Args[2]] & n.Mask()
+			}
+		case OpAdd:
+			vals[i] = (vals[n.Args[0]] + vals[n.Args[1]]) & n.Mask()
+		case OpSub:
+			vals[i] = (vals[n.Args[0]] - vals[n.Args[1]]) & n.Mask()
+		case OpEq:
+			if vals[n.Args[0]] == vals[n.Args[1]] {
+				vals[i] = 1
+			} else {
+				vals[i] = 0
+			}
+		case OpNe:
+			if vals[n.Args[0]] != vals[n.Args[1]] {
+				vals[i] = 1
+			} else {
+				vals[i] = 0
+			}
+		case OpLt:
+			if vals[n.Args[0]] < vals[n.Args[1]] {
+				vals[i] = 1
+			} else {
+				vals[i] = 0
+			}
+		case OpLe:
+			if vals[n.Args[0]] <= vals[n.Args[1]] {
+				vals[i] = 1
+			} else {
+				vals[i] = 0
+			}
+		default:
+			var a [3]uint64
+			for k := 0; k < int(n.NArgs); k++ {
+				a[k] = vals[n.Args[k]]
+			}
+			vals[i] = evalOp(n, a)
+		}
+	}
+	done := vals[m.Done] != 0
+	// Phase 2: memory writes commit.
+	for i := range m.Writes {
+		w := &m.Writes[i]
+		if vals[w.En] != 0 {
+			mem := m.Mems[w.Mem]
+			addr := vals[w.Addr]
+			if addr < uint64(len(mem.Data)) {
+				mem.Data[addr] = vals[w.Data]
+			}
+		}
+	}
+	// Phase 3: registers latch simultaneously. Next values are read into
+	// a scratch slice first so a register whose Next aliases another
+	// register's node observes the pre-latch value.
+	if cap(s.latch) < len(m.Regs) {
+		s.latch = make([]uint64, len(m.Regs))
+	}
+	latch := s.latch[:len(m.Regs)]
+	for i := range m.Regs {
+		r := &m.Regs[i]
+		latch[i] = vals[r.Next] & m.Nodes[r.Node].Mask()
+	}
+	for i := range m.Regs {
+		vals[m.Regs[i].Node] = latch[i]
+	}
+	// Phase 4: activity accounting.
+	if s.countToggles {
+		prev := s.prev
+		tg := s.toggles
+		for i := range vals {
+			if vals[i] != prev[i] {
+				tg[i]++
+				prev[i] = vals[i]
+			}
+		}
+	}
+	s.cycles++
+	return done
+}
+
+// Run steps the module until Done is raised, returning the number of
+// cycles taken (inclusive of the done cycle). If maxCycles elapses
+// first, it returns ErrNoProgress.
+func (s *Sim) Run(maxCycles uint64) (uint64, error) {
+	start := s.cycles
+	for s.cycles-start < maxCycles {
+		if s.Step() {
+			return s.cycles - start, nil
+		}
+	}
+	return s.cycles - start, fmt.Errorf("%w (module %s, limit %d)", ErrNoProgress, s.m.Name, maxCycles)
+}
+
+// RegValue returns the latched value of register index i.
+func (s *Sim) RegValue(i int) uint64 { return s.vals[s.m.Regs[i].Node] }

@@ -1,0 +1,150 @@
+package rtl
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// VCD waveform dumping: attach a VCDWriter to a simulator to record
+// register (and optionally all-node) waveforms in the standard Value
+// Change Dump format readable by GTKWave and every RTL debugging tool.
+// This is the observability a hardware team expects from a simulator;
+// it is also how the instrumentation and slicing passes were debugged.
+
+// VCDWriter records value changes cycle by cycle.
+type VCDWriter struct {
+	w        io.Writer
+	m        *Module
+	tracked  []NodeID
+	ids      map[NodeID]string
+	last     map[NodeID]uint64
+	time     uint64
+	header   bool
+	writeErr error
+}
+
+// NewVCDWriter creates a writer that dumps the given nodes. If nodes is
+// nil, all registers are tracked.
+func NewVCDWriter(w io.Writer, m *Module, nodes []NodeID) *VCDWriter {
+	if nodes == nil {
+		for i := range m.Regs {
+			nodes = append(nodes, m.Regs[i].Node)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	v := &VCDWriter{
+		w:       w,
+		m:       m,
+		tracked: nodes,
+		ids:     make(map[NodeID]string, len(nodes)),
+		last:    make(map[NodeID]uint64, len(nodes)),
+	}
+	for i, id := range nodes {
+		v.ids[id] = vcdID(i)
+	}
+	return v
+}
+
+// vcdID generates the compact printable identifiers VCD uses.
+func vcdID(i int) string {
+	const alphabet = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~"
+	s := ""
+	for {
+		s = string(alphabet[i%len(alphabet)]) + s
+		if i < len(alphabet) {
+			return s
+		}
+		i = i/len(alphabet) - 1
+	}
+}
+
+func (v *VCDWriter) printf(format string, args ...any) {
+	if v.writeErr != nil {
+		return
+	}
+	_, v.writeErr = fmt.Fprintf(v.w, format, args...)
+}
+
+// writeHeader emits the declaration section.
+func (v *VCDWriter) writeHeader() {
+	v.printf("$timescale 1ns $end\n$scope module %s $end\n", v.m.Name)
+	for _, id := range v.tracked {
+		n := &v.m.Nodes[id]
+		name := n.Name
+		if name == "" {
+			name = fmt.Sprintf("n%d", id)
+		}
+		v.printf("$var wire %d %s %s $end\n", n.Width, v.ids[id], name)
+	}
+	v.printf("$upscope $end\n$enddefinitions $end\n")
+	v.header = true
+}
+
+// Sample records the current values from the simulator at the next
+// timestep. Call once per executed cycle.
+func (v *VCDWriter) Sample(s *Sim) {
+	if !v.header {
+		v.writeHeader()
+		v.printf("$dumpvars\n")
+		for _, id := range v.tracked {
+			v.emit(id, s.Value(id))
+			v.last[id] = s.Value(id)
+		}
+		v.printf("$end\n")
+		v.time++
+		return
+	}
+	wroteTime := false
+	for _, id := range v.tracked {
+		val := s.Value(id)
+		if val == v.last[id] {
+			continue
+		}
+		if !wroteTime {
+			v.printf("#%d\n", v.time)
+			wroteTime = true
+		}
+		v.emit(id, val)
+		v.last[id] = val
+	}
+	v.time++
+}
+
+// emit writes one value change in binary vector notation.
+func (v *VCDWriter) emit(id NodeID, val uint64) {
+	n := &v.m.Nodes[id]
+	if n.Width == 1 {
+		v.printf("%d%s\n", val&1, v.ids[id])
+		return
+	}
+	v.printf("b%b %s\n", val, v.ids[id])
+}
+
+// Close finishes the dump and reports any write error.
+func (v *VCDWriter) Close() error {
+	if !v.header {
+		v.writeHeader()
+	}
+	v.printf("#%d\n", v.time)
+	return v.writeErr
+}
+
+// RunWithVCD runs the simulator to completion, sampling every cycle.
+func RunWithVCD(s *Sim, v *VCDWriter, maxCycles uint64) (uint64, error) {
+	start := s.Cycles()
+	for s.Cycles()-start < maxCycles {
+		done := s.Step()
+		v.Sample(s)
+		if done {
+			if err := v.Close(); err != nil {
+				return s.Cycles() - start, err
+			}
+			return s.Cycles() - start, nil
+		}
+	}
+	if err := v.Close(); err != nil {
+		return s.Cycles() - start, err
+	}
+	return s.Cycles() - start, fmt.Errorf("%w (module %s, limit %d)", ErrNoProgress, s.m.Name, maxCycles)
+}

@@ -1,0 +1,84 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+)
+
+func vcdCounter(t *testing.T) *Module {
+	t.Helper()
+	b := NewBuilder("cnt")
+	c := b.Reg("count", 4, 0)
+	b.SetNext(c, c.Inc())
+	flag := b.Reg("flag", 1, 0)
+	b.SetNext(flag, c.Signal.Bits(0, 1))
+	b.SetDone(c.EqK(5))
+	return b.MustBuild()
+}
+
+func TestVCDStructure(t *testing.T) {
+	m := vcdCounter(t)
+	s := NewSim(m)
+	var sb strings.Builder
+	v := NewVCDWriter(&sb, m, nil)
+	ticks, err := RunWithVCD(s, v, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 6 {
+		t.Errorf("ticks = %d", ticks)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale", "$scope module cnt", "$var wire 4", "count",
+		"$var wire 1", "flag", "$enddefinitions", "$dumpvars",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// The 4-bit counter must show binary vector changes.
+	if !strings.Contains(out, "b101 ") && !strings.Contains(out, "b101\t") {
+		t.Errorf("VCD missing count value 5:\n%s", out)
+	}
+	// Timestamps must be monotonically present.
+	if !strings.Contains(out, "#1") || !strings.Contains(out, "#5") {
+		t.Errorf("VCD missing timesteps:\n%s", out)
+	}
+}
+
+func TestVCDOnlyEmitsChanges(t *testing.T) {
+	// A register that never changes should appear once (in $dumpvars)
+	// and never again.
+	b := NewBuilder("still")
+	r := b.Reg("frozen", 8, 42)
+	b.SetNext(r, r.Signal)
+	c := b.Reg("tick", 8, 0)
+	b.SetNext(c, c.Inc())
+	b.SetDone(c.EqK(6))
+	m := b.MustBuild()
+	s := NewSim(m)
+	var sb strings.Builder
+	v := NewVCDWriter(&sb, m, []NodeID{r.ID()})
+	if _, err := RunWithVCD(s, v, 100); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if got := strings.Count(out, "b101010"); got != 1 {
+		t.Errorf("frozen register dumped %d times, want 1:\n%s", got, out)
+	}
+}
+
+func TestVCDIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate VCD id %q at %d", id, i)
+		}
+		seen[id] = true
+		if id == "" {
+			t.Fatalf("empty id at %d", i)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package sim is the system-level simulator: it replays per-job traces
+// (collected once from RTL simulation, see core.CollectTraces) under a
+// DVFS controller, a device profile, and an energy model, producing the
+// per-scheme energy and deadline-miss statistics of the paper's
+// evaluation (§4.3–§4.4).
+//
+// Replaying is exact, not an approximation: cycle counts are
+// frequency-independent in the paper's compute-bound model (T = C/f,
+// Tmemory ≈ 0), so execution time at any level and all energies are
+// closed-form functions of the recorded cycle counts.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/power"
+)
+
+// Config describes one evaluation run.
+type Config struct {
+	// Device is the DVFS profile (ASIC or FPGA).
+	Device *dvfs.Device
+	// Power models the accelerator; SlicePower models the predictor
+	// slice (its own small power domain).
+	Power      power.Model
+	SlicePower power.Model
+	// Deadline is the per-job response-time requirement in seconds.
+	Deadline float64
+	// Controller decides per-job plans.
+	Controller control.Controller
+	// NoOverheads removes slice and switching time and energy — the
+	// "prediction w/o overhead" scheme of Figure 13.
+	NoOverheads bool
+}
+
+// JobResult is the outcome of one job.
+type JobResult struct {
+	// Level is the chosen operating-point index.
+	Level int
+	// Missed reports a deadline violation.
+	Missed bool
+	// Energy in joules, including slice and transition energy.
+	Energy float64
+	// TotalSeconds is slice + switch + execution time.
+	TotalSeconds float64
+	// Switched reports a DVFS transition before this job.
+	Switched bool
+	// PredT0 echoes the controller's estimate (diagnostics).
+	PredT0 float64
+}
+
+// Result aggregates a run.
+type Result struct {
+	// Scheme is the controller name.
+	Scheme string
+	// Energy is total joules over all jobs.
+	Energy float64
+	// Misses counts deadline violations; Jobs the total job count.
+	Misses int
+	Jobs   int
+	// Switches counts DVFS transitions.
+	Switches int
+	// PerJob holds per-job outcomes in order.
+	PerJob []JobResult
+}
+
+// MissRate returns the fraction of jobs that missed their deadline.
+func (r Result) MissRate() float64 {
+	if r.Jobs == 0 {
+		return 0
+	}
+	return float64(r.Misses) / float64(r.Jobs)
+}
+
+// Run replays the traces under the configuration.
+func Run(traces []core.JobTrace, cfg Config) (Result, error) {
+	if cfg.Device == nil || cfg.Controller == nil {
+		return Result{}, fmt.Errorf("sim: device and controller are required")
+	}
+	if err := cfg.Device.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Deadline <= 0 {
+		return Result{}, fmt.Errorf("sim: non-positive deadline")
+	}
+	ctrl := cfg.Controller
+	ctrl.Reset()
+	res := Result{Scheme: ctrl.Name(), Jobs: len(traces)}
+	res.PerJob = make([]JobResult, 0, len(traces))
+	curLevel := cfg.Device.Nominal
+
+	for _, tr := range traces {
+		view := control.JobView{
+			Class:         tr.Class,
+			PredSeconds:   tr.PredSeconds,
+			SliceSeconds:  tr.SliceSeconds,
+			ActualSeconds: tr.Seconds,
+		}
+		plan := ctrl.Plan(view)
+		if cfg.NoOverheads {
+			plan.SliceTime = 0
+			plan.ChargeSwitch = false
+		}
+
+		var level int
+		if plan.RunNominal {
+			level = cfg.Device.Nominal
+		} else {
+			req := dvfs.Request{
+				PredictedT0: plan.PredT0,
+				Margin:      plan.MarginFrac * plan.PredT0,
+				Budget:      cfg.Deadline,
+				SliceTime:   plan.SliceTime,
+				AllowBoost:  plan.AllowBoost,
+			}
+			if plan.ChargeSwitch {
+				req.SwitchTime = cfg.Device.SwitchTime
+			}
+			level = cfg.Device.Select(req).Level
+		}
+
+		switched := level != curLevel
+		curLevel = level
+		pt := cfg.Device.Points[level]
+
+		tExec := tr.Cycles / pt.Freq
+		total := tExec + plan.SliceTime
+		energy := cfg.Power.JobEnergy(pt, tr.Cycles)
+		if plan.SliceTime > 0 {
+			energy += cfg.SlicePower.SliceEnergy(cfg.Device, float64(tr.SliceTicks)*(tr.Cycles/float64(tr.Ticks)))
+		}
+		if switched && plan.ChargeSwitch {
+			total += cfg.Device.SwitchTime
+			energy += cfg.Power.TransitionEnergy(1)
+			res.Switches++
+		}
+
+		missed := total > cfg.Deadline*(1+1e-12)
+		res.Energy += energy
+		if missed {
+			res.Misses++
+		}
+		res.PerJob = append(res.PerJob, JobResult{
+			Level:        level,
+			Missed:       missed,
+			Energy:       energy,
+			TotalSeconds: total,
+			Switched:     switched,
+			PredT0:       plan.PredT0,
+		})
+		ctrl.Observe(tr.Seconds)
+	}
+	return res, nil
+}
+
+// Normalized returns r.Energy / base.Energy as a percentage, the
+// "normalized energy" of Figures 11–16.
+func Normalized(r, base Result) float64 {
+	if base.Energy == 0 {
+		return 0
+	}
+	return 100 * r.Energy / base.Energy
+}

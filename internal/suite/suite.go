@@ -1,0 +1,49 @@
+// Package suite assembles the paper's seven-benchmark accelerator suite
+// (Table 3) and provides lookup by name.
+package suite
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/accel/aes"
+	"repro/internal/accel/h264"
+	"repro/internal/accel/jpegdec"
+	"repro/internal/accel/jpegenc"
+	"repro/internal/accel/md"
+	"repro/internal/accel/sha"
+	"repro/internal/accel/stencil"
+)
+
+// All returns the benchmark suite in the paper's table order.
+func All() []accel.Spec {
+	return []accel.Spec{
+		h264.Spec(),
+		jpegenc.Spec(),
+		jpegdec.Spec(),
+		md.Spec(),
+		stencil.Spec(),
+		aes.Spec(),
+		sha.Spec(),
+	}
+}
+
+// ByName returns the spec with the given benchmark name.
+func ByName(name string) (accel.Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return accel.Spec{}, fmt.Errorf("suite: unknown benchmark %q", name)
+}
+
+// Names returns the benchmark names in table order.
+func Names() []string {
+	specs := All()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}

@@ -1,0 +1,139 @@
+// Package testdesigns provides small, fully understood accelerator
+// netlists used by the analysis, instrumentation, and slicing tests.
+// Each design documents its exact cycle behaviour so tests can assert
+// hand-computed values.
+package testdesigns
+
+import "repro/internal/rtl"
+
+// ToyPorts exposes the interesting nodes of the Toy design.
+type ToyPorts struct {
+	M *rtl.Module
+	// State is the control FSM state register node.
+	State rtl.NodeID
+	// FastCnt and SlowCnt are the latency counter register nodes.
+	FastCnt rtl.NodeID
+	SlowCnt rtl.NodeID
+}
+
+// Toy state encodings.
+const (
+	ToyIdle uint64 = iota
+	ToyFetch
+	ToyDispatch
+	ToyFast
+	ToySlow
+	ToyWriteback
+	ToyDone
+)
+
+// Toy builds a miniature work-item processor with one control FSM and
+// two latency counters, shaped like the paper's Figure 8 example.
+//
+// Input memory "in": word 0 holds the item count N; words 1..N hold
+// items. An item's bit 0 selects the fast path (0) or slow path (1);
+// bits 1..8 hold the slow-path latency.
+//
+// Cycle behaviour per item: FETCH(1) + DISPATCH(1) + wait + WRITEBACK(1),
+// where wait is 3 cycles on the fast path and `lat` cycles on the slow
+// path (0 wait cycles if lat == 0, because the exit guard sees the
+// counter already at zero). One IDLE cycle starts the job and one DONE
+// cycle ends it.
+func Toy() ToyPorts {
+	b := rtl.NewBuilder("toy")
+	in := b.Memory("in", 256)
+	out := b.Memory("out", 256)
+
+	idx := b.Reg("idx", 9, 1) // current item address; in[0] is N
+	n := b.Read(in, b.Const(0, 9), 9)
+	item := b.Read(in, idx.Signal, 16)
+	kind := item.Bits(0, 1)
+	lat := item.Bits(1, 8)
+
+	f := b.FSM("ctrl", 7)
+	fastLoad := f.In(ToyDispatch).And(kind.IsZero())
+	slowLoad := f.In(ToyDispatch).And(kind.NonZero())
+	fastCnt := b.DownCounter("fast_cnt", 8, fastLoad, b.Const(3, 8))
+	slowCnt := b.DownCounter("slow_cnt", 8, slowLoad, lat)
+
+	f.Always(ToyIdle, ToyFetch)
+	f.Always(ToyFetch, ToyDispatch)
+	f.When(ToyDispatch, kind.IsZero(), ToyFast)
+	f.Always(ToyDispatch, ToySlow)
+	f.When(ToyFast, fastCnt.EqK(0), ToyWriteback)
+	f.When(ToySlow, slowCnt.EqK(0), ToyWriteback)
+	f.When(ToyWriteback, idx.Ge(n), ToyDone)
+	f.Always(ToyWriteback, ToyFetch)
+	state := f.Build()
+
+	// Datapath: a result accumulator written back per item. It exists so
+	// slicing has real logic to remove; it does not influence control.
+	sq := item.Mul(item, 32)
+	acc := b.Accum("acc", 32, f.In(ToyFast).Or(f.In(ToySlow)), sq)
+	b.Write(out, idx.Signal, acc.Signal, f.In(ToyWriteback))
+
+	// Advance the item index on writeback.
+	wb := f.In(ToyWriteback)
+	b.SetNext(idx, wb.Mux(idx.Inc(), idx.Signal))
+
+	b.SetDone(f.In(ToyDone))
+	return ToyPorts{
+		M:       b.MustBuild(),
+		State:   state.ID(),
+		FastCnt: fastCnt.ID(),
+		SlowCnt: slowCnt.ID(),
+	}
+}
+
+// ToyItem encodes one Toy work item.
+func ToyItem(slow bool, lat uint8) uint64 {
+	v := uint64(lat) << 1
+	if slow {
+		v |= 1
+	}
+	return v
+}
+
+// ToyJob assembles the "in" memory image for a list of items.
+func ToyJob(items []uint64) []uint64 {
+	mem := make([]uint64, 1+len(items))
+	mem[0] = uint64(len(items))
+	copy(mem[1:], items)
+	return mem
+}
+
+// ToyCycles returns the exact cycle count Toy takes for the given items,
+// derived from the per-state timing documented on Toy.
+func ToyCycles(items []uint64) uint64 {
+	cycles := uint64(1) // IDLE
+	for _, it := range items {
+		cycles += 2 // FETCH + DISPATCH
+		if it&1 == 0 {
+			cycles += 3 + 1 // fast wait + exit cycle
+		} else {
+			lat := (it >> 1) & 0xff
+			cycles += lat + 1 // slow wait + exit cycle
+		}
+		cycles++ // WRITEBACK
+	}
+	cycles++ // DONE
+	return cycles
+}
+
+// HandFSM builds a two-state machine lowered entirely by hand, without
+// the FSMBuilder, to prove the analyzer does structural detection rather
+// than recognizing builder output. State 0 waits for go; state 1 returns
+// to 0 when stop.
+func HandFSM() (*rtl.Module, rtl.NodeID) {
+	b := rtl.NewBuilder("handfsm")
+	goSig := b.Input("go", 1)
+	stop := b.Input("stop", 1)
+	st := b.Reg("st", 1, 0)
+	// next = mux(st==0, mux(go, 1, 0), mux(stop, 0, 1))
+	inS0 := st.EqK(0)
+	n0 := goSig.Mux(b.Const(1, 1), b.Const(0, 1))
+	n1 := stop.Mux(b.Const(0, 1), b.Const(1, 1))
+	b.SetNext(st, inS0.Mux(n0, n1))
+	b.SetDone(b.Const(0, 1))
+	return b.MustBuild(), st.ID()
+}

@@ -1,0 +1,217 @@
+package verilog
+
+// Abstract syntax for the supported subset. The parser produces this;
+// the elaborator lowers it to an rtl.Module.
+
+// Module is one parsed Verilog module.
+type Module struct {
+	Name  string
+	Ports []Port
+	Items []Item
+	Line  int
+}
+
+// Port is a module port declaration.
+type Port struct {
+	Name   string
+	Output bool
+	IsReg  bool
+	// MSB/LSB of the vector range; both zero for a scalar.
+	MSB, LSB int
+	Line     int
+}
+
+// Width returns the port's bit width.
+func (p Port) Width() uint8 { return uint8(p.MSB - p.LSB + 1) }
+
+// Item is a module body item.
+type Item interface{ itemNode() }
+
+// WireDecl declares a wire, optionally with an inline continuous
+// assignment.
+type WireDecl struct {
+	Name     string
+	MSB, LSB int
+	Init     Expr // nil if none
+	Line     int
+}
+
+// RegDecl declares a register or (with Array) a memory.
+type RegDecl struct {
+	Name     string
+	MSB, LSB int
+	// Array bounds; Array is false for plain registers.
+	Array      bool
+	AMSB, ALSB int
+	HasInit    bool
+	Init       uint64
+	Line       int
+}
+
+// AssignStmt is a continuous assignment to a wire or output.
+type AssignStmt struct {
+	Name string
+	Expr Expr
+	Line int
+}
+
+// AlwaysBlock is always @(posedge clk) stmt.
+type AlwaysBlock struct {
+	Clock string
+	Body  Stmt
+	Line  int
+}
+
+// ParamDecl is parameter/localparam NAME = value.
+type ParamDecl struct {
+	Name string
+	Val  uint64
+	Line int
+}
+
+// InitialBlock holds memory initialization: initial begin m[0] = v; end.
+type InitialBlock struct {
+	Writes []MemInit
+	Line   int
+}
+
+// MemInit is one `name[addr] = value;` inside an initial block.
+type MemInit struct {
+	Name string
+	Addr uint64
+	Val  uint64
+	Line int
+}
+
+// Instance is a module instantiation with named port connections:
+// Child u0 (.in(x), .out(y));
+type Instance struct {
+	// Module is the instantiated module's name; Name the instance name.
+	Module, Name string
+	Conns        []Conn
+	Line         int
+}
+
+// Conn is one .port(expr) connection. For output ports the expression
+// must be a plain reference to a declared wire in the parent.
+type Conn struct {
+	Port string
+	Expr Expr
+}
+
+func (*WireDecl) itemNode()     {}
+func (*RegDecl) itemNode()      {}
+func (*AssignStmt) itemNode()   {}
+func (*AlwaysBlock) itemNode()  {}
+func (*ParamDecl) itemNode()    {}
+func (*InitialBlock) itemNode() {}
+func (*Instance) itemNode()     {}
+
+// Stmt is a procedural statement.
+type Stmt interface{ stmtNode() }
+
+// Block is begin ... end.
+type Block struct{ Stmts []Stmt }
+
+// If is if (cond) then [else].
+type If struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // nil if absent
+}
+
+// Case is case (subject) items [default] endcase.
+type Case struct {
+	Subject Expr
+	Items   []CaseItem
+	Default Stmt // nil if absent
+}
+
+// CaseItem is one labelled arm (possibly with several labels).
+type CaseItem struct {
+	Labels []Expr
+	Body   Stmt
+}
+
+// NBAssign is a non-blocking assignment: name <= expr, or
+// name[index] <= expr for a memory write.
+type NBAssign struct {
+	Name  string
+	Index Expr // nil for plain register assignment
+	RHS   Expr
+	Line  int
+}
+
+func (*Block) stmtNode()    {}
+func (*If) stmtNode()       {}
+func (*Case) stmtNode()     {}
+func (*NBAssign) stmtNode() {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// Num is a literal with optional explicit width (0 = unsized).
+type Num struct {
+	Val   uint64
+	Width uint8
+}
+
+// Ref names a wire, reg, port, or parameter.
+type Ref struct{ Name string }
+
+// Index is name[expr]: array read, or bit select on a vector.
+type Index struct {
+	Name string
+	At   Expr
+}
+
+// PartSelect is name[msb:lsb] on a vector.
+type PartSelect struct {
+	Name     string
+	MSB, LSB int
+}
+
+// Unary is op expr for ~ ! -.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary is x op y.
+type Binary struct {
+	Op   string
+	X, Y Expr
+}
+
+// Cond is sel ? a : b.
+type Cond struct {
+	Sel, A, B Expr
+}
+
+// Concat is {a, b, ...} — a is the most significant part.
+type Concat struct {
+	Parts []Expr
+}
+
+// Repl is {N{x}} — N copies of x concatenated.
+type Repl struct {
+	Count uint64
+	X     Expr
+}
+
+// Reduce is a unary reduction: |x, &x, ^x (1-bit result).
+type Reduce struct {
+	Op string
+	X  Expr
+}
+
+func (*Num) exprNode()        {}
+func (*Ref) exprNode()        {}
+func (*Index) exprNode()      {}
+func (*PartSelect) exprNode() {}
+func (*Unary) exprNode()      {}
+func (*Binary) exprNode()     {}
+func (*Cond) exprNode()       {}
+func (*Concat) exprNode()     {}
+func (*Repl) exprNode()       {}
+func (*Reduce) exprNode()     {}

@@ -1,0 +1,288 @@
+package verilog
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/accel/sha"
+	"repro/internal/analyze"
+	"repro/internal/instrument"
+	"repro/internal/rtl"
+	"repro/internal/slice"
+	"repro/internal/testdesigns"
+)
+
+// figure8Src is the paper's Figure 8 example written as plain Verilog:
+// a control FSM reads a work item (S1), branches on its value into one
+// of two computations with different latencies (S2: counter loaded from
+// the item; S3: fixed 4 ticks), emits an output (S4), and loops. This
+// is third-party-style RTL text — the entire flow (parse, FSM/counter
+// detection, instrumentation, slicing) runs on it with no Go-side
+// structure.
+const figure8Src = `
+// Figure 8-style accelerator (MICRO 2015 paper example).
+module fig8(input clk, output done);
+  reg [2:0] state = 0;      // 0=IDLE 1=S1 2=S2 3=S3 4=S4 5=DONE
+  reg [7:0] cnt = 0;        // variable-latency counter for S2
+  reg [7:0] fix = 0;        // fixed-latency counter for S3
+  reg [7:0] idx = 1;
+  reg [15:0] outv = 0;
+  reg [15:0] res [0:63];
+  reg [15:0] work [0:63];
+
+  wire [15:0] item = work[idx];
+  wire [0:0] heavy = item[0];
+  wire [7:0] lat = item[8:1];
+  wire [7:0] n = work[0];
+
+  always @(posedge clk) begin
+    case (state)
+      0: state <= 1;
+      1: begin
+        if (heavy) begin
+          cnt <= lat;
+          state <= 2;
+        end else begin
+          fix <= 8'd4;
+          state <= 3;
+        end
+      end
+      2: begin
+        if (cnt == 0) state <= 4;
+        cnt <= (cnt == 0) ? cnt : cnt - 8'd1;
+      end
+      3: begin
+        if (fix == 0) state <= 4;
+        fix <= (fix == 0) ? fix : fix - 8'd1;
+      end
+      4: begin
+        res[idx] <= outv;
+        idx <= idx + 8'd1;
+        state <= (idx >= n) ? 3'd5 : 3'd1;
+      end
+    endcase
+    outv <= outv + item * item;
+  end
+  assign done = state == 5;
+endmodule
+`
+
+// fig8Job encodes a work list for the Figure 8 module.
+func fig8Job(items []uint16) []uint64 {
+	mem := make([]uint64, 1+len(items))
+	mem[0] = uint64(len(items))
+	for i, it := range items {
+		mem[1+i] = uint64(it)
+	}
+	return mem
+}
+
+func fig8Item(heavy bool, lat uint8) uint16 {
+	v := uint16(lat) << 1
+	if heavy {
+		v |= 1
+	}
+	return v
+}
+
+func TestFigure8FullFlow(t *testing.T) {
+	m, err := ParseAndElaborate(figure8Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Detection: the case-statement FSM and both counters must be found
+	// in the *parsed* netlist.
+	a := analyze.Analyze(m)
+	var fsm *analyze.FSM
+	for i := range a.FSMs {
+		if a.FSMs[i].Name == "state" {
+			fsm = &a.FSMs[i]
+		}
+	}
+	if fsm == nil {
+		t.Fatalf("case-statement FSM not detected (found %d FSMs)", len(a.FSMs))
+	}
+	if len(fsm.States) != 6 {
+		t.Errorf("states = %v, want 6", fsm.States)
+	}
+	arcs := map[[2]uint64]bool{}
+	for _, tr := range fsm.Transitions {
+		arcs[[2]uint64{tr.From, tr.To}] = true
+	}
+	for _, want := range [][2]uint64{{0, 1}, {1, 2}, {1, 3}, {2, 4}, {3, 4}, {4, 1}, {4, 5}} {
+		if !arcs[want] {
+			t.Errorf("missing transition %d->%d", want[0], want[1])
+		}
+	}
+	counters := 0
+	for _, c := range a.Counters {
+		if (c.Name == "cnt" || c.Name == "fix") && c.Dir == analyze.Down && len(c.Loads) == 1 {
+			counters++
+		}
+	}
+	if counters != 2 {
+		t.Errorf("latency counters detected = %d, want 2", counters)
+	}
+	if len(a.WaitStates) != 2 {
+		t.Errorf("wait states = %d, want 2", len(a.WaitStates))
+	}
+
+	// Instrument and verify the linear-time hypothesis on random jobs.
+	ins, err := instrument.Instrument(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := rtl.NewSim(ins.M)
+	rng := rand.New(rand.NewSource(4))
+	idxOf := func(name string) int {
+		for i, f := range ins.Features {
+			if f.Name == name {
+				return i
+			}
+		}
+		t.Fatalf("feature %s missing in %v", name, ins.Names())
+		return -1
+	}
+	for trial := 0; trial < 10; trial++ {
+		items := make([]uint16, 1+rng.Intn(12))
+		for i := range items {
+			items[i] = fig8Item(rng.Intn(2) == 0, uint8(rng.Intn(30)))
+		}
+		sim.Reset()
+		if err := sim.LoadMem("work", fig8Job(items)); err != nil {
+			t.Fatal(err)
+		}
+		ticks, err := sim.Run(1 << 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := ins.ReadFeatures(sim)
+		nHeavy := f[idxOf("stc:state:1->2")]
+		nFix := f[idxOf("stc:state:1->3")]
+		latSum := f[idxOf("aiv:cnt")]
+		// Per item: S1(1) + wait(lat or 4, +1 exit) + S4(1); plus IDLE
+		// and the final DONE-observing tick.
+		want := 2 + 3*(nHeavy+nFix) + latSum + 4*nFix
+		if float64(ticks) != want {
+			t.Errorf("trial %d: ticks=%d, feature model=%v", trial, ticks, want)
+		}
+	}
+
+	// Slice: keep the informative features, check equivalence + speedup.
+	keep := []int{idxOf("stc:state:1->2"), idxOf("stc:state:1->3"), idxOf("aiv:cnt")}
+	sl, err := slice.Slice(ins, keep, slice.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sliceSim := rtl.NewSim(sl.M)
+	items := []uint16{fig8Item(true, 25), fig8Item(false, 0), fig8Item(true, 19)}
+	sim.Reset()
+	if err := sim.LoadMem("work", fig8Job(items)); err != nil {
+		t.Fatal(err)
+	}
+	fullT, err := sim.Run(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sliceSim.LoadMem("work", fig8Job(items)); err != nil {
+		t.Fatal(err)
+	}
+	sliceT, err := sliceSim.Run(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sliceT >= fullT {
+		t.Errorf("slice not faster: %d vs %d ticks", sliceT, fullT)
+	}
+	fullF := ins.ReadFeatures(sim)
+	sliceF := sl.ReadFeatures(sliceSim)
+	for i, k := range sl.Kept {
+		if sliceF[i] != fullF[k] {
+			t.Errorf("feature %s: slice=%v full=%v", ins.Features[k].Name, sliceF[i], fullF[k])
+		}
+	}
+	// The multiplier datapath (outv) must be sliced away.
+	for i := range sl.M.Nodes {
+		if sl.M.Nodes[i].Op == rtl.OpMul {
+			t.Error("slice retains the datapath multiplier")
+		}
+	}
+}
+
+// roundTrip emits a module as Verilog, re-parses it, and co-simulates
+// both on the given memory images, comparing tick counts and all
+// register values at completion.
+func roundTrip(t *testing.T, m *rtl.Module, mems map[string][]uint64, maxTicks uint64) {
+	t.Helper()
+	src := Emit(m)
+	m2, err := ParseAndElaborate(src)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, src)
+	}
+	s1, s2 := rtl.NewSim(m), rtl.NewSim(m2)
+	for name, data := range mems {
+		if err := s1.LoadMem(name, data); err != nil {
+			t.Fatal(err)
+		}
+		if err := s2.LoadMem(name, data); err != nil {
+			t.Fatalf("emitted module lost memory %s: %v", name, err)
+		}
+	}
+	t1, err := s1.Run(maxTicks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := s2.Run(maxTicks)
+	if err != nil {
+		t.Fatalf("re-parsed module did not finish: %v", err)
+	}
+	if t1 != t2 {
+		t.Fatalf("tick mismatch after round trip: %d vs %d", t1, t2)
+	}
+	if len(m.Regs) != len(m2.Regs) {
+		t.Fatalf("register count changed: %d vs %d", len(m.Regs), len(m2.Regs))
+	}
+	for ri := range m.Regs {
+		if s1.RegValue(ri) != s2.RegValue(ri) {
+			t.Errorf("reg %s: %d vs %d after round trip",
+				m.Regs[ri].Name, s1.RegValue(ri), s2.RegValue(ri))
+		}
+	}
+}
+
+func TestRoundTripToy(t *testing.T) {
+	toy := testdesigns.Toy()
+	items := []uint64{
+		testdesigns.ToyItem(false, 0),
+		testdesigns.ToyItem(true, 17),
+		testdesigns.ToyItem(true, 3),
+	}
+	roundTrip(t, toy.M, map[string][]uint64{"in": testdesigns.ToyJob(items)}, 1<<16)
+}
+
+func TestRoundTripSHA(t *testing.T) {
+	// The SHA-256 accelerator exercises ROMs (round constants), wide
+	// datapaths, and multi-block control through the round trip.
+	m := sha.Build()
+	payload := []byte("round trip me through verilog and back")
+	words := sha.Pad(payload)
+	in := make([]uint64, 1+len(words))
+	in[0] = uint64(len(words) / 16)
+	copy(in[1:], words)
+	roundTrip(t, m, map[string][]uint64{"in": in}, 1<<16)
+}
+
+func TestEmitIsParseable(t *testing.T) {
+	// Every benchmark netlist's emission must at least parse and
+	// validate (full co-simulation for all seven would be slow here;
+	// the toy and sha round trips check behaviour).
+	toy := testdesigns.Toy()
+	src := Emit(toy.M)
+	m2, err := ParseAndElaborate(src)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, src)
+	}
+	if err := m2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,354 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analyze"
+	"repro/internal/instrument"
+	"repro/internal/rtl"
+	"repro/internal/slice"
+)
+
+// hierSrc is a two-level design: a top module instantiating a counter
+// child and an adder child, in the leaves-first file convention.
+const hierSrc = `
+module counter(input clk, input [0:0] en, input [7:0] limit, output hit, output [7:0] value);
+  reg [7:0] c = 0;
+  always @(posedge clk) begin
+    if (en) begin
+      if (c == limit) c <= 0;
+      else c <= c + 8'd1;
+    end
+  end
+  assign hit = c == limit;
+  assign value = c;
+endmodule
+
+module adder(input clk, input [7:0] a, input [7:0] b, output [8:0] sum);
+  assign sum = a + b;
+endmodule
+
+module top(input clk, input [7:0] lim, output done);
+  wire [0:0] h;
+  wire [7:0] v;
+  wire [8:0] s;
+  reg [8:0] latched = 0;
+  reg [7:0] hits = 0;
+  counter u_cnt (.clk(clk), .en(1'd1), .limit(lim), .hit(h), .value(v));
+  adder u_add (.clk(clk), .a(v), .b(lim), .sum(s));
+  always @(posedge clk) begin
+    latched <= s;
+    if (h) hits <= hits + 8'd1;
+  end
+  assign done = hits == 3;
+endmodule
+`
+
+func TestHierarchyElaboration(t *testing.T) {
+	m, err := ParseAndElaborate(hierSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Child registers appear with dotted prefixes.
+	names := map[string]bool{}
+	for ri := range m.Regs {
+		names[m.Regs[ri].Name] = true
+	}
+	if !names["u_cnt.c"] {
+		t.Errorf("child register not inlined: regs %v", names)
+	}
+	if !names["latched"] || !names["hits"] {
+		t.Errorf("top registers missing: %v", names)
+	}
+
+	// Behaviour: with limit 4 the counter cycles 0..4; done after 3 hits.
+	s := rtl.NewSim(m)
+	var limID rtl.NodeID = -1
+	for i := range m.Nodes {
+		if m.Nodes[i].Op == rtl.OpInput && m.Nodes[i].Name == "lim" {
+			limID = rtl.NodeID(i)
+		}
+	}
+	s.SetInput(limID, 4)
+	ticks, err := s.Run(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The counter hits its limit every 5 ticks (value 4 held one tick),
+	// so three hits arrive by ~15 ticks.
+	if ticks < 10 || ticks > 30 {
+		t.Errorf("ticks = %d, expected ~15", ticks)
+	}
+	// The latched adder output equals v + lim for some cycle; at the
+	// done cycle v was just reset, so check it stayed within range.
+	for ri := range m.Regs {
+		if m.Regs[ri].Name == "latched" {
+			if got := s.RegValue(ri); got > 8 {
+				t.Errorf("latched = %d, want v+lim <= 8", got)
+			}
+		}
+	}
+}
+
+func TestHierarchyAnalysisSeesChildStructure(t *testing.T) {
+	m, err := ParseAndElaborate(hierSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := analyze.Analyze(m)
+	// The child's counter must be detected in the flattened netlist.
+	found := false
+	for _, c := range a.Counters {
+		if c.Name == "u_cnt.c" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("child counter not detected; counters: %v", counterNames(a))
+	}
+}
+
+func counterNames(a *analyze.Analysis) []string {
+	var names []string
+	for _, c := range a.Counters {
+		names = append(names, c.Name)
+	}
+	return names
+}
+
+func TestHierarchyErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+		wantErr   string
+	}{
+		{
+			"unknown module",
+			`module top(input clk, output done);
+			   wire [0:0] x;
+			   nosuch u0 (.q(x));
+			   assign done = x;
+			 endmodule`,
+			"unknown module",
+		},
+		{
+			"unknown port",
+			`module kid(input clk, input [0:0] a, output q);
+			   assign q = a;
+			 endmodule
+			 module top(input clk, output done);
+			   wire [0:0] x;
+			   kid u0 (.nope(x), .q(x));
+			   assign done = x;
+			 endmodule`,
+			"no port",
+		},
+		{
+			"unconnected input",
+			`module kid(input clk, input [0:0] a, output q);
+			   assign q = a;
+			 endmodule
+			 module top(input clk, output done);
+			   wire [0:0] x;
+			   kid u0 (.q(x));
+			   assign done = x;
+			 endmodule`,
+			"unconnected",
+		},
+		{
+			"output to expression",
+			`module kid(input clk, input [0:0] a, output q);
+			   assign q = a;
+			 endmodule
+			 module top(input clk, input [0:0] i, output done);
+			   kid u0 (.a(i), .q(i + 1'd1));
+			   assign done = i;
+			 endmodule`,
+			"plain wire",
+		},
+		{
+			"recursive instantiation",
+			`module top(input clk, output done);
+			   wire [0:0] x;
+			   top u0 (.done(x));
+			   assign done = x;
+			 endmodule`,
+			"recursive",
+		},
+	}
+	for _, c := range cases {
+		_, err := ParseAndElaborate(c.src)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// TestHierarchicalAccelerator runs the full pipeline on a two-module
+// design shaped like the paper's Figure 9: a top controller
+// instantiating a variable-latency compute block.
+func TestHierarchicalAccelerator(t *testing.T) {
+	src := `
+module engine(input clk, input [0:0] start, input [7:0] work, output busy);
+  reg [7:0] cnt = 0;
+  always @(posedge clk) begin
+    if (start) cnt <= work;
+    else if (cnt != 0) cnt <= cnt - 8'd1;
+  end
+  assign busy = cnt != 0;
+endmodule
+
+module hiertop(input clk, output done);
+  reg [31:0] items [0:31];
+  reg [5:0] idx = 1;
+  reg [1:0] state = 0;
+  wire [5:0] n = items[0];
+  wire [31:0] item = items[idx];
+  wire [0:0] busy;
+  wire [0:0] kick = state == 0;
+  engine u_eng (.clk(clk), .start(kick), .work(item[7:0]), .busy(busy));
+  always @(posedge clk) begin
+    case (state)
+      0: state <= 1;
+      1: if (!busy) begin
+        idx <= idx + 6'd1;
+        state <= (idx >= n) ? 2'd2 : 2'd0;
+      end
+    endcase
+  end
+  assign done = state == 2;
+endmodule
+`
+	m, err := ParseAndElaborate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := analyze.Analyze(m)
+	// The engine's latency counter (with a load arm) must be found.
+	var hasLoadCounter bool
+	for _, c := range a.Counters {
+		if c.Name == "u_eng.cnt" && len(c.Loads) == 1 && c.Dir == analyze.Down {
+			hasLoadCounter = true
+		}
+	}
+	if !hasLoadCounter {
+		t.Errorf("engine counter not recovered: %v", counterNames(a))
+	}
+	if len(a.FSMs) == 0 {
+		t.Error("top FSM not recovered")
+	}
+	// And the design simulates: 3 items of known latency.
+	s := rtl.NewSim(m)
+	if err := s.LoadMem("items", []uint64{3, 5, 0, 9}); err != nil {
+		t.Fatal(err)
+	}
+	ticks, err := s.Run(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per item: 1 kick tick + latency ticks in state 1 (+1 exit tick).
+	// Exact timing checked loosely; the essential property is that
+	// work-dependent latency flows through the instance boundary.
+	if ticks < 14+2 || ticks > 30 {
+		t.Errorf("ticks = %d for items {5,0,9}", ticks)
+	}
+}
+
+// TestHierarchicalSliceEquivalence runs the slicer over the flattened
+// two-module accelerator: the multi-exit wait on the engine's counter
+// must be elided, the slice must run faster, and every feature must
+// match the full design.
+func TestHierarchicalSliceEquivalence(t *testing.T) {
+	src := `
+module engine(input clk, input start, input [7:0] work, output busy);
+  reg [7:0] cnt = 0;
+  always @(posedge clk) begin
+    if (start) cnt <= work;
+    else if (cnt != 0) cnt <= cnt - 8'd1;
+  end
+  assign busy = cnt != 0;
+endmodule
+
+module hiertop2(input clk, output done);
+  reg [31:0] items [0:31];
+  reg [5:0] idx = 1;
+  reg [1:0] state = 0;
+  reg [31:0] acc = 0;
+  wire [5:0] n = items[0];
+  wire [31:0] item = items[idx];
+  wire busy;
+  wire kick = state == 0;
+  engine u_eng (.clk(clk), .start(kick), .work(item[7:0]), .busy(busy));
+  always @(posedge clk) begin
+    acc <= acc + item * item;
+    case (state)
+      0: state <= 1;
+      1: if (!busy) begin
+        idx <= idx + 6'd1;
+        state <= (idx >= n) ? 2'd2 : 2'd0;
+      end
+    endcase
+  end
+  assign done = state == 2;
+endmodule
+`
+	m, err := ParseAndElaborate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := instrument.Instrument(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins.Analysis.WaitStates) != 1 {
+		t.Fatalf("wait states = %d, want 1 (multi-exit wait)", len(ins.Analysis.WaitStates))
+	}
+	keep := make([]int, len(ins.Features))
+	for i := range keep {
+		keep[i] = i
+	}
+	sl, err := slice.Slice(ins, keep, slice.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.ElidedWaits != 1 {
+		t.Errorf("elided = %d, want 1", sl.ElidedWaits)
+	}
+	job := []uint64{4, 30, 0, 17, 9}
+	fullSim := rtl.NewSim(ins.M)
+	if err := fullSim.LoadMem("items", job); err != nil {
+		t.Fatal(err)
+	}
+	fullT, err := fullSim.Run(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sliceSim := rtl.NewSim(sl.M)
+	if err := sliceSim.LoadMem("items", job); err != nil {
+		t.Fatal(err)
+	}
+	sliceT, err := sliceSim.Run(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sliceT >= fullT {
+		t.Errorf("slice not faster: %d vs %d", sliceT, fullT)
+	}
+	fullF := ins.ReadFeatures(fullSim)
+	sliceF := sl.ReadFeatures(sliceSim)
+	for i, k := range sl.Kept {
+		if sliceF[i] != fullF[k] {
+			t.Errorf("feature %s: slice=%v full=%v", ins.Features[k].Name, sliceF[i], fullF[k])
+		}
+	}
+	// The datapath multiplier (acc) must be gone.
+	for i := range sl.M.Nodes {
+		if sl.M.Nodes[i].Op == rtl.OpMul {
+			t.Error("slice retains datapath multiplier")
+		}
+	}
+}

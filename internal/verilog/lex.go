@@ -1,0 +1,241 @@
+// Package verilog implements a frontend and backend for a synthesizable
+// Verilog-2001 subset: parsing accelerator RTL into the rtl IR (the
+// role Yosys plays in the paper's flow, §3.3) and emitting rtl modules
+// — including generated hardware slices — back out as Verilog.
+//
+// The subset covers what the paper's analyses need from third-party
+// accelerator RTL:
+//
+//   - module with input/output ports, vector ranges
+//   - wire declarations with initializers and assign statements
+//   - reg declarations with initial values, including 1-D arrays
+//     (scratchpad memories)
+//   - one clock domain: always @(posedge clk) with begin/end, if/else,
+//     case/default, non-blocking assignments, and memory writes
+//   - the usual expression operators with C-like precedence, sized and
+//     unsized literals, bit- and part-selects, array indexing,
+//     concatenation {a,b}, replication {N{x}}, and the |,&,^ reductions
+//   - initial blocks holding constant-table (ROM) contents
+//   - module hierarchy: instantiation with named port connections,
+//     flattened into one netlist with dotted name prefixes
+//
+// Elaboration lowers always-blocks to per-register next-value mux trees
+// by symbolic execution — the same "proc" lowering a synthesis tool
+// performs — after which FSM/counter detection, instrumentation and
+// slicing run unchanged.
+package verilog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber // carries value and optional explicit width
+	tokSymbol // operators and punctuation
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"module": true, "endmodule": true, "input": true, "output": true,
+	"wire": true, "reg": true, "assign": true, "always": true,
+	"posedge": true, "begin": true, "end": true, "if": true, "else": true,
+	"case": true, "endcase": true, "default": true, "parameter": true,
+	"localparam": true, "integer": true, "initial": true,
+}
+
+// token is one lexical token with position info for error messages.
+type token struct {
+	kind  tokKind
+	text  string
+	val   uint64 // for numbers
+	width uint8  // 0 = unsized
+	line  int
+}
+
+// lexer scans Verilog source into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+// errorf formats a lexical error with position.
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("verilog: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for {
+				if l.pos+1 >= len(l.src) {
+					return l.errorf("unterminated block comment")
+				}
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				if l.src[l.pos] == '*' && l.src[l.pos+1] == '/' {
+					l.pos += 2
+					break
+				}
+				l.pos++
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next scans one token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: l.line}, nil
+	case c >= '0' && c <= '9':
+		return l.lexNumber()
+	case c == '\'':
+		// Unsized based literal like 'h1f.
+		return l.lexBasedLiteral(0)
+	default:
+		// Multi-char operators first.
+		for _, op := range [...]string{"<=", ">=", "==", "!=", "&&", "||", "<<", ">>"} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += len(op)
+				return token{kind: tokSymbol, text: op, line: l.line}, nil
+			}
+		}
+		l.pos++
+		return token{kind: tokSymbol, text: string(c), line: l.line}, nil
+	}
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+		l.pos++
+	}
+	digits := strings.ReplaceAll(l.src[start:l.pos], "_", "")
+	if l.pos < len(l.src) && l.src[l.pos] == '\'' {
+		// Sized based literal: the decimal we just read is the width.
+		var width uint64
+		for _, d := range digits {
+			width = width*10 + uint64(d-'0')
+		}
+		if width == 0 || width > 64 {
+			return token{}, l.errorf("literal width %d out of range", width)
+		}
+		return l.lexBasedLiteral(uint8(width))
+	}
+	var v uint64
+	for _, d := range digits {
+		v = v*10 + uint64(d-'0')
+	}
+	return token{kind: tokNumber, val: v, line: l.line}, nil
+}
+
+// lexBasedLiteral scans 'd10 / 'hff / 'b1010 after the quote.
+func (l *lexer) lexBasedLiteral(width uint8) (token, error) {
+	l.pos++ // consume '
+	if l.pos >= len(l.src) {
+		return token{}, l.errorf("truncated based literal")
+	}
+	base := l.src[l.pos]
+	l.pos++
+	var radix uint64
+	switch base {
+	case 'd', 'D':
+		radix = 10
+	case 'h', 'H':
+		radix = 16
+	case 'b', 'B':
+		radix = 2
+	case 'o', 'O':
+		radix = 8
+	default:
+		return token{}, l.errorf("unknown literal base %q", base)
+	}
+	start := l.pos
+	for l.pos < len(l.src) && (isHexDigit(l.src[l.pos]) || l.src[l.pos] == '_') {
+		l.pos++
+	}
+	digits := strings.ReplaceAll(l.src[start:l.pos], "_", "")
+	if digits == "" {
+		return token{}, l.errorf("empty based literal")
+	}
+	var v uint64
+	for _, d := range strings.ToLower(digits) {
+		var dv uint64
+		switch {
+		case d >= '0' && d <= '9':
+			dv = uint64(d - '0')
+		case d >= 'a' && d <= 'f':
+			dv = uint64(d-'a') + 10
+		default:
+			return token{}, l.errorf("bad digit %q", d)
+		}
+		if dv >= radix {
+			return token{}, l.errorf("digit %q out of range for base %d", d, radix)
+		}
+		v = v*radix + dv
+	}
+	return token{kind: tokNumber, val: v, width: width, line: l.line}, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || isDigit(c)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}

@@ -1,0 +1,284 @@
+// Package workload generates the seeded synthetic job streams that
+// substitute for the paper's proprietary inputs (video clips, image
+// sets, data buffers, particle traces — Table 3). The generators aim to
+// reproduce the *statistical structure* that matters to a DVFS
+// controller: per-job execution-cost distributions, job-to-job
+// autocorrelation, periodic structure (GOPs), and occasional abrupt
+// spikes that defeat reactive prediction (Figures 2 and 3).
+package workload
+
+import "math/rand"
+
+// MBStat describes one macroblock of a synthetic video frame.
+type MBStat struct {
+	// Intra marks intra-predicted macroblocks (scene changes, I-frames).
+	Intra bool
+	// Skip marks skipped macroblocks (near-zero cost).
+	Skip bool
+	// Coeffs is the number of non-zero transform coefficients (0..63).
+	Coeffs int
+	// QPel marks inter blocks using quarter-pixel motion vectors, which
+	// carry the long-latency interpolation the paper's case study found
+	// hand-built predictors missed (§3.7).
+	QPel bool
+	// MVs is the number of motion vectors (1..4) for inter blocks.
+	MVs int
+}
+
+// FrameStats is the per-macroblock content of one frame.
+type FrameStats struct {
+	MBs []MBStat
+	// IFrame marks intra-coded frames (GOP heads and scene changes).
+	IFrame bool
+}
+
+// VideoProfile parameterizes a synthetic clip. The three stock profiles
+// mirror the character of the paper's clips: a static scene, a medium-
+// motion scene, and a high-motion scene.
+type VideoProfile struct {
+	// Name labels the clip.
+	Name string
+	// Motion in 0..1 scales inter-prediction cost (more MVs, more qpel).
+	Motion float64
+	// Detail in 0..1 scales residue richness (more coefficients).
+	Detail float64
+	// SceneChange is the per-frame probability of a full intra frame.
+	SceneChange float64
+	// GOP is the intra-frame period (0 disables periodic I-frames).
+	GOP int
+}
+
+// Stock clip profiles, loosely matching the paper's three test clips.
+var (
+	ClipNews       = VideoProfile{Name: "news", Motion: 0.15, Detail: 0.35, SceneChange: 0.01, GOP: 30}
+	ClipForeman    = VideoProfile{Name: "foreman", Motion: 0.55, Detail: 0.55, SceneChange: 0.02, GOP: 30}
+	ClipCoastguard = VideoProfile{Name: "coastguard", Motion: 0.8, Detail: 0.7, SceneChange: 0.015, GOP: 30}
+)
+
+// Video synthesizes a clip of frames frames with mbs macroblocks each.
+// Frame-to-frame complexity follows an AR(1) random walk around the
+// profile's operating point, punctuated by I-frames.
+func Video(p VideoProfile, frames, mbs int, seed int64) []FrameStats {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]FrameStats, frames)
+	// Slowly varying activity level in 0..1.
+	act := 0.5
+	for fi := range out {
+		act = 0.9*act + 0.1*rng.Float64()
+		iframe := (p.GOP > 0 && fi%p.GOP == 0) || rng.Float64() < p.SceneChange
+		f := FrameStats{MBs: make([]MBStat, mbs), IFrame: iframe}
+		for mi := range f.MBs {
+			mb := &f.MBs[mi]
+			detail := clamp01(p.Detail*(0.6+0.8*act) + 0.12*rng.NormFloat64())
+			if iframe {
+				mb.Intra = true
+				mb.Coeffs = quantize63(0.35 + 0.65*detail*rng.Float64())
+				continue
+			}
+			switch {
+			case rng.Float64() < 0.18*(1-p.Motion):
+				mb.Skip = true
+			case rng.Float64() < 0.25:
+				mb.Intra = true
+				mb.Coeffs = quantize63(0.2 + 0.6*detail*rng.Float64())
+			default:
+				mb.MVs = 1 + rng.Intn(1+int(3*p.Motion*rng.Float64()))
+				mb.QPel = rng.Float64() < 0.35*p.Motion*(0.5+act)
+				mb.Coeffs = quantize63(0.1 + 0.5*detail*rng.Float64())
+			}
+		}
+		out[fi] = f
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func quantize63(v float64) int {
+	c := int(v * 63)
+	if c < 0 {
+		c = 0
+	}
+	if c > 63 {
+		c = 63
+	}
+	return c
+}
+
+// Image describes one synthetic image job for the JPEG accelerators.
+type Image struct {
+	// Blocks is the number of 8×8 blocks.
+	Blocks int
+	// Complexity in 0..1 scales per-block coefficient counts.
+	Complexity float64
+	// Class is the size bucket ("small", "medium", "large").
+	Class string
+	// BlockCoeffs lists per-block non-zero coefficient counts (0..63).
+	BlockCoeffs []int
+}
+
+// Images generates n images with a realistic size mixture: mostly small
+// and medium UI/web assets plus a heavy tail of large photos — this is
+// what makes the JPEG execution-time range of Table 4 span 16×. The
+// browsing scenario means consecutive images are independent (§2.4's
+// argument against reactive control for JPEG).
+func Images(n int, maxBlocks int, seed int64) []Image {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Image, n)
+	for i := range out {
+		var blocks int
+		var class string
+		switch r := rng.Float64(); {
+		case r < 0.4:
+			// Thumbnails and icons: small, but never below the codec's
+			// practical minimum (headers dominate truly tiny images).
+			class = "small"
+			blocks = maxBlocks/12 + rng.Intn(maxBlocks/6)
+		case r < 0.8:
+			class = "medium"
+			blocks = maxBlocks/4 + rng.Intn(maxBlocks/3)
+		default:
+			class = "large"
+			blocks = maxBlocks/2 + rng.Intn(maxBlocks/2)
+		}
+		cx := clamp01(0.25 + 0.6*rng.Float64())
+		img := Image{Blocks: blocks, Complexity: cx, Class: class}
+		img.BlockCoeffs = make([]int, blocks)
+		for b := range img.BlockCoeffs {
+			img.BlockCoeffs[b] = quantize63(cx * rng.Float64())
+		}
+		out[i] = img
+	}
+	return out
+}
+
+// DataPiece is one buffer for the crypto/hash accelerators.
+type DataPiece struct {
+	// Bytes is the buffer length.
+	Bytes int
+	// Class is the size bucket.
+	Class string
+	// Payload is the actual data (needed by the real AES/SHA datapaths).
+	Payload []byte
+}
+
+// DataPieces generates n buffers with a log-ish size mixture between
+// minBytes and maxBytes.
+func DataPieces(n, minBytes, maxBytes int, seed int64) []DataPiece {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]DataPiece, n)
+	span := maxBytes - minBytes
+	for i := range out {
+		// Squaring a uniform variate skews toward small sizes while
+		// keeping the max reachable.
+		f := rng.Float64()
+		f = f * f
+		size := minBytes + int(f*float64(span))
+		class := "small"
+		switch {
+		case size > minBytes+span*2/3:
+			class = "large"
+		case size > minBytes+span/3:
+			class = "medium"
+		}
+		p := DataPiece{Bytes: size, Class: class, Payload: make([]byte, size)}
+		rng.Read(p.Payload)
+		out[i] = p
+	}
+	return out
+}
+
+// MDStep describes one molecular-dynamics timestep: the per-particle
+// neighbour counts that drive the force-pipeline latency.
+type MDStep struct {
+	Neighbors []int
+}
+
+// MDSteps simulates a particle system whose density slowly evolves:
+// neighbour counts per particle follow the local density with noise.
+// Occasional "collision events" compact the system and spike the counts,
+// mirroring the position-change-driven variation of Table 3.
+func MDSteps(steps, particles, maxNeighbors int, seed int64) []MDStep {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]MDStep, steps)
+	density := 0.35
+	for si := range out {
+		// Mean-reverting walk around a moderate density, with rare
+		// compaction events that pack the system near its neighbour-list
+		// capacity. Fully packed steps run close to the frame deadline —
+		// the budget-exhaustion corner of §4.3.
+		density = clamp01(density + 0.15*(0.35-density) + 0.05*rng.NormFloat64())
+		if rng.Float64() < 0.025 {
+			density = clamp01(density + 0.5 + 0.5*rng.Float64())
+		}
+		st := MDStep{Neighbors: make([]int, particles)}
+		for pi := range st.Neighbors {
+			mean := density * float64(maxNeighbors)
+			// Per-particle spread shrinks as the system packs (every
+			// cell is full), which is also what keeps the densest steps
+			// tightly clustered in time.
+			sigma := 0.25*mean*(1-density) + 1
+			v := int(mean + sigma*rng.NormFloat64())
+			if v < 1 {
+				v = 1
+			}
+			if v > maxNeighbors {
+				v = maxNeighbors
+			}
+			st.Neighbors[pi] = v
+		}
+		out[si] = st
+	}
+	return out
+}
+
+// StencilImage is one image-filtering job: dimensions in tiles.
+type StencilImage struct {
+	Rows, Cols int
+	Class      string
+}
+
+// StencilImages generates n images over a set of common tile geometries.
+func StencilImages(n, maxRows, maxCols int, seed int64) []StencilImage {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]StencilImage, n)
+	for i := range out {
+		var r, c int
+		var class string
+		switch x := rng.Float64(); {
+		case x < 0.35:
+			class = "small"
+			r, c = 8+rng.Intn(maxRows/4), 10+rng.Intn(maxCols/4)
+		case x < 0.8:
+			class = "medium"
+			r, c = maxRows/4+rng.Intn(maxRows/3), maxCols/4+rng.Intn(maxCols/3)
+		default:
+			class = "large"
+			// Cameras emit standard full-resolution frames: a tenth of
+			// the large images are exactly the sensor's maximum, the
+			// rest sit just below it. Full-frame jobs finish barely
+			// inside the deadline — before predictor overheads (§4.3).
+			if rng.Float64() < 0.1 {
+				r, c = maxRows, maxCols
+			} else {
+				r, c = maxRows-1-rng.Intn(8), maxCols-1-rng.Intn(8)
+			}
+		}
+		if r < 1 {
+			r = 1
+		}
+		if c < 1 {
+			c = 1
+		}
+		out[i] = StencilImage{Rows: r, Cols: c, Class: class}
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVideoDeterministic(t *testing.T) {
+	a := Video(ClipForeman, 50, 24, 7)
+	b := Video(ClipForeman, 50, 24, 7)
+	for i := range a {
+		if a[i].IFrame != b[i].IFrame || len(a[i].MBs) != len(b[i].MBs) {
+			t.Fatalf("frame %d differs between identical seeds", i)
+		}
+		for j := range a[i].MBs {
+			if a[i].MBs[j] != b[i].MBs[j] {
+				t.Fatalf("frame %d mb %d differs", i, j)
+			}
+		}
+	}
+	c := Video(ClipForeman, 50, 24, 8)
+	same := true
+	for i := range a {
+		for j := range a[i].MBs {
+			if a[i].MBs[j] != c[i].MBs[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical clips")
+	}
+}
+
+func TestVideoGOPStructure(t *testing.T) {
+	frames := Video(ClipNews, 90, 24, 3)
+	for i := 0; i < 90; i += 30 {
+		if !frames[i].IFrame {
+			t.Errorf("frame %d is not an I-frame (GOP=30)", i)
+		}
+	}
+	iCount := 0
+	for _, f := range frames {
+		if f.IFrame {
+			iCount++
+		}
+	}
+	if iCount < 3 || iCount > 20 {
+		t.Errorf("I-frames = %d of 90, implausible", iCount)
+	}
+}
+
+func TestVideoIFramesAllIntra(t *testing.T) {
+	frames := Video(ClipCoastguard, 60, 24, 4)
+	for fi, f := range frames {
+		if !f.IFrame {
+			continue
+		}
+		for mi, mb := range f.MBs {
+			if !mb.Intra || mb.Skip {
+				t.Fatalf("frame %d mb %d of an I-frame is not intra", fi, mi)
+			}
+		}
+	}
+}
+
+func TestVideoMBFieldsInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		frames := Video(ClipForeman, 10, 24, seed)
+		for _, fr := range frames {
+			for _, mb := range fr.MBs {
+				if mb.Coeffs < 0 || mb.Coeffs > 63 {
+					return false
+				}
+				if mb.MVs < 0 || mb.MVs > 4 {
+					return false
+				}
+				if mb.Skip && mb.Intra {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMotionIncreasesInterCost(t *testing.T) {
+	calm := Video(ClipNews, 100, 24, 5)
+	busy := Video(ClipCoastguard, 100, 24, 5)
+	qpel := func(frames []FrameStats) (n int) {
+		for _, f := range frames {
+			for _, mb := range f.MBs {
+				if mb.QPel {
+					n++
+				}
+			}
+		}
+		return
+	}
+	if qpel(busy) <= qpel(calm) {
+		t.Errorf("high-motion clip has fewer qpel blocks (%d vs %d)", qpel(busy), qpel(calm))
+	}
+}
+
+func TestImagesClassesAndBounds(t *testing.T) {
+	imgs := Images(200, 320, 11)
+	classes := map[string]int{}
+	for _, img := range imgs {
+		classes[img.Class]++
+		if img.Blocks < 1 || img.Blocks > 320 {
+			t.Fatalf("blocks = %d out of range", img.Blocks)
+		}
+		if len(img.BlockCoeffs) != img.Blocks {
+			t.Fatal("coeff list length mismatch")
+		}
+		for _, c := range img.BlockCoeffs {
+			if c < 0 || c > 63 {
+				t.Fatalf("coeff %d out of range", c)
+			}
+		}
+	}
+	if classes["small"] == 0 || classes["medium"] == 0 || classes["large"] == 0 {
+		t.Errorf("class mix = %v", classes)
+	}
+}
+
+func TestImagesIndependence(t *testing.T) {
+	// Consecutive images must be uncorrelated in size (the JPEG/browser
+	// argument of §2.4): adjacent size deltas are as large as random
+	// pair deltas.
+	imgs := Images(300, 320, 13)
+	var adj, far float64
+	for i := 1; i < len(imgs); i++ {
+		d := float64(imgs[i].Blocks - imgs[i-1].Blocks)
+		if d < 0 {
+			d = -d
+		}
+		adj += d
+		d2 := float64(imgs[i].Blocks - imgs[(i*53)%len(imgs)].Blocks)
+		if d2 < 0 {
+			d2 = -d2
+		}
+		far += d2
+	}
+	if adj < 0.6*far {
+		t.Errorf("image sizes look autocorrelated: adjacent %.0f vs random %.0f", adj, far)
+	}
+}
+
+func TestDataPiecesBounds(t *testing.T) {
+	pieces := DataPieces(150, 100, 2000, 17)
+	for _, p := range pieces {
+		if p.Bytes < 100 || p.Bytes > 2000 {
+			t.Fatalf("size %d out of bounds", p.Bytes)
+		}
+		if len(p.Payload) != p.Bytes {
+			t.Fatal("payload length mismatch")
+		}
+	}
+	// Skewed toward small sizes: median below the midpoint.
+	sizes := make([]int, len(pieces))
+	for i, p := range pieces {
+		sizes[i] = p.Bytes
+	}
+	below := 0
+	for _, s := range sizes {
+		if s < 1050 {
+			below++
+		}
+	}
+	if below < len(sizes)/2 {
+		t.Errorf("size distribution not skewed small: %d/%d below midpoint", below, len(sizes))
+	}
+}
+
+func TestMDStepsBoundsAndSpikes(t *testing.T) {
+	steps := MDSteps(400, 48, 72, 19)
+	maxAvg := 0.0
+	for _, st := range steps {
+		if len(st.Neighbors) != 48 {
+			t.Fatal("particle count wrong")
+		}
+		sum := 0
+		for _, n := range st.Neighbors {
+			if n < 1 || n > 72 {
+				t.Fatalf("neighbors %d out of bounds", n)
+			}
+			sum += n
+		}
+		if avg := float64(sum) / 48; avg > maxAvg {
+			maxAvg = avg
+		}
+	}
+	// Compaction events must push the system near capacity sometimes.
+	if maxAvg < 65 {
+		t.Errorf("max average neighbours %.1f; compaction spikes missing", maxAvg)
+	}
+}
+
+func TestStencilImagesBounds(t *testing.T) {
+	imgs := StencilImages(300, 46, 46, 23)
+	fullFrames := 0
+	for _, img := range imgs {
+		if img.Rows < 1 || img.Rows > 46 || img.Cols < 1 || img.Cols > 46 {
+			t.Fatalf("geometry %dx%d out of bounds", img.Rows, img.Cols)
+		}
+		if img.Rows == 46 && img.Cols == 46 {
+			fullFrames++
+		}
+	}
+	if fullFrames == 0 {
+		t.Error("no full-resolution frames generated (miss-band jobs missing)")
+	}
+}
+
+func TestClamp01AndQuantize(t *testing.T) {
+	if clamp01(-1) != 0 || clamp01(2) != 1 || clamp01(0.5) != 0.5 {
+		t.Error("clamp01 wrong")
+	}
+	if quantize63(-0.5) != 0 || quantize63(2) != 63 {
+		t.Error("quantize63 bounds wrong")
+	}
+}
