@@ -3,12 +3,17 @@
 //
 // Usage:
 //
-//	dvfsim [-seed N] [-quick] [-list] [experiment ...]
+//	dvfsim [-seed N] [-quick] [-workers N] [-list] [experiment ...]
 //
 // With no experiment arguments, every table and figure is regenerated
 // in paper order. Experiment IDs: table3, table4, fig2, fig3, fig10,
 // fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18, fig19,
 // casestudy.
+//
+// Job-level RTL simulation fans out across -workers goroutines
+// (default: GOMAXPROCS); results are deterministic regardless of the
+// worker count. -cpuprofile/-memprofile write pprof profiles of the
+// run for "Profiling the simulator" in README.md.
 package main
 
 import (
@@ -16,8 +21,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/exp"
 )
 
@@ -27,6 +35,9 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	charts := flag.Bool("charts", false, "render ASCII plots for figure experiments")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	workers := flag.Int("workers", 0, "parallel job-simulation workers (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
 	if *list {
@@ -34,6 +45,22 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+
+	core.SetWorkers(*workers)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvfsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dvfsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	lab := exp.NewLab(*seed)
@@ -51,6 +78,12 @@ func main() {
 		ids = exp.ExperimentIDs
 	}
 	start := time.Now()
+	// Train all benchmarks up front, in parallel, so the serial
+	// experiment loop below replays cached traces.
+	if err := lab.Warm(); err != nil {
+		fmt.Fprintf(os.Stderr, "dvfsim: %v\n", err)
+		os.Exit(1)
+	}
 	for _, id := range ids {
 		t, err := exp.Run(lab, id)
 		if err != nil {
@@ -77,4 +110,18 @@ func main() {
 		}
 	}
 	fmt.Printf("completed %d experiment(s) in %s\n", len(ids), time.Since(start).Round(time.Millisecond))
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvfsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dvfsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

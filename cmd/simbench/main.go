@@ -1,0 +1,203 @@
+// Command simbench measures the simulation engine and writes a
+// machine-readable BENCH_sim.json so the performance trajectory can be
+// tracked across changes.
+//
+// Usage:
+//
+//	simbench [-out BENCH_sim.json] [-workers N] [-seed N] [-reps N]
+//
+// It reports three things:
+//
+//  1. engine throughput (Mevals/s, ns/cycle) for the compiled engine
+//     and the interpreter on the Toy design and on a real accelerator,
+//  2. CollectTraces wall-clock serial vs. fanned out across workers,
+//  3. the wall-clock of warming the full (quick) experiment lab.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/accel"
+	"repro/internal/accel/stencil"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/rtl"
+	"repro/internal/testdesigns"
+)
+
+// EngineResult is one engine×design throughput measurement.
+type EngineResult struct {
+	Design     string  `json:"design"`
+	Engine     string  `json:"engine"`
+	Nodes      int     `json:"nodes"`
+	Cycles     uint64  `json:"cycles"`
+	Seconds    float64 `json:"seconds"`
+	MevalsPerS float64 `json:"mevals_per_s"`
+	NsPerCycle float64 `json:"ns_per_cycle"`
+}
+
+// TraceResult reports the job fan-out measurement.
+type TraceResult struct {
+	Benchmark string  `json:"benchmark"`
+	Jobs      int     `json:"jobs"`
+	Workers   int     `json:"workers"`
+	SerialS   float64 `json:"serial_s"`
+	ParallelS float64 `json:"parallel_s"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// Report is the BENCH_sim.json schema.
+type Report struct {
+	Generated       string         `json:"generated"`
+	Workers         int            `json:"workers"`
+	Engines         []EngineResult `json:"engines"`
+	CompiledSpeedup float64        `json:"compiled_speedup"`
+	CollectTraces   TraceResult    `json:"collect_traces"`
+	SuiteWallclockS float64        `json:"suite_wallclock_s"`
+}
+
+// measure runs fn reps times and returns total cycles and seconds.
+func measure(reps int, fn func() (uint64, error)) (uint64, float64, error) {
+	var cycles uint64
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		c, err := fn()
+		if err != nil {
+			return 0, 0, err
+		}
+		cycles += c
+	}
+	return cycles, time.Since(start).Seconds(), nil
+}
+
+func engineResult(design, engine string, nodes int, cycles uint64, secs float64) EngineResult {
+	return EngineResult{
+		Design:     design,
+		Engine:     engine,
+		Nodes:      nodes,
+		Cycles:     cycles,
+		Seconds:    secs,
+		MevalsPerS: float64(cycles*uint64(nodes)) / secs / 1e6,
+		NsPerCycle: secs * 1e9 / float64(cycles),
+	}
+}
+
+func run() error {
+	out := flag.String("out", "BENCH_sim.json", "output path for the JSON report")
+	workers := flag.Int("workers", 0, "parallel job-simulation workers (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 42, "workload generation seed")
+	reps := flag.Int("reps", 200, "jobs per engine measurement")
+	flag.Parse()
+
+	core.SetWorkers(*workers)
+	rep := Report{Generated: time.Now().UTC().Format(time.RFC3339), Workers: core.Workers()}
+
+	// 1. Engine throughput: Toy and one real accelerator, both engines.
+	toy := testdesigns.Toy()
+	items := make([]uint64, 100)
+	for i := range items {
+		items[i] = testdesigns.ToyItem(i%2 == 0, 20)
+	}
+	job := testdesigns.ToyJob(items)
+	toyRun := func(s *rtl.Sim) func() (uint64, error) {
+		return func() (uint64, error) {
+			s.Reset()
+			if err := s.LoadMem("in", job); err != nil {
+				return 0, err
+			}
+			return s.Run(1 << 20)
+		}
+	}
+	spec := stencil.Spec()
+	sm := spec.Build()
+	sjob := spec.TestJobs(3)[0]
+	accelRun := func(s *rtl.Sim) func() (uint64, error) {
+		return func() (uint64, error) { return accel.RunJob(s, sjob, spec.MaxTicks) }
+	}
+	for _, e := range []struct {
+		design string
+		m      *rtl.Module
+		nodes  int
+		mk     func(*rtl.Module) *rtl.Sim
+		engine string
+		runner func(*rtl.Sim) func() (uint64, error)
+	}{
+		{"toy", toy.M, toy.M.NumNodes(), rtl.NewSim, "compiled", toyRun},
+		{"toy", toy.M, toy.M.NumNodes(), rtl.NewInterpSim, "interp", toyRun},
+		{spec.Name, sm, sm.NumNodes(), rtl.NewSim, "compiled", accelRun},
+		{spec.Name, sm, sm.NumNodes(), rtl.NewInterpSim, "interp", accelRun},
+	} {
+		cycles, secs, err := measure(*reps, e.runner(e.mk(e.m)))
+		if err != nil {
+			return err
+		}
+		rep.Engines = append(rep.Engines, engineResult(e.design, e.engine, e.nodes, cycles, secs))
+	}
+	rep.CompiledSpeedup = rep.Engines[0].MevalsPerS / rep.Engines[1].MevalsPerS
+
+	// 2. CollectTraces fan-out: serial vs configured workers.
+	pred, err := core.Train(spec, core.Options{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	jobs := spec.TestJobs(*seed + 1)
+	core.SetWorkers(1)
+	start := time.Now()
+	serialTr, err := pred.CollectTraces(jobs)
+	if err != nil {
+		return err
+	}
+	serialS := time.Since(start).Seconds()
+	core.SetWorkers(*workers)
+	start = time.Now()
+	parTr, err := pred.CollectTraces(jobs)
+	if err != nil {
+		return err
+	}
+	parS := time.Since(start).Seconds()
+	if len(serialTr) != len(parTr) {
+		return fmt.Errorf("simbench: trace count mismatch %d vs %d", len(serialTr), len(parTr))
+	}
+	rep.CollectTraces = TraceResult{
+		Benchmark: spec.Name,
+		Jobs:      len(jobs),
+		Workers:   core.Workers(),
+		SerialS:   serialS,
+		ParallelS: parS,
+		Speedup:   serialS / parS,
+	}
+
+	// 3. Full quick-lab warm-up wall-clock (train + trace all seven
+	// benchmarks), the end-to-end number the experiments feel.
+	lab := exp.NewLab(*seed)
+	lab.Quick = true
+	start = time.Now()
+	if err := lab.Warm(); err != nil {
+		return err
+	}
+	rep.SuiteWallclockS = time.Since(start).Seconds()
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("simbench: compiled %.0f Mevals/s (%.2fx interp), traces %.2fx with %d workers, quick suite %.1fs -> %s\n",
+		rep.Engines[0].MevalsPerS, rep.CompiledSpeedup,
+		rep.CollectTraces.Speedup, rep.CollectTraces.Workers, rep.SuiteWallclockS, *out)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -84,16 +84,25 @@ func Train(spec accel.Spec, opt Options) (*Predictor, error) {
 	}
 
 	// RTL simulation of the training set: features + execution time.
+	// Jobs are independent, so they fan out across worker goroutines,
+	// each owning a private Sim clone; results land in index-addressed
+	// slots and are identical to a serial run.
 	sim := rtl.NewSim(ins.M)
-	X := make([][]float64, 0, len(jobs))
-	y := make([]float64, 0, len(jobs))
-	for i, job := range jobs {
-		ticks, err := accel.RunJob(sim, job, spec.MaxTicks)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s train job %d: %w", spec.Name, i, err)
-		}
-		X = append(X, ins.ReadFeatures(sim))
-		y = append(y, spec.Seconds(ticks))
+	X := make([][]float64, len(jobs))
+	y := make([]float64, len(jobs))
+	err = runParallel(len(jobs),
+		func() *rtl.Sim { return sim.Clone() },
+		func(s *rtl.Sim, i int) error {
+			ticks, err := accel.RunJob(s, jobs[i], spec.MaxTicks)
+			if err != nil {
+				return fmt.Errorf("core: %s train job %d: %w", spec.Name, i, err)
+			}
+			X[i] = ins.ReadFeatures(s)
+			y[i] = spec.Seconds(ticks)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	cfg := opt.Model
@@ -174,37 +183,48 @@ type JobTrace struct {
 }
 
 // CollectTraces runs each job on both the instrumented design and the
-// slice, returning per-job traces.
+// slice, returning per-job traces. Jobs fan out across worker
+// goroutines (see SetWorkers), each with private clones of the full
+// and slice simulators; trace slots are index-addressed, so the result
+// is byte-identical to a serial run.
 func (p *Predictor) CollectTraces(jobs []accel.Job) ([]JobTrace, error) {
-	traces := make([]JobTrace, 0, len(jobs))
-	for i, job := range jobs {
-		ticks, err := accel.RunJob(p.fullSim, job, p.Spec.MaxTicks)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s job %d: %w", p.Spec.Name, i, err)
-		}
-		sliceTicks, err := accel.RunJob(p.sliceSim, job, p.Spec.MaxTicks)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s slice job %d: %w", p.Spec.Name, i, err)
-		}
-		sliceFeats := p.Slice.ReadFeatures(p.sliceSim)
-		fullFeats := p.Ins.ReadFeatures(p.fullSim)
-		var items float64
-		for fi, f := range p.Ins.Features {
-			if f.Kind == instrument.IC && fullFeats[fi] > items {
-				items = fullFeats[fi]
+	type simPair struct{ full, slice *rtl.Sim }
+	traces := make([]JobTrace, len(jobs))
+	err := runParallel(len(jobs),
+		func() simPair { return simPair{p.fullSim.Clone(), p.sliceSim.Clone()} },
+		func(sp simPair, i int) error {
+			job := jobs[i]
+			ticks, err := accel.RunJob(sp.full, job, p.Spec.MaxTicks)
+			if err != nil {
+				return fmt.Errorf("core: %s job %d: %w", p.Spec.Name, i, err)
 			}
-		}
-		traces = append(traces, JobTrace{
-			Items:         items,
-			Ticks:         ticks,
-			Seconds:       p.Spec.Seconds(ticks),
-			Cycles:        p.Spec.Cycles(ticks),
-			PredSeconds:   p.PredFromSliceOrFloor(sliceFeats),
-			SliceTicks:    sliceTicks,
-			SliceSeconds:  p.Spec.Seconds(sliceTicks),
-			SliceFeatures: sliceFeats,
-			Class:         job.Class,
+			sliceTicks, err := accel.RunJob(sp.slice, job, p.Spec.MaxTicks)
+			if err != nil {
+				return fmt.Errorf("core: %s slice job %d: %w", p.Spec.Name, i, err)
+			}
+			sliceFeats := p.Slice.ReadFeatures(sp.slice)
+			fullFeats := p.Ins.ReadFeatures(sp.full)
+			var items float64
+			for fi, f := range p.Ins.Features {
+				if f.Kind == instrument.IC && fullFeats[fi] > items {
+					items = fullFeats[fi]
+				}
+			}
+			traces[i] = JobTrace{
+				Items:         items,
+				Ticks:         ticks,
+				Seconds:       p.Spec.Seconds(ticks),
+				Cycles:        p.Spec.Cycles(ticks),
+				PredSeconds:   p.PredFromSliceOrFloor(sliceFeats),
+				SliceTicks:    sliceTicks,
+				SliceSeconds:  p.Spec.Seconds(sliceTicks),
+				SliceFeatures: sliceFeats,
+				Class:         job.Class,
+			}
+			return nil
 		})
+	if err != nil {
+		return nil, err
 	}
 	return traces, nil
 }

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/accel/md"
+)
+
+// trainedMD caches one trained predictor for the parallelism tests and
+// benchmarks (training itself is exercised elsewhere).
+var trainedMD = sync.OnceValues(func() (*Predictor, error) {
+	return Train(md.Spec(), Options{Seed: 1})
+})
+
+// TestCollectTracesParallelDeterministic proves the fan-out contract:
+// traces collected with many workers are byte-identical (every field,
+// every float) to a serial collection.
+func TestCollectTracesParallelDeterministic(t *testing.T) {
+	p, err := trainedMD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := md.Spec().TestJobs(9)[:40]
+
+	defer SetWorkers(0)
+	SetWorkers(1)
+	serial, err := p.CollectTraces(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		SetWorkers(workers)
+		parallel, err := p.CollectTraces(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("traces with %d workers differ from serial collection", workers)
+		}
+	}
+}
+
+// TestTrainParallelDeterministic checks that the trained model does not
+// depend on the worker count: the training simulations feed the solver
+// index-addressed feature rows, so coefficients must match exactly.
+func TestTrainParallelDeterministic(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(1)
+	serial, err := Train(md.Spec(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetWorkers(6)
+	parallel, err := Train(md.Spec(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Model, parallel.Model) {
+		t.Fatal("model coefficients depend on worker count")
+	}
+	if serial.Gamma != parallel.Gamma || !reflect.DeepEqual(serial.Kept, parallel.Kept) {
+		t.Fatal("feature selection depends on worker count")
+	}
+}
+
+// BenchmarkCollectTracesParallel measures the job fan-out: the same
+// trace collection at 1 worker and at the default worker count. The
+// ratio of ns/op is the parallel speedup.
+func BenchmarkCollectTracesParallel(b *testing.B) {
+	p, err := trainedMD()
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := md.Spec().TestJobs(9)[:60]
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"fanout", 0}, // GOMAXPROCS
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			SetWorkers(cfg.workers)
+			defer SetWorkers(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.CollectTraces(jobs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+			b.ReportMetric(float64(Workers()), "workers")
+		})
+	}
+}

@@ -177,6 +177,15 @@ func (l *Lab) All() ([]*Entry, error) {
 	return entries, nil
 }
 
+// Warm trains every benchmark concurrently (each of which additionally
+// fans its job simulations out across workers, see core.SetWorkers)
+// before the serial experiment loop starts, so every later Entry call
+// is a cache hit. It is an alias for discarding All's entries.
+func (l *Lab) Warm() error {
+	_, err := l.All()
+	return err
+}
+
 // Names returns benchmark names in table order.
 func (l *Lab) Names() []string { return suite.Names() }
 

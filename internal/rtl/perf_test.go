@@ -3,26 +3,83 @@ package rtl_test
 import (
 	"testing"
 
+	"repro/internal/accel"
+	"repro/internal/accel/stencil"
 	"repro/internal/rtl"
 	"repro/internal/testdesigns"
 )
 
-func BenchmarkToySim(b *testing.B) {
-	toy := testdesigns.Toy()
+// benchToy runs the Toy workload on the given engine and reports
+// Mevals/s (node evaluations per second, the headline simulator
+// throughput metric) and ns/cycle.
+func benchToy(b *testing.B, s *rtl.Sim, nodes int) {
 	items := make([]uint64, 100)
 	for i := range items {
 		items[i] = testdesigns.ToyItem(i%2 == 0, uint8(20))
 	}
-	s := rtl.NewSim(toy.M)
 	job := testdesigns.ToyJob(items)
 	b.ResetTimer()
 	total := uint64(0)
 	for i := 0; i < b.N; i++ {
 		s.Reset()
-		s.LoadMem("in", job)
-		c, _ := s.Run(1 << 20)
+		if err := s.LoadMem("in", job); err != nil {
+			b.Fatal(err)
+		}
+		c, err := s.Run(1 << 20)
+		if err != nil {
+			b.Fatal(err)
+		}
 		total += c
 	}
-	b.ReportMetric(float64(total*uint64(len(toy.M.Nodes)))/float64(b.Elapsed().Seconds())/1e6, "Mevals/s")
+	sec := b.Elapsed().Seconds()
+	b.ReportMetric(float64(total*uint64(nodes))/sec/1e6, "Mevals/s")
+	b.ReportMetric(sec*1e9/float64(total), "ns/cycle")
 	b.ReportMetric(float64(total)/float64(b.N), "ticks/job")
 }
+
+// BenchmarkToySim measures the default (compiled) engine.
+func BenchmarkToySim(b *testing.B) {
+	toy := testdesigns.Toy()
+	benchToy(b, rtl.NewSim(toy.M), toy.M.NumNodes())
+}
+
+// BenchmarkToySimInterp measures the interpreter escape hatch on the
+// same workload, so the compiled speedup is one benchstat away.
+func BenchmarkToySimInterp(b *testing.B) {
+	toy := testdesigns.Toy()
+	benchToy(b, rtl.NewInterpSim(toy.M), toy.M.NumNodes())
+}
+
+// benchAccel runs one real accelerator job repeatedly on the given
+// engine. stencil is used because its netlist is datapath-heavy and
+// representative of the suite's per-cycle cost.
+func benchAccel(b *testing.B, interp bool) {
+	spec := stencil.Spec()
+	m := spec.Build()
+	var s *rtl.Sim
+	if interp {
+		s = rtl.NewInterpSim(m)
+	} else {
+		s = rtl.NewSim(m)
+	}
+	job := spec.TestJobs(3)[0]
+	b.ResetTimer()
+	total := uint64(0)
+	for i := 0; i < b.N; i++ {
+		c, err := accel.RunJob(s, job, spec.MaxTicks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += c
+	}
+	sec := b.Elapsed().Seconds()
+	b.ReportMetric(float64(total*uint64(m.NumNodes()))/sec/1e6, "Mevals/s")
+	b.ReportMetric(sec*1e9/float64(total), "ns/cycle")
+}
+
+// BenchmarkStencilSim measures the compiled engine on a real
+// accelerator netlist.
+func BenchmarkStencilSim(b *testing.B) { benchAccel(b, false) }
+
+// BenchmarkStencilSimInterp is the interpreter reference point.
+func BenchmarkStencilSimInterp(b *testing.B) { benchAccel(b, true) }

@@ -5,9 +5,18 @@ import (
 	"fmt"
 )
 
-// Sim is a cycle-accurate interpreter for a Module. One Sim instance can
-// run many jobs back to back; Reset restores registers and clears
+// Sim is a cycle-accurate simulator for a Module. By default it
+// executes a compiled Program (see Compile); NewInterpSim builds one
+// that interprets the Node table directly, kept as an escape hatch and
+// as the reference engine for differential testing. One Sim instance
+// can run many jobs back to back; Reset restores registers and clears
 // scratchpads between jobs.
+//
+// Each Sim owns its value array and its writable memory backing, so
+// independent Sims over the same Module never share mutable state:
+// Clone is cheap (the compiled Program and ROM contents are shared,
+// both immutable) and clones may run concurrently, which is what the
+// parallel job fan-out in package core relies on.
 //
 // Evaluation model per cycle:
 //  1. combinational nodes are evaluated in ID order (SSA guarantees
@@ -17,12 +26,21 @@ import (
 //  4. activity (toggle) counters are updated for the energy model.
 type Sim struct {
 	m *Module
+	// prog is the compiled program; nil selects the interpreter.
+	prog *Program
 	// vals holds the current cycle's node values.
 	vals []uint64
 	// prev holds the previous cycle's values for toggle counting.
 	prev []uint64
-	// inputs are the values driven on OpInput nodes.
-	inputs map[NodeID]uint64
+	// mems is the per-Sim memory backing, index-aligned with m.Mems.
+	// ROM entries alias the module's (immutable) contents; RAM entries
+	// are private to this Sim.
+	mems [][]uint64
+	// masks caches per-node width masks for the interpreter path.
+	masks []uint64
+	// constIdx/constVal preload literal values at Reset.
+	constIdx []int32
+	constVal []uint64
 	// toggles accumulates per-node value-change counts across a Run; a
 	// proxy for switching activity used by the energy model.
 	toggles []uint64
@@ -38,17 +56,80 @@ type Sim struct {
 // before the module raises Done.
 var ErrNoProgress = errors.New("rtl: cycle limit reached before done")
 
-// NewSim prepares a simulator for the module. The module must be valid
-// (Builder.Build validates; hand-built modules should call Validate).
+// NewSim prepares a simulator for the module, compiling it first. The
+// module must be valid (Builder.Build validates; hand-built modules
+// should call Validate) and must not be mutated while the Sim is live.
 func NewSim(m *Module) *Sim {
-	s := &Sim{
-		m:      m,
-		vals:   make([]uint64, len(m.Nodes)),
-		prev:   make([]uint64, len(m.Nodes)),
-		inputs: make(map[NodeID]uint64),
+	return Compile(m).NewSim()
+}
+
+// NewSim instantiates a simulator executing this compiled program.
+// Many Sims may share one Program.
+func (p *Program) NewSim() *Sim {
+	s := newSimState(p.m)
+	s.prog = p
+	s.Reset()
+	return s
+}
+
+// NewInterpSim prepares a simulator that interprets the Node table
+// directly instead of compiling it. Semantics are bit-identical to the
+// compiled engine; it exists for differential testing and as a
+// fallback while debugging the compiler.
+func NewInterpSim(m *Module) *Sim {
+	s := newSimState(m)
+	s.masks = make([]uint64, len(m.Nodes))
+	for i := range m.Nodes {
+		s.masks[i] = m.Nodes[i].Mask()
 	}
 	s.Reset()
 	return s
+}
+
+// newSimState allocates the engine-independent simulation state.
+func newSimState(m *Module) *Sim {
+	s := &Sim{
+		m:     m,
+		vals:  make([]uint64, len(m.Nodes)),
+		prev:  make([]uint64, len(m.Nodes)),
+		latch: make([]uint64, len(m.Regs)),
+		mems:  make([][]uint64, len(m.Mems)),
+	}
+	for i := range m.Nodes {
+		if n := &m.Nodes[i]; n.Op == OpConst {
+			s.constIdx = append(s.constIdx, int32(i))
+			s.constVal = append(s.constVal, n.Const&n.Mask())
+		}
+	}
+	for i, mem := range m.Mems {
+		if mem.ROM {
+			data := mem.Data
+			if len(data) < mem.Words {
+				padded := make([]uint64, mem.Words)
+				copy(padded, data)
+				data = padded
+			}
+			s.mems[i] = data
+		} else {
+			s.mems[i] = make([]uint64, mem.Words)
+		}
+	}
+	return s
+}
+
+// Clone returns an independent simulator over the same module and
+// engine, in freshly Reset state. The compiled program, netlist, and
+// ROM contents are shared (all immutable); values, registers, and
+// writable memories are private, so clones may run concurrently.
+func (s *Sim) Clone() *Sim {
+	c := newSimState(s.m)
+	c.prog = s.prog
+	c.masks = s.masks
+	if s.countToggles {
+		c.EnableActivity()
+	}
+	c.Reset()
+	return c
 }
 
 // EnableActivity turns on per-node toggle counting for energy modeling.
@@ -69,28 +150,21 @@ func (s *Sim) Reset() {
 	for i := range s.vals {
 		s.vals[i] = 0
 	}
+	for k, idx := range s.constIdx {
+		s.vals[idx] = s.constVal[k]
+	}
 	for i := range s.m.Regs {
 		r := &s.m.Regs[i]
 		s.vals[r.Node] = r.Init
 	}
-	for i := range s.m.Nodes {
-		if s.m.Nodes[i].Op == OpConst {
-			s.vals[i] = s.m.Nodes[i].Const & s.m.Nodes[i].Mask()
-		}
-	}
-	for _, mem := range s.m.Mems {
+	for i, mem := range s.m.Mems {
 		if mem.ROM {
 			continue
 		}
-		if len(mem.Data) != mem.Words {
-			mem.Data = make([]uint64, mem.Words)
+		data := s.mems[i]
+		for j := range data {
+			data[j] = 0
 		}
-		for i := range mem.Data {
-			mem.Data[i] = 0
-		}
-	}
-	for k := range s.inputs {
-		delete(s.inputs, k)
 	}
 	for i := range s.toggles {
 		s.toggles[i] = 0
@@ -99,44 +173,56 @@ func (s *Sim) Reset() {
 	copy(s.prev, s.vals)
 }
 
-// SetInput drives an input port for subsequent cycles.
+// SetInput drives an input port for subsequent cycles. The value is
+// written straight into the value array (no per-cycle lookup), so it
+// is also visible to Value immediately.
 func (s *Sim) SetInput(id NodeID, v uint64) {
 	if s.m.Nodes[id].Op != OpInput {
 		panic(fmt.Sprintf("rtl: SetInput on non-input node %d", id))
 	}
-	s.inputs[id] = v & s.m.Nodes[id].Mask()
+	s.vals[id] = v & s.m.Nodes[id].Mask()
+}
+
+// memIndex returns the index of the named memory, or -1.
+func (s *Sim) memIndex(name string) int {
+	for i, mem := range s.m.Mems {
+		if mem.Name == name {
+			return i
+		}
+	}
+	return -1
 }
 
 // LoadMem fills a named scratchpad with job input data (the DMA transfer
 // of the paper's system model). Excess words are zero.
 func (s *Sim) LoadMem(name string, data []uint64) error {
-	mem := s.m.MemByName(name)
-	if mem == nil {
+	idx := s.memIndex(name)
+	if idx < 0 {
 		return fmt.Errorf("rtl: module %s has no memory %q", s.m.Name, name)
 	}
+	mem := s.m.Mems[idx]
 	if mem.ROM {
 		return fmt.Errorf("rtl: memory %q is a ROM", name)
 	}
 	if len(data) > mem.Words {
 		return fmt.Errorf("rtl: %d words exceed memory %q size %d", len(data), name, mem.Words)
 	}
-	if len(mem.Data) != mem.Words {
-		mem.Data = make([]uint64, mem.Words)
-	}
-	copy(mem.Data, data)
+	dst := s.mems[idx]
+	copy(dst, data)
 	for i := len(data); i < mem.Words; i++ {
-		mem.Data[i] = 0
+		dst[i] = 0
 	}
 	return nil
 }
 
-// Mem returns the named memory's current contents (aliased, not copied).
+// Mem returns the named memory's current contents (aliased, not
+// copied). The contents are private to this Sim except for ROMs.
 func (s *Sim) Mem(name string) []uint64 {
-	mem := s.m.MemByName(name)
-	if mem == nil {
+	idx := s.memIndex(name)
+	if idx < 0 {
 		return nil
 	}
-	return mem.Data
+	return s.mems[idx]
 }
 
 // Value returns the value computed for a node in the last executed
@@ -148,35 +234,67 @@ func (s *Sim) Cycles() uint64 { return s.cycles }
 
 // Step executes one cycle and reports whether Done was high.
 func (s *Sim) Step() bool {
+	if s.prog != nil {
+		return s.stepCompiled()
+	}
+	return s.stepInterp()
+}
+
+// stepInterp is the reference interpreter. Constants are preloaded and
+// inputs written directly by SetInput, so both are skipped here; width
+// masks come from the precomputed table instead of per-node
+// recomputation.
+func (s *Sim) stepInterp() bool {
 	m := s.m
 	vals := s.vals
+	masks := s.masks
 	// Phase 1: combinational evaluation in SSA order.
 	for i := range m.Nodes {
 		n := &m.Nodes[i]
 		switch n.Op {
-		case OpConst, OpReg:
-			// Constants preloaded; registers hold latched state.
+		case OpConst, OpReg, OpInput:
+			// Constants preloaded; registers hold latched state; inputs
+			// are written by SetInput.
 			continue
-		case OpInput:
-			vals[i] = s.inputs[NodeID(i)]
 		case OpMemRead:
-			mem := m.Mems[n.Mem]
-			addr := vals[n.Args[0]]
-			if addr < uint64(len(mem.Data)) {
-				vals[i] = mem.Data[addr] & n.Mask()
+			data := s.mems[n.Mem]
+			if addr := vals[n.Args[0]]; addr < uint64(len(data)) {
+				vals[i] = data[addr] & masks[i]
 			} else {
 				vals[i] = 0
 			}
 		case OpMux:
 			if vals[n.Args[0]] != 0 {
-				vals[i] = vals[n.Args[1]] & n.Mask()
+				vals[i] = vals[n.Args[1]] & masks[i]
 			} else {
-				vals[i] = vals[n.Args[2]] & n.Mask()
+				vals[i] = vals[n.Args[2]] & masks[i]
 			}
 		case OpAdd:
-			vals[i] = (vals[n.Args[0]] + vals[n.Args[1]]) & n.Mask()
+			vals[i] = (vals[n.Args[0]] + vals[n.Args[1]]) & masks[i]
 		case OpSub:
-			vals[i] = (vals[n.Args[0]] - vals[n.Args[1]]) & n.Mask()
+			vals[i] = (vals[n.Args[0]] - vals[n.Args[1]]) & masks[i]
+		case OpMul:
+			vals[i] = (vals[n.Args[0]] * vals[n.Args[1]]) & masks[i]
+		case OpAnd:
+			vals[i] = vals[n.Args[0]] & vals[n.Args[1]] & masks[i]
+		case OpOr:
+			vals[i] = (vals[n.Args[0]] | vals[n.Args[1]]) & masks[i]
+		case OpXor:
+			vals[i] = (vals[n.Args[0]] ^ vals[n.Args[1]]) & masks[i]
+		case OpNot:
+			vals[i] = ^vals[n.Args[0]] & masks[i]
+		case OpShl:
+			if sh := vals[n.Args[1]]; sh < 64 {
+				vals[i] = (vals[n.Args[0]] << sh) & masks[i]
+			} else {
+				vals[i] = 0
+			}
+		case OpShr:
+			if sh := vals[n.Args[1]]; sh < 64 {
+				vals[i] = (vals[n.Args[0]] >> sh) & masks[i]
+			} else {
+				vals[i] = 0
+			}
 		case OpEq:
 			if vals[n.Args[0]] == vals[n.Args[1]] {
 				vals[i] = 1
@@ -201,12 +319,6 @@ func (s *Sim) Step() bool {
 			} else {
 				vals[i] = 0
 			}
-		default:
-			var a [3]uint64
-			for k := 0; k < int(n.NArgs); k++ {
-				a[k] = vals[n.Args[k]]
-			}
-			vals[i] = evalOp(n, a)
 		}
 	}
 	done := vals[m.Done] != 0
@@ -214,40 +326,42 @@ func (s *Sim) Step() bool {
 	for i := range m.Writes {
 		w := &m.Writes[i]
 		if vals[w.En] != 0 {
-			mem := m.Mems[w.Mem]
-			addr := vals[w.Addr]
-			if addr < uint64(len(mem.Data)) {
-				mem.Data[addr] = vals[w.Data]
+			data := s.mems[w.Mem]
+			if addr := vals[w.Addr]; addr < uint64(len(data)) {
+				data[addr] = vals[w.Data]
 			}
 		}
 	}
 	// Phase 3: registers latch simultaneously. Next values are read into
 	// a scratch slice first so a register whose Next aliases another
 	// register's node observes the pre-latch value.
-	if cap(s.latch) < len(m.Regs) {
-		s.latch = make([]uint64, len(m.Regs))
-	}
-	latch := s.latch[:len(m.Regs)]
+	latch := s.latch
 	for i := range m.Regs {
 		r := &m.Regs[i]
-		latch[i] = vals[r.Next] & m.Nodes[r.Node].Mask()
+		latch[i] = vals[r.Next] & masks[r.Node]
 	}
 	for i := range m.Regs {
 		vals[m.Regs[i].Node] = latch[i]
 	}
 	// Phase 4: activity accounting.
 	if s.countToggles {
-		prev := s.prev
-		tg := s.toggles
-		for i := range vals {
-			if vals[i] != prev[i] {
-				tg[i]++
-				prev[i] = vals[i]
-			}
-		}
+		s.countActivity()
 	}
 	s.cycles++
 	return done
+}
+
+// countActivity updates toggle counters after a cycle's latch phase.
+func (s *Sim) countActivity() {
+	vals := s.vals
+	prev := s.prev
+	tg := s.toggles
+	for i := range vals {
+		if vals[i] != prev[i] {
+			tg[i]++
+			prev[i] = vals[i]
+		}
+	}
 }
 
 // Run steps the module until Done is raised, returning the number of

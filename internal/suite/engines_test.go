@@ -1,0 +1,80 @@
+package suite
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/instrument"
+	"repro/internal/rtl"
+	"repro/internal/slice"
+)
+
+// TestCompiledMatchesInterpreterOnSuite is the suite-wide differential
+// test: for every benchmark, the instrumented full design AND its
+// hardware slice are run on real jobs by both the compiled engine and
+// the interpreter, and every observable — ticks, every node value,
+// every toggle counter, every memory word — must agree bit-exactly.
+// The toggle counters feed the energy model, so their equivalence is
+// what licenses making the compiled engine the default.
+func TestCompiledMatchesInterpreterOnSuite(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			m := spec.Build()
+			ins, err := instrument.Instrument(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			keep := make([]int, len(ins.Features))
+			for i := range keep {
+				keep[i] = i
+			}
+			sl, err := slice.Slice(ins, keep, slice.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs := spec.TestJobs(23)[:2]
+			for _, mod := range []*rtl.Module{ins.M, sl.M} {
+				compiled := rtl.NewSim(mod)
+				interp := rtl.NewInterpSim(mod)
+				compiled.EnableActivity()
+				interp.EnableActivity()
+				for ji, job := range jobs {
+					ct, err := accel.RunJob(compiled, job, spec.MaxTicks)
+					if err != nil {
+						t.Fatal(err)
+					}
+					it, err := accel.RunJob(interp, job, spec.MaxTicks)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ct != it {
+						t.Fatalf("%s job %d: ticks %d (compiled) != %d (interp)", mod.Name, ji, ct, it)
+					}
+					for id := 0; id < mod.NumNodes(); id++ {
+						if cv, iv := compiled.Value(rtl.NodeID(id)), interp.Value(rtl.NodeID(id)); cv != iv {
+							t.Fatalf("%s job %d node %d (%s): %#x (compiled) != %#x (interp)",
+								mod.Name, ji, id, mod.Nodes[id].Op, cv, iv)
+						}
+					}
+					cg, ig := compiled.Toggles(), interp.Toggles()
+					for id := range cg {
+						if cg[id] != ig[id] {
+							t.Fatalf("%s job %d node %d: toggles %d (compiled) != %d (interp)",
+								mod.Name, ji, id, cg[id], ig[id])
+						}
+					}
+					for _, mem := range mod.Mems {
+						cm, im := compiled.Mem(mem.Name), interp.Mem(mem.Name)
+						for a := range cm {
+							if cm[a] != im[a] {
+								t.Fatalf("%s job %d mem %s[%d]: %#x (compiled) != %#x (interp)",
+									mod.Name, ji, mem.Name, a, cm[a], im[a])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
