@@ -1,0 +1,266 @@
+// Command detlint is a custom vet pass for replay determinism. The
+// experiment pipeline's claim — byte-identical results for a given seed
+// across runs and worker counts — dies quietly when nondeterminism
+// sneaks into a result path, so CI runs this linter over the
+// replay-critical packages alongside go vet.
+//
+// It flags three hazard classes:
+//
+//   - ranging over a map: iteration order is randomized per run, so any
+//     result assembled in range order (appends, string building,
+//     first-wins selection) differs between replays;
+//   - time.Now: wall-clock values embedded in results or used to make
+//     decisions diverge across runs;
+//   - math/rand package-level draws (rand.Intn, rand.Float64, ...): the
+//     global source's stream is shared process-wide, so draws interleave
+//     differently when goroutine schedules change; draws must come from
+//     an explicitly seeded *rand.Rand.
+//
+// A finding is suppressed by a `//detlint:allow <reason>` comment on
+// the same line or the line above — used where the hazard is neutralized
+// (e.g. a map range whose results are sorted immediately afterwards).
+//
+// Usage:
+//
+//	detlint [-tests] <package-dir>|./... ...
+//
+// The tool is intentionally stdlib-only (go/parser + go/types with a
+// lenient importer): it typechecks each package in isolation, tolerating
+// unresolved imports, which is enough to recognize map types declared or
+// built locally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	tests := flag.Bool("tests", false, "also lint _test.go files")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: detlint [-tests] <package-dir>|./... ...")
+		os.Exit(2)
+	}
+	dirs, err := expandTargets(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	findings := 0
+	for _, dir := range dirs {
+		fs, err := lintDir(dir, *tests)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, f := range fs {
+			fmt.Println(f)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Printf("detlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// expandTargets resolves "./..." into every directory containing Go
+// files; other arguments are taken as package directories verbatim.
+func expandTargets(args []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, a := range args {
+		root, rec := strings.CutSuffix(a, "/...")
+		if !rec {
+			add(filepath.Clean(a))
+			continue
+		}
+		err := filepath.WalkDir(filepath.Clean(root), func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") {
+				add(filepath.Dir(path))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// finding is one located hazard.
+type finding struct {
+	pos token.Position
+	msg string
+}
+
+func (f finding) String() string {
+	return fmt.Sprintf("%s:%d: %s", f.pos.Filename, f.pos.Line, f.msg)
+}
+
+// lenientImporter satisfies every import with an empty placeholder
+// package: cross-package names typecheck as invalid (and are skipped),
+// while locally built map types still resolve — all this pass needs.
+type lenientImporter struct{ pkgs map[string]*types.Package }
+
+func (im *lenientImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.pkgs[path]; ok {
+		return p, nil
+	}
+	name := path[strings.LastIndexByte(path, '/')+1:]
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	if im.pkgs == nil {
+		im.pkgs = map[string]*types.Package{}
+	}
+	im.pkgs[path] = p
+	return p, nil
+}
+
+func lintDir(dir string, tests bool) ([]finding, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !tests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	// Lenient typecheck: errors (unresolved cross-package references)
+	// are expected and ignored; Info.Types still covers the locally
+	// inferable expressions, which is where map ranges live.
+	conf := types.Config{Importer: &lenientImporter{}, Error: func(error) {}}
+	info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}, Uses: map[*ast.Ident]types.Object{}}
+	conf.Check(dir, fset, files, info) //detlint:allow error intentionally ignored (lenient check)
+
+	var out []finding
+	for _, f := range files {
+		out = append(out, lintFile(fset, f, info)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].pos, out[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out, nil
+}
+
+func lintFile(fset *token.FileSet, f *ast.File, info *types.Info) []finding {
+	allowed := allowLines(fset, f)
+	randDraws := map[string]bool{
+		"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+		"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+		"Float32": true, "Float64": true, "Perm": true, "Shuffle": true,
+		"ExpFloat64": true, "NormFloat64": true, "Seed": true,
+	}
+	importsMathRand := false
+	for _, imp := range f.Imports {
+		if p, _ := strconv.Unquote(imp.Path.Value); p == "math/rand" || p == "math/rand/v2" {
+			importsMathRand = true
+		}
+	}
+
+	var out []finding
+	report := func(pos token.Pos, msg string) {
+		p := fset.Position(pos)
+		if allowed[p.Line] {
+			return
+		}
+		out = append(out, finding{pos: p, msg: msg})
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					report(n.For,
+						"range over map: iteration order is randomized per run; sort the keys (or annotate //detlint:allow if order provably cannot reach results)")
+				}
+			}
+		case *ast.SelectorExpr:
+			pkg, ok := n.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			// Only package-qualified selectors: a local variable named
+			// `rand` or `time` resolves to a non-package object.
+			if obj, bound := info.Uses[pkg]; bound {
+				if _, isPkg := obj.(*types.PkgName); !isPkg {
+					return true
+				}
+			}
+			if pkg.Name == "time" && n.Sel.Name == "Now" {
+				report(n.Pos(),
+					"time.Now: wall-clock reads diverge between replays; thread timestamps in from the caller")
+			}
+			if importsMathRand && pkg.Name == "rand" && randDraws[n.Sel.Name] {
+				report(n.Pos(),
+					fmt.Sprintf("rand.%s draws from the shared global source; use an explicitly seeded *rand.Rand", n.Sel.Name))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// allowLines collects the lines covered by //detlint:allow comments:
+// the comment's own line and the one below it (so an annotation can sit
+// on the flagged line or immediately above).
+func allowLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	out := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//detlint:allow") {
+				line := fset.Position(c.Pos()).Line
+				out[line] = true
+				out[line+1] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHazardsAreFlagged(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "bad.go", `package p
+
+import (
+	"math/rand"
+	"time"
+)
+
+func f() int64 {
+	m := map[string]int{"a": 1, "b": 2}
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	s += rand.Intn(3)
+	return time.Now().Unix() + int64(s)
+}
+`)
+	got, err := lintDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("findings = %d, want 3: %v", len(got), got)
+	}
+	wants := []string{"range over map", "rand.Intn", "time.Now"}
+	for _, w := range wants {
+		found := false
+		for _, f := range got {
+			if strings.Contains(f.msg, w) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no finding mentions %q: %v", w, got)
+		}
+	}
+}
+
+func TestAllowSuppressesAndLocalsDoNot(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "ok.go", `package p
+
+import "sort"
+
+// rand here is a local variable, not the math/rand package; time is a
+// struct value: neither selector is a hazard.
+type clock struct{}
+
+func (clock) Now() int { return 0 }
+
+func g() []string {
+	m := map[string]int{"a": 1}
+	var keys []string
+	for k := range m { //detlint:allow sorted immediately below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var time clock
+	_ = time.Now()
+	return keys
+}
+`)
+	got, err := lintDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("findings = %v, want none", got)
+	}
+}
+
+func TestTestFilesSkippedByDefault(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a_test.go", `package p
+
+import "time"
+
+func h() int64 { return time.Now().Unix() }
+`)
+	got, err := lintDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("test file was linted without -tests: %v", got)
+	}
+	got, err = lintDir(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("findings with -tests = %v, want 1", got)
+	}
+}

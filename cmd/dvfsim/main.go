@@ -77,7 +77,7 @@ func main() {
 	if len(ids) == 0 {
 		ids = exp.ExperimentIDs
 	}
-	start := time.Now()
+	start := time.Now() //detlint:allow wall-clock progress reporting only; results are seed-driven
 	// Train all benchmarks up front, in parallel, so the serial
 	// experiment loop below replays cached traces.
 	if err := lab.Warm(); err != nil {

@@ -1,0 +1,197 @@
+// Command rtlcheck runs the netlist lint & verification suite of
+// package lint over accelerators, testdesigns, or Verilog files, and
+// prints structured diagnostics. It exits nonzero when any
+// error-severity finding survives filtering, so CI can gate on it.
+//
+// Usage:
+//
+//	rtlcheck [flags] <target>...
+//
+// A target is a benchmark name (h264, cjpeg, djpeg, md, stencil, aes,
+// sha), the word "all" (the whole suite), "testdesigns" (the simulation
+// test designs), or a path to a .v file (parsed, elaborated, and linted
+// with source spans; elaboration warnings become diagnostics too).
+//
+// Flags:
+//
+//	-rules            print the rule catalog and exit
+//	-enable ids       comma-separated rule IDs to run (default: all)
+//	-suppress ids     comma-separated rule IDs to drop
+//	-min severity     drop findings below info|warning|error (default info)
+//	-json             emit diagnostics as JSON
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/rtl"
+	"repro/internal/suite"
+	"repro/internal/testdesigns"
+	"repro/internal/verilog"
+)
+
+func main() {
+	showRules := flag.Bool("rules", false, "print the rule catalog and exit")
+	enable := flag.String("enable", "", "comma-separated rule IDs to run (default: all)")
+	suppress := flag.String("suppress", "", "comma-separated rule IDs to drop")
+	minSev := flag.String("min", "info", "drop findings below this severity (info|warning|error)")
+	asJSON := flag.Bool("json", false, "emit diagnostics as JSON")
+	flag.Parse()
+
+	if *showRules {
+		printCatalog()
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintf(os.Stderr, "usage: rtlcheck [flags] <target>...\ntargets: benchmark name %v, \"all\", \"testdesigns\", or a .v file\n", suite.Names())
+		os.Exit(2)
+	}
+
+	cfg := lint.Config{Enable: splitIDs(*enable), Suppress: splitIDs(*suppress)}
+	sev, err := lint.ParseSeverity(*minSev)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg.MinSeverity = sev
+
+	var all []lint.Diagnostic
+	errors := 0
+	for _, target := range flag.Args() {
+		diags, err := lintTarget(target, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		all = append(all, diags...)
+	}
+	for _, d := range all {
+		if d.Sev == lint.Error {
+			errors++
+		}
+		if !*asJSON {
+			fmt.Println(d)
+		}
+	}
+	if *asJSON {
+		if err := writeJSON(os.Stdout, all); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		fmt.Printf("%d diagnostic(s), %d error(s)\n", len(all), errors)
+	}
+	if errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// lintTarget resolves one command-line target to a set of designs and
+// lints each.
+func lintTarget(target string, cfg lint.Config) ([]lint.Diagnostic, error) {
+	if strings.HasSuffix(target, ".v") {
+		return lintVerilog(target, cfg)
+	}
+	var mods []*rtl.Module
+	switch target {
+	case "all":
+		for _, spec := range suite.All() {
+			mods = append(mods, spec.Build())
+		}
+	case "testdesigns":
+		hand, _ := testdesigns.HandFSM()
+		mods = append(mods, testdesigns.Toy().M, hand)
+	default:
+		spec, err := suite.ByName(target)
+		if err != nil {
+			return nil, err
+		}
+		mods = append(mods, spec.Build())
+	}
+	var out []lint.Diagnostic
+	for _, m := range mods {
+		out = append(out, lint.Run(m, cfg).Diags...)
+	}
+	return out, nil
+}
+
+// lintVerilog parses and elaborates a Verilog file (top = the last
+// module, matching the elaborator's convention for single-file input),
+// converts elaboration warnings to diagnostics, and lints the netlist.
+// A hard elaboration error (e.g. a wire read but never driven) is
+// reported as a single error-severity diagnostic rather than aborting,
+// so one broken file doesn't hide findings in the others.
+func lintVerilog(path string, cfg lint.Config) ([]lint.Diagnostic, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	mods, err := verilog.ParseFileNamed(string(src), path)
+	if err != nil {
+		return nil, err
+	}
+	if len(mods) == 0 {
+		return nil, fmt.Errorf("rtlcheck: %s: no modules", path)
+	}
+	top := mods[len(mods)-1].Name
+	m, warns, err := verilog.ElaborateHierarchyWarn(mods, top)
+	diags := lint.ConvertWarnings(top, warns, cfg)
+	if err != nil {
+		diags = append(diags, lint.Diagnostic{
+			Design: top,
+			Rule:   "never-driven",
+			Sev:    lint.Error,
+			Msg:    err.Error(),
+			Spans:  []rtl.SrcLoc{{File: path, Line: 1}},
+		})
+		return diags, nil
+	}
+	return append(diags, lint.Run(m, cfg).Diags...), nil
+}
+
+func splitIDs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, id := range strings.Split(s, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func printCatalog() {
+	fmt.Printf("%-18s %-8s %s\n", "RULE", "SEVERITY", "GUARDS AGAINST")
+	for _, r := range lint.Rules() {
+		fmt.Printf("%-18s %-8s %s\n", r.ID, r.Sev, r.Doc)
+	}
+}
+
+// jsonDiag is the JSON shape of a diagnostic (severity as a string).
+type jsonDiag struct {
+	Design string   `json:"design"`
+	Rule   string   `json:"rule"`
+	Sev    string   `json:"severity"`
+	Msg    string   `json:"msg"`
+	Spans  []string `json:"spans,omitempty"`
+}
+
+func writeJSON(w *os.File, diags []lint.Diagnostic) error {
+	out := make([]jsonDiag, len(diags))
+	for i, d := range diags {
+		out[i] = jsonDiag{Design: d.Design, Rule: d.Rule, Sev: d.Sev.String(), Msg: d.Msg}
+		for _, sp := range d.Spans {
+			out[i].Spans = append(out[i].Spans, sp.String())
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

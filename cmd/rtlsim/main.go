@@ -67,7 +67,7 @@ func main() {
 		fatal(err)
 	}
 	sim := rtl.NewSim(m)
-	for name, data := range mems {
+	for name, data := range mems { //detlint:allow each iteration loads a distinct memory; order-independent
 		if err := sim.LoadMem(name, data); err != nil {
 			fatal(err)
 		}

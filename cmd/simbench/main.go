@@ -63,7 +63,7 @@ type Report struct {
 // measure runs fn reps times and returns total cycles and seconds.
 func measure(reps int, fn func() (uint64, error)) (uint64, float64, error) {
 	var cycles uint64
-	start := time.Now()
+	start := time.Now() //detlint:allow simbench measures wall-clock throughput by design
 	for i := 0; i < reps; i++ {
 		c, err := fn()
 		if err != nil {
@@ -94,7 +94,7 @@ func run() error {
 	flag.Parse()
 
 	core.SetWorkers(*workers)
-	rep := Report{Generated: time.Now().UTC().Format(time.RFC3339), Workers: core.Workers()}
+	rep := Report{Generated: time.Now().UTC().Format(time.RFC3339), Workers: core.Workers()} //detlint:allow simbench measures wall-clock throughput by design
 
 	// 1. Engine throughput: Toy and one real accelerator, both engines.
 	toy := testdesigns.Toy()
@@ -146,14 +146,14 @@ func run() error {
 	}
 	jobs := spec.TestJobs(*seed + 1)
 	core.SetWorkers(1)
-	start := time.Now()
+	start := time.Now() //detlint:allow simbench measures wall-clock throughput by design
 	serialTr, err := pred.CollectTraces(jobs)
 	if err != nil {
 		return err
 	}
 	serialS := time.Since(start).Seconds()
 	core.SetWorkers(*workers)
-	start = time.Now()
+	start = time.Now() //detlint:allow simbench measures wall-clock throughput by design
 	parTr, err := pred.CollectTraces(jobs)
 	if err != nil {
 		return err
@@ -175,7 +175,7 @@ func run() error {
 	// benchmarks), the end-to-end number the experiments feel.
 	lab := exp.NewLab(*seed)
 	lab.Quick = true
-	start = time.Now()
+	start = time.Now() //detlint:allow simbench measures wall-clock throughput by design
 	if err := lab.Warm(); err != nil {
 		return err
 	}

@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/analyze"
 	"repro/internal/core"
 	"repro/internal/instrument"
+	"repro/internal/lint"
 	"repro/internal/rtl"
 	"repro/internal/slice"
 	"repro/internal/suite"
@@ -42,12 +44,16 @@ func main() {
 	fmt.Printf("design %s: %d nodes, %d registers, %.0f gate-equivalents\n\n",
 		spec.Name, full.Nodes, full.Regs, full.Total())
 
-	ins, err := instrument.Instrument(m)
+	// Verify the sole-consumer condition on the bare design before
+	// instrumentation appends witness hardware; the analysis is shared.
+	a := analyze.Analyze(m)
+	safety := lint.VerifySliceSafety(m, a, true)
+
+	ins, err := instrument.WithAnalysis(m, a)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	a := ins.Analysis
 
 	fmt.Printf("-- detected FSMs (%d) --\n", len(a.FSMs))
 	for _, f := range a.FSMs {
@@ -73,6 +79,14 @@ func main() {
 	for _, ws := range a.WaitStates {
 		fmt.Printf("  %s state %d waits on %s, exits to %d\n",
 			a.FSMs[ws.FSM].Name, ws.State, a.Counters[ws.Counter].Name, ws.Exit)
+	}
+	if safety.OK() {
+		fmt.Printf("slice-safety: PASS (%d wait guard(s) verified sole-consumer)\n", safety.Waits)
+	} else {
+		fmt.Printf("slice-safety: FAIL (%d violation(s))\n", len(safety.Violations))
+		for _, v := range safety.Violations {
+			fmt.Printf("  %s\n", v.Msg)
+		}
 	}
 
 	fmt.Printf("\n-- instrumented features (%d) --\n", len(ins.Features))
@@ -116,4 +130,10 @@ func main() {
 	fmt.Printf("slice: %d nodes, %d registers\n", ss.Nodes, ss.Regs)
 	fmt.Printf("logic area: %.0f of %.0f gate-equivalents (%.1f%% of the design)\n",
 		ss.LogicArea(), full.LogicArea(), 100*ss.LogicArea()/full.LogicArea())
+
+	if !safety.OK() {
+		fmt.Fprintf(os.Stderr, "slicegen: %s: wait-state elision is UNSOUND for this design (%d slice-safety violation(s), see report)\n",
+			spec.Name, len(safety.Violations))
+		os.Exit(1)
+	}
 }

@@ -91,7 +91,7 @@ func (s *Spec) Seconds(ticks uint64) float64 {
 // and returns the tick count. The simulator is reset first.
 func RunJob(s *rtl.Sim, job Job, maxTicks uint64) (uint64, error) {
 	s.Reset()
-	for name, data := range job.Mems {
+	for name, data := range job.Mems { //detlint:allow each iteration loads a distinct memory; order-independent
 		if err := s.LoadMem(name, data); err != nil {
 			return 0, fmt.Errorf("accel: load %s: %w", name, err)
 		}

@@ -264,7 +264,7 @@ func classifyFSM(m *rtl.Module, r *rtl.Reg, ri int, leaves []leaf) (FSM, bool) {
 		return FSM{}, false
 	}
 	f := FSM{Reg: ri, StateNode: r.Node, NextNode: r.Next, Name: r.Name}
-	for s := range stateSet {
+	for s := range stateSet { //detlint:allow sorted immediately below
 		f.States = append(f.States, s)
 	}
 	sort.Slice(f.States, func(i, j int) bool { return f.States[i] < f.States[j] })

@@ -87,7 +87,7 @@ type tableBased struct {
 // classes fall back to the global worst case.
 func NewTable(worstByClass map[string]float64, margin float64) Controller {
 	t := &tableBased{worst: worstByClass, margin: margin}
-	for _, v := range worstByClass {
+	for _, v := range worstByClass { //detlint:allow max fold, order-independent
 		if v > t.global {
 			t.global = v
 		}

@@ -21,7 +21,9 @@ import (
 	"fmt"
 
 	"repro/internal/accel"
+	"repro/internal/analyze"
 	"repro/internal/instrument"
+	"repro/internal/lint"
 	"repro/internal/model"
 	"repro/internal/rtl"
 	"repro/internal/slice"
@@ -39,6 +41,9 @@ type Options struct {
 	Gammas []float64
 	// Slice holds slicing options; zero value = DefaultOptions.
 	Slice *slice.Options
+	// SkipLint bypasses the pre-instrumentation lint gate (for
+	// experiments on deliberately broken designs).
+	SkipLint bool
 }
 
 // Predictor is a trained execution-time predictor for one accelerator.
@@ -71,7 +76,18 @@ func Train(spec accel.Spec, opt Options) (*Predictor, error) {
 		return nil, err
 	}
 	m := spec.Build()
-	ins, err := instrument.Instrument(m)
+	// Lint before instrumenting (which appends witness hardware in
+	// place): error-severity findings are violations of obligations the
+	// rest of the flow silently depends on — an unqualified counter load
+	// or an escaping wait counter would corrupt features, not crash.
+	// The structural analysis is shared with the instrumenter.
+	a := analyze.Analyze(m)
+	if !opt.SkipLint {
+		if rep := lint.RunAnalyzed(m, a, lint.Config{}); rep.HasErrors() {
+			return nil, fmt.Errorf("core: %s failed pre-train lint: %w", spec.Name, rep.Err())
+		}
+	}
+	ins, err := instrument.WithAnalysis(m, a)
 	if err != nil {
 		return nil, fmt.Errorf("core: instrument %s: %w", spec.Name, err)
 	}

@@ -2,11 +2,14 @@ package core
 
 import (
 	"math"
+	"strings"
 	"testing"
 
+	"repro/internal/accel"
 	"repro/internal/accel/md"
 	"repro/internal/accel/stencil"
 	"repro/internal/suite"
+	"repro/internal/testdesigns"
 )
 
 func TestTrainMDPredictor(t *testing.T) {
@@ -133,5 +136,32 @@ func TestReportMentionsFeatures(t *testing.T) {
 	rep := p.Report()
 	if rep == "" || len(p.FeatureNames()) != len(p.Kept) {
 		t.Error("report/feature names inconsistent")
+	}
+}
+
+// TestTrainLintGate proves Train refuses a design that fails the lint
+// gate (the djpeg idct_cnt bug class) and that SkipLint bypasses it.
+func TestTrainLintGate(t *testing.T) {
+	spec := accel.Spec{
+		Name:       "seeded-bug",
+		NominalHz:  1e8,
+		CycleScale: 1,
+		Build:      testdesigns.UnqualifiedLoad,
+		TrainJobs:  func(seed int64) []accel.Job { return nil },
+		TestJobs:   func(seed int64) []accel.Job { return nil },
+		MaxTicks:   1000,
+	}
+	_, err := Train(spec, Options{Seed: 1})
+	if err == nil {
+		t.Fatal("Train accepted a design with an unqualified counter load")
+	}
+	if !strings.Contains(err.Error(), "counter-load-qual") {
+		t.Errorf("gate error does not name the rule: %v", err)
+	}
+	// With the gate bypassed, Train proceeds past lint and fails later
+	// for the mundane reason that the spec has no training jobs.
+	_, err = Train(spec, Options{Seed: 1, SkipLint: true})
+	if err == nil || strings.Contains(err.Error(), "lint") {
+		t.Errorf("SkipLint did not bypass the gate: %v", err)
 	}
 }

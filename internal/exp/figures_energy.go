@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/control"
 	"repro/internal/sim"
@@ -86,7 +87,13 @@ func energyComparison(l *Lab, id, title string, fpga bool, notes []string) (*Fig
 			})
 		}
 	}
-	for s, c := range counts {
+	schemes := make([]string, 0, len(counts))
+	for s := range counts { //detlint:allow sorted immediately below
+		schemes = append(schemes, s)
+	}
+	sort.Strings(schemes)
+	for _, s := range schemes {
+		c := counts[s]
 		res.AvgNormalized[s] /= float64(c)
 		res.AvgMiss[s] /= float64(c)
 		t.Rows = append(t.Rows, []string{

@@ -1,0 +1,315 @@
+// Package lint is a static-analysis pass framework over the rtl IR:
+// the netlist analogue of `go vet`. A Rule inspects one module through
+// a Context (module, lazily computed structural analysis, lazily
+// computed use lists) and reports Diagnostics — structured findings
+// with a rule ID, severity, offending nodes, and, for Verilog-sourced
+// designs, the HDL source spans those nodes were lowered from.
+//
+// The rules encode the soundness obligations of the paper's flow
+// rather than generic HDL style: unreachable FSM states mean the
+// recovered transition table (and hence the STC features) covers
+// dead arcs; an unqualified counter load in a self-looping state is
+// the djpeg idct_cnt bug class, which corrupts IC/AIV/APV features;
+// a wait-state counter whose value escapes its own update logic
+// breaks the sole-consumer condition that makes wait elision sound
+// (see VerifySliceSafety); a data-dependent wait is latency no
+// feature captures (the paper's Figure 10 residual).
+//
+// core.Train runs the error-severity subset as a gate before
+// instrumenting a design; cmd/rtlcheck runs the full suite on
+// accelerators, testdesigns, or parsed Verilog files.
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analyze"
+	"repro/internal/rtl"
+	"repro/internal/verilog"
+)
+
+// Severity classifies a diagnostic.
+type Severity uint8
+
+// Severity levels. Error means the design violates an obligation the
+// flow depends on; Warning flags likely mistakes; Info is advisory.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+// String returns "info", "warning", or "error".
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", uint8(s))
+}
+
+// ParseSeverity converts "info"/"warning"/"error" to a Severity.
+func ParseSeverity(s string) (Severity, error) {
+	switch s {
+	case "info":
+		return Info, nil
+	case "warning":
+		return Warning, nil
+	case "error":
+		return Error, nil
+	}
+	return Info, fmt.Errorf("lint: unknown severity %q", s)
+}
+
+// Diagnostic is one structured finding.
+type Diagnostic struct {
+	// Design is the module name the finding is about.
+	Design string
+	// Rule is the reporting rule's ID.
+	Rule string
+	// Sev is the finding's severity.
+	Sev Severity
+	// Msg is the human-readable description.
+	Msg string
+	// Nodes are the offending netlist nodes (may be empty for findings
+	// about the module as a whole, e.g. elaboration warnings).
+	Nodes []rtl.NodeID
+	// Spans are the HDL source locations of the offending nodes,
+	// deduplicated, present only when the design carries provenance.
+	Spans []rtl.SrcLoc
+}
+
+// String renders the diagnostic as "design: severity: [rule] msg (spans)".
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s: %s: [%s] %s", d.Design, d.Sev, d.Rule, d.Msg)
+	if len(d.Spans) > 0 {
+		locs := make([]string, len(d.Spans))
+		for i, sp := range d.Spans {
+			locs[i] = sp.String()
+		}
+		s += " (" + strings.Join(locs, ", ") + ")"
+	}
+	return s
+}
+
+// Rule is one registered check.
+type Rule struct {
+	// ID is the stable kebab-case identifier used in config and output.
+	ID string
+	// Sev is the severity the rule reports at.
+	Sev Severity
+	// Doc is a one-line description for the catalog.
+	Doc string
+	// Run inspects the module and reports findings through the context.
+	Run func(c *Context)
+}
+
+// Config selects and filters rules.
+type Config struct {
+	// Enable, when non-empty, runs only the listed rule IDs.
+	Enable []string
+	// Suppress drops findings of the listed rule IDs.
+	Suppress []string
+	// MinSeverity drops findings below the given level.
+	MinSeverity Severity
+}
+
+func (cfg *Config) allows(id string) bool {
+	for _, s := range cfg.Suppress {
+		if s == id {
+			return false
+		}
+	}
+	if len(cfg.Enable) == 0 {
+		return true
+	}
+	for _, e := range cfg.Enable {
+		if e == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Report collects a run's diagnostics for one design.
+type Report struct {
+	// Design is the linted module's name.
+	Design string
+	// Diags lists findings in rule-registration order.
+	Diags []Diagnostic
+}
+
+// Count returns the number of findings at exactly the given severity.
+func (r *Report) Count(sev Severity) int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Sev == sev {
+			n++
+		}
+	}
+	return n
+}
+
+// Errors returns the error-severity findings.
+func (r *Report) Errors() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if d.Sev == Error {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// HasErrors reports whether any finding is error-severity.
+func (r *Report) HasErrors() bool { return r.Count(Error) > 0 }
+
+// Err folds the error-severity findings into a single error, or nil.
+func (r *Report) Err() error {
+	errs := r.Errors()
+	if len(errs) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(errs))
+	for i, d := range errs {
+		msgs[i] = d.String()
+	}
+	return fmt.Errorf("lint: %d error(s):\n  %s", len(errs), strings.Join(msgs, "\n  "))
+}
+
+// Context is the view a rule gets of the design under analysis.
+type Context struct {
+	// M is the module being linted. Rules must not mutate it.
+	M *rtl.Module
+
+	cfg  *Config
+	rule *Rule
+	rep  *Report
+	a    *analyze.Analysis
+	uses [][]rtl.NodeID
+	// valid records whether M passed Validate; structural rules that
+	// walk node arguments skip invalid modules (the validate rule has
+	// already reported the breakage).
+	valid bool
+}
+
+// Analysis returns the structural analysis of the module, computing it
+// on first use and sharing it across rules (and with the caller when
+// RunAnalyzed supplied one).
+func (c *Context) Analysis() *analyze.Analysis {
+	if c.a == nil {
+		c.a = analyze.Analyze(c.M)
+	}
+	return c.a
+}
+
+// Uses returns the per-node consumer lists, computed on first use.
+func (c *Context) Uses() [][]rtl.NodeID {
+	if c.uses == nil {
+		c.uses = c.M.Uses()
+	}
+	return c.uses
+}
+
+// Report files a finding at the rule's default severity. The offending
+// nodes' source spans are attached automatically.
+func (c *Context) Report(nodes []rtl.NodeID, format string, args ...any) {
+	c.ReportSev(c.rule.Sev, nodes, format, args...)
+}
+
+// ReportSev files a finding at an explicit severity.
+func (c *Context) ReportSev(sev Severity, nodes []rtl.NodeID, format string, args ...any) {
+	if sev < c.cfg.MinSeverity {
+		return
+	}
+	d := Diagnostic{
+		Design: c.rep.Design,
+		Rule:   c.rule.ID,
+		Sev:    sev,
+		Msg:    fmt.Sprintf(format, args...),
+		Nodes:  nodes,
+	}
+	seen := map[rtl.SrcLoc]bool{}
+	for _, id := range nodes {
+		if loc, ok := c.M.SrcOf(id); ok && !seen[loc] {
+			seen[loc] = true
+			d.Spans = append(d.Spans, loc)
+		}
+	}
+	sort.Slice(d.Spans, func(i, j int) bool {
+		a, b := d.Spans[i], d.Spans[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	c.rep.Diags = append(c.rep.Diags, d)
+}
+
+// regName names a register for messages, falling back to its index.
+func regName(m *rtl.Module, ri int) string {
+	if n := m.Regs[ri].Name; n != "" {
+		return n
+	}
+	return fmt.Sprintf("reg#%d", ri)
+}
+
+// Run lints a module with the full registry under cfg.
+func Run(m *rtl.Module, cfg Config) *Report {
+	return RunAnalyzed(m, nil, cfg)
+}
+
+// RunAnalyzed lints a module, reusing an existing structural analysis
+// (core.Train shares one analysis between the lint gate and the
+// instrumenter; pass nil to compute on demand).
+func RunAnalyzed(m *rtl.Module, a *analyze.Analysis, cfg Config) *Report {
+	rep := &Report{Design: m.Name}
+	c := &Context{M: m, cfg: &cfg, rep: rep, a: a, valid: m.Validate() == nil}
+	for i := range registry {
+		r := &registry[i]
+		if !cfg.allows(r.ID) {
+			continue
+		}
+		c.rule = r
+		r.Run(c)
+	}
+	return rep
+}
+
+// Rules returns the registered rules in execution order.
+func Rules() []Rule {
+	return append([]Rule(nil), registry...)
+}
+
+// ConvertWarnings turns elaboration warnings from the Verilog frontend
+// into diagnostics under the never-driven / dead-logic rules, applying
+// the same config filtering as netlist rules.
+func ConvertWarnings(design string, warns []verilog.Warning, cfg Config) []Diagnostic {
+	var out []Diagnostic
+	for _, w := range warns {
+		id := "dead-logic"
+		if w.Kind == "undriven-wire" {
+			id = "never-driven"
+		}
+		if !cfg.allows(id) || Warning < cfg.MinSeverity {
+			continue
+		}
+		d := Diagnostic{
+			Design: design,
+			Rule:   id,
+			Sev:    Warning,
+			Msg:    w.Msg,
+		}
+		if w.File != "" {
+			d.Spans = []rtl.SrcLoc{{File: w.File, Line: w.Line}}
+		}
+		out = append(out, d)
+	}
+	return out
+}

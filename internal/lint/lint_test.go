@@ -1,0 +1,293 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analyze"
+	"repro/internal/rtl"
+	"repro/internal/suite"
+	"repro/internal/testdesigns"
+	"repro/internal/verilog"
+)
+
+func findRule(rep *Report, rule string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range rep.Diags {
+		if d.Rule == rule {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TestSeededViolationsFire proves every shipped rule actually fires, by
+// linting a design seeded with exactly the defect it guards against.
+func TestSeededViolationsFire(t *testing.T) {
+	handFSM, _ := testdesigns.HandFSM()
+	cases := []struct {
+		rule string
+		m    *rtl.Module
+		sev  Severity
+	}{
+		{"validate", testdesigns.CombCycle(), Error},
+		{"comb-cycle", testdesigns.CombCycle(), Error},
+		{"multi-driven", testdesigns.RacyWrites(), Warning},
+		{"never-driven", testdesigns.NeverAssigned(), Warning},
+		{"dead-logic", testdesigns.DeadCounter(), Warning},
+		{"width-trunc", testdesigns.TruncatingAdd(), Warning},
+		{"fsm-unreachable", testdesigns.UnreachableState(), Warning},
+		{"counter-load-qual", testdesigns.UnqualifiedLoad(), Error},
+		{"uncovered-wait", testdesigns.DataWaitOnly(), Warning},
+		{"slice-safety", testdesigns.EscapingCounter(), Error},
+		{"dead-write", testdesigns.DeadWrite(), Warning},
+		{"unused-input", testdesigns.IdleInput(), Info},
+		{"done-const", handFSM, Warning},
+	}
+	ruleSeen := map[string]bool{}
+	for _, c := range cases {
+		rep := Run(c.m, Config{})
+		ds := findRule(rep, c.rule)
+		if len(ds) == 0 {
+			t.Errorf("%s: rule did not fire on %s; got %v", c.rule, c.m.Name, rep.Diags)
+			continue
+		}
+		if ds[0].Sev != c.sev {
+			t.Errorf("%s: severity %v, want %v", c.rule, ds[0].Sev, c.sev)
+		}
+		ruleSeen[c.rule] = true
+	}
+	for _, r := range Rules() {
+		if !ruleSeen[r.ID] {
+			t.Errorf("rule %s has no seeded-violation design in this test", r.ID)
+		}
+	}
+}
+
+// TestLoadQualificationIdioms is the idct_cnt regression triple: the
+// buggy load fires the rule at Error, both correct idioms stay silent.
+func TestLoadQualificationIdioms(t *testing.T) {
+	if ds := findRule(Run(testdesigns.UnqualifiedLoad(), Config{}), "counter-load-qual"); len(ds) == 0 || ds[0].Sev != Error {
+		t.Fatalf("unqualified load: want counter-load-qual error, got %v", ds)
+	}
+	for _, mk := range []func() *rtl.Module{testdesigns.QualifiedLoad, testdesigns.EdgeQualifiedLoad} {
+		m := mk()
+		rep := Run(m, Config{})
+		if ds := findRule(rep, "counter-load-qual"); len(ds) != 0 {
+			t.Errorf("%s: counter-load-qual fired on a correct idiom: %v", m.Name, ds)
+		}
+		if rep.HasErrors() {
+			t.Errorf("%s: unexpected errors: %v", m.Name, rep.Errors())
+		}
+	}
+}
+
+// TestSuiteClean is the acceptance gate: every accelerator in the suite
+// and every simulation testdesign lints with zero error-severity
+// diagnostics.
+func TestSuiteClean(t *testing.T) {
+	handFSM, _ := testdesigns.HandFSM()
+	designs := []*rtl.Module{testdesigns.Toy().M, handFSM}
+	for _, spec := range suite.All() {
+		designs = append(designs, spec.Build())
+	}
+	for _, m := range designs {
+		rep := Run(m, Config{})
+		if rep.HasErrors() {
+			t.Errorf("%s: %v", m.Name, rep.Err())
+		}
+	}
+}
+
+// TestDjpegResidualWait pins the paper's Figure 10 finding: djpeg's
+// Huffman-decode wait is data-dependent, and the uncovered-wait rule
+// surfaces exactly that residual (as a warning, not an error).
+func TestDjpegResidualWait(t *testing.T) {
+	spec, err := suite.ByName("djpeg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Run(spec.Build(), Config{})
+	ds := findRule(rep, "uncovered-wait")
+	if len(ds) == 0 {
+		t.Fatal("expected the djpeg data-dependent wait to be reported")
+	}
+	for _, d := range ds {
+		if d.Sev != Warning {
+			t.Errorf("uncovered-wait severity %v, want warning", d.Sev)
+		}
+	}
+}
+
+func TestConfigFiltering(t *testing.T) {
+	m := testdesigns.TruncatingAdd()
+	if ds := findRule(Run(m, Config{Suppress: []string{"width-trunc"}}), "width-trunc"); len(ds) != 0 {
+		t.Errorf("suppressed rule still fired: %v", ds)
+	}
+	rep := Run(m, Config{Enable: []string{"done-const"}})
+	if len(rep.Diags) != 0 {
+		t.Errorf("enable-list leaked other rules: %v", rep.Diags)
+	}
+	rep = Run(testdesigns.IdleInput(), Config{MinSeverity: Warning})
+	if ds := findRule(rep, "unused-input"); len(ds) != 0 {
+		t.Errorf("info finding survived MinSeverity=warning: %v", ds)
+	}
+}
+
+// TestVerifySliceSafety exercises the verifier directly: the escaping
+// counter is named in the violation; the clean design proves OK.
+func TestVerifySliceSafety(t *testing.T) {
+	m := testdesigns.EscapingCounter()
+	res := VerifySliceSafety(m, analyze.Analyze(m), true)
+	if res.OK() {
+		t.Fatal("escaping counter passed verification")
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Counter == "cnt1" && strings.Contains(v.Msg, "cnt2") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("violation does not name the cnt1->cnt2 escape: %+v", res.Violations)
+	}
+
+	clean := testdesigns.QualifiedLoad()
+	if res := VerifySliceSafety(clean, analyze.Analyze(clean), true); !res.OK() {
+		t.Errorf("clean design failed verification: %+v", res.Violations)
+	}
+	if res.Waits == 0 {
+		t.Error("clean design's wait was not checked")
+	}
+}
+
+// TestVerilogDiagnosticSpans proves diagnostics for Verilog-sourced
+// designs carry HDL source line spans threaded through elaboration.
+func TestVerilogDiagnosticSpans(t *testing.T) {
+	src := `module deadreg(input clk, input [7:0] a, output done);
+  reg [7:0] ghost = 0;
+  always @(posedge clk) begin
+    ghost <= a + 1;
+  end
+  assign done = a == 0;
+endmodule
+`
+	mods, err := verilog.ParseFileNamed(src, "deadreg.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, warns, err := verilog.ElaborateHierarchyWarn(mods, "deadreg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 0 {
+		t.Errorf("unexpected elaboration warnings: %v", warns)
+	}
+	ds := findRule(Run(m, Config{}), "dead-logic")
+	if len(ds) == 0 {
+		t.Fatal("dead-logic did not fire on the unobserved register")
+	}
+	var spanned *Diagnostic
+	for i := range ds {
+		if len(ds[i].Spans) > 0 {
+			spanned = &ds[i]
+			break
+		}
+	}
+	if spanned == nil {
+		t.Fatalf("no dead-logic diagnostic carries a source span: %v", ds)
+	}
+	sp := spanned.Spans[0]
+	if sp.File != "deadreg.v" || sp.Line != 2 {
+		t.Errorf("span = %s, want deadreg.v:2 (the reg declaration)", sp)
+	}
+	if !strings.Contains(spanned.String(), "deadreg.v:2") {
+		t.Errorf("rendered diagnostic lacks the span: %s", spanned)
+	}
+}
+
+// TestVerilogUndrivenWarnings proves the elaborator reports ALL
+// undriven and unused wires in one pass and that ConvertWarnings maps
+// them onto lint rules with spans.
+func TestVerilogUndrivenWarnings(t *testing.T) {
+	src := `module w(input clk, input a, output done);
+  wire ghost1;
+  wire ghost2;
+  wire lonely = a;
+  assign done = a;
+endmodule
+`
+	mods, err := verilog.ParseFileNamed(src, "w.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, warns, err := verilog.ElaborateHierarchyWarn(mods, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string][]string{}
+	for _, w := range warns {
+		kinds[w.Kind] = append(kinds[w.Kind], w.Name)
+	}
+	if got := kinds["undriven-wire"]; len(got) != 2 || got[0] != "ghost1" || got[1] != "ghost2" {
+		t.Errorf("undriven-wire warnings = %v, want [ghost1 ghost2]", got)
+	}
+	if got := kinds["unused-wire"]; len(got) != 1 || got[0] != "lonely" {
+		t.Errorf("unused-wire warnings = %v, want [lonely]", got)
+	}
+
+	diags := ConvertWarnings("w", warns, Config{})
+	if len(diags) != 3 {
+		t.Fatalf("ConvertWarnings returned %d diagnostics, want 3: %v", len(diags), diags)
+	}
+	byRule := map[string]int{}
+	for _, d := range diags {
+		byRule[d.Rule]++
+		if len(d.Spans) == 0 || d.Spans[0].File != "w.v" {
+			t.Errorf("diagnostic lacks a w.v span: %v", d)
+		}
+	}
+	if byRule["never-driven"] != 2 || byRule["dead-logic"] != 1 {
+		t.Errorf("rule mapping = %v, want never-driven:2 dead-logic:1", byRule)
+	}
+	if got := ConvertWarnings("w", warns, Config{MinSeverity: Error}); len(got) != 0 {
+		t.Errorf("MinSeverity=error kept warnings: %v", got)
+	}
+}
+
+// TestVerilogReadUndrivenIsError proves a wire that is read but never
+// driven is a hard elaboration error naming every such wire.
+func TestVerilogReadUndrivenIsError(t *testing.T) {
+	src := `module bad(input clk, input a, output done);
+  wire p;
+  wire q;
+  assign done = p & q & a;
+endmodule
+`
+	mods, err := verilog.ParseFileNamed(src, "bad.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = verilog.ElaborateHierarchyWarn(mods, "bad")
+	if err == nil {
+		t.Fatal("expected elaboration error for read-but-undriven wires")
+	}
+	if !strings.Contains(err.Error(), "p") || !strings.Contains(err.Error(), "q") {
+		t.Errorf("error does not name both wires: %v", err)
+	}
+}
+
+// TestReportErr checks the error folding used by the core.Train gate.
+func TestReportErr(t *testing.T) {
+	rep := Run(testdesigns.UnqualifiedLoad(), Config{})
+	err := rep.Err()
+	if err == nil {
+		t.Fatal("want non-nil Err for a design with error findings")
+	}
+	if !strings.Contains(err.Error(), "counter-load-qual") {
+		t.Errorf("folded error lacks rule ID: %v", err)
+	}
+	if rep := Run(testdesigns.QualifiedLoad(), Config{}); rep.Err() != nil {
+		t.Errorf("clean design Err() = %v", rep.Err())
+	}
+}

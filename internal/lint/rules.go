@@ -1,0 +1,586 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analyze"
+	"repro/internal/rtl"
+)
+
+// registry lists the rules in execution order. IDs, severities, and
+// one-line docs are surfaced by `rtlcheck -rules` and the README
+// catalog; keep all three in sync.
+var registry = []Rule{
+	{ID: "validate", Sev: Error,
+		Doc: "module violates IR structural invariants (SSA order, widths, table consistency)",
+		Run: runValidate},
+	{ID: "comb-cycle", Sev: Error,
+		Doc: "combinational logic forms a cycle not broken by a register",
+		Run: runCombCycle},
+	{ID: "multi-driven", Sev: Warning,
+		Doc: "memory write ports with enables not provably disjoint (last-write-wins races)",
+		Run: runMultiDriven},
+	{ID: "never-driven", Sev: Warning,
+		Doc: "register (or Verilog wire) with no driver: it holds its reset value forever",
+		Run: runNeverDriven},
+	{ID: "dead-logic", Sev: Warning,
+		Doc: "registers and logic no observable output (done, memory writes) depends on",
+		Run: runDeadLogic},
+	{ID: "width-trunc", Sev: Warning,
+		Doc: "silent width truncation: an operation discards high bits of a wider operand",
+		Run: runWidthTrunc},
+	{ID: "fsm-unreachable", Sev: Warning,
+		Doc: "FSM state present in the recovered transition table but unreachable from reset",
+		Run: runFSMUnreachable},
+	{ID: "counter-load-qual", Sev: Error,
+		Doc: "counter load in a self-looping state without edge qualification (djpeg idct_cnt bug: multi-counted IC/AIV/APV features)",
+		Run: runCounterLoadQual},
+	{ID: "uncovered-wait", Sev: Warning,
+		Doc: "variable-latency state awaiting a non-counter signal: no feature captures its duration (Figure 10 residual)",
+		Run: runUncoveredWait},
+	{ID: "slice-safety", Sev: Error,
+		Doc: "wait-state counter value escapes its own update logic: wait elision would be unsound",
+		Run: runSliceSafety},
+	{ID: "dead-write", Sev: Warning,
+		Doc: "memory write port whose enable is provably constant zero",
+		Run: runDeadWrite},
+	{ID: "unused-input", Sev: Info,
+		Doc: "input port no logic consumes",
+		Run: runUnusedInput},
+	{ID: "done-const", Sev: Warning,
+		Doc: "done signal folds to a constant: the design never terminates, or terminates immediately",
+		Run: runDoneConst},
+}
+
+func runValidate(c *Context) {
+	if err := c.M.Validate(); err != nil {
+		c.Report(nil, "%v", err)
+	}
+}
+
+// runCombCycle searches the argument graph for cycles, treating
+// registers as the only legal cycle breakers. A valid SSA module cannot
+// contain one, so this fires on hand-built netlists that bypassed the
+// builder; unlike the validate rule it names the whole cycle.
+func runCombCycle(c *Context) {
+	m := c.M
+	state := make([]uint8, len(m.Nodes)) // 0 new, 1 on stack, 2 done
+	var stack []rtl.NodeID
+	var cycle []rtl.NodeID
+	var dfs func(id rtl.NodeID) bool
+	dfs = func(id rtl.NodeID) bool {
+		if id < 0 || int(id) >= len(m.Nodes) {
+			return false
+		}
+		switch state[id] {
+		case 1:
+			for i := len(stack) - 1; i >= 0; i-- {
+				cycle = append(cycle, stack[i])
+				if stack[i] == id {
+					break
+				}
+			}
+			return true
+		case 2:
+			return false
+		}
+		state[id] = 1
+		stack = append(stack, id)
+		n := &m.Nodes[id]
+		if n.Op != rtl.OpReg {
+			for i := 0; i < int(n.NArgs); i++ {
+				if dfs(n.Args[i]) {
+					return true
+				}
+			}
+		}
+		state[id] = 2
+		stack = stack[:len(stack)-1]
+		return false
+	}
+	for id := range m.Nodes {
+		if dfs(rtl.NodeID(id)) {
+			ops := make([]string, len(cycle))
+			for i, cid := range cycle {
+				ops[i] = fmt.Sprintf("%d(%s)", cid, m.Nodes[cid].Op)
+			}
+			c.Report(cycle, "combinational cycle through %d node(s): %v", len(cycle), ops)
+			return
+		}
+	}
+}
+
+// conjuncts flattens a positive guard into its And-tree leaves; a
+// negated guard stays a single conjunct (¬(a∧b) is not a conjunction).
+func conjuncts(m *rtl.Module, sel rtl.NodeID, neg bool) []analyze.PathSel {
+	if neg || m.Nodes[sel].Op != rtl.OpAnd {
+		return []analyze.PathSel{{Node: sel, Neg: neg}}
+	}
+	n := &m.Nodes[sel]
+	out := conjuncts(m, n.Args[0], false)
+	return append(out, conjuncts(m, n.Args[1], false)...)
+}
+
+// disjoint reports whether two 1-bit conditions are provably never
+// simultaneously true: one is constant zero, their conjunct sets
+// contain a literal and its negation, or equality tests of the same
+// subject against different constants.
+func disjoint(m *rtl.Module, a, b rtl.NodeID) bool {
+	if v, ok := m.EvalConst(a); ok && v == 0 {
+		return true
+	}
+	if v, ok := m.EvalConst(b); ok && v == 0 {
+		return true
+	}
+	ca := conjuncts(m, a, false)
+	cb := conjuncts(m, b, false)
+	for _, x := range ca {
+		for _, y := range cb {
+			if x.Node == y.Node && x.Neg != y.Neg {
+				return true
+			}
+			if x.Neg || y.Neg {
+				continue
+			}
+			// Eq(s, c1) vs Eq(s, c2) with c1 != c2.
+			sx, cx, okx := eqSplit(m, x.Node)
+			sy, cy, oky := eqSplit(m, y.Node)
+			if okx && oky && sx == sy && cx != cy {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// affineAddr decomposes an address into base + offset (mod 2^w),
+// peeling constant additions, explicit truncation masks, and
+// zero-extension ORs. w is the narrowest width along the peeled chain,
+// so the congruence value ≡ base + offset holds mod 2^w.
+func affineAddr(m *rtl.Module, id rtl.NodeID) (base rtl.NodeID, off uint64, w uint8) {
+	n := &m.Nodes[id]
+	peel := func(rest rtl.NodeID, add uint64) (rtl.NodeID, uint64, uint8) {
+		b, o, bw := affineAddr(m, rest)
+		if n.Width < bw {
+			bw = n.Width
+		}
+		return b, o + add, bw
+	}
+	switch n.Op {
+	case rtl.OpAdd:
+		if v, ok := m.EvalConst(n.Args[1]); ok {
+			return peel(n.Args[0], v)
+		}
+		if v, ok := m.EvalConst(n.Args[0]); ok {
+			return peel(n.Args[1], v)
+		}
+	case rtl.OpAnd:
+		if v, ok := m.EvalConst(n.Args[1]); ok && v == rtl.WidthMask(n.Width) {
+			return peel(n.Args[0], 0)
+		}
+		if v, ok := m.EvalConst(n.Args[0]); ok && v == rtl.WidthMask(n.Width) {
+			return peel(n.Args[1], 0)
+		}
+	case rtl.OpOr:
+		if v, ok := m.EvalConst(n.Args[1]); ok && v == 0 {
+			return peel(n.Args[0], 0)
+		}
+		if v, ok := m.EvalConst(n.Args[0]); ok && v == 0 {
+			return peel(n.Args[1], 0)
+		}
+	}
+	return id, 0, n.Width
+}
+
+// addrsDiffer reports whether two addresses are provably never equal:
+// both fold to different constants, or they share an affine base with
+// offsets that differ modulo the common width.
+func addrsDiffer(m *rtl.Module, a, b rtl.NodeID) bool {
+	if va, ok := m.EvalConst(a); ok {
+		if vb, ok2 := m.EvalConst(b); ok2 {
+			return va != vb
+		}
+	}
+	ba, oa, wa := affineAddr(m, a)
+	bb, ob, wb := affineAddr(m, b)
+	if ba != bb || ba == rtl.InvalidNode {
+		return false
+	}
+	w := wa
+	if wb < w {
+		w = wb
+	}
+	return (oa-ob)&rtl.WidthMask(w) != 0
+}
+
+// eqSplit decomposes Eq(subject, const) (either operand order).
+func eqSplit(m *rtl.Module, id rtl.NodeID) (subject rtl.NodeID, cv uint64, ok bool) {
+	n := &m.Nodes[id]
+	if n.Op != rtl.OpEq {
+		return 0, 0, false
+	}
+	if v, isC := m.EvalConst(n.Args[1]); isC {
+		return n.Args[0], v, true
+	}
+	if v, isC := m.EvalConst(n.Args[0]); isC {
+		return n.Args[1], v, true
+	}
+	return 0, 0, false
+}
+
+func runMultiDriven(c *Context) {
+	if !c.valid {
+		return
+	}
+	m := c.M
+	byMem := map[int32][]int{}
+	for wi, w := range m.Writes {
+		byMem[w.Mem] = append(byMem[w.Mem], wi)
+	}
+	mems := make([]int32, 0, len(byMem))
+	for mem := range byMem { //detlint:allow sorted immediately below
+		mems = append(mems, mem)
+	}
+	sort.Slice(mems, func(i, j int) bool { return mems[i] < mems[j] })
+	for _, mem := range mems {
+		ports := byMem[mem]
+		for i := 0; i < len(ports); i++ {
+			for j := i + 1; j < len(ports); j++ {
+				wa, wb := m.Writes[ports[i]], m.Writes[ports[j]]
+				if disjoint(m, wa.En, wb.En) {
+					continue
+				}
+				// Simultaneous writes to provably different addresses
+				// don't race (e.g. a digest written word-per-port, or
+				// per-column stores at base+0..base+3).
+				if addrsDiffer(m, wa.Addr, wb.Addr) {
+					continue
+				}
+				c.Report([]rtl.NodeID{wa.En, wb.En},
+					"memory %s write ports %d and %d have enables not provably disjoint; simultaneous writes resolve last-write-wins",
+					m.Mems[mem].Name, ports[i], ports[j])
+			}
+		}
+	}
+}
+
+// runNeverDriven flags registers whose next value is their own current
+// value: the builder's Reg default when SetNext was never called. Such
+// a register holds its reset value forever. (The Verilog analogue —
+// an undriven wire — arrives via ConvertWarnings.)
+func runNeverDriven(c *Context) {
+	if !c.valid {
+		return
+	}
+	for ri := range c.M.Regs {
+		r := &c.M.Regs[ri]
+		if r.Next == r.Node {
+			c.Report([]rtl.NodeID{r.Node},
+				"register %s is never assigned: it holds its reset value %d forever",
+				regName(c.M, ri), r.Init)
+		}
+	}
+}
+
+// runDeadLogic marks the cone of the module's observable outputs (done
+// and memory writes) and flags registers outside it — state no output
+// ever depends on, e.g. a counter left behind by an edit. Dead
+// combinational nodes are summarized at Info.
+func runDeadLogic(c *Context) {
+	if !c.valid {
+		return
+	}
+	m := c.M
+	live := make(map[rtl.NodeID]bool)
+	var stack []rtl.NodeID
+	push := func(id rtl.NodeID) {
+		if !live[id] {
+			live[id] = true
+			stack = append(stack, id)
+		}
+	}
+	push(m.Done)
+	for _, w := range m.Writes {
+		push(w.Addr)
+		push(w.Data)
+		push(w.En)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &m.Nodes[id]
+		for i := 0; i < int(n.NArgs); i++ {
+			push(n.Args[i])
+		}
+		if n.Op == rtl.OpReg {
+			if ri := m.RegIndex(id); ri >= 0 {
+				push(m.Regs[ri].Next)
+			}
+		}
+	}
+	for ri := range m.Regs {
+		r := &m.Regs[ri]
+		if !live[r.Node] {
+			c.Report([]rtl.NodeID{r.Node},
+				"register %s (and its update logic) affects no observable output", regName(m, ri))
+		}
+	}
+	dead := 0
+	var sample []rtl.NodeID
+	for id := range m.Nodes {
+		n := &m.Nodes[id]
+		if live[rtl.NodeID(id)] || n.Op == rtl.OpConst || n.Op == rtl.OpInput || n.Op == rtl.OpReg {
+			continue
+		}
+		dead++
+		if len(sample) < 8 {
+			sample = append(sample, rtl.NodeID(id))
+		}
+	}
+	if dead > 0 {
+		c.ReportSev(Info, sample, "%d combinational node(s) affect no observable output", dead)
+	}
+}
+
+// runWidthTrunc flags operations that silently discard high bits of a
+// wider operand. The builder's explicit truncation idiom — And with a
+// constant mask at the narrower width — is exempt, as are shift
+// amounts, mux selectors, and comparisons (whose 1-bit result is not a
+// truncation of the operands).
+func runWidthTrunc(c *Context) {
+	if !c.valid {
+		return
+	}
+	m := c.M
+	for id := range m.Nodes {
+		n := &m.Nodes[id]
+		var valueArgs []rtl.NodeID
+		switch n.Op {
+		case rtl.OpAdd, rtl.OpSub, rtl.OpMul, rtl.OpOr, rtl.OpXor:
+			valueArgs = []rtl.NodeID{n.Args[0], n.Args[1]}
+		case rtl.OpAnd:
+			// And with any constant operand is a deliberate mask.
+			if m.Nodes[n.Args[0]].Op == rtl.OpConst || m.Nodes[n.Args[1]].Op == rtl.OpConst {
+				continue
+			}
+			valueArgs = []rtl.NodeID{n.Args[0], n.Args[1]}
+		case rtl.OpShl, rtl.OpShr:
+			valueArgs = []rtl.NodeID{n.Args[0]}
+		case rtl.OpMux:
+			valueArgs = []rtl.NodeID{n.Args[1], n.Args[2]}
+		default:
+			continue
+		}
+		for _, a := range valueArgs {
+			if aw := m.Nodes[a].Width; aw > n.Width {
+				c.Report([]rtl.NodeID{rtl.NodeID(id)},
+					"%s node %d (width %d) silently drops %d high bit(s) of node %d (width %d)",
+					n.Op, id, n.Width, aw-n.Width, a, aw)
+				break
+			}
+		}
+	}
+	for ri := range m.Regs {
+		r := &m.Regs[ri]
+		if nw, rw := m.Nodes[r.Next].Width, m.Nodes[r.Node].Width; nw > rw {
+			c.Report([]rtl.NodeID{r.Node, r.Next},
+				"register %s (width %d) silently drops %d high bit(s) of its next value (width %d)",
+				regName(m, ri), rw, nw-rw, nw)
+		}
+	}
+}
+
+func runFSMUnreachable(c *Context) {
+	if !c.valid {
+		return
+	}
+	a := c.Analysis()
+	for fi := range a.FSMs {
+		f := &a.FSMs[fi]
+		reach := a.ReachableStates(fi)
+		for _, s := range f.States {
+			if !reach[s] {
+				c.Report([]rtl.NodeID{f.StateNode},
+					"state %d of FSM %s is unreachable from its reset state %d",
+					s, f.Name, a.M.Regs[f.Reg].Init)
+			}
+		}
+	}
+}
+
+// runCounterLoadQual is the djpeg idct_cnt regression check. A counter
+// load arm fires on every cycle its path condition holds; when that
+// condition is just "the FSM is in state S" and S self-loops, the
+// counter reloads on every cycle spent in S, so the IC feature
+// multi-counts and AIV/APV sample mid-wait garbage — in the full
+// design AND differently in the slice (which exits S immediately),
+// breaking the feature-equality invariant. Loads must be qualified by
+// the state's exit condition (fire only on the edge that leaves S).
+func runCounterLoadQual(c *Context) {
+	if !c.valid {
+		return
+	}
+	a := c.Analysis()
+	m := c.M
+	for ci := range a.Counters {
+		cnt := &a.Counters[ci]
+		for _, ld := range cnt.Loads {
+			var flat []analyze.PathSel
+			for _, ps := range ld.Cond {
+				flat = append(flat, conjuncts(m, ps.Node, ps.Neg)...)
+			}
+			// Find the FSM-state conjunct Eq(stateNode, S).
+			fi, state, ok := stateConjunct(a, flat)
+			if !ok {
+				continue
+			}
+			f := &a.FSMs[fi]
+			selfLoop := false
+			var exits []analyze.Transition
+			for _, tr := range f.Transitions {
+				if tr.From != state {
+					continue
+				}
+				if tr.To == state {
+					selfLoop = true
+				} else {
+					exits = append(exits, tr)
+				}
+			}
+			if !selfLoop {
+				continue // single-cycle state: the load fires exactly once
+			}
+			var residual []analyze.PathSel
+			for _, ps := range flat {
+				if s, cv, isEq := eqSplit(m, ps.Node); isEq && !ps.Neg && s == f.StateNode && cv == state {
+					continue
+				}
+				residual = append(residual, ps)
+			}
+			if len(residual) == 0 {
+				c.ReportSev(Error, []rtl.NodeID{cnt.Node, f.StateNode},
+					"counter %s reloads on EVERY cycle of self-looping state %d of FSM %s; qualify the load with the state's exit condition (idct_cnt bug class: IC multi-counts, slice features diverge)",
+					cnt.Name, state, f.Name)
+				continue
+			}
+			// Qualified if some residual conjunct is one of the state's
+			// exit guards (same node, same polarity).
+			qualified := false
+			for _, tr := range exits {
+				for _, g := range tr.Guards {
+					for _, gc := range conjuncts(m, g.Node, g.Neg) {
+						for _, ps := range residual {
+							if ps.Node == gc.Node && ps.Neg == gc.Neg {
+								qualified = true
+							}
+						}
+					}
+				}
+			}
+			if !qualified {
+				c.ReportSev(Warning, []rtl.NodeID{cnt.Node, f.StateNode},
+					"counter %s loads in self-looping state %d of FSM %s under a condition that is not the state's exit guard; the load may fire on multiple cycles",
+					cnt.Name, state, f.Name)
+			}
+		}
+	}
+}
+
+// stateConjunct finds a positive Eq(fsm-state, const) conjunct and
+// returns the FSM index and state encoding.
+func stateConjunct(a *analyze.Analysis, flat []analyze.PathSel) (int, uint64, bool) {
+	stateFSM := map[rtl.NodeID]int{}
+	for fi := range a.FSMs {
+		stateFSM[a.FSMs[fi].StateNode] = fi
+	}
+	for _, ps := range flat {
+		if ps.Neg {
+			continue
+		}
+		s, cv, ok := eqSplit(a.M, ps.Node)
+		if !ok {
+			continue
+		}
+		if fi, isFSM := stateFSM[s]; isFSM {
+			return fi, cv, true
+		}
+	}
+	return 0, 0, false
+}
+
+func runUncoveredWait(c *Context) {
+	if !c.valid {
+		return
+	}
+	a := c.Analysis()
+	for _, dw := range a.DataWaits() {
+		f := &a.FSMs[dw.FSM]
+		c.Report([]rtl.NodeID{f.StateNode, dw.Guard},
+			"state %d of FSM %s waits on a non-counter condition; no feature captures its duration, so data-dependent time spent here is invisible to the predictor (Figure 10 residual)",
+			dw.State, f.Name)
+	}
+}
+
+func runSliceSafety(c *Context) {
+	if !c.valid {
+		return
+	}
+	res := VerifySliceSafety(c.M, c.Analysis(), true)
+	for _, v := range res.Violations {
+		c.Report(v.Nodes, "%s", v.Msg)
+	}
+}
+
+func runDeadWrite(c *Context) {
+	if !c.valid {
+		return
+	}
+	m := c.M
+	for wi, w := range m.Writes {
+		if v, ok := m.EvalConst(w.En); ok && v == 0 {
+			c.Report([]rtl.NodeID{w.En},
+				"write port %d to memory %s has a constant-zero enable and can never fire",
+				wi, m.Mems[w.Mem].Name)
+		}
+	}
+}
+
+func runUnusedInput(c *Context) {
+	if !c.valid {
+		return
+	}
+	m := c.M
+	uses := c.Uses()
+	rooted := map[rtl.NodeID]bool{m.Done: true}
+	for _, r := range m.Regs {
+		rooted[r.Next] = true
+	}
+	for _, w := range m.Writes {
+		rooted[w.Addr] = true
+		rooted[w.Data] = true
+		rooted[w.En] = true
+	}
+	for id := range m.Nodes {
+		n := &m.Nodes[id]
+		if n.Op != rtl.OpInput {
+			continue
+		}
+		if len(uses[id]) == 0 && !rooted[rtl.NodeID(id)] {
+			c.Report([]rtl.NodeID{rtl.NodeID(id)}, "input %s is never used", n.Name)
+		}
+	}
+}
+
+func runDoneConst(c *Context) {
+	if !c.valid {
+		return
+	}
+	if v, ok := c.M.EvalConst(c.M.Done); ok {
+		if v == 0 {
+			c.Report([]rtl.NodeID{c.M.Done}, "done is constant 0: the design never terminates")
+		} else {
+			c.Report([]rtl.NodeID{c.M.Done}, "done is constant %d: the design terminates immediately", v)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/analyze"
+	"repro/internal/rtl"
+)
+
+// SliceViolation is one failure of the sole-consumer condition.
+type SliceViolation struct {
+	// Counter names the wait-state counter whose value escapes.
+	Counter string
+	// Msg describes where the value leaks.
+	Msg string
+	// Nodes anchor the diagnostic (counter node plus the leak site).
+	Nodes []rtl.NodeID
+}
+
+// SliceSafetyResult is VerifySliceSafety's verdict.
+type SliceSafetyResult struct {
+	// Waits counts the wait states checked (counter waits, plus data
+	// waits when approxDataWaits is set).
+	Waits int
+	// Violations lists the sole-consumer failures; empty means wait
+	// elision is sound for this design.
+	Violations []SliceViolation
+}
+
+// OK reports whether every checked wait passed.
+func (r SliceSafetyResult) OK() bool { return len(r.Violations) == 0 }
+
+// VerifySliceSafety proves (or refutes) the condition that makes the
+// slicer's wait-state elision sound: each awaited counter's only
+// consumers are its own update logic and the elided wait guard.
+//
+// When that holds, the slice — which exits wait states immediately, so
+// its counter holds values the full design's never does mid-wait — can
+// differ from the full design only in nodes downstream of the counter,
+// and there are none that any kept feature or the done signal observes.
+// (The APV witness does consume the counter, but the slicer retargets
+// it to the wait limit, the value the counter provably holds at exit.)
+//
+// The check: taint forward from each awaited counter register, cutting
+// propagation at every elided guard (they are constants in the slice).
+// A violation is a tainted sink the slice could still observe: another
+// register inside the slice-relevant cone, a write port of a memory the
+// relevant cone reads, or the done signal. Registers and writes outside
+// that cone are dropped by the slicer and cannot disagree.
+//
+// approxDataWaits mirrors slice.Options.ApproximateDataWaits: when set,
+// data-wait guards are cut too, matching what DefaultOptions elides.
+func VerifySliceSafety(m *rtl.Module, a *analyze.Analysis, approxDataWaits bool) SliceSafetyResult {
+	var res SliceSafetyResult
+
+	cut := map[rtl.NodeID]bool{}
+	for _, ws := range a.WaitStates {
+		cut[ws.Guard] = true
+	}
+	if approxDataWaits {
+		for _, dw := range a.DataWaits() {
+			cut[dw.Guard] = true
+		}
+	}
+	res.Waits = len(cut)
+	if len(a.WaitStates) == 0 {
+		return res
+	}
+
+	// The slice-relevant cone: everything a slice keeping any feature
+	// could retain — FSM state and next logic, counter state, load
+	// conditions and values, wait limits, and done — traversed with the
+	// elided guards cut, exactly as the slicer's copier would.
+	roots := []rtl.NodeID{m.Done}
+	for fi := range a.FSMs {
+		roots = append(roots, a.FSMs[fi].StateNode, a.FSMs[fi].NextNode)
+	}
+	for ci := range a.Counters {
+		cnt := &a.Counters[ci]
+		roots = append(roots, cnt.Node)
+		for _, ld := range cnt.Loads {
+			roots = append(roots, ld.Value)
+			for _, ps := range ld.Cond {
+				roots = append(roots, ps.Node)
+			}
+		}
+	}
+	for _, ws := range a.WaitStates {
+		roots = append(roots, ws.Limit)
+	}
+	cone := analyze.ConeWithCuts(m, roots, cut)
+
+	memRead := map[int32]bool{}
+	for id := range m.Nodes {
+		if n := &m.Nodes[id]; n.Op == rtl.OpMemRead && cone[rtl.NodeID(id)] {
+			memRead[n.Mem] = true
+		}
+	}
+
+	checked := map[rtl.NodeID]bool{}
+	for _, ws := range a.WaitStates {
+		cnt := &a.Counters[ws.Counter]
+		if checked[cnt.Node] {
+			continue
+		}
+		checked[cnt.Node] = true
+		tainted := analyze.TaintedFrom(m, cnt.Node, cut)
+		cntReg := m.RegIndex(cnt.Node)
+		name := cnt.Name
+		if name == "" {
+			name = fmt.Sprintf("counter#%d", ws.Counter)
+		}
+		for ri := range m.Regs {
+			r := &m.Regs[ri]
+			if ri == cntReg || !tainted[r.Next] || !cone[r.Node] {
+				continue
+			}
+			res.Violations = append(res.Violations, SliceViolation{
+				Counter: name,
+				Nodes:   []rtl.NodeID{cnt.Node, r.Node},
+				Msg: fmt.Sprintf("wait counter %s escapes into register %s, which the slice retains; elision would make slice features diverge from the full design",
+					name, regName(m, ri)),
+			})
+		}
+		for wi, w := range m.Writes {
+			if !memRead[w.Mem] {
+				continue
+			}
+			if tainted[w.Addr] || tainted[w.Data] || tainted[w.En] {
+				res.Violations = append(res.Violations, SliceViolation{
+					Counter: name,
+					Nodes:   []rtl.NodeID{cnt.Node, w.Addr},
+					Msg: fmt.Sprintf("wait counter %s escapes into write port %d of memory %s, which slice logic reads back",
+						name, wi, m.Mems[w.Mem].Name),
+				})
+			}
+		}
+		if tainted[m.Done] {
+			res.Violations = append(res.Violations, SliceViolation{
+				Counter: name,
+				Nodes:   []rtl.NodeID{cnt.Node, m.Done},
+				Msg:     fmt.Sprintf("wait counter %s escapes into the done signal outside its elided guard", name),
+			})
+		}
+	}
+	return res
+}

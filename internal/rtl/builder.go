@@ -29,6 +29,10 @@ type Builder struct {
 	consts map[constKey]NodeID
 	pure   map[pureKey]NodeID
 	fsmErr error
+	// curSrc is the provenance stamped on newly created nodes (1-based
+	// index into m.Srcs; 0 = none). Set by SetSrc.
+	curSrc int32
+	srcIdx map[SrcLoc]int32
 }
 
 type constKey struct {
@@ -92,11 +96,36 @@ func (b *Builder) Wrap(id NodeID) Signal {
 	return Signal{b: b, id: id}
 }
 
+// SetSrc records the source location stamped on nodes created from now
+// on (until the next SetSrc). A zero line clears the stamp. Frontends
+// call this per lowered statement so lint diagnostics carry HDL spans;
+// value-numbered nodes keep the provenance of their first creation.
+func (b *Builder) SetSrc(file string, line int) {
+	if line <= 0 {
+		b.curSrc = 0
+		return
+	}
+	loc := SrcLoc{File: file, Line: line}
+	if b.srcIdx == nil {
+		b.srcIdx = make(map[SrcLoc]int32)
+	}
+	if idx, ok := b.srcIdx[loc]; ok {
+		b.curSrc = idx
+		return
+	}
+	b.m.Srcs = append(b.m.Srcs, loc)
+	b.curSrc = int32(len(b.m.Srcs))
+	b.srcIdx[loc] = b.curSrc
+}
+
 // node appends a raw node (or returns the existing value-numbered
 // equivalent) and returns its signal.
 func (b *Builder) node(n Node) Signal {
 	if n.Width == 0 || n.Width > 64 {
 		panic(fmt.Sprintf("rtl: builder %s: bad width %d for %s", b.m.Name, n.Width, n.Op))
+	}
+	if n.Src == 0 {
+		n.Src = b.curSrc
 	}
 	k, pure := pureKeyFor(&n)
 	if pure {

@@ -125,9 +125,24 @@ type Node struct {
 	Const uint64
 	// Mem indexes Module.Mems for OpMemRead.
 	Mem int32
+	// Src is 1 + the node's index into Module.Srcs, or 0 when the node
+	// has no recorded source provenance. Frontends (the Verilog
+	// elaborator) stamp nodes with the source line they were lowered
+	// from so lint diagnostics can point back at HDL source.
+	Src int32
 	// Name is an optional debug name; analyses must not depend on it.
 	Name string
 }
+
+// SrcLoc is a source provenance record: the HDL file (or module) and
+// line a node was lowered from.
+type SrcLoc struct {
+	File string
+	Line int
+}
+
+// String renders the location as file:line.
+func (s SrcLoc) String() string { return fmt.Sprintf("%s:%d", s.File, s.Line) }
 
 // Mask returns the bit mask corresponding to the node's width.
 func (n *Node) Mask() uint64 { return WidthMask(n.Width) }
@@ -194,8 +209,23 @@ type Module struct {
 	// Done is a 1-bit signal; the simulator stops after the cycle in
 	// which Done evaluates nonzero.
 	Done NodeID
+	// Srcs is the source-provenance table referenced by Node.Src.
+	// Empty for modules built directly against the IR.
+	Srcs []SrcLoc
 	// regOf maps an OpReg node back to its Regs index; built lazily.
 	regOf map[NodeID]int
+}
+
+// SrcOf returns the source location a node was lowered from, if any.
+func (m *Module) SrcOf(id NodeID) (SrcLoc, bool) {
+	if id < 0 || int(id) >= len(m.Nodes) {
+		return SrcLoc{}, false
+	}
+	s := m.Nodes[id].Src
+	if s <= 0 || int(s) > len(m.Srcs) {
+		return SrcLoc{}, false
+	}
+	return m.Srcs[s-1], true
 }
 
 // NumNodes returns the number of nodes in the netlist.

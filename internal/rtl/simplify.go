@@ -59,7 +59,7 @@ func Simplify(m *Module, keepRegs []int) (*Module, map[int]int) {
 	// Phase 2: rewrite from the roots.
 	s := &simplifier{
 		src:  m,
-		out:  &Module{Name: m.Name},
+		out:  &Module{Name: m.Name, Srcs: m.Srcs},
 		memo: make(map[NodeID]NodeID, len(m.Nodes)),
 		pure: make(map[pureKey]NodeID),
 	}
@@ -138,7 +138,7 @@ func compact(m *Module) *Module {
 		}
 	}
 	remap := make([]NodeID, len(m.Nodes))
-	out := &Module{Name: m.Name, Mems: m.Mems}
+	out := &Module{Name: m.Name, Mems: m.Mems, Srcs: m.Srcs}
 	for i := range m.Nodes {
 		if !live[i] {
 			remap[i] = InvalidNode

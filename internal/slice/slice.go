@@ -38,7 +38,6 @@ package slice
 import (
 	"fmt"
 
-	"repro/internal/analyze"
 	"repro/internal/instrument"
 	"repro/internal/rtl"
 )
@@ -116,11 +115,11 @@ func Slice(ins *instrument.Instrumented, keep []int, opt Options) (*Result, erro
 		}
 	}
 	if opt.ElideWaits && opt.ApproximateDataWaits {
-		for _, dw := range dataWaits(a) {
-			if _, done := sub[dw.guard]; done {
+		for _, dw := range a.DataWaits() {
+			if _, done := sub[dw.Guard]; done {
 				continue
 			}
-			sub[dw.guard] = subst{constVal: boolConst(!dw.neg)}
+			sub[dw.Guard] = subst{constVal: boolConst(!dw.Neg)}
 			res.ApproxWaits++
 		}
 	}
@@ -215,50 +214,6 @@ type subst struct {
 	constVal uint64
 }
 
-// dataWait is a self-loop state guarded by a non-counter signal.
-type dataWait struct {
-	guard rtl.NodeID
-	neg   bool
-}
-
-// dataWaits finds FSM states shaped like wait states whose exit guard is
-// not a counter comparison (so ordinary wait detection skipped them).
-func dataWaits(a *analyze.Analysis) []dataWait {
-	counterWaits := map[rtl.NodeID]bool{}
-	for _, ws := range a.WaitStates {
-		counterWaits[ws.Guard] = true
-	}
-	var out []dataWait
-	for fi := range a.FSMs {
-		f := &a.FSMs[fi]
-		byFrom := map[uint64][]analyze.Transition{}
-		for _, tr := range f.Transitions {
-			byFrom[tr.From] = append(byFrom[tr.From], tr)
-		}
-		for _, s := range f.States {
-			trs := byFrom[s]
-			var exits []analyze.Transition
-			hasSelf := false
-			for _, tr := range trs {
-				if tr.To == s {
-					hasSelf = true
-				} else {
-					exits = append(exits, tr)
-				}
-			}
-			if !hasSelf || len(exits) != 1 || len(exits[0].Guards) != 1 {
-				continue
-			}
-			g := exits[0].Guards[0]
-			if counterWaits[g.Node] {
-				continue
-			}
-			out = append(out, dataWait{guard: g.Node, neg: g.Neg})
-		}
-	}
-	return out
-}
-
 // copier performs the memoized recursive extraction.
 type copier struct {
 	src    *rtl.Module
@@ -275,7 +230,7 @@ type copier struct {
 func newCopier(src *rtl.Module, sub map[rtl.NodeID]subst) *copier {
 	return &copier{
 		src:    src,
-		out:    &rtl.Module{},
+		out:    &rtl.Module{Srcs: src.Srcs},
 		sub:    sub,
 		memo:   make(map[rtl.NodeID]rtl.NodeID),
 		memMap: make(map[int32]int32),

@@ -1,0 +1,200 @@
+package testdesigns
+
+import "repro/internal/rtl"
+
+// This file holds deliberately broken (or deliberately fixed) designs,
+// one per lint rule, used by package lint's rule-firing tests. Each
+// seeds exactly the defect its rule guards against; the paired clean
+// variants prove the rules don't fire on correct idioms.
+
+// UnqualifiedLoad seeds the djpeg idct_cnt bug class: the counter's
+// load condition is just "the FSM is in state 1", and state 1
+// self-loops while the counter drains — so the counter reloads on
+// every cycle of the wait, the IC feature multi-counts, and the slice
+// (which exits state 1 immediately) computes different features than
+// the full design. lint rule counter-load-qual reports this at Error.
+func UnqualifiedLoad() *rtl.Module {
+	b := rtl.NewBuilder("unqualified_load")
+	in := b.Memory("in", 16)
+	lat := b.Read(in, b.Const(0, 4), 8)
+	f := b.FSM("ctrl", 3)
+	cnt := b.DownCounter("cnt", 8, f.In(1), lat)
+	f.Always(0, 1)
+	f.When(1, cnt.EqK(0), 2)
+	f.Build()
+	b.SetDone(f.In(2))
+	return b.MustBuild()
+}
+
+// QualifiedLoad is the fixed twin of UnqualifiedLoad: the load fires
+// in single-cycle state 0 (a dispatch state with no self-loop), so it
+// executes exactly once per visit. counter-load-qual stays silent.
+func QualifiedLoad() *rtl.Module {
+	b := rtl.NewBuilder("qualified_load")
+	in := b.Memory("in", 16)
+	lat := b.Read(in, b.Const(0, 4), 8)
+	f := b.FSM("ctrl", 3)
+	cnt := b.DownCounter("cnt", 8, f.In(0), lat)
+	f.Always(0, 1)
+	f.When(1, cnt.EqK(0), 2)
+	f.Build()
+	b.SetDone(f.In(2))
+	return b.MustBuild()
+}
+
+// EdgeQualifiedLoad is the other correct idiom: the load lives in the
+// self-looping wait state but is qualified by the state's exit guard,
+// so it fires only on the cycle the machine leaves the state.
+func EdgeQualifiedLoad() *rtl.Module {
+	b := rtl.NewBuilder("edge_qualified_load")
+	in := b.Memory("in", 16)
+	lat := b.Read(in, b.Const(0, 4), 8)
+	f := b.FSM("ctrl", 3)
+	c := b.Reg("cnt", 8, 0)
+	exit := c.EqK(0)
+	load := f.In(1).And(exit)
+	dec := c.NonZero().Mux(c.Dec(), c.Signal)
+	b.SetNext(c, load.Mux(lat.Trunc(8), dec))
+	f.Always(0, 1)
+	f.When(1, exit, 2)
+	f.Build()
+	b.SetDone(f.In(2))
+	return b.MustBuild()
+}
+
+// EscapingCounter violates the sole-consumer condition that makes
+// wait-state elision sound: cnt2's load samples cnt1's live value. In
+// the full design cnt1 is always 0 when state 2 loads cnt2; in the
+// slice, cnt1's wait is elided so it holds a stale nonzero value, and
+// cnt2's features diverge. lint rule slice-safety reports this at
+// Error; VerifySliceSafety names the escape.
+func EscapingCounter() *rtl.Module {
+	b := rtl.NewBuilder("escaping_counter")
+	in := b.Memory("in", 16)
+	lat := b.Read(in, b.Const(0, 4), 8)
+	f := b.FSM("ctrl", 5)
+	cnt1 := b.DownCounter("cnt1", 8, f.In(0), lat)
+	cnt2 := b.DownCounter("cnt2", 8, f.In(2), cnt1.Signal)
+	f.Always(0, 1)
+	f.When(1, cnt1.EqK(0), 2)
+	f.Always(2, 3)
+	f.When(3, cnt2.EqK(0), 4)
+	f.Build()
+	b.SetDone(f.In(4))
+	return b.MustBuild()
+}
+
+// DeadCounter carries a free-running counter no observable output
+// depends on; lint rule dead-logic flags the register.
+func DeadCounter() *rtl.Module {
+	b := rtl.NewBuilder("dead_counter")
+	f := b.FSM("ctrl", 2)
+	f.Always(0, 1)
+	f.Build()
+	b.UpCounter("tick", 8, b.Const(0, 1), b.Const(1, 1))
+	b.SetDone(f.In(1))
+	return b.MustBuild()
+}
+
+// TruncatingAdd sums two 8-bit values into a 4-bit result, silently
+// discarding high bits; lint rule width-trunc flags the add.
+func TruncatingAdd() *rtl.Module {
+	b := rtl.NewBuilder("truncating_add")
+	x := b.Input("x", 8)
+	y := b.Input("y", 8)
+	b.SetDone(x.AddW(y, 4).NonZero())
+	return b.MustBuild()
+}
+
+// UnreachableState declares transitions out of state 3, but no
+// transition ever targets it: the recovered table carries a state the
+// machine can never enter. lint rule fsm-unreachable flags it.
+func UnreachableState() *rtl.Module {
+	b := rtl.NewBuilder("unreachable_state")
+	start := b.Input("go", 1)
+	f := b.FSM("ctrl", 4)
+	f.Always(0, 1)
+	f.When(1, start, 2)
+	f.When(3, start, 0)
+	f.Always(3, 3)
+	f.Build()
+	b.SetDone(f.In(2))
+	return b.MustBuild()
+}
+
+// RacyWrites drives one memory from two write ports whose enables can
+// be high simultaneously at the same address; lint rule multi-driven
+// flags the pair.
+func RacyWrites() *rtl.Module {
+	b := rtl.NewBuilder("racy_writes")
+	mem := b.Memory("buf", 16)
+	a := b.Input("a", 1)
+	c := b.Input("c", 1)
+	addr := b.Input("addr", 4)
+	b.Write(mem, addr, b.Const(1, 8), a)
+	b.Write(mem, addr, b.Const(2, 8), c)
+	b.SetDone(a.And(c))
+	return b.MustBuild()
+}
+
+// DeadWrite has a write port whose enable is constant zero; lint rule
+// dead-write flags it.
+func DeadWrite() *rtl.Module {
+	b := rtl.NewBuilder("dead_write")
+	mem := b.Memory("buf", 16)
+	go1 := b.Input("go", 1)
+	b.Write(mem, b.Const(0, 4), b.Const(7, 8), b.Const(0, 1))
+	b.SetDone(go1)
+	return b.MustBuild()
+}
+
+// NeverAssigned declares a register and never binds a next value, so
+// it holds its reset value forever; lint rule never-driven flags it.
+func NeverAssigned() *rtl.Module {
+	b := rtl.NewBuilder("never_assigned")
+	go1 := b.Input("go", 1)
+	b.Reg("stuck", 8, 5)
+	b.SetDone(go1)
+	return b.MustBuild()
+}
+
+// IdleInput has an input port nothing consumes; lint rule unused-input
+// reports it at Info.
+func IdleInput() *rtl.Module {
+	b := rtl.NewBuilder("idle_input")
+	go1 := b.Input("go", 1)
+	b.Input("unused_in", 8)
+	b.SetDone(go1)
+	return b.MustBuild()
+}
+
+// DataWaitOnly waits in state 1 for an external ready signal — a
+// variable-latency state no counter covers; lint rule uncovered-wait
+// flags it (the paper's Figure 10 djpeg residual).
+func DataWaitOnly() *rtl.Module {
+	b := rtl.NewBuilder("data_wait_only")
+	rdy := b.Input("rdy", 1)
+	f := b.FSM("ctrl", 3)
+	f.Always(0, 1)
+	f.When(1, rdy, 2)
+	f.Build()
+	b.SetDone(f.In(2))
+	return b.MustBuild()
+}
+
+// CombCycle hand-assembles a netlist whose two And nodes feed each
+// other — a combinational loop no register breaks. It deliberately
+// bypasses the builder (which enforces SSA order); lint rules validate
+// and comb-cycle both report it.
+func CombCycle() *rtl.Module {
+	one := rtl.Node{Op: rtl.OpConst, Width: 1, Const: 1}
+	a := rtl.Node{Op: rtl.OpAnd, Width: 1, NArgs: 2}
+	a.Args[0], a.Args[1] = 2, 0
+	c := rtl.Node{Op: rtl.OpAnd, Width: 1, NArgs: 2}
+	c.Args[0], c.Args[1] = 1, 0
+	return &rtl.Module{
+		Name:  "comb_cycle",
+		Nodes: []rtl.Node{one, a, c},
+		Done:  1,
+	}
+}

@@ -9,6 +9,10 @@ type Module struct {
 	Ports []Port
 	Items []Item
 	Line  int
+	// File is the source file the module was parsed from ("" when the
+	// source came from a string). It seeds rtl node provenance so lint
+	// diagnostics can point at Verilog lines.
+	File string
 }
 
 // Port is a module port declaration.

@@ -2,9 +2,38 @@ package verilog
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/rtl"
 )
+
+// Warning is a non-fatal finding from elaboration: a wire that is
+// declared but never driven (and never read — a driven-and-read wire
+// missing its driver is a hard error), or a driven wire nothing reads.
+// Package lint converts these into diagnostics so `rtlcheck` surfaces
+// them alongside netlist-level rules.
+type Warning struct {
+	// Module is the module the signal is declared in; Name carries the
+	// flattened (instance-prefixed) signal name.
+	Module string
+	Name   string
+	// File and Line locate the declaration ("" when the source had no
+	// recorded file name).
+	File string
+	Line int
+	// Kind is "undriven-wire" or "unused-wire".
+	Kind string
+	Msg  string
+}
+
+func (w Warning) String() string {
+	loc := fmt.Sprintf("line %d", w.Line)
+	if w.File != "" {
+		loc = fmt.Sprintf("%s:%d", w.File, w.Line)
+	}
+	return fmt.Sprintf("%s: %s: %s", w.Module, loc, w.Msg)
+}
 
 // Elaborate lowers a parsed module to an rtl.Module:
 //
@@ -34,32 +63,62 @@ func Elaborate(m *Module) (*rtl.Module, error) {
 // flattened into one netlist with dotted name prefixes, exactly as a
 // synthesis tool's flatten pass would.
 func ParseAndElaborate(src string) (*rtl.Module, error) {
+	m, _, err := ParseAndElaborateWarn(src)
+	return m, err
+}
+
+// ParseAndElaborateWarn is ParseAndElaborate with elaboration warnings.
+func ParseAndElaborateWarn(src string) (*rtl.Module, []Warning, error) {
 	mods, err := ParseFile(src)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return ElaborateHierarchy(mods, mods[len(mods)-1].Name)
+	return ElaborateHierarchyWarn(mods, mods[len(mods)-1].Name)
 }
 
 // ElaborateHierarchy elaborates the named top module against a library
 // of modules, inlining every instance.
 func ElaborateHierarchy(mods []*Module, top string) (*rtl.Module, error) {
+	m, _, err := ElaborateHierarchyWarn(mods, top)
+	return m, err
+}
+
+// ElaborateHierarchyWarn elaborates like ElaborateHierarchy and also
+// returns the non-fatal warnings (undriven or unused wires) collected
+// across the whole hierarchy, in deterministic order.
+func ElaborateHierarchyWarn(mods []*Module, top string) (*rtl.Module, []Warning, error) {
 	lib := map[string]*Module{}
 	for _, m := range mods {
 		if _, dup := lib[m.Name]; dup {
-			return nil, fmt.Errorf("verilog: module %s defined twice", m.Name)
+			return nil, nil, fmt.Errorf("verilog: module %s defined twice", m.Name)
 		}
 		lib[m.Name] = m
 	}
 	ast, ok := lib[top]
 	if !ok {
-		return nil, fmt.Errorf("verilog: top module %s not found", top)
+		return nil, nil, fmt.Errorf("verilog: top module %s not found", top)
 	}
+	var warns []Warning
 	e := newElaborator(ast, rtl.NewBuilder(ast.Name), lib, "", true, nil)
+	e.warns = &warns
 	if err := e.run(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return e.b.Build()
+	m, err := e.b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Slice(warns, func(i, j int) bool {
+		a, b := warns[i], warns[j]
+		if a.Module != b.Module {
+			return a.Module < b.Module
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Name < b.Name
+	})
+	return m, warns, nil
 }
 
 type wireDef struct {
@@ -119,6 +178,9 @@ type elaborator struct {
 	// the clock so it can be recognized in further instantiations.
 	skipClock  map[string]bool
 	clockNames map[string]bool
+	// warns collects non-fatal findings; shared with child elaborators
+	// so one flattening pass yields the hierarchy's full warning list.
+	warns *[]Warning
 }
 
 // isClockName reports whether a referenced identifier is the module's
@@ -151,10 +213,172 @@ func (e *elaborator) run() error {
 	if err := e.declare(); err != nil {
 		return err
 	}
+	if err := e.checkUndriven(); err != nil {
+		return err
+	}
 	if err := e.lowerAlways(); err != nil {
 		return err
 	}
-	return e.bindOutputs()
+	if err := e.bindOutputs(); err != nil {
+		return err
+	}
+	e.reportUnused()
+	return nil
+}
+
+// warn records a non-fatal finding, filling in module identity.
+func (e *elaborator) warn(kind, name string, line int, format string, args ...any) {
+	if e.warns == nil {
+		return
+	}
+	*e.warns = append(*e.warns, Warning{
+		Module: e.ast.Name,
+		Name:   e.prefix + name,
+		File:   e.ast.File,
+		Line:   line,
+		Kind:   kind,
+		Msg:    fmt.Sprintf(format, args...),
+	})
+}
+
+// checkUndriven finds every wire with no driver in one pass, instead of
+// failing lazily on whichever one a signalOf walk reaches first. An
+// undriven wire that something reads (an expression, or an output port
+// that bindOutputs will resolve) is a hard error — all offenders are
+// reported together. An undriven wire nothing reads degrades to an
+// "undriven-wire" warning; the netlist is unaffected either way.
+func (e *elaborator) checkUndriven() error {
+	var undriven []string
+	for name, wd := range e.wires { //detlint:allow sorted below before reporting
+		if wd.expr == nil && wd.inst == nil {
+			undriven = append(undriven, name)
+		}
+	}
+	if len(undriven) == 0 {
+		return nil
+	}
+	sort.Strings(undriven)
+	read := e.referencedNames()
+	for _, p := range e.ast.Ports {
+		if p.Output {
+			read[p.Name] = true
+		}
+	}
+	var fatal []string
+	for _, name := range undriven {
+		wd := e.wires[name]
+		if read[name] {
+			fatal = append(fatal, fmt.Sprintf("%s (line %d)", name, wd.line))
+			continue
+		}
+		e.warn("undriven-wire", name, wd.line, "wire %s is never driven (and never read)", name)
+	}
+	if len(fatal) > 0 {
+		return fmt.Errorf("verilog: %s: wires read but never driven: %s",
+			e.ast.Name, strings.Join(fatal, ", "))
+	}
+	return nil
+}
+
+// referencedNames collects every identifier the module's expressions
+// read: wire init expressions, continuous assignments, always bodies,
+// and instance input connections.
+func (e *elaborator) referencedNames() map[string]bool {
+	read := map[string]bool{}
+	var walkExpr func(Expr)
+	walkExpr = func(x Expr) {
+		switch v := x.(type) {
+		case *Ref:
+			read[v.Name] = true
+		case *Index:
+			read[v.Name] = true
+			walkExpr(v.At)
+		case *PartSelect:
+			read[v.Name] = true
+		case *Unary:
+			walkExpr(v.X)
+		case *Binary:
+			walkExpr(v.X)
+			walkExpr(v.Y)
+		case *Cond:
+			walkExpr(v.Sel)
+			walkExpr(v.A)
+			walkExpr(v.B)
+		case *Concat:
+			for _, p := range v.Parts {
+				walkExpr(p)
+			}
+		case *Repl:
+			walkExpr(v.X)
+		case *Reduce:
+			walkExpr(v.X)
+		}
+	}
+	var walkStmt func(Stmt)
+	walkStmt = func(s Stmt) {
+		switch st := s.(type) {
+		case *Block:
+			for _, sub := range st.Stmts {
+				walkStmt(sub)
+			}
+		case *If:
+			walkExpr(st.Cond)
+			walkStmt(st.Then)
+			if st.Else != nil {
+				walkStmt(st.Else)
+			}
+		case *Case:
+			walkExpr(st.Subject)
+			for _, item := range st.Items {
+				for _, lbl := range item.Labels {
+					walkExpr(lbl)
+				}
+				walkStmt(item.Body)
+			}
+			if st.Default != nil {
+				walkStmt(st.Default)
+			}
+		case *NBAssign:
+			if st.Index != nil {
+				walkExpr(st.Index)
+			}
+			walkExpr(st.RHS)
+		}
+	}
+	for _, item := range e.ast.Items {
+		switch it := item.(type) {
+		case *WireDecl:
+			if it.Init != nil {
+				walkExpr(it.Init)
+			}
+		case *AssignStmt:
+			walkExpr(it.Expr)
+		case *AlwaysBlock:
+			walkStmt(it.Body)
+		case *Instance:
+			for _, conn := range it.Conns {
+				if conn.Expr != nil {
+					walkExpr(conn.Expr)
+				}
+			}
+		}
+	}
+	return read
+}
+
+// reportUnused warns about driven wires that nothing ever read — their
+// logic was parsed but contributes no netlist nodes.
+func (e *elaborator) reportUnused() {
+	var names []string
+	for name, wd := range e.wires { //detlint:allow sorted immediately below
+		if !wd.done && (wd.expr != nil || wd.inst != nil) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e.warn("unused-wire", name, e.wires[name].line, "wire %s is driven but never read", name)
+	}
 }
 
 // clockOf scans a module's always blocks for its clock name.
@@ -169,6 +393,15 @@ func clockOf(m *Module) string {
 
 func (e *elaborator) errorf(line int, format string, args ...any) error {
 	return fmt.Errorf("verilog: %s: line %d: %s", e.ast.Name, line, fmt.Sprintf(format, args...))
+}
+
+// atLine stamps source provenance on nodes built from here on, so lint
+// diagnostics on Verilog-sourced designs carry file:line spans. A
+// no-op when the source had no recorded file name.
+func (e *elaborator) atLine(line int) {
+	if e.ast.File != "" && line > 0 {
+		e.b.SetSrc(e.ast.File, line)
+	}
 }
 
 // declare processes ports, parameters, declarations, and continuous
@@ -202,6 +435,7 @@ func (e *elaborator) declare() error {
 		e.widths[port.Name] = w
 		if port.Output {
 			if port.IsReg {
+				e.atLine(port.Line)
 				e.regs[port.Name] = e.b.Reg(e.prefix+port.Name, w, 0)
 			} else {
 				// Driven by an assign; recorded as an (as yet undefined) wire.
@@ -253,7 +487,7 @@ func (e *elaborator) declare() error {
 				}
 				if init, isROM := romData[it.Name]; isROM {
 					data := make([]uint64, words)
-					for a, v := range init {
+					for a, v := range init { //detlint:allow index-addressed stores, order-independent
 						if a >= uint64(words) {
 							return e.errorf(it.Line, "initial write to %s[%d] out of range", it.Name, a)
 						}
@@ -270,6 +504,7 @@ func (e *elaborator) declare() error {
 				init = it.Init
 			}
 			e.widths[it.Name] = w
+			e.atLine(it.Line)
 			e.regs[it.Name] = e.b.Reg(e.prefix+it.Name, w, init)
 		case *AssignStmt:
 			wd, ok := e.wires[it.Name]
@@ -385,6 +620,7 @@ func (e *elaborator) elaborateInstance(st *instanceState, line int) error {
 	ce := newElaborator(st.ast, e.b, e.lib, e.prefix+st.inst.Name+".", false, e.stack)
 	ce.preBound = pre
 	ce.skipClock = st.clockPorts
+	ce.warns = e.warns
 	if err := ce.run(); err != nil {
 		return err
 	}
@@ -432,6 +668,7 @@ func (e *elaborator) signalOf(name string, line int) (rtl.Signal, error) {
 			sig = wd.inst.outputs[wd.instPort]
 		case wd.expr != nil:
 			var err error
+			e.atLine(wd.line)
 			sig, err = e.lowerExprW(wd.expr, wd.line, wd.width)
 			if err != nil {
 				return rtl.Signal{}, err
@@ -847,7 +1084,7 @@ func matchWidths(a, b rtl.Signal) (rtl.Signal, rtl.Signal) {
 func (e *elaborator) lowerAlways() error {
 	// Accumulated next values start as "hold".
 	next := map[string]rtl.Signal{}
-	for name, r := range e.regs {
+	for name, r := range e.regs { //detlint:allow keyed map fill, order-independent
 		next[name] = r.Signal
 	}
 	for _, item := range e.ast.Items {
@@ -859,7 +1096,16 @@ func (e *elaborator) lowerAlways() error {
 			return err
 		}
 	}
-	for name, r := range e.regs {
+	// Bind in sorted order: fitWidth may create widening nodes, and node
+	// IDs must not depend on map iteration order or the emitted netlist
+	// (and everything keyed on it) would differ between runs.
+	names := make([]string, 0, len(e.regs))
+	for name := range e.regs { //detlint:allow sorted immediately below
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := e.regs[name]
 		e.b.SetNext(r, fitWidth(next[name], r.Width()))
 	}
 	return nil
@@ -953,6 +1199,7 @@ func (e *elaborator) execStmt(s Stmt, cond rtl.Signal, haveCond bool, next map[s
 		}
 		return nil
 	case *NBAssign:
+		e.atLine(st.Line)
 		// Context width for the RHS is the assignment target's width.
 		var ctxW uint8
 		if st.Index != nil {

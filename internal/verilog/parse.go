@@ -42,6 +42,20 @@ func ParseFile(src string) ([]*Module, error) {
 	return mods, nil
 }
 
+// ParseFileNamed parses like ParseFile but records the file name on
+// every module, so elaboration can stamp rtl nodes with source
+// provenance and lint diagnostics can cite file:line spans.
+func ParseFileNamed(src, file string) ([]*Module, error) {
+	mods, err := ParseFile(src)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range mods {
+		m.File = file
+	}
+	return mods, nil
+}
+
 func (p *parser) errorf(format string, args ...any) error {
 	return fmt.Errorf("verilog: line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
 }
