@@ -12,8 +12,12 @@
 //
 // Job-level RTL simulation fans out across -workers goroutines
 // (default: GOMAXPROCS); results are deterministic regardless of the
-// worker count. -cpuprofile/-memprofile write pprof profiles of the
-// run for "Profiling the simulator" in README.md.
+// worker count. -engine selects the RTL engine (compiled, event,
+// interp). -cachedir (or REPRO_CACHE_DIR) enables the persistent trace
+// cache: a re-run with unchanged netlists and workloads replays every
+// simulation from disk and reports "jobs simulated: 0".
+// -cpuprofile/-memprofile write pprof profiles of the run for
+// "Profiling the simulator" in README.md.
 package main
 
 import (
@@ -27,6 +31,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/rtl"
+	"repro/internal/tracecache"
 )
 
 func main() {
@@ -36,6 +42,9 @@ func main() {
 	charts := flag.Bool("charts", false, "render ASCII plots for figure experiments")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	workers := flag.Int("workers", 0, "parallel job-simulation workers (0 = GOMAXPROCS)")
+	engine := flag.String("engine", "", "RTL engine: compiled, event, or interp (default: compiled, or $REPRO_ENGINE)")
+	cacheDir := flag.String("cachedir", os.Getenv("REPRO_CACHE_DIR"),
+		"persistent trace cache directory (default: $REPRO_CACHE_DIR; empty disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -48,6 +57,27 @@ func main() {
 	}
 
 	core.SetWorkers(*workers)
+	if *engine != "" {
+		e, err := rtl.ParseEngine(*engine)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvfsim: %v\n", err)
+			os.Exit(2)
+		}
+		if err := rtl.SetDefaultEngine(e); err != nil {
+			fmt.Fprintf(os.Stderr, "dvfsim: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	var cache *tracecache.Cache
+	if *cacheDir != "" {
+		var err error
+		cache, err = tracecache.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvfsim: %v\n", err)
+			os.Exit(1)
+		}
+		core.SetTraceCache(cache)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -110,6 +140,10 @@ func main() {
 		}
 	}
 	fmt.Printf("completed %d experiment(s) in %s\n", len(ids), time.Since(start).Round(time.Millisecond))
+	if cache != nil {
+		fmt.Printf("trace cache [%s]: %s; ", cache.Dir(), cache.Stats())
+	}
+	fmt.Printf("jobs simulated: %d\n", core.SimulatedJobs())
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)

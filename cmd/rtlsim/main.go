@@ -51,11 +51,12 @@ func (m memFlags) Set(s string) error {
 func main() {
 	maxCycles := flag.Uint64("max", 1<<20, "cycle limit")
 	vcdPath := flag.String("vcd", "", "write a VCD waveform here")
+	engine := flag.String("engine", "", "RTL engine: compiled, event, or interp (default: compiled, or $REPRO_ENGINE)")
 	mems := memFlags{}
 	flag.Var(mems, "mem", "load a memory: name=v0,v1,... (repeatable)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rtlsim [-max N] [-vcd out.vcd] [-mem name=v0,v1,...] design.v")
+		fmt.Fprintln(os.Stderr, "usage: rtlsim [-engine e] [-max N] [-vcd out.vcd] [-mem name=v0,v1,...] design.v")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -66,7 +67,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sim := rtl.NewSim(m)
+	eng := rtl.DefaultEngine()
+	if *engine != "" {
+		if eng, err = rtl.ParseEngine(*engine); err != nil {
+			fatal(err)
+		}
+	}
+	sim := rtl.NewSimEngine(m, eng)
 	for name, data := range mems { //detlint:allow each iteration loads a distinct memory; order-independent
 		if err := sim.LoadMem(name, data); err != nil {
 			fatal(err)

@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	trainpred [-seed N] [-save model.json] [-load model.json] [benchmark]
+//	trainpred [-seed N] [-cachedir dir] [-save model.json] [-load model.json] [benchmark]
 //
 // Without an argument every benchmark is trained. -save writes the
 // trained model (named coefficients) as JSON; -load skips training and
-// evaluates a previously saved model instead.
+// evaluates a previously saved model instead. -cachedir (or
+// REPRO_CACHE_DIR) enables the persistent trace cache, so retraining
+// with unchanged netlists and workloads skips all RTL simulation.
 package main
 
 import (
@@ -18,13 +20,27 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/suite"
+	"repro/internal/tracecache"
 )
 
 func main() {
 	seed := flag.Int64("seed", 42, "workload generation seed")
 	save := flag.String("save", "", "write the trained model as JSON (single benchmark only)")
 	load := flag.String("load", "", "evaluate a saved model instead of training")
+	cacheDir := flag.String("cachedir", os.Getenv("REPRO_CACHE_DIR"),
+		"persistent trace cache directory (default: $REPRO_CACHE_DIR; empty disables)")
 	flag.Parse()
+
+	var cache *tracecache.Cache
+	if *cacheDir != "" {
+		var err error
+		cache, err = tracecache.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		core.SetTraceCache(cache)
+	}
 
 	names := suite.Names()
 	if flag.NArg() == 1 {
@@ -87,4 +103,8 @@ func main() {
 		fmt.Printf("  under-predicted %.1f%% of jobs (worst %+.2f%%)\n\n",
 			100*errs.UnderFrac, 100*errs.WorstUnder)
 	}
+	if cache != nil {
+		fmt.Printf("trace cache [%s]: %s; ", cache.Dir(), cache.Stats())
+	}
+	fmt.Printf("jobs simulated: %d\n", core.SimulatedJobs())
 }

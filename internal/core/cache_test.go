@@ -1,0 +1,115 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/accel/md"
+	"repro/internal/tracecache"
+)
+
+// withCache installs a fresh cache in dir for the duration of the test.
+func withCache(t *testing.T, dir string) *tracecache.Cache {
+	t.Helper()
+	c, err := tracecache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := TraceCache()
+	SetTraceCache(c)
+	t.Cleanup(func() { SetTraceCache(prev) })
+	return c
+}
+
+// TestTrainCacheRoundTrip: a second identical Train must simulate zero
+// jobs and still produce an identical predictor.
+func TestTrainCacheRoundTrip(t *testing.T) {
+	c := withCache(t, t.TempDir())
+	spec := md.Spec()
+
+	cold, err := Train(spec, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Puts == 0 || st.Hits != 0 {
+		t.Fatalf("cold run stats: %+v", st)
+	}
+
+	before := SimulatedJobs()
+	warm, err := Train(spec, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := SimulatedJobs() - before; d != 0 {
+		t.Fatalf("warm Train simulated %d jobs, want 0", d)
+	}
+	if st := c.Stats(); st.Hits == 0 {
+		t.Fatalf("warm run stats: %+v", st)
+	}
+	if !reflect.DeepEqual(cold.Model, warm.Model) || !reflect.DeepEqual(cold.Kept, warm.Kept) ||
+		cold.Gamma != warm.Gamma || !reflect.DeepEqual(cold.TrainErr, warm.TrainErr) {
+		t.Fatal("warm Train produced a different predictor than cold Train")
+	}
+}
+
+// TestTrainCacheKeyedOnWorkload: a different seed must miss.
+func TestTrainCacheKeyedOnWorkload(t *testing.T) {
+	withCache(t, t.TempDir())
+	spec := md.Spec()
+	if _, err := Train(spec, Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	before := SimulatedJobs()
+	if _, err := Train(spec, Options{Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if SimulatedJobs() == before {
+		t.Fatal("Train with a different workload seed reused the cached matrix")
+	}
+}
+
+// TestCollectTracesCacheRoundTrip: the warm pass must simulate nothing
+// and return deep-equal traces.
+func TestCollectTracesCacheRoundTrip(t *testing.T) {
+	c := withCache(t, t.TempDir())
+	spec := md.Spec()
+	p, err := Train(spec, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := spec.TestJobs(7)[:12]
+
+	cold, err := p.CollectTraces(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := SimulatedJobs()
+	warm, err := p.CollectTraces(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := SimulatedJobs() - before; d != 0 {
+		t.Fatalf("warm CollectTraces simulated %d jobs, want 0", d)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("cached traces differ from freshly simulated traces")
+	}
+	if st := c.Stats(); st.Hits == 0 || st.Errors != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestNoCacheStillSimulates: with no cache installed the pipeline works
+// exactly as before and counts its simulations.
+func TestNoCacheStillSimulates(t *testing.T) {
+	prev := TraceCache()
+	SetTraceCache(nil)
+	t.Cleanup(func() { SetTraceCache(prev) })
+	before := SimulatedJobs()
+	if _, err := Train(md.Spec(), Options{Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if SimulatedJobs() == before {
+		t.Fatal("uncached Train did not count its simulations")
+	}
+}

@@ -100,25 +100,44 @@ func Train(spec accel.Spec, opt Options) (*Predictor, error) {
 	}
 
 	// RTL simulation of the training set: features + execution time.
-	// Jobs are independent, so they fan out across worker goroutines,
-	// each owning a private Sim clone; results land in index-addressed
-	// slots and are identical to a serial run.
+	// The (X, y) pair is a pure function of the instrumented netlist,
+	// the workload bytes, and the spec's tick constants, so it is
+	// served from the persistent trace cache when one is installed.
+	// On a miss, jobs are independent and fan out across worker
+	// goroutines, each owning a private Sim clone; results land in
+	// index-addressed slots and are identical to a serial run.
 	sim := rtl.NewSim(ins.M)
-	X := make([][]float64, len(jobs))
-	y := make([]float64, len(jobs))
-	err = runParallel(len(jobs),
-		func() *rtl.Sim { return sim.Clone() },
-		func(s *rtl.Sim, i int) error {
-			ticks, err := accel.RunJob(s, jobs[i], spec.MaxTicks)
-			if err != nil {
-				return fmt.Errorf("core: %s train job %d: %w", spec.Name, i, err)
-			}
-			X[i] = ins.ReadFeatures(s)
-			y[i] = spec.Seconds(ticks)
-			return nil
-		})
-	if err != nil {
-		return nil, err
+	var X [][]float64
+	var y []float64
+	var cacheKey string
+	if c := TraceCache(); c != nil {
+		cacheKey = trainKey(&spec, rtl.Fingerprint(ins.M), jobs)
+		var art trainArtifact
+		if c.Get(cacheKey, &art) && len(art.X) == len(jobs) && len(art.Y) == len(jobs) {
+			X, y = art.X, art.Y
+		}
+	}
+	if X == nil {
+		simJobs.Add(uint64(len(jobs)))
+		X = make([][]float64, len(jobs))
+		y = make([]float64, len(jobs))
+		err = runParallel(len(jobs),
+			func() *rtl.Sim { return sim.Clone() },
+			func(s *rtl.Sim, i int) error {
+				ticks, err := accel.RunJob(s, jobs[i], spec.MaxTicks)
+				if err != nil {
+					return fmt.Errorf("core: %s train job %d: %w", spec.Name, i, err)
+				}
+				X[i] = ins.ReadFeatures(s)
+				y[i] = spec.Seconds(ticks)
+				return nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		if c := TraceCache(); c != nil {
+			c.Put(cacheKey, trainArtifact{X: X, Y: y}) // best effort; tracked in Stats
+		}
 	}
 
 	cfg := opt.Model
@@ -199,11 +218,23 @@ type JobTrace struct {
 }
 
 // CollectTraces runs each job on both the instrumented design and the
-// slice, returning per-job traces. Jobs fan out across worker
-// goroutines (see SetWorkers), each with private clones of the full
-// and slice simulators; trace slots are index-addressed, so the result
-// is byte-identical to a serial run.
+// slice, returning per-job traces. When a persistent cache is
+// installed (SetTraceCache) the whole trace set is served from disk if
+// the netlists, model, spec constants, and workload bytes all match a
+// previous run. On a miss, jobs fan out across worker goroutines (see
+// SetWorkers), each with private clones of the full and slice
+// simulators; trace slots are index-addressed, so the result is
+// byte-identical to a serial run.
 func (p *Predictor) CollectTraces(jobs []accel.Job) ([]JobTrace, error) {
+	var cacheKey string
+	if c := TraceCache(); c != nil {
+		cacheKey = traceKey(p, jobs)
+		var cached []JobTrace
+		if c.Get(cacheKey, &cached) && len(cached) == len(jobs) {
+			return cached, nil
+		}
+	}
+	simJobs.Add(2 * uint64(len(jobs))) // each job runs the full design and the slice
 	type simPair struct{ full, slice *rtl.Sim }
 	traces := make([]JobTrace, len(jobs))
 	err := runParallel(len(jobs),
@@ -241,6 +272,9 @@ func (p *Predictor) CollectTraces(jobs []accel.Job) ([]JobTrace, error) {
 		})
 	if err != nil {
 		return nil, err
+	}
+	if c := TraceCache(); c != nil {
+		c.Put(cacheKey, traces) // best effort; tracked in Stats
 	}
 	return traces, nil
 }

@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tracecache"
+)
+
+// TestRunAllWarmCacheZeroSimulation is the pipeline-level acceptance
+// check for the persistent trace cache: a second RunAll against a warm
+// cache must perform zero RTL job simulations and render every table
+// byte-identically to the cold run.
+func TestRunAllWarmCacheZeroSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the full suite twice; skipped with -short")
+	}
+	c, err := tracecache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := core.TraceCache()
+	core.SetTraceCache(c)
+	t.Cleanup(func() { core.SetTraceCache(prev) })
+
+	cold := NewLab(42)
+	cold.Quick = true
+	coldTables, err := RunAll(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := core.SimulatedJobs()
+	warm := NewLab(42)
+	warm.Quick = true
+	warmTables, err := RunAll(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := core.SimulatedJobs() - before; d != 0 {
+		t.Fatalf("warm RunAll simulated %d jobs, want 0 (cache stats: %s)", d, c.Stats())
+	}
+	if st := c.Stats(); st.Hits == 0 || st.Errors != 0 {
+		t.Fatalf("cache stats after warm run: %s", st)
+	}
+	if len(warmTables) != len(coldTables) {
+		t.Fatalf("%d tables warm vs %d cold", len(warmTables), len(coldTables))
+	}
+	for i := range coldTables {
+		if got, want := warmTables[i].Render(), coldTables[i].Render(); got != want {
+			t.Errorf("%s: warm table differs from cold table\n--- cold ---\n%s--- warm ---\n%s",
+				ExperimentIDs[i], want, got)
+		}
+	}
+}

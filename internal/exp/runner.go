@@ -1,6 +1,9 @@
 package exp
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Experiment names in paper order.
 var ExperimentIDs = []string{
@@ -112,20 +115,33 @@ func Chart(l *Lab, id string) (string, error) {
 	return "", nil
 }
 
-// RunAll executes every experiment in paper order.
+// RunAll executes every experiment and returns tables in paper order.
+// The drivers are independent once the lab is warm — each replays
+// immutable traces with private controller state — so they run
+// concurrently. Results land in index-addressed slots and the first
+// error in ExperimentIDs order is reported, so output is identical to
+// the former serial loop.
 func RunAll(l *Lab) ([]*Table, error) {
 	// Train all benchmarks in parallel first; individual experiments
-	// then hit the cache.
+	// then hit the lab's entry cache.
 	if _, err := l.All(); err != nil {
 		return nil, err
 	}
-	out := make([]*Table, 0, len(ExperimentIDs))
-	for _, id := range ExperimentIDs {
-		t, err := Run(l, id)
+	out := make([]*Table, len(ExperimentIDs))
+	errs := make([]error, len(ExperimentIDs))
+	var wg sync.WaitGroup
+	for i, id := range ExperimentIDs {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			out[i], errs[i] = Run(l, id)
+		}(i, id)
+	}
+	wg.Wait()
+	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("exp: %s: %w", id, err)
+			return nil, fmt.Errorf("exp: %s: %w", ExperimentIDs[i], err)
 		}
-		out = append(out, t)
 	}
 	return out, nil
 }

@@ -109,168 +109,214 @@ func inputsOf(m *rtl.Module) []rtl.NodeID {
 	return ids
 }
 
-// diffStep drives both engines one cycle with identical stimulus and
-// fails on the first observable divergence.
-func diffCompare(t *testing.T, m *rtl.Module, cs, is *rtl.Sim, cycle int) {
-	t.Helper()
-	if cs.Cycles() != is.Cycles() {
-		t.Fatalf("cycle %d: Cycles %d (compiled) != %d (interp)", cycle, cs.Cycles(), is.Cycles())
-	}
-	for id := 0; id < m.NumNodes(); id++ {
-		if cv, iv := cs.Value(rtl.NodeID(id)), is.Value(rtl.NodeID(id)); cv != iv {
-			t.Fatalf("cycle %d: node %d (%s): compiled %#x != interp %#x",
-				cycle, id, m.Nodes[id].Op, cv, iv)
-		}
+// engineSim pairs a Sim with its engine name for error messages.
+type engineSim struct {
+	name string
+	s    *rtl.Sim
+}
+
+// engineSims instantiates all three engines over one module, with the
+// interpreter first — it is the reference the others are compared to.
+// The compiled and event Sims share one Program, exactly like the
+// production fan-out does.
+func engineSims(m *rtl.Module) []engineSim {
+	p := rtl.Compile(m)
+	return []engineSim{
+		{"interp", rtl.NewInterpSim(m)},
+		{"compiled", p.NewSim()},
+		{"event", p.NewEventSim()},
 	}
 }
 
-func diffFinish(t *testing.T, m *rtl.Module, cs, is *rtl.Sim) {
+// diffCompare fails on the first per-node or cycle-count divergence of
+// any engine from the reference (sims[0]).
+func diffCompare(t *testing.T, m *rtl.Module, sims []engineSim, cycle int) {
 	t.Helper()
-	ct, it := cs.Toggles(), is.Toggles()
-	for i := range ct {
-		if ct[i] != it[i] {
-			t.Fatalf("node %d (%s): toggles %d (compiled) != %d (interp)", i, m.Nodes[i].Op, ct[i], it[i])
+	ref := sims[0]
+	for _, e := range sims[1:] {
+		if e.s.Cycles() != ref.s.Cycles() {
+			t.Fatalf("cycle %d: Cycles %d (%s) != %d (%s)", cycle, e.s.Cycles(), e.name, ref.s.Cycles(), ref.name)
 		}
-	}
-	for _, mem := range m.Mems {
-		cm, im := cs.Mem(mem.Name), is.Mem(mem.Name)
-		for a := range cm {
-			if cm[a] != im[a] {
-				t.Fatalf("mem %s[%d]: compiled %#x != interp %#x", mem.Name, a, cm[a], im[a])
+		for id := 0; id < m.NumNodes(); id++ {
+			if ev, rv := e.s.Value(rtl.NodeID(id)), ref.s.Value(rtl.NodeID(id)); ev != rv {
+				t.Fatalf("cycle %d: node %d (%s): %s %#x != %s %#x",
+					cycle, id, m.Nodes[id].Op, e.name, ev, ref.name, rv)
 			}
 		}
 	}
 }
 
-// TestCompiledMatchesInterpreterOnRandomNetlists is the differential
-// property test: on random netlists, the compiled engine must be
+// diffFinish checks the end-of-run observables: toggle counters and
+// memory contents.
+func diffFinish(t *testing.T, m *rtl.Module, sims []engineSim) {
+	t.Helper()
+	ref := sims[0]
+	for _, e := range sims[1:] {
+		et, rt := e.s.Toggles(), ref.s.Toggles()
+		for i := range et {
+			if et[i] != rt[i] {
+				t.Fatalf("node %d (%s): toggles %d (%s) != %d (%s)",
+					i, m.Nodes[i].Op, et[i], e.name, rt[i], ref.name)
+			}
+		}
+		for _, mem := range m.Mems {
+			em, rm := e.s.Mem(mem.Name), ref.s.Mem(mem.Name)
+			for a := range em {
+				if em[a] != rm[a] {
+					t.Fatalf("mem %s[%d]: %s %#x != %s %#x", mem.Name, a, e.name, em[a], ref.name, rm[a])
+				}
+			}
+		}
+	}
+}
+
+// TestEnginesMatchOnRandomNetlists is the differential property test:
+// on random netlists, the compiled and event engines must be
 // cycle-exact with the interpreter — node values, Cycles, Toggles, and
 // memory contents.
-func TestCompiledMatchesInterpreterOnRandomNetlists(t *testing.T) {
+func TestEnginesMatchOnRandomNetlists(t *testing.T) {
 	rng := rand.New(rand.NewSource(1729))
 	for trial := 0; trial < 40; trial++ {
 		m := randModule(rng)
 		if err := m.Validate(); err != nil {
 			t.Fatalf("trial %d: invalid random module: %v", trial, err)
 		}
-		cs, is := rtl.NewSim(m), rtl.NewInterpSim(m)
-		cs.EnableActivity()
-		is.EnableActivity()
+		sims := engineSims(m)
 		load := make([]uint64, m.Mems[0].Words)
 		for i := range load {
 			load[i] = rng.Uint64()
 		}
-		if err := cs.LoadMem("in", load); err != nil {
-			t.Fatal(err)
-		}
-		if err := is.LoadMem("in", load); err != nil {
-			t.Fatal(err)
+		for _, e := range sims {
+			e.s.EnableActivity()
+			if err := e.s.LoadMem("in", load); err != nil {
+				t.Fatal(err)
+			}
 		}
 		ins := inputsOf(m)
 		for cycle := 0; cycle < 80; cycle++ {
 			for _, id := range ins {
 				v := rng.Uint64()
-				cs.SetInput(id, v)
-				is.SetInput(id, v)
+				for _, e := range sims {
+					e.s.SetInput(id, v)
+				}
 			}
-			cd, id := cs.Step(), is.Step()
-			if cd != id {
-				t.Fatalf("trial %d cycle %d: done %v (compiled) != %v (interp)", trial, cycle, cd, id)
+			rd := sims[0].s.Step()
+			for _, e := range sims[1:] {
+				if ed := e.s.Step(); ed != rd {
+					t.Fatalf("trial %d cycle %d: done %v (%s) != %v (interp)", trial, cycle, ed, e.name, rd)
+				}
 			}
-			diffCompare(t, m, cs, is, cycle)
+			diffCompare(t, m, sims, cycle)
 		}
-		diffFinish(t, m, cs, is)
+		diffFinish(t, m, sims)
 	}
 }
 
-// TestCompiledMatchesInterpreterOnToy runs the documented Toy design on
-// both engines across a spread of jobs and checks full-state agreement,
+// TestEnginesMatchOnToy runs the documented Toy design on all three
+// engines across a spread of jobs and checks full-state agreement,
 // including the hand-computed cycle formula.
-func TestCompiledMatchesInterpreterOnToy(t *testing.T) {
+func TestEnginesMatchOnToy(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	toy := testdesigns.Toy()
-	cs, is := rtl.NewSim(toy.M), rtl.NewInterpSim(toy.M)
-	cs.EnableActivity()
-	is.EnableActivity()
+	sims := engineSims(toy.M)
+	for _, e := range sims {
+		e.s.EnableActivity()
+	}
 	for trial := 0; trial < 10; trial++ {
 		items := make([]uint64, 1+rng.Intn(40))
 		for i := range items {
 			items[i] = testdesigns.ToyItem(rng.Intn(2) == 0, uint8(rng.Intn(200)))
 		}
 		job := testdesigns.ToyJob(items)
-		cs.Reset()
-		is.Reset()
-		if err := cs.LoadMem("in", job); err != nil {
-			t.Fatal(err)
+		want := testdesigns.ToyCycles(items)
+		for _, e := range sims {
+			e.s.Reset()
+			if err := e.s.LoadMem("in", job); err != nil {
+				t.Fatal(err)
+			}
+			c, err := e.s.Run(1 << 20)
+			if err != nil {
+				t.Fatalf("trial %d: %s run error: %v", trial, e.name, err)
+			}
+			if c != want {
+				t.Fatalf("trial %d: cycles %s=%d want=%d", trial, e.name, c, want)
+			}
 		}
-		if err := is.LoadMem("in", job); err != nil {
-			t.Fatal(err)
-		}
-		cc, cerr := cs.Run(1 << 20)
-		ic, ierr := is.Run(1 << 20)
-		if cerr != nil || ierr != nil {
-			t.Fatalf("trial %d: run errors %v / %v", trial, cerr, ierr)
-		}
-		if want := testdesigns.ToyCycles(items); cc != want || ic != want {
-			t.Fatalf("trial %d: cycles compiled=%d interp=%d want=%d", trial, cc, ic, want)
-		}
-		diffCompare(t, toy.M, cs, is, int(cc))
-		diffFinish(t, toy.M, cs, is)
+		diffCompare(t, toy.M, sims, int(want))
+		diffFinish(t, toy.M, sims)
 	}
 }
 
-// TestCompiledMatchesInterpreterOnHandFSM covers the input-driven path:
-// the hand-lowered FSM is stepped with random stimulus on both engines.
-func TestCompiledMatchesInterpreterOnHandFSM(t *testing.T) {
+// TestEnginesMatchOnHandFSM covers the input-driven path: the
+// hand-lowered FSM is stepped with random stimulus on all engines.
+func TestEnginesMatchOnHandFSM(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	m, _ := testdesigns.HandFSM()
-	cs, is := rtl.NewSim(m), rtl.NewInterpSim(m)
-	cs.EnableActivity()
-	is.EnableActivity()
+	sims := engineSims(m)
+	for _, e := range sims {
+		e.s.EnableActivity()
+	}
 	ins := inputsOf(m)
 	for cycle := 0; cycle < 200; cycle++ {
 		for _, id := range ins {
 			v := rng.Uint64()
-			cs.SetInput(id, v)
-			is.SetInput(id, v)
+			for _, e := range sims {
+				e.s.SetInput(id, v)
+			}
 		}
-		cs.Step()
-		is.Step()
-		diffCompare(t, m, cs, is, cycle)
+		for _, e := range sims {
+			e.s.Step()
+		}
+		diffCompare(t, m, sims, cycle)
 	}
-	diffFinish(t, m, cs, is)
+	diffFinish(t, m, sims)
 }
 
 // TestCloneIsIndependent checks that a clone starts fresh, matches its
 // parent's behaviour, and that parent and clone do not share writable
-// memory.
+// memory — for every engine (the parallel job fan-out clones whatever
+// engine the caller picked).
 func TestCloneIsIndependent(t *testing.T) {
 	toy := testdesigns.Toy()
 	items := []uint64{testdesigns.ToyItem(false, 0), testdesigns.ToyItem(true, 9)}
 	job := testdesigns.ToyJob(items)
 
-	s := rtl.NewSim(toy.M)
-	s.EnableActivity()
-	c := s.Clone()
-	if c.Toggles() == nil {
-		t.Fatal("clone did not inherit activity tracking")
-	}
-	if err := s.LoadMem("in", job); err != nil {
-		t.Fatal(err)
-	}
-	if got := c.Mem("in")[0]; got != 0 {
-		t.Fatalf("clone saw parent's LoadMem: in[0]=%d", got)
-	}
-	if err := c.LoadMem("in", job); err != nil {
-		t.Fatal(err)
-	}
-	sc, err1 := s.Run(1 << 20)
-	cc, err2 := c.Run(1 << 20)
-	if err1 != nil || err2 != nil {
-		t.Fatalf("run errors %v / %v", err1, err2)
-	}
-	if sc != cc || sc != testdesigns.ToyCycles(items) {
-		t.Fatalf("cycles parent=%d clone=%d want=%d", sc, cc, testdesigns.ToyCycles(items))
+	for _, mk := range []struct {
+		name string
+		mk   func(*rtl.Module) *rtl.Sim
+	}{
+		{"compiled", rtl.NewSim},
+		{"interp", rtl.NewInterpSim},
+		{"event", rtl.NewEventSim},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			s := mk.mk(toy.M)
+			s.EnableActivity()
+			c := s.Clone()
+			if c.Toggles() == nil {
+				t.Fatal("clone did not inherit activity tracking")
+			}
+			if c.Engine() != s.Engine() {
+				t.Fatalf("clone engine %s != parent %s", c.Engine(), s.Engine())
+			}
+			if err := s.LoadMem("in", job); err != nil {
+				t.Fatal(err)
+			}
+			if got := c.Mem("in")[0]; got != 0 {
+				t.Fatalf("clone saw parent's LoadMem: in[0]=%d", got)
+			}
+			if err := c.LoadMem("in", job); err != nil {
+				t.Fatal(err)
+			}
+			sc, err1 := s.Run(1 << 20)
+			cc, err2 := c.Run(1 << 20)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("run errors %v / %v", err1, err2)
+			}
+			if sc != cc || sc != testdesigns.ToyCycles(items) {
+				t.Fatalf("cycles parent=%d clone=%d want=%d", sc, cc, testdesigns.ToyCycles(items))
+			}
+		})
 	}
 }
 

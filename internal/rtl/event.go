@@ -1,0 +1,788 @@
+package rtl
+
+import "math/bits"
+
+// event.go adds the third execution engine: an activity-driven
+// evaluator over the compiled instruction stream. The compiled engine
+// (stepCompiled) executes every instruction every cycle; the paper's
+// whole premise, though, is that accelerators spend long stretches in
+// wait states where almost no control logic toggles (§3, wait-state
+// elision). The event engine exploits exactly that: each cycle it
+// re-evaluates only the cone of influence of the state that actually
+// changed — registers that latched a new value, inputs the testbench
+// rewrote, and memories a write port or LoadMem touched — so a
+// wait-state cycle where the FSM self-loops costs a short counter
+// update instead of a full netlist sweep.
+//
+// The engine is a schedule memoizer, not an instruction-level event
+// queue. Three observations make that both correct and fast:
+//
+//  1. Combinational seeds only arise between cycles. During the
+//     combinational phase nothing new enters the fabric — the
+//     sequential phases (register latches, memory commits, SetInput,
+//     LoadMem) plant their seeds for the NEXT cycle. So the set of
+//     instructions a cycle must run is a pure function of the seed
+//     set it starts with.
+//  2. Overapproximation is free of harm. Re-evaluating an instruction
+//     whose inputs did not change recomputes the same value (the
+//     invariant below), so any superset of the true changed cone
+//     yields bit-exact state. The engine therefore expands the seed
+//     set to its static transitive closure over the fanout graph —
+//     "assume every output changes" — instead of tracking changes
+//     dynamically.
+//  3. Seed sets repeat. An accelerator in a steady state (a wait
+//     loop, a pipelined inner loop) latches the same registers cycle
+//     after cycle, so the handful of distinct seed sets and their
+//     closures can be cached and reused.
+//
+// Each cycle therefore reduces to: hash the seed bitset, look its
+// closure up in a small direct-mapped cache, and execute the cached
+// list of [start,end) instruction runs with the compiled engine's
+// verbatim inner loop. The hot path carries ZERO per-instruction
+// bookkeeping — no dirty bits, no change detection, no consumer
+// seeding. Every dynamic variant of this engine measured worse
+// end-to-end: per-instruction dirty tracking cost ~4x the compiled
+// walk per evaluation (bit-scan serial dependency chains), and even a
+// streamlined change-detecting sweep (branch-free xor/fanout-OR per
+// store, frontier waves) still ran ~2x per instruction, giving back
+// everything its better precision won. Static schedules executed
+// verbatim beat precise schedules executed with bookkeeping.
+//
+// Precision instead comes from the closure granularity: closure
+// bitsets are PER-INSTRUCTION (multi-word masks, sized by the
+// program), not per-block. An earlier single-uint64 variant grouped
+// instructions into ≤64 blocks and the rounding compounded
+// transitively through the closure — every seeded comparator dragged
+// whole neighbouring blocks in, whose outputs dragged more blocks —
+// measuring closure fractions of 0.56-0.91 of the netlist versus true
+// activity of 0.19-0.66.
+//
+// Seeds, by contrast, are tracked at STATE-SOURCE granularity: a seed
+// can only originate at a register latch, an input port, or a memory
+// — and real designs have a few dozen of those (the whole suite fits
+// in 39), so the seed set is a single uint64 with one bit per source.
+// Seeding a latched register is one OR of a one-bit constant (the
+// earlier per-slot multi-word rows spent ~19% of wait-heavy workloads
+// in their OR loops), the schedule-cache key is one word, and the hit
+// path is a single multiply-hash and compare. Only the memoized,
+// off-hot-path closure walk expands source bits into instruction
+// masks.
+//
+// Correctness invariant: between cycles, vals[v] for every slot v
+// equals what a full evaluation would produce. The seeds are exactly
+// the three ways state enters the combinational fabric — register
+// latches, SetInput, and memory mutation — and the closure is closed
+// under the consumer relation, so every instruction whose transitive
+// inputs changed is scheduled. SSA emission order places consumers at
+// higher instruction indices than their producers, so the closure
+// walk is a single ascending pass and the runs execute in dependency
+// order. Bit-exactness against the interpreter and the compiled
+// engine — values, cycle counts, toggle counters, memory contents —
+// is enforced by the differential tests in compile_test.go,
+// event_test.go, and internal/suite.
+
+// evMaxUnits caps the seed-bitset width at 8 words. Programs beyond
+// 512 instructions group adjacent instructions into units of 2^shift;
+// every design in the suite (≤406 instructions) stays at exact
+// per-instruction units.
+const evMaxUnits = 512
+
+// evMask is one seed/closure bitset: bit u covers instruction unit u.
+// Fixed width — a single cache line — so the hot seeding loops are
+// constant-bound (the compiler unrolls them and drops every bounds
+// check), unlike the earlier []uint64 rows whose variable-length OR
+// loops alone cost ~19% of wait-heavy workloads.
+type evMask [8]uint64
+
+// evShiftFor picks the smallest unit shift that fits the program in
+// evMaxUnits units.
+func evShiftFor(n int) uint {
+	s := uint(0)
+	for (n+(1<<s)-1)>>s > evMaxUnits {
+		s++
+	}
+	return s
+}
+
+// eventTables is the static fanout graph shared by every event-driven
+// Sim of one Program. It is built once, lazily, under Program.evOnce.
+type eventTables struct {
+	// shift is the instruction-to-unit grouping (0 unless the program
+	// exceeds evMaxUnits instructions); units is the bitset width in
+	// units.
+	shift uint
+	units int
+	// Seed sources are numbered registers first, then memories, then
+	// input ports. Source s owns bit min(s, 63) of the seed word —
+	// designs with more than 64 sources share bit 63 among the excess,
+	// a sound overapproximation (their fan masks are unioned).
+	// srcFan[b] is the instruction units consuming source bit b.
+	srcFan []evMask
+	// regBit, memBit and nodeBit map a register index, memory index,
+	// or node id (inputs and register nodes; 0 for non-sources) to its
+	// seed bit.
+	regBit  []uint64
+	memBit  []uint64
+	nodeBit []uint64
+	// fullRuns/fullRegs is the every-instruction, every-register
+	// schedule the first cycle after Reset executes: reset state is
+	// not describable as a seed set (even const-only expressions need
+	// one evaluation).
+	fullRuns []int32
+	fullRegs []int32
+	// dstFan (and dst2Fan for fused super-ops) pre-resolve each
+	// instruction's output mask(s) — the units holding the consumers
+	// of code[i].dst: the closure walk reads them sequentially.
+	dstFan  []evMask
+	dst2Fan []evMask
+	// regWriter holds, per register, the instruction index computing
+	// the register's next-value slot, or -1 when that slot is not
+	// instruction-written (an input, another register, a constant).
+	// A register whose writer is outside a cycle's schedule cannot have
+	// latched a new value, so phase 3 may skip it.
+	regWriter []int32
+	// regAlways lists the registers with regWriter -1: their next-value
+	// slots can change between cycles without any instruction running
+	// (SetInput, another latch), so they are latched every cycle.
+	regAlways []int32
+	// evRegs packs the per-register latch tables (next slot, node,
+	// mask, seed bit) into one stream for phase 3. regChain reports
+	// whether any register's next-value slot is itself a register
+	// node; when false, no latch write can feed another latch's read
+	// in the same cycle, so phase 3 fuses its read and write loops.
+	evRegs   []evReg
+	regChain bool
+}
+
+// evReg is one register's phase-3 latch entry.
+type evReg struct {
+	nx, nd    int32
+	mask, bit uint64
+}
+
+// argSlots returns the value slots an instruction actually reads.
+// Immediate forms carry their constant inline and read only a; fused
+// super-ops read the head's operand plus the tail's. The returned set
+// must never under-approximate: the fanout graph built from it is what
+// guarantees a changed input re-evaluates its consumers.
+func (in *instr) argSlots() (slots [3]int32, n int) {
+	switch in.op {
+	case iZero:
+		return slots, 0
+	case iNot, iAddImm, iSubImmR, iSubImmL, iMulImm, iAndImm, iOrImm,
+		iXorImm, iShlImm, iShrImm, iEqImm, iNeImm, iLtImmR, iLtImmL,
+		iLeImmR, iLeImmL, iMemRead:
+		slots[0] = in.a
+		return slots, 1
+	case iMux, iEqImmMux, iNeImmMux:
+		slots[0], slots[1], slots[2] = in.a, in.b, in.c
+		return slots, 3
+	default: // two-operand ops, iAddAndImm, iSubAndImm
+		slots[0], slots[1] = in.a, in.b
+		return slots, 2
+	}
+}
+
+// hasDst2 reports whether the fused super-op writes a second slot.
+func (in *instr) hasDst2() bool {
+	switch in.op {
+	case iEqImmMux, iNeImmMux, iAddAndImm, iSubAndImm:
+		return true
+	}
+	return false
+}
+
+// eventTables builds (once) and returns the program's fanout graph.
+// Safe for concurrent use; every event Sim of this program shares it.
+func (p *Program) eventTables() *eventTables {
+	p.evOnce.Do(func() {
+		m := p.m
+		shift := evShiftFor(len(p.code))
+		units := (len(p.code) + (1 << shift) - 1) >> shift
+		t := &eventTables{shift: shift, units: units}
+		// fanM/memM are builder scratch: the consumer units of every
+		// value slot / memory, condensed below into per-source and
+		// per-instruction masks.
+		fanM := make([]evMask, len(m.Nodes))
+		memM := make([]evMask, len(m.Mems))
+		// slotWriter maps each value slot to the instruction computing
+		// it (-1 for slots written outside phase 1: inputs, registers,
+		// constants).
+		slotWriter := make([]int32, len(m.Nodes))
+		for v := range slotWriter {
+			slotWriter[v] = -1
+		}
+		for i := range p.code {
+			in := &p.code[i]
+			u := uint(i) >> shift
+			w, bit := u>>6, uint64(1)<<(u&63)
+			slots, n := in.argSlots()
+			for a := 0; a < n; a++ {
+				fanM[slots[a]][w] |= bit
+			}
+			if in.op == iMemRead {
+				memM[in.mem][w] |= bit
+			}
+			slotWriter[in.dst] = int32(i)
+			if in.hasDst2() {
+				slotWriter[in.dst2] = int32(i)
+			}
+		}
+		// Per-instruction output masks (fanM complete).
+		t.dstFan = make([]evMask, len(p.code))
+		t.dst2Fan = make([]evMask, len(p.code))
+		for i := range p.code {
+			in := &p.code[i]
+			t.dstFan[i] = fanM[in.dst]
+			if in.hasDst2() {
+				t.dst2Fan[i] = fanM[in.dst2]
+			}
+		}
+		// Seed sources: registers, then memories, then inputs. Each
+		// claims one bit of the seed word (sharing bit 63 past 64
+		// sources); srcFan accumulates — shared bits union their rows.
+		t.srcFan = make([]evMask, 64)
+		t.regBit = make([]uint64, len(m.Regs))
+		t.memBit = make([]uint64, len(m.Mems))
+		t.nodeBit = make([]uint64, len(m.Nodes))
+		src := 0
+		bitOf := func() (int, uint64) {
+			b := src
+			if b > 63 {
+				b = 63
+			}
+			src++
+			return b, uint64(1) << b
+		}
+		for i := range m.Regs {
+			b, bit := bitOf()
+			t.regBit[i] = bit
+			t.nodeBit[p.regNode[i]] = bit
+			row := &t.srcFan[b]
+			fan := &fanM[p.regNode[i]]
+			for w := 0; w < 8; w++ {
+				row[w] |= fan[w]
+			}
+		}
+		for mi := range m.Mems {
+			b, bit := bitOf()
+			t.memBit[mi] = bit
+			row := &t.srcFan[b]
+			fan := &memM[mi]
+			for w := 0; w < 8; w++ {
+				row[w] |= fan[w]
+			}
+		}
+		for v := range m.Nodes {
+			if m.Nodes[v].Op != OpInput {
+				continue
+			}
+			b, bit := bitOf()
+			t.nodeBit[v] = bit
+			row := &t.srcFan[b]
+			fan := &fanM[v]
+			for w := 0; w < 8; w++ {
+				row[w] |= fan[w]
+			}
+		}
+		t.regWriter = make([]int32, len(p.regNext))
+		t.evRegs = make([]evReg, len(p.regNext))
+		isRegNode := make([]bool, len(m.Nodes))
+		for i := range m.Regs {
+			isRegNode[p.regNode[i]] = true
+		}
+		for i, nx := range p.regNext {
+			t.regWriter[i] = slotWriter[nx]
+			if t.regWriter[i] < 0 {
+				t.regAlways = append(t.regAlways, int32(i))
+			}
+			t.evRegs[i] = evReg{nx: nx, nd: p.regNode[i], mask: p.regMask[i], bit: t.regBit[i]}
+			if isRegNode[nx] {
+				t.regChain = true
+			}
+		}
+		t.fullRuns = []int32{0, int32(len(p.code))}
+		t.fullRegs = make([]int32, len(m.Regs))
+		for i := range t.fullRegs {
+			t.fullRegs[i] = int32(i)
+		}
+		p.ev = t
+	})
+	return p.ev
+}
+
+// evSchedSize is the closure cache size (direct-mapped, power of 2).
+// Steady-state workloads cycle through a handful of distinct seed
+// sets; 256 entries make collisions rare without locking or eviction
+// bookkeeping.
+const evSchedSize = 1024
+
+// evSched is one memoized schedule: the source seed word it answers
+// for (zero while the entry is empty — a live seed set is never
+// empty, runsFor is only reached when srcDirty != 0), the closure's
+// instruction runs as flat [start,end) pairs, and the registers whose
+// next-value slots the closure recomputes — the only ones phase 3
+// must examine.
+type evSched struct {
+	key  uint64
+	runs []int32
+	regs []int32
+}
+
+// evState is the per-Sim dynamic state of the event engine.
+type evState struct {
+	tab *eventTables
+	// srcDirty is the seed set for the next cycle, one bit per state
+	// source (register/memory/input). Filled by the sequential phases
+	// and the testbench between sweeps; consumed (and cleared) at the
+	// top of each cycle.
+	srcDirty uint64
+	// forceFull schedules one full evaluation (every instruction,
+	// every register) for the next cycle — set by Reset, whose state
+	// is not expressible as a seed set.
+	forceFull bool
+	// sched memoizes seed word → closure instruction runs.
+	sched [evSchedSize]evSched
+	// curRuns is the schedule the current cycle executed — the slots
+	// activity accounting must examine. Points into the cache.
+	curRuns []int32
+	// changed lists state slots mutated outside the combinational
+	// phase (register latches, SetInput) since the last activity
+	// accounting; maintained only while toggle counting is enabled.
+	changed []int32
+	// fullScan forces the next activity accounting to sweep every node
+	// (set when EnableActivity is called mid-run, so toggles accrued
+	// against a stale baseline match the interpreter's semantics).
+	fullScan bool
+	// evals counts instructions executed since Reset (whole scheduled
+	// runs, including closure overapproximation) — the measure of
+	// combinational work actually performed. cycles × len(code) minus
+	// this is the work wait-state elision saved.
+	evals uint64
+}
+
+// initEvent attaches event-engine state to a compiled Sim.
+func (s *Sim) initEvent() {
+	s.ev = &evState{tab: s.prog.eventTables()}
+}
+
+// NewEventSim prepares an event-driven simulator for the module,
+// compiling it first. See NewSim for the module contract.
+func NewEventSim(m *Module) *Sim {
+	return Compile(m).NewEventSim()
+}
+
+// NewEventSim instantiates an event-driven simulator executing this
+// compiled program. Many Sims (of any engine) may share one Program.
+func (p *Program) NewEventSim() *Sim {
+	s := newSimState(p.m)
+	s.prog = p
+	s.initEvent()
+	s.Reset()
+	return s
+}
+
+// evSeedSlot schedules the consumers of a changed source node
+// (register node or input port): one OR of the node's seed bit.
+func (s *Sim) evSeedSlot(v int32) {
+	s.ev.srcDirty |= s.ev.tab.nodeBit[v]
+}
+
+// evSeedMem schedules every read port of a mutated memory.
+func (s *Sim) evSeedMem(mi int32) {
+	s.ev.srcDirty |= s.ev.tab.memBit[mi]
+}
+
+// evMark records a changed state slot for incremental toggle
+// accounting.
+func (s *Sim) evMark(v int32) {
+	if s.countToggles {
+		s.ev.changed = append(s.ev.changed, v)
+	}
+}
+
+// evReset schedules one full evaluation, so the first cycle after
+// Reset recomputes every instruction from the reset state
+// (bit-identical to the other engines' first cycle — including
+// expressions over constants only, which no seed set can describe).
+func (s *Sim) evReset() {
+	ev := s.ev
+	ev.srcDirty = 0
+	ev.forceFull = true
+	ev.curRuns = nil
+	ev.changed = ev.changed[:0]
+	ev.evals = 0
+}
+
+// runsFor returns the memoized schedule for the source seed word dm:
+// the transitive closure over the fanout graph folded into
+// [start,end) instruction runs, plus the registers whose next-value
+// slots the closure recomputes. The closure walk is a single
+// ascending pass — consumers sit at higher instruction indices than
+// producers (SSA emission order), so fan masks only point forward.
+// The hit path is one multiply-hash and one word compare; an empty
+// entry's zero key can never match (a live seed set is never empty).
+func (ev *evState) runsFor(dm uint64, nCode int32) (runs, regs []int32) {
+	h := dm * 0x9e3779b97f4a7c15
+	e := &ev.sched[(h>>48)&(evSchedSize-1)]
+	if e.key == dm {
+		return e.runs, e.regs
+	}
+	t := ev.tab
+	// Expand the source bits into the seed instruction mask, then walk.
+	var cl evMask
+	for d := dm; d != 0; d &= d - 1 {
+		row := &t.srcFan[bits.TrailingZeros64(d)]
+		for w := 0; w < 8; w++ {
+			cl[w] |= row[w]
+		}
+	}
+	shift := t.shift
+	for i := 0; i < int(nCode); i++ {
+		u := uint(i) >> shift
+		if cl[u>>6]&(uint64(1)<<(u&63)) != 0 {
+			row := &t.dstFan[i]
+			row2 := &t.dst2Fan[i]
+			for w := 0; w < 8; w++ {
+				cl[w] |= row[w] | row2[w]
+			}
+		}
+	}
+	// Fold the closure's set bits into [start,end) instruction runs,
+	// merging adjacent units across word boundaries.
+	runs = make([]int32, 0, 16)
+	open := false
+	var start int32
+	for u := 0; u < t.units; u++ {
+		if cl[u>>6]&(uint64(1)<<(uint(u)&63)) != 0 {
+			if !open {
+				start = int32(u) << shift
+				open = true
+			}
+		} else if open {
+			runs = append(runs, start, int32(u)<<shift)
+			open = false
+		}
+	}
+	if open {
+		end := int32(t.units) << shift
+		if end > nCode {
+			end = nCode
+		}
+		runs = append(runs, start, end)
+	}
+	if n := len(runs); n > 0 && runs[n-1] > nCode {
+		runs[n-1] = nCode
+	}
+	// Registers this schedule can latch: those whose next-value slot
+	// is written by a scheduled instruction, plus the always set
+	// (slots mutable between cycles without any instruction running).
+	regs = make([]int32, 0, len(t.regWriter))
+	for ri, wi := range t.regWriter {
+		if wi < 0 {
+			regs = append(regs, int32(ri))
+			continue
+		}
+		u := uint(wi) >> shift
+		if cl[u>>6]&(uint64(1)<<(u&63)) != 0 {
+			regs = append(regs, int32(ri))
+		}
+	}
+	e.key = dm
+	e.runs = runs
+	e.regs = regs
+	return runs, regs
+}
+
+// stepEvent executes one cycle event-driven. It mirrors the compiled
+// engine's four phases; the only difference is *which* instructions
+// run — phase 1 executes the memoized closure of the cycle's seed
+// set, and phases 2–4 plant the next cycle's seeds from committed
+// writes and latched registers. The run loop's per-op semantics are
+// copied verbatim from stepCompiled; the differential tests hold the
+// copies identical.
+func (s *Sim) stepEvent() bool {
+	p := s.prog
+	ev := s.ev
+	vals := s.vals
+	mems := s.mems
+	code := p.code
+	// Phase 1: execute this cycle's schedule. No bookkeeping inside
+	// the loop — the schedule already overapproximates the changed
+	// cone, and the stores are unconditional exactly like
+	// stepCompiled's.
+	var runs []int32
+	regs := ev.tab.regAlways
+	if ev.forceFull {
+		// First cycle after Reset: the full schedule subsumes any
+		// seeds planted since (LoadMem, SetInput).
+		ev.forceFull = false
+		ev.srcDirty = 0
+		runs, regs = ev.tab.fullRuns, ev.tab.fullRegs
+	} else if ev.srcDirty != 0 {
+		runs, regs = ev.runsFor(ev.srcDirty, int32(len(code)))
+		ev.srcDirty = 0
+	}
+	ev.curRuns = runs
+	evals := ev.evals
+	for r := 0; r < len(runs); r += 2 {
+		v, end := runs[r], runs[r+1]
+		evals += uint64(end - v)
+		for ; v < end; v++ {
+			in := &code[v]
+			switch in.op {
+			case iAdd:
+				vals[in.dst] = (vals[in.a] + vals[in.b]) & in.mask
+			case iAddImm:
+				vals[in.dst] = (vals[in.a] + in.imm) & in.mask
+			case iSub:
+				vals[in.dst] = (vals[in.a] - vals[in.b]) & in.mask
+			case iSubImmR:
+				vals[in.dst] = (vals[in.a] - in.imm) & in.mask
+			case iSubImmL:
+				vals[in.dst] = (in.imm - vals[in.a]) & in.mask
+			case iMul:
+				vals[in.dst] = (vals[in.a] * vals[in.b]) & in.mask
+			case iMulImm:
+				vals[in.dst] = (vals[in.a] * in.imm) & in.mask
+			case iAnd:
+				vals[in.dst] = vals[in.a] & vals[in.b] & in.mask
+			case iAndImm:
+				vals[in.dst] = vals[in.a] & in.imm
+			case iOr:
+				vals[in.dst] = (vals[in.a] | vals[in.b]) & in.mask
+			case iOrImm:
+				vals[in.dst] = (vals[in.a] | in.imm) & in.mask
+			case iXor:
+				vals[in.dst] = (vals[in.a] ^ vals[in.b]) & in.mask
+			case iXorImm:
+				vals[in.dst] = (vals[in.a] ^ in.imm) & in.mask
+			case iNot:
+				vals[in.dst] = ^vals[in.a] & in.mask
+			case iShl:
+				if sh := vals[in.b]; sh < 64 {
+					vals[in.dst] = (vals[in.a] << sh) & in.mask
+				} else {
+					vals[in.dst] = 0
+				}
+			case iShlImm:
+				vals[in.dst] = (vals[in.a] << in.imm) & in.mask
+			case iShr:
+				if sh := vals[in.b]; sh < 64 {
+					vals[in.dst] = (vals[in.a] >> sh) & in.mask
+				} else {
+					vals[in.dst] = 0
+				}
+			case iShrImm:
+				vals[in.dst] = (vals[in.a] >> in.imm) & in.mask
+			case iZero:
+				vals[in.dst] = 0
+			case iEq:
+				if vals[in.a] == vals[in.b] {
+					vals[in.dst] = 1
+				} else {
+					vals[in.dst] = 0
+				}
+			case iEqImm:
+				if vals[in.a] == in.imm {
+					vals[in.dst] = 1
+				} else {
+					vals[in.dst] = 0
+				}
+			case iNe:
+				if vals[in.a] != vals[in.b] {
+					vals[in.dst] = 1
+				} else {
+					vals[in.dst] = 0
+				}
+			case iNeImm:
+				if vals[in.a] != in.imm {
+					vals[in.dst] = 1
+				} else {
+					vals[in.dst] = 0
+				}
+			case iLt:
+				if vals[in.a] < vals[in.b] {
+					vals[in.dst] = 1
+				} else {
+					vals[in.dst] = 0
+				}
+			case iLtImmR:
+				if vals[in.a] < in.imm {
+					vals[in.dst] = 1
+				} else {
+					vals[in.dst] = 0
+				}
+			case iLtImmL:
+				if in.imm < vals[in.a] {
+					vals[in.dst] = 1
+				} else {
+					vals[in.dst] = 0
+				}
+			case iLe:
+				if vals[in.a] <= vals[in.b] {
+					vals[in.dst] = 1
+				} else {
+					vals[in.dst] = 0
+				}
+			case iLeImmR:
+				if vals[in.a] <= in.imm {
+					vals[in.dst] = 1
+				} else {
+					vals[in.dst] = 0
+				}
+			case iLeImmL:
+				if in.imm <= vals[in.a] {
+					vals[in.dst] = 1
+				} else {
+					vals[in.dst] = 0
+				}
+			case iMux:
+				if vals[in.a] != 0 {
+					vals[in.dst] = vals[in.b] & in.mask
+				} else {
+					vals[in.dst] = vals[in.c] & in.mask
+				}
+			case iMemRead:
+				data := mems[in.mem]
+				if addr := vals[in.a]; addr < uint64(len(data)) {
+					vals[in.dst] = data[addr] & in.mask
+				} else {
+					vals[in.dst] = 0
+				}
+			case iEqImmMux:
+				var t uint64
+				if vals[in.a] == in.imm {
+					t = 1
+				}
+				vals[in.dst2] = t
+				if t != 0 {
+					vals[in.dst] = vals[in.b] & in.mask
+				} else {
+					vals[in.dst] = vals[in.c] & in.mask
+				}
+			case iNeImmMux:
+				var t uint64
+				if vals[in.a] != in.imm {
+					t = 1
+				}
+				vals[in.dst2] = t
+				if t != 0 {
+					vals[in.dst] = vals[in.b] & in.mask
+				} else {
+					vals[in.dst] = vals[in.c] & in.mask
+				}
+			case iAddAndImm:
+				t := (vals[in.a] + vals[in.b]) & in.mask
+				vals[in.dst2] = t
+				vals[in.dst] = t & in.imm
+			case iSubAndImm:
+				t := (vals[in.a] - vals[in.b]) & in.mask
+				vals[in.dst2] = t
+				vals[in.dst] = t & in.imm
+			}
+		}
+	}
+	ev.evals = evals
+	done := vals[p.done] != 0
+	// Phase 2: memory writes commit; a write that actually changes a
+	// word wakes the memory's read ports for the next cycle. (The
+	// compiled engine stores unconditionally; storing an identical
+	// value leaves contents — and hence reads — unchanged.)
+	for i, en := range p.wEn {
+		if vals[en] != 0 {
+			data := mems[p.wMem[i]]
+			if addr := vals[p.wAddr[i]]; addr < uint64(len(data)) {
+				if nv := vals[p.wData[i]]; data[addr] != nv {
+					data[addr] = nv
+					s.evSeedMem(p.wMem[i])
+				}
+			}
+		}
+	}
+	// Phase 3: registers latch simultaneously; a register that latched
+	// a new value seeds its combinational cone for the next cycle.
+	// Only the schedule's register list is examined: a register whose
+	// next-value slot no scheduled instruction recomputed still holds
+	// its latched value (the invariant vals[regNode] == vals[regNext]
+	// & mask from the cycle that last scheduled it), so skipping it
+	// changes nothing. When no register chains into another (the
+	// common case), the read and write loops fuse; otherwise the
+	// two-loop structure (read all, then write) preserves
+	// simultaneous-latch semantics within the subset.
+	evRegs := ev.tab.evRegs
+	if !ev.tab.regChain {
+		for _, i := range regs {
+			r := &evRegs[i]
+			nv := vals[r.nx] & r.mask
+			if vals[r.nd] != nv {
+				vals[r.nd] = nv
+				s.evMark(r.nd)
+				ev.srcDirty |= r.bit
+			}
+		}
+	} else {
+		latch := s.latch
+		for _, i := range regs {
+			r := &evRegs[i]
+			latch[i] = vals[r.nx] & r.mask
+		}
+		for _, i := range regs {
+			r := &evRegs[i]
+			if vals[r.nd] != latch[i] {
+				vals[r.nd] = latch[i]
+				s.evMark(r.nd)
+				ev.srcDirty |= r.bit
+			}
+		}
+	}
+	// Phase 4: activity accounting over this cycle's schedule only.
+	if s.countToggles {
+		s.evCountActivity()
+	}
+	s.cycles++
+	return done
+}
+
+// evCountActivity is the event engine's toggle accounting: instead of
+// sweeping every node it visits only the slots the cycle's schedule
+// could have written (plus registers and inputs marked by the
+// sequential phases). A slot outside the schedule cannot have changed.
+// Duplicate visits are harmless — the first syncs prev, the second
+// sees no difference.
+func (s *Sim) evCountActivity() {
+	ev := s.ev
+	if ev.fullScan {
+		// One interpreter-style full sweep to absorb changes that
+		// predate EnableActivity, then switch to incremental.
+		ev.fullScan = false
+		ev.changed = ev.changed[:0]
+		s.countActivity()
+		return
+	}
+	vals, prev, tg := s.vals, s.prev, s.toggles
+	code := s.prog.code
+	runs := ev.curRuns
+	for r := 0; r < len(runs); r += 2 {
+		for v := runs[r]; v < runs[r+1]; v++ {
+			in := &code[v]
+			if uv := vals[in.dst]; uv != prev[in.dst] {
+				tg[in.dst]++
+				prev[in.dst] = uv
+			}
+			if in.hasDst2() {
+				if uv := vals[in.dst2]; uv != prev[in.dst2] {
+					tg[in.dst2]++
+					prev[in.dst2] = uv
+				}
+			}
+		}
+	}
+	for _, v := range ev.changed {
+		if uv := vals[v]; uv != prev[v] {
+			tg[v]++
+			prev[v] = uv
+		}
+	}
+	ev.changed = ev.changed[:0]
+}

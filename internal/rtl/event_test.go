@@ -1,0 +1,193 @@
+package rtl_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/accel/stencil"
+	"repro/internal/rtl"
+	"repro/internal/testdesigns"
+)
+
+// TestEventElidesQuiescentWork proves the engine actually skips work:
+// on the Toy design — whose jobs are dominated by wait-state self-loops
+// — the event engine must perform well under half the combinational
+// evaluations a full sweep would.
+func TestEventElidesQuiescentWork(t *testing.T) {
+	toy := testdesigns.Toy()
+	items := make([]uint64, 50)
+	for i := range items {
+		items[i] = testdesigns.ToyItem(i%2 == 0, 100) // long waits
+	}
+	job := testdesigns.ToyJob(items)
+	p := rtl.Compile(toy.M)
+	es := p.NewEventSim()
+	if err := es.LoadMem("in", job); err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := es.Run(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := cycles * uint64(p.Instructions())
+	got := es.InstrEvals()
+	if got == 0 || got >= full/2 {
+		t.Fatalf("event engine evaluated %d of %d instruction slots (%.1f%%); want well under 50%%",
+			got, full, 100*float64(got)/float64(full))
+	}
+	t.Logf("event engine: %d/%d evals (%.1f%%) over %d cycles",
+		got, full, 100*float64(got)/float64(full), cycles)
+}
+
+// TestEventActivityEnabledMidRun checks the EnableActivity-after-Step
+// corner: the event engine's incremental toggle accounting must match
+// the interpreter's full-sweep semantics even when counting starts
+// against a stale baseline.
+func TestEventActivityEnabledMidRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	m, _ := testdesigns.HandFSM()
+	es, is := rtl.NewEventSim(m), rtl.NewInterpSim(m)
+	ins := inputsOf(m)
+	step := func() {
+		for _, id := range ins {
+			v := rng.Uint64()
+			es.SetInput(id, v)
+			is.SetInput(id, v)
+		}
+		es.Step()
+		is.Step()
+	}
+	for cycle := 0; cycle < 25; cycle++ {
+		step()
+	}
+	es.EnableActivity()
+	is.EnableActivity()
+	for cycle := 0; cycle < 50; cycle++ {
+		step()
+	}
+	et, it := es.Toggles(), is.Toggles()
+	for i := range et {
+		if et[i] != it[i] {
+			t.Fatalf("node %d: toggles %d (event) != %d (interp)", i, et[i], it[i])
+		}
+	}
+}
+
+// TestEventVCD checks the waveform path: RunWithVCD observes identical
+// values through Value() on the event engine and the interpreter.
+func TestEventMatchesOnRealAccelerator(t *testing.T) {
+	spec := stencil.Spec()
+	m := spec.Build()
+	es, is := rtl.NewEventSim(m), rtl.NewInterpSim(m)
+	es.EnableActivity()
+	is.EnableActivity()
+	job := spec.TestJobs(5)[0]
+	et, err := accel.RunJob(es, job, spec.MaxTicks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := accel.RunJob(is, job, spec.MaxTicks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if et != it {
+		t.Fatalf("ticks %d (event) != %d (interp)", et, it)
+	}
+	for id := 0; id < m.NumNodes(); id++ {
+		if ev, iv := es.Value(rtl.NodeID(id)), is.Value(rtl.NodeID(id)); ev != iv {
+			t.Fatalf("node %d: %#x (event) != %#x (interp)", id, ev, iv)
+		}
+	}
+	eg, ig := es.Toggles(), is.Toggles()
+	for i := range eg {
+		if eg[i] != ig[i] {
+			t.Fatalf("node %d: toggles %d (event) != %d (interp)", i, eg[i], ig[i])
+		}
+	}
+}
+
+// TestEngineSelection covers ParseEngine and the NewSimEngine /
+// SetDefaultEngine plumbing the CLI -engine flags rely on.
+func TestEngineSelection(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want rtl.Engine
+		ok   bool
+	}{
+		{"", rtl.EngineCompiled, true},
+		{"compiled", rtl.EngineCompiled, true},
+		{"event", rtl.EngineEvent, true},
+		{"interp", rtl.EngineInterp, true},
+		{"verilator", "", false},
+	} {
+		got, err := rtl.ParseEngine(tc.in)
+		if tc.ok != (err == nil) || got != tc.want {
+			t.Fatalf("ParseEngine(%q) = %q, %v; want %q, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+
+	toy := testdesigns.Toy()
+	for _, e := range []rtl.Engine{rtl.EngineCompiled, rtl.EngineEvent, rtl.EngineInterp} {
+		if got := rtl.NewSimEngine(toy.M, e).Engine(); got != e {
+			t.Fatalf("NewSimEngine(%s).Engine() = %s", e, got)
+		}
+	}
+
+	prev := rtl.DefaultEngine()
+	defer func() {
+		if err := rtl.SetDefaultEngine(prev); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if err := rtl.SetDefaultEngine(rtl.EngineEvent); err != nil {
+		t.Fatal(err)
+	}
+	if got := rtl.NewSim(toy.M).Engine(); got != rtl.EngineEvent {
+		t.Fatalf("NewSim under event default: engine %s", got)
+	}
+	if err := rtl.SetDefaultEngine("gatesim"); err == nil {
+		t.Fatal("SetDefaultEngine accepted an unknown engine")
+	}
+}
+
+// TestFingerprint checks the netlist content hash: stable across
+// rebuilds, insensitive to debug names, sensitive to semantic edits.
+func TestFingerprint(t *testing.T) {
+	spec := stencil.Spec()
+	a, b := spec.Build(), spec.Build()
+	fa, fb := rtl.Fingerprint(a), rtl.Fingerprint(b)
+	if fa != fb {
+		t.Fatalf("fingerprint not reproducible across builds:\n%s\n%s", fa, fb)
+	}
+	if len(fa) != 64 {
+		t.Fatalf("fingerprint length %d, want 64 hex chars", len(fa))
+	}
+
+	// Debug names must not affect the hash.
+	b.Nodes[0].Name = "renamed"
+	if rtl.Fingerprint(b) != fa {
+		t.Fatal("fingerprint depends on a debug name")
+	}
+
+	// Semantic edits must.
+	toy := testdesigns.Toy()
+	base := rtl.Fingerprint(toy.M)
+	mut := testdesigns.Toy()
+	for i := range mut.M.Nodes {
+		if mut.M.Nodes[i].Op == rtl.OpConst {
+			mut.M.Nodes[i].Const ^= 1
+			break
+		}
+	}
+	if rtl.Fingerprint(mut.M) == base {
+		t.Fatal("fingerprint insensitive to a constant change")
+	}
+	mut2 := testdesigns.Toy()
+	if len(mut2.M.Regs) > 0 {
+		mut2.M.Regs[0].Init ^= 1
+		if rtl.Fingerprint(mut2.M) == base {
+			t.Fatal("fingerprint insensitive to a register init change")
+		}
+	}
+}

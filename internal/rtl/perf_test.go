@@ -40,11 +40,18 @@ func benchToy(b *testing.B, s *rtl.Sim, nodes int) {
 // BenchmarkToySim measures the default (compiled) engine.
 func BenchmarkToySim(b *testing.B) {
 	toy := testdesigns.Toy()
-	benchToy(b, rtl.NewSim(toy.M), toy.M.NumNodes())
+	benchToy(b, rtl.NewSimEngine(toy.M, rtl.EngineCompiled), toy.M.NumNodes())
+}
+
+// BenchmarkToySimEvent measures the event-driven engine on the same
+// wait-heavy workload — the elision headroom of the paper's §3.
+func BenchmarkToySimEvent(b *testing.B) {
+	toy := testdesigns.Toy()
+	benchToy(b, rtl.NewEventSim(toy.M), toy.M.NumNodes())
 }
 
 // BenchmarkToySimInterp measures the interpreter escape hatch on the
-// same workload, so the compiled speedup is one benchstat away.
+// same workload, so each engine's speedup is one benchstat away.
 func BenchmarkToySimInterp(b *testing.B) {
 	toy := testdesigns.Toy()
 	benchToy(b, rtl.NewInterpSim(toy.M), toy.M.NumNodes())
@@ -53,15 +60,10 @@ func BenchmarkToySimInterp(b *testing.B) {
 // benchAccel runs one real accelerator job repeatedly on the given
 // engine. stencil is used because its netlist is datapath-heavy and
 // representative of the suite's per-cycle cost.
-func benchAccel(b *testing.B, interp bool) {
+func benchAccel(b *testing.B, engine rtl.Engine) {
 	spec := stencil.Spec()
 	m := spec.Build()
-	var s *rtl.Sim
-	if interp {
-		s = rtl.NewInterpSim(m)
-	} else {
-		s = rtl.NewSim(m)
-	}
+	s := rtl.NewSimEngine(m, engine)
 	job := spec.TestJobs(3)[0]
 	b.ResetTimer()
 	total := uint64(0)
@@ -79,7 +81,10 @@ func benchAccel(b *testing.B, interp bool) {
 
 // BenchmarkStencilSim measures the compiled engine on a real
 // accelerator netlist.
-func BenchmarkStencilSim(b *testing.B) { benchAccel(b, false) }
+func BenchmarkStencilSim(b *testing.B) { benchAccel(b, rtl.EngineCompiled) }
+
+// BenchmarkStencilSimEvent measures the event engine on the same job.
+func BenchmarkStencilSimEvent(b *testing.B) { benchAccel(b, rtl.EngineEvent) }
 
 // BenchmarkStencilSimInterp is the interpreter reference point.
-func BenchmarkStencilSimInterp(b *testing.B) { benchAccel(b, true) }
+func BenchmarkStencilSimInterp(b *testing.B) { benchAccel(b, rtl.EngineInterp) }

@@ -3,7 +3,74 @@ package rtl
 import (
 	"errors"
 	"fmt"
+	"os"
+	"sync/atomic"
 )
+
+// Engine names a simulation execution strategy. Three engines share
+// one cycle-accurate semantics (bit-exact values, cycle counts, toggle
+// counters, memory contents — enforced by differential tests):
+//
+//   - EngineCompiled executes the flat specialized instruction stream
+//     produced by Compile; the default, fastest for designs whose
+//     activity is dense.
+//   - EngineEvent is the levelized event-driven evaluator (event.go):
+//     it re-evaluates only the cone of values that changed, making
+//     wait-state cycles near-free; fastest for the control-dominated
+//     accelerators the paper targets.
+//   - EngineInterp walks the Node table directly; the reference
+//     implementation for differential testing.
+type Engine string
+
+const (
+	EngineCompiled Engine = "compiled"
+	EngineInterp   Engine = "interp"
+	EngineEvent    Engine = "event"
+)
+
+// ParseEngine validates an engine name ("" selects the compiled
+// default), for threading CLI flags through to NewSim.
+func ParseEngine(name string) (Engine, error) {
+	switch Engine(name) {
+	case "", EngineCompiled:
+		return EngineCompiled, nil
+	case EngineInterp, EngineEvent:
+		return Engine(name), nil
+	}
+	return "", fmt.Errorf("rtl: unknown engine %q (have compiled, event, interp)", name)
+}
+
+// defaultEngine holds the Engine NewSim selects; set by init from the
+// REPRO_ENGINE environment variable and overridden by SetDefaultEngine.
+var defaultEngine atomic.Value
+
+func init() {
+	e, err := ParseEngine(os.Getenv("REPRO_ENGINE"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtl: ignoring REPRO_ENGINE: %v\n", err)
+		e = EngineCompiled
+	}
+	defaultEngine.Store(e)
+}
+
+// SetDefaultEngine selects the engine NewSim (and therefore the whole
+// train/trace/experiment stack) uses. It is how cmd/dvfsim and
+// cmd/rtlsim thread their -engine flag through; the REPRO_ENGINE
+// environment variable provides the initial value. Safe to call
+// concurrently.
+func SetDefaultEngine(e Engine) error {
+	parsed, err := ParseEngine(string(e))
+	if err != nil {
+		return err
+	}
+	defaultEngine.Store(parsed)
+	return nil
+}
+
+// DefaultEngine returns the engine NewSim currently selects.
+func DefaultEngine() Engine {
+	return defaultEngine.Load().(Engine)
+}
 
 // Sim is a cycle-accurate simulator for a Module. By default it
 // executes a compiled Program (see Compile); NewInterpSim builds one
@@ -50,17 +117,34 @@ type Sim struct {
 	latch []uint64
 	// cycles counts the cycles executed since the last Reset.
 	cycles uint64
+	// ev holds the event engine's dynamic state; nil selects the
+	// compiled loop (prog != nil) or the interpreter (prog == nil).
+	ev *evState
 }
 
 // ErrNoProgress is returned by Run when the cycle limit is reached
 // before the module raises Done.
 var ErrNoProgress = errors.New("rtl: cycle limit reached before done")
 
-// NewSim prepares a simulator for the module, compiling it first. The
-// module must be valid (Builder.Build validates; hand-built modules
-// should call Validate) and must not be mutated while the Sim is live.
+// NewSim prepares a simulator for the module using the default engine
+// (see SetDefaultEngine), compiling it first when the engine calls for
+// it. The module must be valid (Builder.Build validates; hand-built
+// modules should call Validate) and must not be mutated while the Sim
+// is live.
 func NewSim(m *Module) *Sim {
-	return Compile(m).NewSim()
+	return NewSimEngine(m, DefaultEngine())
+}
+
+// NewSimEngine prepares a simulator with an explicit engine choice.
+func NewSimEngine(m *Module, e Engine) *Sim {
+	switch e {
+	case EngineInterp:
+		return NewInterpSim(m)
+	case EngineEvent:
+		return Compile(m).NewEventSim()
+	default:
+		return Compile(m).NewSim()
+	}
 }
 
 // NewSim instantiates a simulator executing this compiled program.
@@ -125,6 +209,9 @@ func (s *Sim) Clone() *Sim {
 	c := newSimState(s.m)
 	c.prog = s.prog
 	c.masks = s.masks
+	if s.ev != nil {
+		c.initEvent()
+	}
 	if s.countToggles {
 		c.EnableActivity()
 	}
@@ -132,11 +219,28 @@ func (s *Sim) Clone() *Sim {
 	return c
 }
 
+// Engine reports which execution engine this simulator uses.
+func (s *Sim) Engine() Engine {
+	switch {
+	case s.ev != nil:
+		return EngineEvent
+	case s.prog != nil:
+		return EngineCompiled
+	default:
+		return EngineInterp
+	}
+}
+
 // EnableActivity turns on per-node toggle counting for energy modeling.
 func (s *Sim) EnableActivity() {
 	s.countToggles = true
 	if s.toggles == nil {
 		s.toggles = make([]uint64, len(s.m.Nodes))
+	}
+	if s.ev != nil {
+		// Changes before this call were not tracked incrementally; one
+		// full sweep re-baselines, matching the interpreter.
+		s.ev.fullScan = true
 	}
 }
 
@@ -171,6 +275,9 @@ func (s *Sim) Reset() {
 	}
 	s.cycles = 0
 	copy(s.prev, s.vals)
+	if s.ev != nil {
+		s.evReset()
+	}
 }
 
 // SetInput drives an input port for subsequent cycles. The value is
@@ -180,7 +287,16 @@ func (s *Sim) SetInput(id NodeID, v uint64) {
 	if s.m.Nodes[id].Op != OpInput {
 		panic(fmt.Sprintf("rtl: SetInput on non-input node %d", id))
 	}
-	s.vals[id] = v & s.m.Nodes[id].Mask()
+	nv := v & s.m.Nodes[id].Mask()
+	if s.ev != nil {
+		if s.vals[id] != nv {
+			s.vals[id] = nv
+			s.evMark(int32(id))
+			s.evSeedSlot(int32(id))
+		}
+		return
+	}
+	s.vals[id] = nv
 }
 
 // memIndex returns the index of the named memory, or -1.
@@ -212,6 +328,9 @@ func (s *Sim) LoadMem(name string, data []uint64) error {
 	for i := len(data); i < mem.Words; i++ {
 		dst[i] = 0
 	}
+	if s.ev != nil {
+		s.evSeedMem(int32(idx))
+	}
 	return nil
 }
 
@@ -234,10 +353,36 @@ func (s *Sim) Cycles() uint64 { return s.cycles }
 
 // Step executes one cycle and reports whether Done was high.
 func (s *Sim) Step() bool {
+	if s.ev != nil {
+		return s.stepEvent()
+	}
 	if s.prog != nil {
 		return s.stepCompiled()
 	}
 	return s.stepInterp()
+}
+
+// InstrEvals returns the number of combinational evaluations performed
+// since Reset. For the compiled engine and the interpreter every
+// instruction (or combinational node) runs every cycle; the event
+// engine reports the work it actually did, so the ratio between the
+// two quantifies wait-state elision.
+func (s *Sim) InstrEvals() uint64 {
+	if s.ev != nil {
+		return s.ev.evals
+	}
+	if s.prog != nil {
+		return s.cycles * uint64(len(s.prog.code))
+	}
+	comb := 0
+	for i := range s.m.Nodes {
+		switch s.m.Nodes[i].Op {
+		case OpConst, OpInput, OpReg:
+		default:
+			comb++
+		}
+	}
+	return s.cycles * uint64(comb)
 }
 
 // stepInterp is the reference interpreter. Constants are preloaded and

@@ -9,14 +9,14 @@ import (
 	"repro/internal/slice"
 )
 
-// TestCompiledMatchesInterpreterOnSuite is the suite-wide differential
-// test: for every benchmark, the instrumented full design AND its
-// hardware slice are run on real jobs by both the compiled engine and
-// the interpreter, and every observable — ticks, every node value,
-// every toggle counter, every memory word — must agree bit-exactly.
-// The toggle counters feed the energy model, so their equivalence is
-// what licenses making the compiled engine the default.
-func TestCompiledMatchesInterpreterOnSuite(t *testing.T) {
+// TestEnginesMatchOnSuite is the suite-wide differential test: for
+// every benchmark, the instrumented full design AND its hardware slice
+// are run on real jobs by all three engines — interpreter (reference),
+// compiled, and event-driven — and every observable (ticks, every node
+// value, every toggle counter, every memory word) must agree
+// bit-exactly. The toggle counters feed the energy model, so their
+// equivalence is what licenses making the faster engines the default.
+func TestEnginesMatchOnSuite(t *testing.T) {
 	for _, spec := range All() {
 		spec := spec
 		t.Run(spec.Name, func(t *testing.T) {
@@ -35,41 +35,54 @@ func TestCompiledMatchesInterpreterOnSuite(t *testing.T) {
 			}
 			jobs := spec.TestJobs(23)[:2]
 			for _, mod := range []*rtl.Module{ins.M, sl.M} {
-				compiled := rtl.NewSim(mod)
-				interp := rtl.NewInterpSim(mod)
-				compiled.EnableActivity()
-				interp.EnableActivity()
+				p := rtl.Compile(mod)
+				ref := rtl.NewInterpSim(mod)
+				others := []struct {
+					name string
+					s    *rtl.Sim
+				}{
+					{"compiled", p.NewSim()},
+					{"event", p.NewEventSim()},
+				}
+				ref.EnableActivity()
+				for _, o := range others {
+					o.s.EnableActivity()
+				}
 				for ji, job := range jobs {
-					ct, err := accel.RunJob(compiled, job, spec.MaxTicks)
+					rt, err := accel.RunJob(ref, job, spec.MaxTicks)
 					if err != nil {
 						t.Fatal(err)
 					}
-					it, err := accel.RunJob(interp, job, spec.MaxTicks)
-					if err != nil {
-						t.Fatal(err)
-					}
-					if ct != it {
-						t.Fatalf("%s job %d: ticks %d (compiled) != %d (interp)", mod.Name, ji, ct, it)
-					}
-					for id := 0; id < mod.NumNodes(); id++ {
-						if cv, iv := compiled.Value(rtl.NodeID(id)), interp.Value(rtl.NodeID(id)); cv != iv {
-							t.Fatalf("%s job %d node %d (%s): %#x (compiled) != %#x (interp)",
-								mod.Name, ji, id, mod.Nodes[id].Op, cv, iv)
+					rg := ref.Toggles()
+					for _, o := range others {
+						ot, err := accel.RunJob(o.s, job, spec.MaxTicks)
+						if err != nil {
+							t.Fatal(err)
 						}
-					}
-					cg, ig := compiled.Toggles(), interp.Toggles()
-					for id := range cg {
-						if cg[id] != ig[id] {
-							t.Fatalf("%s job %d node %d: toggles %d (compiled) != %d (interp)",
-								mod.Name, ji, id, cg[id], ig[id])
+						if ot != rt {
+							t.Fatalf("%s job %d: ticks %d (%s) != %d (interp)",
+								mod.Name, ji, ot, o.name, rt)
 						}
-					}
-					for _, mem := range mod.Mems {
-						cm, im := compiled.Mem(mem.Name), interp.Mem(mem.Name)
-						for a := range cm {
-							if cm[a] != im[a] {
-								t.Fatalf("%s job %d mem %s[%d]: %#x (compiled) != %#x (interp)",
-									mod.Name, ji, mem.Name, a, cm[a], im[a])
+						for id := 0; id < mod.NumNodes(); id++ {
+							if ov, rv := o.s.Value(rtl.NodeID(id)), ref.Value(rtl.NodeID(id)); ov != rv {
+								t.Fatalf("%s job %d node %d (%s): %#x (%s) != %#x (interp)",
+									mod.Name, ji, id, mod.Nodes[id].Op, ov, o.name, rv)
+							}
+						}
+						og := o.s.Toggles()
+						for id := range og {
+							if og[id] != rg[id] {
+								t.Fatalf("%s job %d node %d: toggles %d (%s) != %d (interp)",
+									mod.Name, ji, id, og[id], o.name, rg[id])
+							}
+						}
+						for _, mem := range mod.Mems {
+							om, rm := o.s.Mem(mem.Name), ref.Mem(mem.Name)
+							for a := range om {
+								if om[a] != rm[a] {
+									t.Fatalf("%s job %d mem %s[%d]: %#x (%s) != %#x (interp)",
+										mod.Name, ji, mem.Name, a, om[a], o.name, rm[a])
+								}
 							}
 						}
 					}

@@ -1,0 +1,216 @@
+// Package tracecache implements a persistent, content-addressed store
+// for simulation artifacts (training matrices, job traces).
+//
+// RTL simulation dominates the pipeline's wall clock, yet its outputs
+// are pure functions of (netlist fingerprint, workload bytes, spec
+// constants). The cache exploits that: callers derive a key by hashing
+// exactly the inputs that determine the artifact, and the store
+// round-trips the artifact through JSON on disk. Because keys are
+// content hashes, invalidation is automatic — change the netlist, the
+// instrumentation, the model, or the workload and the key changes, so
+// stale entries are simply never read again.
+//
+// The store is deliberately forgiving: any corruption, version skew, or
+// I/O problem on read is a silent miss (the caller re-simulates and
+// overwrites), never an error. Writes go through a temp file and an
+// atomic rename, so concurrent readers in other processes see either
+// the old complete entry or the new complete entry, never a torn one.
+package tracecache
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// Version is the on-disk format version. Entries live under a
+// version-named subdirectory AND carry the version in their header, so
+// a format bump orphans old entries (silent misses) instead of
+// misparsing them.
+const Version = 1
+
+// magic is the first token of every entry's header line.
+const magic = "tracecache"
+
+// Stats is a snapshot of cache activity counters.
+type Stats struct {
+	// Hits counts Gets that returned a stored artifact.
+	Hits uint64
+	// Misses counts Gets that found nothing usable (including entries
+	// rejected for corruption or version skew).
+	Misses uint64
+	// Puts counts successful writes.
+	Puts uint64
+	// Errors counts entries rejected as corrupt or unreadable, plus
+	// failed writes. Errors are never surfaced to Get callers.
+	Errors uint64
+}
+
+// Cache is a handle to one on-disk store. Methods are safe for
+// concurrent use from multiple goroutines; multiple processes may
+// share one directory.
+type Cache struct {
+	dir string // version-qualified entry directory
+
+	hits, misses, puts, errs atomic.Uint64
+}
+
+// Open creates (if needed) and opens the store rooted at dir. Entries
+// go under dir/v<Version>/.
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("tracecache: empty directory")
+	}
+	vdir := filepath.Join(dir, fmt.Sprintf("v%d", Version))
+	if err := os.MkdirAll(vdir, 0o755); err != nil {
+		return nil, fmt.Errorf("tracecache: %w", err)
+	}
+	return &Cache{dir: vdir}, nil
+}
+
+// Dir returns the version-qualified directory entries are stored in.
+func (c *Cache) Dir() string { return c.dir }
+
+// sanitize maps a key to the token used both as the file name and in
+// the entry header. Keys produced by internal/core are 64-char hex
+// digests and pass through; anything else is re-hashed so arbitrary
+// keys can never escape the directory, collide with hex keys, or break
+// the whitespace-delimited header.
+func sanitize(key string) string {
+	if !safeKey(key) {
+		sum := sha256.Sum256([]byte(key))
+		return hex.EncodeToString(sum[:])
+	}
+	return key
+}
+
+func (c *Cache) entryPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+func safeKey(key string) bool {
+	if len(key) == 0 || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		b := key[i]
+		if (b < 'a' || b > 'z') && (b < '0' || b > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// Get looks up key and, on a hit, unmarshals the stored payload into
+// out (which must be a pointer). It reports whether out was populated.
+// A missing, corrupt, truncated, or version-skewed entry is a miss.
+func (c *Cache) Get(key string, out any) bool {
+	key = sanitize(key)
+	raw, err := os.ReadFile(c.entryPath(key))
+	if err != nil {
+		c.misses.Add(1)
+		return false
+	}
+	payload, ok := c.decode(key, raw)
+	if !ok {
+		c.misses.Add(1)
+		return false
+	}
+	if err := json.Unmarshal(payload, out); err != nil {
+		c.errs.Add(1)
+		c.misses.Add(1)
+		return false
+	}
+	c.hits.Add(1)
+	return true
+}
+
+// decode validates the header line ("tracecache v<N> <key> <sha256>")
+// and the payload checksum, returning the payload bytes.
+func (c *Cache) decode(key string, raw []byte) ([]byte, bool) {
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		c.errs.Add(1)
+		return nil, false
+	}
+	var gotMagic string
+	var gotVer int
+	var gotKey, gotSum string
+	n, err := fmt.Sscanf(string(raw[:nl]), "%s v%d %s %s", &gotMagic, &gotVer, &gotKey, &gotSum)
+	if err != nil || n != 4 || gotMagic != magic {
+		c.errs.Add(1)
+		return nil, false
+	}
+	if gotVer != Version || gotKey != key {
+		// Version skew or a key collision after sanitization: not
+		// corruption, just unusable.
+		return nil, false
+	}
+	payload := raw[nl+1:]
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != gotSum {
+		c.errs.Add(1)
+		return nil, false
+	}
+	return payload, true
+}
+
+// Put stores v under key, replacing any previous entry. The write is
+// atomic (temp file + rename), so concurrent readers never observe a
+// partial entry. Errors are returned for the caller to log or ignore;
+// the cache stays usable either way.
+func (c *Cache) Put(key string, v any) error {
+	key = sanitize(key)
+	payload, err := json.Marshal(v)
+	if err != nil {
+		c.errs.Add(1)
+		return fmt.Errorf("tracecache: marshal %s: %w", key, err)
+	}
+	sum := sha256.Sum256(payload)
+	path := c.entryPath(key)
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		c.errs.Add(1)
+		return fmt.Errorf("tracecache: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	w := bufio.NewWriter(tmp)
+	fmt.Fprintf(w, "%s v%d %s %s\n", magic, Version, key, hex.EncodeToString(sum[:]))
+	w.Write(payload)
+	if err := w.Flush(); err == nil {
+		err = tmp.Close()
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		c.errs.Add(1)
+		return fmt.Errorf("tracecache: write %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		c.errs.Add(1)
+		return fmt.Errorf("tracecache: commit %s: %w", key, err)
+	}
+	c.puts.Add(1)
+	return nil
+}
+
+// Stats returns a snapshot of the activity counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Puts:   c.puts.Load(),
+		Errors: c.errs.Load(),
+	}
+}
+
+// String renders the stats snapshot for log lines.
+func (s Stats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d puts=%d errors=%d", s.Hits, s.Misses, s.Puts, s.Errors)
+}

@@ -1,0 +1,214 @@
+package tracecache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type artifact struct {
+	X [][]float64
+	Y []float64
+	S string
+}
+
+func key(i int) string {
+	return fmt.Sprintf("%064x", i)
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := artifact{X: [][]float64{{1, 2.5}, {3e-9, 4}}, Y: []float64{0.125, 7}, S: "md"}
+	var out artifact
+	if c.Get(key(1), &out) {
+		t.Fatal("hit on an empty cache")
+	}
+	if err := c.Put(key(1), in); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Get(key(1), &out) {
+		t.Fatal("miss immediately after Put")
+	}
+	if out.S != in.S || len(out.X) != 2 || out.X[0][1] != 2.5 || out.X[1][0] != 3e-9 || out.Y[0] != 0.125 {
+		t.Fatalf("round-trip mangled the artifact: %+v", out)
+	}
+	if c.Get(key(2), &out) {
+		t.Fatal("hit on a key never stored")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Puts != 1 || st.Errors != 0 {
+		t.Fatalf("stats %+v, want 1 hit / 2 misses / 1 put / 0 errors", st)
+	}
+}
+
+func TestReopenPersists(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Put(key(3), artifact{S: "persisted"}); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out artifact
+	if !c2.Get(key(3), &out) || out.S != "persisted" {
+		t.Fatalf("entry did not survive reopen: %+v", out)
+	}
+}
+
+// TestCorruptionIsSilentMiss flips bytes at several positions and in
+// several ways; every flavor of damage must read as a miss, never a
+// panic or a wrong artifact.
+func TestCorruptionIsSilentMiss(t *testing.T) {
+	corruptions := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"truncated-empty", func(b []byte) []byte { return nil }},
+		{"truncated-header", func(b []byte) []byte { return b[:5] }},
+		{"truncated-payload", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"flipped-payload-byte", func(b []byte) []byte { b[len(b)-2] ^= 0x40; return b }},
+		{"flipped-checksum", func(b []byte) []byte { b[20] ^= 1; return b }},
+		{"not-an-entry", func(b []byte) []byte { return []byte("hello world\nnot json") }},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Put(key(4), artifact{S: "good"}); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(c.Dir(), key(4)+".json")
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mut(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var out artifact
+			if c.Get(key(4), &out) {
+				t.Fatal("corrupt entry produced a hit")
+			}
+			if st := c.Stats(); st.Misses != 1 {
+				t.Fatalf("stats %+v, want exactly 1 miss", st)
+			}
+		})
+	}
+}
+
+// TestVersionSkew simulates an entry written by a future (or past)
+// format version: the header version is edited in place, which must
+// read as a clean miss without counting as corruption.
+func TestVersionSkew(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key(5), artifact{S: "skewed"}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(c.Dir(), key(5)+".json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed := strings.Replace(string(raw), fmt.Sprintf(" v%d ", Version), fmt.Sprintf(" v%d ", Version+1), 1)
+	if skewed == string(raw) {
+		t.Fatal("test failed to edit the version header")
+	}
+	if err := os.WriteFile(path, []byte(skewed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out artifact
+	if c.Get(key(5), &out) {
+		t.Fatal("version-skewed entry produced a hit")
+	}
+	if st := c.Stats(); st.Errors != 0 {
+		t.Fatalf("version skew counted as corruption: %+v", st)
+	}
+}
+
+// TestKeySanitization: hostile keys must stay inside the directory and
+// must not alias each other or any hex key.
+func TestKeySanitization(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	odd := []string{"../../etc/passwd", "a/b", "", strings.Repeat("z", 500), "UPPER"}
+	for i, k := range odd {
+		if err := c.Put(k, artifact{S: fmt.Sprintf("odd-%d", i)}); err != nil {
+			t.Fatalf("Put(%q): %v", k, err)
+		}
+	}
+	for i, k := range odd {
+		var out artifact
+		if !c.Get(k, &out) || out.S != fmt.Sprintf("odd-%d", i) {
+			t.Fatalf("Get(%q) = %+v", k, out)
+		}
+	}
+	entries, err := os.ReadDir(c.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(odd) {
+		t.Fatalf("%d entries for %d distinct keys", len(entries), len(odd))
+	}
+	// Nothing may have escaped the version directory's parent.
+	parent := filepath.Dir(c.Dir())
+	top, err := os.ReadDir(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 {
+		t.Fatalf("store root has %d entries, want only the version dir", len(top))
+	}
+}
+
+// TestConcurrentAccess hammers one cache from many goroutines with
+// mixed Get/Put on overlapping keys; run under -race in CI.
+func TestConcurrentAccess(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, rounds, keys = 8, 40, 5
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := key((w + r) % keys)
+				want := artifact{S: "shared", Y: []float64{float64((w + r) % keys)}}
+				if err := c.Put(k, want); err != nil {
+					t.Error(err)
+					return
+				}
+				var out artifact
+				if c.Get(k, &out) && out.S != "shared" {
+					t.Errorf("torn read: %+v", out)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Errors != 0 || st.Puts != workers*rounds {
+		t.Fatalf("stats after concurrent hammer: %+v", st)
+	}
+}
