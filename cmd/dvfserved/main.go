@@ -1,0 +1,138 @@
+// Command dvfserved runs the online DVFS serving layer: it trains the
+// paper's predictor for each requested benchmark, builds one serving
+// shard per accelerator (bounded queue, slice-driven frequency
+// governor, deadline tracking, graceful max-frequency degradation),
+// and exposes an HTTP JSON API plus a metrics endpoint.
+//
+// Usage:
+//
+//	dvfserved [-addr :8437] [-seed N] [-quick] [-benchmarks h264,aes]
+//	          [-queue N] [-degrade-wait-ms F] [-boost] [-deadline-ms F]
+//	          [-workers N] [-engine E] [-cachedir DIR]
+//
+// Endpoints:
+//
+//	GET  /healthz        liveness probe
+//	GET  /v1/benchmarks  served accelerators
+//	GET  /v1/stats       per-shard stats (JSON)
+//	POST /v1/jobs        submit a generated job stream
+//	POST /v1/drain       block until queues drain
+//	GET  /metrics        counters and histograms (text exposition)
+//
+// Example session:
+//
+//	dvfserved -quick -benchmarks aes &
+//	curl -s localhost:8437/v1/benchmarks
+//	curl -s -X POST localhost:8437/v1/jobs \
+//	     -d '{"bench":"aes","count":32,"seed":7}'
+//	curl -s -X POST localhost:8437/v1/drain
+//	curl -s localhost:8437/v1/stats
+//	curl -s localhost:8437/metrics | grep deadline_misses
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/exp"
+	"repro/internal/rtl"
+	"repro/internal/serve"
+	"repro/internal/suite"
+	"repro/internal/tracecache"
+)
+
+func main() {
+	addr := flag.String("addr", ":8437", "HTTP listen address")
+	seed := flag.Int64("seed", 42, "workload/training seed")
+	quick := flag.Bool("quick", false, "trim training workloads for a fast start")
+	benches := flag.String("benchmarks", "", "comma-separated benchmarks to serve (default: all)")
+	queueDepth := flag.Int("queue", serve.DefaultQueueDepth, "per-shard admission queue depth")
+	degradeMs := flag.Float64("degrade-wait-ms", 0, "queue wait (ms) beyond which jobs run at max frequency without prediction (0 = half the deadline, <0 disables)")
+	boost := flag.Bool("boost", false, "allow the 1.08 V emergency boost level")
+	deadlineMs := flag.Float64("deadline-ms", exp.Deadline*1e3, "per-job deadline in milliseconds")
+	workers := flag.Int("workers", 0, "parallel training workers (0 = GOMAXPROCS)")
+	engine := flag.String("engine", "", "RTL engine: compiled, event, or interp")
+	cacheDir := flag.String("cachedir", os.Getenv("REPRO_CACHE_DIR"),
+		"persistent trace cache directory (default: $REPRO_CACHE_DIR; empty disables)")
+	flag.Parse()
+
+	core.SetWorkers(*workers)
+	if *engine != "" {
+		e, err := rtl.ParseEngine(*engine)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvfserved: %v\n", err)
+			os.Exit(2)
+		}
+		rtl.SetDefaultEngine(e)
+	}
+	if *cacheDir != "" {
+		cache, err := tracecache.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvfserved: %v\n", err)
+			os.Exit(1)
+		}
+		core.SetTraceCache(cache)
+	}
+
+	names := suite.Names()
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+
+	lab := exp.NewLab(*seed)
+	lab.Quick = *quick
+	srv := serve.NewServer()
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		entry, err := lab.Entry(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvfserved: train %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		_, err = srv.AddShard(serve.ShardConfig{
+			Name:        name,
+			Pred:        entry.Pred,
+			Device:      dvfs.ASIC(entry.Pred.Spec.NominalHz, *boost),
+			Power:       entry.Power,
+			SlicePower:  entry.SlicePower,
+			Deadline:    *deadlineMs * 1e-3,
+			Margin:      exp.PredictiveMargin,
+			AllowBoost:  *boost,
+			QueueDepth:  *queueDepth,
+			DegradeWait: *degradeMs * 1e-3,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvfserved: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("dvfserved: shard %s ready (%s)\n", name, entry.Pred.Spec.Description)
+	}
+
+	api := serve.NewAPI(srv, func(bench string, n int, jobSeed int64) ([]accel.Job, error) {
+		spec, err := suite.ByName(bench)
+		if err != nil {
+			return nil, err
+		}
+		pool := spec.TestJobs(jobSeed)
+		if len(pool) == 0 {
+			return nil, fmt.Errorf("no jobs for %s", bench)
+		}
+		jobs := make([]accel.Job, n)
+		for i := range jobs {
+			jobs[i] = pool[i%len(pool)]
+		}
+		return jobs, nil
+	})
+
+	fmt.Printf("dvfserved: listening on %s, serving %v\n", *addr, srv.Names())
+	if err := http.ListenAndServe(*addr, api.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "dvfserved: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -217,14 +217,83 @@ type JobTrace struct {
 	Class string
 }
 
+// JobSimulator owns private simulator clones and turns individual jobs
+// into JobTraces — the per-job, online analogue of CollectTraces. A
+// JobSimulator is NOT safe for concurrent use; each goroutine (worker,
+// serving shard) creates its own, which is cheap because the compiled
+// programs and ROM images are shared read-only through Clone.
+type JobSimulator struct {
+	p           *Predictor
+	full, slice *rtl.Sim
+}
+
+// NewJobSimulator returns a simulator bound to this predictor with
+// private clones of the instrumented design and the slice.
+func (p *Predictor) NewJobSimulator() *JobSimulator {
+	return &JobSimulator{p: p, full: p.fullSim.Clone(), slice: p.sliceSim.Clone()}
+}
+
+// Trace runs one job on both the instrumented full design and the
+// hardware slice, returning its complete trace (ground-truth cycles
+// plus the slice-driven prediction).
+func (js *JobSimulator) Trace(job accel.Job) (JobTrace, error) {
+	simJobs.Add(2) // the full design and the slice each run once
+	p := js.p
+	ticks, err := accel.RunJob(js.full, job, p.Spec.MaxTicks)
+	if err != nil {
+		return JobTrace{}, fmt.Errorf("core: %s job: %w", p.Spec.Name, err)
+	}
+	sliceTicks, err := accel.RunJob(js.slice, job, p.Spec.MaxTicks)
+	if err != nil {
+		return JobTrace{}, fmt.Errorf("core: %s slice job: %w", p.Spec.Name, err)
+	}
+	sliceFeats := p.Slice.ReadFeatures(js.slice)
+	fullFeats := p.Ins.ReadFeatures(js.full)
+	var items float64
+	for fi, f := range p.Ins.Features {
+		if f.Kind == instrument.IC && fullFeats[fi] > items {
+			items = fullFeats[fi]
+		}
+	}
+	return JobTrace{
+		Items:         items,
+		Ticks:         ticks,
+		Seconds:       p.Spec.Seconds(ticks),
+		Cycles:        p.Spec.Cycles(ticks),
+		PredSeconds:   p.PredFromSliceOrFloor(sliceFeats),
+		SliceTicks:    sliceTicks,
+		SliceSeconds:  p.Spec.Seconds(sliceTicks),
+		SliceFeatures: sliceFeats,
+		Class:         job.Class,
+	}, nil
+}
+
+// Execute runs one job on the full design only, skipping the slice and
+// the prediction — the serving layer's degraded path, where the job
+// runs at maximum frequency and the predictor is bypassed entirely.
+// Prediction fields are zero.
+func (js *JobSimulator) Execute(job accel.Job) (JobTrace, error) {
+	simJobs.Add(1)
+	p := js.p
+	ticks, err := accel.RunJob(js.full, job, p.Spec.MaxTicks)
+	if err != nil {
+		return JobTrace{}, fmt.Errorf("core: %s job: %w", p.Spec.Name, err)
+	}
+	return JobTrace{
+		Ticks:   ticks,
+		Seconds: p.Spec.Seconds(ticks),
+		Cycles:  p.Spec.Cycles(ticks),
+		Class:   job.Class,
+	}, nil
+}
+
 // CollectTraces runs each job on both the instrumented design and the
 // slice, returning per-job traces. When a persistent cache is
 // installed (SetTraceCache) the whole trace set is served from disk if
 // the netlists, model, spec constants, and workload bytes all match a
 // previous run. On a miss, jobs fan out across worker goroutines (see
-// SetWorkers), each with private clones of the full and slice
-// simulators; trace slots are index-addressed, so the result is
-// byte-identical to a serial run.
+// SetWorkers), each with a private JobSimulator; trace slots are
+// index-addressed, so the result is byte-identical to a serial run.
 func (p *Predictor) CollectTraces(jobs []accel.Job) ([]JobTrace, error) {
 	var cacheKey string
 	if c := TraceCache(); c != nil {
@@ -234,40 +303,15 @@ func (p *Predictor) CollectTraces(jobs []accel.Job) ([]JobTrace, error) {
 			return cached, nil
 		}
 	}
-	simJobs.Add(2 * uint64(len(jobs))) // each job runs the full design and the slice
-	type simPair struct{ full, slice *rtl.Sim }
 	traces := make([]JobTrace, len(jobs))
 	err := runParallel(len(jobs),
-		func() simPair { return simPair{p.fullSim.Clone(), p.sliceSim.Clone()} },
-		func(sp simPair, i int) error {
-			job := jobs[i]
-			ticks, err := accel.RunJob(sp.full, job, p.Spec.MaxTicks)
+		p.NewJobSimulator,
+		func(js *JobSimulator, i int) error {
+			tr, err := js.Trace(jobs[i])
 			if err != nil {
-				return fmt.Errorf("core: %s job %d: %w", p.Spec.Name, i, err)
+				return fmt.Errorf("core: job %d: %w", i, err)
 			}
-			sliceTicks, err := accel.RunJob(sp.slice, job, p.Spec.MaxTicks)
-			if err != nil {
-				return fmt.Errorf("core: %s slice job %d: %w", p.Spec.Name, i, err)
-			}
-			sliceFeats := p.Slice.ReadFeatures(sp.slice)
-			fullFeats := p.Ins.ReadFeatures(sp.full)
-			var items float64
-			for fi, f := range p.Ins.Features {
-				if f.Kind == instrument.IC && fullFeats[fi] > items {
-					items = fullFeats[fi]
-				}
-			}
-			traces[i] = JobTrace{
-				Items:         items,
-				Ticks:         ticks,
-				Seconds:       p.Spec.Seconds(ticks),
-				Cycles:        p.Spec.Cycles(ticks),
-				PredSeconds:   p.PredFromSliceOrFloor(sliceFeats),
-				SliceTicks:    sliceTicks,
-				SliceSeconds:  p.Spec.Seconds(sliceTicks),
-				SliceFeatures: sliceFeats,
-				Class:         job.Class,
-			}
+			traces[i] = tr
 			return nil
 		})
 	if err != nil {

@@ -1,12 +1,68 @@
 package core
 
 import (
+	"fmt"
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 
 	"repro/internal/accel/md"
 )
+
+// TestWorkersDefaulting pins the SetWorkers contract: positive counts
+// are taken literally, zero and negative restore the GOMAXPROCS
+// default.
+func TestWorkersDefaulting(t *testing.T) {
+	defer SetWorkers(0)
+	gomax := runtime.GOMAXPROCS(0)
+	for _, tc := range []struct {
+		set  int
+		want int
+	}{
+		{1, 1},
+		{3, 3},
+		{7, 7},
+		{0, gomax},
+		{-1, gomax},
+		{-100, gomax},
+	} {
+		SetWorkers(tc.set)
+		if got := Workers(); got != tc.want {
+			t.Errorf("SetWorkers(%d): Workers() = %d, want %d", tc.set, got, tc.want)
+		}
+	}
+}
+
+// TestRunParallelErrorOrder pins the documented error contract: with
+// several jobs failing, the error for the lowest job index is the one
+// reported, regardless of scheduling — and n=0 is a no-op that never
+// invokes newState.
+func TestRunParallelErrorOrder(t *testing.T) {
+	defer SetWorkers(0)
+	for _, workers := range []int{1, 4} {
+		SetWorkers(workers)
+		err := runParallel(16, func() int { return 0 }, func(_ int, i int) error {
+			if i == 2 || i == 5 || i == 11 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 2 failed" {
+			t.Errorf("workers=%d: err = %v, want the index-2 error", workers, err)
+		}
+	}
+	called := false
+	if err := runParallel(0, func() int { called = true; return 0 }, func(int, int) error {
+		t.Fatal("run invoked with n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("newState invoked with n=0")
+	}
+}
 
 // trainedMD caches one trained predictor for the parallelism tests and
 // benchmarks (training itself is exercised elsewhere).

@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// TestRunAllGolden locks the rendered output of every experiment
+// against checked-in golden files. The quick-mode lab at seed 42 is
+// fully deterministic, so any diff is a real behavior change: either a
+// bug, or an intentional change that should be reviewed in the golden
+// diff and then regenerated with
+//
+//	go test ./internal/exp -run TestRunAllGolden -update
+func TestRunAllGolden(t *testing.T) {
+	l := quickLab(t)
+	tables, err := RunAll(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(ExperimentIDs) {
+		t.Fatalf("RunAll returned %d tables, want %d", len(tables), len(ExperimentIDs))
+	}
+	for i, tab := range tables {
+		if tab.ID != ExperimentIDs[i] {
+			t.Fatalf("table %d is %q, want %q (paper order)", i, tab.ID, ExperimentIDs[i])
+		}
+		t.Run(tab.ID, func(t *testing.T) {
+			got := tab.Render()
+			path := filepath.Join("testdata", "golden", tab.ID+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden missing (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("rendered table diverged from %s:\n%s", path, lineDiff(string(want), got))
+			}
+		})
+	}
+}
+
+// lineDiff reports the first few differing lines, enough to read the
+// failure without a diff tool.
+func lineDiff(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	var sb strings.Builder
+	shown := 0
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w == g {
+			continue
+		}
+		fmt.Fprintf(&sb, "line %d:\n  want: %s\n  got:  %s\n", i+1, w, g)
+		if shown++; shown >= 5 {
+			fmt.Fprintf(&sb, "(further diffs elided)\n")
+			break
+		}
+	}
+	return sb.String()
+}

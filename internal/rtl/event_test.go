@@ -119,7 +119,15 @@ func TestEngineSelection(t *testing.T) {
 		{"compiled", rtl.EngineCompiled, true},
 		{"event", rtl.EngineEvent, true},
 		{"interp", rtl.EngineInterp, true},
+		// Bad names: unknown engines, wrong case, stray whitespace — the
+		// flag value is taken verbatim, never normalized.
 		{"verilator", "", false},
+		{"COMPILED", "", false},
+		{"Interp", "", false},
+		{" compiled", "", false},
+		{"compiled ", "", false},
+		{"event,interp", "", false},
+		{"gate-level", "", false},
 	} {
 		got, err := rtl.ParseEngine(tc.in)
 		if tc.ok != (err == nil) || got != tc.want {

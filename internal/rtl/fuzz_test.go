@@ -1,0 +1,144 @@
+package rtl_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rtl"
+)
+
+// byteFeed deterministically consumes fuzz input bytes, yielding zeros
+// once exhausted so every byte string maps to exactly one netlist.
+type byteFeed struct {
+	data []byte
+	i    int
+}
+
+func (f *byteFeed) next() byte {
+	if f.i >= len(f.data) {
+		return 0
+	}
+	b := f.data[f.i]
+	f.i++
+	return b
+}
+
+func (f *byteFeed) u64() uint64 {
+	var v uint64
+	for k := 0; k < 8; k++ {
+		v = v<<8 | uint64(f.next())
+	}
+	return v
+}
+
+// fuzzModule interprets fuzz bytes as a small netlist over the full op
+// set: a memory with a cycling read/write port, an input, a chain of
+// byte-selected operations, byte-initialised registers, and a counter
+// driving done. Construction goes through the Builder, so any byte
+// string yields a valid module — the fuzzer explores netlist shapes,
+// not builder misuse.
+func fuzzModule(f *byteFeed) *rtl.Module {
+	b := rtl.NewBuilder("fz")
+	mem := b.Memory("m", 8)
+	var pool []rtl.Signal
+	in := b.Input("i0", 1+f.next()%48)
+	pool = append(pool, in)
+	addr := b.Reg("addr", 3, 0)
+	b.SetNext(addr, addr.Inc())
+	pool = append(pool, b.Read(mem, addr.Signal, 1+f.next()%40))
+	pool = append(pool, b.Const(f.u64()>>(1+f.next()%48), 1+f.next()%32))
+	pick := func() rtl.Signal { return pool[int(f.next())%len(pool)] }
+	nops := 4 + int(f.next()%28)
+	for i := 0; i < nops; i++ {
+		a, c := pick(), pick()
+		var s rtl.Signal
+		switch f.next() % 13 {
+		case 0:
+			s = a.Add(c)
+		case 1:
+			s = a.Sub(c)
+		case 2:
+			s = a.Mul(c, 1+f.next()%48)
+		case 3:
+			s = a.And(c)
+		case 4:
+			s = a.Or(c)
+		case 5:
+			s = a.Xor(c)
+		case 6:
+			s = a.Not()
+		case 7:
+			s = a.Shl(c.Trunc(5))
+		case 8:
+			s = a.Shr(c.Trunc(5))
+		case 9:
+			s = a.Eq(c)
+		case 10:
+			s = a.Lt(c)
+		case 11:
+			s = a.Le(c)
+		default:
+			s = pick().NonZero().Mux(a, c)
+		}
+		pool = append(pool, s)
+	}
+	for i := 0; i < 3; i++ {
+		v := pick()
+		r := b.Reg(fmt.Sprintf("r%d", i), v.Width(), uint64(f.next())&rtl.WidthMask(v.Width()))
+		b.SetNext(r, v)
+	}
+	b.Write(mem, addr.Signal, pick().WidenTo(16).Trunc(16), addr.Signal.Bits(0, 1))
+	cnt := b.Reg("cnt", 6, 0)
+	b.SetNext(cnt, cnt.Inc())
+	b.SetDone(cnt.EqK(uint64(8 + f.next()%24)))
+	return b.MustBuild()
+}
+
+// FuzzEngineDifferential is the coverage-guided version of
+// TestEnginesMatchOnRandomNetlists: fuzz bytes pick the netlist shape
+// and the stimulus, and the compiled and event engines must stay
+// bit-exact with the interpreter on every node value, cycle count,
+// toggle counter, and memory word.
+func FuzzEngineDifferential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add([]byte("differential-seed-with-mixed-ops-and-some-longer-tail-bytes"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			t.Skip("bound netlist construction cost")
+		}
+		fd := &byteFeed{data: data}
+		m := fuzzModule(fd)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("builder produced invalid module: %v", err)
+		}
+		sims := engineSims(m)
+		load := make([]uint64, m.Mems[0].Words)
+		for i := range load {
+			load[i] = fd.u64()
+		}
+		for _, e := range sims {
+			e.s.EnableActivity()
+			if err := e.s.LoadMem("m", load); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ins := inputsOf(m)
+		for cycle := 0; cycle < 40; cycle++ {
+			for _, id := range ins {
+				v := fd.u64()
+				for _, e := range sims {
+					e.s.SetInput(id, v)
+				}
+			}
+			rd := sims[0].s.Step()
+			for _, e := range sims[1:] {
+				if ed := e.s.Step(); ed != rd {
+					t.Fatalf("cycle %d: done %v (%s) != %v (interp)", cycle, ed, e.name, rd)
+				}
+			}
+			diffCompare(t, m, sims, cycle)
+		}
+		diffFinish(t, m, sims)
+	})
+}

@@ -1,0 +1,419 @@
+// Package serve is the online runtime of the paper's §3.6 loop: a
+// long-running, concurrent prediction-and-governor service. Jobs
+// arrive on per-accelerator shards as timestamped streams; each shard
+// runs slice prediction on the arriving job, applies the
+// frequency-selection formula with Tslice/TDVFS accounting (through
+// sim.Stepper, the exact accounting the offline experiments replay),
+// enforces admission control with a bounded queue, and tracks per-job
+// deadlines against the job's own arrival time.
+//
+// Time is virtual: a shard owns a clock that advances by each job's
+// slice + switch + execution time, so a job that arrives while its
+// predecessor is still executing burns queue wait out of its own
+// budget — the deadline-aware part reactive offline replay cannot
+// express. When a job's queue wait crosses the degradation threshold
+// or its remaining budget is too small to pay for prediction, the
+// shard degrades gracefully: it skips the slice entirely and runs the
+// job at the nominal (maximum non-boost) frequency, trading energy for
+// safety.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/accel"
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// ShardConfig configures one accelerator shard.
+type ShardConfig struct {
+	// Name labels the shard (benchmark name).
+	Name string
+	// Pred simulates arriving jobs online (slice + full design). It may
+	// be nil for replay-only shards, whose jobs all carry a Trace.
+	Pred *core.Predictor
+	// Device, Power and SlicePower are the DVFS profile and energy
+	// models, as in sim.Config.
+	Device     *dvfs.Device
+	Power      power.Model
+	SlicePower power.Model
+	// Deadline is each job's response-time requirement measured from
+	// its arrival, in seconds.
+	Deadline float64
+	// Margin is the predictive controller's safety-margin fraction.
+	Margin float64
+	// AllowBoost permits the device's boost point under budget pressure.
+	AllowBoost bool
+	// QueueDepth bounds the shard's queue; Submit rejects when full
+	// (admission control / backpressure). 0 selects DefaultQueueDepth.
+	QueueDepth int
+	// DegradeWait is the virtual-time queue wait at or above which a
+	// job takes the degraded max-frequency path: once jobs sit this
+	// long behind the accelerator, prediction has fallen behind and
+	// stops paying for itself. 0 selects DefaultDegradeFrac of the
+	// deadline; negative disables wait-based degradation. A job whose
+	// remaining budget cannot even cover a DVFS transition always
+	// degrades, regardless of this setting.
+	DegradeWait float64
+}
+
+// Defaults for ShardConfig's zero values.
+const (
+	DefaultQueueDepth = 64
+	// DefaultDegradeFrac scales the deadline into DegradeWait.
+	DefaultDegradeFrac = 0.5
+)
+
+// Job is one unit of arriving work.
+type Job struct {
+	// Arrival is the job's timestamp on the shard's virtual clock, in
+	// seconds. Submissions must be in nondecreasing arrival order.
+	Arrival float64
+	// Payload is the accelerator job to simulate online. Ignored when
+	// Trace is set.
+	Payload accel.Job
+	// Trace replays a pre-simulated job instead of simulating Payload —
+	// used by replay tests and trace-driven load generators.
+	Trace *core.JobTrace
+	// Result, when non-nil, receives the job's outcome. The channel
+	// should be buffered; the shard sends exactly one value and never
+	// blocks on an unbuffered channel mid-stream.
+	Result chan<- Outcome
+}
+
+// Outcome is the served job's fate.
+type Outcome struct {
+	// Job carries the level, energy and timing accounting.
+	Job sim.JobResult
+	// Wait is the queue delay charged against the budget, seconds.
+	Wait float64
+	// Start and Finish are virtual timestamps.
+	Start, Finish float64
+	// Degraded marks jobs that took the max-frequency bypass.
+	Degraded bool
+	// Err reports a simulation failure (the job did not execute).
+	Err error
+}
+
+// Missed reports whether the job finished after its arrival-relative
+// deadline.
+func (o Outcome) Missed() bool { return o.Job.Missed }
+
+// Stats is a point-in-time snapshot of one shard's counters.
+type Stats struct {
+	Name string
+	// Done counts completed jobs; Rejected counts admission-control
+	// rejections; Degraded counts jobs served on the bypass path;
+	// Errors counts simulation failures.
+	Done, Rejected, Degraded, Errors uint64
+	// Misses counts arrival-relative deadline violations. ServingMisses
+	// counts the subset attributable to the serving layer itself: jobs
+	// whose slice+switch+execution time fit inside a full deadline but
+	// whose queue wait made them late.
+	Misses, ServingMisses uint64
+	// Switches counts charged DVFS transitions.
+	Switches uint64
+	// Energy is total joules across completed jobs.
+	Energy float64
+	// QueueDepth is the instantaneous backlog: jobs queued or
+	// executing. 0 means the shard is fully drained.
+	QueueDepth int64
+	// Clock is the shard's virtual time after the last completed job.
+	Clock float64
+	// WaitP50, WaitP99, LatencyP50, LatencyP99 are queue-wait and
+	// total-latency (wait + service) quantiles in seconds.
+	WaitP50, WaitP99, LatencyP50, LatencyP99 float64
+	// LatencyMean is the mean total latency in seconds.
+	LatencyMean float64
+}
+
+// MissRate returns Misses / Done, or 0 before any job completes.
+func (s Stats) MissRate() float64 {
+	if s.Done == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Done)
+}
+
+// Shard serves one accelerator: a bounded queue feeding a single
+// worker goroutine that owns the predictor simulators, the stepper
+// (controller + DVFS level state), and the virtual clock.
+type Shard struct {
+	cfg   ShardConfig
+	queue chan Job
+	wg    sync.WaitGroup
+
+	// Worker-private state (no locks needed).
+	stepper      *sim.Stepper
+	js           *core.JobSimulator
+	now          float64
+	prevSwitches int
+
+	// Shared counters (atomic; see metrics.go).
+	done, rejected, degraded, errs counter
+	misses, servingMisses          counter
+	switches                       counter
+	energy                         afloat
+	clock                          afloat
+	depth                          gauge
+	waitHist, latHist              histogram
+}
+
+// NewShard validates the configuration and starts the shard's worker.
+func NewShard(cfg ShardConfig) (*Shard, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("serve: shard has no name")
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.QueueDepth < 1 {
+		return nil, fmt.Errorf("serve: %s: queue depth %d", cfg.Name, cfg.QueueDepth)
+	}
+	if cfg.DegradeWait == 0 {
+		cfg.DegradeWait = DefaultDegradeFrac * cfg.Deadline
+	}
+	stepper, err := sim.NewStepper(sim.Config{
+		Device:     cfg.Device,
+		Power:      cfg.Power,
+		SlicePower: cfg.SlicePower,
+		Deadline:   cfg.Deadline,
+		Controller: control.NewPredictive(cfg.Margin, cfg.AllowBoost),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: %s: %w", cfg.Name, err)
+	}
+	s := &Shard{cfg: cfg, queue: make(chan Job, cfg.QueueDepth), stepper: stepper}
+	if cfg.Pred != nil {
+		s.js = cfg.Pred.NewJobSimulator()
+	}
+	s.wg.Add(1)
+	go s.run()
+	return s, nil
+}
+
+// Name returns the shard's label.
+func (s *Shard) Name() string { return s.cfg.Name }
+
+// ErrQueueFull is returned by Submit when admission control rejects a
+// job; callers shed load or retry later (backpressure).
+var ErrQueueFull = fmt.Errorf("serve: queue full")
+
+// Submit enqueues a job without blocking. A full queue rejects the job
+// with ErrQueueFull and counts it; the job never executes.
+func (s *Shard) Submit(j Job) error {
+	select {
+	case s.queue <- j:
+		s.depth.Add(1)
+		return nil
+	default:
+		s.rejected.Inc()
+		return ErrQueueFull
+	}
+}
+
+// Close stops accepting work and waits for the queue to drain.
+func (s *Shard) Close() {
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// run is the shard worker: one goroutine consuming the queue in
+// arrival order.
+func (s *Shard) run() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		out := s.serve(j)
+		// The depth gauge counts queued AND executing jobs, so it only
+		// drops after the job completes — "depth 0" means fully drained.
+		s.depth.Add(-1)
+		if j.Result != nil {
+			j.Result <- out
+		}
+	}
+}
+
+// serve executes one job on the worker goroutine.
+func (s *Shard) serve(j Job) Outcome {
+	start := j.Arrival
+	if s.now > start {
+		start = s.now
+	}
+	wait := start - j.Arrival
+	budget := s.cfg.Deadline - wait
+
+	// Degrade when the job has already burned too much of its life in
+	// the queue, or when the remaining budget cannot absorb even a DVFS
+	// transition — either way prediction has fallen behind, so stop
+	// paying for it and run flat out.
+	degraded := budget <= s.cfg.Device.SwitchTime
+	if s.cfg.DegradeWait > 0 && wait >= s.cfg.DegradeWait {
+		degraded = true
+	}
+
+	var tr core.JobTrace
+	var err error
+	switch {
+	case j.Trace != nil:
+		tr = *j.Trace
+	case s.js == nil:
+		err = fmt.Errorf("serve: %s: job without trace on a replay-only shard", s.cfg.Name)
+	case degraded:
+		// The degraded path skips the slice simulation entirely — that
+		// is the point: the predictor is the component that fell behind.
+		tr, err = s.js.Execute(j.Payload)
+	default:
+		tr, err = s.js.Trace(j.Payload)
+	}
+	if err != nil {
+		s.errs.Inc()
+		s.done.Inc()
+		return Outcome{Wait: wait, Start: start, Finish: start, Degraded: degraded, Err: err}
+	}
+
+	var jr sim.JobResult
+	if degraded {
+		jr = s.stepper.StepDegraded(tr, budget)
+	} else {
+		jr = s.stepper.Step(tr, budget)
+	}
+	finish := start + jr.TotalSeconds
+	// Frame-drop resync: a job that overran its own absolute deadline is
+	// already lost (counted and charged below), so the shard re-anchors
+	// the clock to that deadline rather than letting one overrun slide
+	// every subsequent frame — a 60 fps pipeline skips the vsync, it does
+	// not shift the whole schedule.
+	s.now = finish
+	if jr.Missed && s.now > j.Arrival+s.cfg.Deadline {
+		s.now = j.Arrival + s.cfg.Deadline
+	}
+	s.clock.Store(s.now)
+
+	s.done.Inc()
+	if degraded {
+		s.degraded.Inc()
+	}
+	s.energy.Add(jr.Energy)
+	if n := s.stepper.Switches(); n > s.prevSwitches {
+		s.switches.Add(uint64(n - s.prevSwitches))
+		s.prevSwitches = n
+	}
+	if jr.Missed {
+		s.misses.Inc()
+		if jr.TotalSeconds <= s.cfg.Deadline*(1+1e-12) {
+			// The job itself fit in a fresh deadline; queue wait (the
+			// serving layer) made it late.
+			s.servingMisses.Inc()
+		}
+	}
+	s.waitHist.Observe(wait)
+	s.latHist.Observe(wait + jr.TotalSeconds)
+	return Outcome{
+		Job:      jr,
+		Wait:     wait,
+		Start:    start,
+		Finish:   finish,
+		Degraded: degraded,
+	}
+}
+
+// Stats snapshots the shard's counters. Safe to call concurrently with
+// serving.
+func (s *Shard) Stats() Stats {
+	return Stats{
+		Name:          s.cfg.Name,
+		Done:          s.done.Value(),
+		Rejected:      s.rejected.Value(),
+		Degraded:      s.degraded.Value(),
+		Errors:        s.errs.Value(),
+		Misses:        s.misses.Value(),
+		ServingMisses: s.servingMisses.Value(),
+		Switches:      s.switches.Value(),
+		Energy:        s.energy.Value(),
+		QueueDepth:    s.depth.Value(),
+		Clock:         s.clock.Value(),
+		WaitP50:       s.waitHist.Quantile(0.50),
+		WaitP99:       s.waitHist.Quantile(0.99),
+		LatencyP50:    s.latHist.Quantile(0.50),
+		LatencyP99:    s.latHist.Quantile(0.99),
+		LatencyMean:   s.latHist.Mean(),
+	}
+}
+
+// Server shards jobs across accelerators by benchmark name.
+type Server struct {
+	mu     sync.Mutex
+	shards map[string]*Shard
+}
+
+// NewServer returns an empty server; add shards with AddShard.
+func NewServer() *Server {
+	return &Server{shards: make(map[string]*Shard)}
+}
+
+// AddShard creates and registers a shard.
+func (sv *Server) AddShard(cfg ShardConfig) (*Shard, error) {
+	sh, err := NewShard(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	if _, dup := sv.shards[cfg.Name]; dup {
+		sh.Close()
+		return nil, fmt.Errorf("serve: duplicate shard %q", cfg.Name)
+	}
+	sv.shards[cfg.Name] = sh
+	return sh, nil
+}
+
+// Shard returns the named shard, or nil.
+func (sv *Server) Shard(name string) *Shard {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.shards[name]
+}
+
+// Names returns registered shard names, sorted.
+func (sv *Server) Names() []string {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	names := make([]string, 0, len(sv.shards))
+	for n := range sv.shards { //detlint:allow sorted immediately below
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Submit routes a job to the named shard.
+func (sv *Server) Submit(name string, j Job) error {
+	sh := sv.Shard(name)
+	if sh == nil {
+		return fmt.Errorf("serve: unknown shard %q", name)
+	}
+	return sh.Submit(j)
+}
+
+// Stats snapshots every shard, sorted by name.
+func (sv *Server) Stats() []Stats {
+	names := sv.Names()
+	out := make([]Stats, 0, len(names))
+	for _, n := range names {
+		out = append(out, sv.Shard(n).Stats())
+	}
+	return out
+}
+
+// Close drains and stops every shard.
+func (sv *Server) Close() {
+	for _, n := range sv.Names() {
+		sv.Shard(n).Close()
+	}
+}

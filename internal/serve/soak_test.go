@@ -1,0 +1,173 @@
+package serve_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/control"
+	"repro/internal/dvfs"
+	"repro/internal/exp"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/suite"
+	"repro/internal/workload"
+)
+
+// The soak tests share one quick-mode lab: training all seven
+// benchmarks once is the dominant cost, and both the closed-loop soak
+// and the HTTP tests only need its entries.
+var (
+	labOnce sync.Once
+	soakLab *exp.Lab
+	labErr  error
+)
+
+func quickLab(t *testing.T) *exp.Lab {
+	t.Helper()
+	labOnce.Do(func() {
+		soakLab = exp.NewLab(42)
+		soakLab.Quick = true
+		labErr = soakLab.Warm()
+	})
+	if labErr != nil {
+		t.Fatalf("lab warm: %v", labErr)
+	}
+	return soakLab
+}
+
+// shardCfgFor builds a shard config exactly as cmd/dvfserved does.
+func shardCfgFor(t *testing.T, lab *exp.Lab, name string, queue int) serve.ShardConfig {
+	t.Helper()
+	e, err := lab.Entry(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serve.ShardConfig{
+		Name:       name,
+		Pred:       e.Pred,
+		Device:     dvfs.ASIC(e.Pred.Spec.NominalHz, false),
+		Power:      e.Power,
+		SlicePower: e.SlicePower,
+		Deadline:   exp.Deadline,
+		Margin:     exp.PredictiveMargin,
+		QueueDepth: queue,
+	}
+}
+
+func shardFor(t *testing.T, lab *exp.Lab, name string, queue int) *serve.Shard {
+	t.Helper()
+	sh, err := serve.NewShard(shardCfgFor(t, lab, name, queue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh
+}
+
+// TestSoakReconcilesWithOfflineTables is the closed-loop soak of the
+// serving layer: all 7 benchmark workloads are replayed through a
+// server shard as frame-periodic streams, with every job simulated
+// online (slice prediction included), and the aggregate energy and
+// deadline-miss rate must land within 1% of the offline exp replay of
+// the same jobs — with zero misses attributable to the serving layer
+// itself at nominal load.
+func TestSoakReconcilesWithOfflineTables(t *testing.T) {
+	lab := quickLab(t)
+	for _, name := range lab.Names() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			e, err := lab.Entry(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			offline, err := sim.Run(e.Test, sim.Config{
+				Device:     dvfs.ASIC(e.Pred.Spec.NominalHz, false),
+				Power:      e.Power,
+				SlicePower: e.SlicePower,
+				Deadline:   exp.Deadline,
+				Controller: control.NewPredictive(exp.PredictiveMargin, false),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The same job bytes the lab collected e.Test from: the
+			// spec's test workload at seed+1, trimmed as Quick mode does.
+			spec, err := suite.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs := spec.TestJobs(lab.Seed + 1)[:len(e.Test)]
+
+			sh := shardFor(t, lab, name, len(jobs)+1)
+			arrivals := workload.PeriodicArrivals(len(jobs), exp.Deadline)
+			for i, job := range jobs {
+				if err := sh.Submit(serve.Job{Arrival: arrivals[i], Payload: job}); err != nil {
+					t.Fatalf("submit %d: %v", i, err)
+				}
+			}
+			sh.Close()
+			st := sh.Stats()
+
+			if st.Done != uint64(len(jobs)) || st.Errors != 0 || st.Rejected != 0 {
+				t.Fatalf("served %d jobs with %d errors, %d rejected", st.Done, st.Errors, st.Rejected)
+			}
+			if st.ServingMisses != 0 {
+				t.Errorf("%d misses attributable to the serving layer at nominal load", st.ServingMisses)
+			}
+			if st.Degraded != 0 {
+				t.Errorf("%d jobs degraded at nominal load", st.Degraded)
+			}
+			if d := math.Abs(st.Energy - offline.Energy); d > 0.01*offline.Energy {
+				t.Errorf("energy %g vs offline %g (%.3f%% off)", st.Energy, offline.Energy, 100*d/offline.Energy)
+			}
+			if d := math.Abs(st.MissRate() - offline.MissRate()); d > 0.01 {
+				t.Errorf("miss rate %.4f vs offline %.4f", st.MissRate(), offline.MissRate())
+			}
+			t.Logf("%s: %d jobs, energy %.3g J (offline %.3g), misses %d (offline %d), p99 latency %.2f ms",
+				name, st.Done, st.Energy, offline.Energy, st.Misses, offline.Misses, st.LatencyP99*1e3)
+		})
+	}
+}
+
+// TestSoakOverloadDegradesInsteadOfCollapsing pushes one shard past
+// nominal load (bursty arrivals at twice the sustainable rate) and
+// checks the safety valves: admission control sheds load once the
+// queue fills, waiting jobs degrade to max frequency, and the shard
+// keeps serving — no deadlock, no unbounded queue.
+func TestSoakOverloadDegradesInsteadOfCollapsing(t *testing.T) {
+	lab := quickLab(t)
+	name := "aes"
+	e, err := lab.Entry(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := suite.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := spec.TestJobs(lab.Seed + 1)[:len(e.Test)]
+
+	sh := shardFor(t, lab, name, 8)
+	// Whole stream arrives as one burst at t=0: far beyond what a
+	// 16.7 ms/job deadline can absorb.
+	accepted := 0
+	for _, job := range jobs {
+		if err := sh.Submit(serve.Job{Arrival: 0, Payload: job}); err == nil {
+			accepted++
+		}
+	}
+	sh.Close()
+	st := sh.Stats()
+	if st.Done != uint64(accepted) {
+		t.Fatalf("done %d != accepted %d", st.Done, accepted)
+	}
+	if st.Rejected == 0 {
+		t.Error("overload never tripped admission control")
+	}
+	if st.Degraded == 0 {
+		t.Error("overload never degraded to max frequency")
+	}
+	t.Logf("%s overload: accepted %d, rejected %d, degraded %d, misses %d",
+		name, accepted, st.Rejected, st.Degraded, st.Misses)
+}

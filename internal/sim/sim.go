@@ -75,84 +75,142 @@ func (r Result) MissRate() float64 {
 	return float64(r.Misses) / float64(r.Jobs)
 }
 
-// Run replays the traces under the configuration.
-func Run(traces []core.JobTrace, cfg Config) (Result, error) {
+// Stepper evaluates jobs one at a time, carrying the controller state
+// and the device's current operating level between jobs. Run drives it
+// over a whole trace slice; the online serving layer (package serve)
+// drives it job-by-job as work arrives, passing each job's remaining
+// budget (the deadline minus any time already burned in a queue).
+// Because both paths share this accounting, a served job stream at
+// nominal load reconciles exactly with the offline replay.
+type Stepper struct {
+	cfg      Config
+	curLevel int
+	switches int
+}
+
+// NewStepper validates the configuration and returns a stepper with the
+// controller reset and the device at its nominal level.
+func NewStepper(cfg Config) (*Stepper, error) {
 	if cfg.Device == nil || cfg.Controller == nil {
-		return Result{}, fmt.Errorf("sim: device and controller are required")
+		return nil, fmt.Errorf("sim: device and controller are required")
 	}
 	if err := cfg.Device.Validate(); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	if cfg.Deadline <= 0 {
-		return Result{}, fmt.Errorf("sim: non-positive deadline")
+		return nil, fmt.Errorf("sim: non-positive deadline")
 	}
+	cfg.Controller.Reset()
+	return &Stepper{cfg: cfg, curLevel: cfg.Device.Nominal}, nil
+}
+
+// Scheme returns the controller's scheme name.
+func (st *Stepper) Scheme() string { return st.cfg.Controller.Name() }
+
+// Level returns the device's current operating-point index.
+func (st *Stepper) Level() int { return st.curLevel }
+
+// Switches returns the number of charged DVFS transitions so far.
+func (st *Stepper) Switches() int { return st.switches }
+
+// Step executes one job whose remaining time budget is budget seconds
+// (cfg.Deadline for a job starting fresh). The job is charged slice,
+// switching, and execution time/energy per §3.6 and marked missed when
+// the total exceeds the budget.
+func (st *Stepper) Step(tr core.JobTrace, budget float64) JobResult {
+	return st.step(tr, budget, false)
+}
+
+// StepDegraded executes one job with prediction bypassed: the device
+// runs the job at the nominal (maximum non-boost) level, charging no
+// slice time or energy. This is the serving layer's graceful
+// degradation path for when prediction falls behind.
+func (st *Stepper) StepDegraded(tr core.JobTrace, budget float64) JobResult {
+	return st.step(tr, budget, true)
+}
+
+func (st *Stepper) step(tr core.JobTrace, budget float64, degraded bool) JobResult {
+	cfg := &st.cfg
 	ctrl := cfg.Controller
-	ctrl.Reset()
-	res := Result{Scheme: ctrl.Name(), Jobs: len(traces)}
+	view := control.JobView{
+		Class:         tr.Class,
+		PredSeconds:   tr.PredSeconds,
+		SliceSeconds:  tr.SliceSeconds,
+		ActualSeconds: tr.Seconds,
+	}
+	plan := ctrl.Plan(view)
+	if degraded {
+		// Bypass prediction entirely but still pay for the transition to
+		// the nominal level if one happens: degradation trades energy for
+		// safety, it does not get free voltage switches.
+		plan = control.Plan{RunNominal: true, ChargeSwitch: true}
+	}
+	if cfg.NoOverheads {
+		plan.SliceTime = 0
+		plan.ChargeSwitch = false
+	}
+
+	var level int
+	if plan.RunNominal {
+		level = cfg.Device.Nominal
+	} else {
+		req := dvfs.Request{
+			PredictedT0: plan.PredT0,
+			Margin:      plan.MarginFrac * plan.PredT0,
+			Budget:      budget,
+			SliceTime:   plan.SliceTime,
+			AllowBoost:  plan.AllowBoost,
+		}
+		if plan.ChargeSwitch {
+			req.SwitchTime = cfg.Device.SwitchTime
+		}
+		level = cfg.Device.Select(req).Level
+	}
+
+	switched := level != st.curLevel
+	st.curLevel = level
+	pt := cfg.Device.Points[level]
+
+	tExec := tr.Cycles / pt.Freq
+	total := tExec + plan.SliceTime
+	energy := cfg.Power.JobEnergy(pt, tr.Cycles)
+	if plan.SliceTime > 0 {
+		energy += cfg.SlicePower.SliceEnergy(cfg.Device, float64(tr.SliceTicks)*(tr.Cycles/float64(tr.Ticks)))
+	}
+	if switched && plan.ChargeSwitch {
+		total += cfg.Device.SwitchTime
+		energy += cfg.Power.TransitionEnergy(1)
+		st.switches++
+	}
+
+	ctrl.Observe(tr.Seconds)
+	return JobResult{
+		Level:        level,
+		Missed:       total > budget*(1+1e-12),
+		Energy:       energy,
+		TotalSeconds: total,
+		Switched:     switched,
+		PredT0:       plan.PredT0,
+	}
+}
+
+// Run replays the traces under the configuration.
+func Run(traces []core.JobTrace, cfg Config) (Result, error) {
+	st, err := NewStepper(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Scheme: st.Scheme(), Jobs: len(traces)}
 	res.PerJob = make([]JobResult, 0, len(traces))
-	curLevel := cfg.Device.Nominal
-
 	for _, tr := range traces {
-		view := control.JobView{
-			Class:         tr.Class,
-			PredSeconds:   tr.PredSeconds,
-			SliceSeconds:  tr.SliceSeconds,
-			ActualSeconds: tr.Seconds,
-		}
-		plan := ctrl.Plan(view)
-		if cfg.NoOverheads {
-			plan.SliceTime = 0
-			plan.ChargeSwitch = false
-		}
-
-		var level int
-		if plan.RunNominal {
-			level = cfg.Device.Nominal
-		} else {
-			req := dvfs.Request{
-				PredictedT0: plan.PredT0,
-				Margin:      plan.MarginFrac * plan.PredT0,
-				Budget:      cfg.Deadline,
-				SliceTime:   plan.SliceTime,
-				AllowBoost:  plan.AllowBoost,
-			}
-			if plan.ChargeSwitch {
-				req.SwitchTime = cfg.Device.SwitchTime
-			}
-			level = cfg.Device.Select(req).Level
-		}
-
-		switched := level != curLevel
-		curLevel = level
-		pt := cfg.Device.Points[level]
-
-		tExec := tr.Cycles / pt.Freq
-		total := tExec + plan.SliceTime
-		energy := cfg.Power.JobEnergy(pt, tr.Cycles)
-		if plan.SliceTime > 0 {
-			energy += cfg.SlicePower.SliceEnergy(cfg.Device, float64(tr.SliceTicks)*(tr.Cycles/float64(tr.Ticks)))
-		}
-		if switched && plan.ChargeSwitch {
-			total += cfg.Device.SwitchTime
-			energy += cfg.Power.TransitionEnergy(1)
-			res.Switches++
-		}
-
-		missed := total > cfg.Deadline*(1+1e-12)
-		res.Energy += energy
-		if missed {
+		jr := st.Step(tr, cfg.Deadline)
+		res.Energy += jr.Energy
+		if jr.Missed {
 			res.Misses++
 		}
-		res.PerJob = append(res.PerJob, JobResult{
-			Level:        level,
-			Missed:       missed,
-			Energy:       energy,
-			TotalSeconds: total,
-			Switched:     switched,
-			PredT0:       plan.PredT0,
-		})
-		ctrl.Observe(tr.Seconds)
+		res.PerJob = append(res.PerJob, jr)
 	}
+	res.Switches = st.Switches()
 	return res, nil
 }
 

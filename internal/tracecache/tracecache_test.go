@@ -109,6 +109,37 @@ func TestCorruptionIsSilentMiss(t *testing.T) {
 	}
 }
 
+// TestSwappedEntryIsMiss copies a valid entry for one key onto another
+// key's path — a checksum-clean payload bound to the wrong key. The
+// header binds the key, so the read must miss rather than hand back a
+// different job's traces.
+func TestSwappedEntryIsMiss(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key(7), artifact{S: "seven"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key(8), artifact{S: "eight"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(c.Dir(), key(7)+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(c.Dir(), key(8)+".json"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out artifact
+	if c.Get(key(8), &out) {
+		t.Fatalf("swapped entry produced a hit: %+v", out)
+	}
+	if !c.Get(key(7), &out) || out.S != "seven" {
+		t.Fatal("original entry lost")
+	}
+}
+
 // TestVersionSkew simulates an entry written by a future (or past)
 // format version: the header version is edited in place, which must
 // read as a clean miss without counting as corruption.

@@ -1,0 +1,84 @@
+package verilog
+
+import (
+	"testing"
+)
+
+// fuzzSeedSources are valid and near-valid inputs covering the grammar:
+// declarations, always blocks, case, instances, and the constructs the
+// emitter produces — plus malformed fragments to push the parser down
+// its error paths.
+var fuzzSeedSources = []string{
+	"",
+	"module m; endmodule",
+	"module m(input clk, input [7:0] a, output [7:0] q);\n" +
+		"  reg [7:0] q;\n  always @(posedge clk) q <= a + 8'd1;\nendmodule\n",
+	"module m(input clk, input [3:0] s, output reg [3:0] q);\n" +
+		"  always @(posedge clk) begin\n" +
+		"    case (s)\n      4'd0: q <= 4'd1;\n      default: q <= s;\n    endcase\n  end\nendmodule\n",
+	"module m(input [7:0] a, input [7:0] b, output [8:0] s);\n" +
+		"  assign s = {1'b0, a} + {1'b0, b};\nendmodule\n",
+	"module m(input c, input [7:0] a, output [7:0] q);\n" +
+		"  assign q = c ? ~a : (a << 2) | {4{c}};\nendmodule\n",
+	"module top(input clk, output [7:0] q);\n" +
+		"  wire [7:0] w;\n  sub u0(.clk(clk), .q(w));\n  assign q = w;\nendmodule\n" +
+		"module sub(input clk, output reg [7:0] q);\n  always @(posedge clk) q <= q + 8'd1;\nendmodule\n",
+	"module m #(parameter W = 8)(input [W-1:0] a, output [W-1:0] q);\n  assign q = a;\nendmodule\n",
+	"module m(input clk); initial $display(\"x\"); endmodule",
+	"module m(input [63:0] a, output o); assign o = ^a; endmodule",
+	// Malformed fragments.
+	"module",
+	"module m(input [7:0] a; endmodule",
+	"module m; assign = 1; endmodule",
+	"module m; wire [999999999999:0] w; endmodule",
+	"module m; always @(posedge) endmodule",
+	"16'hzzzz",
+}
+
+// FuzzVerilogParse asserts the parser's containment properties: no
+// input may panic it, and any source that survives ParseAndElaborate
+// must round-trip — the emitted netlist re-parses, and a second
+// emit is byte-identical (print∘parse is a fixed point).
+func FuzzVerilogParse(f *testing.F) {
+	for _, src := range fuzzSeedSources {
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 64<<10 {
+			t.Skip("bound parse cost")
+		}
+		// Property 1: never panic, whatever the bytes.
+		mods, err := ParseFile(src)
+		if err != nil {
+			return
+		}
+		for _, mod := range mods {
+			if mod.Name == "" {
+				t.Errorf("accepted module with empty name")
+			}
+		}
+		// Property 2: sources that elaborate round-trip stably.
+		m, err := ParseAndElaborate(src)
+		if err != nil {
+			return
+		}
+		out1 := Emit(m)
+		m2, err := ParseAndElaborate(out1)
+		if err != nil {
+			t.Fatalf("emitted netlist does not re-parse: %v\n--- source\n%s\n--- emitted\n%s",
+				err, clip(src), clip(out1))
+		}
+		out2 := Emit(m2)
+		if out1 != out2 {
+			t.Fatalf("emit is not a fixed point\n--- first\n%s\n--- second\n%s", clip(out1), clip(out2))
+		}
+	})
+}
+
+func clip(s string) string {
+	const max = 2000
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + "\n... (truncated)"
+}

@@ -1,0 +1,53 @@
+package workload
+
+import "math/rand"
+
+// Arrival-stream generators for the online serving layer (package
+// serve): a job stream is a job list plus a nondecreasing slice of
+// arrival timestamps in seconds. Real deployments see two canonical
+// shapes — frame-periodic streams (a 60 fps decoder delivers one job
+// per 16.7 ms slot) and memoryless request traffic (independent
+// browsing/crypto requests) — plus recorded traces replayed verbatim.
+
+// PeriodicArrivals returns n arrivals spaced exactly period seconds
+// apart starting at 0: the frame-driven pipeline of §2.1, where every
+// job's deadline is the next job's arrival.
+func PeriodicArrivals(n int, period float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i) * period
+	}
+	return out
+}
+
+// PoissonArrivals returns n arrivals of a Poisson process with the
+// given mean rate (jobs per second): independent exponential
+// inter-arrival gaps, the standard model for open-loop request traffic.
+// The stream is deterministic in the seed.
+func PoissonArrivals(n int, rate float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	t := 0.0
+	for i := range out {
+		t += rng.ExpFloat64() / rate
+		out[i] = t
+	}
+	return out
+}
+
+// BurstyArrivals returns n arrivals in bursts: groups of burst jobs
+// arrive back-to-back (zero gap) at period-spaced group boundaries.
+// This is the adversarial shape for an online governor — each burst
+// head has a full budget while the tail inherits whatever queue wait
+// the head left behind — and is what the serving layer's degraded path
+// exists for.
+func BurstyArrivals(n, burst int, period float64) []float64 {
+	if burst < 1 {
+		burst = 1
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i/burst) * period
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func nondecreasing(t *testing.T, a []float64) {
+	t.Helper()
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatalf("arrivals not nondecreasing at %d: %g < %g", i, a[i], a[i-1])
+		}
+	}
+}
+
+func TestPeriodicArrivals(t *testing.T) {
+	a := PeriodicArrivals(5, 16.7e-3)
+	if len(a) != 5 {
+		t.Fatalf("len = %d", len(a))
+	}
+	nondecreasing(t, a)
+	for i, v := range a {
+		if want := float64(i) * 16.7e-3; math.Abs(v-want) > 1e-15 {
+			t.Errorf("arrival %d = %g, want %g", i, v, want)
+		}
+	}
+}
+
+func TestPoissonArrivalsDeterministicAndCalibrated(t *testing.T) {
+	const n, rate = 4000, 60.0
+	a := PoissonArrivals(n, rate, 7)
+	b := PoissonArrivals(n, rate, 7)
+	nondecreasing(t, a)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	if c := PoissonArrivals(n, rate, 8); c[n-1] == a[n-1] {
+		t.Error("different seeds produced identical streams")
+	}
+	// Mean inter-arrival gap should be close to 1/rate.
+	mean := a[n-1] / float64(n)
+	if math.Abs(mean-1/rate) > 0.1/rate {
+		t.Errorf("mean gap %g, want ~%g", mean, 1/rate)
+	}
+}
+
+func TestBurstyArrivals(t *testing.T) {
+	a := BurstyArrivals(9, 3, 1.0)
+	nondecreasing(t, a)
+	want := []float64{0, 0, 0, 1, 1, 1, 2, 2, 2}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("arrivals = %v, want %v", a, want)
+		}
+	}
+	// Degenerate burst sizes clamp to 1 (pure periodic).
+	b := BurstyArrivals(3, 0, 2.0)
+	for i, v := range []float64{0, 2, 4} {
+		if b[i] != v {
+			t.Fatalf("burst=0 arrivals = %v", b)
+		}
+	}
+}
