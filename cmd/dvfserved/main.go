@@ -9,6 +9,9 @@
 //	dvfserved [-addr :8437] [-seed N] [-quick] [-benchmarks h264,aes]
 //	          [-queue N] [-degrade-wait-ms F] [-boost] [-deadline-ms F]
 //	          [-workers N] [-engine E] [-cachedir DIR]
+//	          [-overflow shed|degrade] [-job-timeout-ms F] [-job-retries N]
+//	          [-retry-backoff-ms F] [-stall-penalty-ms F]
+//	          [-faults SPEC] [-fault-seed N]
 //
 // Endpoints:
 //
@@ -36,11 +39,13 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/accel"
 	"repro/internal/core"
 	"repro/internal/dvfs"
 	"repro/internal/exp"
+	"repro/internal/fault"
 	"repro/internal/rtl"
 	"repro/internal/serve"
 	"repro/internal/suite"
@@ -60,7 +65,33 @@ func main() {
 	engine := flag.String("engine", "", "RTL engine: compiled, event, or interp")
 	cacheDir := flag.String("cachedir", os.Getenv("REPRO_CACHE_DIR"),
 		"persistent trace cache directory (default: $REPRO_CACHE_DIR; empty disables)")
+	overflow := flag.String("overflow", "shed", "full-queue policy: shed (reject excess) or degrade (reject and run the backlog at max frequency)")
+	jobTimeoutMs := flag.Float64("job-timeout-ms", 0, "wall-clock watchdog per prediction attempt in ms (0 disables)")
+	jobRetries := flag.Int("job-retries", 1, "retries for a stalled prediction attempt before degrading")
+	retryBackoffMs := flag.Float64("retry-backoff-ms", 1, "wall-clock backoff before the first retry in ms, doubling per attempt")
+	stallPenaltyMs := flag.Float64("stall-penalty-ms", 0, "virtual time charged per stalled attempt in ms (0 = the job timeout)")
+	faults := flag.String("faults", "", `fault-injection spec, e.g. "serve.stall=0.1,tracecache.read=0.05" (empty disables)`)
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the injected fault schedule")
 	flag.Parse()
+
+	policy, err := serve.ParseOverflowPolicy(*overflow)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvfserved: %v\n", err)
+		os.Exit(2)
+	}
+	var injector *fault.Injector
+	if *faults != "" {
+		injector, err = fault.Parse(*faultSeed, *faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvfserved: %v\n", err)
+			os.Exit(2)
+		}
+		// One injector serves every subsystem: serving shards key by
+		// shard name, the cache by entry key, training by job id — the
+		// sites never collide.
+		core.SetFaultInjector(injector)
+		fmt.Printf("dvfserved: %s\n", injector)
+	}
 
 	core.SetWorkers(*workers)
 	if *engine != "" {
@@ -77,6 +108,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dvfserved: %v\n", err)
 			os.Exit(1)
 		}
+		cache.SetFaults(injector)
 		core.SetTraceCache(cache)
 	}
 
@@ -96,16 +128,22 @@ func main() {
 			os.Exit(1)
 		}
 		_, err = srv.AddShard(serve.ShardConfig{
-			Name:        name,
-			Pred:        entry.Pred,
-			Device:      dvfs.ASIC(entry.Pred.Spec.NominalHz, *boost),
-			Power:       entry.Power,
-			SlicePower:  entry.SlicePower,
-			Deadline:    *deadlineMs * 1e-3,
-			Margin:      exp.PredictiveMargin,
-			AllowBoost:  *boost,
-			QueueDepth:  *queueDepth,
-			DegradeWait: *degradeMs * 1e-3,
+			Name:         name,
+			Pred:         entry.Pred,
+			Device:       dvfs.ASIC(entry.Pred.Spec.NominalHz, *boost),
+			Power:        entry.Power,
+			SlicePower:   entry.SlicePower,
+			Deadline:     *deadlineMs * 1e-3,
+			Margin:       exp.PredictiveMargin,
+			AllowBoost:   *boost,
+			QueueDepth:   *queueDepth,
+			DegradeWait:  *degradeMs * 1e-3,
+			Overflow:     policy,
+			JobTimeout:   time.Duration(*jobTimeoutMs * float64(time.Millisecond)),
+			MaxRetries:   *jobRetries,
+			RetryBackoff: time.Duration(*retryBackoffMs * float64(time.Millisecond)),
+			StallPenalty: *stallPenaltyMs * 1e-3,
+			Faults:       injector,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dvfserved: %v\n", err)

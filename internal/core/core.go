@@ -19,6 +19,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/accel"
 	"repro/internal/analyze"
@@ -123,7 +124,10 @@ func Train(spec accel.Spec, opt Options) (*Predictor, error) {
 		y = make([]float64, len(jobs))
 		err = runParallel(len(jobs),
 			func() *rtl.Sim { return sim.Clone() },
-			func(s *rtl.Sim, i int) error {
+			func(s *rtl.Sim, i, attempt int) error {
+				if err := FaultInjector().ErrN(FaultJob, fmt.Sprintf("train/%s/%d", spec.Name, i), attempt); err != nil {
+					return fmt.Errorf("core: %s train job %d: %w", spec.Name, i, err)
+				}
 				ticks, err := accel.RunJob(s, jobs[i], spec.MaxTicks)
 				if err != nil {
 					return fmt.Errorf("core: %s train job %d: %w", spec.Name, i, err)
@@ -306,7 +310,10 @@ func (p *Predictor) CollectTraces(jobs []accel.Job) ([]JobTrace, error) {
 	traces := make([]JobTrace, len(jobs))
 	err := runParallel(len(jobs),
 		p.NewJobSimulator,
-		func(js *JobSimulator, i int) error {
+		func(js *JobSimulator, i, attempt int) error {
+			if err := FaultInjector().ErrN(FaultJob, fmt.Sprintf("traces/%s/%d", p.Spec.Name, i), attempt); err != nil {
+				return fmt.Errorf("core: job %d: %w", i, err)
+			}
 			tr, err := js.Trace(jobs[i])
 			if err != nil {
 				return fmt.Errorf("core: job %d: %w", i, err)
@@ -324,9 +331,15 @@ func (p *Predictor) CollectTraces(jobs []accel.Job) ([]JobTrace, error) {
 }
 
 // PredFromSliceOrFloor clamps predictions at a small positive floor so
-// downstream frequency demands stay meaningful.
+// downstream frequency demands stay meaningful. A NaN prediction (a
+// poisoned model row) maps to +Inf — an unbounded demand the DVFS layer
+// resolves to "infeasible, run at the highest permitted level" — rather
+// than comparing false against the floor and escaping unclamped.
 func (p *Predictor) PredFromSliceOrFloor(sliceFeats []float64) float64 {
 	yhat := p.PredictFromSlice(sliceFeats)
+	if math.IsNaN(yhat) {
+		return math.Inf(1)
+	}
 	if yhat < 1e-6 {
 		yhat = 1e-6
 	}

@@ -29,15 +29,26 @@ func Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// runParallel invokes run(state, i) for every i in [0, n), fanning out
-// across min(Workers(), n) goroutines. newState builds per-goroutine
-// state (Sim clones) once per worker. Jobs are handed out through an
-// atomic counter for load balance; determinism is the caller's
-// responsibility and is achieved by writing results only to slot i.
-// The first error in job-index order is returned.
-func runParallel[S any](n int, newState func() S, run func(state S, i int) error) error {
+// runParallel invokes run(state, i, attempt) for every i in [0, n),
+// fanning out across min(Workers(), n) goroutines. newState builds
+// per-goroutine state (Sim clones) once per worker. Jobs are handed out
+// through an atomic counter for load balance; determinism is the
+// caller's responsibility and is achieved by writing results only to
+// slot i. The first error in job-index order is returned.
+//
+// A job that fails is retried exactly once on a freshly built state
+// (attempt 1): a failure may have left the worker's simulator clone
+// mid-job, so the retry must not trust it — and neither may the jobs
+// that follow, so the worker keeps the fresh clone either way. Only a
+// job that fails twice fails the batch.
+func runParallel[S any](n int, newState func() S, run func(state S, i, attempt int) error) error {
 	if n == 0 {
 		return nil
+	}
+	retry := func(i int) (S, error) {
+		state := newState()
+		retriedJobs.Add(1)
+		return state, run(state, i, 1)
 	}
 	workers := Workers()
 	if workers > n {
@@ -46,8 +57,11 @@ func runParallel[S any](n int, newState func() S, run func(state S, i int) error
 	if workers <= 1 {
 		state := newState()
 		for i := 0; i < n; i++ {
-			if err := run(state, i); err != nil {
-				return err
+			if err := run(state, i, 0); err != nil {
+				var rerr error
+				if state, rerr = retry(i); rerr != nil {
+					return rerr
+				}
 			}
 		}
 		return nil
@@ -65,7 +79,9 @@ func runParallel[S any](n int, newState func() S, run func(state S, i int) error
 				if i >= n {
 					return
 				}
-				errs[i] = run(state, i)
+				if err := run(state, i, 0); err != nil {
+					state, errs[i] = retry(i)
+				}
 			}
 		}()
 	}

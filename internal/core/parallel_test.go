@@ -5,9 +5,11 @@ import (
 	"reflect"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/accel/md"
+	"repro/internal/fault"
 )
 
 // TestWorkersDefaulting pins the SetWorkers contract: positive counts
@@ -35,14 +37,14 @@ func TestWorkersDefaulting(t *testing.T) {
 }
 
 // TestRunParallelErrorOrder pins the documented error contract: with
-// several jobs failing, the error for the lowest job index is the one
-// reported, regardless of scheduling — and n=0 is a no-op that never
-// invokes newState.
+// several jobs failing on both attempts, the error for the lowest job
+// index is the one reported, regardless of scheduling — and n=0 is a
+// no-op that never invokes newState.
 func TestRunParallelErrorOrder(t *testing.T) {
 	defer SetWorkers(0)
 	for _, workers := range []int{1, 4} {
 		SetWorkers(workers)
-		err := runParallel(16, func() int { return 0 }, func(_ int, i int) error {
+		err := runParallel(16, func() int { return 0 }, func(_ int, i, attempt int) error {
 			if i == 2 || i == 5 || i == 11 {
 				return fmt.Errorf("job %d failed", i)
 			}
@@ -53,7 +55,7 @@ func TestRunParallelErrorOrder(t *testing.T) {
 		}
 	}
 	called := false
-	if err := runParallel(0, func() int { called = true; return 0 }, func(int, int) error {
+	if err := runParallel(0, func() int { called = true; return 0 }, func(int, int, int) error {
 		t.Fatal("run invoked with n=0")
 		return nil
 	}); err != nil {
@@ -61,6 +63,58 @@ func TestRunParallelErrorOrder(t *testing.T) {
 	}
 	if called {
 		t.Error("newState invoked with n=0")
+	}
+}
+
+// TestRunParallelRetriesOnFreshState pins the retry contract: a job
+// that fails attempt 0 is retried exactly once on a state built fresh
+// for the retry (never the possibly-wedged worker state), the worker
+// continues later jobs on that fresh state, and a job failing both
+// attempts fails the batch.
+func TestRunParallelRetriesOnFreshState(t *testing.T) {
+	defer SetWorkers(0)
+	for _, workers := range []int{1, 4} {
+		SetWorkers(workers)
+		before := RetriedJobs()
+		var states atomic.Int32
+		var mu sync.Mutex
+		attempts := make(map[int][]int) // job index -> state generation per attempt
+		err := runParallel(8,
+			func() int { return int(states.Add(1)) },
+			func(state, i, attempt int) error {
+				mu.Lock()
+				attempts[i] = append(attempts[i], state)
+				mu.Unlock()
+				if i == 3 && attempt == 0 {
+					return fmt.Errorf("transient failure")
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := RetriedJobs() - before; got != 1 {
+			t.Errorf("workers=%d: RetriedJobs advanced by %d, want 1", workers, got)
+		}
+		if a := attempts[3]; len(a) != 2 || a[0] == a[1] {
+			t.Errorf("workers=%d: job 3 attempts ran on states %v, want two attempts on distinct states", workers, a)
+		}
+		for i, a := range attempts {
+			if i != 3 && len(a) != 1 {
+				t.Errorf("workers=%d: job %d ran %d attempts, want 1", workers, i, len(a))
+			}
+		}
+
+		// Both attempts failing fails the batch.
+		err = runParallel(4, func() int { return 0 }, func(_ int, i, attempt int) error {
+			if i == 1 {
+				return fmt.Errorf("persistent failure attempt %d", attempt)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "persistent failure attempt 1" {
+			t.Errorf("workers=%d: err = %v, want the attempt-1 error", workers, err)
+		}
 	}
 }
 
@@ -118,6 +172,41 @@ func TestTrainParallelDeterministic(t *testing.T) {
 	}
 	if serial.Gamma != parallel.Gamma || !reflect.DeepEqual(serial.Kept, parallel.Kept) {
 		t.Fatal("feature selection depends on worker count")
+	}
+}
+
+// TestCollectTracesSurvivesTransientFaults: with a transient injector
+// faulting every job's first attempt, CollectTraces retries each job on
+// a fresh simulator clone and returns traces byte-identical to a
+// fault-free run. A persistent schedule (retries fault too) must fail.
+func TestCollectTracesSurvivesTransientFaults(t *testing.T) {
+	p, err := trainedMD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := md.Spec().TestJobs(9)[:12]
+	clean, err := p.CollectTraces(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	defer SetFaultInjector(nil)
+	SetFaultInjector(fault.New(1).Site(FaultJob, 1)) // transient: retries succeed
+	before := RetriedJobs()
+	faulted, err := p.CollectTraces(jobs)
+	if err != nil {
+		t.Fatalf("transient faults failed the batch: %v", err)
+	}
+	if !reflect.DeepEqual(clean, faulted) {
+		t.Fatal("traces under transient faults differ from clean run")
+	}
+	if got := RetriedJobs() - before; got != uint64(len(jobs)) {
+		t.Errorf("RetriedJobs advanced by %d, want %d", got, len(jobs))
+	}
+
+	SetFaultInjector(fault.New(1).SiteRepeat(FaultJob, 1, 1)) // persistent
+	if _, err := p.CollectTraces(jobs); !fault.Injected(err) {
+		t.Fatalf("persistent faults: err = %v, want an injected failure", err)
 	}
 }
 

@@ -88,7 +88,7 @@ func ASIC(nominalHz float64, withBoost bool) *Device {
 		d.Points = append(d.Points, OperatingPoint{V: v, Freq: vf(v, 1.0, nominalHz, asicVt, asicAlpha)})
 		d.Boost = n
 	}
-	return d
+	return d.mustValidate()
 }
 
 // FPGA builds the FPGA profile: seven equally spaced voltage levels
@@ -101,16 +101,35 @@ func FPGA(nominalHz float64) *Device {
 		d.Points = append(d.Points, OperatingPoint{V: v, Freq: vf(v, 1.0, nominalHz, fpgaVt, fpgaAlpha)})
 	}
 	d.Nominal = n - 1
+	return d.mustValidate()
+}
+
+// mustValidate panics on an invariant violation; used by the built-in
+// profile constructors, whose tables are correct by construction unless
+// the caller passed a degenerate nominal frequency (zero, negative, or
+// NaN — all of which break the ascending-frequency invariant).
+func (d *Device) mustValidate() *Device {
+	if err := d.Validate(); err != nil {
+		panic(err)
+	}
 	return d
 }
 
 // NominalFreq returns the nominal operating frequency in hertz.
 func (d *Device) NominalFreq() float64 { return d.Points[d.Nominal].Freq }
 
-// Validate checks profile invariants.
+// Validate checks profile invariants: at least one operating point,
+// every point finite and positive, points strictly ascending in both
+// voltage and frequency (Select's round-up scan depends on this order),
+// nominal in range, and boost (if any) strictly above nominal.
 func (d *Device) Validate() error {
 	if len(d.Points) == 0 {
 		return fmt.Errorf("dvfs: device %s has no operating points", d.Name)
+	}
+	for i, pt := range d.Points {
+		if !(pt.V > 0) || math.IsInf(pt.V, 1) || !(pt.Freq > 0) || math.IsInf(pt.Freq, 1) {
+			return fmt.Errorf("dvfs: device %s point %d not finite positive (V=%g, f=%g)", d.Name, i, pt.V, pt.Freq)
+		}
 	}
 	for i := 1; i < len(d.Points); i++ {
 		if d.Points[i].V <= d.Points[i-1].V || d.Points[i].Freq <= d.Points[i-1].Freq {
@@ -156,20 +175,37 @@ type Decision struct {
 }
 
 // Select implements §3.6: compute the required frequency and round up
-// to the lowest operating point that satisfies it. Non-boost points are
+// to the lowest operating point that satisfies it (Device.Points must
+// be ascending — the constructors validate this). Non-boost points are
 // preferred; the boost point is used only when allowed and needed.
+//
+// Degenerate requests are defensively clamped rather than trusted: a
+// NaN prediction, margin, or budget makes the demand incomparable, and
+// a negative predicted time would make `need` negative — both of which
+// would otherwise silently select the lowest level for a job the
+// predictor knows nothing about. NaN anywhere is treated as an
+// infeasible request (run at the highest permitted level), and a
+// negative demand clamps to zero (the job is predicted instant; the
+// lowest level is genuinely sufficient).
 func (d *Device) Select(r Request) Decision {
 	avail := r.Budget - r.SliceTime - r.SwitchTime
 	f0 := d.NominalFreq()
-	if avail <= 0 {
-		// No budget left: run as fast as permitted and report infeasible.
-		lvl := d.Nominal
-		if r.AllowBoost && d.Boost >= 0 {
-			lvl = d.Boost
-		}
-		return Decision{Level: lvl, RequiredFreq: math.Inf(1), Feasible: false}
+	fallback := d.Nominal
+	if r.AllowBoost && d.Boost >= 0 {
+		fallback = d.Boost
+	}
+	if !(avail > 0) {
+		// No budget left (or NaN budget): run as fast as permitted and
+		// report infeasible.
+		return Decision{Level: fallback, RequiredFreq: math.Inf(1), Feasible: false}
 	}
 	need := f0 * (r.PredictedT0 + r.Margin) / avail
+	if math.IsNaN(need) {
+		return Decision{Level: fallback, RequiredFreq: math.Inf(1), Feasible: false}
+	}
+	if need < 0 {
+		need = 0
+	}
 	for i, pt := range d.Points {
 		if d.Boost >= 0 && i == d.Boost {
 			continue // boost handled below
@@ -181,11 +217,7 @@ func (d *Device) Select(r Request) Decision {
 	if r.AllowBoost && d.Boost >= 0 && d.Points[d.Boost].Freq >= need {
 		return Decision{Level: d.Boost, RequiredFreq: need, Feasible: true}
 	}
-	lvl := d.Nominal
-	if r.AllowBoost && d.Boost >= 0 {
-		lvl = d.Boost
-	}
-	return Decision{Level: lvl, RequiredFreq: need, Feasible: false}
+	return Decision{Level: fallback, RequiredFreq: need, Feasible: false}
 }
 
 // ExecTime converts a cycle count at the given level to seconds, per the

@@ -161,6 +161,88 @@ func TestSelectZeroBudget(t *testing.T) {
 	}
 }
 
+// TestSelectDegenerateRequests pins the clamping contract. Before the
+// fix, a negative PredictedT0 made `need` negative and silently
+// selected the lowest level for a job the predictor had garbage for,
+// and a NaN prediction fell through every comparison into an
+// "infeasible" decision that carried NaN RequiredFreq to callers.
+func TestSelectDegenerateRequests(t *testing.T) {
+	d := ASIC(250e6, true)
+
+	// Negative prediction: need clamps to 0 — lowest level, feasible,
+	// RequiredFreq exactly 0 rather than negative.
+	dec := d.Select(Request{PredictedT0: -5e-3, Budget: 16.7e-3})
+	if !dec.Feasible || dec.Level != 0 || dec.RequiredFreq != 0 {
+		t.Errorf("negative prediction: %+v, want level 0 feasible with need 0", dec)
+	}
+
+	// NaN anywhere in the demand: infeasible at the fallback level with
+	// an infinite (not NaN) frequency demand.
+	for _, r := range []Request{
+		{PredictedT0: math.NaN(), Budget: 16.7e-3},
+		{PredictedT0: 1e-3, Margin: math.NaN(), Budget: 16.7e-3},
+		{PredictedT0: 1e-3, Budget: math.NaN()},
+	} {
+		dec := d.Select(r)
+		if dec.Feasible || dec.Level != d.Nominal || !math.IsInf(dec.RequiredFreq, 1) {
+			t.Errorf("NaN request %+v: %+v, want nominal infeasible with +Inf demand", r, dec)
+		}
+		r.AllowBoost = true
+		if dec := d.Select(r); dec.Feasible || dec.Level != d.Boost {
+			t.Errorf("NaN request with boost %+v: %+v, want boost infeasible", r, dec)
+		}
+	}
+
+	// Huge prediction: finite need, infeasible, boost when allowed.
+	dec = d.Select(Request{PredictedT0: 1e6, Budget: 16.7e-3, AllowBoost: true})
+	if dec.Feasible || dec.Level != d.Boost || math.IsInf(dec.RequiredFreq, 0) || math.IsNaN(dec.RequiredFreq) {
+		t.Errorf("huge prediction: %+v", dec)
+	}
+
+	// Infinite prediction: need is +Inf — infeasible but well-defined.
+	dec = d.Select(Request{PredictedT0: math.Inf(1), Budget: 16.7e-3})
+	if dec.Feasible || !math.IsInf(dec.RequiredFreq, 1) {
+		t.Errorf("infinite prediction: %+v", dec)
+	}
+
+	// Budget exactly consumed by overheads: avail == 0 is "no budget",
+	// not a division by zero.
+	dec = d.Select(Request{PredictedT0: 1e-3, Budget: 0.6e-3, SliceTime: 0.5e-3, SwitchTime: 0.1e-3})
+	if dec.Feasible || !math.IsInf(dec.RequiredFreq, 1) || dec.Level != d.Nominal {
+		t.Errorf("exactly-consumed budget: %+v", dec)
+	}
+
+	// Negative budget without boost permission stays at nominal.
+	dec = d.Select(Request{PredictedT0: 1e-3, Budget: -1})
+	if dec.Feasible || dec.Level != d.Nominal {
+		t.Errorf("negative budget: %+v", dec)
+	}
+}
+
+// TestSelectBoostOnlyFeasibility: a demand between nominal and boost
+// frequency is feasible if and only if boost is permitted, and the
+// reported level satisfies the demand.
+func TestSelectBoostOnlyFeasibility(t *testing.T) {
+	d := ASIC(250e6, true)
+	nominal := d.NominalFreq()
+	boost := d.Points[d.Boost].Freq
+	// Pick a budget so that need lands halfway between nominal and boost.
+	target := (nominal + boost) / 2
+	budget := nominal * 10e-3 / target // need = f0·T0/budget = target
+	r := Request{PredictedT0: 10e-3, Budget: budget}
+	if dec := d.Select(r); dec.Feasible {
+		t.Errorf("boost-only demand feasible without permission: %+v", dec)
+	}
+	r.AllowBoost = true
+	dec := d.Select(r)
+	if !dec.Feasible || dec.Level != d.Boost {
+		t.Fatalf("boost-only demand with permission: %+v", dec)
+	}
+	if d.Points[dec.Level].Freq < dec.RequiredFreq {
+		t.Error("boost level does not satisfy the demand it was chosen for")
+	}
+}
+
 func TestSelectMonotoneInPrediction(t *testing.T) {
 	d := ASIC(602e6, false)
 	f := func(raw uint16) bool {
@@ -207,5 +289,56 @@ func TestValidateCatchesBadDevices(t *testing.T) {
 	}
 	if err := bad.Validate(); err == nil {
 		t.Error("boost below nominal validated")
+	}
+	// Frequency-unsorted points with ascending voltage: the round-up
+	// scan in Select depends on frequency order too.
+	bad = &Device{
+		Name:    "bad4",
+		Points:  []OperatingPoint{{V: 0.8, Freq: 120}, {V: 0.9, Freq: 100}},
+		Nominal: 1,
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("frequency-descending points validated")
+	}
+	// Non-finite and non-positive points.
+	for _, pts := range [][]OperatingPoint{
+		{{V: 0.9, Freq: math.NaN()}},
+		{{V: 0.9, Freq: math.Inf(1)}},
+		{{V: 0.9, Freq: 0}},
+		{{V: math.NaN(), Freq: 100}},
+		{{V: -0.9, Freq: 100}},
+	} {
+		bad = &Device{Name: "bad5", Points: pts}
+		if err := bad.Validate(); err == nil {
+			t.Errorf("degenerate point %+v validated", pts[0])
+		}
+	}
+}
+
+// TestConstructorsRejectDegenerateNominal: the built-in profile
+// builders panic rather than hand back a device whose points violate
+// the invariants Select depends on.
+func TestConstructorsRejectDegenerateNominal(t *testing.T) {
+	for _, hz := range []float64{0, -250e6, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ASIC(%g) did not panic", hz)
+				}
+			}()
+			ASIC(hz, true)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FPGA(%g) did not panic", hz)
+				}
+			}()
+			FPGA(hz)
+		}()
+	}
+	// Sane inputs still construct.
+	if ASIC(250e6, true) == nil || FPGA(150e6) == nil {
+		t.Fatal("valid constructors failed")
 	}
 }

@@ -1,0 +1,231 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestDecisionsAreDeterministic pins the core contract: two injectors
+// with the same seed make identical decisions for every (site, key,
+// attempt), regardless of query order, and a different seed produces a
+// different schedule.
+func TestDecisionsAreDeterministic(t *testing.T) {
+	a := New(7).Site("s", 0.5)
+	b := New(7).Site("s", 0.5)
+	hitsA, hitsB := 0, 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("k%d", i)
+		// Query b in reverse attempt order to prove order independence.
+		da0, da1 := a.CheckN("s", key, 0), a.CheckN("s", key, 1)
+		db1, db0 := b.CheckN("s", key, 1), b.CheckN("s", key, 0)
+		if da0 != db0 || da1 != db1 {
+			t.Fatalf("same seed diverged at key %s", key)
+		}
+		if da0 {
+			hitsA++
+		}
+	}
+	c := New(8).Site("s", 0.5)
+	for i := 0; i < 2000; i++ {
+		if c.CheckN("s", fmt.Sprintf("k%d", i), 0) {
+			hitsB++
+		}
+	}
+	if hitsA == 0 || hitsB == 0 {
+		t.Fatal("rate-0.5 site never fired")
+	}
+	// A different seed must produce a different hit set; identical
+	// counts alone would be an astronomical coincidence at n=2000.
+	same := true
+	for i := 0; i < 2000 && same; i++ {
+		key := fmt.Sprintf("k%d", i)
+		same = New(7).Site("s", 0.5).CheckN("s", key, 0) == New(8).Site("s", 0.5).CheckN("s", key, 0)
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical schedules")
+	}
+}
+
+// TestRateCalibration checks the hash behaves like a uniform draw: a
+// rate-p site fires on roughly p of distinct keys.
+func TestRateCalibration(t *testing.T) {
+	for _, rate := range []float64{0.1, 0.5, 0.9} {
+		in := New(3).Site("s", rate)
+		const n = 5000
+		hits := 0
+		for i := 0; i < n; i++ {
+			if in.Hit("s", fmt.Sprintf("key-%d", i)) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-rate) > 0.03 {
+			t.Errorf("rate %g: observed %g", rate, got)
+		}
+		if c := in.Counts()["s"]; c != uint64(hits) {
+			t.Errorf("rate %g: count %d, hits %d", rate, c, hits)
+		}
+	}
+}
+
+// TestTransientVsPersistentRetries pins the attempt semantics: repeat 0
+// never re-faults a retry, repeat 1 draws every attempt, and rates of 1
+// make both exact.
+func TestTransientVsPersistentRetries(t *testing.T) {
+	transient := New(1).Site("s", 1)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if !transient.HitN("s", key, 0) {
+			t.Fatalf("rate-1 site missed attempt 0 of %s", key)
+		}
+		if transient.HitN("s", key, 1) {
+			t.Fatalf("transient site fired on a retry of %s", key)
+		}
+	}
+	persistent := New(1).SiteRepeat("s", 1, 1)
+	for a := 0; a < 4; a++ {
+		if !persistent.HitN("s", "k", a) {
+			t.Fatalf("persistent rate-1 site missed attempt %d", a)
+		}
+	}
+}
+
+// TestNilAndUnknownSitesNeverFire: a nil injector and unregistered
+// sites are inert, so consumers carry no nil checks.
+func TestNilAndUnknownSitesNeverFire(t *testing.T) {
+	var in *Injector
+	if in.Hit("s", "k") || in.CheckN("s", "k", 0) || in.Err("s", "k") != nil {
+		t.Error("nil injector fired")
+	}
+	if in.Seed() != 0 || in.Total() != 0 || len(in.Counts()) != 0 {
+		t.Error("nil injector reported state")
+	}
+	if !strings.Contains(in.String(), "disabled") {
+		t.Errorf("nil injector String = %q", in.String())
+	}
+	reg := New(1).Site("known", 1)
+	if reg.Hit("unknown", "k") {
+		t.Error("unregistered site fired")
+	}
+}
+
+// TestErrAndInjected: Err wraps injected failures in *Error and
+// Injected recognizes them through wrapping.
+func TestErrAndInjected(t *testing.T) {
+	in := New(1).Site("s", 1)
+	err := in.Err("s", "k")
+	if err == nil {
+		t.Fatal("rate-1 Err returned nil")
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Site != "s" || fe.Key != "k" || fe.Attempt != 0 {
+		t.Fatalf("error carries wrong identity: %+v", fe)
+	}
+	wrapped := fmt.Errorf("outer: %w", err)
+	if !Injected(wrapped) {
+		t.Error("Injected missed a wrapped injected error")
+	}
+	if Injected(errors.New("organic")) {
+		t.Error("Injected claimed an organic error")
+	}
+	if in.Err("s2", "k") != nil {
+		t.Error("unregistered site returned an error")
+	}
+}
+
+// TestCheckDoesNotCount: CheckN re-derives decisions without advancing
+// the counters (the serving layer uses it for attribution).
+func TestCheckDoesNotCount(t *testing.T) {
+	in := New(1).Site("s", 1)
+	for i := 0; i < 10; i++ {
+		in.CheckN("s", "k", 0)
+	}
+	if got := in.Counts()["s"]; got != 0 {
+		t.Fatalf("CheckN counted %d injections", got)
+	}
+	in.Hit("s", "k")
+	if got := in.Counts()["s"]; got != 1 {
+		t.Fatalf("Hit counted %d injections, want 1", got)
+	}
+	if in.Total() != 1 {
+		t.Fatalf("Total = %d, want 1", in.Total())
+	}
+}
+
+// TestParse round-trips spec strings, including repeat factors,
+// whitespace, and the error cases.
+func TestParse(t *testing.T) {
+	in, err := Parse(42, "a=0.25, b=1*0.5 ,c=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Seed() != 42 {
+		t.Errorf("seed = %d", in.Seed())
+	}
+	if !in.CheckN("b", "anything", 0) {
+		t.Error("rate-1 parsed site did not fire")
+	}
+	if in.CheckN("c", "anything", 0) {
+		t.Error("rate-0 parsed site fired")
+	}
+	s := in.String()
+	for _, want := range []string{"a=0.25", "b=1*0.5", "seed=42"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if empty, err := Parse(1, "  "); err != nil || len(empty.Counts()) != 0 {
+		t.Errorf("empty spec: %v, %v", empty, err)
+	}
+	for _, bad := range []string{"noequals", "=0.5", "a=xyz", "a=0.5*zz"} {
+		if _, err := Parse(1, bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// TestClamping: degenerate rates (negative, >1, NaN) clamp rather than
+// corrupt the schedule.
+func TestClamping(t *testing.T) {
+	in := New(1).
+		Site("neg", -2).
+		Site("nan", math.NaN()).
+		Site("big", 7)
+	if in.CheckN("neg", "k", 0) || in.CheckN("nan", "k", 0) {
+		t.Error("clamped-to-zero site fired")
+	}
+	if !in.CheckN("big", "k", 0) {
+		t.Error("clamped-to-one site did not fire")
+	}
+}
+
+// TestConcurrentQueries hammers one injector from many goroutines; run
+// under -race in CI. Counts must equal the deterministic hit total.
+func TestConcurrentQueries(t *testing.T) {
+	in := New(9).Site("s", 0.5)
+	want := 0
+	const workers, keys = 8, 400
+	for i := 0; i < keys; i++ {
+		if in.CheckN("s", fmt.Sprintf("k%d", i), 0) {
+			want++
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				in.HitN("s", fmt.Sprintf("k%d", i), 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Counts()["s"]; got != uint64(want*workers) {
+		t.Fatalf("count = %d, want %d", got, want*workers)
+	}
+}

@@ -1,0 +1,116 @@
+package serve_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/fault"
+	"repro/internal/serve"
+	"repro/internal/suite"
+	"repro/internal/workload"
+)
+
+// chaosSeed drives the injected stall schedule; the soak runs it twice
+// and demands identical statistics.
+const chaosSeed = 1234
+
+// chaosRun replays every benchmark's test workload through a live
+// server under a seeded stall schedule and returns the per-shard stats
+// snapshots, in server order.
+func chaosRun(t *testing.T, lab *exp.Lab, seed int64) []serve.Stats {
+	t.Helper()
+	srv := serve.NewServer()
+	submitted := make(map[string]int)
+	results := make(map[string]chan serve.Outcome)
+	for _, name := range lab.Names() {
+		cfg := shardCfgFor(t, lab, name, 0)
+		// 15% of first attempts stall; retries never re-fault (transient),
+		// so two retries guarantee every job eventually predicts. The
+		// watchdog is armed but far beyond any real simulation time: only
+		// the injected, deterministic stalls fire.
+		cfg.Faults = fault.New(seed).Site(serve.FaultStall, 0.15)
+		cfg.JobTimeout = 10 * time.Second
+		cfg.MaxRetries = 2
+		cfg.RetryBackoff = 20 * time.Microsecond
+		cfg.StallPenalty = 2e-3
+		cfg.Overflow = serve.OverflowDegrade
+		if _, err := srv.AddShard(cfg); err != nil {
+			t.Fatal(err)
+		}
+
+		spec, err := suite.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := lab.Entry(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs := spec.TestJobs(lab.Seed + 1)[:len(e.Test)]
+		res := make(chan serve.Outcome, len(jobs))
+		results[name] = res
+		arrivals := workload.PeriodicArrivals(len(jobs), exp.Deadline)
+		for i, job := range jobs {
+			if err := srv.Submit(name, serve.Job{Arrival: arrivals[i], Payload: job, Result: res}); err != nil {
+				t.Fatalf("%s: submit %d: %v", name, i, err)
+			}
+			submitted[name]++
+		}
+	}
+	srv.Close()
+
+	// No lost or duplicated jobs: each shard delivers exactly one
+	// outcome per submitted job and not one more.
+	for _, name := range srv.Names() {
+		res := results[name]
+		if got := len(res); got != submitted[name] {
+			t.Fatalf("%s: %d outcomes for %d submitted jobs", name, got, submitted[name])
+		}
+		for i := 0; i < submitted[name]; i++ {
+			if o := <-res; o.Err != nil {
+				t.Fatalf("%s: job %d failed: %v", name, i, o.Err)
+			}
+		}
+	}
+	return srv.Stats()
+}
+
+// TestChaosSoak is the capstone failure-path test: all benchmarks are
+// served under a seeded fault schedule with stalls, retries, and the
+// overflow-degrade policy armed. It asserts the hard chaos guarantees:
+// no panics, no lost or duplicated jobs, no errors, injected stalls
+// actually fired and were retried, every serving-layer miss is
+// attributed to the injected schedule (ServingMisses stays zero), and
+// the whole run replays bit-identically under the same seed.
+func TestChaosSoak(t *testing.T) {
+	lab := quickLab(t)
+	first := chaosRun(t, lab, chaosSeed)
+
+	var stalled, retries, misses, faultMisses uint64
+	for _, st := range first {
+		if st.Errors != 0 {
+			t.Errorf("%s: %d errors under injection", st.Name, st.Errors)
+		}
+		if st.ServingMisses != 0 {
+			t.Errorf("%s: %d misses attributed to the serving layer beyond the injected faults", st.Name, st.ServingMisses)
+		}
+		if st.Rejected != 0 {
+			t.Errorf("%s: %d rejected at nominal load", st.Name, st.Rejected)
+		}
+		stalled += st.Stalled
+		retries += st.Retries
+		misses += st.Misses
+		faultMisses += st.FaultMisses
+	}
+	if stalled == 0 || retries == 0 {
+		t.Fatalf("fault schedule never fired: stalled %d, retries %d", stalled, retries)
+	}
+	t.Logf("chaos: stalled %d, retries %d, misses %d (%d fault-attributed)", stalled, retries, misses, faultMisses)
+
+	second := chaosRun(t, lab, chaosSeed)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("same-seed chaos runs diverged:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}

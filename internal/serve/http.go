@@ -193,8 +193,17 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"dvfserved_jobs_rejected_total", "Jobs rejected by admission control.", func(s Stats) uint64 { return s.Rejected }},
 		{"dvfserved_jobs_degraded_total", "Jobs served on the max-frequency bypass.", func(s Stats) uint64 { return s.Degraded }},
 		{"dvfserved_job_errors_total", "Jobs that failed to simulate.", func(s Stats) uint64 { return s.Errors }},
+		{"dvfserved_jobs_shed_total", "Jobs dropped at a full queue.", func(s Stats) uint64 { return s.Shed }},
+		{"dvfserved_overloads_total", "Transitions into the overflow-degrade overload regime.", func(s Stats) uint64 { return s.Overloads }},
+		{"dvfserved_degraded_wait_total", "Degraded jobs triggered by queue wait.", func(s Stats) uint64 { return s.DegradedWait }},
+		{"dvfserved_degraded_budget_total", "Degraded jobs triggered by exhausted budget.", func(s Stats) uint64 { return s.DegradedBudget }},
+		{"dvfserved_degraded_overload_total", "Degraded jobs triggered by the overload regime.", func(s Stats) uint64 { return s.DegradedOverload }},
+		{"dvfserved_degraded_stall_total", "Degraded jobs triggered by stall-retry exhaustion.", func(s Stats) uint64 { return s.DegradedStall }},
+		{"dvfserved_stalled_attempts_total", "Prediction attempts that timed out.", func(s Stats) uint64 { return s.Stalled }},
+		{"dvfserved_stall_retries_total", "Retries provoked by stalled attempts.", func(s Stats) uint64 { return s.Retries }},
 		{"dvfserved_deadline_misses_total", "Arrival-relative deadline misses.", func(s Stats) uint64 { return s.Misses }},
 		{"dvfserved_serving_misses_total", "Misses attributable to queue wait.", func(s Stats) uint64 { return s.ServingMisses }},
+		{"dvfserved_fault_misses_total", "Misses attributable to injected stall delays.", func(s Stats) uint64 { return s.FaultMisses }},
 		{"dvfserved_dvfs_switches_total", "Charged DVFS transitions.", func(s Stats) uint64 { return s.Switches }},
 	}
 	stats := a.srv.Stats()

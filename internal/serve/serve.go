@@ -16,20 +16,78 @@
 // shard degrades gracefully: it skips the slice entirely and runs the
 // job at the nominal (maximum non-boost) frequency, trading energy for
 // safety.
+//
+// The shard also hardens against its own machinery failing. A
+// prediction attempt that wedges (a stuck simulator, or an injected
+// stall from a fault.Injector) is bounded by JobTimeout, retried up to
+// MaxRetries times with exponential backoff, and finally served on the
+// degraded path; each stalled attempt charges StallPenalty seconds of
+// virtual time against the job's budget. Queue overflow follows an
+// explicit policy: OverflowShed rejects the excess (counted as shed),
+// while OverflowDegrade additionally flips the shard into a degraded
+// overload regime — every admitted job bypasses prediction and runs
+// flat out until the backlog drains below half the queue depth — so
+// the operator chooses between losing jobs and losing energy savings.
+// Every one of these transitions is observable in Stats and /metrics.
 package serve
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/accel"
 	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/dvfs"
+	"repro/internal/fault"
 	"repro/internal/power"
 	"repro/internal/sim"
 )
+
+// FaultStall is the fault-injection site for stalled prediction
+// attempts: a hit makes the attempt time out (charging StallPenalty)
+// without touching the simulator, so injected schedules stay
+// deterministic. Keys are "<shard>/<sequence>"; retries draw at the
+// site's repeat-scaled rate.
+const FaultStall = "serve.stall"
+
+// OverflowPolicy selects what a shard does when its admission queue is
+// full.
+type OverflowPolicy int
+
+const (
+	// OverflowShed rejects excess jobs outright (counted in Shed); the
+	// stream loses jobs but admitted ones keep full prediction quality.
+	OverflowShed OverflowPolicy = iota
+	// OverflowDegrade also rejects jobs the queue physically cannot hold,
+	// but additionally declares the shard overloaded: every admitted job
+	// runs the degraded max-frequency path (draining the backlog as fast
+	// as the device allows) until the depth falls to half the queue, at
+	// which point prediction resumes.
+	OverflowDegrade
+)
+
+// String renders the policy as its flag spelling.
+func (p OverflowPolicy) String() string {
+	if p == OverflowDegrade {
+		return "degrade"
+	}
+	return "shed"
+}
+
+// ParseOverflowPolicy maps the flag spellings "shed" and "degrade".
+func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
+	switch s {
+	case "shed", "":
+		return OverflowShed, nil
+	case "degrade":
+		return OverflowDegrade, nil
+	}
+	return 0, fmt.Errorf("serve: unknown overflow policy %q (want shed or degrade)", s)
+}
 
 // ShardConfig configures one accelerator shard.
 type ShardConfig struct {
@@ -61,6 +119,27 @@ type ShardConfig struct {
 	// remaining budget cannot even cover a DVFS transition always
 	// degrades, regardless of this setting.
 	DegradeWait float64
+	// Overflow selects the full-queue policy; the zero value is
+	// OverflowShed.
+	Overflow OverflowPolicy
+	// JobTimeout bounds one prediction attempt in wall-clock time; an
+	// attempt that exceeds it counts as stalled, abandons its simulator
+	// (the worker rebuilds a fresh clone), and is retried or degraded.
+	// 0 disables the watchdog.
+	JobTimeout time.Duration
+	// MaxRetries is how many times a stalled attempt is retried before
+	// the job falls back to the degraded path. Negative is treated as 0.
+	MaxRetries int
+	// RetryBackoff is the wall-clock sleep before the first retry,
+	// doubling per attempt. 0 retries immediately.
+	RetryBackoff time.Duration
+	// StallPenalty is the virtual time, in seconds, each stalled attempt
+	// burns from the job's budget. 0 selects JobTimeout (the time the
+	// watchdog actually waited).
+	StallPenalty float64
+	// Faults optionally injects stalls at the FaultStall site on a
+	// deterministic seeded schedule; nil injects nothing.
+	Faults *fault.Injector
 }
 
 // Defaults for ShardConfig's zero values.
@@ -97,6 +176,12 @@ type Outcome struct {
 	Start, Finish float64
 	// Degraded marks jobs that took the max-frequency bypass.
 	Degraded bool
+	// Stalls counts prediction attempts that timed out (injected or
+	// genuine) while serving this job.
+	Stalls int
+	// StallDelay is the virtual time those stalls burned from the job's
+	// budget, in seconds.
+	StallDelay float64
 	// Err reports a simulation failure (the job did not execute).
 	Err error
 }
@@ -112,11 +197,29 @@ type Stats struct {
 	// rejections; Degraded counts jobs served on the bypass path;
 	// Errors counts simulation failures.
 	Done, Rejected, Degraded, Errors uint64
+	// Shed counts jobs dropped at a full queue (every Rejected job is
+	// currently an overflow shed; the split exists so future admission
+	// rules don't conflate with overflow). Overloads counts transitions
+	// into the OverflowDegrade overload regime.
+	Shed, Overloads uint64
+	// DegradedWait, DegradedBudget, DegradedOverload and DegradedStall
+	// break Degraded down by trigger: queue wait over the threshold,
+	// budget too small for a DVFS switch, the overload regime, and
+	// stall-retry exhaustion. A job may trip several triggers; it is
+	// attributed to the first in the order above.
+	DegradedWait, DegradedBudget, DegradedOverload, DegradedStall uint64
+	// Stalled counts prediction attempts that timed out; Retries counts
+	// the retry attempts they provoked.
+	Stalled, Retries uint64
 	// Misses counts arrival-relative deadline violations. ServingMisses
 	// counts the subset attributable to the serving layer itself: jobs
 	// whose slice+switch+execution time fit inside a full deadline but
-	// whose queue wait made them late.
-	Misses, ServingMisses uint64
+	// whose queue wait made them late. FaultMisses carves out of that
+	// the misses attributable to injected stall delays (the job, and
+	// the share of its queue wait not inherited from injected delays,
+	// would have met the deadline) — the chaos soak asserts every
+	// serving-layer miss under injection lands here.
+	Misses, ServingMisses, FaultMisses uint64
 	// Switches counts charged DVFS transitions.
 	Switches uint64
 	// Energy is total joules across completed jobs.
@@ -154,10 +257,25 @@ type Shard struct {
 	js           *core.JobSimulator
 	now          float64
 	prevSwitches int
+	seq          uint64
+	// faultDebt is the share of the clock's backlog caused by injected
+	// stall delays, used to attribute cascaded queue-wait misses to the
+	// fault schedule. It resets when the queue drains (a job waits 0)
+	// and is capped by the actual backlog after every job.
+	faultDebt float64
+
+	// overloaded is the OverflowDegrade regime flag: set by Submit on
+	// overflow, cleared by the worker once the backlog halves.
+	overloaded atomic.Bool
 
 	// Shared counters (atomic; see metrics.go).
 	done, rejected, degraded, errs counter
+	shed, overloads                counter
+	degWait, degBudget             counter
+	degOverload, degStall          counter
+	stalled, retries               counter
 	misses, servingMisses          counter
+	faultMisses                    counter
 	switches                       counter
 	energy                         afloat
 	clock                          afloat
@@ -178,6 +296,15 @@ func NewShard(cfg ShardConfig) (*Shard, error) {
 	}
 	if cfg.DegradeWait == 0 {
 		cfg.DegradeWait = DefaultDegradeFrac * cfg.Deadline
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.JobTimeout < 0 || cfg.RetryBackoff < 0 {
+		return nil, fmt.Errorf("serve: %s: negative timeout or backoff", cfg.Name)
+	}
+	if cfg.StallPenalty <= 0 {
+		cfg.StallPenalty = cfg.JobTimeout.Seconds()
 	}
 	stepper, err := sim.NewStepper(sim.Config{
 		Device:     cfg.Device,
@@ -206,16 +333,23 @@ func (s *Shard) Name() string { return s.cfg.Name }
 var ErrQueueFull = fmt.Errorf("serve: queue full")
 
 // Submit enqueues a job without blocking. A full queue rejects the job
-// with ErrQueueFull and counts it; the job never executes.
+// with ErrQueueFull and counts it as shed; the job never executes.
+// Under OverflowDegrade the overflow additionally pushes the shard
+// into the overloaded regime (admitted jobs degrade until the backlog
+// halves).
 func (s *Shard) Submit(j Job) error {
 	select {
 	case s.queue <- j:
 		s.depth.Add(1)
 		return nil
 	default:
-		s.rejected.Inc()
-		return ErrQueueFull
 	}
+	s.rejected.Inc()
+	s.shed.Inc()
+	if s.cfg.Overflow == OverflowDegrade && !s.overloaded.Swap(true) {
+		s.overloads.Inc()
+	}
+	return ErrQueueFull
 }
 
 // Close stops accepting work and waits for the queue to drain.
@@ -233,6 +367,12 @@ func (s *Shard) run() {
 		// The depth gauge counts queued AND executing jobs, so it only
 		// drops after the job completes — "depth 0" means fully drained.
 		s.depth.Add(-1)
+		// Overload hysteresis: once the backlog has drained to half the
+		// queue, resume predicting. (Clearing at half, not zero, keeps the
+		// shard from flapping between regimes on every overflow.)
+		if s.overloaded.Load() && s.depth.Value() <= int64(s.cfg.QueueDepth/2) {
+			s.overloaded.Store(false)
+		}
 		if j.Result != nil {
 			j.Result <- out
 		}
@@ -241,49 +381,113 @@ func (s *Shard) run() {
 
 // serve executes one job on the worker goroutine.
 func (s *Shard) serve(j Job) Outcome {
+	// The fault key is the shard's own monotone job sequence: arrival
+	// timestamps collide inside bursts, and the schedule must be a pure
+	// function of (seed, shard, position in stream).
+	key := fmt.Sprintf("%s/%d", s.cfg.Name, s.seq)
+	s.seq++
+
 	start := j.Arrival
 	if s.now > start {
 		start = s.now
 	}
 	wait := start - j.Arrival
+	if wait == 0 {
+		// The backlog fully drained before this job arrived: no inherited
+		// delay remains, injected or otherwise.
+		s.faultDebt = 0
+	}
 	budget := s.cfg.Deadline - wait
 
 	// Degrade when the job has already burned too much of its life in
-	// the queue, or when the remaining budget cannot absorb even a DVFS
-	// transition — either way prediction has fallen behind, so stop
-	// paying for it and run flat out.
-	degraded := budget <= s.cfg.Device.SwitchTime
-	if s.cfg.DegradeWait > 0 && wait >= s.cfg.DegradeWait {
-		degraded = true
+	// the queue, when the remaining budget cannot absorb even a DVFS
+	// transition, or when the shard is in the overflow-degrade overload
+	// regime — in every case prediction has fallen behind, so stop
+	// paying for it and run flat out. The trigger counters attribute
+	// each degraded job to the first condition that fired.
+	degraded := true
+	switch {
+	case budget <= s.cfg.Device.SwitchTime:
+		s.degBudget.Inc()
+	case s.cfg.DegradeWait > 0 && wait >= s.cfg.DegradeWait:
+		s.degWait.Inc()
+	case s.cfg.Overflow == OverflowDegrade && s.overloaded.Load():
+		s.degOverload.Inc()
+	default:
+		degraded = false
 	}
 
-	var tr core.JobTrace
-	var err error
-	switch {
-	case j.Trace != nil:
-		tr = *j.Trace
-	case s.js == nil:
-		err = fmt.Errorf("serve: %s: job without trace on a replay-only shard", s.cfg.Name)
-	case degraded:
-		// The degraded path skips the slice simulation entirely — that
-		// is the point: the predictor is the component that fell behind.
-		tr, err = s.js.Execute(j.Payload)
-	default:
-		tr, err = s.js.Trace(j.Payload)
+	// Prediction attempt ladder: each attempt may stall — injected by
+	// the fault schedule (decided up front, without touching the
+	// simulator, so replays are bit-identical) or genuinely (the
+	// watchdog in simulate fires). A stalled attempt burns StallPenalty
+	// of virtual time and is retried after an exponential wall-clock
+	// backoff; when retries are exhausted the job takes the degraded
+	// path as a last resort.
+	var (
+		tr            core.JobTrace
+		err           error
+		stalls        int
+		injectedDelay float64
+		genuineDelay  float64
+	)
+	for attempt := 0; ; attempt++ {
+		if s.cfg.Faults.HitN(FaultStall, key, attempt) {
+			stalls++
+			s.stalled.Inc()
+			injectedDelay += s.cfg.StallPenalty
+		} else {
+			var stalled bool
+			tr, stalled, err = s.simulate(j, degraded)
+			if !stalled {
+				break
+			}
+			stalls++
+			s.stalled.Inc()
+			genuineDelay += s.cfg.StallPenalty
+		}
+		if attempt >= s.cfg.MaxRetries {
+			if degraded {
+				err = fmt.Errorf("serve: %s: job %s stalled through %d attempts", s.cfg.Name, key, attempt+1)
+				break
+			}
+			// Last resort: serve degraded. This final attempt is organic —
+			// no injection — so an injected schedule can exhaust retries
+			// but never lose the job.
+			degraded = true
+			s.degStall.Inc()
+			var stalled bool
+			tr, stalled, err = s.simulate(j, degraded)
+			if stalled {
+				stalls++
+				s.stalled.Inc()
+				genuineDelay += s.cfg.StallPenalty
+				err = fmt.Errorf("serve: %s: job %s stalled through %d attempts", s.cfg.Name, key, attempt+2)
+			}
+			break
+		}
+		s.retries.Inc()
+		if s.cfg.RetryBackoff > 0 {
+			time.Sleep(s.cfg.RetryBackoff << attempt)
+		}
 	}
+	stallDelay := injectedDelay + genuineDelay
 	if err != nil {
 		s.errs.Inc()
 		s.done.Inc()
-		return Outcome{Wait: wait, Start: start, Finish: start, Degraded: degraded, Err: err}
+		return Outcome{Wait: wait, Start: start, Finish: start, Degraded: degraded,
+			Stalls: stalls, StallDelay: stallDelay, Err: err}
 	}
 
+	// Stall delays come out of the job's budget before the stepper sees
+	// it, exactly like queue wait.
 	var jr sim.JobResult
 	if degraded {
-		jr = s.stepper.StepDegraded(tr, budget)
+		jr = s.stepper.StepDegraded(tr, budget-stallDelay)
 	} else {
-		jr = s.stepper.Step(tr, budget)
+		jr = s.stepper.Step(tr, budget-stallDelay)
 	}
-	finish := start + jr.TotalSeconds
+	finish := start + stallDelay + jr.TotalSeconds
 	// Frame-drop resync: a job that overran its own absolute deadline is
 	// already lost (counted and charged below), so the shard re-anchors
 	// the clock to that deadline rather than letting one overrun slide
@@ -306,43 +510,129 @@ func (s *Shard) serve(j Job) Outcome {
 	}
 	if jr.Missed {
 		s.misses.Inc()
-		if jr.TotalSeconds <= s.cfg.Deadline*(1+1e-12) {
-			// The job itself fit in a fresh deadline; queue wait (the
-			// serving layer) made it late.
+		// Attribution: subtract the injected share of the lateness — the
+		// delay injected into this job plus the inherited fault debt
+		// riding in its queue wait — and ask whether the job would still
+		// have missed. If not, the fault schedule owns the miss; if the
+		// job fit a fresh deadline, the serving layer owns it; otherwise
+		// the job was intrinsically infeasible.
+		inherited := s.faultDebt
+		if inherited > wait {
+			inherited = wait
+		}
+		clean := jr.TotalSeconds + genuineDelay + (wait - inherited)
+		switch {
+		case clean <= s.cfg.Deadline*(1+1e-12):
+			s.faultMisses.Inc()
+		case jr.TotalSeconds <= s.cfg.Deadline*(1+1e-12):
 			s.servingMisses.Inc()
 		}
 	}
-	s.waitHist.Observe(wait)
-	s.latHist.Observe(wait + jr.TotalSeconds)
-	return Outcome{
-		Job:      jr,
-		Wait:     wait,
-		Start:    start,
-		Finish:   finish,
-		Degraded: degraded,
+	// Carry the injected share of the backlog forward for the next job's
+	// attribution, never claiming more debt than the backlog that
+	// actually remains (the frame-drop resync above can discard time,
+	// injected or not).
+	s.faultDebt += injectedDelay
+	if backlog := s.now - j.Arrival; s.faultDebt > backlog {
+		s.faultDebt = backlog
 	}
+	if s.faultDebt < 0 {
+		s.faultDebt = 0
+	}
+
+	s.waitHist.Observe(wait)
+	s.latHist.Observe(wait + stallDelay + jr.TotalSeconds)
+	return Outcome{
+		Job:        jr,
+		Wait:       wait,
+		Start:      start,
+		Finish:     finish,
+		Degraded:   degraded,
+		Stalls:     stalls,
+		StallDelay: stallDelay,
+	}
+}
+
+// simulate runs one prediction attempt for j, under the watchdog when
+// JobTimeout is configured. It reports the trace, whether the attempt
+// stalled (timed out — the result is void and the worker's simulator
+// has been replaced with a fresh clone, since the wedged attempt may
+// have left it mid-job), and any simulation error.
+func (s *Shard) simulate(j Job, degraded bool) (core.JobTrace, bool, error) {
+	switch {
+	case j.Trace != nil:
+		return *j.Trace, false, nil
+	case s.js == nil:
+		return core.JobTrace{}, false, fmt.Errorf("serve: %s: job without trace on a replay-only shard", s.cfg.Name)
+	}
+	if s.cfg.JobTimeout <= 0 {
+		tr, err := execute(s.js, j, degraded)
+		return tr, false, err
+	}
+	type result struct {
+		tr  core.JobTrace
+		err error
+	}
+	js := s.js
+	ch := make(chan result, 1)
+	go func() {
+		tr, err := execute(js, j, degraded)
+		ch <- result{tr, err}
+	}()
+	timer := time.NewTimer(s.cfg.JobTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.tr, false, r.err
+	case <-timer.C:
+		// The attempt wedged. The goroutine owns js and will exit into
+		// its buffered channel on its own; the worker abandons both and
+		// rebuilds its simulator, because the wedged attempt may have
+		// left the old one mid-job.
+		s.js = s.cfg.Pred.NewJobSimulator()
+		return core.JobTrace{}, true, nil
+	}
+}
+
+// execute runs the appropriate simulation for the serving path: the
+// degraded path skips the slice simulation entirely — that is the
+// point: the predictor is the component that fell behind.
+func execute(js *core.JobSimulator, j Job, degraded bool) (core.JobTrace, error) {
+	if degraded {
+		return js.Execute(j.Payload)
+	}
+	return js.Trace(j.Payload)
 }
 
 // Stats snapshots the shard's counters. Safe to call concurrently with
 // serving.
 func (s *Shard) Stats() Stats {
 	return Stats{
-		Name:          s.cfg.Name,
-		Done:          s.done.Value(),
-		Rejected:      s.rejected.Value(),
-		Degraded:      s.degraded.Value(),
-		Errors:        s.errs.Value(),
-		Misses:        s.misses.Value(),
-		ServingMisses: s.servingMisses.Value(),
-		Switches:      s.switches.Value(),
-		Energy:        s.energy.Value(),
-		QueueDepth:    s.depth.Value(),
-		Clock:         s.clock.Value(),
-		WaitP50:       s.waitHist.Quantile(0.50),
-		WaitP99:       s.waitHist.Quantile(0.99),
-		LatencyP50:    s.latHist.Quantile(0.50),
-		LatencyP99:    s.latHist.Quantile(0.99),
-		LatencyMean:   s.latHist.Mean(),
+		Name:             s.cfg.Name,
+		Done:             s.done.Value(),
+		Rejected:         s.rejected.Value(),
+		Degraded:         s.degraded.Value(),
+		Errors:           s.errs.Value(),
+		Shed:             s.shed.Value(),
+		Overloads:        s.overloads.Value(),
+		DegradedWait:     s.degWait.Value(),
+		DegradedBudget:   s.degBudget.Value(),
+		DegradedOverload: s.degOverload.Value(),
+		DegradedStall:    s.degStall.Value(),
+		Stalled:          s.stalled.Value(),
+		Retries:          s.retries.Value(),
+		Misses:           s.misses.Value(),
+		ServingMisses:    s.servingMisses.Value(),
+		FaultMisses:      s.faultMisses.Value(),
+		Switches:         s.switches.Value(),
+		Energy:           s.energy.Value(),
+		QueueDepth:       s.depth.Value(),
+		Clock:            s.clock.Value(),
+		WaitP50:          s.waitHist.Quantile(0.50),
+		WaitP99:          s.waitHist.Quantile(0.99),
+		LatencyP50:       s.latHist.Quantile(0.50),
+		LatencyP99:       s.latHist.Quantile(0.99),
+		LatencyMean:      s.latHist.Mean(),
 	}
 }
 

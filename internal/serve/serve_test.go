@@ -3,10 +3,12 @@ package serve
 import (
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/dvfs"
+	"repro/internal/fault"
 	"repro/internal/power"
 	"repro/internal/rtl"
 	"repro/internal/sim"
@@ -359,5 +361,183 @@ func TestHistogramQuantiles(t *testing.T) {
 	var empty histogram
 	if empty.Quantile(0.99) != 0 || empty.Mean() != 0 {
 		t.Error("empty histogram should report zeros")
+	}
+}
+
+// TestStallRetryRecovers: a transient stall schedule (rate 1, retries
+// never re-fault) with one retry allowed serves every job on its retry
+// — no degradation, no errors, and stall delays charged to the budget.
+func TestStallRetryRecovers(t *testing.T) {
+	cfg := testShardConfig("stall")
+	cfg.Faults = fault.New(3).Site(FaultStall, 1) // transient
+	cfg.MaxRetries = 1
+	cfg.RetryBackoff = 50 * time.Microsecond
+	cfg.StallPenalty = 1e-3
+	sh, err := NewShard(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := synthTraces([]float64{4, 8, 12, 5})
+	arrivals := workload.PeriodicArrivals(len(traces), testDeadline)
+	outs := submitTraces(t, sh, traces, arrivals)
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("job %d: %v", i, o.Err)
+		}
+		if o.Stalls != 1 || o.StallDelay != 1e-3 {
+			t.Errorf("job %d: stalls %d delay %g, want 1 stall of 1ms", i, o.Stalls, o.StallDelay)
+		}
+		if o.Degraded {
+			t.Errorf("job %d degraded despite a successful retry", i)
+		}
+	}
+	st := sh.Stats()
+	n := uint64(len(traces))
+	if st.Stalled != n || st.Retries != n {
+		t.Errorf("stalled %d retries %d, want %d each", st.Stalled, st.Retries, n)
+	}
+	if st.Degraded != 0 || st.DegradedStall != 0 || st.Errors != 0 {
+		t.Errorf("degraded %d (stall-triggered %d), errors %d, want zeros", st.Degraded, st.DegradedStall, st.Errors)
+	}
+}
+
+// TestStallExhaustionDegrades: with no retries allowed, a stalled job
+// falls back to the degraded path instead of erroring, and the
+// transition is attributed to stall exhaustion in the metrics.
+func TestStallExhaustionDegrades(t *testing.T) {
+	cfg := testShardConfig("exhaust")
+	cfg.Faults = fault.New(3).Site(FaultStall, 1)
+	cfg.MaxRetries = 0
+	cfg.StallPenalty = 1e-3
+	sh, err := NewShard(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := synthTraces([]float64{4, 8, 5})
+	arrivals := workload.PeriodicArrivals(len(traces), testDeadline)
+	outs := submitTraces(t, sh, traces, arrivals)
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("job %d: %v", i, o.Err)
+		}
+		if !o.Degraded {
+			t.Errorf("job %d not degraded after stall exhaustion", i)
+		}
+	}
+	st := sh.Stats()
+	n := uint64(len(traces))
+	if st.Degraded != n || st.DegradedStall != n {
+		t.Errorf("degraded %d (stall-triggered %d), want %d", st.Degraded, st.DegradedStall, n)
+	}
+	if st.Retries != 0 || st.Stalled != n || st.Errors != 0 {
+		t.Errorf("retries %d stalled %d errors %d", st.Retries, st.Stalled, st.Errors)
+	}
+}
+
+// TestStallDelayAttributedToFaultMisses: an injected stall that pushes
+// an otherwise-fitting job past its deadline counts as a fault miss,
+// not a serving miss.
+func TestStallDelayAttributedToFaultMisses(t *testing.T) {
+	cfg := testShardConfig("attr")
+	cfg.Faults = fault.New(3).Site(FaultStall, 1)
+	cfg.MaxRetries = 1
+	cfg.StallPenalty = 10e-3 // 10 ms of a 16.7 ms deadline
+	sh, err := NewShard(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 ms of work fits a fresh deadline but not one down 10 ms.
+	traces := synthTraces([]float64{12})
+	outs := submitTraces(t, sh, traces, []float64{0})
+	if !outs[0].Missed() {
+		t.Fatal("job with 10ms injected delay met a 16.7ms deadline")
+	}
+	st := sh.Stats()
+	if st.Misses != 1 || st.FaultMisses != 1 || st.ServingMisses != 0 {
+		t.Errorf("misses %d fault %d serving %d, want 1/1/0", st.Misses, st.FaultMisses, st.ServingMisses)
+	}
+}
+
+// TestOverflowPolicies: OverflowShed rejects excess and keeps serving
+// predictively; OverflowDegrade additionally pushes the shard into the
+// overloaded regime, so admitted jobs bypass prediction until the
+// backlog halves.
+func TestOverflowPolicies(t *testing.T) {
+	for _, policy := range []OverflowPolicy{OverflowShed, OverflowDegrade} {
+		t.Run(policy.String(), func(t *testing.T) {
+			cfg := testShardConfig("ovf")
+			cfg.QueueDepth = 4
+			cfg.Overflow = policy
+			cfg.DegradeWait = -1 // isolate the overload trigger from wait-degradation
+			sh, err := NewShard(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Gate the worker so the queue can actually fill.
+			gate := make(chan Outcome) // unbuffered: worker blocks sending it
+			gateTr := synthTraces([]float64{1})[0]
+			if err := sh.Submit(Job{Trace: &gateTr, Result: gate}); err != nil {
+				t.Fatal(err)
+			}
+			traces := synthTraces([]float64{1, 1, 1, 1, 1, 1, 1, 1})
+			res := make(chan Outcome, len(traces))
+			accepted := 0
+			for i := range traces {
+				if err := sh.Submit(Job{Trace: &traces[i], Result: res}); err == nil {
+					accepted++
+				}
+			}
+			if accepted == len(traces) {
+				t.Fatal("queue never overflowed")
+			}
+			<-gate
+			sh.Close()
+			degraded := 0
+			for i := 0; i < accepted; i++ {
+				if o := <-res; o.Degraded {
+					degraded++
+				}
+			}
+			st := sh.Stats()
+			shed := uint64(len(traces) - accepted)
+			if st.Shed != shed || st.Rejected != shed {
+				t.Errorf("shed %d rejected %d, want %d", st.Shed, st.Rejected, shed)
+			}
+			if policy == OverflowShed {
+				if st.Overloads != 0 || st.DegradedOverload != 0 || degraded != 0 {
+					t.Errorf("shed policy entered overload: overloads %d, degraded %d", st.Overloads, degraded)
+				}
+			} else {
+				if st.Overloads == 0 {
+					t.Error("degrade policy never declared overload")
+				}
+				if st.DegradedOverload == 0 || degraded == 0 {
+					t.Errorf("degrade policy never degraded admitted jobs (attributed %d, observed %d)", st.DegradedOverload, degraded)
+				}
+			}
+		})
+	}
+}
+
+// TestShardConfigValidatesFailureKnobs: negative watchdog knobs are
+// rejected up front.
+func TestShardConfigValidatesFailureKnobs(t *testing.T) {
+	cfg := testShardConfig("x")
+	cfg.JobTimeout = -time.Second
+	if _, err := NewShard(cfg); err == nil {
+		t.Error("negative JobTimeout accepted")
+	}
+	cfg = testShardConfig("x")
+	cfg.RetryBackoff = -time.Second
+	if _, err := NewShard(cfg); err == nil {
+		t.Error("negative RetryBackoff accepted")
+	}
+	if _, err := ParseOverflowPolicy("bogus"); err == nil {
+		t.Error("bogus overflow policy parsed")
+	}
+	for spell, want := range map[string]OverflowPolicy{"": OverflowShed, "shed": OverflowShed, "degrade": OverflowDegrade} {
+		if got, err := ParseOverflowPolicy(spell); err != nil || got != want {
+			t.Errorf("ParseOverflowPolicy(%q) = %v, %v", spell, got, err)
+		}
 	}
 }

@@ -12,6 +12,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/control"
 	"repro/internal/core"
@@ -148,6 +149,17 @@ func (st *Stepper) step(tr core.JobTrace, budget float64, degraded bool) JobResu
 	if cfg.NoOverheads {
 		plan.SliceTime = 0
 		plan.ChargeSwitch = false
+	}
+
+	// Clamp the controller's estimate before it reaches level selection:
+	// a NaN prediction is an unbounded demand (run at the highest level
+	// and let the miss accounting see it), a negative one is an instant
+	// job. Without this a poisoned model row could silently drive the
+	// device to its lowest level on a deadline-critical job.
+	if math.IsNaN(plan.PredT0) {
+		plan.PredT0 = math.Inf(1)
+	} else if plan.PredT0 < 0 {
+		plan.PredT0 = 0
 	}
 
 	var level int

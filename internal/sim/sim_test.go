@@ -98,6 +98,52 @@ func TestUnderPredictionCausesMiss(t *testing.T) {
 	}
 }
 
+// TestPoisonedPredictionsAreClamped: a NaN prediction must drive the
+// device to its fastest non-boost level (unbounded demand), not poison
+// the decision into NaN comparisons, and a negative prediction must
+// not manufacture a negative frequency demand. Either way no NaN may
+// leak into the energy/time accounting.
+func TestPoisonedPredictionsAreClamped(t *testing.T) {
+	traces := synthTraces([]float64{4, 4, 4})
+	traces[0].PredSeconds = math.NaN()
+	traces[1].PredSeconds = -3e-3
+	res, err := Run(traces, testConfig(control.NewPredictive(0.05, false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range res.PerJob {
+		if math.IsNaN(j.Energy) || math.IsNaN(j.TotalSeconds) {
+			t.Fatalf("job %d accounting went NaN: %+v", i, j)
+		}
+	}
+	// NaN prediction → infinite demand → nominal level; the short job
+	// still finishes in time.
+	if j := res.PerJob[0]; j.Level != 5 || j.Missed {
+		t.Errorf("NaN-predicted job: %+v, want nominal level and no miss", j)
+	}
+	// Negative prediction → zero demand → lowest level; a 4 ms job at
+	// roughly half speed still makes a 16.7 ms deadline.
+	if j := res.PerJob[1]; j.Level != 0 || j.Missed {
+		t.Errorf("negative-predicted job: %+v, want level 0 and no miss", j)
+	}
+}
+
+// TestNewStepperRejectsInvalidDevice: a device violating the ascending
+// operating-point invariant is refused up front, not silently misused
+// by Select's round-up scan.
+func TestNewStepperRejectsInvalidDevice(t *testing.T) {
+	cfg := testConfig(control.NewBaseline())
+	cfg.Device = &dvfs.Device{
+		Name:    "unsorted",
+		Points:  []dvfs.OperatingPoint{{V: 0.8, Freq: 200e6}, {V: 0.9, Freq: 100e6}},
+		Nominal: 1,
+		Boost:   -1,
+	}
+	if _, err := NewStepper(cfg); err == nil {
+		t.Fatal("unsorted device accepted")
+	}
+}
+
 func TestOracleIsLowerBound(t *testing.T) {
 	traces := synthTraces([]float64{3, 9, 5, 12, 4, 8, 2.5, 6})
 	oracle, err := Run(traces, testConfig(control.NewOracle()))

@@ -12,9 +12,17 @@
 //
 // The store is deliberately forgiving: any corruption, version skew, or
 // I/O problem on read is a silent miss (the caller re-simulates and
-// overwrites), never an error. Writes go through a temp file and an
-// atomic rename, so concurrent readers in other processes see either
-// the old complete entry or the new complete entry, never a torn one.
+// overwrites), never an error. Writes are crash-safe: each goes through
+// a uniquely named O_EXCL temp file (no two writers — goroutines or
+// processes — can ever share one), is fsynced before the atomic rename
+// commits it, so concurrent readers see either the old complete entry
+// or the new complete entry, never a torn one, and a crash between
+// write and rename leaves only an orphan temp file, never a partial
+// entry under a real key.
+//
+// For failure-path testing the cache accepts a fault injector
+// (SetFaults): the Fault* site constants below name the I/O operations
+// that can be made to fail or truncate on a seeded schedule.
 package tracecache
 
 import (
@@ -27,6 +35,23 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+
+	"repro/internal/fault"
+)
+
+// Fault-injection sites understood by a cache with SetFaults installed.
+// Keys passed to the injector are the sanitized entry keys.
+const (
+	// FaultRead fails the entry read in Get (I/O error → silent miss).
+	FaultRead = "tracecache.read"
+	// FaultTrunc truncates the entry bytes read by Get to half, as a
+	// torn or partially flushed file would (checksum miss).
+	FaultTrunc = "tracecache.trunc"
+	// FaultWrite fails the temp-file write in Put.
+	FaultWrite = "tracecache.write"
+	// FaultRename fails the commit rename in Put, leaving no entry (the
+	// crash window between write and rename).
+	FaultRename = "tracecache.rename"
 )
 
 // Version is the on-disk format version. Entries live under a
@@ -59,7 +84,13 @@ type Cache struct {
 	dir string // version-qualified entry directory
 
 	hits, misses, puts, errs atomic.Uint64
+
+	faults atomic.Pointer[fault.Injector]
 }
+
+// SetFaults installs (or, with nil, removes) a fault injector; see the
+// Fault* site constants. Safe to call concurrently with cache use.
+func (c *Cache) SetFaults(in *fault.Injector) { c.faults.Store(in) }
 
 // Open creates (if needed) and opens the store rooted at dir. Entries
 // go under dir/v<Version>/.
@@ -112,10 +143,19 @@ func safeKey(key string) bool {
 // A missing, corrupt, truncated, or version-skewed entry is a miss.
 func (c *Cache) Get(key string, out any) bool {
 	key = sanitize(key)
+	in := c.faults.Load()
+	if in.Hit(FaultRead, key) { // injected I/O error: must read as a miss
+		c.errs.Add(1)
+		c.misses.Add(1)
+		return false
+	}
 	raw, err := os.ReadFile(c.entryPath(key))
 	if err != nil {
 		c.misses.Add(1)
 		return false
+	}
+	if in.Hit(FaultTrunc, key) { // injected torn read: half the bytes
+		raw = raw[:len(raw)/2]
 	}
 	payload, ok := c.decode(key, raw)
 	if !ok {
@@ -162,11 +202,18 @@ func (c *Cache) decode(key string, raw []byte) ([]byte, bool) {
 }
 
 // Put stores v under key, replacing any previous entry. The write is
-// atomic (temp file + rename), so concurrent readers never observe a
-// partial entry. Errors are returned for the caller to log or ignore;
-// the cache stays usable either way.
+// crash-safe and atomic: the entry is written to a uniquely named
+// O_EXCL temp file (os.CreateTemp — two writers, even in different
+// processes sharing the directory, can never open the same temp file),
+// fsynced so its bytes are durable before they become visible, and then
+// renamed onto the key path in one atomic step. Concurrent readers
+// never observe a partial entry, and a crash at any point leaves either
+// the previous complete entry or an orphan temp file — never a torn
+// entry. Errors are returned for the caller to log or ignore; the cache
+// stays usable either way.
 func (c *Cache) Put(key string, v any) error {
 	key = sanitize(key)
+	in := c.faults.Load()
 	payload, err := json.Marshal(v)
 	if err != nil {
 		c.errs.Add(1)
@@ -183,21 +230,47 @@ func (c *Cache) Put(key string, v any) error {
 	w := bufio.NewWriter(tmp)
 	fmt.Fprintf(w, "%s v%d %s %s\n", magic, Version, key, hex.EncodeToString(sum[:]))
 	w.Write(payload)
-	if err := w.Flush(); err == nil {
-		err = tmp.Close()
-	} else {
-		tmp.Close()
+	err = w.Flush()
+	if err == nil {
+		if ierr := in.Err(FaultWrite, key); ierr != nil {
+			err = ierr
+		}
+	}
+	if err == nil {
+		// fsync before rename: the rename must never commit an entry
+		// whose bytes could still be lost from the page cache.
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
 	}
 	if err != nil {
 		c.errs.Add(1)
 		return fmt.Errorf("tracecache: write %s: %w", key, err)
 	}
+	if ierr := in.Err(FaultRename, key); ierr != nil {
+		c.errs.Add(1)
+		return fmt.Errorf("tracecache: commit %s: %w", key, ierr)
+	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		c.errs.Add(1)
 		return fmt.Errorf("tracecache: commit %s: %w", key, err)
 	}
+	syncDir(c.dir) // best effort: make the rename itself durable
 	c.puts.Add(1)
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-committed rename survives a
+// crash. Failures are ignored: the entry is still valid in this boot,
+// and a lost entry is only ever a miss.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
 }
 
 // Stats returns a snapshot of the activity counters.

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/fault"
 )
 
 type artifact struct {
@@ -206,6 +208,198 @@ func TestKeySanitization(t *testing.T) {
 	}
 	if len(top) != 1 {
 		t.Fatalf("store root has %d entries, want only the version dir", len(top))
+	}
+}
+
+// TestTornWriteIsSilentMiss simulates the crash window between the
+// temp-file write and the rename: an entry whose bytes were only
+// partially flushed gets renamed onto the key path (as a naive
+// shared-temp-name writer or a mid-write crash plus replayed rename
+// could produce). Every truncation point must read as a silent miss —
+// never a hit on partial data.
+func TestTornWriteIsSilentMiss(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key(9), artifact{S: "full", Y: []float64{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(c.Dir(), key(9)+".json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(raw); cut += 7 {
+		// Write the torn prefix to a fresh temp name and rename it over
+		// the entry — exactly the sequence a torn writer would commit.
+		tmp := filepath.Join(c.Dir(), fmt.Sprintf("torn-%d.tmp", cut))
+		if err := os.WriteFile(tmp, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			t.Fatal(err)
+		}
+		var out artifact
+		if c.Get(key(9), &out) {
+			t.Fatalf("torn entry (%d/%d bytes) produced a hit: %+v", cut, len(raw), out)
+		}
+	}
+}
+
+// TestCrossHandleConcurrentWriters shares one directory between several
+// Cache handles (the multi-process scenario) and hammers a small key
+// set with concurrent Puts and Gets. Unique O_EXCL temp names mean no
+// two writers can tear each other's files: every Get must return either
+// a miss or one of the complete values ever written for that key.
+func TestCrossHandleConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	const handles, rounds, keys = 6, 30, 3
+	caches := make([]*Cache, handles)
+	for i := range caches {
+		c, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caches[i] = c
+	}
+	var wg sync.WaitGroup
+	for h, c := range caches {
+		h, c := h, c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := key((h + r) % keys)
+				if err := c.Put(k, artifact{S: "complete", Y: []float64{float64(h), float64(r)}}); err != nil {
+					t.Error(err)
+					return
+				}
+				var out artifact
+				if c.Get(k, &out) && (out.S != "complete" || len(out.Y) != 2) {
+					t.Errorf("torn cross-handle read: %+v", out)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, c := range caches {
+		if st := c.Stats(); st.Errors != 0 {
+			t.Fatalf("cross-handle hammer surfaced errors: %+v", st)
+		}
+	}
+	// No orphan temp files may survive successful Puts.
+	entries, err := os.ReadDir(caches[0].Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Errorf("orphan temp file %s after successful writes", e.Name())
+		}
+	}
+}
+
+// TestInjectedReadFaultsAreMisses: every injected read-side fault class
+// (I/O error, torn read) degrades to a silent miss with the error
+// counted, and the cache keeps serving once the schedule moves on.
+func TestInjectedReadFaultsAreMisses(t *testing.T) {
+	for _, site := range []string{FaultRead, FaultTrunc} {
+		t.Run(site, func(t *testing.T) {
+			c, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Put(key(1), artifact{S: "good"}); err != nil {
+				t.Fatal(err)
+			}
+			c.SetFaults(fault.New(5).Site(site, 1))
+			var out artifact
+			if c.Get(key(1), &out) {
+				t.Fatalf("%s: injected fault produced a hit", site)
+			}
+			if st := c.Stats(); st.Errors == 0 || st.Misses != 1 {
+				t.Fatalf("%s: stats %+v, want the fault counted as error+miss", site, st)
+			}
+			c.SetFaults(nil)
+			if !c.Get(key(1), &out) || out.S != "good" {
+				t.Fatalf("%s: entry damaged by an injected read fault", site)
+			}
+		})
+	}
+}
+
+// TestInjectedWriteFaultsLeaveNoPartialEntry: injected write and rename
+// failures return errors, leave no entry (or keep the previous one
+// intact), and leak no temp files.
+func TestInjectedWriteFaultsLeaveNoPartialEntry(t *testing.T) {
+	for _, site := range []string{FaultWrite, FaultRename} {
+		t.Run(site, func(t *testing.T) {
+			c, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Put(key(2), artifact{S: "previous"}); err != nil {
+				t.Fatal(err)
+			}
+			c.SetFaults(fault.New(5).Site(site, 1))
+			err = c.Put(key(2), artifact{S: "next"})
+			if err == nil {
+				t.Fatalf("%s: injected fault did not surface", site)
+			}
+			if !fault.Injected(err) {
+				t.Fatalf("%s: error %v not marked injected", site, err)
+			}
+			c.SetFaults(nil)
+			var out artifact
+			if !c.Get(key(2), &out) || out.S != "previous" {
+				t.Fatalf("%s: failed Put damaged the previous entry: %+v", site, out)
+			}
+			entries, err := os.ReadDir(c.Dir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				if strings.HasSuffix(e.Name(), ".tmp") {
+					t.Errorf("%s: leaked temp file %s", site, e.Name())
+				}
+			}
+		})
+	}
+}
+
+// TestInjectedFaultScheduleIsDeterministic: with a fractional rate, the
+// set of keys that fault is a pure function of the seed — two caches
+// with the same schedule agree key by key.
+func TestInjectedFaultScheduleIsDeterministic(t *testing.T) {
+	mk := func() *Cache {
+		c, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 40; i++ {
+			if err := c.Put(key(i), artifact{S: "v"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.SetFaults(fault.New(11).Site(FaultRead, 0.5))
+		return c
+	}
+	a, b := mk(), mk()
+	faulted := 0
+	for i := 0; i < 40; i++ {
+		var oa, ob artifact
+		ha, hb := a.Get(key(i), &oa), b.Get(key(i), &ob)
+		if ha != hb {
+			t.Fatalf("fault schedule diverged at key %d", i)
+		}
+		if !ha {
+			faulted++
+		}
+	}
+	if faulted == 0 || faulted == 40 {
+		t.Fatalf("rate-0.5 schedule faulted %d/40 keys", faulted)
 	}
 }
 

@@ -1,6 +1,9 @@
 package workload
 
-import "math/rand"
+import (
+	"math"
+	"math/rand"
+)
 
 // Arrival-stream generators for the online serving layer (package
 // serve): a job stream is a job list plus a nondecreasing slice of
@@ -8,11 +11,30 @@ import "math/rand"
 // shapes — frame-periodic streams (a 60 fps decoder delivers one job
 // per 16.7 ms slot) and memoryless request traffic (independent
 // browsing/crypto requests) — plus recorded traces replayed verbatim.
+//
+// Invariant (all generators): the returned slice has exactly max(n, 0)
+// elements, every timestamp is finite and >= 0, and timestamps are
+// nondecreasing — for any parameters, including degenerate ones
+// (negative counts, zero/negative/NaN rates or periods). Degenerate
+// spacings clamp to zero, reading the stream as one simultaneous burst
+// at t=0 rather than violating the contract with +Inf or time travel.
+
+// sanePeriod clamps a degenerate (negative, NaN, or +Inf) spacing to 0.
+func sanePeriod(period float64) float64 {
+	if !(period > 0) || math.IsInf(period, 1) {
+		return 0
+	}
+	return period
+}
 
 // PeriodicArrivals returns n arrivals spaced exactly period seconds
 // apart starting at 0: the frame-driven pipeline of §2.1, where every
 // job's deadline is the next job's arrival.
 func PeriodicArrivals(n int, period float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	period = sanePeriod(period)
 	out := make([]float64, n)
 	for i := range out {
 		out[i] = float64(i) * period
@@ -24,12 +46,26 @@ func PeriodicArrivals(n int, period float64) []float64 {
 // given mean rate (jobs per second): independent exponential
 // inter-arrival gaps, the standard model for open-loop request traffic.
 // The stream is deterministic in the seed.
+//
+// A rate that is zero, negative, NaN, or subnormal enough to overflow a
+// gap does not produce +Inf or decreasing timestamps: invalid rates
+// collapse the stream to a burst at t=0, and any overflowing gap
+// saturates at MaxFloat64.
 func PoissonArrivals(n int, rate float64, seed int64) []float64 {
-	rng := rand.New(rand.NewSource(seed))
+	if n <= 0 {
+		return nil
+	}
 	out := make([]float64, n)
+	if !(rate > 0) { // rejects NaN, zero, and negative rates
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
 	t := 0.0
 	for i := range out {
-		t += rng.ExpFloat64() / rate
+		gap := rng.ExpFloat64() / rate
+		if t += gap; !(t <= math.MaxFloat64) { // overflow from a subnormal rate
+			t = math.MaxFloat64
+		}
 		out[i] = t
 	}
 	return out
@@ -42,9 +78,13 @@ func PoissonArrivals(n int, rate float64, seed int64) []float64 {
 // the head left behind — and is what the serving layer's degraded path
 // exists for.
 func BurstyArrivals(n, burst int, period float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
 	if burst < 1 {
 		burst = 1
 	}
+	period = sanePeriod(period)
 	out := make([]float64, n)
 	for i := range out {
 		out[i] = float64(i/burst) * period

@@ -47,6 +47,56 @@ func TestPoissonArrivalsDeterministicAndCalibrated(t *testing.T) {
 	}
 }
 
+// TestDegenerateParameters pins the documented invariant for every
+// generator: exactly max(n, 0) finite, nonnegative, nondecreasing
+// timestamps no matter how broken the parameters are. PoissonArrivals
+// used to divide by the rate unguarded, so rate 0 produced +Inf
+// arrivals and a negative rate produced decreasing (time-traveling)
+// streams.
+func TestDegenerateParameters(t *testing.T) {
+	check := func(name string, a []float64, wantLen int) {
+		t.Helper()
+		if len(a) != wantLen {
+			t.Fatalf("%s: len = %d, want %d", name, len(a), wantLen)
+		}
+		nondecreasing(t, a)
+		for i, v := range a {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("%s: arrival %d = %g", name, i, v)
+			}
+		}
+	}
+	for _, rate := range []float64{0, -3, math.NaN(), math.Inf(-1)} {
+		a := PoissonArrivals(10, rate, 1)
+		check("poisson", a, 10)
+		for i, v := range a {
+			if v != 0 {
+				t.Fatalf("rate %g: arrival %d = %g, want 0 (burst at t=0)", rate, i, v)
+			}
+		}
+	}
+	// A subnormal positive rate overflows individual gaps; timestamps
+	// must saturate at MaxFloat64 instead of going +Inf.
+	check("poisson-tiny", PoissonArrivals(10, 1e-320, 1), 10)
+
+	for _, period := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		check("periodic", PeriodicArrivals(6, period), 6)
+		check("bursty", BurstyArrivals(6, 2, period), 6)
+	}
+
+	for _, n := range []int{0, -5} {
+		if a := PeriodicArrivals(n, 1); a != nil {
+			t.Errorf("PeriodicArrivals(%d) = %v, want nil", n, a)
+		}
+		if a := PoissonArrivals(n, 1, 1); a != nil {
+			t.Errorf("PoissonArrivals(%d) = %v, want nil", n, a)
+		}
+		if a := BurstyArrivals(n, 2, 1); a != nil {
+			t.Errorf("BurstyArrivals(%d) = %v, want nil", n, a)
+		}
+	}
+}
+
 func TestBurstyArrivals(t *testing.T) {
 	a := BurstyArrivals(9, 3, 1.0)
 	nondecreasing(t, a)
