@@ -13,7 +13,8 @@
 // Job-level RTL simulation fans out across -workers goroutines
 // (default: GOMAXPROCS); results are deterministic regardless of the
 // worker count. -engine selects the RTL engine (compiled, event,
-// interp). -cachedir (or REPRO_CACHE_DIR) enables the persistent trace
+// interp, batch — batch packs up to 64 same-design jobs into one
+// bit-sliced simulation). -cachedir (or REPRO_CACHE_DIR) enables the persistent trace
 // cache: a re-run with unchanged netlists and workloads replays every
 // simulation from disk and reports "jobs simulated: 0".
 // -cpuprofile/-memprofile write pprof profiles of the run for
@@ -42,7 +43,7 @@ func main() {
 	charts := flag.Bool("charts", false, "render ASCII plots for figure experiments")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	workers := flag.Int("workers", 0, "parallel job-simulation workers (0 = GOMAXPROCS)")
-	engine := flag.String("engine", "", "RTL engine: compiled, event, or interp (default: compiled, or $REPRO_ENGINE)")
+	engine := flag.String("engine", "", "RTL engine: compiled, event, interp, or batch (default: compiled, or $REPRO_ENGINE)")
 	cacheDir := flag.String("cachedir", os.Getenv("REPRO_CACHE_DIR"),
 		"persistent trace cache directory (default: $REPRO_CACHE_DIR; empty disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -143,7 +144,7 @@ func main() {
 	if cache != nil {
 		fmt.Printf("trace cache [%s]: %s; ", cache.Dir(), cache.Stats())
 	}
-	fmt.Printf("jobs simulated: %d\n", core.SimulatedJobs())
+	fmt.Printf("jobs batched: %d; jobs simulated: %d\n", core.BatchedJobs(), core.SimulatedJobs())
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)

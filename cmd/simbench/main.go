@@ -4,16 +4,28 @@
 //
 // Usage:
 //
-//	simbench [-out BENCH_sim.json] [-workers N] [-seed N] [-reps N] [-cachedir dir]
+//	simbench [-out BENCH_sim.json] [-workers N] [-seed N] [-reps N]
+//	         [-designs a,b,...] [-engine E] [-warm] [-cachedir dir]
 //
-// It reports three things:
+// It reports four things:
 //
-//  1. engine throughput (Mevals/s, ns/cycle) for all three engines —
-//     interp, compiled, event — on the Toy design and on every
+//  1. engine throughput (Mevals/s, ns/cycle) for all four engines —
+//     interp, compiled, event, batch (measured as 64 lanes of the
+//     same job, aggregate) — on the Toy design and on every
 //     benchmark of the suite, with per-design speedup ratios,
 //  2. CollectTraces wall-clock swept across worker counts
-//     (1, 2, 4, ... up to GOMAXPROCS),
-//  3. the wall-clock of warming the full (quick) experiment lab.
+//     (1, 2, 4, 8, capped at GOMAXPROCS) for both the compiled and
+//     the batch engine,
+//  3. trace-collection throughput (instrumented design + hardware
+//     slice per job, the work core.CollectTraces does) per benchmark:
+//     scalar compiled jobs/s vs batched jobs/s and their ratio,
+//  4. the wall-clock of warming the full (quick) experiment lab
+//     (skipped with -warm=false).
+//
+// -designs restricts sections 1 and 3 to a comma-separated subset of
+// benchmarks (CI smoke runs use this). -engine sets the process-wide
+// default RTL engine, which section 4 (and any cache-miss simulation)
+// picks up.
 package main
 
 import (
@@ -22,12 +34,15 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/accel"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/instrument"
 	"repro/internal/rtl"
+	"repro/internal/slice"
 	"repro/internal/suite"
 	"repro/internal/testdesigns"
 	"repro/internal/tracecache"
@@ -52,25 +67,42 @@ type DesignResult struct {
 	CompiledVsInterp float64 `json:"compiled_vs_interp"`
 	EventVsCompiled  float64 `json:"event_vs_compiled"`
 	EventVsInterp    float64 `json:"event_vs_interp"`
+	// BatchVsCompiled compares aggregate batch throughput (64 lanes
+	// of the same job) against one scalar compiled run of it.
+	BatchVsCompiled float64 `json:"batch_vs_compiled"`
 }
 
-// TraceResult reports the job fan-out measurement at one worker count.
+// TraceResult reports the job fan-out measurement at one worker count
+// under one engine.
 type TraceResult struct {
 	Benchmark string  `json:"benchmark"`
+	Engine    string  `json:"engine"`
 	Jobs      int     `json:"jobs"`
 	Workers   int     `json:"workers"`
 	Seconds   float64 `json:"seconds"`
-	// Speedup is relative to the 1-worker entry of the sweep.
+	// Speedup is relative to the 1-worker entry of the same engine's
+	// sweep.
 	Speedup float64 `json:"speedup"`
+}
+
+// ThroughputResult is one benchmark's trace-collection throughput:
+// scalar compiled engine vs the 64-lane batch engine on the same
+// work (one instrumented full-design job plus one slice job).
+type ThroughputResult struct {
+	Benchmark       string  `json:"benchmark"`
+	ScalarJobsPerS  float64 `json:"scalar_jobs_per_s"`
+	BatchJobsPerS   float64 `json:"batch_jobs_per_s"`
+	BatchVsCompiled float64 `json:"batch_vs_compiled"`
 }
 
 // Report is the BENCH_sim.json schema.
 type Report struct {
-	Generated       string         `json:"generated"`
-	MaxWorkers      int            `json:"max_workers"`
-	Designs         []DesignResult `json:"designs"`
-	WorkerSweep     []TraceResult  `json:"worker_sweep"`
-	SuiteWallclockS float64        `json:"suite_wallclock_s"`
+	Generated       string             `json:"generated"`
+	MaxWorkers      int                `json:"max_workers"`
+	Designs         []DesignResult     `json:"designs"`
+	WorkerSweep     []TraceResult      `json:"worker_sweep"`
+	TraceThroughput []ThroughputResult `json:"trace_throughput"`
+	SuiteWallclockS float64            `json:"suite_wallclock_s"`
 }
 
 // engineOrder fixes the measurement and report order; interp first so
@@ -109,8 +141,10 @@ func measure(reps int, fn func() (uint64, error)) (uint64, float64, error) {
 	return bestCycles, bestSecs, nil
 }
 
-// measureDesign runs one job on a design under all three engines.
-func measureDesign(design string, m *rtl.Module, reps int,
+// measureDesign runs one job on a design under the three scalar
+// engines, then the same job on all 64 lanes of the batch engine
+// (whose cycles and Mevals/s are therefore aggregate numbers).
+func measureDesign(design string, m *rtl.Module, job accel.Job, maxTicks uint64, reps int,
 	runner func(*rtl.Sim) func() (uint64, error)) (DesignResult, error) {
 	dr := DesignResult{Design: design, Nodes: m.NumNodes()}
 	p := rtl.Compile(m)
@@ -136,10 +170,41 @@ func measureDesign(design string, m *rtl.Module, reps int,
 			NsPerCycle: secs * 1e9 / float64(cycles),
 		})
 	}
+	jobs := make([]accel.Job, rtl.MaxBatchLanes)
+	for l := range jobs {
+		jobs[l] = job
+	}
+	bs := rtl.NewBatchSim(m, len(jobs))
+	batchReps := reps / len(jobs)
+	if batchReps < measurePasses {
+		batchReps = measurePasses
+	}
+	cycles, secs, err := measure(batchReps, func() (uint64, error) {
+		ticks, errs := accel.RunJobs(bs, jobs, maxTicks)
+		total := uint64(0)
+		for l, e := range errs {
+			if e != nil {
+				return 0, e
+			}
+			total += ticks[l]
+		}
+		return total, nil
+	})
+	if err != nil {
+		return dr, fmt.Errorf("%s/batch: %w", design, err)
+	}
+	dr.Engines = append(dr.Engines, EngineResult{
+		Engine:     string(rtl.EngineBatch),
+		Cycles:     cycles,
+		Seconds:    secs,
+		MevalsPerS: float64(cycles*uint64(m.NumNodes())) / secs / 1e6,
+		NsPerCycle: secs * 1e9 / float64(cycles),
+	})
 	interp, compiled, event := dr.Engines[0].MevalsPerS, dr.Engines[1].MevalsPerS, dr.Engines[2].MevalsPerS
 	dr.CompiledVsInterp = compiled / interp
 	dr.EventVsCompiled = event / compiled
 	dr.EventVsInterp = event / interp
+	dr.BatchVsCompiled = dr.Engines[3].MevalsPerS / compiled
 	return dr, nil
 }
 
@@ -148,9 +213,34 @@ func run() error {
 	workers := flag.Int("workers", 0, "max parallel job-simulation workers for the sweep (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 42, "workload generation seed")
 	reps := flag.Int("reps", 60, "jobs per engine measurement")
+	designs := flag.String("designs", "", "comma-separated benchmark subset for the throughput sections (default: all)")
+	engine := flag.String("engine", "", "process-wide default RTL engine: compiled, event, interp, or batch")
+	warm := flag.Bool("warm", true, "measure the quick-lab warm-up wall-clock")
 	cacheDir := flag.String("cachedir", os.Getenv("REPRO_CACHE_DIR"),
 		"persistent trace cache directory (default: $REPRO_CACHE_DIR; empty disables)")
 	flag.Parse()
+
+	if *engine != "" {
+		e, err := rtl.ParseEngine(*engine)
+		if err != nil {
+			return err
+		}
+		if err := rtl.SetDefaultEngine(e); err != nil {
+			return err
+		}
+	}
+	specs := suite.All()
+	if *designs != "" {
+		var picked []accel.Spec
+		for _, name := range strings.Split(*designs, ",") {
+			spec, err := suite.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			picked = append(picked, spec)
+		}
+		specs = picked
+	}
 
 	if *cacheDir != "" {
 		c, err := tracecache.Open(*cacheDir)
@@ -172,7 +262,8 @@ func run() error {
 		items[i] = testdesigns.ToyItem(i%2 == 0, 20)
 	}
 	toyJob := testdesigns.ToyJob(items)
-	dr, err := measureDesign("toy", toy.M, *reps, func(s *rtl.Sim) func() (uint64, error) {
+	toyBatchJob := accel.Job{Mems: map[string][]uint64{"in": toyJob}}
+	dr, err := measureDesign("toy", toy.M, toyBatchJob, 1<<20, *reps, func(s *rtl.Sim) func() (uint64, error) {
 		return func() (uint64, error) {
 			s.Reset()
 			if err := s.LoadMem("in", toyJob); err != nil {
@@ -185,11 +276,11 @@ func run() error {
 		return err
 	}
 	rep.Designs = append(rep.Designs, dr)
-	for _, spec := range suite.All() {
+	for _, spec := range specs {
 		spec := spec
 		m := spec.Build()
 		job := spec.TestJobs(3)[0]
-		dr, err := measureDesign(spec.Name, m, *reps, func(s *rtl.Sim) func() (uint64, error) {
+		dr, err := measureDesign(spec.Name, m, job, spec.MaxTicks, *reps, func(s *rtl.Sim) func() (uint64, error) {
 			return func() (uint64, error) { return accel.RunJob(s, job, spec.MaxTicks) }
 		})
 		if err != nil {
@@ -198,7 +289,8 @@ func run() error {
 		rep.Designs = append(rep.Designs, dr)
 	}
 
-	// 2. CollectTraces fan-out: sweep worker counts 1, 2, 4, ...
+	// 2. CollectTraces fan-out: sweep worker counts 1, 2, 4, 8 (capped
+	// at GOMAXPROCS) under the compiled and the batch engine.
 	spec, err := suite.ByName("stencil")
 	if err != nil {
 		return err
@@ -209,45 +301,70 @@ func run() error {
 	}
 	jobs := spec.TestJobs(*seed + 1)
 	counts := []int{}
-	for w := 1; w < maxWorkers; w *= 2 {
+	for w := 1; w < maxWorkers && w < 8; w *= 2 {
 		counts = append(counts, w)
 	}
-	counts = append(counts, maxWorkers)
+	if cap := min(maxWorkers, 8); len(counts) == 0 || counts[len(counts)-1] != cap {
+		counts = append(counts, cap)
+	}
 	// The sweep times real simulation: detach the cache so every pass
 	// actually runs RTL, then restore it for the lab warm-up below.
 	sweepCache := core.TraceCache()
 	core.SetTraceCache(nil)
-	var oneWorkerS float64
-	for _, w := range counts {
-		core.SetWorkers(w)
-		start := time.Now() //detlint:allow simbench measures wall-clock throughput by design
-		if _, err := pred.CollectTraces(jobs); err != nil {
+	sweepDefault := rtl.DefaultEngine()
+	for _, eng := range []rtl.Engine{rtl.EngineCompiled, rtl.EngineBatch} {
+		if err := rtl.SetDefaultEngine(eng); err != nil {
 			return err
 		}
-		secs := time.Since(start).Seconds()
-		if w == 1 {
-			oneWorkerS = secs
+		var oneWorkerS float64
+		for _, w := range counts {
+			core.SetWorkers(w)
+			start := time.Now() //detlint:allow simbench measures wall-clock throughput by design
+			if _, err := pred.CollectTraces(jobs); err != nil {
+				return err
+			}
+			secs := time.Since(start).Seconds()
+			if w == counts[0] {
+				oneWorkerS = secs
+			}
+			rep.WorkerSweep = append(rep.WorkerSweep, TraceResult{
+				Benchmark: spec.Name,
+				Engine:    string(eng),
+				Jobs:      len(jobs),
+				Workers:   w,
+				Seconds:   secs,
+				Speedup:   oneWorkerS / secs,
+			})
 		}
-		rep.WorkerSweep = append(rep.WorkerSweep, TraceResult{
-			Benchmark: spec.Name,
-			Jobs:      len(jobs),
-			Workers:   w,
-			Seconds:   secs,
-			Speedup:   oneWorkerS / secs,
-		})
+	}
+	if err := rtl.SetDefaultEngine(sweepDefault); err != nil {
+		return err
 	}
 	core.SetWorkers(*workers)
 	core.SetTraceCache(sweepCache)
 
-	// 3. Full quick-lab warm-up wall-clock (train + trace all seven
-	// benchmarks), the end-to-end number the experiments feel.
-	lab := exp.NewLab(*seed)
-	lab.Quick = true
-	start := time.Now() //detlint:allow simbench measures wall-clock throughput by design
-	if err := lab.Warm(); err != nil {
-		return err
+	// 3. Trace-collection throughput per benchmark: the work one
+	// CollectTraces job does (instrumented full design + hardware
+	// slice), scalar compiled vs 64 batch lanes, in jobs/s.
+	for _, spec := range specs {
+		tr, err := measureTraceThroughput(spec)
+		if err != nil {
+			return err
+		}
+		rep.TraceThroughput = append(rep.TraceThroughput, tr)
 	}
-	rep.SuiteWallclockS = time.Since(start).Seconds()
+
+	// 4. Full quick-lab warm-up wall-clock (train + trace all seven
+	// benchmarks), the end-to-end number the experiments feel.
+	if *warm {
+		lab := exp.NewLab(*seed)
+		lab.Quick = true
+		start := time.Now() //detlint:allow simbench measures wall-clock throughput by design
+		if err := lab.Warm(); err != nil {
+			return err
+		}
+		rep.SuiteWallclockS = time.Since(start).Seconds()
+	}
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -263,11 +380,82 @@ func run() error {
 			twoX++
 		}
 	}
+	fourX := 0
+	for _, tr := range rep.TraceThroughput {
+		if tr.BatchVsCompiled >= 4 {
+			fourX++
+		}
+	}
 	last := rep.WorkerSweep[len(rep.WorkerSweep)-1]
-	fmt.Printf("simbench: event>=2x compiled on %d/%d benchmarks, traces %.2fx with %d workers, quick suite %.1fs -> %s\n",
-		twoX, len(rep.Designs)-1, last.Speedup, last.Workers, rep.SuiteWallclockS, *out)
-	fmt.Printf("jobs simulated: %d\n", core.SimulatedJobs())
+	fmt.Printf("simbench: event>=2x compiled on %d/%d benchmarks, batch>=4x compiled traces on %d/%d, traces %.2fx with %d workers (%s), quick suite %.1fs -> %s\n",
+		twoX, len(rep.Designs)-1, fourX, len(rep.TraceThroughput), last.Speedup, last.Workers, last.Engine, rep.SuiteWallclockS, *out)
+	fmt.Printf("jobs batched: %d; jobs simulated: %d\n", core.BatchedJobs(), core.SimulatedJobs())
 	return nil
+}
+
+// measureTraceThroughput times the per-job work of CollectTraces —
+// one instrumented full-design simulation plus one slice simulation —
+// on the scalar compiled engine and as 64 batch lanes, best of three
+// passes each.
+func measureTraceThroughput(spec accel.Spec) (ThroughputResult, error) {
+	ins, err := instrument.Instrument(spec.Build())
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	keep := make([]int, len(ins.Features))
+	for i := range keep {
+		keep[i] = i
+	}
+	sl, err := slice.Slice(ins, keep, slice.DefaultOptions())
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	job := spec.TestJobs(3)[0]
+	jobs := make([]accel.Job, rtl.MaxBatchLanes)
+	for l := range jobs {
+		jobs[l] = job
+	}
+	fullS := rtl.NewSimEngine(ins.M, rtl.EngineCompiled)
+	sliceS := rtl.NewSimEngine(sl.M, rtl.EngineCompiled)
+	// The sections before this one leave a large heap behind; collect
+	// now so background GC does not tax one engine's timed window.
+	runtime.GC()
+	const scalarReps = 24
+	_, scalarSecs, err := measure(scalarReps, func() (uint64, error) {
+		for _, s := range []*rtl.Sim{fullS, sliceS} {
+			if _, err := accel.RunJob(s, job, spec.MaxTicks); err != nil {
+				return 0, err
+			}
+		}
+		return 1, nil
+	})
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	fbs := rtl.NewBatchSim(ins.M, len(jobs))
+	sbs := rtl.NewBatchSim(sl.M, len(jobs))
+	_, batchSecs, err := measure(measurePasses, func() (uint64, error) {
+		for _, bs := range []*rtl.BatchSim{fbs, sbs} {
+			_, errs := accel.RunJobs(bs, jobs, spec.MaxTicks)
+			for _, e := range errs {
+				if e != nil {
+					return 0, e
+				}
+			}
+		}
+		return 1, nil
+	})
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	scalarJPS := float64(scalarReps/measurePasses) / scalarSecs
+	batchJPS := float64(len(jobs)) / batchSecs
+	return ThroughputResult{
+		Benchmark:       spec.Name,
+		ScalarJobsPerS:  scalarJPS,
+		BatchJobsPerS:   batchJPS,
+		BatchVsCompiled: batchJPS / scalarJPS,
+	}, nil
 }
 
 func main() {

@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	trainpred [-seed N] [-cachedir dir] [-save model.json] [-load model.json] [benchmark]
+//	trainpred [-seed N] [-engine E] [-cachedir dir] [-save model.json] [-load model.json] [benchmark]
 //
 // Without an argument every benchmark is trained. -save writes the
 // trained model (named coefficients) as JSON; -load skips training and
 // evaluates a previously saved model instead. -cachedir (or
 // REPRO_CACHE_DIR) enables the persistent trace cache, so retraining
 // with unchanged netlists and workloads skips all RTL simulation.
+// -engine selects the RTL engine (compiled, event, interp, batch);
+// batch packs training jobs 64 to a simulation.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/rtl"
 	"repro/internal/suite"
 	"repro/internal/tracecache"
 )
@@ -27,9 +30,22 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload generation seed")
 	save := flag.String("save", "", "write the trained model as JSON (single benchmark only)")
 	load := flag.String("load", "", "evaluate a saved model instead of training")
+	engine := flag.String("engine", "", "RTL engine: compiled, event, interp, or batch (default: compiled, or $REPRO_ENGINE)")
 	cacheDir := flag.String("cachedir", os.Getenv("REPRO_CACHE_DIR"),
 		"persistent trace cache directory (default: $REPRO_CACHE_DIR; empty disables)")
 	flag.Parse()
+
+	if *engine != "" {
+		e, err := rtl.ParseEngine(*engine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := rtl.SetDefaultEngine(e); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	var cache *tracecache.Cache
 	if *cacheDir != "" {
@@ -46,7 +62,7 @@ func main() {
 	if flag.NArg() == 1 {
 		names = []string{flag.Arg(0)}
 	} else if flag.NArg() > 1 {
-		fmt.Fprintln(os.Stderr, "usage: trainpred [-seed N] [-save f] [-load f] [benchmark]")
+		fmt.Fprintln(os.Stderr, "usage: trainpred [-seed N] [-engine e] [-save f] [-load f] [benchmark]")
 		os.Exit(2)
 	}
 	if (*save != "" || *load != "") && len(names) != 1 {

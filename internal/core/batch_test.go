@@ -1,0 +1,168 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/accel/md"
+	"repro/internal/fault"
+	"repro/internal/rtl"
+)
+
+// withBatchEngine switches the process default engine to batch for the
+// duration of the test.
+func withBatchEngine(t *testing.T) {
+	t.Helper()
+	prev := rtl.DefaultEngine()
+	if err := rtl.SetDefaultEngine(rtl.EngineBatch); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := rtl.SetDefaultEngine(prev); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestTrainBatchMatchesScalar is the end-to-end bit-exactness check for
+// the batched training fan-out: the trained model — coefficients,
+// selected features, error statistics, every float — must be identical
+// whether the training set was simulated scalar or in batch lanes.
+func TestTrainBatchMatchesScalar(t *testing.T) {
+	scalar, err := Train(md.Spec(), Options{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withBatchEngine(t)
+	for _, workers := range []int{1, 4} {
+		SetWorkers(workers)
+		defer SetWorkers(0)
+		before := BatchedJobs()
+		batched, err := Train(md.Spec(), Options{Seed: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if BatchedJobs() == before {
+			t.Fatal("batch-engine Train did not count batched jobs")
+		}
+		if !reflect.DeepEqual(scalar.Model, batched.Model) ||
+			!reflect.DeepEqual(scalar.Kept, batched.Kept) ||
+			scalar.Gamma != batched.Gamma ||
+			!reflect.DeepEqual(scalar.TrainErr, batched.TrainErr) {
+			t.Fatalf("workers=%d: batched training produced a different predictor", workers)
+		}
+	}
+}
+
+// TestCollectTracesBatchMatchesScalar proves the batched trace
+// collection is byte-identical to the scalar fan-out, at one worker and
+// several (chunks fan out across workers; results are index-addressed).
+func TestCollectTracesBatchMatchesScalar(t *testing.T) {
+	p, err := trainedMD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More jobs than one batch holds, and not a multiple of the lane
+	// count, so the final chunk is ragged.
+	jobs := md.Spec().TestJobs(9)[:70]
+	scalar, err := p.CollectTraces(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	withBatchEngine(t)
+	defer SetWorkers(0)
+	for _, workers := range []int{1, 4} {
+		SetWorkers(workers)
+		simBefore, batchBefore := SimulatedJobs(), BatchedJobs()
+		batched, err := p.CollectTraces(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(scalar, batched) {
+			t.Fatalf("workers=%d: batched traces differ from scalar collection", workers)
+		}
+		want := 2 * uint64(len(jobs)) // full design + slice per job
+		if d := SimulatedJobs() - simBefore; d != want {
+			t.Errorf("workers=%d: SimulatedJobs advanced by %d, want %d", workers, d, want)
+		}
+		if d := BatchedJobs() - batchBefore; d != want {
+			t.Errorf("workers=%d: BatchedJobs advanced by %d, want %d", workers, d, want)
+		}
+	}
+}
+
+// TestBatchFaultParity pins the PR 5 fault semantics under the batch
+// engine: a transient injector faulting every job's first attempt
+// forces every job out of the lanes and through the scalar retry path,
+// and the result is still byte-identical to a clean run. A persistent
+// schedule must fail the batch with an injected error.
+func TestBatchFaultParity(t *testing.T) {
+	p, err := trainedMD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := md.Spec().TestJobs(9)[:12]
+	clean, err := p.CollectTraces(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	withBatchEngine(t)
+	defer SetFaultInjector(nil)
+	SetFaultInjector(fault.New(1).Site(FaultJob, 1)) // transient: retries succeed
+	retriedBefore, batchBefore := RetriedJobs(), BatchedJobs()
+	faulted, err := p.CollectTraces(jobs)
+	if err != nil {
+		t.Fatalf("transient faults failed the batched collection: %v", err)
+	}
+	if !reflect.DeepEqual(clean, faulted) {
+		t.Fatal("batched traces under transient faults differ from clean run")
+	}
+	if got := RetriedJobs() - retriedBefore; got != uint64(len(jobs)) {
+		t.Errorf("RetriedJobs advanced by %d, want %d", got, len(jobs))
+	}
+	// Every job was faulted out before lane packing, so nothing batched.
+	if got := BatchedJobs() - batchBefore; got != 0 {
+		t.Errorf("BatchedJobs advanced by %d under all-jobs-faulted schedule, want 0", got)
+	}
+
+	SetFaultInjector(fault.New(1).SiteRepeat(FaultJob, 1, 1)) // persistent
+	if _, err := p.CollectTraces(jobs); !fault.Injected(err) {
+		t.Fatalf("persistent faults: err = %v, want an injected failure", err)
+	}
+}
+
+// TestBatchWarmCacheSimulatesNothing: under the batch default engine a
+// warm trace cache must still short-circuit before any lane is packed.
+func TestBatchWarmCacheSimulatesNothing(t *testing.T) {
+	withCache(t, t.TempDir())
+	withBatchEngine(t)
+	spec := md.Spec()
+	p, err := Train(spec, Options{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := spec.TestJobs(5)[:12]
+	cold, err := p.CollectTraces(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simBefore, batchBefore := SimulatedJobs(), BatchedJobs()
+	warm, err := p.CollectTraces(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := SimulatedJobs() - simBefore; d != 0 {
+		t.Fatalf("warm batched CollectTraces simulated %d jobs, want 0", d)
+	}
+	if d := BatchedJobs() - batchBefore; d != 0 {
+		t.Fatalf("warm batched CollectTraces batched %d jobs, want 0", d)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("cached traces differ from batch-simulated traces")
+	}
+	if _, err := Train(spec, Options{Seed: 31}); err != nil {
+		t.Fatal(err)
+	}
+}

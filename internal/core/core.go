@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/accel"
 	"repro/internal/analyze"
@@ -69,6 +70,26 @@ type Predictor struct {
 
 	fullSim  *rtl.Sim
 	sliceSim *rtl.Sim
+
+	// Batch-engine state, built lazily on first batched fan-out: the
+	// plans are immutable and shared by every chunk's BatchSim; hints
+	// carry the analyzer's FSM classification so the instrumented
+	// design's control plane is bit-sliced (the slice's own plan
+	// self-detects — its FSM survives slicing but the reg indices do
+	// not).
+	batchOnce           sync.Once
+	batchHints          *rtl.BatchHints
+	fullPlan, slicePlan *rtl.BatchPlan
+}
+
+// batchPlans returns (building on first use) the batch-simulation plans
+// for the instrumented design and the slice.
+func (p *Predictor) batchPlans() (full, sl *rtl.BatchPlan) {
+	p.batchOnce.Do(func() {
+		p.fullPlan = rtl.PlanBatch(p.Ins.M, p.batchHints)
+		p.slicePlan = rtl.PlanBatch(p.Slice.M, nil)
+	})
+	return p.fullPlan, p.slicePlan
 }
 
 // Train runs the full offline flow of Figure 6 for one accelerator.
@@ -122,20 +143,60 @@ func Train(spec accel.Spec, opt Options) (*Predictor, error) {
 		simJobs.Add(uint64(len(jobs)))
 		X = make([][]float64, len(jobs))
 		y = make([]float64, len(jobs))
-		err = runParallel(len(jobs),
-			func() *rtl.Sim { return sim.Clone() },
-			func(s *rtl.Sim, i, attempt int) error {
-				if err := FaultInjector().ErrN(FaultJob, fmt.Sprintf("train/%s/%d", spec.Name, i), attempt); err != nil {
-					return fmt.Errorf("core: %s train job %d: %w", spec.Name, i, err)
-				}
-				ticks, err := accel.RunJob(s, jobs[i], spec.MaxTicks)
-				if err != nil {
-					return fmt.Errorf("core: %s train job %d: %w", spec.Name, i, err)
-				}
-				X[i] = ins.ReadFeatures(s)
-				y[i] = spec.Seconds(ticks)
-				return nil
-			})
+		newState := func() *rtl.Sim { return sim.Clone() }
+		runJob := func(s *rtl.Sim, i, attempt int) error {
+			if err := FaultInjector().ErrN(FaultJob, fmt.Sprintf("train/%s/%d", spec.Name, i), attempt); err != nil {
+				return fmt.Errorf("core: %s train job %d: %w", spec.Name, i, err)
+			}
+			ticks, err := accel.RunJob(s, jobs[i], spec.MaxTicks)
+			if err != nil {
+				return fmt.Errorf("core: %s train job %d: %w", spec.Name, i, err)
+			}
+			X[i] = ins.ReadFeatures(s)
+			y[i] = spec.Seconds(ticks)
+			return nil
+		}
+		if rtl.DefaultEngine() == rtl.EngineBatch {
+			// Batched fan-out: same-netlist jobs pack into lanes of one
+			// BatchSim per chunk. Jobs with an attempt-0 injected fault are
+			// excluded before lane packing and — like any lane that fails —
+			// retried via runJob on a fresh scalar clone (sim is the
+			// compiled fallback under the batch default engine).
+			plan := rtl.PlanBatch(ins.M, analyze.BatchHints(a))
+			err = runBatchedChunks(len(jobs), newState, runJob,
+				func(lo, hi int) []error {
+					errs := make([]error, hi-lo)
+					packed := make([]int, 0, hi-lo)
+					for i := lo; i < hi; i++ {
+						if ferr := FaultInjector().ErrN(FaultJob, fmt.Sprintf("train/%s/%d", spec.Name, i), 0); ferr != nil {
+							errs[i-lo] = fmt.Errorf("core: %s train job %d: %w", spec.Name, i, ferr)
+							continue
+						}
+						packed = append(packed, i)
+					}
+					if len(packed) == 0 {
+						return errs
+					}
+					batch := make([]accel.Job, len(packed))
+					for l, i := range packed {
+						batch[l] = jobs[i]
+					}
+					batchedJobs.Add(uint64(len(packed)))
+					bs := plan.NewBatchSim(len(packed))
+					ticks, jerrs := accel.RunJobs(bs, batch, spec.MaxTicks)
+					for l, i := range packed {
+						if jerrs[l] != nil {
+							errs[i-lo] = fmt.Errorf("core: %s train job %d: %w", spec.Name, i, jerrs[l])
+							continue
+						}
+						X[i] = ins.ReadFeatures(bs.Lane(l))
+						y[i] = spec.Seconds(ticks[l])
+					}
+					return errs
+				})
+		} else {
+			err = runParallel(len(jobs), newState, runJob)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -170,15 +231,16 @@ func Train(spec accel.Spec, opt Options) (*Predictor, error) {
 	}
 
 	pred := &Predictor{
-		Spec:     spec,
-		Ins:      ins,
-		Model:    p,
-		Gamma:    gamma,
-		Kept:     kept,
-		Slice:    sl,
-		TrainErr: model.Evaluate(p, X, y),
-		fullSim:  sim,
-		sliceSim: rtl.NewSim(sl.M),
+		Spec:       spec,
+		Ins:        ins,
+		Model:      p,
+		Gamma:      gamma,
+		Kept:       kept,
+		Slice:      sl,
+		TrainErr:   model.Evaluate(p, X, y),
+		fullSim:    sim,
+		sliceSim:   rtl.NewSim(sl.M),
+		batchHints: analyze.BatchHints(a),
 	}
 	return pred, nil
 }
@@ -251,8 +313,17 @@ func (js *JobSimulator) Trace(job accel.Job) (JobTrace, error) {
 	if err != nil {
 		return JobTrace{}, fmt.Errorf("core: %s slice job: %w", p.Spec.Name, err)
 	}
-	sliceFeats := p.Slice.ReadFeatures(js.slice)
-	fullFeats := p.Ins.ReadFeatures(js.full)
+	return p.buildTrace(job, ticks, sliceTicks, js.full, js.slice), nil
+}
+
+// buildTrace assembles one JobTrace from a finished full-design run and
+// a finished slice run, reading the witness registers through any
+// register reader — a scalar Sim or one lane of a batch simulator —
+// so the scalar and batched collection paths produce byte-identical
+// traces by construction.
+func (p *Predictor) buildTrace(job accel.Job, ticks, sliceTicks uint64, full, sl rtl.RegReader) JobTrace {
+	sliceFeats := p.Slice.ReadFeatures(sl)
+	fullFeats := p.Ins.ReadFeatures(full)
 	var items float64
 	for fi, f := range p.Ins.Features {
 		if f.Kind == instrument.IC && fullFeats[fi] > items {
@@ -269,7 +340,7 @@ func (js *JobSimulator) Trace(job accel.Job) (JobTrace, error) {
 		SliceSeconds:  p.Spec.Seconds(sliceTicks),
 		SliceFeatures: sliceFeats,
 		Class:         job.Class,
-	}, nil
+	}
 }
 
 // Execute runs one job on the full design only, skipping the slice and
@@ -308,19 +379,67 @@ func (p *Predictor) CollectTraces(jobs []accel.Job) ([]JobTrace, error) {
 		}
 	}
 	traces := make([]JobTrace, len(jobs))
-	err := runParallel(len(jobs),
-		p.NewJobSimulator,
-		func(js *JobSimulator, i, attempt int) error {
-			if err := FaultInjector().ErrN(FaultJob, fmt.Sprintf("traces/%s/%d", p.Spec.Name, i), attempt); err != nil {
-				return fmt.Errorf("core: job %d: %w", i, err)
-			}
-			tr, err := js.Trace(jobs[i])
-			if err != nil {
-				return fmt.Errorf("core: job %d: %w", i, err)
-			}
-			traces[i] = tr
-			return nil
-		})
+	runJob := func(js *JobSimulator, i, attempt int) error {
+		if err := FaultInjector().ErrN(FaultJob, fmt.Sprintf("traces/%s/%d", p.Spec.Name, i), attempt); err != nil {
+			return fmt.Errorf("core: job %d: %w", i, err)
+		}
+		tr, err := js.Trace(jobs[i])
+		if err != nil {
+			return fmt.Errorf("core: job %d: %w", i, err)
+		}
+		traces[i] = tr
+		return nil
+	}
+	var err error
+	if rtl.DefaultEngine() == rtl.EngineBatch {
+		// Batched fan-out: each chunk runs the instrumented design and
+		// the slice once for all its lanes. Fault injection happens per
+		// job before lane packing (same keys and attempt numbers as the
+		// scalar path); any failed job — injected, load error, stuck
+		// lane — retries on a fresh scalar JobSimulator via runJob.
+		err = runBatchedChunks(len(jobs), p.NewJobSimulator, runJob,
+			func(lo, hi int) []error {
+				errs := make([]error, hi-lo)
+				packed := make([]int, 0, hi-lo)
+				for i := lo; i < hi; i++ {
+					if ferr := FaultInjector().ErrN(FaultJob, fmt.Sprintf("traces/%s/%d", p.Spec.Name, i), 0); ferr != nil {
+						errs[i-lo] = fmt.Errorf("core: job %d: %w", i, ferr)
+						continue
+					}
+					packed = append(packed, i)
+				}
+				if len(packed) == 0 {
+					return errs
+				}
+				batch := make([]accel.Job, len(packed))
+				for l, i := range packed {
+					batch[l] = jobs[i]
+				}
+				// The full design and the slice each run once per job,
+				// mirroring JobSimulator.Trace's accounting.
+				simJobs.Add(2 * uint64(len(packed)))
+				batchedJobs.Add(2 * uint64(len(packed)))
+				fullPlan, slicePlan := p.batchPlans()
+				fbs := fullPlan.NewBatchSim(len(packed))
+				ticks, ferrs := accel.RunJobs(fbs, batch, p.Spec.MaxTicks)
+				sbs := slicePlan.NewBatchSim(len(packed))
+				sliceTicks, serrs := accel.RunJobs(sbs, batch, p.Spec.MaxTicks)
+				for l, i := range packed {
+					if ferrs[l] != nil {
+						errs[i-lo] = fmt.Errorf("core: job %d: core: %s job: %w", i, p.Spec.Name, ferrs[l])
+						continue
+					}
+					if serrs[l] != nil {
+						errs[i-lo] = fmt.Errorf("core: job %d: core: %s slice job: %w", i, p.Spec.Name, serrs[l])
+						continue
+					}
+					traces[i] = p.buildTrace(jobs[i], ticks[l], sliceTicks[l], fbs.Lane(l), sbs.Lane(l))
+				}
+				return errs
+			})
+	} else {
+		err = runParallel(len(jobs), p.NewJobSimulator, runJob)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,1867 @@
+package rtl
+
+// Batch (bit-parallel) simulation: up to MaxBatchLanes independent jobs
+// of the SAME netlist advance together, one cycle per Step, sharing
+// every instruction dispatch. Three storage shapes carry the lanes:
+//
+//   - plane: every 1-bit node is one uint64 word, bit l = lane l's
+//     value. Logic over 1-bit nodes becomes single word ops that
+//     evaluate all 64 lanes at once (the bit-sliced control plane).
+//   - group: an FSM state register (a register whose next-state cone is
+//     a mux tree with constant/self leaves, per the analyze FSM
+//     pattern) is decomposed into per-bit planes. Its mux tree lowers
+//     to word muxes per bit, and equality tests against state
+//     encodings lower to AND-of-XNOR word chains — the state machines
+//     of all lanes step in a handful of word ops.
+//   - col: every other multi-bit node is a structure-of-arrays column
+//     of 64 values evaluated in a constant-trip lane loop; the per-node
+//     dispatch is amortized across the whole batch.
+//
+// A node may carry two shapes at once (a 1-bit node feeding a datapath
+// op also needs a column); explicit expand instructions keep the copies
+// coherent in SSA order. Lanes retire independently: the cycle a lane's
+// Done fires, its observables (values, cycles, toggles) are frozen in a
+// snapshot, its memories stop receiving writes, and the lane drops out
+// of the active mask while the remaining lanes keep stepping. Retired
+// lanes still flow through the word/column ops — every IR operation is
+// total, so the garbage they compute is never observed.
+//
+// Semantics are bit-exact per lane against the scalar engines (values,
+// cycle counts, toggle counters, memory contents), enforced by the
+// differential and fuzz tests.
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxBatchLanes is the lane capacity of one BatchSim: one bit of a
+// uint64 control word per job.
+const MaxBatchLanes = 64
+
+// BatchHints carries the control-plane classification computed by
+// package analyze (which cannot be imported from here) into batch
+// planning. Nil hints make PlanBatch self-detect bit-sliceable state
+// registers structurally.
+type BatchHints struct {
+	// StateRegs lists Module.Regs indices of FSM state registers whose
+	// next-state logic is a const-leaf mux tree — the candidates for
+	// per-bit plane decomposition. PlanBatch re-validates the structure
+	// and silently falls back to column storage for any register that
+	// does not match.
+	StateRegs []int
+}
+
+// Word-op codes for 1-bit (plane) instructions. Each evaluates all 64
+// lanes of a 1-bit operation in O(1) word ops.
+const (
+	wAnd     uint8 = iota // a & b        (And, 1-bit Mul)
+	wOr                   // a | b
+	wXor                  // a ^ b        (Xor, 1-bit Add/Sub, Ne)
+	wNot                  // ^a
+	wXnor                 // ^(a ^ b)     (1-bit Eq)
+	wAndNot               // ^a & b       (1-bit Lt)
+	wOrNot                // ^a | b       (1-bit Le)
+	wMaskNot              // a & ^b       (1-bit Shl/Shr)
+	wMux                  // (a&b)|(^a&c) (1-bit Mux; a = select)
+)
+
+// Instruction kinds of the batch program.
+const (
+	bWord        uint8 = iota // dst plane = word op over arg planes
+	bPack                     // dst plane = per-lane 1-bit op over arg columns
+	bCol                      // dst column = per-lane op over arg columns
+	bColImm                   // dst column = per-lane op, second operand imm
+	bColMuxP                  // dst column = mux with 1-bit select read from plane a
+	bPackImm                  // dst plane = per-lane 1-bit op, second operand imm
+	bExpand                   // dst column = bits of plane a (0/1 per lane)
+	bGroupMux                 // dst group = per-bit word mux (FSM transition)
+	bGroupEq                  // dst plane = group a == imm (op 1: !=)
+	bExpandGroup              // dst column = recomposed value of group a
+)
+
+// Leaf kinds for bGroupMux data operands.
+const (
+	gLeafGroup uint8 = iota
+	gLeafImm
+)
+
+// binstr is one batch instruction. Field meaning depends on kind; slots
+// index planes/columns/group bases per the storage maps in BatchPlan.
+type binstr struct {
+	kind uint8
+	op   uint8 // word-op code (bWord), Op (bPack/bCol), eq/ne (bGroupEq)
+	w    uint8 // group width (group kinds)
+	ak,
+	bk uint8 // leaf kinds (bGroupMux); arm-is-imm flags (bColMuxP)
+	dst  int32
+	a    int32
+	b    int32
+	c    int32
+	mem  int32
+	mask uint64
+	imm  uint64 // const leaf a / comparison immediate
+	imm2 uint64 // const leaf b
+}
+
+// Latch descriptor kinds.
+const (
+	lPP  uint8 = iota // plane reg  <- plane next
+	lPC               // plane reg  <- low bit of column next
+	lCC               // column reg <- column next (masked, via scratch)
+	lCCd              // column reg <- column next (masked, direct: alias-free)
+	lCCc              // column reg <- column next (plain copy: alias-free, no mask)
+	lGG               // group reg  <- group next (self-loops included)
+	lGI               // group reg  <- constant next
+)
+
+// blatch describes one register's end-of-cycle latch. All sources are
+// read into scratch first, then committed, so a register whose next
+// expression aliases another register observes pre-latch values —
+// identical to the scalar engines.
+type blatch struct {
+	kind    uint8
+	w       uint8
+	scratch int32 // offset into the kind's scratch buffer
+	dst     int32 // plane slot / column slot / group word base
+	src     int32 // plane slot / column slot / group word base
+	imm     uint64
+	mask    uint64
+}
+
+// bwrite describes one synchronous memory write port.
+type bwrite struct {
+	mem     int32
+	addr    int32 // column slot
+	data    int32 // column slot
+	enPlane int32 // plane slot, or -1
+	enCol   int32 // column slot when the enable is multi-bit, or -1
+}
+
+type slotWord struct {
+	slot int32
+	word uint64
+}
+
+type slotVal struct {
+	slot int32
+	val  uint64
+}
+
+type groupInit struct {
+	base int32
+	w    uint8
+	init uint64
+}
+
+// colOps caches one instruction's column operands as direct pointers
+// into a BatchSim's column slab, resolved once at construction.
+type colOps struct {
+	dst, a, b, c *[MaxBatchLanes]uint64
+}
+
+// BatchPlan is the compiled batch program for one module: storage
+// assignment plus the instruction stream. It is immutable and may be
+// shared by many BatchSims, like a compiled Program.
+type BatchPlan struct {
+	m    *Module
+	code []binstr
+
+	// Storage maps: per node, its slot in each shape (-1 if absent).
+	planeSlot []int32
+	colSlot   []int32
+	groupSlot []int32
+	// Per group slot: base word offset and bit width.
+	groupBase []int32
+	groupW    []uint8
+
+	nPlanes, nCols, nGroupWords int
+
+	// Reset preloads for constants and register init values.
+	constPlane []slotWord
+	constCol   []slotVal
+	initPlane  []slotWord
+	initCol    []slotVal
+	initGroup  []groupInit
+
+	latches                  []blatch
+	nPlaneL, nColL, nGroupLW int
+
+	writes []bwrite
+
+	// Done location: exactly one of donePlane/doneCol is >= 0.
+	donePlane, doneCol int32
+
+	// Per-memory execution info. RAM contents are per-lane (lane-major,
+	// 64 lanes regardless of active count); ROMs are shared.
+	memROM  []bool
+	romData [][]uint64
+}
+
+// PlanBatch compiles a module for batched execution. The module must be
+// valid and must not be mutated while any plan over it is live.
+func PlanBatch(m *Module, hints *BatchHints) *BatchPlan {
+	n := len(m.Nodes)
+	p := &BatchPlan{
+		m:         m,
+		planeSlot: make([]int32, n),
+		colSlot:   make([]int32, n),
+		groupSlot: make([]int32, n),
+		donePlane: -1,
+		doneCol:   -1,
+	}
+	for i := range p.planeSlot {
+		p.planeSlot[i], p.colSlot[i], p.groupSlot[i] = -1, -1, -1
+	}
+
+	groupReg := p.planGroups(hints)
+
+	// Classify 1-bit computations: word-op eligible (all args 1-bit),
+	// group-equality eligible, or per-lane pack.
+	wordable := make([]bool, n)
+	groupEq := make([]bool, n)
+	for i := range m.Nodes {
+		nd := &m.Nodes[i]
+		if nd.Width != 1 || p.groupSlot[i] >= 0 {
+			continue
+		}
+		switch nd.Op {
+		case OpConst, OpInput, OpReg, OpMemRead:
+			continue
+		}
+		if nd.Op == OpEq || nd.Op == OpNe {
+			a, b := nd.Args[0], nd.Args[1]
+			if p.groupSlot[a] >= 0 && m.Nodes[b].Op == OpConst ||
+				p.groupSlot[b] >= 0 && m.Nodes[a].Op == OpConst {
+				groupEq[i] = true
+				continue
+			}
+		}
+		all1 := true
+		for a := 0; a < int(nd.NArgs); a++ {
+			if m.Nodes[nd.Args[a]].Width != 1 {
+				all1 = false
+				break
+			}
+		}
+		wordable[i] = all1
+	}
+
+	// Mark nodes that must carry a column: every multi-bit non-group
+	// node, plus anything read by a per-lane loop (pack/column args,
+	// write-port operands, register nexts crossing shapes, a multi-bit
+	// Done).
+	needCol := make([]bool, n)
+	markArgs := func(nd *Node) {
+		for a := 0; a < int(nd.NArgs); a++ {
+			// A multi-bit mux with a 1-bit select reads the select
+			// directly from its plane (bColMuxP), so it does not force a
+			// column onto it. Constant operands of imm-specializable ops
+			// are folded into the instruction (bColImm), so they do not
+			// force a column either.
+			arg := nd.Args[a]
+			if nd.Op == OpMux && nd.Width > 1 && m.Nodes[nd.Args[0]].Width == 1 {
+				// bColMuxP: the select comes from its plane, and constant
+				// arms fold into the instruction as immediates.
+				if a == 0 || m.Nodes[arg].Op == OpConst {
+					continue
+				}
+			}
+			// Fold at most one constant operand: b when it is constant,
+			// else a for commutative ops (when b is not also the fold).
+			if m.Nodes[arg].Op == OpConst && immFoldable(nd, a) &&
+				(a == 1 || m.Nodes[nd.Args[1]].Op != OpConst) {
+				continue
+			}
+			needCol[arg] = true
+		}
+	}
+	for i := range m.Nodes {
+		nd := &m.Nodes[i]
+		if p.groupSlot[i] >= 0 {
+			continue // group muxes read planes and groups only
+		}
+		switch nd.Op {
+		case OpConst, OpInput, OpReg:
+			continue
+		}
+		if nd.Width > 1 {
+			needCol[i] = true
+			markArgs(nd)
+			continue
+		}
+		if !wordable[i] && !groupEq[i] {
+			markArgs(nd) // per-lane pack reads columns
+		}
+	}
+	for i := range m.Nodes {
+		nd := &m.Nodes[i]
+		if nd.Width > 1 && p.groupSlot[i] < 0 {
+			needCol[i] = true // inputs, registers, constants, memreads
+		}
+	}
+	for i := range m.Writes {
+		w := &m.Writes[i]
+		needCol[w.Addr] = true
+		needCol[w.Data] = true
+		if m.Nodes[w.En].Width > 1 {
+			needCol[w.En] = true
+		}
+	}
+	for i := range m.Regs {
+		r := &m.Regs[i]
+		if groupReg[i] {
+			continue // next is a group, a constant, or the reg itself
+		}
+		if m.Nodes[r.Node].Width > 1 || m.Nodes[r.Next].Width > 1 {
+			needCol[r.Next] = true
+		}
+	}
+	if m.Nodes[m.Done].Width > 1 {
+		needCol[m.Done] = true
+	}
+
+	// Slot assignment.
+	for i := range m.Nodes {
+		if m.Nodes[i].Width == 1 {
+			p.planeSlot[i] = int32(p.nPlanes)
+			p.nPlanes++
+		}
+		if needCol[i] {
+			p.colSlot[i] = int32(p.nCols)
+			p.nCols++
+		}
+	}
+
+	p.emit(wordable, groupEq)
+	return p
+}
+
+// immFoldable reports whether operand ai of nd may be folded into the
+// immediate of a bColImm/bPackImm instruction: binary ops with a
+// constant second operand, or either operand when commutative.
+func immFoldable(nd *Node, ai int) bool {
+	if nd.NArgs != 2 {
+		return false
+	}
+	switch nd.Op {
+	case OpAdd, OpMul, OpAnd, OpOr, OpXor, OpEq, OpNe:
+		return true
+	case OpSub, OpShl, OpShr, OpLt, OpLe:
+		return ai == 1
+	}
+	return false
+}
+
+// planGroups claims bit-plane decompositions for candidate state
+// registers. Returns, per register index, whether it became a group.
+func (p *BatchPlan) planGroups(hints *BatchHints) []bool {
+	m := p.m
+	var candidates []int
+	if hints != nil {
+		candidates = hints.StateRegs
+	} else {
+		for i := range m.Regs {
+			candidates = append(candidates, i)
+		}
+	}
+	isGroup := make([]bool, len(m.Regs))
+	for _, ri := range candidates {
+		if ri < 0 || ri >= len(m.Regs) {
+			continue
+		}
+		r := &m.Regs[ri]
+		rn := r.Node
+		w := m.Nodes[rn].Width
+		if w < 2 || w > 16 || p.groupSlot[rn] >= 0 {
+			continue
+		}
+		// Walk the next-state cone: acceptable leaves are constants and
+		// the register itself; interior nodes are muxes of the same
+		// width with 1-bit selects, unclaimed by any other group.
+		var cone []NodeID
+		seen := make(map[NodeID]bool)
+		var visit func(id NodeID) bool
+		visit = func(id NodeID) bool {
+			if id == rn {
+				return true
+			}
+			nd := &m.Nodes[id]
+			if nd.Op == OpConst {
+				return true
+			}
+			if nd.Op != OpMux || nd.Width != w ||
+				m.Nodes[nd.Args[0]].Width != 1 || p.groupSlot[id] >= 0 {
+				return false
+			}
+			if seen[id] {
+				return true
+			}
+			seen[id] = true
+			if len(seen) > 256 {
+				return false
+			}
+			if !visit(nd.Args[1]) || !visit(nd.Args[2]) {
+				return false
+			}
+			cone = append(cone, id)
+			return true
+		}
+		if !visit(r.Next) {
+			continue // falls back to column storage
+		}
+		// The register and every cone mux each get a group slot (w words
+		// of per-bit planes).
+		g := int32(len(p.groupBase))
+		p.groupSlot[rn] = g
+		for j, id := range cone {
+			p.groupSlot[id] = g + 1 + int32(j)
+		}
+		for j := 0; j < 1+len(cone); j++ {
+			p.groupBase = append(p.groupBase, int32(p.nGroupWords))
+			p.groupW = append(p.groupW, w)
+			p.nGroupWords += int(w)
+		}
+		isGroup[ri] = true
+	}
+	return isGroup
+}
+
+// specializeArgs fills in's operand slots from nd's args, folding a
+// constant operand into the immediate (switching the kind to immKind)
+// when immFoldable allows — with operands swapped so the constant is
+// always the immediate. Must mirror the needCol fold rule exactly: a
+// folded constant never got a column slot.
+func (p *BatchPlan) specializeArgs(in *binstr, nd *Node, immKind uint8) {
+	m := p.m
+	if nd.NArgs == 2 {
+		a, b := nd.Args[0], nd.Args[1]
+		bn := &m.Nodes[b]
+		if bn.Op == OpConst && immFoldable(nd, 1) {
+			in.kind = immKind
+			in.a = p.colSlot[a]
+			in.imm = bn.Const & bn.Mask()
+			return
+		}
+		an := &m.Nodes[a]
+		if an.Op == OpConst && immFoldable(nd, 0) && bn.Op != OpConst {
+			in.kind = immKind
+			in.a = p.colSlot[b]
+			in.imm = an.Const & an.Mask()
+			return
+		}
+	}
+	in.a = p.colSlot[nd.Args[0]]
+	if nd.NArgs > 1 {
+		in.b = p.colSlot[nd.Args[1]]
+	}
+	if nd.NArgs > 2 {
+		in.c = p.colSlot[nd.Args[2]]
+	}
+}
+
+// emit lowers the node table to the batch instruction stream plus the
+// reset/latch/write/done tables.
+func (p *BatchPlan) emit(wordable, groupEq []bool) {
+	m := p.m
+	wordOpOf := map[Op]uint8{
+		OpAnd: wAnd, OpMul: wAnd,
+		OpOr:  wOr,
+		OpXor: wXor, OpAdd: wXor, OpSub: wXor, OpNe: wXor,
+		OpNot: wNot,
+		OpEq:  wXnor,
+		OpLt:  wAndNot,
+		OpLe:  wOrNot,
+		OpShl: wMaskNot, OpShr: wMaskNot,
+		OpMux: wMux,
+	}
+	// expand refreshes a node's column mirror from its authoritative
+	// shape (group or plane). Nodes whose column IS the authoritative
+	// shape need no refresh.
+	expand := func(id int) {
+		if p.colSlot[id] < 0 {
+			return
+		}
+		if g := p.groupSlot[id]; g >= 0 {
+			p.code = append(p.code, binstr{
+				kind: bExpandGroup, dst: p.colSlot[id],
+				a: p.groupBase[g], w: p.groupW[g],
+			})
+		} else if ps := p.planeSlot[id]; ps >= 0 {
+			p.code = append(p.code, binstr{
+				kind: bExpand, dst: p.colSlot[id], a: ps,
+			})
+		}
+	}
+	for i := range m.Nodes {
+		nd := &m.Nodes[i]
+		switch nd.Op {
+		case OpConst:
+			c := nd.Const & nd.Mask()
+			if ps := p.planeSlot[i]; ps >= 0 {
+				var word uint64
+				if c&1 != 0 {
+					word = ^uint64(0)
+				}
+				p.constPlane = append(p.constPlane, slotWord{ps, word})
+			}
+			if cs := p.colSlot[i]; cs >= 0 {
+				p.constCol = append(p.constCol, slotVal{cs, c})
+			}
+			continue
+		case OpInput, OpReg:
+			// Value lives in latched/driven storage; refresh the column
+			// mirror (if any) at the node's SSA position each cycle.
+			expand(i)
+			continue
+		}
+		switch {
+		case p.groupSlot[i] >= 0:
+			g := p.groupSlot[i]
+			in := binstr{
+				kind: bGroupMux, dst: p.groupBase[g], w: p.groupW[g],
+				a: p.planeSlot[nd.Args[0]],
+			}
+			leaf := func(id NodeID) (uint8, int32, uint64) {
+				if lg := p.groupSlot[id]; lg >= 0 {
+					return gLeafGroup, p.groupBase[lg], 0
+				}
+				ln := &m.Nodes[id]
+				return gLeafImm, 0, ln.Const & ln.Mask()
+			}
+			var base int32
+			in.ak, base, in.imm = leaf(nd.Args[1])
+			in.b = base
+			in.bk, base, in.imm2 = leaf(nd.Args[2])
+			in.c = base
+			p.code = append(p.code, in)
+			expand(i)
+		case groupEq[i]:
+			a, b := nd.Args[0], nd.Args[1]
+			if p.groupSlot[a] < 0 {
+				a, b = b, a
+			}
+			g := p.groupSlot[a]
+			cn := &m.Nodes[b]
+			opc := uint8(0)
+			if nd.Op == OpNe {
+				opc = 1
+			}
+			p.code = append(p.code, binstr{
+				kind: bGroupEq, op: opc, dst: p.planeSlot[i],
+				a: p.groupBase[g], w: p.groupW[g], imm: cn.Const & cn.Mask(),
+			})
+			expand(i)
+		case wordable[i]:
+			in := binstr{kind: bWord, op: wordOpOf[nd.Op], dst: p.planeSlot[i]}
+			in.a = p.planeSlot[nd.Args[0]]
+			if nd.NArgs > 1 {
+				in.b = p.planeSlot[nd.Args[1]]
+			}
+			if nd.NArgs > 2 {
+				in.c = p.planeSlot[nd.Args[2]]
+			}
+			p.code = append(p.code, in)
+			expand(i)
+		case nd.Width == 1:
+			in := binstr{kind: bPack, op: uint8(nd.Op), dst: p.planeSlot[i], mem: nd.Mem, mask: 1}
+			p.specializeArgs(&in, nd, bPackImm)
+			p.code = append(p.code, in)
+			expand(i)
+		default:
+			in := binstr{kind: bCol, op: uint8(nd.Op), dst: p.colSlot[i], mem: nd.Mem, mask: nd.Mask()}
+			if nd.Op == OpMux && m.Nodes[nd.Args[0]].Width == 1 {
+				// 1-bit select read straight from its plane: branchless
+				// per-lane mux, and the select needs no column mirror.
+				// Constant arms become immediates (ak/bk flag the shape).
+				in.kind = bColMuxP
+				in.a = p.planeSlot[nd.Args[0]]
+				if bn := &m.Nodes[nd.Args[1]]; bn.Op == OpConst {
+					in.ak, in.imm = 1, bn.Const&bn.Mask()
+				} else {
+					in.b = p.colSlot[nd.Args[1]]
+				}
+				if cn := &m.Nodes[nd.Args[2]]; cn.Op == OpConst {
+					in.bk, in.imm2 = 1, cn.Const&cn.Mask()
+				} else {
+					in.c = p.colSlot[nd.Args[2]]
+				}
+			} else {
+				p.specializeArgs(&in, nd, bColImm)
+			}
+			p.code = append(p.code, in)
+		}
+	}
+
+	// Register reset values and latch descriptors.
+	for i := range m.Regs {
+		r := &m.Regs[i]
+		rn := &m.Nodes[r.Node]
+		mask := rn.Mask()
+		switch {
+		case p.groupSlot[r.Node] >= 0:
+			g := p.groupSlot[r.Node]
+			p.initGroup = append(p.initGroup, groupInit{p.groupBase[g], p.groupW[g], r.Init})
+			l := blatch{w: p.groupW[g], scratch: int32(p.nGroupLW), dst: p.groupBase[g]}
+			p.nGroupLW += int(p.groupW[g])
+			if ng := p.groupSlot[r.Next]; ng >= 0 {
+				l.kind, l.src = lGG, p.groupBase[ng]
+			} else {
+				nn := &m.Nodes[r.Next]
+				l.kind, l.imm = lGI, nn.Const&nn.Mask()&mask
+			}
+			p.latches = append(p.latches, l)
+		case rn.Width == 1:
+			var word uint64
+			if r.Init&1 != 0 {
+				word = ^uint64(0)
+			}
+			p.initPlane = append(p.initPlane, slotWord{p.planeSlot[r.Node], word})
+			l := blatch{scratch: int32(p.nPlaneL), dst: p.planeSlot[r.Node]}
+			p.nPlaneL++
+			if m.Nodes[r.Next].Width == 1 {
+				l.kind, l.src = lPP, p.planeSlot[r.Next]
+			} else {
+				l.kind, l.src = lPC, p.colSlot[r.Next]
+			}
+			p.latches = append(p.latches, l)
+		default:
+			nn := &m.Nodes[r.Next]
+			copyOK := uint8(0)
+			if nn.Mask()&^mask == 0 {
+				copyOK = 1 // next's bits all fit the register: no masking
+			}
+			p.initCol = append(p.initCol, slotVal{p.colSlot[r.Node], r.Init})
+			p.latches = append(p.latches, blatch{
+				kind: lCC, w: copyOK, scratch: int32(p.nColL), dst: p.colSlot[r.Node],
+				src: p.colSlot[r.Next], mask: mask,
+			})
+			p.nColL++
+		}
+	}
+
+	// Demote scratch latches to direct commits where aliasing cannot
+	// occur: a column latch whose source is not any column register (or
+	// is only its own) can read the source live during the commit pass,
+	// skipping the scratch copy — one pass over the column instead of
+	// two, on the majority of registers.
+	dstCols := make(map[int32]bool)
+	for i := range p.latches {
+		if p.latches[i].kind == lCC {
+			dstCols[p.latches[i].dst] = true
+		}
+	}
+	for i := range p.latches {
+		lt := &p.latches[i]
+		if lt.kind != lCC {
+			continue
+		}
+		if lt.src == lt.dst || !dstCols[lt.src] {
+			if lt.w == 1 {
+				lt.kind = lCCc
+			} else {
+				lt.kind = lCCd
+			}
+		}
+		lt.w = 0
+	}
+
+	for i := range m.Writes {
+		w := &m.Writes[i]
+		bw := bwrite{mem: w.Mem, addr: p.colSlot[w.Addr], data: p.colSlot[w.Data], enPlane: -1, enCol: -1}
+		if m.Nodes[w.En].Width == 1 {
+			bw.enPlane = p.planeSlot[w.En]
+		} else {
+			bw.enCol = p.colSlot[w.En]
+		}
+		p.writes = append(p.writes, bw)
+	}
+
+	if m.Nodes[m.Done].Width == 1 {
+		p.donePlane = p.planeSlot[m.Done]
+	} else {
+		p.doneCol = p.colSlot[m.Done]
+	}
+
+	p.memROM = make([]bool, len(m.Mems))
+	p.romData = make([][]uint64, len(m.Mems))
+	for i, mem := range m.Mems {
+		if mem.ROM {
+			p.memROM[i] = true
+			data := mem.Data
+			if len(data) < mem.Words {
+				padded := make([]uint64, mem.Words)
+				copy(padded, data)
+				data = padded
+			}
+			p.romData[i] = data
+		}
+	}
+}
+
+// Groups returns the number of state registers the planner bit-sliced
+// into per-bit planes (the control-plane decomposition of the batch
+// execution model).
+func (p *BatchPlan) Groups() int { return len(p.initGroup) }
+
+// Instructions returns the length of the batch instruction stream.
+func (p *BatchPlan) Instructions() int { return len(p.code) }
+
+// NewBatchSim instantiates a batch simulator with the given number of
+// lanes (1..MaxBatchLanes), reset and ready to load jobs. Many
+// BatchSims may share one plan and run concurrently.
+func (p *BatchPlan) NewBatchSim(lanes int) *BatchSim {
+	if lanes < 1 || lanes > MaxBatchLanes {
+		panic(fmt.Sprintf("rtl: NewBatchSim with %d lanes", lanes))
+	}
+	bs := &BatchSim{
+		plan:       p,
+		lanes:      lanes,
+		planes:     make([]uint64, p.nPlanes),
+		gplanes:    make([]uint64, p.nGroupWords),
+		cols:       make([]uint64, p.nCols*MaxBatchLanes),
+		planeL:     make([]uint64, p.nPlaneL),
+		colL:       make([]uint64, p.nColL*MaxBatchLanes),
+		groupL:     make([]uint64, p.nGroupLW),
+		mems:       make([][]uint64, len(p.m.Mems)),
+		laneCycles: make([]uint64, lanes),
+		laneErr:    make([]error, lanes),
+		snaps:      make([][]uint64, lanes),
+	}
+	for i, mem := range p.m.Mems {
+		if p.memROM[i] {
+			bs.mems[i] = p.romData[i]
+		} else {
+			bs.mems[i] = make([]uint64, mem.Words*MaxBatchLanes)
+		}
+	}
+	// Resolve each instruction's column operands to pointers into this
+	// sim's slab once, so the per-cycle dispatch does no slot math or
+	// slice-bounds checks.
+	bs.cops = make([]colOps, len(p.code))
+	for i := range p.code {
+		in := &p.code[i]
+		co := &bs.cops[i]
+		switch in.kind {
+		case bPack:
+			co.a, co.b, co.c = bs.col(in.a), bs.col(in.b), bs.col(in.c)
+		case bPackImm:
+			co.a = bs.col(in.a)
+		case bCol:
+			co.dst, co.a, co.b, co.c = bs.col(in.dst), bs.col(in.a), bs.col(in.b), bs.col(in.c)
+		case bColImm:
+			co.dst, co.a = bs.col(in.dst), bs.col(in.a)
+		case bColMuxP:
+			co.dst = bs.col(in.dst)
+			if in.ak == 0 {
+				co.b = bs.col(in.b)
+			}
+			if in.bk == 0 {
+				co.c = bs.col(in.c)
+			}
+		case bExpand, bExpandGroup:
+			co.dst = bs.col(in.dst)
+		}
+	}
+	bs.Reset()
+	return bs
+}
+
+// NewBatchSim plans a module with self-detected control structure and
+// instantiates a simulator over it. Callers with an analysis in hand
+// should prefer PlanBatch with hints from analyze.
+func NewBatchSim(m *Module, lanes int) *BatchSim {
+	return PlanBatch(m, nil).NewBatchSim(lanes)
+}
+
+// BatchSim simulates up to 64 independent jobs of one netlist in
+// lockstep. See the package comment at the top of this file for the
+// execution model. A BatchSim is not safe for concurrent use; clones
+// over a shared plan are.
+type BatchSim struct {
+	plan   *BatchPlan
+	lanes  int
+	active uint64 // bit l set: lane l still running
+	cycles uint64
+
+	planes  []uint64
+	gplanes []uint64
+	cols    []uint64
+	cops    []colOps // per-instruction column pointers into cols
+
+	planeL, colL, groupL []uint64 // latch scratch
+
+	// mems is index-aligned with Module.Mems: RAM entries are lane-major
+	// per-lane copies (lane*Words+addr); ROM entries alias the shared
+	// immutable image.
+	mems [][]uint64
+
+	laneCycles []uint64
+	laneErr    []error
+	retired    uint64     // lanes whose Done has fired
+	snaps      [][]uint64 // per-lane value snapshot frozen at retirement;
+	// nil for lanes that retired on the batch's final cycle, whose
+	// observables are served from the (no longer advancing) live state
+
+	countToggles bool
+	toggles      [][]uint64 // per lane, per node
+	prevVals     [][]uint64
+}
+
+// Lanes returns the configured lane count.
+func (bs *BatchSim) Lanes() int { return bs.lanes }
+
+// Engine reports the engine kind, mirroring Sim.Engine.
+func (bs *BatchSim) Engine() Engine { return EngineBatch }
+
+// Clone returns an independent batch simulator over the same plan, in
+// freshly Reset state; clones may run concurrently.
+func (bs *BatchSim) Clone() *BatchSim {
+	c := bs.plan.NewBatchSim(bs.lanes)
+	if bs.countToggles {
+		c.EnableActivity()
+	}
+	return c
+}
+
+// col returns the 64-lane column for a slot. The fixed-size array
+// pointer lets the per-lane loops index without bounds checks — worth
+// several percent of whole-batch throughput.
+func (bs *BatchSim) col(slot int32) *[MaxBatchLanes]uint64 {
+	return (*[MaxBatchLanes]uint64)(bs.cols[int(slot)<<6:])
+}
+
+// laneValue reads the live value of a node in one lane, preferring the
+// authoritative shape (group, then plane, then column).
+func (bs *BatchSim) laneValue(id int, lane int) uint64 {
+	p := bs.plan
+	if g := p.groupSlot[id]; g >= 0 {
+		base, w := p.groupBase[g], p.groupW[g]
+		var v uint64
+		for b := uint8(0); b < w; b++ {
+			v |= (bs.gplanes[base+int32(b)] >> lane & 1) << b
+		}
+		return v
+	}
+	if ps := p.planeSlot[id]; ps >= 0 {
+		return bs.planes[ps] >> lane & 1
+	}
+	return bs.cols[int(p.colSlot[id])<<6|lane]
+}
+
+// Reset restores all lanes: registers to init values, scratchpads and
+// inputs to zero, cycle counters, retirement state, and activity.
+func (bs *BatchSim) Reset() {
+	p := bs.plan
+	if bs.lanes == MaxBatchLanes {
+		bs.active = ^uint64(0)
+	} else {
+		bs.active = uint64(1)<<bs.lanes - 1
+	}
+	bs.cycles = 0
+	bs.retired = 0
+	for i := range bs.planes {
+		bs.planes[i] = 0
+	}
+	for i := range bs.gplanes {
+		bs.gplanes[i] = 0
+	}
+	for i := range bs.cols {
+		bs.cols[i] = 0
+	}
+	for _, c := range p.constPlane {
+		bs.planes[c.slot] = c.word
+	}
+	for _, c := range p.constCol {
+		col := bs.col(c.slot)
+		for l := range col {
+			col[l] = c.val
+		}
+	}
+	for _, r := range p.initPlane {
+		bs.planes[r.slot] = r.word
+	}
+	for _, r := range p.initCol {
+		col := bs.col(r.slot)
+		for l := range col {
+			col[l] = r.val
+		}
+	}
+	for _, r := range p.initGroup {
+		for b := uint8(0); b < r.w; b++ {
+			var word uint64
+			if r.init>>b&1 != 0 {
+				word = ^uint64(0)
+			}
+			bs.gplanes[r.base+int32(b)] = word
+		}
+	}
+	for i := range bs.mems {
+		if p.memROM[i] {
+			continue
+		}
+		data := bs.mems[i]
+		for j := range data {
+			data[j] = 0
+		}
+	}
+	for l := range bs.laneCycles {
+		bs.laneCycles[l] = 0
+		bs.laneErr[l] = nil
+		bs.snaps[l] = nil
+	}
+	if bs.countToggles {
+		bs.baseline()
+	}
+}
+
+// baseline (re)establishes the toggle-counting reference values.
+func (bs *BatchSim) baseline() {
+	n := len(bs.plan.m.Nodes)
+	for l := 0; l < bs.lanes; l++ {
+		if bs.toggles[l] == nil {
+			bs.toggles[l] = make([]uint64, n)
+			bs.prevVals[l] = make([]uint64, n)
+		}
+		for id := 0; id < n; id++ {
+			bs.toggles[l][id] = 0
+			bs.prevVals[l][id] = bs.laneValue(id, l)
+		}
+	}
+}
+
+// EnableActivity turns on per-lane toggle counting for energy modeling.
+func (bs *BatchSim) EnableActivity() {
+	bs.countToggles = true
+	if bs.toggles == nil {
+		bs.toggles = make([][]uint64, bs.lanes)
+		bs.prevVals = make([][]uint64, bs.lanes)
+	}
+	bs.baseline()
+}
+
+// Toggles returns one lane's per-node toggle counts (frozen once the
+// lane retires), or nil when activity tracking is off.
+func (bs *BatchSim) Toggles(lane int) []uint64 {
+	if bs.toggles == nil {
+		return nil
+	}
+	return bs.toggles[lane]
+}
+
+// SetInput drives an input port in one lane for subsequent cycles.
+func (bs *BatchSim) SetInput(lane int, id NodeID, v uint64) {
+	nd := &bs.plan.m.Nodes[id]
+	if nd.Op != OpInput {
+		panic(fmt.Sprintf("rtl: SetInput on non-input node %d", id))
+	}
+	nv := v & nd.Mask()
+	if nd.Width == 1 {
+		bit := uint64(1) << lane
+		if nv != 0 {
+			bs.planes[bs.plan.planeSlot[id]] |= bit
+		} else {
+			bs.planes[bs.plan.planeSlot[id]] &^= bit
+		}
+		return
+	}
+	bs.col(bs.plan.colSlot[id])[lane] = nv
+}
+
+// LoadMem fills one lane's copy of a named scratchpad with job input.
+func (bs *BatchSim) LoadMem(lane int, name string, data []uint64) error {
+	p := bs.plan
+	idx := -1
+	for i, mem := range p.m.Mems {
+		if mem.Name == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("rtl: module %s has no memory %q", p.m.Name, name)
+	}
+	mem := p.m.Mems[idx]
+	if mem.ROM {
+		return fmt.Errorf("rtl: memory %q is a ROM", name)
+	}
+	if len(data) > mem.Words {
+		return fmt.Errorf("rtl: %d words exceed memory %q size %d", len(data), name, mem.Words)
+	}
+	dst := bs.mems[idx][lane*mem.Words : (lane+1)*mem.Words]
+	copy(dst, data)
+	for i := len(data); i < mem.Words; i++ {
+		dst[i] = 0
+	}
+	return nil
+}
+
+// Mem returns one lane's view of a named memory (aliased, not copied);
+// the shared image for ROMs. Frozen once the lane retires (writes are
+// gated by the active mask).
+func (bs *BatchSim) Mem(lane int, name string) []uint64 {
+	p := bs.plan
+	for i, mem := range p.m.Mems {
+		if mem.Name == name {
+			if p.memROM[i] {
+				return bs.mems[i]
+			}
+			return bs.mems[i][lane*mem.Words : (lane+1)*mem.Words]
+		}
+	}
+	return nil
+}
+
+// Value returns the value a node held in one lane: the live value for a
+// running lane, the frozen snapshot for a retired one.
+func (bs *BatchSim) Value(lane int, id NodeID) uint64 {
+	if s := bs.snaps[lane]; s != nil {
+		return s[id]
+	}
+	return bs.laneValue(int(id), lane)
+}
+
+// RegValue returns the latched value of register index i in one lane.
+func (bs *BatchSim) RegValue(lane int, i int) uint64 {
+	return bs.Value(lane, bs.plan.m.Regs[i].Node)
+}
+
+// Cycles returns the number of cycles stepped since Reset (the maximum
+// over lanes; per-lane counts come from LaneCycles).
+func (bs *BatchSim) Cycles() uint64 { return bs.cycles }
+
+// LaneCycles returns the cycle count at which a lane's job completed
+// (valid once Retired reports true, or after Run).
+func (bs *BatchSim) LaneCycles(lane int) uint64 { return bs.laneCycles[lane] }
+
+// Retired reports whether a lane's job has raised Done.
+func (bs *BatchSim) Retired(lane int) bool { return bs.retired>>lane&1 != 0 }
+
+// LaneErr returns the error recorded for a lane by Run (cycle-limit
+// exhaustion), or nil.
+func (bs *BatchSim) LaneErr(lane int) error { return bs.laneErr[lane] }
+
+// Lane returns a scalar read-only view of one lane, satisfying
+// RegReader for feature extraction.
+func (bs *BatchSim) Lane(lane int) LaneView { return LaneView{bs, lane} }
+
+// LaneView adapts one lane of a BatchSim to the scalar read API.
+type LaneView struct {
+	bs   *BatchSim
+	lane int
+}
+
+// RegValue returns the latched value of register index i.
+func (v LaneView) RegValue(i int) uint64 { return v.bs.RegValue(v.lane, i) }
+
+// Value returns the lane's value for a node.
+func (v LaneView) Value(id NodeID) uint64 { return v.bs.Value(v.lane, id) }
+
+// Cycles returns the lane's job cycle count.
+func (v LaneView) Cycles() uint64 { return v.bs.LaneCycles(v.lane) }
+
+// Toggles returns the lane's toggle counters.
+func (v LaneView) Toggles() []uint64 { return v.bs.Toggles(v.lane) }
+
+// Mem returns the lane's view of a named memory.
+func (v LaneView) Mem(name string) []uint64 { return v.bs.Mem(v.lane, name) }
+
+// Step executes one cycle for every active lane and reports whether all
+// lanes have retired. The phase order per cycle — combinational
+// evaluation, done sampling, memory writes, simultaneous latch,
+// activity counting — matches the scalar engines exactly; retirement
+// happens after the done cycle completes in full, as in Sim.Run.
+func (bs *BatchSim) Step() bool {
+	if bs.active == 0 {
+		return true
+	}
+	p := bs.plan
+
+	// Phase 1: combinational evaluation in SSA order.
+	for i := range p.code {
+		in := &p.code[i]
+		co := &bs.cops[i]
+		switch in.kind {
+		case bWord:
+			pl := bs.planes
+			var r uint64
+			switch in.op {
+			case wAnd:
+				r = pl[in.a] & pl[in.b]
+			case wOr:
+				r = pl[in.a] | pl[in.b]
+			case wXor:
+				r = pl[in.a] ^ pl[in.b]
+			case wNot:
+				r = ^pl[in.a]
+			case wXnor:
+				r = ^(pl[in.a] ^ pl[in.b])
+			case wAndNot:
+				r = ^pl[in.a] & pl[in.b]
+			case wOrNot:
+				r = ^pl[in.a] | pl[in.b]
+			case wMaskNot:
+				r = pl[in.a] &^ pl[in.b]
+			case wMux:
+				s := pl[in.a]
+				r = s&pl[in.b] | ^s&pl[in.c]
+			}
+			pl[in.dst] = r
+		case bPack:
+			bs.execPack(in, co)
+		case bPackImm:
+			bs.execPackImm(in, co)
+		case bCol:
+			bs.execCol(in, co)
+		case bColImm:
+			bs.execColImm(in, co)
+		case bColMuxP:
+			bs.execColMux(in, co)
+		case bExpand:
+			dst := co.dst
+			w := bs.planes[in.a]
+			for l := range dst {
+				dst[l] = w >> l & 1
+			}
+		case bGroupMux:
+			gp := bs.gplanes
+			s := bs.planes[in.a]
+			for b := uint8(0); b < in.w; b++ {
+				var av, bv uint64
+				if in.ak == gLeafGroup {
+					av = gp[in.b+int32(b)]
+				} else if in.imm>>b&1 != 0 {
+					av = ^uint64(0)
+				}
+				if in.bk == gLeafGroup {
+					bv = gp[in.c+int32(b)]
+				} else if in.imm2>>b&1 != 0 {
+					bv = ^uint64(0)
+				}
+				gp[in.dst+int32(b)] = s&av | ^s&bv
+			}
+		case bGroupEq:
+			gp := bs.gplanes
+			acc := ^uint64(0)
+			for b := uint8(0); b < in.w; b++ {
+				var cb uint64
+				if in.imm>>b&1 != 0 {
+					cb = ^uint64(0)
+				}
+				acc &= ^(gp[in.a+int32(b)] ^ cb)
+			}
+			if in.imm>>in.w != 0 {
+				acc = 0 // the constant exceeds every representable state
+			}
+			if in.op == 1 {
+				acc = ^acc
+			}
+			bs.planes[in.dst] = acc
+		case bExpandGroup:
+			dst := co.dst
+			for l := range dst {
+				dst[l] = 0
+			}
+			for b := uint8(0); b < in.w; b++ {
+				w := bs.gplanes[in.a+int32(b)]
+				for l := range dst {
+					dst[l] |= (w >> l & 1) << b
+				}
+			}
+		}
+	}
+
+	// Done is sampled from the combinational values, before writes.
+	var done uint64
+	if p.donePlane >= 0 {
+		done = bs.planes[p.donePlane]
+	} else {
+		col := bs.col(p.doneCol)
+		for l := range col {
+			if col[l] != 0 {
+				done |= uint64(1) << l
+			}
+		}
+	}
+
+	// Phase 2: memory writes commit, active lanes only — a retired
+	// lane's scratchpads stay frozen at their done-cycle contents.
+	for i := range p.writes {
+		w := &p.writes[i]
+		var en uint64
+		if w.enPlane >= 0 {
+			en = bs.planes[w.enPlane]
+		} else {
+			col := bs.col(w.enCol)
+			for l := range col {
+				if col[l] != 0 {
+					en |= uint64(1) << l
+				}
+			}
+		}
+		en &= bs.active
+		if en == 0 {
+			continue
+		}
+		addr := bs.col(w.addr)
+		data := bs.col(w.data)
+		mem := bs.mems[w.mem]
+		words := uint64(p.m.Mems[w.mem].Words)
+		for en != 0 {
+			l := bits.TrailingZeros64(en)
+			en &= en - 1
+			if a := addr[l]; a < words {
+				mem[uint64(l)*words+a] = data[l]
+			}
+		}
+	}
+
+	// Phase 3: registers latch simultaneously (scratch then commit).
+	for i := range p.latches {
+		lt := &p.latches[i]
+		switch lt.kind {
+		case lPP:
+			bs.planeL[lt.scratch] = bs.planes[lt.src]
+		case lPC:
+			col := bs.col(lt.src)
+			var word uint64
+			for l := range col {
+				word |= (col[l] & 1) << l
+			}
+			bs.planeL[lt.scratch] = word
+		case lCC:
+			col := bs.col(lt.src)
+			dst := bs.colL[int(lt.scratch)<<6 : int(lt.scratch)<<6+MaxBatchLanes]
+			for l := range dst {
+				dst[l] = col[l] & lt.mask
+			}
+		case lGG:
+			for b := uint8(0); b < lt.w; b++ {
+				bs.groupL[lt.scratch+int32(b)] = bs.gplanes[lt.src+int32(b)]
+			}
+		case lGI:
+			for b := uint8(0); b < lt.w; b++ {
+				var word uint64
+				if lt.imm>>b&1 != 0 {
+					word = ^uint64(0)
+				}
+				bs.groupL[lt.scratch+int32(b)] = word
+			}
+		}
+	}
+	for i := range p.latches {
+		lt := &p.latches[i]
+		switch lt.kind {
+		case lPP, lPC:
+			bs.planes[lt.dst] = bs.planeL[lt.scratch]
+		case lCC:
+			copy(bs.col(lt.dst)[:], bs.colL[int(lt.scratch)<<6:int(lt.scratch)<<6+MaxBatchLanes])
+		case lCCd:
+			src, dst := bs.col(lt.src), bs.col(lt.dst)
+			mask := lt.mask
+			for l := range dst {
+				dst[l] = src[l] & mask
+			}
+		case lCCc:
+			copy(bs.col(lt.dst)[:], bs.col(lt.src)[:])
+		case lGG, lGI:
+			for b := uint8(0); b < lt.w; b++ {
+				bs.gplanes[lt.dst+int32(b)] = bs.groupL[lt.scratch+int32(b)]
+			}
+		}
+	}
+
+	// Phase 4: activity accounting for lanes that ran this cycle.
+	if bs.countToggles {
+		act := bs.active
+		n := len(p.m.Nodes)
+		for act != 0 {
+			l := bits.TrailingZeros64(act)
+			act &= act - 1
+			if l >= bs.lanes {
+				break
+			}
+			prev, tg := bs.prevVals[l], bs.toggles[l]
+			for id := 0; id < n; id++ {
+				if v := bs.laneValue(id, l); v != prev[id] {
+					tg[id]++
+					prev[id] = v
+				}
+			}
+		}
+	}
+
+	bs.cycles++
+
+	// Retirement: lanes whose Done fired freeze their observables and
+	// leave the active mask. Lanes retiring on the batch's final cycle
+	// skip the snapshot: with no active lanes left, Step is a no-op, so
+	// the live state they would snapshot can never advance under them.
+	if ret := done & bs.active; ret != 0 {
+		bs.active &^= done
+		bs.retired |= ret
+		if bs.active != 0 {
+			n := len(p.m.Nodes)
+			for r := ret; r != 0; r &= r - 1 {
+				l := bits.TrailingZeros64(r)
+				snap := make([]uint64, n)
+				for id := 0; id < n; id++ {
+					snap[id] = bs.laneValue(id, l)
+				}
+				bs.snaps[l] = snap
+			}
+		}
+		for r := ret; r != 0; r &= r - 1 {
+			bs.laneCycles[bits.TrailingZeros64(r)] = bs.cycles
+		}
+	}
+	return bs.active == 0
+}
+
+// execPack evaluates a 1-bit node that needs per-lane values (multi-bit
+// operands), packing the results into the destination plane.
+func (bs *BatchSim) execPack(in *binstr, co *colOps) {
+	var word uint64
+	a := co.a
+	switch Op(in.op) {
+	case OpEq:
+		b := co.b
+		for l := range a {
+			if a[l] == b[l] {
+				word |= uint64(1) << l
+			}
+		}
+	case OpNe:
+		b := co.b
+		for l := range a {
+			if a[l] != b[l] {
+				word |= uint64(1) << l
+			}
+		}
+	case OpLt:
+		b := co.b
+		for l := range a {
+			if a[l] < b[l] {
+				word |= uint64(1) << l
+			}
+		}
+	case OpLe:
+		b := co.b
+		for l := range a {
+			if a[l] <= b[l] {
+				word |= uint64(1) << l
+			}
+		}
+	case OpMux:
+		b, c := co.b, co.c
+		for l := range a {
+			v := c[l]
+			if a[l] != 0 {
+				v = b[l]
+			}
+			word |= (v & 1) << l
+		}
+	case OpNot:
+		for l := range a {
+			word |= (^a[l] & 1) << l
+		}
+	case OpAnd, OpMul:
+		b := co.b
+		for l := range a {
+			word |= (a[l] & b[l] & 1) << l
+		}
+	case OpOr:
+		b := co.b
+		for l := range a {
+			word |= ((a[l] | b[l]) & 1) << l
+		}
+	case OpXor, OpAdd:
+		b := co.b
+		for l := range a {
+			word |= ((a[l] ^ b[l]) & 1) << l
+		}
+	case OpSub:
+		b := co.b
+		for l := range a {
+			word |= ((a[l] - b[l]) & 1) << l
+		}
+	case OpShl:
+		b := co.b
+		for l := range a {
+			if sh := b[l]; sh < 64 {
+				word |= (a[l] << sh & 1) << l
+			}
+		}
+	case OpShr:
+		b := co.b
+		for l := range a {
+			if sh := b[l]; sh < 64 {
+				word |= (a[l] >> sh & 1) << l
+			}
+		}
+	case OpMemRead:
+		mem := bs.mems[in.mem]
+		if bs.plan.memROM[in.mem] {
+			words := uint64(len(mem))
+			for l := range a {
+				if ad := a[l]; ad < words {
+					word |= (mem[ad] & 1) << l
+				}
+			}
+		} else {
+			words := uint64(bs.plan.m.Mems[in.mem].Words)
+			off := uint64(0)
+			for l := range a {
+				if ad := a[l]; ad < words {
+					word |= (mem[off+ad] & 1) << l
+				}
+				off += words
+			}
+		}
+	default:
+		panic(fmt.Sprintf("rtl: batch pack on %s", Op(in.op)))
+	}
+	bs.planes[in.dst] = word
+}
+
+// execCol evaluates a multi-bit node as a structure-of-arrays lane
+// loop. The op dispatch happens once per node per cycle; the inner
+// loops are constant-trip over all 64 lanes.
+func (bs *BatchSim) execCol(in *binstr, co *colOps) {
+	dst := co.dst
+	a := co.a
+	mask := in.mask
+	switch Op(in.op) {
+	case OpAdd:
+		b := co.b
+		for l := 0; l < MaxBatchLanes; l += 4 {
+			dst[l] = (a[l] + b[l]) & mask
+			dst[l+1] = (a[l+1] + b[l+1]) & mask
+			dst[l+2] = (a[l+2] + b[l+2]) & mask
+			dst[l+3] = (a[l+3] + b[l+3]) & mask
+		}
+	case OpSub:
+		b := co.b
+		for l := 0; l < MaxBatchLanes; l += 4 {
+			dst[l] = (a[l] - b[l]) & mask
+			dst[l+1] = (a[l+1] - b[l+1]) & mask
+			dst[l+2] = (a[l+2] - b[l+2]) & mask
+			dst[l+3] = (a[l+3] - b[l+3]) & mask
+		}
+	case OpMul:
+		b := co.b
+		for l := 0; l < MaxBatchLanes; l += 4 {
+			dst[l] = a[l] * b[l] & mask
+			dst[l+1] = a[l+1] * b[l+1] & mask
+			dst[l+2] = a[l+2] * b[l+2] & mask
+			dst[l+3] = a[l+3] * b[l+3] & mask
+		}
+	case OpAnd:
+		b := co.b
+		for l := 0; l < MaxBatchLanes; l += 4 {
+			dst[l] = a[l] & b[l] & mask
+			dst[l+1] = a[l+1] & b[l+1] & mask
+			dst[l+2] = a[l+2] & b[l+2] & mask
+			dst[l+3] = a[l+3] & b[l+3] & mask
+		}
+	case OpOr:
+		b := co.b
+		for l := 0; l < MaxBatchLanes; l += 4 {
+			dst[l] = (a[l] | b[l]) & mask
+			dst[l+1] = (a[l+1] | b[l+1]) & mask
+			dst[l+2] = (a[l+2] | b[l+2]) & mask
+			dst[l+3] = (a[l+3] | b[l+3]) & mask
+		}
+	case OpXor:
+		b := co.b
+		for l := 0; l < MaxBatchLanes; l += 4 {
+			dst[l] = (a[l] ^ b[l]) & mask
+			dst[l+1] = (a[l+1] ^ b[l+1]) & mask
+			dst[l+2] = (a[l+2] ^ b[l+2]) & mask
+			dst[l+3] = (a[l+3] ^ b[l+3]) & mask
+		}
+	case OpNot:
+		for l := 0; l < MaxBatchLanes; l += 4 {
+			dst[l] = ^a[l] & mask
+			dst[l+1] = ^a[l+1] & mask
+			dst[l+2] = ^a[l+2] & mask
+			dst[l+3] = ^a[l+3] & mask
+		}
+	case OpShl:
+		b := co.b
+		for l := range dst {
+			if sh := b[l]; sh < 64 {
+				dst[l] = a[l] << sh & mask
+			} else {
+				dst[l] = 0
+			}
+		}
+	case OpShr:
+		b := co.b
+		for l := range dst {
+			if sh := b[l]; sh < 64 {
+				dst[l] = a[l] >> sh & mask
+			} else {
+				dst[l] = 0
+			}
+		}
+	case OpEq:
+		b := co.b
+		for l := range dst {
+			x := a[l] ^ b[l]
+			dst[l] = 1 &^ ((x | -x) >> 63)
+		}
+	case OpNe:
+		b := co.b
+		for l := range dst {
+			x := a[l] ^ b[l]
+			dst[l] = (x | -x) >> 63
+		}
+	case OpLt:
+		b := co.b
+		for l := range dst {
+			_, borrow := bits.Sub64(a[l], b[l], 0)
+			dst[l] = borrow
+		}
+	case OpLe:
+		b := co.b
+		for l := range dst {
+			_, borrow := bits.Sub64(b[l], a[l], 0)
+			dst[l] = 1 - borrow
+		}
+	case OpMux:
+		b, c := co.b, co.c
+		for l := range dst {
+			s := a[l]
+			m := -((s | -s) >> 63)
+			dst[l] = (b[l]&m | c[l]&^m) & mask
+		}
+	case OpMemRead:
+		mem := bs.mems[in.mem]
+		if bs.plan.memROM[in.mem] {
+			words := uint64(len(mem))
+			for l := range dst {
+				if ad := a[l]; ad < words {
+					dst[l] = mem[ad] & mask
+				} else {
+					dst[l] = 0
+				}
+			}
+		} else {
+			words := uint64(bs.plan.m.Mems[in.mem].Words)
+			off := uint64(0)
+			for l := range dst {
+				if ad := a[l]; ad < words {
+					dst[l] = mem[off+ad] & mask
+				} else {
+					dst[l] = 0
+				}
+				off += words
+			}
+		}
+	default:
+		panic(fmt.Sprintf("rtl: batch col on %s", Op(in.op)))
+	}
+}
+
+// execColImm is execCol with the second operand folded into the
+// instruction as an immediate: one scalar register instead of a
+// 64-word column load per op. Constant operands dominate real
+// netlists (+1 counters, ==state compares, >>k index math), so this
+// carries most of the datapath's per-cycle cost.
+func (bs *BatchSim) execColImm(in *binstr, co *colOps) {
+	dst := co.dst
+	a := co.a
+	mask := in.mask
+	imm := in.imm
+	switch Op(in.op) {
+	case OpAdd:
+		for l := 0; l < MaxBatchLanes; l += 4 {
+			dst[l] = (a[l] + imm) & mask
+			dst[l+1] = (a[l+1] + imm) & mask
+			dst[l+2] = (a[l+2] + imm) & mask
+			dst[l+3] = (a[l+3] + imm) & mask
+		}
+	case OpSub:
+		for l := 0; l < MaxBatchLanes; l += 4 {
+			dst[l] = (a[l] - imm) & mask
+			dst[l+1] = (a[l+1] - imm) & mask
+			dst[l+2] = (a[l+2] - imm) & mask
+			dst[l+3] = (a[l+3] - imm) & mask
+		}
+	case OpMul:
+		for l := 0; l < MaxBatchLanes; l += 4 {
+			dst[l] = a[l] * imm & mask
+			dst[l+1] = a[l+1] * imm & mask
+			dst[l+2] = a[l+2] * imm & mask
+			dst[l+3] = a[l+3] * imm & mask
+		}
+	case OpAnd:
+		imm &= mask
+		for l := 0; l < MaxBatchLanes; l += 4 {
+			dst[l] = a[l] & imm
+			dst[l+1] = a[l+1] & imm
+			dst[l+2] = a[l+2] & imm
+			dst[l+3] = a[l+3] & imm
+		}
+	case OpOr:
+		for l := 0; l < MaxBatchLanes; l += 4 {
+			dst[l] = (a[l] | imm) & mask
+			dst[l+1] = (a[l+1] | imm) & mask
+			dst[l+2] = (a[l+2] | imm) & mask
+			dst[l+3] = (a[l+3] | imm) & mask
+		}
+	case OpXor:
+		for l := 0; l < MaxBatchLanes; l += 4 {
+			dst[l] = (a[l] ^ imm) & mask
+			dst[l+1] = (a[l+1] ^ imm) & mask
+			dst[l+2] = (a[l+2] ^ imm) & mask
+			dst[l+3] = (a[l+3] ^ imm) & mask
+		}
+	case OpShl:
+		if imm >= 64 {
+			clear(dst[:])
+			return
+		}
+		for l := 0; l < MaxBatchLanes; l += 4 {
+			dst[l] = a[l] << imm & mask
+			dst[l+1] = a[l+1] << imm & mask
+			dst[l+2] = a[l+2] << imm & mask
+			dst[l+3] = a[l+3] << imm & mask
+		}
+	case OpShr:
+		if imm >= 64 {
+			clear(dst[:])
+			return
+		}
+		for l := 0; l < MaxBatchLanes; l += 4 {
+			dst[l] = a[l] >> imm & mask
+			dst[l+1] = a[l+1] >> imm & mask
+			dst[l+2] = a[l+2] >> imm & mask
+			dst[l+3] = a[l+3] >> imm & mask
+		}
+	case OpEq:
+		for l := range dst {
+			x := a[l] ^ imm
+			dst[l] = 1 &^ ((x | -x) >> 63)
+		}
+	case OpNe:
+		for l := range dst {
+			x := a[l] ^ imm
+			dst[l] = (x | -x) >> 63
+		}
+	case OpLt:
+		for l := range dst {
+			_, borrow := bits.Sub64(a[l], imm, 0)
+			dst[l] = borrow
+		}
+	case OpLe:
+		for l := range dst {
+			_, borrow := bits.Sub64(imm, a[l], 0)
+			dst[l] = 1 - borrow
+		}
+	default:
+		panic(fmt.Sprintf("rtl: batch col-imm on %s", Op(in.op)))
+	}
+}
+
+// execColMux evaluates a multi-bit mux whose 1-bit select is read from
+// its plane, branchlessly: m is all-ones for lanes selecting the then
+// arm. Constant arms (ak/bk set) are immediates, saving the column
+// load — muxes against constants (resets, init values, saturation)
+// are among the most common datapath nodes.
+func (bs *BatchSim) execColMux(in *binstr, co *colOps) {
+	dst := co.dst
+	s := bs.planes[in.a]
+	mask := in.mask
+	// Lanes run correlated workloads, so the select word is very often
+	// uniform (all lanes took the same branch); those cases collapse to
+	// a masked copy or an immediate fill.
+	switch {
+	case in.ak == 0 && in.bk == 0:
+		b, c := co.b, co.c
+		switch s {
+		case 0:
+			for l := 0; l < MaxBatchLanes; l += 4 {
+				dst[l] = c[l] & mask
+				dst[l+1] = c[l+1] & mask
+				dst[l+2] = c[l+2] & mask
+				dst[l+3] = c[l+3] & mask
+			}
+		case ^uint64(0):
+			for l := 0; l < MaxBatchLanes; l += 4 {
+				dst[l] = b[l] & mask
+				dst[l+1] = b[l+1] & mask
+				dst[l+2] = b[l+2] & mask
+				dst[l+3] = b[l+3] & mask
+			}
+		default:
+			for l := 0; l < MaxBatchLanes; l += 4 {
+				m0 := -(s & 1)
+				m1 := -(s >> 1 & 1)
+				m2 := -(s >> 2 & 1)
+				m3 := -(s >> 3 & 1)
+				s >>= 4
+				dst[l] = (b[l]&m0 | c[l]&^m0) & mask
+				dst[l+1] = (b[l+1]&m1 | c[l+1]&^m1) & mask
+				dst[l+2] = (b[l+2]&m2 | c[l+2]&^m2) & mask
+				dst[l+3] = (b[l+3]&m3 | c[l+3]&^m3) & mask
+			}
+		}
+	case in.ak == 1 && in.bk == 0:
+		bi := in.imm & mask
+		c := co.c
+		switch s {
+		case 0:
+			for l := 0; l < MaxBatchLanes; l += 4 {
+				dst[l] = c[l] & mask
+				dst[l+1] = c[l+1] & mask
+				dst[l+2] = c[l+2] & mask
+				dst[l+3] = c[l+3] & mask
+			}
+		case ^uint64(0):
+			fillCol(dst, bi)
+		default:
+			for l := range dst {
+				m := -(s & 1)
+				s >>= 1
+				dst[l] = bi&m | c[l]&^m&mask
+			}
+		}
+	case in.ak == 0 && in.bk == 1:
+		b := co.b
+		ci := in.imm2 & mask
+		switch s {
+		case 0:
+			fillCol(dst, ci)
+		case ^uint64(0):
+			for l := 0; l < MaxBatchLanes; l += 4 {
+				dst[l] = b[l] & mask
+				dst[l+1] = b[l+1] & mask
+				dst[l+2] = b[l+2] & mask
+				dst[l+3] = b[l+3] & mask
+			}
+		default:
+			for l := range dst {
+				m := -(s & 1)
+				s >>= 1
+				dst[l] = b[l]&m&mask | ci&^m
+			}
+		}
+	default:
+		bi, ci := in.imm&mask, in.imm2&mask
+		switch s {
+		case 0:
+			fillCol(dst, ci)
+		case ^uint64(0):
+			fillCol(dst, bi)
+		default:
+			for l := range dst {
+				m := -(s & 1)
+				s >>= 1
+				dst[l] = bi&m | ci&^m
+			}
+		}
+	}
+}
+
+// fillCol sets every lane of a column to the same value.
+func fillCol(dst *[MaxBatchLanes]uint64, v uint64) {
+	for l := 0; l < MaxBatchLanes; l += 4 {
+		dst[l] = v
+		dst[l+1] = v
+		dst[l+2] = v
+		dst[l+3] = v
+	}
+}
+
+// execPackImm is execPack with the second operand as an immediate.
+func (bs *BatchSim) execPackImm(in *binstr, co *colOps) {
+	var word uint64
+	a := co.a
+	imm := in.imm
+	switch Op(in.op) {
+	case OpEq:
+		for l := range a {
+			if a[l] == imm {
+				word |= uint64(1) << l
+			}
+		}
+	case OpNe:
+		for l := range a {
+			if a[l] != imm {
+				word |= uint64(1) << l
+			}
+		}
+	case OpLt:
+		for l := range a {
+			if a[l] < imm {
+				word |= uint64(1) << l
+			}
+		}
+	case OpLe:
+		for l := range a {
+			if a[l] <= imm {
+				word |= uint64(1) << l
+			}
+		}
+	case OpAnd, OpMul:
+		for l := range a {
+			word |= (a[l] & imm & 1) << l
+		}
+	case OpOr:
+		for l := range a {
+			word |= ((a[l] | imm) & 1) << l
+		}
+	case OpXor, OpAdd:
+		for l := range a {
+			word |= ((a[l] ^ imm) & 1) << l
+		}
+	case OpSub:
+		for l := range a {
+			word |= ((a[l] - imm) & 1) << l
+		}
+	case OpShl:
+		if imm < 64 {
+			for l := range a {
+				word |= (a[l] << imm & 1) << l
+			}
+		}
+	case OpShr:
+		if imm < 64 {
+			for l := range a {
+				word |= (a[l] >> imm & 1) << l
+			}
+		}
+	default:
+		panic(fmt.Sprintf("rtl: batch pack-imm on %s", Op(in.op)))
+	}
+	bs.planes[in.dst] = word
+}
+
+// Run steps until every lane has retired, or until maxCycles cycles
+// have executed. Lanes still running at the limit get ErrNoProgress
+// recorded (see LaneErr) with their cycle counts set to the work done,
+// and Run returns a non-nil error; per-lane results for lanes that DID
+// finish remain valid either way.
+func (bs *BatchSim) Run(maxCycles uint64) error {
+	start := bs.cycles
+	for bs.cycles-start < maxCycles {
+		if bs.Step() {
+			return nil
+		}
+	}
+	act := bs.active
+	stuck := 0
+	for act != 0 {
+		l := bits.TrailingZeros64(act)
+		act &= act - 1
+		if l >= bs.lanes {
+			break
+		}
+		bs.laneErr[l] = fmt.Errorf("%w (module %s, limit %d)", ErrNoProgress, bs.plan.m.Name, maxCycles)
+		bs.laneCycles[l] = bs.cycles - start
+		stuck++
+	}
+	return fmt.Errorf("%w (module %s, limit %d, %d lanes)", ErrNoProgress, bs.plan.m.Name, maxCycles, stuck)
+}

@@ -1,0 +1,303 @@
+package rtl_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rtl"
+	"repro/internal/testdesigns"
+)
+
+// compareLane fails on any observable divergence between one batch lane
+// and its scalar interpreter reference: every node value, plus (when
+// full is set) toggle counters and memory contents.
+func compareLane(t *testing.T, m *rtl.Module, bs *rtl.BatchSim, lane int, ref *rtl.Sim, full bool) {
+	t.Helper()
+	for id := 0; id < m.NumNodes(); id++ {
+		if bv, rv := bs.Value(lane, rtl.NodeID(id)), ref.Value(rtl.NodeID(id)); bv != rv {
+			t.Fatalf("lane %d node %d (%s): batch %#x != interp %#x",
+				lane, id, m.Nodes[id].Op, bv, rv)
+		}
+	}
+	if !full {
+		return
+	}
+	bt, rt := bs.Toggles(lane), ref.Toggles()
+	for id := range rt {
+		if bt[id] != rt[id] {
+			t.Fatalf("lane %d node %d (%s): toggles batch %d != interp %d",
+				lane, id, m.Nodes[id].Op, bt[id], rt[id])
+		}
+	}
+	for _, mem := range m.Mems {
+		bm, rm := bs.Mem(lane, mem.Name), ref.Mem(mem.Name)
+		for a := range rm {
+			if bm[a] != rm[a] {
+				t.Fatalf("lane %d mem %s[%d]: batch %#x != interp %#x",
+					lane, mem.Name, a, bm[a], rm[a])
+			}
+		}
+	}
+}
+
+// TestBatchMatchesInterpOnRandomNetlists is the batch engine's
+// differential property test: every lane of a BatchSim must be
+// bit-exact with a scalar interpreter fed the same per-lane stimulus —
+// including lanes that retire at different cycles, whose observables
+// must freeze at their done cycle while the other lanes keep running.
+func TestBatchMatchesInterpOnRandomNetlists(t *testing.T) {
+	rng := rand.New(rand.NewSource(90210))
+	laneCounts := []int{1, 2, 7, 64}
+	for trial := 0; trial < 16; trial++ {
+		m := randModule(rng)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid random module: %v", trial, err)
+		}
+		lanes := laneCounts[trial%len(laneCounts)]
+		bs := rtl.NewBatchSim(m, lanes)
+		bs.EnableActivity()
+		refs := make([]*rtl.Sim, lanes)
+		done := make([]bool, lanes)
+		for l := range refs {
+			refs[l] = rtl.NewInterpSim(m)
+			refs[l].EnableActivity()
+			load := make([]uint64, m.Mems[0].Words)
+			for i := range load {
+				load[i] = rng.Uint64()
+			}
+			if err := refs[l].LoadMem("in", load); err != nil {
+				t.Fatal(err)
+			}
+			if err := bs.LoadMem(l, "in", load); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ins := inputsOf(m)
+		for cycle := 0; cycle < 60; cycle++ {
+			for l := 0; l < lanes; l++ {
+				if done[l] {
+					continue
+				}
+				for _, id := range ins {
+					v := rng.Uint64()
+					refs[l].SetInput(id, v)
+					bs.SetInput(l, id, v)
+				}
+			}
+			all := bs.Step()
+			for l := 0; l < lanes; l++ {
+				if done[l] {
+					continue
+				}
+				rd := refs[l].Step()
+				if bs.Retired(l) != rd {
+					t.Fatalf("trial %d cycle %d lane %d: retired=%v but interp done=%v",
+						trial, cycle, l, bs.Retired(l), rd)
+				}
+				if rd {
+					// The lane just froze: its snapshot, cycle count,
+					// toggles and memories must match the reference at
+					// its own done cycle, now and forever.
+					done[l] = true
+					if bs.LaneCycles(l) != refs[l].Cycles() {
+						t.Fatalf("trial %d lane %d: cycles batch=%d interp=%d",
+							trial, l, bs.LaneCycles(l), refs[l].Cycles())
+					}
+					compareLane(t, m, bs, l, refs[l], true)
+				} else {
+					compareLane(t, m, bs, l, refs[l], false)
+				}
+			}
+			if all {
+				break
+			}
+		}
+		// Lanes still running at the horizon: full live comparison.
+		for l := 0; l < lanes; l++ {
+			if !done[l] {
+				compareLane(t, m, bs, l, refs[l], true)
+			}
+		}
+	}
+}
+
+// TestBatchMatchesOnToyJobs runs ragged batches of real Toy jobs (item
+// counts differ per lane, so completion cycles differ) through Run and
+// checks per-lane cycle counts, values, toggles and memories against
+// scalar runs — the exact shape of the core training fan-out.
+func TestBatchMatchesOnToyJobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	toy := testdesigns.Toy()
+	plan := rtl.PlanBatch(toy.M, nil)
+	if plan.Groups() == 0 {
+		t.Fatal("expected Toy's multi-bit FSM state register to be bit-sliced")
+	}
+	for _, lanes := range []int{1, 5, 33, 64} {
+		bs := plan.NewBatchSim(lanes)
+		bs.EnableActivity()
+		jobs := make([][]uint64, lanes)
+		want := make([]uint64, lanes)
+		for l := range jobs {
+			items := make([]uint64, 1+rng.Intn(30))
+			for i := range items {
+				items[i] = testdesigns.ToyItem(rng.Intn(2) == 0, uint8(rng.Intn(200)))
+			}
+			jobs[l] = testdesigns.ToyJob(items)
+			want[l] = testdesigns.ToyCycles(items)
+			if err := bs.LoadMem(l, "in", jobs[l]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := bs.Run(1 << 20); err != nil {
+			t.Fatalf("lanes=%d: %v", lanes, err)
+		}
+		for l := 0; l < lanes; l++ {
+			if err := bs.LaneErr(l); err != nil {
+				t.Fatalf("lanes=%d lane %d: %v", lanes, l, err)
+			}
+			if bs.LaneCycles(l) != want[l] {
+				t.Fatalf("lanes=%d lane %d: cycles=%d want=%d", lanes, l, bs.LaneCycles(l), want[l])
+			}
+			ref := rtl.NewInterpSim(toy.M)
+			ref.EnableActivity()
+			if err := ref.LoadMem("in", jobs[l]); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ref.Run(1 << 20); err != nil {
+				t.Fatal(err)
+			}
+			compareLane(t, toy.M, bs, l, ref, true)
+		}
+	}
+}
+
+// TestBatchCloneIsIndependent mirrors TestCloneIsIndependent for the
+// batch engine: a clone starts fresh, shares no writable memory with
+// its parent, inherits activity tracking, and reproduces results.
+func TestBatchCloneIsIndependent(t *testing.T) {
+	toy := testdesigns.Toy()
+	items := []uint64{testdesigns.ToyItem(false, 0), testdesigns.ToyItem(true, 9)}
+	job := testdesigns.ToyJob(items)
+
+	bs := rtl.NewBatchSim(toy.M, 2)
+	bs.EnableActivity()
+	c := bs.Clone()
+	if c.Toggles(0) == nil {
+		t.Fatal("clone did not inherit activity tracking")
+	}
+	if c.Engine() != rtl.EngineBatch || bs.Engine() != rtl.EngineBatch {
+		t.Fatalf("engine %s / %s, want batch", bs.Engine(), c.Engine())
+	}
+	if err := bs.LoadMem(0, "in", job); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Mem(0, "in")[0]; got != 0 {
+		t.Fatalf("clone saw parent's LoadMem: in[0]=%d", got)
+	}
+	for _, s := range []*rtl.BatchSim{bs, c} {
+		for l := 0; l < 2; l++ {
+			if err := s.LoadMem(l, "in", job); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Run(1 << 20); err != nil {
+			t.Fatal(err)
+		}
+		want := testdesigns.ToyCycles(items)
+		for l := 0; l < 2; l++ {
+			if s.LaneCycles(l) != want {
+				t.Fatalf("lane %d cycles=%d want=%d", l, s.LaneCycles(l), want)
+			}
+		}
+	}
+}
+
+// TestBatchRunTimeout checks the cycle-limit path: lanes that cannot
+// finish get ErrNoProgress recorded, and the simulator stays usable
+// after a Reset.
+func TestBatchRunTimeout(t *testing.T) {
+	toy := testdesigns.Toy()
+	bs := rtl.NewBatchSim(toy.M, 2)
+	job := testdesigns.ToyJob([]uint64{testdesigns.ToyItem(true, 30)})
+	for l := 0; l < 2; l++ {
+		if err := bs.LoadMem(l, "in", job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One cycle is never enough to process an item.
+	if err := bs.Run(1); err == nil {
+		t.Fatal("expected timeout error")
+	}
+	for l := 0; l < 2; l++ {
+		if bs.LaneErr(l) == nil {
+			t.Fatalf("lane %d: want ErrNoProgress", l)
+		}
+	}
+	bs.Reset()
+	for l := 0; l < 2; l++ {
+		if bs.LaneErr(l) != nil {
+			t.Fatalf("lane %d: error survived Reset", l)
+		}
+		if err := bs.LoadMem(l, "in", job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bs.Run(1 << 20); err != nil {
+		t.Fatalf("after Reset: %v", err)
+	}
+}
+
+// TestBatchMatchesOnHandFSM covers the input-driven path: the
+// hand-lowered 1-bit FSM (whose control logic lowers entirely to plane
+// word ops) is stepped with per-lane random stimulus.
+func TestBatchMatchesOnHandFSM(t *testing.T) {
+	m, _ := testdesigns.HandFSM()
+	plan := rtl.PlanBatch(m, nil)
+	rng := rand.New(rand.NewSource(99))
+	lanes := 17
+	bs := plan.NewBatchSim(lanes)
+	bs.EnableActivity()
+	refs := make([]*rtl.Sim, lanes)
+	for l := range refs {
+		refs[l] = rtl.NewInterpSim(m)
+		refs[l].EnableActivity()
+	}
+	done := make([]bool, lanes)
+	ins := inputsOf(m)
+	for cycle := 0; cycle < 120; cycle++ {
+		for l := 0; l < lanes; l++ {
+			if done[l] {
+				continue
+			}
+			for _, id := range ins {
+				v := rng.Uint64()
+				refs[l].SetInput(id, v)
+				bs.SetInput(l, id, v)
+			}
+		}
+		all := bs.Step()
+		for l := 0; l < lanes; l++ {
+			if done[l] {
+				continue
+			}
+			rd := refs[l].Step()
+			if bs.Retired(l) != rd {
+				t.Fatalf("cycle %d lane %d: retired=%v but interp done=%v", cycle, l, bs.Retired(l), rd)
+			}
+			if rd {
+				done[l] = true
+				compareLane(t, m, bs, l, refs[l], true)
+			} else {
+				compareLane(t, m, bs, l, refs[l], false)
+			}
+		}
+		if all {
+			break
+		}
+	}
+	for l := 0; l < lanes; l++ {
+		if !done[l] {
+			compareLane(t, m, bs, l, refs[l], true)
+		}
+	}
+}

@@ -88,3 +88,55 @@ func BenchmarkStencilSimEvent(b *testing.B) { benchAccel(b, rtl.EngineEvent) }
 
 // BenchmarkStencilSimInterp is the interpreter reference point.
 func BenchmarkStencilSimInterp(b *testing.B) { benchAccel(b, rtl.EngineInterp) }
+
+// BenchmarkToySimBatch measures aggregate batched throughput: 64 Toy
+// jobs per RunJobs call, reported as jobs/s so the ratio against 64
+// scalar RunJob calls is the batch amortization factor.
+func BenchmarkToySimBatch(b *testing.B) {
+	toy := testdesigns.Toy()
+	items := make([]uint64, 100)
+	for i := range items {
+		items[i] = testdesigns.ToyItem(i%2 == 0, uint8(20))
+	}
+	jobs := make([]accel.Job, rtl.MaxBatchLanes)
+	for l := range jobs {
+		jobs[l] = accel.Job{Mems: map[string][]uint64{"in": testdesigns.ToyJob(items)}}
+	}
+	plan := rtl.PlanBatch(toy.M, nil)
+	bs := plan.NewBatchSim(len(jobs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, errs := accel.RunJobs(bs, jobs, 1<<20)
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkStencilSimBatch is the batched counterpart of
+// BenchmarkStencilSim on a real accelerator netlist: 64 lanes of the
+// same job, aggregate jobs/s.
+func BenchmarkStencilSimBatch(b *testing.B) {
+	spec := stencil.Spec()
+	m := spec.Build()
+	job := spec.TestJobs(3)[0]
+	jobs := make([]accel.Job, rtl.MaxBatchLanes)
+	for l := range jobs {
+		jobs[l] = job
+	}
+	plan := rtl.PlanBatch(m, nil)
+	bs := plan.NewBatchSim(len(jobs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, errs := accel.RunJobs(bs, jobs, spec.MaxTicks)
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}

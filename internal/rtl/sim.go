@@ -20,12 +20,19 @@ import (
 //     accelerators the paper targets.
 //   - EngineInterp walks the Node table directly; the reference
 //     implementation for differential testing.
+//   - EngineBatch simulates up to MaxBatchLanes independent jobs of the
+//     same netlist at once (batch.go): 1-bit control signals are
+//     bit-sliced one-lane-per-bit into uint64 words and multi-bit
+//     datapath values run in structure-of-arrays lane loops. It has its
+//     own simulator type (BatchSim); NewSimEngine falls back to the
+//     compiled engine for callers that need a scalar Sim.
 type Engine string
 
 const (
 	EngineCompiled Engine = "compiled"
 	EngineInterp   Engine = "interp"
 	EngineEvent    Engine = "event"
+	EngineBatch    Engine = "batch"
 )
 
 // ParseEngine validates an engine name ("" selects the compiled
@@ -34,10 +41,10 @@ func ParseEngine(name string) (Engine, error) {
 	switch Engine(name) {
 	case "", EngineCompiled:
 		return EngineCompiled, nil
-	case EngineInterp, EngineEvent:
+	case EngineInterp, EngineEvent, EngineBatch:
 		return Engine(name), nil
 	}
-	return "", fmt.Errorf("rtl: unknown engine %q (have compiled, event, interp)", name)
+	return "", fmt.Errorf("rtl: unknown engine %q (have compiled, event, interp, batch)", name)
 }
 
 // defaultEngine holds the Engine NewSim selects; set by init from the
@@ -136,6 +143,11 @@ func NewSim(m *Module) *Sim {
 }
 
 // NewSimEngine prepares a simulator with an explicit engine choice.
+// EngineBatch has no scalar Sim form (it simulates many jobs at once
+// through BatchSim); callers that need a single-job simulator under the
+// batch engine — retries, serving shards, VCD dumps — get the compiled
+// engine, which the batch fan-out in package core uses as its per-job
+// fallback as well.
 func NewSimEngine(m *Module, e Engine) *Sim {
 	switch e {
 	case EngineInterp:
@@ -145,6 +157,13 @@ func NewSimEngine(m *Module, e Engine) *Sim {
 	default:
 		return Compile(m).NewSim()
 	}
+}
+
+// RegReader is the read-only view feature extraction needs from a
+// simulation: the latched value of a register by Regs index. Both the
+// scalar Sim and one lane of a BatchSim satisfy it.
+type RegReader interface {
+	RegValue(i int) uint64
 }
 
 // NewSim instantiates a simulator executing this compiled program.

@@ -4,9 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/accel"
-	"repro/internal/instrument"
 	"repro/internal/rtl"
-	"repro/internal/slice"
 )
 
 // TestEnginesMatchOnSuite is the suite-wide differential test: for
@@ -16,23 +14,71 @@ import (
 // value, every toggle counter, every memory word) must agree
 // bit-exactly. The toggle counters feed the energy model, so their
 // equivalence is what licenses making the faster engines the default.
+// TestBatchEngineMatchesOnSuite extends the differential net to the
+// batch engine on every benchmark: several real jobs of differing
+// lengths are packed into lanes of one BatchSim — so lanes retire at
+// different cycles — and each lane's ticks, node values, toggle
+// counters, and memories must match a scalar interpreter run of the
+// same job bit-exactly, on both the instrumented design and its slice.
+func TestBatchEngineMatchesOnSuite(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			ins, sl := instrumentAndSlice(t, spec)
+			jobs := spec.TestJobs(31)
+			if len(jobs) > 5 {
+				jobs = jobs[:5]
+			}
+			for _, mod := range []*rtl.Module{ins.M, sl.M} {
+				bs := rtl.NewBatchSim(mod, len(jobs))
+				bs.EnableActivity()
+				ticks, errs := accel.RunJobs(bs, jobs, spec.MaxTicks)
+				for l, job := range jobs {
+					if errs[l] != nil {
+						t.Fatalf("%s lane %d: %v", mod.Name, l, errs[l])
+					}
+					ref := rtl.NewInterpSim(mod)
+					ref.EnableActivity()
+					rt, err := accel.RunJob(ref, job, spec.MaxTicks)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ticks[l] != rt {
+						t.Fatalf("%s lane %d: ticks %d (batch) != %d (interp)", mod.Name, l, ticks[l], rt)
+					}
+					for id := 0; id < mod.NumNodes(); id++ {
+						if bv, rv := bs.Value(l, rtl.NodeID(id)), ref.Value(rtl.NodeID(id)); bv != rv {
+							t.Fatalf("%s lane %d node %d (%s): %#x (batch) != %#x (interp)",
+								mod.Name, l, id, mod.Nodes[id].Op, bv, rv)
+						}
+					}
+					bg, rg := bs.Toggles(l), ref.Toggles()
+					for id := range rg {
+						if bg[id] != rg[id] {
+							t.Fatalf("%s lane %d node %d: toggles %d (batch) != %d (interp)",
+								mod.Name, l, id, bg[id], rg[id])
+						}
+					}
+					for _, mem := range mod.Mems {
+						bm, rm := bs.Mem(l, mem.Name), ref.Mem(mem.Name)
+						for a := range rm {
+							if bm[a] != rm[a] {
+								t.Fatalf("%s lane %d mem %s[%d]: %#x (batch) != %#x (interp)",
+									mod.Name, l, mem.Name, a, bm[a], rm[a])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestEnginesMatchOnSuite(t *testing.T) {
 	for _, spec := range All() {
 		spec := spec
 		t.Run(spec.Name, func(t *testing.T) {
-			m := spec.Build()
-			ins, err := instrument.Instrument(m)
-			if err != nil {
-				t.Fatal(err)
-			}
-			keep := make([]int, len(ins.Features))
-			for i := range keep {
-				keep[i] = i
-			}
-			sl, err := slice.Slice(ins, keep, slice.DefaultOptions())
-			if err != nil {
-				t.Fatal(err)
-			}
+			ins, sl := instrumentAndSlice(t, spec)
 			jobs := spec.TestJobs(23)[:2]
 			for _, mod := range []*rtl.Module{ins.M, sl.M} {
 				p := rtl.Compile(mod)

@@ -65,3 +65,76 @@ func TestEventEngineNoRegression(t *testing.T) {
 		})
 	}
 }
+
+// TestBatchEngineNoRegression guards the batch engine's reason to
+// exist: aggregate trace-collection throughput (instrumented full
+// design + hardware slice per job, the exact work core.CollectTraces
+// does) must comfortably beat the scalar compiled engine. Measured
+// ratios are ~4x on every benchmark (see BENCH_sim.json); the floor
+// here is 1.5x so only a real regression — not scheduler noise on a
+// loaded single-core runner — can trip it. Skipped under -short: it
+// measures wall-clock on purpose.
+func TestBatchEngineNoRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement; skipped with -short")
+	}
+	const floor = 1.5
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			ins, sl := instrumentAndSlice(t, spec)
+			job := spec.TestJobs(3)[0]
+			jobs := make([]accel.Job, rtl.MaxBatchLanes)
+			for l := range jobs {
+				jobs[l] = job
+			}
+			fullS := rtl.NewSimEngine(ins.M, rtl.EngineCompiled)
+			sliceS := rtl.NewSimEngine(sl.M, rtl.EngineCompiled)
+			runScalar := func() {
+				for _, s := range []*rtl.Sim{fullS, sliceS} {
+					if _, err := accel.RunJob(s, job, spec.MaxTicks); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			fbs := rtl.NewBatchSim(ins.M, len(jobs))
+			sbs := rtl.NewBatchSim(sl.M, len(jobs))
+			runBatch := func() {
+				for _, bs := range []*rtl.BatchSim{fbs, sbs} {
+					_, errs := accel.RunJobs(bs, jobs, spec.MaxTicks)
+					for _, err := range errs {
+						if err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+			runScalar()
+			runBatch()
+			const reps = 8
+			bestScalar, bestBatch := 0.0, 0.0
+			for p := 0; p < 3; p++ {
+				start := time.Now() //detlint:allow perf guard measures wall-clock by design
+				for i := 0; i < reps; i++ {
+					runScalar()
+				}
+				if s := time.Since(start).Seconds(); bestScalar == 0 || s < bestScalar {
+					bestScalar = s
+				}
+				start = time.Now() //detlint:allow perf guard measures wall-clock by design
+				runBatch()
+				if s := time.Since(start).Seconds(); bestBatch == 0 || s < bestBatch {
+					bestBatch = s
+				}
+			}
+			scalarJPS := float64(reps) / bestScalar
+			batchJPS := float64(len(jobs)) / bestBatch
+			ratio := batchJPS / scalarJPS
+			t.Logf("scalar %.0f jobs/s, batch %.0f jobs/s, ratio %.2fx", scalarJPS, batchJPS, ratio)
+			if ratio < floor {
+				t.Errorf("batch trace collection only %.2fx compiled on %s (floor %.1fx)",
+					ratio, spec.Name, floor)
+			}
+		})
+	}
+}

@@ -231,3 +231,23 @@ func TestExecutionTimesRoughlyMatchTable4(t *testing.T) {
 		})
 	}
 }
+
+// instrumentAndSlice builds the instrumented design and its full
+// hardware slice for a benchmark — the pair of modules every
+// trace-collection job simulates.
+func instrumentAndSlice(t *testing.T, spec accel.Spec) (*instrument.Instrumented, *slice.Result) {
+	t.Helper()
+	ins, err := instrument.Instrument(spec.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := make([]int, len(ins.Features))
+	for i := range keep {
+		keep[i] = i
+	}
+	sl, err := slice.Slice(ins, keep, slice.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ins, sl
+}
