@@ -4,7 +4,7 @@
 // sneaks into a result path, so CI runs this linter over the
 // replay-critical packages alongside go vet.
 //
-// It flags three hazard classes:
+// It flags four hazard classes:
 //
 //   - ranging over a map: iteration order is randomized per run, so any
 //     result assembled in range order (appends, string building,
@@ -14,7 +14,12 @@
 //   - math/rand package-level draws (rand.Intn, rand.Float64, ...): the
 //     global source's stream is shared process-wide, so draws interleave
 //     differently when goroutine schedules change; draws must come from
-//     an explicitly seeded *rand.Rand.
+//     an explicitly seeded *rand.Rand;
+//   - unseeded rand.Shuffle / rand.Perm: a permutation drawn from the
+//     shared global source silently reorders whatever it touches (job
+//     lists, worker assignments), which corrupts replay even when no
+//     individual value is random. Detected through import aliases too —
+//     unlike scalar draws, a renamed import does not hide a shuffle.
 //
 // A finding is suppressed by a `//detlint:allow <reason>` comment on
 // the same line or the line above — used where the hazard is neutralized
@@ -195,13 +200,22 @@ func lintFile(fset *token.FileSet, f *ast.File, info *types.Info) []finding {
 	randDraws := map[string]bool{
 		"Int": true, "Intn": true, "Int31": true, "Int31n": true,
 		"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
-		"Float32": true, "Float64": true, "Perm": true, "Shuffle": true,
+		"Float32": true, "Float64": true,
 		"ExpFloat64": true, "NormFloat64": true, "Seed": true,
 	}
+	// mathRandNames maps every file-local name of math/rand — the plain
+	// "rand" or an import alias — so the permutation hazard below cannot
+	// be hidden by renaming the import.
 	importsMathRand := false
+	mathRandNames := map[string]bool{}
 	for _, imp := range f.Imports {
 		if p, _ := strconv.Unquote(imp.Path.Value); p == "math/rand" || p == "math/rand/v2" {
 			importsMathRand = true
+			name := "rand"
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			mathRandNames[name] = true
 		}
 	}
 
@@ -237,6 +251,15 @@ func lintFile(fset *token.FileSet, f *ast.File, info *types.Info) []finding {
 			if pkg.Name == "time" && n.Sel.Name == "Now" {
 				report(n.Pos(),
 					"time.Now: wall-clock reads diverge between replays; thread timestamps in from the caller")
+			}
+			// Unseeded permutations: package-level Shuffle/Perm reorder
+			// whole collections through the shared global source — replay
+			// poison even when no single value is random. Matched by the
+			// import's actual path, so aliasing cannot hide them.
+			if (n.Sel.Name == "Shuffle" || n.Sel.Name == "Perm") && mathRandNames[pkg.Name] {
+				report(n.Pos(), fmt.Sprintf(
+					"rand.%s permutes via the shared global source: element order differs per run; use an explicitly seeded *rand.Rand", n.Sel.Name))
+				return true
 			}
 			if importsMathRand && pkg.Name == "rand" && randDraws[n.Sel.Name] {
 				report(n.Pos(),

@@ -87,6 +87,39 @@ func g() []string {
 	}
 }
 
+func TestUnseededShufflePermFlagged(t *testing.T) {
+	dir := t.TempDir()
+	// The import alias must not hide the global-source permutation, and
+	// a seeded *rand.Rand's methods must stay clean.
+	writeFile(t, dir, "shuf.go", `package p
+
+import mrand "math/rand"
+
+func f(xs []int) []int {
+	mrand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	_ = mrand.Perm(4)
+	r := mrand.New(mrand.NewSource(7))
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	_ = r.Perm(4)
+	//detlint:allow deterministic here: single-threaded tool setup
+	_ = mrand.Perm(2)
+	return xs
+}
+`)
+	got, err := lintDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("findings = %d, want 2 (aliased Shuffle + Perm): %v", len(got), got)
+	}
+	for _, f := range got {
+		if !strings.Contains(f.msg, "permutes via the shared global source") {
+			t.Errorf("unexpected finding: %v", f)
+		}
+	}
+}
+
 func TestTestFilesSkippedByDefault(t *testing.T) {
 	dir := t.TempDir()
 	writeFile(t, dir, "a_test.go", `package p

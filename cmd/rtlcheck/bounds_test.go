@@ -1,0 +1,39 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestBoundsGolden pins `rtlcheck -bounds all` to the checked-in
+// golden table: every benchmark and every slice keeps a finite,
+// unchanged [MIN, MAX] interval. A legitimate bounds change (a design
+// edit, a sharper analysis) regenerates the file with
+//
+//	go run ./cmd/rtlcheck -bounds all > cmd/rtlcheck/testdata/bounds_all.golden
+//
+// and the diff documents the shift in review.
+func TestBoundsGolden(t *testing.T) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-18s %12s %14s\n", "DESIGN", "MIN", "MAX")
+	rows, err := boundsTarget("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.b.MaxBounded {
+			t.Errorf("%s: no finite upper bound (%s)", r.name, r.b.Reason)
+			continue
+		}
+		fmt.Fprintf(&sb, "%-18s %12d %14d\n", r.name, r.b.Min, r.b.Max)
+	}
+	golden, err := os.ReadFile("testdata/bounds_all.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != string(golden) {
+		t.Errorf("bounds table drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}

@@ -19,6 +19,12 @@
 //	-suppress ids     comma-separated rule IDs to drop
 //	-min severity     drop findings below info|warning|error (default info)
 //	-json             emit diagnostics as JSON
+//	-bounds           print the static cycle-bound table instead of linting
+//
+// With -bounds, each target design is analyzed with the abstract
+// interpreter and its static [MinCycles, MaxCycles] window printed; for
+// benchmark targets the hardware slice's bounds are printed too. The
+// exit status is 1 if any design has no finite upper bound.
 package main
 
 import (
@@ -28,8 +34,11 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/absint"
+	"repro/internal/instrument"
 	"repro/internal/lint"
 	"repro/internal/rtl"
+	"repro/internal/slice"
 	"repro/internal/suite"
 	"repro/internal/testdesigns"
 	"repro/internal/verilog"
@@ -41,11 +50,15 @@ func main() {
 	suppress := flag.String("suppress", "", "comma-separated rule IDs to drop")
 	minSev := flag.String("min", "info", "drop findings below this severity (info|warning|error)")
 	asJSON := flag.Bool("json", false, "emit diagnostics as JSON")
+	showBounds := flag.Bool("bounds", false, "print the static cycle-bound table instead of linting")
 	flag.Parse()
 
 	if *showRules {
 		printCatalog()
 		return
+	}
+	if *showBounds {
+		os.Exit(runBounds(flag.Args()))
 	}
 	if flag.NArg() == 0 {
 		fmt.Fprintf(os.Stderr, "usage: rtlcheck [flags] <target>...\ntargets: benchmark name %v, \"all\", \"testdesigns\", or a .v file\n", suite.Names())
@@ -70,6 +83,7 @@ func main() {
 		}
 		all = append(all, diags...)
 	}
+	lint.SortDiagnostics(all)
 	for _, d := range all {
 		if d.Sev == lint.Error {
 			errors++
@@ -152,6 +166,109 @@ func lintVerilog(path string, cfg lint.Config) ([]lint.Diagnostic, error) {
 		return diags, nil
 	}
 	return append(diags, lint.Run(m, cfg).Diags...), nil
+}
+
+// runBounds implements -bounds: it prints the static cycle-bound table
+// for each target design (and the hardware slice, for benchmark
+// targets) and returns the exit code — 1 if any bound is not finite.
+func runBounds(targets []string) int {
+	if len(targets) == 0 {
+		fmt.Fprintf(os.Stderr, "usage: rtlcheck -bounds <target>...\ntargets: benchmark name %v, \"all\", \"testdesigns\", or a .v file\n", suite.Names())
+		return 2
+	}
+	fmt.Printf("%-18s %12s %14s\n", "DESIGN", "MIN", "MAX")
+	unbounded := 0
+	for _, target := range targets {
+		rows, err := boundsTarget(target)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		for _, r := range rows {
+			max := fmt.Sprintf("%d", r.b.Max)
+			if !r.b.MaxBounded {
+				max = "+Inf"
+				unbounded++
+			}
+			fmt.Printf("%-18s %12d %14s\n", r.name, r.b.Min, max)
+			if !r.b.MaxBounded {
+				fmt.Printf("  unbounded: %s\n", r.b.Reason)
+				for _, uw := range r.b.Unbounded {
+					fmt.Printf("  state %d (%s): %s\n", uw.State, uw.Kind, uw.Reason)
+				}
+			}
+		}
+	}
+	if unbounded > 0 {
+		fmt.Printf("%d design(s) without a finite upper bound\n", unbounded)
+		return 1
+	}
+	return 0
+}
+
+type boundsRow struct {
+	name string
+	b    absint.CycleBounds
+}
+
+// boundsTarget resolves one target to designs and computes their static
+// cycle bounds. Benchmark targets also get their full hardware slice —
+// the module trace collection actually simulates.
+func boundsTarget(target string) ([]boundsRow, error) {
+	if strings.HasSuffix(target, ".v") {
+		src, err := os.ReadFile(target)
+		if err != nil {
+			return nil, err
+		}
+		mods, err := verilog.ParseFileNamed(string(src), target)
+		if err != nil {
+			return nil, err
+		}
+		if len(mods) == 0 {
+			return nil, fmt.Errorf("rtlcheck: %s: no modules", target)
+		}
+		m, err := verilog.ElaborateHierarchy(mods, mods[len(mods)-1].Name)
+		if err != nil {
+			return nil, err
+		}
+		return []boundsRow{{m.Name, absint.Bounds(m)}}, nil
+	}
+	var specs []string
+	switch target {
+	case "all":
+		specs = suite.Names()
+	case "testdesigns":
+		hand, _ := testdesigns.HandFSM()
+		return []boundsRow{
+			{"toy", absint.Bounds(testdesigns.Toy().M)},
+			{hand.Name, absint.Bounds(hand)},
+		}, nil
+	default:
+		specs = []string{target}
+	}
+	var rows []boundsRow
+	for _, name := range specs {
+		spec, err := suite.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		m := spec.Build()
+		rows = append(rows, boundsRow{spec.Name, absint.Bounds(m)})
+		ins, err := instrument.Instrument(m)
+		if err != nil {
+			return nil, fmt.Errorf("rtlcheck: instrument %s: %w", spec.Name, err)
+		}
+		keep := make([]int, len(ins.Features))
+		for i := range keep {
+			keep[i] = i
+		}
+		sl, err := slice.Slice(ins, keep, slice.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("rtlcheck: slice %s: %w", spec.Name, err)
+		}
+		rows = append(rows, boundsRow{spec.Name + "/slice", absint.Bounds(sl.M)})
+	}
+	return rows, nil
 }
 
 func splitIDs(s string) []string {

@@ -37,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/absint"
 	"repro/internal/accel"
 	"repro/internal/core"
 	"repro/internal/exp"
@@ -95,11 +96,25 @@ type ThroughputResult struct {
 	BatchVsCompiled float64 `json:"batch_vs_compiled"`
 }
 
+// PruneResult records the static win of absint pruning on one
+// benchmark: compiled instructions per cycle for the instrumented full
+// design and its hardware slice, unpruned vs pruned. Every engine's
+// per-cycle work scales with this stream.
+type PruneResult struct {
+	Benchmark        string  `json:"benchmark"`
+	FullInstr        int     `json:"full_instr"`
+	FullInstrPruned  int     `json:"full_instr_pruned"`
+	FullReductionPct float64 `json:"full_reduction_pct"`
+	SliceInstr       int     `json:"slice_instr"`
+	SliceInstrPruned int     `json:"slice_instr_pruned"`
+}
+
 // Report is the BENCH_sim.json schema.
 type Report struct {
 	Generated       string             `json:"generated"`
 	MaxWorkers      int                `json:"max_workers"`
 	Designs         []DesignResult     `json:"designs"`
+	Prune           []PruneResult      `json:"prune"`
 	WorkerSweep     []TraceResult      `json:"worker_sweep"`
 	TraceThroughput []ThroughputResult `json:"trace_throughput"`
 	SuiteWallclockS float64            `json:"suite_wallclock_s"`
@@ -289,6 +304,17 @@ func run() error {
 		rep.Designs = append(rep.Designs, dr)
 	}
 
+	// 1b. Static pruning win: compiled instructions per cycle, unpruned
+	// vs absint-pruned, for each benchmark's instrumented design and its
+	// hardware slice.
+	for _, spec := range specs {
+		pr, err := measurePrune(spec)
+		if err != nil {
+			return err
+		}
+		rep.Prune = append(rep.Prune, pr)
+	}
+
 	// 2. CollectTraces fan-out: sweep worker counts 1, 2, 4, 8 (capped
 	// at GOMAXPROCS) under the compiled and the batch engine.
 	spec, err := suite.ByName("stencil")
@@ -391,6 +417,42 @@ func run() error {
 		twoX, len(rep.Designs)-1, fourX, len(rep.TraceThroughput), last.Speedup, last.Workers, last.Engine, rep.SuiteWallclockS, *out)
 	fmt.Printf("jobs batched: %d; jobs simulated: %d\n", core.BatchedJobs(), core.SimulatedJobs())
 	return nil
+}
+
+// measurePrune compiles each benchmark's instrumented design and slice
+// with and without absint pruning and records the instruction counts.
+func measurePrune(spec accel.Spec) (PruneResult, error) {
+	ins, err := instrument.Instrument(spec.Build())
+	if err != nil {
+		return PruneResult{}, err
+	}
+	keep := make([]int, len(ins.Features))
+	kept := make([]int, len(ins.Features))
+	for i, f := range ins.Features {
+		keep[i] = f.Witness
+		kept[i] = i
+	}
+	pm, _ := absint.Prune(ins.M, keep)
+	plain := slice.DefaultOptions()
+	plain.Prune = false
+	slP, err := slice.Slice(ins, kept, plain)
+	if err != nil {
+		return PruneResult{}, err
+	}
+	slA, err := slice.Slice(ins, kept, slice.DefaultOptions())
+	if err != nil {
+		return PruneResult{}, err
+	}
+	fi := rtl.Compile(ins.M).Instructions()
+	pi := rtl.Compile(pm).Instructions()
+	return PruneResult{
+		Benchmark:        spec.Name,
+		FullInstr:        fi,
+		FullInstrPruned:  pi,
+		FullReductionPct: 100 * float64(fi-pi) / float64(fi),
+		SliceInstr:       rtl.Compile(slP.M).Instructions(),
+		SliceInstrPruned: rtl.Compile(slA.M).Instructions(),
+	}, nil
 }
 
 // measureTraceThroughput times the per-job work of CollectTraces —

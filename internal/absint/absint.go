@@ -1,0 +1,470 @@
+// Package absint is a fixed-point abstract interpreter over the rtl
+// netlist IR. It computes, for every node, a product domain of
+//
+//   - an unsigned interval [Lo, Hi], and
+//   - known bits (a mask of bit positions whose value is proven, with
+//     the proven values),
+//
+// by iterating the register transfer relation to a fixed point from the
+// reset state. The two component domains refine each other after every
+// transfer (the leading bits shared by Lo and Hi are known; known bits
+// squeeze the interval), which is what lets control signals (known-bit
+// heavy) and counters (interval heavy) both analyze precisely.
+//
+// Everything here is an over-approximation of the reachable concrete
+// values: if the analysis says a node is the constant c, the node
+// evaluates to c on every cycle of every job; if it reports [lo, hi],
+// no execution ever observes a value outside the range. Soundness is
+// what downstream consumers rely on — lint rules report proven facts,
+// the pruner folds proven constants into rtl.Simplify, and the cycle
+// bound analysis (bounds.go) clamps runtime predictions.
+package absint
+
+import (
+	"math/bits"
+
+	"repro/internal/rtl"
+)
+
+// Value is one node's abstract value: interval plus known bits,
+// truncated to the node's width.
+type Value struct {
+	// Lo and Hi bound the value: Lo <= v <= Hi for every reachable v.
+	Lo, Hi uint64
+	// Known marks bit positions whose value is proven; Bits holds the
+	// proven values (Bits &^ Known == 0).
+	Known, Bits uint64
+	// W is the node width the value is truncated to.
+	W uint8
+}
+
+// Top returns the unconstrained value of width w.
+func Top(w uint8) Value {
+	return Value{Lo: 0, Hi: rtl.WidthMask(w), Known: ^rtl.WidthMask(w), W: w}
+}
+
+// Exact returns the singleton abstract value c (truncated to width w).
+func Exact(c uint64, w uint8) Value {
+	c &= rtl.WidthMask(w)
+	return Value{Lo: c, Hi: c, Known: ^uint64(0), Bits: c, W: w}
+}
+
+// Const reports whether v denotes exactly one concrete value.
+func (v Value) Const() (uint64, bool) {
+	if v.Lo == v.Hi {
+		return v.Lo, true
+	}
+	if v.Known == ^uint64(0) {
+		return v.Bits, true
+	}
+	return 0, false
+}
+
+// IsZero reports whether v is proven to be the constant 0.
+func (v Value) IsZero() bool { c, ok := v.Const(); return ok && c == 0 }
+
+// NonZero reports whether v is proven nonzero on every cycle.
+func (v Value) NonZero() bool { return v.Lo > 0 || v.Bits != 0 }
+
+// MayBeNonZero reports whether a nonzero value is possible.
+func (v Value) MayBeNonZero() bool { return !v.IsZero() }
+
+// reduce tightens each component domain with the other and restores the
+// invariants. It never loses soundness: both inputs over-approximate
+// the same concrete set, so their intersection does too.
+func (v Value) reduce() Value {
+	mask := rtl.WidthMask(v.W)
+	v.Lo &= mask
+	v.Hi &= mask
+	if v.Lo > v.Hi {
+		// Callers never construct crossed intervals for reachable values;
+		// treat defensively as full range.
+		v.Lo, v.Hi = 0, mask
+	}
+	v.Known |= ^mask // bits beyond the width are zero
+	v.Bits &= v.Known & mask
+	// Interval → known bits: the leading bits where Lo and Hi agree are
+	// fixed for every value in [Lo, Hi].
+	if diff := v.Lo ^ v.Hi; diff != 0 {
+		lead := ^uint64(0) << uint(bits.Len64(diff))
+		v.Known |= lead
+		v.Bits = (v.Bits & ^lead) | (v.Lo & lead & mask)
+	} else {
+		v.Known = ^uint64(0)
+		v.Bits = v.Lo
+	}
+	// Known bits → interval: the smallest/largest values consistent with
+	// the known bits clip the interval.
+	minKB := v.Bits
+	maxKB := v.Bits | (^v.Known & mask)
+	if v.Lo < minKB {
+		v.Lo = minKB
+	}
+	if v.Hi > maxKB {
+		v.Hi = maxKB
+	}
+	if v.Lo > v.Hi {
+		v.Lo, v.Hi = 0, mask
+	}
+	return v
+}
+
+// join returns the least upper bound: interval hull, bitwise agreement.
+func join(a, b Value) Value {
+	out := Value{W: a.W}
+	if b.W > out.W {
+		out.W = b.W
+	}
+	out.Lo = a.Lo
+	if b.Lo < out.Lo {
+		out.Lo = b.Lo
+	}
+	out.Hi = a.Hi
+	if b.Hi > out.Hi {
+		out.Hi = b.Hi
+	}
+	out.Known = a.Known & b.Known & ^(a.Bits ^ b.Bits)
+	out.Bits = a.Bits & out.Known
+	return out.reduce()
+}
+
+// trunc reinterprets v at width w (register latches truncate).
+func trunc(v Value, w uint8) Value {
+	if v.W == w {
+		return v
+	}
+	mask := rtl.WidthMask(w)
+	out := Value{W: w, Known: v.Known, Bits: v.Bits & mask}
+	if v.Hi <= mask {
+		out.Lo, out.Hi = v.Lo, v.Hi
+	} else {
+		out.Lo, out.Hi = 0, mask
+	}
+	return out.reduce()
+}
+
+// Analysis holds the converged abstract values for one module.
+type Analysis struct {
+	M *rtl.Module
+	// Vals is the per-node converged value (indexable by NodeID).
+	Vals []Value
+	// RegVals is the per-register converged value, identical to the
+	// register node's entry in Vals.
+	RegVals []Value
+}
+
+// widenAfter is the number of ascending iterations before interval
+// widening kicks in. A few plain iterations first let short constant
+// chains (handshakes, small saturating counters) converge exactly.
+const widenAfter = 4
+
+// maxIters hard-caps the fixpoint loop. The known-bits component can
+// only lose bits (≤64 steps per register) and widened intervals jump
+// straight to full range, so this is never reached in practice; any
+// register still moving at the cap is forced to Top.
+const maxIters = 96
+
+// Analyze runs the fixed-point iteration from the reset state and
+// returns converged per-node values.
+func Analyze(m *rtl.Module) *Analysis {
+	a := &Analysis{M: m}
+	regs := make([]Value, len(m.Regs))
+	for i := range m.Regs {
+		regs[i] = Exact(m.Regs[i].Init, m.Nodes[m.Regs[i].Node].Width)
+	}
+	vals := make([]Value, len(m.Nodes))
+	for iter := 0; ; iter++ {
+		a.evalInto(vals, regs, nil)
+		changed := false
+		for i := range m.Regs {
+			w := m.Nodes[m.Regs[i].Node].Width
+			nv := join(regs[i], trunc(vals[m.Regs[i].Next], w))
+			if nv != regs[i] {
+				if iter >= widenAfter {
+					// Widen the interval component to full range; known
+					// bits keep descending on their own (finite lattice).
+					nv.Lo, nv.Hi = 0, rtl.WidthMask(w)
+					nv = nv.reduce()
+					nv = join(regs[i], nv)
+				}
+				if iter >= maxIters && nv != regs[i] {
+					nv = Top(w)
+				}
+				if nv != regs[i] {
+					regs[i] = nv
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	a.evalInto(vals, regs, nil)
+	a.Vals = vals
+	a.RegVals = regs
+	return a
+}
+
+// EvalPinned re-evaluates every combinational node with the given
+// register nodes pinned to exact values and all other registers at
+// their converged abstract values. This is how the cycle-bound
+// analysis asks "what can this guard be while the FSM sits in state s".
+func (a *Analysis) EvalPinned(pins map[rtl.NodeID]uint64) []Value {
+	vals := make([]Value, len(a.M.Nodes))
+	a.evalInto(vals, a.RegVals, pins)
+	return vals
+}
+
+// evalInto evaluates all nodes in SSA order against the given register
+// values, with optional exact pins overriding individual registers.
+func (a *Analysis) evalInto(vals []Value, regs []Value, pins map[rtl.NodeID]uint64) {
+	m := a.M
+	for i := range m.Nodes {
+		n := &m.Nodes[i]
+		id := rtl.NodeID(i)
+		switch n.Op {
+		case rtl.OpConst:
+			vals[i] = Exact(n.Const, n.Width)
+		case rtl.OpInput:
+			vals[i] = Top(n.Width)
+		case rtl.OpReg:
+			if pins != nil {
+				if pv, ok := pins[id]; ok {
+					vals[i] = Exact(pv, n.Width)
+					continue
+				}
+			}
+			if ri := m.RegIndex(id); ri >= 0 {
+				vals[i] = trunc(regs[ri], n.Width)
+			} else {
+				vals[i] = Top(n.Width)
+			}
+		case rtl.OpMemRead:
+			vals[i] = memReadValue(m, n)
+		default:
+			var args [3]Value
+			for k := 0; k < int(n.NArgs); k++ {
+				args[k] = vals[n.Args[k]]
+			}
+			vals[i] = transfer(n, args)
+		}
+	}
+}
+
+// memReadValue bounds a memory read. ROM contents are fixed at build
+// time, so the read is bounded by the stored words (and 0, which
+// out-of-range addresses return). Writable memories hold job data and
+// are unconstrained.
+func memReadValue(m *rtl.Module, n *rtl.Node) Value {
+	mem := m.Mems[n.Mem]
+	if !mem.ROM || len(mem.Data) == 0 {
+		return Top(n.Width)
+	}
+	mask := rtl.WidthMask(n.Width)
+	var hi uint64
+	for _, d := range mem.Data {
+		if d&mask > hi {
+			hi = d & mask
+		}
+	}
+	v := Value{Lo: 0, Hi: hi, Known: ^rtl.WidthMask(n.Width), W: n.Width}
+	return v.reduce()
+}
+
+// transfer is the abstract semantics of one combinational operation.
+// Every case mirrors rtl's evalOp: compute modulo 2^64, then truncate
+// to the node width — any case where truncation could bite falls back
+// to the full range rather than reasoning about wrapped intervals.
+func transfer(n *rtl.Node, a [3]Value) Value {
+	mask := n.Mask()
+	w := n.Width
+	out := Top(w)
+	switch n.Op {
+	case rtl.OpAdd:
+		if a[0].Hi <= ^uint64(0)-a[1].Hi && a[0].Hi+a[1].Hi <= mask {
+			out.Lo, out.Hi = a[0].Lo+a[1].Lo, a[0].Hi+a[1].Hi
+		}
+	case rtl.OpSub:
+		if a[0].Lo >= a[1].Hi && a[0].Hi-a[1].Lo <= mask {
+			out.Lo, out.Hi = a[0].Lo-a[1].Hi, a[0].Hi-a[1].Lo
+		}
+	case rtl.OpMul:
+		if hi, _ := bits.Mul64(a[0].Hi, a[1].Hi); hi == 0 && a[0].Hi*a[1].Hi <= mask {
+			out.Lo, out.Hi = a[0].Lo*a[1].Lo, a[0].Hi*a[1].Hi
+		}
+	case rtl.OpAnd:
+		out.Hi = a[0].Hi
+		if a[1].Hi < out.Hi {
+			out.Hi = a[1].Hi
+		}
+		out.Lo = 0
+		known0 := (a[0].Known & ^a[0].Bits) | (a[1].Known & ^a[1].Bits)
+		known1 := (a[0].Known & a[0].Bits) & (a[1].Known & a[1].Bits)
+		out.Known = (known0 | known1) | ^mask
+		out.Bits = known1 & mask
+	case rtl.OpOr:
+		// The interval part is only sound when the untruncated x|y
+		// already fits in w bits: truncation can wrap a wider result
+		// below max(Lo0, Lo1).
+		if a[0].Hi|a[1].Hi <= mask {
+			out.Lo = a[0].Lo
+			if a[1].Lo > out.Lo {
+				out.Lo = a[1].Lo
+			}
+			out.Hi = orCeil(a[0].Hi | a[1].Hi)
+		}
+		known0 := (a[0].Known & ^a[0].Bits) & (a[1].Known & ^a[1].Bits)
+		known1 := (a[0].Known & a[0].Bits) | (a[1].Known & a[1].Bits)
+		out.Known = (known0 | known1) | ^mask
+		out.Bits = known1 & mask
+	case rtl.OpXor:
+		out.Lo, out.Hi = 0, orCeil(a[0].Hi|a[1].Hi)&mask
+		out.Known = (a[0].Known & a[1].Known) | ^mask
+		out.Bits = (a[0].Bits ^ a[1].Bits) & out.Known & mask
+	case rtl.OpNot:
+		// ^x truncated to w is mask - (x & mask); sound only when the
+		// argument already fits in w bits.
+		if a[0].Hi <= mask {
+			out.Lo, out.Hi = mask-a[0].Hi, mask-a[0].Lo
+		}
+		out.Known = a[0].Known | ^mask
+		out.Bits = ^a[0].Bits & out.Known & mask
+	case rtl.OpShl:
+		if k, ok := a[1].Const(); ok {
+			if k >= 64 || k >= uint64(w) {
+				return Exact(0, w)
+			}
+			if a[0].Hi <= mask>>k {
+				out.Lo, out.Hi = a[0].Lo<<k, a[0].Hi<<k
+			}
+			out.Known = (a[0].Known << k) | rtl.WidthMask(uint8(k)) | ^mask
+			out.Bits = (a[0].Bits << k) & out.Known & mask
+		} else if a[1].Lo >= 1 && a[1].Lo < 64 {
+			// At least lo low bits are zero regardless of the amount.
+			out.Known |= rtl.WidthMask(uint8(a[1].Lo))
+			out.Bits &= out.Known
+		}
+	case rtl.OpShr:
+		if k, ok := a[1].Const(); ok {
+			if k >= 64 {
+				return Exact(0, w)
+			}
+			v := Value{Lo: a[0].Lo >> k, Hi: a[0].Hi >> k, W: w}
+			v.Known = (a[0].Known >> k) | (^uint64(0) << (64 - uint(k))) | ^mask
+			if k == 0 {
+				v.Known = a[0].Known | ^mask
+			}
+			v.Bits = (a[0].Bits >> k) & v.Known & mask
+			if v.Hi > mask {
+				v.Lo, v.Hi = 0, mask
+			}
+			return v.reduce()
+		}
+		// x>>s is antitone in s: min at the largest amount, max at the
+		// smallest. Amounts ≥64 shift everything out.
+		sMin, sMax := a[1].Lo, a[1].Hi
+		if sMax >= 64 {
+			out.Lo = 0
+		} else {
+			out.Lo = a[0].Lo >> sMax
+		}
+		if sMin >= 64 {
+			out.Hi = 0
+		} else {
+			out.Hi = a[0].Hi >> sMin
+		}
+		if out.Hi > mask {
+			out.Lo, out.Hi = 0, mask
+		}
+	case rtl.OpEq:
+		return cmpValue(decideEq(a[0], a[1]))
+	case rtl.OpNe:
+		return cmpValue(negTri(decideEq(a[0], a[1])))
+	case rtl.OpLt:
+		return cmpValue(decideLt(a[0], a[1]))
+	case rtl.OpLe:
+		return cmpValue(decideLe(a[0], a[1]))
+	case rtl.OpMux:
+		if a[0].NonZero() {
+			return trunc(a[1], w)
+		}
+		if a[0].IsZero() {
+			return trunc(a[2], w)
+		}
+		return join(trunc(a[1], w), trunc(a[2], w))
+	}
+	return out.reduce()
+}
+
+// orCeil rounds x up to an all-ones value of the same bit length:
+// a sound upper bound for v0|v1 given v0 ≤ h0, v1 ≤ h1 is the all-ones
+// word covering h0|h1.
+func orCeil(x uint64) uint64 {
+	if x == 0 {
+		return 0
+	}
+	return rtl.WidthMask(uint8(bits.Len64(x)))
+}
+
+// tri is a three-valued truth: -1 false, 0 unknown, +1 true.
+type tri int
+
+func negTri(t tri) tri { return -t }
+
+func cmpValue(t tri) Value {
+	switch t {
+	case 1:
+		return Exact(1, 1)
+	case -1:
+		return Exact(0, 1)
+	}
+	return Top(1)
+}
+
+// decideEq decides a == b when the intervals or known bits prove it.
+func decideEq(a, b Value) tri {
+	if ca, ok := a.Const(); ok {
+		if cb, ok2 := b.Const(); ok2 {
+			if ca == cb {
+				return 1
+			}
+			return -1
+		}
+	}
+	if a.Hi < b.Lo || b.Hi < a.Lo {
+		return -1
+	}
+	// A bit known in both with different values separates them.
+	if common := a.Known & b.Known; (a.Bits^b.Bits)&common != 0 {
+		return -1
+	}
+	return 0
+}
+
+// decideLt decides a < b (unsigned).
+func decideLt(a, b Value) tri {
+	if a.Hi < b.Lo {
+		return 1
+	}
+	if a.Lo >= b.Hi {
+		return -1
+	}
+	return 0
+}
+
+// decideLe decides a <= b (unsigned).
+func decideLe(a, b Value) tri {
+	if a.Hi <= b.Lo {
+		return 1
+	}
+	if a.Lo > b.Hi {
+		return -1
+	}
+	return 0
+}
+
+// ConstOf reports a node proven constant by the converged analysis.
+func (a *Analysis) ConstOf(id rtl.NodeID) (uint64, bool) {
+	return a.Vals[id].Const()
+}

@@ -1,0 +1,339 @@
+package absint
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rtl"
+)
+
+// contains reports whether concrete value c (already truncated to v.W)
+// is a member of the abstract value v.
+func contains(v Value, c uint64) bool {
+	return c >= v.Lo && c <= v.Hi && c&v.Known == v.Bits
+}
+
+// members enumerates the concrete set of v. Only usable for small
+// widths; used to cross-check reduce/join against brute force.
+func members(v Value) []uint64 {
+	var out []uint64
+	for c := v.Lo; ; c++ {
+		if c&v.Known == v.Bits {
+			out = append(out, c)
+		}
+		if c == v.Hi {
+			break
+		}
+	}
+	return out
+}
+
+func TestExactAndTop(t *testing.T) {
+	for _, w := range []uint8{1, 3, 8, 17, 64} {
+		mask := rtl.WidthMask(w)
+		e := Exact(0x5a5a5a5a5a5a5a5a, w)
+		if c, ok := e.Const(); !ok || c != 0x5a5a5a5a5a5a5a5a&mask {
+			t.Fatalf("w=%d: Exact not const: %+v", w, e)
+		}
+		top := Top(w)
+		if top.Lo != 0 || top.Hi != mask || top.Known != ^mask || top.Bits != 0 {
+			t.Fatalf("w=%d: bad Top: %+v", w, top)
+		}
+		if !contains(top, 0) || !contains(top, mask) {
+			t.Fatalf("w=%d: Top missing endpoints", w)
+		}
+	}
+	if !Exact(0, 4).IsZero() || Exact(1, 4).IsZero() {
+		t.Fatal("IsZero misclassifies")
+	}
+	if !Exact(3, 4).NonZero() || Exact(0, 4).NonZero() {
+		t.Fatal("NonZero misclassifies")
+	}
+	if Exact(0, 4).MayBeNonZero() || !Top(4).MayBeNonZero() {
+		t.Fatal("MayBeNonZero misclassifies")
+	}
+}
+
+// TestReduceKeepsMembers brute-force checks that reduce never drops a
+// concrete member and always restores the representation invariants.
+func TestReduceKeepsMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		w := uint8(1 + rng.Intn(9))
+		mask := rtl.WidthMask(w)
+		lo := rng.Uint64() & mask
+		hi := rng.Uint64() & mask
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		known := rng.Uint64()&mask | ^mask
+		raw := Value{Lo: lo, Hi: hi, Known: known, Bits: rng.Uint64() & known & mask, W: w}
+		before := members(raw)
+		if len(before) == 0 {
+			continue // contradictory value: reduce output is unspecified
+		}
+		red := raw.reduce()
+		if red.Bits&^red.Known != 0 {
+			t.Fatalf("reduce broke Bits⊆Known: %+v -> %+v", raw, red)
+		}
+		if red.Lo > red.Hi {
+			t.Fatalf("reduce broke Lo<=Hi: %+v -> %+v", raw, red)
+		}
+		if red.Known&^mask != ^mask || red.Bits&^mask != 0 {
+			t.Fatalf("reduce broke width truncation: %+v -> %+v", raw, red)
+		}
+		for _, c := range before {
+			if !contains(red, c) {
+				t.Fatalf("reduce dropped member %d: %+v -> %+v", c, raw, red)
+			}
+		}
+	}
+}
+
+// TestJoinIsUpperBound brute-force checks join(a,b) ⊇ a ∪ b.
+func TestJoinIsUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	randVal := func(w uint8) Value {
+		mask := rtl.WidthMask(w)
+		lo := rng.Uint64() & mask
+		hi := rng.Uint64() & mask
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		known := rng.Uint64()&mask | ^mask
+		v := Value{Lo: lo, Hi: hi, Known: known, Bits: rng.Uint64() & known & mask, W: w}
+		if len(members(v)) == 0 {
+			return Exact(lo, w)
+		}
+		return v.reduce()
+	}
+	for trial := 0; trial < 2000; trial++ {
+		w := uint8(1 + rng.Intn(8))
+		a, b := randVal(w), randVal(w)
+		j := join(a, b)
+		for _, c := range members(a) {
+			if !contains(j, c) {
+				t.Fatalf("join dropped %d from a: a=%+v b=%+v j=%+v", c, a, b, j)
+			}
+		}
+		for _, c := range members(b) {
+			if !contains(j, c) {
+				t.Fatalf("join dropped %d from b: a=%+v b=%+v j=%+v", c, a, b, j)
+			}
+		}
+	}
+}
+
+// TestAnalyzeTightFacts checks the fixpoint derives tight facts on the
+// shapes it is designed to prove: flags, masked registers, const-mux
+// joins, ROM-bounded loads, and proven-constant chains.
+func TestAnalyzeTightFacts(t *testing.T) {
+	b := rtl.NewBuilder("facts")
+	flag := b.Reg("flag", 1, 1)
+	b.SetNext(flag, b.Const(0, 1))
+	masked := b.Reg("masked", 8, 0)
+	b.SetNext(masked, masked.Signal.Inc().And(b.Const(0x0f, 8)))
+	sel := b.Input("sel", 1)
+	pick := b.Reg("pick", 8, 3)
+	b.SetNext(pick, sel.Mux(b.Const(7, 8), b.Const(3, 8)))
+	rom := b.ROM("lut", []uint64{2, 9, 4, 11})
+	romv := b.Reg("romv", 8, 0)
+	b.SetNext(romv, b.Read(rom, masked.Signal.Trunc(2), 8))
+	frozen := b.Reg("frozen", 8, 42)
+	b.SetNext(frozen, frozen.Signal)
+	derived := frozen.Signal.Add(b.Const(1, 8))
+	b.SetDone(flag.Signal.IsZero())
+	m := b.MustBuild()
+
+	a := Analyze(m)
+	fv := a.Vals[flag.Signal.ID()]
+	if fv.Lo != 0 || fv.Hi != 1 {
+		t.Fatalf("flag range [%d,%d], want [0,1]", fv.Lo, fv.Hi)
+	}
+	if _, ok := a.ConstOf(flag.Signal.ID()); ok {
+		t.Fatal("flag wrongly proven const")
+	}
+	mv := a.Vals[masked.Signal.ID()]
+	if mv.Hi > 0x0f || mv.Known&0xf0 != 0xf0 || mv.Bits&0xf0 != 0 {
+		t.Fatalf("masked register not proven <= 0x0f: %+v", mv)
+	}
+	pv := a.Vals[pick.Signal.ID()]
+	if pv.Lo != 3 || pv.Hi != 7 || pv.Known&3 != 3 || pv.Bits&3 != 3 {
+		t.Fatalf("const-mux join not [3,7] with low bits known: %+v", pv)
+	}
+	rv := a.Vals[romv.Signal.ID()]
+	if rv.Lo != 0 || rv.Hi != 11 {
+		t.Fatalf("ROM-fed register range [%d,%d], want [0,11]", rv.Lo, rv.Hi)
+	}
+	if c, ok := a.ConstOf(frozen.Signal.ID()); !ok || c != 42 {
+		t.Fatalf("frozen register not proven const 42: %+v", a.Vals[frozen.Signal.ID()])
+	}
+	if c, ok := a.ConstOf(derived.ID()); !ok || c != 43 {
+		t.Fatalf("derived const chain not proven 43: %+v", a.Vals[derived.ID()])
+	}
+}
+
+// randAbsModule hand-assembles a random valid netlist over every op and
+// both memory kinds, mirroring the generator the engine differential
+// tests use, so the soundness property test exercises every transfer
+// function against concrete execution.
+func randAbsModule(rng *rand.Rand) *rtl.Module {
+	m := &rtl.Module{Name: "rand"}
+	add := func(n rtl.Node) rtl.NodeID {
+		n.NArgs = uint8(n.Op.NumArgs())
+		m.Nodes = append(m.Nodes, n)
+		return rtl.NodeID(len(m.Nodes) - 1)
+	}
+	randWidth := func() uint8 { return uint8(1 + rng.Intn(64)) }
+	addConst := func() rtl.NodeID {
+		w := randWidth()
+		return add(rtl.Node{Op: rtl.OpConst, Width: w, Const: rng.Uint64() & rtl.WidthMask(w)})
+	}
+	pick := func() rtl.NodeID { return rtl.NodeID(rng.Intn(len(m.Nodes))) }
+
+	for i := 0; i < 4+rng.Intn(4); i++ {
+		addConst()
+	}
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		add(rtl.Node{Op: rtl.OpInput, Width: randWidth(), Name: fmt.Sprintf("in%d", i)})
+	}
+
+	m.Mems = append(m.Mems, &rtl.Mem{Name: "in", Words: 16 + rng.Intn(17)})
+	rom := make([]uint64, 8)
+	for i := range rom {
+		rom[i] = rng.Uint64()
+	}
+	m.Mems = append(m.Mems, &rtl.Mem{Name: "rom", Words: len(rom), Data: rom, ROM: true})
+
+	for i := 0; i < 2+rng.Intn(4); i++ {
+		w := randWidth()
+		id := add(rtl.Node{Op: rtl.OpReg, Width: w})
+		m.Regs = append(m.Regs, rtl.Reg{Node: id, Next: id, Init: rng.Uint64() & rtl.WidthMask(w)})
+	}
+
+	ops := []rtl.Op{
+		rtl.OpAdd, rtl.OpSub, rtl.OpMul, rtl.OpAnd, rtl.OpOr, rtl.OpXor,
+		rtl.OpNot, rtl.OpShl, rtl.OpShr, rtl.OpEq, rtl.OpNe, rtl.OpLt,
+		rtl.OpLe, rtl.OpMux, rtl.OpMemRead,
+	}
+	for i := 0; i < 120; i++ {
+		op := ops[rng.Intn(len(ops))]
+		n := rtl.Node{Op: op, Width: randWidth()}
+		for a := 0; a < op.NumArgs(); a++ {
+			n.Args[a] = pick()
+		}
+		if op == rtl.OpMemRead {
+			n.Mem = int32(rng.Intn(len(m.Mems)))
+		}
+		if op.NumArgs() == 2 && rng.Intn(3) == 0 {
+			n.Args[rng.Intn(2)] = addConst()
+		}
+		add(n)
+	}
+
+	for i := range m.Regs {
+		m.Regs[i].Next = pick()
+	}
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		m.Writes = append(m.Writes, rtl.MemWrite{Mem: 0, Addr: pick(), Data: pick(), En: pick()})
+	}
+	m.Done = pick()
+	return m
+}
+
+// TestAnalyzeSoundnessRandom is the core soundness property test: on
+// random netlists, every concrete node value observed on any cycle of
+// a concrete run must be a member of the converged abstract value.
+func TestAnalyzeSoundnessRandom(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := randAbsModule(rng)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid module: %v", seed, err)
+		}
+		a := Analyze(m)
+		s := rtl.NewInterpSim(m)
+		load := make([]uint64, m.Mems[0].Words)
+		for i := range load {
+			load[i] = rng.Uint64()
+		}
+		if err := s.LoadMem("in", load); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var inputs []rtl.NodeID
+		for i := range m.Nodes {
+			if m.Nodes[i].Op == rtl.OpInput {
+				inputs = append(inputs, rtl.NodeID(i))
+			}
+		}
+		for cycle := 0; cycle < 48; cycle++ {
+			for _, id := range inputs {
+				s.SetInput(id, rng.Uint64())
+			}
+			s.Step()
+			for id := range m.Nodes {
+				w := m.Nodes[id].Width
+				c := s.Value(rtl.NodeID(id)) & rtl.WidthMask(w)
+				if !contains(a.Vals[id], c) {
+					t.Fatalf("seed %d cycle %d: node %d (%v w=%d) concrete %d outside abstract %+v",
+						seed, cycle, id, m.Nodes[id].Op, w, c, a.Vals[id])
+				}
+			}
+			for i := range m.Regs {
+				c := s.RegValue(i)
+				if !contains(a.RegVals[i], c) {
+					t.Fatalf("seed %d cycle %d: reg %d concrete %d outside abstract %+v",
+						seed, cycle, i, c, a.RegVals[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEvalPinnedSoundness pins every register to a concretely observed
+// state and checks the next cycle's combinational values fall inside
+// the pinned re-evaluation.
+func TestEvalPinnedSoundness(t *testing.T) {
+	for seed := int64(100); seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := randAbsModule(rng)
+		a := Analyze(m)
+		s := rtl.NewInterpSim(m)
+		load := make([]uint64, m.Mems[0].Words)
+		for i := range load {
+			load[i] = rng.Uint64()
+		}
+		if err := s.LoadMem("in", load); err != nil {
+			t.Fatal(err)
+		}
+		var inputs []rtl.NodeID
+		for i := range m.Nodes {
+			if m.Nodes[i].Op == rtl.OpInput {
+				inputs = append(inputs, rtl.NodeID(i))
+			}
+		}
+		for cycle := 0; cycle < 24; cycle++ {
+			pins := make(map[rtl.NodeID]uint64, len(m.Regs))
+			for i := range m.Regs {
+				pins[m.Regs[i].Node] = s.RegValue(i)
+			}
+			vals := a.EvalPinned(pins)
+			for _, id := range inputs {
+				s.SetInput(id, rng.Uint64())
+			}
+			s.Step()
+			for id := range m.Nodes {
+				if m.Nodes[id].Op == rtl.OpReg {
+					continue // Step already latched the next state
+				}
+				w := m.Nodes[id].Width
+				c := s.Value(rtl.NodeID(id)) & rtl.WidthMask(w)
+				if !contains(vals[id], c) {
+					t.Fatalf("seed %d cycle %d: node %d (%v) concrete %d outside pinned %+v",
+						seed, cycle, id, m.Nodes[id].Op, c, vals[id])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,1038 @@
+package absint
+
+// bounds.go derives static execution-cycle bounds [MinCycles, MaxCycles]
+// for a design from the FSM state graph and the abstract values of
+// absint.go. The contract is termination-conditional soundness:
+//
+//	any run that reaches Done does so after at least Min and at most
+//	Max simulator ticks.
+//
+// Min is the length (in states, one cycle minimum per state) of the
+// shortest transition path from the reset state to any state in which
+// the done signal can be nonzero. Max sums worst-case dwell over the
+// longest path through the condensation of the state graph, with every
+// loop's iteration count bounded by a counter-orbit argument:
+//
+//   - A wait state's dwell is bounded when staying in the state forces a
+//     guarded counter to step every cycle: a step-s counter walks its
+//     residue coset of size 2^w/gcd(s,2^w) cyclically, so any exit
+//     comparison whose satisfying set meets every coset must flip within
+//     one orbit. Shift-register waits (huffman decode) are bounded by
+//     the register width: a value strictly shrunk by `>> k, k ≥ 1` each
+//     cycle reaches zero within width steps.
+//   - A multi-state loop's iteration count is bounded when it is
+//     reducible (single entry), its governing counter steps in exactly
+//     one loop state and holds elsewhere, every iteration passes both
+//     the step state and the exit-check state, and the exit comparison's
+//     flip set meets every residue coset for every possible limit value.
+//     The limit must be fixed while the loop runs (constant, or held
+//     registers / reads of write-port-free memories).
+//
+// The state graph itself is NOT taken from analyze's recovered
+// Transitions: those deduplicate (From,To) arcs keeping one guard set,
+// which is fine for reporting but unsound for "every path carries this
+// conjunct" arguments. Instead each state's next tree is re-walked
+// under the pinned abstract values, keeping every residual path. That
+// walk also refines reachability: mux arms whose selectors are provably
+// constant in a state are pruned, which is what the
+// unreachable-fsm-state lint rule reports as its delta.
+//
+// Anything outside these patterns is reported as unbounded with the
+// offending node — which is exactly what the unbounded-wait lint rule
+// surfaces.
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/analyze"
+	"repro/internal/rtl"
+)
+
+// satCap saturates cycle arithmetic well below uint64 overflow.
+const satCap = uint64(1) << 62
+
+func satAdd(a, b uint64) uint64 {
+	if a >= satCap || b >= satCap || a+b >= satCap {
+		return satCap
+	}
+	return a + b
+}
+
+func satMul(a, b uint64) uint64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a >= satCap || b >= satCap || a > satCap/b {
+		return satCap
+	}
+	return a * b
+}
+
+// WaitKind classifies why a dwell or loop bound failed.
+type WaitKind string
+
+// Wait failure kinds.
+const (
+	// WaitStall: the guarded register can hold its value while the state
+	// waits, so no progress argument exists.
+	WaitStall WaitKind = "stall"
+	// WaitSkip: the counter's step can jump past its comparison bound
+	// (wrap below an equality limit) — the counter-overflow hazard.
+	WaitSkip WaitKind = "skip"
+	// WaitDynamic: the comparison limit is not fixed while waiting.
+	WaitDynamic WaitKind = "dynamic"
+	// WaitOpaque: no recognized bounding structure.
+	WaitOpaque WaitKind = "opaque"
+)
+
+// UnboundedWait names one state (or loop) without a static bound.
+type UnboundedWait struct {
+	// State is the FSM state encoding (the loop header for multi-state
+	// loops; 0 for designs without a recognized FSM).
+	State uint64
+	// Node is the offending node: the wait guard or counter when one
+	// was identified, otherwise the FSM state register node.
+	Node rtl.NodeID
+	// Counter indexes the structural analysis' Counters when the
+	// failure concerns a recognized counter, else -1.
+	Counter int
+	// Kind classifies the failure; Reason is the human rendering.
+	Kind   WaitKind
+	Reason string
+}
+
+// CycleBounds is the static cycles-to-done interval for one design.
+type CycleBounds struct {
+	// Min is a sound lower bound on the ticks of any completing run.
+	Min uint64
+	// Max is a sound upper bound, valid only when MaxBounded.
+	Max uint64
+	// MaxBounded is false when some wait or loop has no static bound
+	// (Max is +Inf); Blocker/Reason then name the offender.
+	MaxBounded bool
+	Blocker    rtl.NodeID
+	Reason     string
+	// FSM indexes the structural analysis' FSMs for the machine that
+	// governs done, or -1 (constant done, or counter-only designs).
+	FSM int
+	// Unbounded lists every state without a dwell/loop bound (input for
+	// the unbounded-wait and counter-overflow lint rules). Non-empty
+	// implies !MaxBounded.
+	Unbounded []UnboundedWait
+}
+
+// Contains reports whether an observed tick count lies inside the
+// bounds (an unbounded Max only checks the lower side).
+func (b CycleBounds) Contains(ticks uint64) bool {
+	if ticks < b.Min {
+		return false
+	}
+	return !b.MaxBounded || ticks <= b.Max
+}
+
+// String renders the interval like "[7, 8448263]" or "[7, +Inf]".
+func (b CycleBounds) String() string {
+	if !b.MaxBounded {
+		return fmt.Sprintf("[%d, +Inf]", b.Min)
+	}
+	return fmt.Sprintf("[%d, %d]", b.Min, b.Max)
+}
+
+// Bounds analyzes a module from scratch and returns its cycle bounds.
+func Bounds(m *rtl.Module) CycleBounds {
+	return ComputeBounds(Analyze(m), analyze.Analyze(m))
+}
+
+// ComputeBounds derives cycle bounds from a converged abstract
+// interpretation and the structural control analysis of the same
+// module.
+func ComputeBounds(av *Analysis, sa *analyze.Analysis) CycleBounds {
+	m := av.M
+	doneV := av.Vals[m.Done]
+	if doneV.NonZero() {
+		return CycleBounds{Min: 1, Max: 1, MaxBounded: true, FSM: -1}
+	}
+	if doneV.IsZero() {
+		return CycleBounds{
+			FSM: -1, Blocker: m.Done,
+			Reason: "done is the constant 0: the design can never complete",
+		}
+	}
+	doneCone := analyze.Cone(m, []rtl.NodeID{m.Done})
+	var cands []int
+	for fi := range sa.FSMs {
+		if doneCone[sa.FSMs[fi].StateNode] {
+			cands = append(cands, fi)
+		}
+	}
+	if len(cands) == 0 {
+		return noFSMBounds(av, sa)
+	}
+	var first *CycleBounds
+	for _, fi := range cands {
+		b := fsmBounds(av, sa, fi)
+		if b.MaxBounded {
+			return b
+		}
+		if first == nil {
+			first = &b
+		}
+	}
+	return *first
+}
+
+// fsmBounds computes bounds assuming FSM fi governs termination.
+func fsmBounds(av *Analysis, sa *analyze.Analysis, fi int) CycleBounds {
+	m := av.M
+	st := newStateAnalysis(av, sa, fi)
+	out := CycleBounds{FSM: fi}
+
+	// Which reachable states can finish? Min needs "possibly done";
+	// Max may only treat "certainly done" states as sinks.
+	var possible []uint64
+	certainSet := map[uint64]bool{}
+	for _, s := range st.reach {
+		dv := st.pinned(s)[m.Done]
+		if dv.MayBeNonZero() {
+			possible = append(possible, s)
+		}
+		if dv.NonZero() {
+			certainSet[s] = true
+		}
+	}
+	if len(possible) == 0 {
+		out.Blocker = m.Done
+		out.Reason = "done cannot become nonzero in any reachable FSM state"
+		return out
+	}
+
+	// Min: BFS over refined arcs, one cycle per state on the path.
+	out.Min = st.shortestTo(possible)
+
+	// Per-state dwell bounds (satCap when unbounded; loop math
+	// saturates past them).
+	dwell := map[uint64]uint64{}
+	for _, s := range st.reach {
+		if certainSet[s] {
+			dwell[s] = 1
+			continue
+		}
+		d, uw := st.dwellBound(s)
+		if uw != nil {
+			out.Unbounded = append(out.Unbounded, *uw)
+		}
+		dwell[s] = d
+	}
+
+	// Loop structure: SCCs over non-self arcs between reachable states,
+	// certainly-done states acting as sinks.
+	comp, comps := st.sccs(certainSet)
+	cost := make([]uint64, len(comps))
+	for ci, members := range comps {
+		if len(members) == 1 {
+			cost[ci] = dwell[members[0]]
+			continue
+		}
+		c, uw := st.loopCost(members, dwell)
+		if uw != nil {
+			out.Unbounded = append(out.Unbounded, *uw)
+		}
+		cost[ci] = c
+	}
+
+	// Longest path over the condensation from the reset component.
+	out.Max = st.condensationLongest(comp, cost, certainSet)
+	out.MaxBounded = out.Max < satCap && len(out.Unbounded) == 0
+	if !out.MaxBounded {
+		out.Blocker = st.f.StateNode
+		out.Reason = "no static bound on a loop in the FSM state graph"
+		if len(out.Unbounded) > 0 {
+			out.Blocker = out.Unbounded[0].Node
+			out.Reason = out.Unbounded[0].Reason
+		}
+		out.Max = 0
+	}
+	return out
+}
+
+// arc is one reachable residual path through a state's next tree.
+type arc struct {
+	// to is the target encoding; meaningless when unknown is set (the
+	// leaf did not resolve, so the arc may lead anywhere).
+	to      uint64
+	unknown bool
+	// path is the residual (state-unresolved) condition of this arc.
+	path []analyze.PathSel
+}
+
+// exitCtx names the condition whose flip ends a wait or loop: while
+// waiting, the condition (node at polarity neg) is false, so mux paths
+// carrying it at polarity neg are only reachable on the exit cycle and
+// are ignored when checking per-cycle conduct inside the wait.
+type exitCtx struct {
+	state uint64
+	node  rtl.NodeID
+	neg   bool
+}
+
+// stateAnalysis caches per-state pinned evaluations and the refined
+// per-state arc sets for one FSM (or, with f==nil, the single implicit
+// state of a design without one).
+type stateAnalysis struct {
+	av *Analysis
+	sa *analyze.Analysis
+	f  *analyze.FSM
+	fi int
+
+	pinnedVals map[uint64][]Value
+	// arcs lists every reachable residual path per state; opaque marks
+	// states whose walk exceeded the budget (successors unknown).
+	arcs   map[uint64][]arc
+	opaque map[uint64]bool
+	// reach lists the states reachable from reset through refined arcs,
+	// ascending; reachSet is its set form.
+	reach     []uint64
+	reachSet  map[uint64]bool
+	succCache map[uint64][]uint64
+}
+
+func newStateAnalysis(av *Analysis, sa *analyze.Analysis, fi int) *stateAnalysis {
+	st := &stateAnalysis{
+		av: av, sa: sa, f: &sa.FSMs[fi], fi: fi,
+		pinnedVals: map[uint64][]Value{},
+		arcs:       map[uint64][]arc{},
+		opaque:     map[uint64]bool{},
+		reachSet:   map[uint64]bool{},
+		succCache:  map[uint64][]uint64{},
+	}
+	m := av.M
+	for _, s := range st.f.States {
+		vals := st.pinned(s)
+		leaves, ok := walkPinned(m, vals, st.f.NextNode, nil, walkBudget)
+		if !ok {
+			st.opaque[s] = true
+			continue
+		}
+		for _, lf := range leaves {
+			to, known := st.leafTo(lf.node, s, vals)
+			st.arcs[s] = append(st.arcs[s], arc{to: to, unknown: !known, path: lf.path})
+		}
+	}
+	init := m.Regs[st.f.Reg].Init
+	st.reachSet[init] = true
+	work := []uint64{init}
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, t := range st.succs(s) {
+			if !st.reachSet[t] {
+				st.reachSet[t] = true
+				work = append(work, t)
+			}
+		}
+	}
+	for _, s := range st.f.States {
+		if st.reachSet[s] {
+			st.reach = append(st.reach, s)
+		}
+	}
+	return st
+}
+
+// pinned returns (caching) the abstract node values with the FSM state
+// register pinned to s; without an FSM, the unpinned converged values.
+func (st *stateAnalysis) pinned(s uint64) []Value {
+	if st.f == nil {
+		return st.av.Vals
+	}
+	if v, ok := st.pinnedVals[s]; ok {
+		return v
+	}
+	v := st.av.EvalPinned(map[rtl.NodeID]uint64{st.f.StateNode: s})
+	st.pinnedVals[s] = v
+	return v
+}
+
+// leafTo resolves a next-state leaf to its target encoding.
+func (st *stateAnalysis) leafTo(id rtl.NodeID, from uint64, vals []Value) (uint64, bool) {
+	if id == st.f.StateNode {
+		return from, true
+	}
+	if c, ok := vals[id].Const(); ok {
+		return c, true
+	}
+	return 0, false
+}
+
+// succs returns the deduplicated successor states of s (every known
+// state for opaque or unresolved arcs), ascending.
+func (st *stateAnalysis) succs(s uint64) []uint64 {
+	if v, ok := st.succCache[s]; ok {
+		return v
+	}
+	seen := map[uint64]bool{}
+	all := st.opaque[s]
+	var out []uint64
+	for _, a := range st.arcs[s] {
+		if a.unknown {
+			all = true
+			continue
+		}
+		if !seen[a.to] {
+			seen[a.to] = true
+			out = append(out, a.to)
+		}
+	}
+	if all {
+		for _, t := range st.f.States {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	st.succCache[s] = out
+	return out
+}
+
+// RefinedReachable returns the states of FSM fi reachable from reset
+// when mux arms whose selectors are provably constant under the pinned
+// abstract values are pruned. A subset of analyze.ReachableStates — the
+// difference is states only "reachable" through statically dead guards.
+func RefinedReachable(av *Analysis, sa *analyze.Analysis, fi int) map[uint64]bool {
+	st := newStateAnalysis(av, sa, fi)
+	out := map[uint64]bool{}
+	for _, s := range st.reach {
+		out[s] = true
+	}
+	return out
+}
+
+// shortestTo returns the minimum number of states (inclusive of reset
+// and target) on a refined-arc path from reset to any target state.
+func (st *stateAnalysis) shortestTo(targets []uint64) uint64 {
+	tset := map[uint64]bool{}
+	for _, t := range targets {
+		tset[t] = true
+	}
+	init := st.av.M.Regs[st.f.Reg].Init
+	dist := map[uint64]uint64{init: 1}
+	queue := []uint64{init}
+	best := satCap
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if tset[s] && dist[s] < best {
+			best = dist[s]
+		}
+		for _, t := range st.succs(s) {
+			if t == s {
+				continue
+			}
+			if _, seen := dist[t]; !seen {
+				dist[t] = dist[s] + 1
+				queue = append(queue, t)
+			}
+		}
+	}
+	if best == satCap {
+		return 1 // targets unreachable: Min stays trivially sound
+	}
+	return best
+}
+
+// pathLeaf is one reachable leaf of a pinned mux-tree walk with its
+// residual (unresolved) path condition.
+type pathLeaf struct {
+	node rtl.NodeID
+	path []analyze.PathSel
+}
+
+const walkBudget = 8192
+
+// walkPinned enumerates the mux-tree leaves reachable under the pinned
+// values: selectors with proven values follow one arm, unknown
+// selectors split. The budget bounds pathological trees.
+func walkPinned(m *rtl.Module, vals []Value, id rtl.NodeID, path []analyze.PathSel, budget int) ([]pathLeaf, bool) {
+	n := &m.Nodes[id]
+	if n.Op != rtl.OpMux {
+		p := make([]analyze.PathSel, len(path))
+		copy(p, path)
+		return []pathLeaf{{node: id, path: p}}, true
+	}
+	if budget <= 0 {
+		return nil, false
+	}
+	sel := n.Args[0]
+	sv := vals[sel]
+	if sv.NonZero() {
+		return walkPinned(m, vals, n.Args[1], path, budget)
+	}
+	if sv.IsZero() {
+		return walkPinned(m, vals, n.Args[2], path, budget)
+	}
+	t, ok := walkPinned(m, vals, n.Args[1], append(path, analyze.PathSel{Node: sel}), budget/2)
+	if !ok {
+		return nil, false
+	}
+	f, ok := walkPinned(m, vals, n.Args[2], append(path, analyze.PathSel{Node: sel, Neg: true}), budget/2)
+	if !ok {
+		return nil, false
+	}
+	all := append(t, f...)
+	if len(all) > budget {
+		return nil, false
+	}
+	return all, true
+}
+
+// pathImplies reports whether some conjunct of the residual path
+// implies the condition (node at polarity neg): any cycle on which the
+// path is taken is then also a cycle on which the condition holds.
+func pathImplies(m *rtl.Module, vals []Value, path []analyze.PathSel, node rtl.NodeID, neg bool) bool {
+	for _, ps := range path {
+		if condImplies(m, vals, ps.Node, ps.Neg, node, neg, 6) {
+			return true
+		}
+	}
+	return false
+}
+
+// condImplies decides (conservatively) whether "pn is zero/nonzero per
+// pneg" implies "tn is zero/nonzero per tneg". Beyond simplification
+// and syntactic/comparison equivalence it uses that And(a,b) ≠ 0
+// forces both operands nonzero and Or(a,b) == 0 forces both zero.
+func condImplies(m *rtl.Module, vals []Value, pn rtl.NodeID, pneg bool, tn rtl.NodeID, tneg bool, depth int) bool {
+	if condEquiv(m, vals, pn, pneg, tn, tneg) {
+		return true
+	}
+	if depth == 0 {
+		return false
+	}
+	pn, pneg = simplifyCond(m, vals, pn, pneg)
+	n := &m.Nodes[pn]
+	if !pneg && n.Op == rtl.OpAnd {
+		return condImplies(m, vals, n.Args[0], false, tn, tneg, depth-1) ||
+			condImplies(m, vals, n.Args[1], false, tn, tneg, depth-1)
+	}
+	if pneg && n.Op == rtl.OpOr {
+		return condImplies(m, vals, n.Args[0], true, tn, tneg, depth-1) ||
+			condImplies(m, vals, n.Args[1], true, tn, tneg, depth-1)
+	}
+	return false
+}
+
+// condEquiv decides whether two (node, neg) conditions are provably the
+// same predicate after simplification: identical nodes, or comparisons
+// that canonicalize to the same form (Ne is negated Eq; a negated
+// order compare mirrors into its dual).
+func condEquiv(m *rtl.Module, vals []Value, n1 rtl.NodeID, neg1 bool, n2 rtl.NodeID, neg2 bool) bool {
+	n1, neg1 = simplifyCond(m, vals, n1, neg1)
+	n2, neg2 = simplifyCond(m, vals, n2, neg2)
+	if n1 == n2 {
+		return neg1 == neg2
+	}
+	f1, ok1 := normCmpForm(m, n1, neg1)
+	f2, ok2 := normCmpForm(m, n2, neg2)
+	return ok1 && ok2 && f1 == f2
+}
+
+// simplifyCond peels equivalence-preserving wrappers off a condition:
+// 1-bit Not flips the polarity; a 1-bit And (Or) with one operand
+// proven nonzero (zero) reduces to the other operand.
+func simplifyCond(m *rtl.Module, vals []Value, node rtl.NodeID, neg bool) (rtl.NodeID, bool) {
+	for i := 0; i < 16; i++ {
+		n := &m.Nodes[node]
+		if n.Width != 1 {
+			break
+		}
+		switch n.Op {
+		case rtl.OpNot:
+			node, neg = n.Args[0], !neg
+			continue
+		case rtl.OpAnd:
+			if vals[n.Args[0]].NonZero() {
+				node = n.Args[1]
+				continue
+			}
+			if vals[n.Args[1]].NonZero() {
+				node = n.Args[0]
+				continue
+			}
+		case rtl.OpOr:
+			if vals[n.Args[0]].IsZero() {
+				node = n.Args[1]
+				continue
+			}
+			if vals[n.Args[1]].IsZero() {
+				node = n.Args[0]
+				continue
+			}
+		}
+		break
+	}
+	return node, neg
+}
+
+// cmpForm is a canonical comparison predicate: Ne folds into negated
+// Eq (operands sorted), negated Lt/Le mirror into Le/Lt.
+type cmpForm struct {
+	op   rtl.Op
+	a, b rtl.NodeID
+	neg  bool
+}
+
+func normCmpForm(m *rtl.Module, node rtl.NodeID, neg bool) (cmpForm, bool) {
+	n := &m.Nodes[node]
+	op, a, b := n.Op, n.Args[0], n.Args[1]
+	switch op {
+	case rtl.OpNe:
+		op, neg = rtl.OpEq, !neg
+	case rtl.OpLt:
+		if neg {
+			op, a, b, neg = rtl.OpLe, b, a, false
+		}
+	case rtl.OpLe:
+		if neg {
+			op, a, b, neg = rtl.OpLt, b, a, false
+		}
+	case rtl.OpEq:
+	default:
+		return cmpForm{}, false
+	}
+	if op == rtl.OpEq && b < a {
+		a, b = b, a
+	}
+	return cmpForm{op: op, a: a, b: b, neg: neg}, true
+}
+
+// dwellBound bounds the consecutive cycles the FSM can sit in state s.
+// Returns (bound, nil) on success and (satCap, failure) otherwise.
+func (st *stateAnalysis) dwellBound(s uint64) (uint64, *UnboundedWait) {
+	if st.opaque[s] {
+		return satCap, &UnboundedWait{State: s, Node: st.f.StateNode, Counter: -1, Kind: WaitOpaque,
+			Reason: fmt.Sprintf("state %d: next-state tree too large to analyze", s)}
+	}
+	var selfPaths [][]analyze.PathSel
+	for _, a := range st.arcs[s] {
+		if a.unknown || a.to == s {
+			selfPaths = append(selfPaths, a.path)
+		}
+	}
+	if len(selfPaths) == 0 {
+		return 1, nil
+	}
+	// Candidate staying conjuncts: conditions required (up to semantic
+	// equivalence) on every self path. Flipping any of them forces an
+	// exit, because every way of staying requires it.
+	m := st.av.M
+	vals := st.pinned(s)
+	var firstFail *UnboundedWait
+	for _, cand := range selfPaths[0] {
+		onAll := true
+		for _, p := range selfPaths[1:] {
+			if !pathImplies(m, vals, p, cand.Node, cand.Neg) {
+				onAll = false
+				break
+			}
+		}
+		if !onAll {
+			continue
+		}
+		d, uw := st.boundFlip(s, cand, vals)
+		if uw == nil {
+			return d, nil
+		}
+		if firstFail == nil {
+			firstFail = uw
+		}
+	}
+	if firstFail != nil {
+		return satCap, firstFail
+	}
+	return satCap, &UnboundedWait{State: s, Node: st.f.StateNode, Counter: -1, Kind: WaitOpaque,
+		Reason: fmt.Sprintf("state %d: self-loop with no common exit condition", s)}
+}
+
+// boundFlip bounds the cycles until the staying condition (stay at its
+// recorded polarity) must flip, assuming the FSM sits in state s the
+// whole time. Two progress arguments are recognized: a counter compare
+// whose counter surely steps in s, and a zero compare on a register
+// surely shifted right by ≥ 1 in s.
+func (st *stateAnalysis) boundFlip(s uint64, stay analyze.PathSel, vals []Value) (uint64, *UnboundedWait) {
+	m := st.av.M
+	stay.Node, stay.Neg = simplifyCond(m, vals, stay.Node, stay.Neg)
+	n := &m.Nodes[stay.Node]
+	switch n.Op {
+	case rtl.OpEq, rtl.OpNe, rtl.OpLt, rtl.OpLe:
+	default:
+		return satCap, &UnboundedWait{State: s, Node: stay.Node, Counter: -1, Kind: WaitOpaque,
+			Reason: fmt.Sprintf("state %d: exit condition is not a comparison", s)}
+	}
+	// The exit fires when the comparison reaches the opposite of its
+	// staying polarity: stay.Neg means staying requires it false.
+	flipTrue := stay.Neg
+	exit := &exitCtx{state: s, node: stay.Node, neg: !stay.Neg}
+
+	// Counter-compare wait.
+	for argIdx := 0; argIdx < 2; argIdx++ {
+		regNode, ok := peelAffine(m, n.Args[argIdx])
+		if !ok {
+			continue
+		}
+		ci := st.sa.CounterByNode(regNode)
+		if ci < 0 {
+			continue
+		}
+		c := &st.sa.Counters[ci]
+		limit := n.Args[1-argIdx]
+		lv := vals[limit]
+		if _, isConst := lv.Const(); !isConst {
+			if !st.constDuring([]uint64{s}, limit, exit) {
+				return satCap, &UnboundedWait{State: s, Node: stay.Node, Counter: ci, Kind: WaitDynamic,
+					Reason: fmt.Sprintf("state %d: wait limit of counter %s can change while waiting", s, c.Name)}
+			}
+		}
+		if steps, holds, other := st.counterConduct(s, ci, exit); !steps || holds || other {
+			return satCap, &UnboundedWait{State: s, Node: c.Node, Counter: ci, Kind: WaitStall,
+				Reason: fmt.Sprintf("state %d: counter %s can hold or reload while the state waits", s, c.Name)}
+		}
+		cw := m.Nodes[c.Node].Width
+		mask := rtl.WidthMask(cw)
+		if c.Step&mask == 0 {
+			return satCap, &UnboundedWait{State: s, Node: c.Node, Counter: ci, Kind: WaitStall,
+				Reason: fmt.Sprintf("state %d: counter %s step is zero modulo its width", s, c.Name)}
+		}
+		tz := uint8(bits.TrailingZeros64(c.Step & mask))
+		g := uint64(1) << tz
+		orb := orbitLen(cw, tz)
+		if !flipCovers(n.Op, argIdx == 0, flipTrue, lv, g, orb, mask) {
+			return satCap, &UnboundedWait{State: s, Node: stay.Node, Counter: ci, Kind: WaitSkip,
+				Reason: fmt.Sprintf("state %d: counter %s (step %d) can step past its exit bound", s, c.Name, c.Step)}
+		}
+		return satAdd(orb, 2), nil
+	}
+
+	// Shift-register wait: exit when reg == 0, reg strictly shrinks.
+	if reg, exitOnZero, ok := zeroCompare(m, stay.Node, flipTrue); ok && exitOnZero {
+		if uw := st.shrinksSurely(s, reg, exit); uw != nil {
+			return satCap, uw
+		}
+		return uint64(m.Nodes[reg].Width) + 2, nil
+	}
+
+	return satCap, &UnboundedWait{State: s, Node: stay.Node, Counter: -1, Kind: WaitOpaque,
+		Reason: fmt.Sprintf("state %d: exit comparison has no recognized progress argument", s)}
+}
+
+// zeroCompare recognizes Eq(x,0)/Ne(x,0) over a register and reports
+// whether the flip polarity corresponds to "x reached zero".
+func zeroCompare(m *rtl.Module, id rtl.NodeID, flipTrue bool) (reg rtl.NodeID, exitOnZero, ok bool) {
+	n := &m.Nodes[id]
+	if n.Op != rtl.OpEq && n.Op != rtl.OpNe {
+		return 0, false, false
+	}
+	var other rtl.NodeID
+	if v, isC := m.EvalConst(n.Args[1]); isC && v == 0 {
+		other = n.Args[0]
+	} else if v, isC := m.EvalConst(n.Args[0]); isC && v == 0 {
+		other = n.Args[1]
+	} else {
+		return 0, false, false
+	}
+	if m.Nodes[other].Op != rtl.OpReg {
+		return 0, false, false
+	}
+	// Eq(x,0) true ⇔ x==0; Ne(x,0) true ⇔ x!=0.
+	zeroWhenTrue := n.Op == rtl.OpEq
+	return other, flipTrue == zeroWhenTrue, true
+}
+
+// counterConduct classifies counter ci's behavior over the cycles the
+// FSM sits in state s: every reachable leaf of its next tree is either
+// a matching step arm (steps), the register itself (holds), gated by
+// the exit flip — only fireable on the cycle the wait ends, hence
+// ignored — or anything else (other: loads, foreign arithmetic).
+func (st *stateAnalysis) counterConduct(s uint64, ci int, exit *exitCtx) (steps, holds, other bool) {
+	m := st.av.M
+	c := &st.sa.Counters[ci]
+	vals := st.pinned(s)
+	leaves, ok := walkPinned(m, vals, m.Regs[c.Reg].Next, nil, walkBudget)
+	if !ok {
+		return false, false, true
+	}
+	for _, lf := range leaves {
+		if exit != nil && exit.state == s && pathImplies(m, vals, lf.path, exit.node, exit.neg) {
+			continue
+		}
+		if dir, step, isStep := stepArm(m, lf.node, c.Node); isStep && dir == c.Dir && step == c.Step {
+			steps = true
+			continue
+		}
+		if lf.node == c.Node {
+			holds = true
+			continue
+		}
+		other = true
+	}
+	return steps, holds, other
+}
+
+// shrinksSurely verifies the register strictly shrinks (v -> v>>k with
+// k ≥ 1 proven) every cycle the FSM stays in s. A constant-zero
+// assignment also counts (it flips the exit next cycle).
+func (st *stateAnalysis) shrinksSurely(s uint64, reg rtl.NodeID, exit *exitCtx) *UnboundedWait {
+	m := st.av.M
+	vals := st.pinned(s)
+	ri := m.RegIndex(reg)
+	if ri < 0 {
+		return &UnboundedWait{State: s, Node: reg, Counter: -1, Kind: WaitOpaque,
+			Reason: fmt.Sprintf("state %d: compared node is not a register", s)}
+	}
+	leaves, ok := walkPinned(m, vals, m.Regs[ri].Next, nil, walkBudget)
+	if !ok {
+		return &UnboundedWait{State: s, Node: reg, Counter: -1, Kind: WaitOpaque,
+			Reason: fmt.Sprintf("state %d: wait register next tree too large", s)}
+	}
+	for _, lf := range leaves {
+		n := &m.Nodes[lf.node]
+		if n.Op == rtl.OpShr && n.Args[0] == reg && vals[n.Args[1]].Lo >= 1 {
+			continue // strict shrink
+		}
+		if c, isC := vals[lf.node].Const(); isC && c == 0 {
+			continue // direct clear
+		}
+		if exit != nil && exit.state == s && pathImplies(m, vals, lf.path, exit.node, exit.neg) {
+			continue // only reachable once the wait is over
+		}
+		return &UnboundedWait{State: s, Node: reg, Counter: -1, Kind: WaitStall,
+			Reason: fmt.Sprintf("state %d: wait register %s can hold its value", s, m.Regs[ri].Name)}
+	}
+	return nil
+}
+
+// stepArm recognizes reg+k / reg-k (either operand order for add) and
+// returns the direction and step.
+func stepArm(m *rtl.Module, id, regNode rtl.NodeID) (analyze.CounterDir, uint64, bool) {
+	n := &m.Nodes[id]
+	switch n.Op {
+	case rtl.OpAdd:
+		if n.Args[0] == regNode {
+			if k, ok := m.EvalConst(n.Args[1]); ok && k != 0 {
+				return analyze.Up, k, true
+			}
+		}
+		if n.Args[1] == regNode {
+			if k, ok := m.EvalConst(n.Args[0]); ok && k != 0 {
+				return analyze.Up, k, true
+			}
+		}
+	case rtl.OpSub:
+		if n.Args[0] == regNode {
+			if k, ok := m.EvalConst(n.Args[1]); ok && k != 0 {
+				return analyze.Down, k, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// peelAffine strips add/sub-constant wrappers of matching width off a
+// node and returns the underlying register node. Affine maps are
+// bijections on Z/2^w, so residue-coverage arguments survive them.
+func peelAffine(m *rtl.Module, id rtl.NodeID) (rtl.NodeID, bool) {
+	for depth := 0; depth < 8; depth++ {
+		n := &m.Nodes[id]
+		if n.Op == rtl.OpReg {
+			return id, true
+		}
+		if n.Op != rtl.OpAdd && n.Op != rtl.OpSub {
+			return 0, false
+		}
+		next := rtl.InvalidNode
+		if _, ok := m.EvalConst(n.Args[1]); ok {
+			next = n.Args[0]
+		} else if _, ok := m.EvalConst(n.Args[0]); ok {
+			// k+x always; k-x is also a bijection (negate then shift).
+			next = n.Args[1]
+		}
+		if next == rtl.InvalidNode || m.Nodes[next].Width != n.Width {
+			return 0, false
+		}
+		id = next
+	}
+	return 0, false
+}
+
+// constDuring reports whether node id provably keeps one fixed value
+// while the FSM remains within the given states: constants, reads of
+// write-port-free memories at constDuring addresses, registers that
+// hold surely in every listed state (exit-gated reloads allowed in the
+// exit state), and pure functions of such nodes.
+func (st *stateAnalysis) constDuring(states []uint64, id rtl.NodeID, exit *exitCtx) bool {
+	m := st.av.M
+	memo := map[rtl.NodeID]bool{}
+	var rec func(id rtl.NodeID) bool
+	rec = func(id rtl.NodeID) bool {
+		if v, ok := memo[id]; ok {
+			return v
+		}
+		memo[id] = false
+		n := &m.Nodes[id]
+		res := false
+		switch n.Op {
+		case rtl.OpConst:
+			res = true
+		case rtl.OpInput:
+			res = false
+		case rtl.OpReg:
+			res = true
+			for _, s := range states {
+				if !st.holdsIn(s, id, exit) {
+					res = false
+					break
+				}
+			}
+		case rtl.OpMemRead:
+			written := false
+			for _, w := range m.Writes {
+				if w.Mem == n.Mem {
+					written = true
+					break
+				}
+			}
+			res = !written && rec(n.Args[0])
+		default:
+			res = true
+			for i := 0; i < int(n.NArgs); i++ {
+				if !rec(n.Args[i]) {
+					res = false
+					break
+				}
+			}
+		}
+		memo[id] = res
+		return res
+	}
+	return rec(id)
+}
+
+// holdsIn reports whether register node reg provably keeps its value
+// across every cycle the FSM stays in state s.
+func (st *stateAnalysis) holdsIn(s uint64, reg rtl.NodeID, exit *exitCtx) bool {
+	m := st.av.M
+	ri := m.RegIndex(reg)
+	if ri < 0 {
+		return false
+	}
+	vals := st.pinned(s)
+	leaves, ok := walkPinned(m, vals, m.Regs[ri].Next, nil, walkBudget)
+	if !ok {
+		return false
+	}
+	for _, lf := range leaves {
+		if lf.node == reg {
+			continue
+		}
+		if exit != nil && exit.state == s && pathImplies(m, vals, lf.path, exit.node, exit.neg) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// orbitLen is 2^(cw-tz), saturated: the size of a step-s counter's
+// residue coset in Z/2^cw with tz = trailing zeros of the step.
+func orbitLen(cw, tz uint8) uint64 {
+	if cw <= tz {
+		return 1
+	}
+	sh := cw - tz
+	if sh >= 62 {
+		return satCap
+	}
+	return uint64(1) << sh
+}
+
+// flipCovers decides whether the comparison's flip set meets every
+// residue coset mod g for every possible limit value in lv's interval —
+// the condition under which a step-s counter walking its coset must
+// flip the comparison within one orbit.
+//
+// counterLeft says the (affine image of the) counter is the
+// comparison's left operand; flipTrue says the exit fires when the
+// comparison is true. mask is the counter value domain; cosets are
+// arithmetic progressions of stride g, so any g consecutive values in
+// [0, mask] cover every coset.
+func flipCovers(op rtl.Op, counterLeft, flipTrue bool, lv Value, g, orbit, mask uint64) bool {
+	lLo, lHi := lv.Lo, lv.Hi
+	switch op {
+	case rtl.OpEq, rtl.OpNe:
+		// Ne is Eq with the flip polarity inverted.
+		eqFlip := flipTrue
+		if op == rtl.OpNe {
+			eqFlip = !eqFlip
+		}
+		if eqFlip {
+			// Flip set {L}: a single residue — must be the only one,
+			// and L must be a value the counter can actually hit.
+			return g == 1 && lHi <= mask
+		}
+		// Flip set "everything except L": every coset of size ≥ 2 has a
+		// non-L member.
+		return orbit >= 2
+	case rtl.OpLt, rtl.OpLe:
+	default:
+		return false
+	}
+	// Normalize to "flip set is {u REL L}" with u the counter-side
+	// value: counter-right comparisons mirror the relation, !flipTrue
+	// complements the set.
+	//   counter left,  Lt: u <  L    counter left,  Le: u ≤ L
+	//   counter right, Lt: u >  L    counter right, Le: u ≥ L
+	const (
+		ltL = iota // {u < L}: holds the g smallest values iff L ≥ g
+		leL        // {u ≤ L}: iff L ≥ g-1
+		gtL        // {u > L}: holds the g largest values iff L ≤ mask-g
+		geL        // {u ≥ L}: iff L ≤ mask-g+1
+	)
+	var r int
+	if counterLeft {
+		r = ltL
+		if op == rtl.OpLe {
+			r = leL
+		}
+	} else {
+		r = gtL
+		if op == rtl.OpLe {
+			r = geL
+		}
+	}
+	if !flipTrue {
+		switch r {
+		case ltL:
+			r = geL
+		case leL:
+			r = gtL
+		case gtL:
+			r = leL
+		case geL:
+			r = ltL
+		}
+	}
+	// The coverage condition must hold for every L the limit can take.
+	switch r {
+	case ltL:
+		return lLo >= g
+	case leL:
+		return lLo >= g-1
+	case gtL:
+		return lHi <= mask-g
+	default: // geL
+		return lHi <= mask-g+1
+	}
+}

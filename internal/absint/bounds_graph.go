@@ -1,0 +1,458 @@
+package absint
+
+// bounds_graph.go holds the state-graph half of the cycle-bound
+// analysis: Tarjan SCCs over the refined arcs, iteration bounds for
+// multi-state loops (the counter-orbit argument lifted from one wait
+// state to a reducible loop), the condensation longest path, and the
+// fallback for designs whose done is governed by a bare counter rather
+// than a recognized FSM.
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/analyze"
+	"repro/internal/rtl"
+)
+
+// sccs computes strongly connected components over the refined state
+// graph (non-self arcs between reachable states; certainly-done states
+// are sinks). Returns the state→component map and the component member
+// lists (each ascending) in Tarjan (reverse topological) order.
+func (st *stateAnalysis) sccs(certainSet map[uint64]bool) (map[uint64]int, [][]uint64) {
+	adjOf := func(s uint64) []uint64 {
+		if certainSet[s] {
+			return nil
+		}
+		var out []uint64
+		for _, t := range st.succs(s) {
+			if t != s && st.reachSet[t] {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	index := map[uint64]int{}
+	low := map[uint64]int{}
+	on := map[uint64]bool{}
+	var stack []uint64
+	comp := map[uint64]int{}
+	var comps [][]uint64
+	idx := 0
+	var strong func(uint64)
+	strong = func(v uint64) {
+		index[v] = idx
+		low[v] = idx
+		idx++
+		stack = append(stack, v)
+		on[v] = true
+		for _, w := range adjOf(v) {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if on[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var members []uint64
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				on[w] = false
+				comp[w] = len(comps)
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+			comps = append(comps, members)
+		}
+	}
+	for _, s := range st.reach {
+		if _, seen := index[s]; !seen {
+			strong(s)
+		}
+	}
+	return comp, comps
+}
+
+// loopCost bounds the total cycles one entry into a multi-state loop
+// can cost: (iteration bound) × (longest dwell-weighted path through
+// one iteration). Returns (satCap, failure) when no exit comparison
+// yields a sound iteration bound.
+func (st *stateAnalysis) loopCost(members []uint64, dwell map[uint64]uint64) (uint64, *UnboundedWait) {
+	m := st.av.M
+	mem := map[uint64]bool{}
+	for _, s := range members {
+		mem[s] = true
+	}
+	head := members[0]
+	fail := func(kind WaitKind, node rtl.NodeID, ctr int, reason string) (uint64, *UnboundedWait) {
+		return satCap, &UnboundedWait{State: head, Node: node, Counter: ctr, Kind: kind, Reason: reason}
+	}
+	for _, s := range members {
+		if st.opaque[s] {
+			return fail(WaitOpaque, st.f.StateNode, -1,
+				fmt.Sprintf("loop state %d: next-state tree too large to analyze", s))
+		}
+	}
+
+	// Reducibility: the loop must have exactly one entry state.
+	init := m.Regs[st.f.Reg].Init
+	entries := map[uint64]bool{}
+	if mem[init] {
+		entries[init] = true
+	}
+	for _, s := range st.reach {
+		if mem[s] {
+			continue
+		}
+		for _, t := range st.succs(s) {
+			if mem[t] {
+				entries[t] = true
+			}
+		}
+	}
+	if len(entries) != 1 {
+		return fail(WaitOpaque, st.f.StateNode, -1,
+			fmt.Sprintf("loop over %d states has %d entry states (irreducible)", len(members), len(entries)))
+	}
+	var h uint64
+	for e := range entries { //detlint:allow exactly one entry (checked above)
+		h = e
+	}
+
+	// One iteration = a path in the DAG formed by dropping the arcs
+	// back into the header. It must actually be acyclic.
+	dagSucc := map[uint64][]uint64{}
+	var backs []uint64
+	for _, s := range members {
+		for _, t := range st.succs(s) {
+			if t == s || !mem[t] {
+				continue
+			}
+			if t == h {
+				backs = append(backs, s)
+				continue
+			}
+			dagSucc[s] = append(dagSucc[s], t)
+		}
+	}
+	if !acyclicFrom(h, dagSucc) {
+		return fail(WaitOpaque, st.f.StateNode, -1,
+			fmt.Sprintf("loop over %d states is irreducible (inner cycle avoiding the header)", len(members)))
+	}
+
+	var firstFail *UnboundedWait
+	for _, e := range members {
+		for _, a := range st.arcs[e] {
+			if a.unknown || mem[a.to] {
+				continue // not a provable exit arc
+			}
+			for _, ps := range a.path {
+				iters, uw := st.loopIters(e, ps, members, mem, dagSucc, h, backs, dwell)
+				if uw == nil {
+					return satMul(iters, longestFrom(h, dagSucc, dwell)), nil
+				}
+				if firstFail == nil {
+					firstFail = uw
+				}
+			}
+		}
+	}
+	if firstFail != nil {
+		return satCap, firstFail
+	}
+	return fail(WaitOpaque, st.f.StateNode, -1,
+		fmt.Sprintf("loop over %d states has no analyzable exit comparison", len(members)))
+}
+
+// loopIters bounds the loop's iterations via one exit conjunct ps on an
+// arc leaving the loop from state e. Requirements (see the bounds.go
+// preamble): every loop-staying arc from e requires ¬ps; the compared
+// counter steps surely in exactly one loop state u (with dwell 1) and
+// holds surely elsewhere; every iteration provably passes both u and e;
+// the comparison's flip set meets every residue coset for every value
+// the (loop-constant) limit can take.
+func (st *stateAnalysis) loopIters(e uint64, ps analyze.PathSel, members []uint64, mem map[uint64]bool,
+	dagSucc map[uint64][]uint64, h uint64, backs []uint64, dwell map[uint64]uint64) (uint64, *UnboundedWait) {
+	m := st.av.M
+	eVals := st.pinned(e)
+	ps.Node, ps.Neg = simplifyCond(m, eVals, ps.Node, ps.Neg)
+	n := &m.Nodes[ps.Node]
+	failUW := func(kind WaitKind, node rtl.NodeID, ctr int, reason string) (uint64, *UnboundedWait) {
+		return satCap, &UnboundedWait{State: h, Node: node, Counter: ctr, Kind: kind, Reason: reason}
+	}
+	switch n.Op {
+	case rtl.OpEq, rtl.OpNe, rtl.OpLt, rtl.OpLe:
+	default:
+		return failUW(WaitOpaque, ps.Node, -1,
+			fmt.Sprintf("loop at state %d: exit condition is not a comparison", h))
+	}
+	// The exit fires when ps holds at its recorded polarity.
+	flipTrue := !ps.Neg
+	exit := &exitCtx{state: e, node: ps.Node, neg: ps.Neg}
+
+	// Every arc from e that stays in the loop must require ¬ps —
+	// otherwise the machine could ignore the flip and keep looping.
+	for _, a := range st.arcs[e] {
+		if !a.unknown && !mem[a.to] {
+			continue
+		}
+		if !pathImplies(m, eVals, a.path, ps.Node, !ps.Neg) {
+			return failUW(WaitOpaque, ps.Node, -1,
+				fmt.Sprintf("loop at state %d: state %d can stay in the loop regardless of the exit comparison", h, e))
+		}
+	}
+
+	for argIdx := 0; argIdx < 2; argIdx++ {
+		regNode, ok := peelAffine(m, n.Args[argIdx])
+		if !ok {
+			continue
+		}
+		ci := st.sa.CounterByNode(regNode)
+		if ci < 0 {
+			continue
+		}
+		c := &st.sa.Counters[ci]
+		limit := n.Args[1-argIdx]
+		lv := eVals[limit]
+		if _, isConst := lv.Const(); !isConst {
+			if !st.constDuring(members, limit, exit) {
+				return failUW(WaitDynamic, ps.Node, ci,
+					fmt.Sprintf("loop at state %d: bound of counter %s can change while the loop runs", h, c.Name))
+			}
+		}
+
+		// Step discipline: exactly one loop state steps the counter
+		// (unconditionally, dwell 1); every other state holds it.
+		stepState := uint64(0)
+		haveStep := false
+		bad := false
+		for _, s := range members {
+			steps, holds, other := st.counterConduct(s, ci, exit)
+			if other || (steps && holds) {
+				bad = true
+				break
+			}
+			if steps {
+				if haveStep {
+					bad = true
+					break
+				}
+				haveStep = true
+				stepState = s
+			}
+		}
+		if bad || !haveStep {
+			return failUW(WaitStall, c.Node, ci,
+				fmt.Sprintf("loop at state %d: counter %s does not step exactly once per iteration", h, c.Name))
+		}
+		if dwell[stepState] != 1 {
+			return failUW(WaitStall, c.Node, ci,
+				fmt.Sprintf("loop at state %d: counter %s steps in state %d whose dwell is not 1", h, c.Name, stepState))
+		}
+		// Every iteration (header → any back-arc source) must pass both
+		// the step state and the check state, so checks see an exact
+		// arithmetic progression of counter values.
+		for _, b := range backs {
+			if !mustVisit(h, b, stepState, dagSucc) || !mustVisit(h, b, e, dagSucc) {
+				return failUW(WaitOpaque, c.Node, ci,
+					fmt.Sprintf("loop at state %d: an iteration can skip the counter step or the exit check", h))
+			}
+		}
+
+		cw := m.Nodes[c.Node].Width
+		mask := rtl.WidthMask(cw)
+		if c.Step&mask == 0 {
+			return failUW(WaitStall, c.Node, ci,
+				fmt.Sprintf("loop at state %d: counter %s step is zero modulo its width", h, c.Name))
+		}
+		tz := uint8(bits.TrailingZeros64(c.Step & mask))
+		g := uint64(1) << tz
+		orb := orbitLen(cw, tz)
+		if !flipCovers(n.Op, argIdx == 0, flipTrue, lv, g, orb, mask) {
+			return failUW(WaitSkip, ps.Node, ci,
+				fmt.Sprintf("loop at state %d: counter %s (step %d) can step past its exit bound", h, c.Name, c.Step))
+		}
+		return satAdd(orb, 2), nil
+	}
+	return failUW(WaitOpaque, ps.Node, -1,
+		fmt.Sprintf("loop at state %d: exit comparison does not compare a recognized counter", h))
+}
+
+// acyclicFrom checks the successor map reachable from h is a DAG.
+func acyclicFrom(h uint64, succ map[uint64][]uint64) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[uint64]int{}
+	var visit func(uint64) bool
+	visit = func(s uint64) bool {
+		switch color[s] {
+		case gray:
+			return false
+		case black:
+			return true
+		}
+		color[s] = gray
+		for _, t := range succ[s] {
+			if !visit(t) {
+				return false
+			}
+		}
+		color[s] = black
+		return true
+	}
+	return visit(h)
+}
+
+// mustVisit reports whether every path h→b in the DAG passes through x.
+func mustVisit(h, b, x uint64, succ map[uint64][]uint64) bool {
+	if x == h || x == b {
+		return true
+	}
+	// b reachable from h while avoiding x ⇒ some path skips x.
+	seen := map[uint64]bool{x: true}
+	var dfs func(uint64) bool
+	dfs = func(s uint64) bool {
+		if s == b {
+			return true
+		}
+		if seen[s] {
+			return false
+		}
+		seen[s] = true
+		for _, t := range succ[s] {
+			if dfs(t) {
+				return true
+			}
+		}
+		return false
+	}
+	return !dfs(h)
+}
+
+// longestFrom is the maximum dwell-weighted path sum from h through the
+// (acyclic) successor map, saturating.
+func longestFrom(h uint64, succ map[uint64][]uint64, dwell map[uint64]uint64) uint64 {
+	memo := map[uint64]uint64{}
+	var dp func(uint64) uint64
+	dp = func(s uint64) uint64 {
+		if v, ok := memo[s]; ok {
+			return v
+		}
+		memo[s] = satCap // cycle guard; acyclicity was checked upstream
+		best := uint64(0)
+		for _, t := range succ[s] {
+			if v := dp(t); v > best {
+				best = v
+			}
+		}
+		memo[s] = satAdd(dwell[s], best)
+		return memo[s]
+	}
+	return dp(h)
+}
+
+// condensationLongest is the maximum cost-weighted path over the SCC
+// condensation starting at the reset state's component. Sound because a
+// terminating run enters each component at most once.
+func (st *stateAnalysis) condensationLongest(comp map[uint64]int, cost []uint64, certainSet map[uint64]bool) uint64 {
+	n := len(cost)
+	adj := make([]map[int]bool, n)
+	for _, s := range st.reach {
+		if certainSet[s] {
+			continue
+		}
+		cf := comp[s]
+		for _, t := range st.succs(s) {
+			if t == s || !st.reachSet[t] {
+				continue
+			}
+			ct := comp[t]
+			if ct == cf {
+				continue
+			}
+			if adj[cf] == nil {
+				adj[cf] = map[int]bool{}
+			}
+			adj[cf][ct] = true
+		}
+	}
+	memo := make([]uint64, n)
+	done := make([]bool, n)
+	var dp func(int) uint64
+	dp = func(c int) uint64 {
+		if done[c] {
+			return memo[c]
+		}
+		done[c] = true
+		best := uint64(0)
+		ts := make([]int, 0, len(adj[c]))
+		for t := range adj[c] { //detlint:allow sorted immediately below
+			ts = append(ts, t)
+		}
+		sort.Ints(ts)
+		for _, t := range ts {
+			if v := dp(t); v > best {
+				best = v
+			}
+		}
+		memo[c] = satAdd(cost[c], best)
+		return memo[c]
+	}
+	init := st.av.M.Regs[st.f.Reg].Init
+	ci, ok := comp[init]
+	if !ok {
+		return satCap
+	}
+	return dp(ci)
+}
+
+// noFSMBounds bounds designs whose done is not governed by a recognized
+// FSM — typically a bare counter compared against a constant. The whole
+// design is treated as one implicit state: staying means done == 0, and
+// the same flip arguments as for a wait state apply with no pins.
+func noFSMBounds(av *Analysis, sa *analyze.Analysis) CycleBounds {
+	m := av.M
+	out := CycleBounds{FSM: -1, Min: 1}
+	node := m.Done
+	neg := true // staying while done == 0
+	for {
+		n := &m.Nodes[node]
+		if n.Op == rtl.OpNot && n.Width == 1 {
+			node, neg = n.Args[0], !neg
+			continue
+		}
+		break
+	}
+	st := &stateAnalysis{
+		av: av, sa: sa, fi: -1,
+		pinnedVals: map[uint64][]Value{},
+		arcs:       map[uint64][]arc{},
+		opaque:     map[uint64]bool{},
+		reachSet:   map[uint64]bool{},
+		succCache:  map[uint64][]uint64{},
+	}
+	d, uw := st.boundFlip(0, analyze.PathSel{Node: node, Neg: neg}, av.Vals)
+	if uw != nil {
+		out.Unbounded = append(out.Unbounded, *uw)
+		out.Blocker, out.Reason = uw.Node, uw.Reason
+		return out
+	}
+	out.Max = d
+	out.MaxBounded = d < satCap
+	if !out.MaxBounded {
+		out.Blocker, out.Reason = node, "no static bound on the done condition"
+		out.Max = 0
+	}
+	return out
+}

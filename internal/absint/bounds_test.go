@@ -1,0 +1,195 @@
+package absint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rtl"
+)
+
+// runToDone steps a fresh interpreter sim until Done and returns the
+// tick count, failing the test if the design never finishes.
+func runToDone(t *testing.T, m *rtl.Module, limit uint64) uint64 {
+	t.Helper()
+	s := rtl.NewInterpSim(m)
+	ticks, err := s.Run(limit)
+	if err != nil {
+		t.Fatalf("design never finished within %d cycles: %v", limit, err)
+	}
+	return ticks
+}
+
+func TestCycleBoundsContainsString(t *testing.T) {
+	b := CycleBounds{Min: 5, Max: 90, MaxBounded: true}
+	if !b.Contains(5) || !b.Contains(90) || !b.Contains(40) {
+		t.Fatal("Contains rejects in-range ticks")
+	}
+	if b.Contains(4) || b.Contains(91) {
+		t.Fatal("Contains accepts out-of-range ticks")
+	}
+	if got := b.String(); got != "[5, 90]" {
+		t.Fatalf("String() = %q, want [5, 90]", got)
+	}
+	inf := CycleBounds{Min: 3}
+	if !inf.Contains(1 << 60) {
+		t.Fatal("unbounded Contains must accept any ticks >= Min")
+	}
+	if inf.Contains(2) {
+		t.Fatal("unbounded Contains must still enforce Min")
+	}
+	if got := inf.String(); !strings.Contains(got, "+Inf") {
+		t.Fatalf("String() = %q, want +Inf max", got)
+	}
+}
+
+// TestBoundsCounterWait: classic FSM with a down-counter wait state.
+// The analysis must produce finite bounds that contain the concrete
+// run, with Min matching the shortest state path.
+func TestBoundsCounterWait(t *testing.T) {
+	b := rtl.NewBuilder("waitcnt")
+	f := b.FSM("ctrl", 3)
+	cnt := b.DownCounter("cnt", 8, f.In(0), b.Const(20, 8))
+	f.Always(0, 1)
+	f.When(1, cnt.Signal.EqK(0), 2)
+	b.SetDone(f.In(2))
+	f.Build()
+	m := b.MustBuild()
+
+	bd := Bounds(m)
+	if !bd.MaxBounded {
+		t.Fatalf("counter wait must be bounded, got %s (%s)", bd, bd.Reason)
+	}
+	if bd.Min != 3 {
+		t.Fatalf("Min = %d, want 3 (idle, wait, done)", bd.Min)
+	}
+	ticks := runToDone(t, m, 10000)
+	if !bd.Contains(ticks) {
+		t.Fatalf("concrete %d outside static %s", ticks, bd)
+	}
+}
+
+// TestBoundsShiftWait: a wait state whose exit drains a shift register.
+// The shift rule bounds the dwell by the register width.
+func TestBoundsShiftWait(t *testing.T) {
+	b := rtl.NewBuilder("waitshift")
+	f := b.FSM("ctrl", 2)
+	sh := b.Reg("sh", 8, 0x80)
+	b.SetNext(sh, f.In(0).Mux(sh.Signal.ShrK(1), sh.Signal))
+	f.When(0, sh.Signal.EqK(0), 1)
+	b.SetDone(f.In(1))
+	f.Build()
+	m := b.MustBuild()
+
+	bd := Bounds(m)
+	if !bd.MaxBounded {
+		t.Fatalf("shift wait must be bounded, got %s (%s)", bd, bd.Reason)
+	}
+	ticks := runToDone(t, m, 10000)
+	if !bd.Contains(ticks) {
+		t.Fatalf("concrete %d outside static %s", ticks, bd)
+	}
+}
+
+// TestBoundsInputWaitUnbounded: a wait on an external input has no
+// static exit bound; Max must be +Inf with the blocker identified.
+func TestBoundsInputWaitUnbounded(t *testing.T) {
+	b := rtl.NewBuilder("waitinput")
+	ext := b.Input("go", 1)
+	f := b.FSM("ctrl", 2)
+	f.When(0, ext.NonZero(), 1)
+	b.SetDone(f.In(1))
+	f.Build()
+	m := b.MustBuild()
+
+	bd := Bounds(m)
+	if bd.MaxBounded {
+		t.Fatalf("input wait must be unbounded, got %s", bd)
+	}
+	if len(bd.Unbounded) == 0 {
+		t.Fatal("unbounded result must name the offending wait")
+	}
+	uw := bd.Unbounded[0]
+	if uw.Node == rtl.InvalidNode {
+		t.Fatal("unbounded wait must carry the blocking node")
+	}
+	if uw.Kind != WaitDynamic && uw.Kind != WaitOpaque && uw.Kind != WaitStall {
+		t.Fatalf("unexpected wait kind %v", uw.Kind)
+	}
+	if !strings.Contains(bd.String(), "+Inf") {
+		t.Fatalf("String() = %q, want +Inf max", bd.String())
+	}
+	if !bd.Contains(1 << 40) {
+		t.Fatal("unbounded Contains must accept any finishing run")
+	}
+}
+
+// TestBoundsStepSkip: a step-2 counter compared with Eq against a bound
+// it can step over must be flagged as a skip hazard (the fact behind
+// the counter-overflow lint rule), not given a bogus finite bound.
+func TestBoundsStepSkip(t *testing.T) {
+	b := rtl.NewBuilder("skipcnt")
+	f := b.FSM("ctrl", 2)
+	cnt := b.Reg("cnt", 4, 0)
+	b.SetNext(cnt, f.In(0).Mux(cnt.Signal.Add(b.Const(2, 4)).Trunc(4), cnt.Signal))
+	f.When(0, cnt.Signal.EqK(5), 1)
+	b.SetDone(f.In(1))
+	f.Build()
+	m := b.MustBuild()
+
+	bd := Bounds(m)
+	if bd.MaxBounded {
+		t.Fatalf("skip hazard must be unbounded, got %s", bd)
+	}
+	if len(bd.Unbounded) == 0 {
+		t.Fatal("skip hazard must name the offending wait")
+	}
+	found := false
+	for _, uw := range bd.Unbounded {
+		if uw.Kind == WaitSkip {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want a WaitSkip entry, got %+v", bd.Unbounded)
+	}
+}
+
+// TestBoundsNoFSM: a bare counter design with no recovered FSM falls
+// back to the done-predicate wait analysis.
+func TestBoundsNoFSM(t *testing.T) {
+	b := rtl.NewBuilder("barecnt")
+	cnt := b.Reg("cnt", 6, 40)
+	b.SetNext(cnt, cnt.Signal.NonZero().Mux(cnt.Signal.Dec(), cnt.Signal))
+	b.SetDone(cnt.Signal.EqK(0))
+	m := b.MustBuild()
+
+	bd := Bounds(m)
+	if !bd.MaxBounded {
+		t.Fatalf("bare counter must be bounded, got %s (%s)", bd, bd.Reason)
+	}
+	ticks := runToDone(t, m, 10000)
+	if !bd.Contains(ticks) {
+		t.Fatalf("concrete %d outside static %s", ticks, bd)
+	}
+}
+
+// TestBoundsDoneConst: degenerate done predicates.
+func TestBoundsDoneConst(t *testing.T) {
+	b1 := rtl.NewBuilder("alwaysdone")
+	b1.SetDone(b1.Const(1, 1))
+	m1 := b1.MustBuild()
+	bd := Bounds(m1)
+	if !bd.MaxBounded || bd.Min != 1 || bd.Max != 1 {
+		t.Fatalf("always-done must be [1, 1], got %s", bd)
+	}
+
+	b2 := rtl.NewBuilder("neverdone")
+	r := b2.Reg("r", 1, 0)
+	b2.SetNext(r, b2.Const(0, 1))
+	b2.SetDone(r.Signal.And(b2.Const(0, 1)))
+	m2 := b2.MustBuild()
+	bd2 := Bounds(m2)
+	if bd2.MaxBounded {
+		t.Fatalf("never-done must be unbounded, got %s", bd2)
+	}
+}

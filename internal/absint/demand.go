@@ -1,0 +1,128 @@
+package absint
+
+import (
+	"math/bits"
+
+	"repro/internal/rtl"
+)
+
+// Demand computes per-node demanded bits: the set of result bits some
+// observable consumer can distinguish. The observables are the done
+// signal (a nonzero test, so every bit matters), the memory write
+// ports, and — transitively — every register feeding them. A register
+// bit outside the demanded mask can take any value without changing a
+// single architecturally visible outcome; the dead-bits lint rule
+// reports such bits, since they are silicon (and simulation work)
+// spent on state nobody can observe.
+//
+// The analysis is a backward fixpoint: demand only grows, each node's
+// mask has at most 64 bits, so it terminates. Conservative in the
+// sound direction — a bit is only reported dead when no propagation
+// path can demand it.
+func Demand(m *rtl.Module) []uint64 {
+	d := make([]uint64, len(m.Nodes))
+	changed := true
+	add := func(id rtl.NodeID, bitsWanted uint64) {
+		masked := bitsWanted & m.Nodes[id].Mask()
+		if masked&^d[id] != 0 {
+			d[id] |= masked
+			changed = true
+		}
+	}
+	all := func(id rtl.NodeID) { add(id, ^uint64(0)) }
+
+	all(m.Done)
+	for _, w := range m.Writes {
+		all(w.Addr)
+		all(w.Data)
+		all(w.En)
+	}
+
+	for changed {
+		changed = false
+		// Registers: whatever is demanded of the state is demanded of
+		// the next expression.
+		for i := range m.Regs {
+			add(m.Regs[i].Next, d[m.Regs[i].Node])
+		}
+		// Combinational nodes, visited in reverse SSA order so demand
+		// flows root-to-leaf in few sweeps.
+		for id := len(m.Nodes) - 1; id >= 0; id-- {
+			od := d[id]
+			if od == 0 {
+				continue
+			}
+			n := &m.Nodes[id]
+			switch n.Op {
+			case rtl.OpConst, rtl.OpInput, rtl.OpReg:
+				// Leaves (register feedback handled above).
+			case rtl.OpAdd, rtl.OpSub, rtl.OpMul:
+				// Result bit i depends on argument bits 0..i (carries
+				// and partial products propagate upward only).
+				low := lowMask(uint(bits.Len64(od)))
+				add(n.Args[0], low)
+				add(n.Args[1], low)
+			case rtl.OpAnd:
+				add(n.Args[0], od&constOr(m, n.Args[1], ^uint64(0)))
+				add(n.Args[1], od&constOr(m, n.Args[0], ^uint64(0)))
+			case rtl.OpOr:
+				// A constant 1 on one side makes the other side's bit
+				// unobservable (this is how zero-extensions look).
+				add(n.Args[0], od&^constOr(m, n.Args[1], 0))
+				add(n.Args[1], od&^constOr(m, n.Args[0], 0))
+			case rtl.OpXor:
+				add(n.Args[0], od)
+				add(n.Args[1], od)
+			case rtl.OpNot:
+				add(n.Args[0], od)
+			case rtl.OpShl:
+				if k, ok := m.EvalConst(n.Args[1]); ok {
+					if k < 64 {
+						add(n.Args[0], od>>k)
+					}
+				} else {
+					add(n.Args[0], lowMask(uint(bits.Len64(od))))
+					all(n.Args[1])
+				}
+			case rtl.OpShr:
+				if k, ok := m.EvalConst(n.Args[1]); ok {
+					if k < 64 {
+						add(n.Args[0], od<<k)
+					}
+				} else {
+					// Any amount can move high argument bits down to
+					// the lowest demanded position.
+					add(n.Args[0], ^uint64(0)<<uint(bits.TrailingZeros64(od)))
+					all(n.Args[1])
+				}
+			case rtl.OpEq, rtl.OpNe, rtl.OpLt, rtl.OpLe:
+				all(n.Args[0])
+				all(n.Args[1])
+			case rtl.OpMux:
+				all(n.Args[0]) // the select is a nonzero test
+				add(n.Args[1], od)
+				add(n.Args[2], od)
+			case rtl.OpMemRead:
+				all(n.Args[0])
+			}
+		}
+	}
+	return d
+}
+
+// lowMask returns a mask of the n lowest bits (n clamped to 64).
+func lowMask(n uint) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << n) - 1
+}
+
+// constOr returns the node's constant value if it is a literal, else
+// the fallback. Used for the And/Or observability refinements.
+func constOr(m *rtl.Module, id rtl.NodeID, fallback uint64) uint64 {
+	if m.Nodes[id].Op == rtl.OpConst {
+		return m.Nodes[id].Const & m.Nodes[id].Mask()
+	}
+	return fallback
+}

@@ -1,0 +1,99 @@
+package absint
+
+import (
+	"testing"
+
+	"repro/internal/rtl"
+)
+
+// TestDemandMaskedRegister: a register only ever consumed through a
+// low-nibble mask must have its top nibble reported undemanded.
+func TestDemandMaskedRegister(t *testing.T) {
+	b := rtl.NewBuilder("deadbits")
+	r := b.Reg("acc", 8, 0)
+	in := b.Input("x", 8)
+	b.SetNext(r, r.Signal.Add(in).Trunc(8))
+	low := r.Signal.And(b.Const(0x0f, 8))
+	b.SetDone(low.EqK(9))
+	m := b.MustBuild()
+
+	d := Demand(m)
+	got := d[r.Signal.ID()]
+	if got&0x0f != 0x0f {
+		t.Fatalf("low nibble must be demanded, got %#x", got)
+	}
+	if got&0xf0 != 0 {
+		t.Fatalf("top nibble must be dead, got %#x", got)
+	}
+	// The input feeds the register through an Add, so only the low
+	// nibble of the input can matter either.
+	if di := d[in.ID()]; di&0xf0 != 0 {
+		t.Fatalf("input top nibble must be dead, got %#x", di)
+	}
+}
+
+// TestDemandShiftAndCompare: demand through a constant right shift
+// lands on the shifted-up bits; a comparison demands everything.
+func TestDemandShiftAndCompare(t *testing.T) {
+	b := rtl.NewBuilder("shiftdemand")
+	r := b.Reg("r", 8, 0)
+	b.SetNext(r, b.Input("x", 8)) // no arithmetic feedback: carries would
+	hi := r.Signal.ShrK(6)        // make every low bit demanded too
+	b.SetDone(hi.EqK(3))
+	m := b.MustBuild()
+
+	d := Demand(m)
+	if got := d[r.Signal.ID()]; got != 0xc0 {
+		t.Fatalf("demand of r = %#x, want 0xc0 (only bits 6-7 observable)", got)
+	}
+
+	b2 := rtl.NewBuilder("cmpdemand")
+	r2 := b2.Reg("r", 8, 0)
+	b2.SetNext(r2, r2.Signal.Inc())
+	b2.SetDone(r2.Signal.EqK(200))
+	m2 := b2.MustBuild()
+	d2 := Demand(m2)
+	if got := d2[r2.Signal.ID()]; got != 0xff {
+		t.Fatalf("comparison must demand all bits, got %#x", got)
+	}
+}
+
+// TestDemandZeroExtension: an Or-with-zero extension passes demand
+// through, and a const-1 Or side kills demand on the other side.
+func TestDemandZeroExtension(t *testing.T) {
+	b := rtl.NewBuilder("zext")
+	r := b.Reg("r", 4, 0)
+	b.SetNext(r, b.Input("x", 4))
+	wide := r.Signal.WidenTo(8)
+	forced := wide.Or(b.Const(0x03, 8))
+	b.SetDone(forced.EqK(0x07))
+	m := b.MustBuild()
+
+	d := Demand(m)
+	got := d[r.Signal.ID()]
+	if got&0x3 != 0 {
+		t.Fatalf("bits forced to 1 downstream must be dead, got %#x", got)
+	}
+	if got&0xc != 0xc {
+		t.Fatalf("unforced bits must be demanded, got %#x", got)
+	}
+}
+
+// TestDemandWritePortRoots: memory write ports are observables even
+// when the done cone ignores the data.
+func TestDemandWritePortRoots(t *testing.T) {
+	b := rtl.NewBuilder("writes")
+	mem := b.Memory("out", 16)
+	r := b.Reg("data", 8, 0)
+	b.SetNext(r, r.Signal.Inc())
+	cnt := b.Reg("cnt", 4, 0)
+	b.SetNext(cnt, cnt.Signal.Inc())
+	b.Write(mem, cnt.Signal, r.Signal, b.Const(1, 1))
+	b.SetDone(cnt.Signal.EqK(15))
+	m := b.MustBuild()
+
+	d := Demand(m)
+	if got := d[r.Signal.ID()]; got != 0xff {
+		t.Fatalf("write data must be fully demanded, got %#x", got)
+	}
+}

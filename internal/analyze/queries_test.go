@@ -1,0 +1,153 @@
+package analyze
+
+import (
+	"testing"
+
+	"repro/internal/rtl"
+)
+
+// selfLoopModule builds a module with three distinct flow shapes:
+//
+//   - lonely: a register whose value feeds only its own update (the
+//     canonical counter self-loop) — it must not escape anywhere;
+//   - src: a register whose value flows only into a memory write port
+//     (a write-only cone);
+//   - fwd: a register chain src-independent logic feeds, so taint
+//     crossing register boundaries is observable.
+func selfLoopModule() (*rtl.Module, struct{ lonely, src, fwd, done rtl.NodeID }) {
+	b := rtl.NewBuilder("q")
+	mem := b.Memory("m", 8)
+
+	lonely := b.Reg("lonely", 4, 0)
+	b.SetNext(lonely, lonely.Inc())
+
+	src := b.Reg("src", 8, 1)
+	b.SetNext(src, src.Signal.Add(b.Const(3, 8)).Trunc(8))
+
+	addr := b.Reg("addr", 3, 0)
+	b.SetNext(addr, addr.Inc())
+	b.Write(mem, addr.Signal, src.Signal.WidenTo(16), b.Const(1, 1))
+
+	fwd := b.Reg("fwd", 3, 0)
+	b.SetNext(fwd, addr.Signal)
+
+	cnt := b.Reg("cnt", 5, 0)
+	b.SetNext(cnt, cnt.Inc())
+	done := cnt.EqK(20)
+	b.SetDone(done)
+	m := b.MustBuild()
+	var ids struct{ lonely, src, fwd, done rtl.NodeID }
+	ids.lonely = lonely.Signal.ID()
+	ids.src = src.Signal.ID()
+	ids.fwd = fwd.Signal.ID()
+	ids.done = done.ID()
+	return m, ids
+}
+
+// TestEscapesSelfLoopIsEmpty: a register feeding only its own next
+// expression is how every counter works; it must not count as an
+// escape, with a nil or an empty (but non-nil) cut set alike.
+func TestEscapesSelfLoopIsEmpty(t *testing.T) {
+	m, ids := selfLoopModule()
+	for _, cut := range []map[rtl.NodeID]bool{nil, {}} {
+		esc := Escapes(m, ids.lonely, cut)
+		if !esc.Empty() {
+			t.Errorf("cut=%v: self-loop register escapes: %+v", cut, esc)
+		}
+	}
+}
+
+// TestEscapesWriteOnlyCone: a value that flows only into a memory
+// write port reports exactly that write, no registers, and no done
+// dependence.
+func TestEscapesWriteOnlyCone(t *testing.T) {
+	m, ids := selfLoopModule()
+	esc := Escapes(m, ids.src, nil)
+	if len(esc.Writes) != 1 || esc.Writes[0] != 0 {
+		t.Errorf("write-only cone: Writes = %v, want [0]", esc.Writes)
+	}
+	if len(esc.Regs) != 0 || esc.Done {
+		t.Errorf("write-only cone leaked into regs/done: %+v", esc)
+	}
+}
+
+// TestEscapesCutBlocksFlow: cutting the only path (the write's data
+// operand) makes the source escape nowhere.
+func TestEscapesCutBlocksFlow(t *testing.T) {
+	m, ids := selfLoopModule()
+	cut := map[rtl.NodeID]bool{m.Writes[0].Data: true}
+	if esc := Escapes(m, ids.src, cut); !esc.Empty() {
+		t.Errorf("cut write data, still escapes: %+v", esc)
+	}
+}
+
+// TestEscapesCrossesRegisters: taint crosses register boundaries — the
+// addr register feeds fwd's next, so addr's escapes include fwd (and
+// the write port it addresses) but never addr itself.
+func TestEscapesCrossesRegisters(t *testing.T) {
+	m, _ := selfLoopModule()
+	addrReg := regByName(t, m, "addr")
+	esc := Escapes(m, m.Regs[addrReg].Node, nil)
+	fwdReg := regByName(t, m, "fwd")
+	found := false
+	for _, ri := range esc.Regs {
+		if ri == addrReg {
+			t.Errorf("source register %d reported as its own escape", ri)
+		}
+		if ri == fwdReg {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("escape across register boundary missed: Regs = %v, want fwd (%d)", esc.Regs, fwdReg)
+	}
+	if len(esc.Writes) != 1 {
+		t.Errorf("addr drives the write port: Writes = %v, want [0]", esc.Writes)
+	}
+}
+
+// TestTaintedFromMatchesEscapes: the full taint set agrees with the
+// sink summary — done is tainted iff Escapes reports Done — and the
+// source is always in its own taint set, with nil and empty cut sets
+// equivalent.
+func TestTaintedFromMatchesEscapes(t *testing.T) {
+	m, ids := selfLoopModule()
+	for _, src := range []rtl.NodeID{ids.lonely, ids.src, ids.fwd} {
+		esc := Escapes(m, src, nil)
+		tNil := TaintedFrom(m, src, nil)
+		tEmpty := TaintedFrom(m, src, map[rtl.NodeID]bool{})
+		if len(tNil) != len(tEmpty) {
+			t.Errorf("src %d: taint set differs between nil (%d nodes) and empty (%d nodes) cut",
+				src, len(tNil), len(tEmpty))
+		}
+		if !tNil[src] {
+			t.Errorf("src %d missing from its own taint set", src)
+		}
+		if tNil[ids.done] != esc.Done {
+			t.Errorf("src %d: done tainted=%v but Escapes.Done=%v", src, tNil[ids.done], esc.Done)
+		}
+	}
+	// The write-only cone's taint stops at the port: no register state
+	// node beyond src's own update may be tainted.
+	taint := TaintedFrom(m, ids.src, nil)
+	for ri := range m.Regs {
+		if m.Regs[ri].Name != "src" && taint[m.Regs[ri].Node] {
+			t.Errorf("write-only cone tainted register %s", m.Regs[ri].Name)
+		}
+	}
+	// Cutting src itself yields the empty taint set.
+	if got := TaintedFrom(m, ids.src, map[rtl.NodeID]bool{ids.src: true}); len(got) != 0 {
+		t.Errorf("cut source still tainted %d nodes", len(got))
+	}
+}
+
+func regByName(t *testing.T, m *rtl.Module, name string) int {
+	t.Helper()
+	for ri := range m.Regs {
+		if m.Regs[ri].Name == name {
+			return ri
+		}
+	}
+	t.Fatalf("no register %q", name)
+	return -1
+}

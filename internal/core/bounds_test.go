@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/absint"
+	"repro/internal/accel/md"
+)
+
+// TestTrainedBoundsFinite: training computes finite static cycle bounds
+// for both the full design and the slice, and every collected trace
+// lands inside them (the tripwire would have errored otherwise).
+func TestTrainedBoundsFinite(t *testing.T) {
+	spec := md.Spec()
+	p, err := Train(spec, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bounds.Min == 0 || !p.Bounds.MaxBounded {
+		t.Fatalf("full-design bounds %s, want finite non-trivial interval", p.Bounds)
+	}
+	if p.SliceBounds.Min == 0 || !p.SliceBounds.MaxBounded {
+		t.Fatalf("slice bounds %s, want finite non-trivial interval", p.SliceBounds)
+	}
+	traces, err := p.CollectTraces(spec.TestJobs(3)[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range traces {
+		if !p.Bounds.Contains(tr.Ticks) {
+			t.Errorf("trace %d: %d ticks outside %s", i, tr.Ticks, p.Bounds)
+		}
+		if !p.SliceBounds.Contains(tr.SliceTicks) {
+			t.Errorf("trace %d: %d slice ticks outside %s", i, tr.SliceTicks, p.SliceBounds)
+		}
+	}
+}
+
+// TestPredictionBoundClamp: predictions outside the static interval are
+// pulled to the nearest bound and counted; NaN keeps its +Inf mapping.
+func TestPredictionBoundClamp(t *testing.T) {
+	spec := md.Spec()
+	p, err := Train(spec, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := make([]float64, len(p.Kept))
+
+	// Force a lower clamp: raise Min above any sane prediction.
+	p.Bounds = absint.CycleBounds{Min: 1 << 40, Max: 1 << 50, MaxBounded: true}
+	before := p.BoundClamps()
+	if got, lo := p.PredFromSliceOrFloor(feats), spec.Seconds(1<<40); got != lo {
+		t.Errorf("low prediction = %g, want clamped to Seconds(Min) = %g", got, lo)
+	}
+	if p.BoundClamps() != before+1 {
+		t.Errorf("BoundClamps = %d, want %d", p.BoundClamps(), before+1)
+	}
+
+	// Force an upper clamp: drop Max below any sane prediction.
+	p.Bounds = absint.CycleBounds{Min: 1, Max: 2, MaxBounded: true}
+	huge := make([]float64, len(p.Kept))
+	for i := range huge {
+		huge[i] = 1e12
+	}
+	if got, hi := p.PredFromSliceOrFloor(huge), spec.Seconds(2); got > hi {
+		t.Errorf("high prediction = %g, want clamped to Seconds(Max) = %g", got, hi)
+	}
+	if p.BoundClamps() != before+2 {
+		t.Errorf("BoundClamps = %d, want %d", p.BoundClamps(), before+2)
+	}
+
+	// NaN bypasses the clamp entirely: +Inf means "infeasible, run at
+	// the highest permitted level", and no clamp is counted.
+	nan := make([]float64, len(p.Kept))
+	nan[0] = math.NaN()
+	if got := p.PredFromSliceOrFloor(nan); !math.IsInf(got, 1) {
+		t.Errorf("NaN prediction = %g, want +Inf", got)
+	}
+	if p.BoundClamps() != before+2 {
+		t.Errorf("NaN prediction counted as a clamp")
+	}
+
+	// Zero-value bounds (a hand-built predictor) disable clamping: the
+	// 1e-6 floor is the only adjustment.
+	p.Bounds = absint.CycleBounds{}
+	if got := p.PredFromSliceOrFloor(feats); got < 1e-6 {
+		t.Errorf("floored prediction = %g, want >= 1e-6", got)
+	}
+}
+
+// TestObservedBoundsTripwire: a run outside the static interval is a
+// hard error on both the trace path and the degraded execute path.
+func TestObservedBoundsTripwire(t *testing.T) {
+	spec := md.Spec()
+	p, err := Train(spec, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := spec.TestJobs(3)[0]
+
+	p.Bounds = absint.CycleBounds{Min: 1 << 60}
+	if _, err := p.NewJobSimulator().Trace(job); err == nil ||
+		!strings.Contains(err.Error(), "outside static bounds") {
+		t.Errorf("Trace with impossible Min: err = %v, want bounds tripwire", err)
+	}
+	if _, err := p.NewJobSimulator().Execute(job); err == nil ||
+		!strings.Contains(err.Error(), "outside static bounds") {
+		t.Errorf("Execute with impossible Min: err = %v, want bounds tripwire", err)
+	}
+	if _, err := p.CollectTraces(spec.TestJobs(5)[:4]); err == nil ||
+		!strings.Contains(err.Error(), "outside static bounds") {
+		t.Errorf("CollectTraces with impossible Min: err = %v, want bounds tripwire", err)
+	}
+
+	// Restore the real full-design bounds but poison the slice interval:
+	// the slice run trips the other arm.
+	p.Bounds = absint.Bounds(p.Ins.M)
+	p.SliceBounds = absint.CycleBounds{Min: 1, Max: 1, MaxBounded: true}
+	if _, err := p.NewJobSimulator().Trace(job); err == nil ||
+		!strings.Contains(err.Error(), "slice ticks outside") {
+		t.Errorf("Trace with impossible slice Max: err = %v, want slice tripwire", err)
+	}
+}

@@ -21,7 +21,9 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/absint"
 	"repro/internal/accel"
 	"repro/internal/analyze"
 	"repro/internal/instrument"
@@ -67,9 +69,32 @@ type Predictor struct {
 	Slice *slice.Result
 	// TrainErr summarizes accuracy on the training set.
 	TrainErr model.Errors
+	// Bounds is the static cycles-to-done interval of the full
+	// instrumented design, from abstract interpretation. Predictions are
+	// clamped into it (a prediction outside the provable interval is
+	// physically impossible), and every observed full-design run is
+	// checked against it — an out-of-bounds trace means an engine or
+	// analysis bug, and hard-errors. The zero value (Min 0, unbounded
+	// Max) disables both, so hand-built predictors stay valid.
+	Bounds absint.CycleBounds
+	// SliceBounds is the same interval for the hardware slice; observed
+	// slice runs are checked against it.
+	SliceBounds absint.CycleBounds
 
 	fullSim  *rtl.Sim
 	sliceSim *rtl.Sim
+
+	// boundClamps counts predictions pulled into Bounds (see
+	// PredFromSliceOrFloor); exposed in serving metrics.
+	boundClamps atomic.Uint64
+
+	// fullM is the module the full-design simulators actually run: the
+	// instrumented design, or its absint-pruned twin when pruning is
+	// enabled (see SetPruning). fullFeatRegs maps each feature index to
+	// its witness register index in fullM; both default to the
+	// instrumented design when unset.
+	fullM        *rtl.Module
+	fullFeatRegs []int
 
 	// Batch-engine state, built lazily on first batched fan-out: the
 	// plans are immutable and shared by every chunk's BatchSim; hints
@@ -86,7 +111,11 @@ type Predictor struct {
 // for the instrumented design and the slice.
 func (p *Predictor) batchPlans() (full, sl *rtl.BatchPlan) {
 	p.batchOnce.Do(func() {
-		p.fullPlan = rtl.PlanBatch(p.Ins.M, p.batchHints)
+		m := p.fullM
+		if m == nil {
+			m = p.Ins.M
+		}
+		p.fullPlan = rtl.PlanBatch(m, p.batchHints)
 		p.slicePlan = rtl.PlanBatch(p.Slice.M, nil)
 	})
 	return p.fullPlan, p.slicePlan
@@ -128,7 +157,33 @@ func Train(spec accel.Spec, opt Options) (*Predictor, error) {
 	// On a miss, jobs are independent and fan out across worker
 	// goroutines, each owning a private Sim clone; results land in
 	// index-addressed slots and are identical to a serial run.
-	sim := rtl.NewSim(ins.M)
+	// The full-design simulators run the pruned twin when pruning is
+	// enabled: identical cycle-for-cycle on done, memories, and every
+	// witness register, but with proven-constant logic folded away.
+	fullM, featRegs, hints, err := bindFull(ins, analyze.BatchHints(a))
+	if err != nil {
+		return nil, err
+	}
+	// Static cycle bounds of the instrumented design double as a free
+	// engine-bug tripwire: any observed run outside the provable
+	// interval is a hard error, not a bad sample. (The bounds hold for
+	// the pruned twin too — pruning is behavior-preserving.)
+	bounds := absint.Bounds(ins.M)
+	checkTicks := func(i int, ticks uint64) error {
+		if !bounds.Contains(ticks) {
+			return fmt.Errorf("core: %s train job %d: observed %d ticks outside static bounds %s — engine or analysis bug",
+				spec.Name, i, ticks, bounds)
+		}
+		return nil
+	}
+	readFeats := func(s rtl.RegReader) []float64 {
+		out := make([]float64, len(featRegs))
+		for i, ri := range featRegs {
+			out[i] = float64(s.RegValue(ri))
+		}
+		return out
+	}
+	sim := rtl.NewSim(fullM)
 	var X [][]float64
 	var y []float64
 	var cacheKey string
@@ -152,7 +207,10 @@ func Train(spec accel.Spec, opt Options) (*Predictor, error) {
 			if err != nil {
 				return fmt.Errorf("core: %s train job %d: %w", spec.Name, i, err)
 			}
-			X[i] = ins.ReadFeatures(s)
+			if err := checkTicks(i, ticks); err != nil {
+				return err
+			}
+			X[i] = readFeats(s)
 			y[i] = spec.Seconds(ticks)
 			return nil
 		}
@@ -162,7 +220,7 @@ func Train(spec accel.Spec, opt Options) (*Predictor, error) {
 			// excluded before lane packing and — like any lane that fails —
 			// retried via runJob on a fresh scalar clone (sim is the
 			// compiled fallback under the batch default engine).
-			plan := rtl.PlanBatch(ins.M, analyze.BatchHints(a))
+			plan := rtl.PlanBatch(fullM, hints)
 			err = runBatchedChunks(len(jobs), newState, runJob,
 				func(lo, hi int) []error {
 					errs := make([]error, hi-lo)
@@ -189,7 +247,11 @@ func Train(spec accel.Spec, opt Options) (*Predictor, error) {
 							errs[i-lo] = fmt.Errorf("core: %s train job %d: %w", spec.Name, i, jerrs[l])
 							continue
 						}
-						X[i] = ins.ReadFeatures(bs.Lane(l))
+						if berr := checkTicks(i, ticks[l]); berr != nil {
+							errs[i-lo] = berr
+							continue
+						}
+						X[i] = readFeats(bs.Lane(l))
 						y[i] = spec.Seconds(ticks[l])
 					}
 					return errs
@@ -222,6 +284,7 @@ func Train(spec accel.Spec, opt Options) (*Predictor, error) {
 	}
 
 	so := slice.DefaultOptions()
+	so.Prune = PruningEnabled()
 	if opt.Slice != nil {
 		so = *opt.Slice
 	}
@@ -231,16 +294,20 @@ func Train(spec accel.Spec, opt Options) (*Predictor, error) {
 	}
 
 	pred := &Predictor{
-		Spec:       spec,
-		Ins:        ins,
-		Model:      p,
-		Gamma:      gamma,
-		Kept:       kept,
-		Slice:      sl,
-		TrainErr:   model.Evaluate(p, X, y),
-		fullSim:    sim,
-		sliceSim:   rtl.NewSim(sl.M),
-		batchHints: analyze.BatchHints(a),
+		Spec:         spec,
+		Ins:          ins,
+		Model:        p,
+		Gamma:        gamma,
+		Kept:         kept,
+		Slice:        sl,
+		TrainErr:     model.Evaluate(p, X, y),
+		Bounds:       bounds,
+		SliceBounds:  absint.Bounds(sl.M),
+		fullSim:      sim,
+		sliceSim:     rtl.NewSim(sl.M),
+		fullM:        fullM,
+		fullFeatRegs: featRegs,
+		batchHints:   hints,
 	}
 	return pred, nil
 }
@@ -313,6 +380,9 @@ func (js *JobSimulator) Trace(job accel.Job) (JobTrace, error) {
 	if err != nil {
 		return JobTrace{}, fmt.Errorf("core: %s slice job: %w", p.Spec.Name, err)
 	}
+	if err := p.checkObserved(ticks, sliceTicks); err != nil {
+		return JobTrace{}, err
+	}
 	return p.buildTrace(job, ticks, sliceTicks, js.full, js.slice), nil
 }
 
@@ -323,7 +393,7 @@ func (js *JobSimulator) Trace(job accel.Job) (JobTrace, error) {
 // traces by construction.
 func (p *Predictor) buildTrace(job accel.Job, ticks, sliceTicks uint64, full, sl rtl.RegReader) JobTrace {
 	sliceFeats := p.Slice.ReadFeatures(sl)
-	fullFeats := p.Ins.ReadFeatures(full)
+	fullFeats := p.readFullFeatures(full)
 	var items float64
 	for fi, f := range p.Ins.Features {
 		if f.Kind == instrument.IC && fullFeats[fi] > items {
@@ -343,6 +413,20 @@ func (p *Predictor) buildTrace(job accel.Job, ticks, sliceTicks uint64, full, sl
 	}
 }
 
+// readFullFeatures extracts the witness values from a full-design
+// simulator in catalog order, going through the pruned register remap
+// when the predictor simulates the pruned twin.
+func (p *Predictor) readFullFeatures(s rtl.RegReader) []float64 {
+	if p.fullFeatRegs == nil {
+		return p.Ins.ReadFeatures(s)
+	}
+	out := make([]float64, len(p.fullFeatRegs))
+	for i, ri := range p.fullFeatRegs {
+		out[i] = float64(s.RegValue(ri))
+	}
+	return out
+}
+
 // Execute runs one job on the full design only, skipping the slice and
 // the prediction — the serving layer's degraded path, where the job
 // runs at maximum frequency and the predictor is bypassed entirely.
@@ -353,6 +437,10 @@ func (js *JobSimulator) Execute(job accel.Job) (JobTrace, error) {
 	ticks, err := accel.RunJob(js.full, job, p.Spec.MaxTicks)
 	if err != nil {
 		return JobTrace{}, fmt.Errorf("core: %s job: %w", p.Spec.Name, err)
+	}
+	if !p.Bounds.Contains(ticks) {
+		return JobTrace{}, fmt.Errorf("core: %s: observed %d ticks outside static bounds %s — engine or analysis bug",
+			p.Spec.Name, ticks, p.Bounds)
 	}
 	return JobTrace{
 		Ticks:   ticks,
@@ -433,6 +521,10 @@ func (p *Predictor) CollectTraces(jobs []accel.Job) ([]JobTrace, error) {
 						errs[i-lo] = fmt.Errorf("core: job %d: core: %s slice job: %w", i, p.Spec.Name, serrs[l])
 						continue
 					}
+					if berr := p.checkObserved(ticks[l], sliceTicks[l]); berr != nil {
+						errs[i-lo] = fmt.Errorf("core: job %d: %w", i, berr)
+						continue
+					}
 					traces[i] = p.buildTrace(jobs[i], ticks[l], sliceTicks[l], fbs.Lane(l), sbs.Lane(l))
 				}
 				return errs
@@ -454,15 +546,51 @@ func (p *Predictor) CollectTraces(jobs []accel.Job) ([]JobTrace, error) {
 // poisoned model row) maps to +Inf — an unbounded demand the DVFS layer
 // resolves to "infeasible, run at the highest permitted level" — rather
 // than comparing false against the floor and escaping unclamped.
+//
+// Finite predictions are additionally clamped into the full design's
+// static cycle bounds: a prediction below Seconds(Bounds.Min) claims a
+// run the hardware provably cannot finish that fast, and one above
+// Seconds(Bounds.Max) (when bounded) claims a run the design provably
+// never takes — moving either to the nearest bound is strictly more
+// accurate and keeps the under-prediction guarantee sound. Each clamp
+// increments the BoundClamps counter.
 func (p *Predictor) PredFromSliceOrFloor(sliceFeats []float64) float64 {
 	yhat := p.PredictFromSlice(sliceFeats)
 	if math.IsNaN(yhat) {
 		return math.Inf(1)
 	}
+	if lo := p.Spec.Seconds(p.Bounds.Min); yhat < lo {
+		yhat = lo
+		p.boundClamps.Add(1)
+	} else if p.Bounds.MaxBounded {
+		if hi := p.Spec.Seconds(p.Bounds.Max); yhat > hi {
+			yhat = hi
+			p.boundClamps.Add(1)
+		}
+	}
 	if yhat < 1e-6 {
 		yhat = 1e-6
 	}
 	return yhat
+}
+
+// BoundClamps returns how many predictions have been pulled into the
+// static cycle bounds since training. Safe to read concurrently.
+func (p *Predictor) BoundClamps() uint64 { return p.boundClamps.Load() }
+
+// checkObserved is the runtime half of the static-bounds tripwire: a
+// finished run whose tick count escapes the provable interval can only
+// mean a simulation-engine or analysis bug, never a legitimate sample.
+func (p *Predictor) checkObserved(ticks, sliceTicks uint64) error {
+	if !p.Bounds.Contains(ticks) {
+		return fmt.Errorf("core: %s: observed %d ticks outside static bounds %s — engine or analysis bug",
+			p.Spec.Name, ticks, p.Bounds)
+	}
+	if !p.SliceBounds.Contains(sliceTicks) {
+		return fmt.Errorf("core: %s: observed %d slice ticks outside static bounds %s — engine or analysis bug",
+			p.Spec.Name, sliceTicks, p.SliceBounds)
+	}
+	return nil
 }
 
 // EvaluateTest computes prediction-error statistics over test jobs,

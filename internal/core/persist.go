@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/absint"
 	"repro/internal/accel"
 	"repro/internal/instrument"
 	"repro/internal/model"
@@ -94,18 +95,28 @@ func Load(data []byte, spec accel.Spec) (*Predictor, error) {
 		m.Coef[idx] = term.Coef
 		kept = append(kept, idx)
 	}
-	sl, err := slice.Slice(ins, kept, slice.DefaultOptions())
+	so := slice.DefaultOptions()
+	so.Prune = PruningEnabled()
+	sl, err := slice.Slice(ins, kept, so)
+	if err != nil {
+		return nil, err
+	}
+	fullM, featRegs, _, err := bindFull(ins, nil)
 	if err != nil {
 		return nil, err
 	}
 	return &Predictor{
-		Spec:     spec,
-		Ins:      ins,
-		Model:    m,
-		Gamma:    sp.Gamma,
-		Kept:     kept,
-		Slice:    sl,
-		fullSim:  rtl.NewSim(ins.M),
-		sliceSim: rtl.NewSim(sl.M),
+		Spec:         spec,
+		Ins:          ins,
+		Model:        m,
+		Gamma:        sp.Gamma,
+		Kept:         kept,
+		Slice:        sl,
+		Bounds:       absint.Bounds(ins.M),
+		SliceBounds:  absint.Bounds(sl.M),
+		fullSim:      rtl.NewSim(fullM),
+		sliceSim:     rtl.NewSim(sl.M),
+		fullM:        fullM,
+		fullFeatRegs: featRegs,
 	}, nil
 }

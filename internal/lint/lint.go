@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/absint"
 	"repro/internal/analyze"
 	"repro/internal/rtl"
 	"repro/internal/verilog"
@@ -188,11 +189,13 @@ type Context struct {
 	// M is the module being linted. Rules must not mutate it.
 	M *rtl.Module
 
-	cfg  *Config
-	rule *Rule
-	rep  *Report
-	a    *analyze.Analysis
-	uses [][]rtl.NodeID
+	cfg    *Config
+	rule   *Rule
+	rep    *Report
+	a      *analyze.Analysis
+	ai     *absint.Analysis
+	bounds *absint.CycleBounds
+	uses   [][]rtl.NodeID
 	// valid records whether M passed Validate; structural rules that
 	// walk node arguments skip invalid modules (the validate rule has
 	// already reported the breakage).
@@ -207,6 +210,26 @@ func (c *Context) Analysis() *analyze.Analysis {
 		c.a = analyze.Analyze(c.M)
 	}
 	return c.a
+}
+
+// AbsInt returns the converged abstract interpretation of the module,
+// computing it on first use and sharing it across the absint-backed
+// rules.
+func (c *Context) AbsInt() *absint.Analysis {
+	if c.ai == nil {
+		c.ai = absint.Analyze(c.M)
+	}
+	return c.ai
+}
+
+// CycleBounds returns the static cycles-to-done bounds, computed on
+// first use from the shared structural and abstract analyses.
+func (c *Context) CycleBounds() *absint.CycleBounds {
+	if c.bounds == nil {
+		b := absint.ComputeBounds(c.AbsInt(), c.Analysis())
+		c.bounds = &b
+	}
+	return c.bounds
 }
 
 // Uses returns the per-node consumer lists, computed on first use.

@@ -43,6 +43,11 @@ func TestSeededViolationsFire(t *testing.T) {
 		{"dead-write", testdesigns.DeadWrite(), Warning},
 		{"unused-input", testdesigns.IdleInput(), Info},
 		{"done-const", handFSM, Warning},
+		{"counter-overflow", testdesigns.SkippingCounter(), Warning},
+		{"unreachable-fsm-state", testdesigns.GuardedDeadState(), Warning},
+		{"const-node", testdesigns.FrozenConstant(), Info},
+		{"dead-bits", testdesigns.PartiallyDeadReg(), Info},
+		{"unbounded-wait", testdesigns.DataWaitOnly(), Warning},
 	}
 	ruleSeen := map[string]bool{}
 	for _, c := range cases {
@@ -60,6 +65,38 @@ func TestSeededViolationsFire(t *testing.T) {
 	for _, r := range Rules() {
 		if !ruleSeen[r.ID] {
 			t.Errorf("rule %s has no seeded-violation design in this test", r.ID)
+		}
+	}
+}
+
+// TestSortDiagnostics pins the render/-json output order: (design,
+// rule, first span, first node), stable for ties — so multi-design runs
+// are diffable and golden files don't churn with registry order.
+func TestSortDiagnostics(t *testing.T) {
+	diags := []Diagnostic{
+		{Design: "b", Rule: "width-trunc", Nodes: []rtl.NodeID{9}},
+		{Design: "a", Rule: "width-trunc", Spans: []rtl.SrcLoc{{File: "x.v", Line: 7}}},
+		{Design: "a", Rule: "width-trunc", Spans: []rtl.SrcLoc{{File: "x.v", Line: 3}}},
+		{Design: "a", Rule: "dead-logic", Nodes: []rtl.NodeID{4}},
+		{Design: "a", Rule: "dead-logic", Nodes: []rtl.NodeID{2}},
+		{Design: "b", Rule: "comb-cycle"},
+	}
+	SortDiagnostics(diags)
+	got := make([]string, len(diags))
+	for i, d := range diags {
+		got[i] = d.String()
+	}
+	want := []string{
+		Diagnostic{Design: "a", Rule: "dead-logic", Nodes: []rtl.NodeID{2}}.String(),
+		Diagnostic{Design: "a", Rule: "dead-logic", Nodes: []rtl.NodeID{4}}.String(),
+		Diagnostic{Design: "a", Rule: "width-trunc", Spans: []rtl.SrcLoc{{File: "x.v", Line: 3}}}.String(),
+		Diagnostic{Design: "a", Rule: "width-trunc", Spans: []rtl.SrcLoc{{File: "x.v", Line: 7}}}.String(),
+		Diagnostic{Design: "b", Rule: "comb-cycle"}.String(),
+		Diagnostic{Design: "b", Rule: "width-trunc", Nodes: []rtl.NodeID{9}}.String(),
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %q, want %q\nfull order: %v", i, got[i], want[i], got)
 		}
 	}
 }

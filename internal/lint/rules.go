@@ -51,6 +51,21 @@ var registry = []Rule{
 	{ID: "done-const", Sev: Warning,
 		Doc: "done signal folds to a constant: the design never terminates, or terminates immediately",
 		Run: runDoneConst},
+	{ID: "counter-overflow", Sev: Warning,
+		Doc: "wait-exit counter can step past its comparison bound (wrap below an equality limit)",
+		Run: runCounterOverflow},
+	{ID: "unreachable-fsm-state", Sev: Warning,
+		Doc: "FSM state reachable in the transition table only through statically dead guards (absint-refined)",
+		Run: runUnreachableFSMState},
+	{ID: "const-node", Sev: Info,
+		Doc: "logic proven constant on every reachable cycle that is not a literal",
+		Run: runConstNode},
+	{ID: "dead-bits", Sev: Info,
+		Doc: "register bits no observable output (done, memory writes) can depend on",
+		Run: runDeadBits},
+	{ID: "unbounded-wait", Sev: Warning,
+		Doc: "wait or loop without a static cycles-to-done bound (MaxCycles is +Inf)",
+		Run: runUnboundedWait},
 }
 
 func runValidate(c *Context) {

@@ -1,0 +1,263 @@
+package lint
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/absint"
+	"repro/internal/rtl"
+)
+
+// rules_absint.go: the rules backed by abstract interpretation
+// (internal/absint) — value ranges, known bits, demanded bits, and the
+// static cycle-bound analysis. Registered in rules.go's registry.
+
+// runCounterOverflow reports wait exits whose counter can step past the
+// comparison bound: an Eq exit with a step the orbit argument cannot
+// cover (e.g. a +2 counter against an odd limit) wraps below the limit
+// and waits out the full period — or forever, if the wrap realigns.
+// This is the WaitSkip failure class of the cycle-bound analysis.
+func runCounterOverflow(c *Context) {
+	if !c.valid {
+		return
+	}
+	sa := c.Analysis()
+	for _, uw := range c.CycleBounds().Unbounded {
+		if uw.Kind != absint.WaitSkip {
+			continue
+		}
+		name := "counter"
+		if uw.Counter >= 0 {
+			name = counterName(sa.Counters[uw.Counter].Name, uw.Counter)
+		}
+		c.Report([]rtl.NodeID{uw.Node},
+			"%s can step past its exit comparison in state %d: %s",
+			name, uw.State, uw.Reason)
+	}
+}
+
+// runUnreachableFSMState reports states that the recovered transition
+// table claims reachable but whose guards are statically dead under the
+// abstract values — the delta between analyze.ReachableStates and the
+// guard-refined walk. The plain fsm-unreachable rule already covers
+// states the table itself cannot reach.
+func runUnreachableFSMState(c *Context) {
+	if !c.valid {
+		return
+	}
+	sa := c.Analysis()
+	av := c.AbsInt()
+	for fi := range sa.FSMs {
+		f := &sa.FSMs[fi]
+		table := sa.ReachableStates(fi)
+		refined := absint.RefinedReachable(av, sa, fi)
+		for _, s := range f.States {
+			if table[s] && !refined[s] {
+				c.Report([]rtl.NodeID{f.StateNode},
+					"state %d of FSM %s is in the transition table but its entry guards are statically dead",
+					s, f.Name)
+			}
+		}
+	}
+}
+
+// runConstNode reports logic proven to hold a single value on every
+// reachable cycle without being a literal. Constant registers are
+// named individually (each is state that could be a parameter);
+// constant combinational cones are summarized, since one frozen root
+// usually implies a frozen cone.
+func runConstNode(c *Context) {
+	if !c.valid {
+		return
+	}
+	m := c.M
+	consts := absint.ConstFacts(c.AbsInt())
+	var combNodes []rtl.NodeID
+	for id := 0; id < len(m.Nodes); id++ {
+		v, ok := consts[rtl.NodeID(id)]
+		if !ok {
+			continue
+		}
+		if m.Nodes[id].Op == rtl.OpReg {
+			ri := m.RegIndex(rtl.NodeID(id))
+			c.Report([]rtl.NodeID{rtl.NodeID(id)},
+				"register %s is proven constant %d on every reachable cycle",
+				regName(m, ri), v)
+			continue
+		}
+		combNodes = append(combNodes, rtl.NodeID(id))
+	}
+	if len(combNodes) > 0 {
+		sample := combNodes
+		if len(sample) > 8 {
+			sample = sample[:8]
+		}
+		c.Report(sample,
+			"%d combinational node(s) are proven constant but not literals (first: %v)",
+			len(combNodes), sample)
+	}
+}
+
+// runDeadBits reports register bits that no observable output (done or
+// a memory write) can ever depend on — assigned state that is silicon
+// and simulation work with no architecturally visible effect. Fully
+// dead registers are the dead-logic rule's territory and are skipped.
+func runDeadBits(c *Context) {
+	if !c.valid {
+		return
+	}
+	m := c.M
+	demand := absint.Demand(m)
+	// Datapath helpers (e.g. accel.MACFarm) stamp out lanes of
+	// identically named registers; group by (name, dead range) so a
+	// 12-lane farm yields one diagnostic, not 12 copies.
+	type key struct {
+		name string
+		dead string
+	}
+	groups := map[key][]rtl.NodeID{}
+	var order []key
+	for ri := range m.Regs {
+		id := m.Regs[ri].Node
+		mask := m.Nodes[id].Mask()
+		d := demand[id]
+		if d == 0 || d == mask {
+			continue
+		}
+		k := key{regName(m, ri), bitRanges(mask &^ d)}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], id)
+	}
+	for _, k := range order {
+		ids := groups[k]
+		if len(ids) == 1 {
+			c.Report(ids,
+				"register %s: bit(s) %s are never observed by done or any memory write",
+				k.name, k.dead)
+			continue
+		}
+		c.Report(ids,
+			"%d registers named %s: bit(s) %s are never observed by done or any memory write",
+			len(ids), k.name, k.dead)
+	}
+}
+
+// runUnboundedWait reports waits and loops the cycle-bound analysis
+// could not bound statically (excluding the skip class, which
+// counter-overflow owns). A design with such a wait has no finite
+// MaxCycles: the predictor clamp degenerates to a floor-only bound and
+// a wedged simulation cannot be distinguished from a long job.
+func runUnboundedWait(c *Context) {
+	if !c.valid {
+		return
+	}
+	b := c.CycleBounds()
+	if b.MaxBounded {
+		return
+	}
+	reported := false
+	for _, uw := range b.Unbounded {
+		if uw.Kind == absint.WaitSkip {
+			continue // counter-overflow reports these
+		}
+		reported = true
+		c.Report([]rtl.NodeID{uw.Node},
+			"no static bound on the wait in state %d (%s): %s",
+			uw.State, uw.Kind, uw.Reason)
+	}
+	if !reported && len(b.Unbounded) == 0 {
+		nodes := []rtl.NodeID{}
+		if b.Blocker != rtl.InvalidNode {
+			nodes = append(nodes, b.Blocker)
+		}
+		c.Report(nodes, "no static cycle bound: %s", b.Reason)
+	}
+}
+
+// counterName names a recovered counter for messages.
+func counterName(name string, ci int) string {
+	if name != "" {
+		return fmt.Sprintf("counter %s", name)
+	}
+	return fmt.Sprintf("counter#%d", ci)
+}
+
+// bitRanges renders a bit mask as compact ranges, e.g. "4-7" or
+// "0, 2, 8-15".
+func bitRanges(mask uint64) string {
+	var parts []string
+	for mask != 0 {
+		lo := bits.TrailingZeros64(mask)
+		hi := lo
+		for hi+1 < 64 && mask&(1<<uint(hi+1)) != 0 {
+			hi++
+		}
+		if lo == hi {
+			parts = append(parts, fmt.Sprintf("%d", lo))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d-%d", lo, hi))
+		}
+		mask &^= (uint64(1)<<uint(hi+1) - 1) &^ (uint64(1)<<uint(lo) - 1)
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return joinComma(parts)
+}
+
+func joinComma(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}
+
+// SortDiagnostics orders findings by (design, rule, first span, first
+// node) — the stable order both the CLI renderer and -json emit.
+// Within one Run the registry order is already deterministic; sorting
+// matters when several designs' reports are merged or when multiple
+// rules fire on the same node.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Design != b.Design {
+			return a.Design < b.Design
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		as, bs := firstSpan(a), firstSpan(b)
+		if as.File != bs.File {
+			return as.File < bs.File
+		}
+		if as.Line != bs.Line {
+			return as.Line < bs.Line
+		}
+		an, bn := firstNode(a), firstNode(b)
+		if an != bn {
+			return an < bn
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+func firstSpan(d Diagnostic) rtl.SrcLoc {
+	if len(d.Spans) > 0 {
+		return d.Spans[0]
+	}
+	return rtl.SrcLoc{}
+}
+
+func firstNode(d Diagnostic) rtl.NodeID {
+	if len(d.Nodes) > 0 {
+		return d.Nodes[0]
+	}
+	return -1
+}

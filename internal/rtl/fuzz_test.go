@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/absint"
 	"repro/internal/rtl"
 )
 
@@ -134,9 +135,12 @@ func FuzzEngineDifferential(f *testing.F) {
 			}
 		}
 		ins := inputsOf(m)
+		stim := make([][]uint64, 40)
 		for cycle := 0; cycle < 40; cycle++ {
-			for _, id := range ins {
+			stim[cycle] = make([]uint64, len(ins))
+			for k, id := range ins {
 				v := fd.u64()
+				stim[cycle][k] = v
 				for _, e := range sims {
 					e.s.SetInput(id, v)
 				}
@@ -150,6 +154,12 @@ func FuzzEngineDifferential(f *testing.F) {
 			diffCompare(t, m, sims, cycle)
 		}
 		diffFinish(t, m, sims)
+
+		// Pruned leg: absint-driven pruning (proven-constant folding plus
+		// dead-port removal) must leave every scalar engine bit-exact with
+		// an unpruned interpreter on the observables — done timing, every
+		// kept register, and memory contents — under the same stimulus.
+		diffPruned(t, m, ins, load, stim)
 
 		// Batch engine: a fuzz-chosen lane count, each lane against its
 		// own interpreter. The byte feed is usually exhausted by now, so
@@ -218,4 +228,72 @@ func FuzzEngineDifferential(f *testing.F) {
 			}
 		}
 	})
+}
+
+// diffPruned replays recorded stimulus on the absint-pruned module
+// under all three scalar engines, against a fresh unpruned interpreter:
+// done timing, every kept register (through the pruning register map),
+// and memory contents must match cycle for cycle.
+func diffPruned(t *testing.T, m *rtl.Module, ins []rtl.NodeID, load []uint64, stim [][]uint64) {
+	t.Helper()
+	keep := make([]int, len(m.Regs))
+	for i := range keep {
+		keep[i] = i
+	}
+	pm, regMap := absint.Prune(m, keep)
+	if err := pm.Validate(); err != nil {
+		t.Fatalf("pruned module invalid: %v", err)
+	}
+	ref := rtl.NewInterpSim(m)
+	psims := engineSims(pm)
+	if err := ref.LoadMem("m", load); err != nil {
+		t.Fatal(err)
+	}
+	// The memory can legitimately disappear when no read and no enabled
+	// write survives pruning; its contents are then the untouched load.
+	prunedHasMem := psims[0].s.Mem("m") != nil
+	if prunedHasMem {
+		for _, e := range psims {
+			if err := e.s.LoadMem("m", load); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	pByName := map[string]rtl.NodeID{}
+	for i := range pm.Nodes {
+		if pm.Nodes[i].Op == rtl.OpInput {
+			pByName[pm.Nodes[i].Name] = rtl.NodeID(i)
+		}
+	}
+	for cycle, vals := range stim {
+		for k, id := range ins {
+			ref.SetInput(id, vals[k])
+			if pid, ok := pByName[m.Nodes[id].Name]; ok {
+				for _, e := range psims {
+					e.s.SetInput(pid, vals[k])
+				}
+			}
+		}
+		rd := ref.Step()
+		for _, e := range psims {
+			if ed := e.s.Step(); ed != rd {
+				t.Fatalf("pruned cycle %d: done %v (%s) != %v (unpruned interp)", cycle, ed, e.name, rd)
+			}
+			for oi, ni := range regMap {
+				if rv, pv := ref.RegValue(oi), e.s.RegValue(ni); rv != pv {
+					t.Fatalf("pruned cycle %d: reg %d=%#x (unpruned) != reg %d=%#x (%s)",
+						cycle, oi, rv, ni, pv, e.name)
+				}
+			}
+			if prunedHasMem {
+				rm, em := ref.Mem("m"), e.s.Mem("m")
+				for w := range rm {
+					if rm[w] != em[w] {
+						t.Fatalf("pruned cycle %d: mem[%d] %#x (unpruned) != %#x (%s)",
+							cycle, w, rm[w], em[w], e.name)
+					}
+				}
+			}
+		}
+	}
 }

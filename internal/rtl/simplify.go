@@ -18,6 +18,86 @@ package rtl
 // logic they used to select, which is what brings slice areas down to
 // the small fractions the paper reports.
 func Simplify(m *Module, keepRegs []int) (*Module, map[int]int) {
+	return SimplifyWithConsts(m, keepRegs, nil)
+}
+
+// SimplifyWithConsts is Simplify with externally proven constant facts:
+// consts maps node IDs to values the caller has proven the node holds
+// on every reachable cycle (e.g. from abstract interpretation). Each
+// such node is replaced by a literal before the usual passes run, so
+// constant folding propagates through logic that is only constant
+// globally (a register that never changes, a ROM read at a fixed
+// address) rather than locally. Registers proven constant are dropped
+// entirely unless named in keepRegs. The caller is responsible for the
+// facts' soundness; an incorrect fact changes behaviour.
+func SimplifyWithConsts(m *Module, keepRegs []int, consts map[NodeID]uint64) (*Module, map[int]int) {
+	if len(consts) == 0 {
+		return simplify(m, keepRegs)
+	}
+	cp, idxMap := substConsts(m, keepRegs, consts)
+	cpKeep := make([]int, 0, len(keepRegs))
+	for _, ri := range keepRegs {
+		cpKeep = append(cpKeep, idxMap[ri]) // keepRegs registers are never dropped
+	}
+	sm, cpRegMap := simplify(cp, cpKeep)
+	regMap := make(map[int]int, len(cpRegMap))
+	for ri := range m.Regs {
+		if ci, ok := idxMap[ri]; ok {
+			if ni, ok := cpRegMap[ci]; ok {
+				regMap[ri] = ni
+			}
+		}
+	}
+	return sm, regMap
+}
+
+// substConsts copies m with every proven-constant node rewritten to an
+// OpConst literal in place (node IDs preserved). Inputs are never
+// substituted (their values are external by definition), and registers
+// in keepRegs keep their state so callers can still observe them.
+// Constant registers otherwise become literals and their Reg entries
+// are dropped, so the rewrite below never roots their next cones. The
+// returned map gives each surviving register's index in the copy.
+func substConsts(m *Module, keepRegs []int, consts map[NodeID]uint64) (*Module, map[int]int) {
+	keep := make(map[int]bool, len(keepRegs))
+	for _, ri := range keepRegs {
+		keep[ri] = true
+	}
+	cp := &Module{Name: m.Name, Srcs: m.Srcs, Done: m.Done}
+	cp.Nodes = append([]Node(nil), m.Nodes...)
+	cp.Mems = m.Mems
+	cp.Writes = m.Writes
+	// Iterate by ID, not over the map, for deterministic output.
+	for id := range cp.Nodes {
+		v, ok := consts[NodeID(id)]
+		if !ok {
+			continue
+		}
+		n := &cp.Nodes[id]
+		switch n.Op {
+		case OpConst, OpInput:
+			continue
+		case OpReg:
+			if ri := m.RegIndex(NodeID(id)); ri < 0 || keep[ri] {
+				continue
+			}
+		}
+		cp.Nodes[id] = Node{Op: OpConst, Width: n.Width, Const: v & n.Mask(), Name: n.Name, Src: n.Src}
+	}
+	idxMap := make(map[int]int, len(m.Regs))
+	for i := range m.Regs {
+		if cp.Nodes[m.Regs[i].Node].Op == OpConst {
+			continue
+		}
+		idxMap[i] = len(cp.Regs)
+		cp.Regs = append(cp.Regs, m.Regs[i])
+	}
+	return cp, idxMap
+}
+
+// simplify is the shared implementation behind Simplify and
+// SimplifyWithConsts.
+func simplify(m *Module, keepRegs []int) (*Module, map[int]int) {
 	// Phase 1: register liveness on the source module. A register is
 	// live if its OpReg node is in the cone of a root; live registers'
 	// next expressions become roots in turn.
@@ -93,11 +173,17 @@ func Simplify(m *Module, keepRegs []int) (*Module, map[int]int) {
 		})
 	}
 	for _, w := range m.Writes {
+		en := s.rewrite(w.En)
+		if v, ok := s.constOf(en); ok && v == 0 {
+			// A write whose enable is provably never asserted writes
+			// nothing; drop the port (compact sweeps its cone).
+			continue
+		}
 		s.out.Writes = append(s.out.Writes, MemWrite{
 			Mem:  s.mapMem(w.Mem),
 			Addr: s.rewrite(w.Addr),
 			Data: s.rewrite(w.Data),
-			En:   s.rewrite(w.En),
+			En:   en,
 		})
 	}
 	s.out.Done = s.rewrite(m.Done)
@@ -256,9 +342,26 @@ func (s *simplifier) fold(n Node) NodeID {
 			if bOk && b == 0 {
 				return s.forward(n.Args[0], n.Width)
 			}
-		case OpSub, OpShl, OpShr:
+		case OpSub:
 			if bOk && b == 0 {
 				return s.forward(n.Args[0], n.Width)
+			}
+		case OpShl:
+			if bOk && b == 0 {
+				return s.forward(n.Args[0], n.Width)
+			}
+			// Shifting everything past the result width leaves zero.
+			if bOk && b >= uint64(n.Width) {
+				return s.emitConst(0, n.Width)
+			}
+		case OpShr:
+			if bOk && b == 0 {
+				return s.forward(n.Args[0], n.Width)
+			}
+			// The argument has widthOf(arg) significant bits; shifting
+			// them all out leaves zero regardless of the result width.
+			if bOk && b >= uint64(s.widthOf(n.Args[0])) {
+				return s.emitConst(0, n.Width)
 			}
 		case OpAnd:
 			if aOk && a == 0 || bOk && b == 0 {

@@ -254,3 +254,130 @@ func TestSimplifyShrinksElisionStyleNetlist(t *testing.T) {
 		}
 	}
 }
+
+// TestSimplifyShiftWidthEdges is the folded-vs-unfolded property test
+// targeted at shift-amount >= width and width-truncation corners: for
+// every (width, amount) pair around the edges — including amounts past
+// the operand width and past 64 — folded evaluation must match the
+// unfolded module on random inputs, and amounts that provably clear
+// the result must fold to literal zero.
+func TestSimplifyShiftWidthEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	widths := []uint8{1, 7, 8, 32, 63, 64}
+	for _, w := range widths {
+		amounts := []uint64{0, 1, uint64(w) - 1, uint64(w), uint64(w) + 1, 63, 64, 100}
+		for _, k := range amounts {
+			b := NewBuilder("shiftedge")
+			x := b.Input("x", w)
+			amt := b.Const(k, 7)
+			shl := x.Shl(amt)
+			shr := x.Shr(amt)
+			// Truncating / widening consumers stress forward()'s
+			// re-typing on both sides of the width.
+			narrow := shl.Trunc(1 + w/2)
+			wide := shr.WidenTo(64)
+			r1 := b.Reg("r1", shl.Width(), 0)
+			b.SetNext(r1, shl)
+			r2 := b.Reg("r2", shr.Width(), 0)
+			b.SetNext(r2, shr)
+			r3 := b.Reg("r3", narrow.Width(), 0)
+			b.SetNext(r3, narrow)
+			r4 := b.Reg("r4", wide.Width(), 0)
+			b.SetNext(r4, wide)
+			b.SetDone(b.Const(0, 1))
+			m := b.MustBuild()
+			keep := []int{0, 1, 2, 3}
+			sm, regMap := Simplify(m, keep)
+			if err := sm.Validate(); err != nil {
+				t.Fatalf("w=%d k=%d: invalid: %v", w, k, err)
+			}
+			if k >= uint64(w) {
+				// Both shifts clear every result bit; everything must
+				// have folded to constants.
+				for i := range sm.Nodes {
+					switch sm.Nodes[i].Op {
+					case OpShl, OpShr:
+						t.Errorf("w=%d k=%d: %s survived full-clear folding", w, k, sm.Nodes[i].Op)
+					}
+				}
+			}
+			s1, s2 := NewSim(m), NewSim(sm)
+			var in1, in2 NodeID = -1, -1
+			for i := range m.Nodes {
+				if m.Nodes[i].Op == OpInput {
+					in1 = NodeID(i)
+				}
+			}
+			for i := range sm.Nodes {
+				if sm.Nodes[i].Op == OpInput {
+					in2 = NodeID(i)
+				}
+			}
+			for cycle := 0; cycle < 8; cycle++ {
+				v := rng.Uint64()
+				s1.SetInput(in1, v)
+				if in2 >= 0 {
+					s2.SetInput(in2, v)
+				}
+				s1.Step()
+				s2.Step()
+				for oi := range keep {
+					if v1, v2 := s1.RegValue(oi), s2.RegValue(regMap[oi]); v1 != v2 {
+						t.Fatalf("w=%d k=%d cycle %d reg %d: %#x (orig) != %#x (folded)",
+							w, k, cycle, oi, v1, v2)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSimplifyWithConstsFacts feeds externally proven constants (the
+// absint use case) and checks substitution, register dropping, keepRegs
+// protection, and behavioural equivalence.
+func TestSimplifyWithConstsFacts(t *testing.T) {
+	b := NewBuilder("facts")
+	frozen := b.Reg("frozen", 8, 5)
+	b.SetNext(frozen, frozen.Signal)
+	cnt := b.Reg("cnt", 8, 0)
+	b.SetNext(cnt, cnt.Signal.Add(frozen.Signal).Trunc(8))
+	kept := b.Reg("kept", 8, 7)
+	b.SetNext(kept, kept.Signal)
+	b.SetDone(cnt.Signal.EqK(50).And(kept.Signal.EqK(7)))
+	m := b.MustBuild()
+
+	consts := map[NodeID]uint64{
+		frozen.Signal.ID(): 5,
+		kept.Signal.ID():   7,
+	}
+	sm, regMap := SimplifyWithConsts(m, []int{2}, consts)
+	if _, ok := regMap[0]; ok {
+		t.Error("frozen register must be dropped")
+	}
+	if _, ok := regMap[1]; !ok {
+		t.Error("counter must survive")
+	}
+	ki, ok := regMap[2]
+	if !ok {
+		t.Fatal("keepRegs register must survive const substitution")
+	}
+	s1, s2 := NewSim(m), NewSim(sm)
+	t1, err1 := s1.Run(1000)
+	t2, err2 := s2.Run(1000)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("run: %v / %v", err1, err2)
+	}
+	if t1 != t2 {
+		t.Fatalf("folded design finished at %d, original at %d", t2, t1)
+	}
+	if got := s2.RegValue(ki); got != 7 {
+		t.Fatalf("kept register reads %d, want 7", got)
+	}
+	// A wrong fact must change behaviour (documents the soundness
+	// contract: the caller vouches for the facts).
+	smBad, _ := SimplifyWithConsts(m, nil, map[NodeID]uint64{frozen.Signal.ID(): 1})
+	sBad := NewSim(smBad)
+	if tBad, err := sBad.Run(1000); err == nil && tBad == t1 {
+		t.Fatal("intentionally wrong fact did not change behaviour; substitution inert?")
+	}
+}

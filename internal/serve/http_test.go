@@ -138,11 +138,28 @@ func TestHTTPAPI(t *testing.T) {
 		`dvfserved_latency_seconds_count{shard="aes"} 12`,
 		`dvfserved_latency_seconds_bucket{shard="aes",le="+Inf"} 12`,
 		`dvfserved_queue_depth{shard="aes"} 0`,
+		`dvfserved_bound_clamps_total{shard="aes"}`,
 		"# TYPE dvfserved_energy_joules_total counter",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q", want)
 		}
+	}
+
+	// Bound-clamp wiring: force a clamp on the shard's predictor (an
+	// absurd feature vector predicts far past the static maximum) and
+	// the count must surface in the shard's stats snapshot.
+	e, err := lab.Entry("aes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := make([]float64, len(e.Pred.Kept))
+	for i := range huge {
+		huge[i] = 1e12
+	}
+	e.Pred.PredFromSliceOrFloor(huge)
+	if st := srv.Shard("aes").Stats(); st.BoundClamps == 0 {
+		t.Error("stats BoundClamps = 0 after a forced clamp")
 	}
 }
 

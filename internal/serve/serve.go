@@ -222,6 +222,10 @@ type Stats struct {
 	Misses, ServingMisses, FaultMisses uint64
 	// Switches counts charged DVFS transitions.
 	Switches uint64
+	// BoundClamps counts predictions the predictor pulled into its
+	// static cycle bounds (see core.Predictor.PredFromSliceOrFloor).
+	// Always 0 on replay-only shards, which have no predictor.
+	BoundClamps uint64
 	// Energy is total joules across completed jobs.
 	Energy float64
 	// QueueDepth is the instantaneous backlog: jobs queued or
@@ -607,6 +611,10 @@ func execute(js *core.JobSimulator, j Job, degraded bool) (core.JobTrace, error)
 // Stats snapshots the shard's counters. Safe to call concurrently with
 // serving.
 func (s *Shard) Stats() Stats {
+	var clamps uint64
+	if s.cfg.Pred != nil {
+		clamps = s.cfg.Pred.BoundClamps()
+	}
 	return Stats{
 		Name:             s.cfg.Name,
 		Done:             s.done.Value(),
@@ -625,6 +633,7 @@ func (s *Shard) Stats() Stats {
 		ServingMisses:    s.servingMisses.Value(),
 		FaultMisses:      s.faultMisses.Value(),
 		Switches:         s.switches.Value(),
+		BoundClamps:      clamps,
 		Energy:           s.energy.Value(),
 		QueueDepth:       s.depth.Value(),
 		Clock:            s.clock.Value(),

@@ -38,6 +38,7 @@ package slice
 import (
 	"fmt"
 
+	"repro/internal/absint"
 	"repro/internal/instrument"
 	"repro/internal/rtl"
 )
@@ -52,11 +53,17 @@ type Options struct {
 	// by non-counter signals, cutting datapath dependencies at the cost
 	// of unmodeled latency (the djpeg case).
 	ApproximateDataWaits bool
+	// Prune folds abstract-interpretation const facts into the
+	// post-slice cleanup: registers and cones the elided guards freeze
+	// are proven constant globally and removed, beyond what local
+	// folding sees. Behavior on done and the witness registers is
+	// preserved (see absint.Prune).
+	Prune bool
 }
 
 // DefaultOptions is the configuration the paper's flow corresponds to.
 func DefaultOptions() Options {
-	return Options{ElideWaits: true, ApproximateDataWaits: true}
+	return Options{ElideWaits: true, ApproximateDataWaits: true, Prune: true}
 }
 
 // Result is a generated hardware slice.
@@ -183,7 +190,13 @@ func Slice(ins *instrument.Instrumented, keep []int, opt Options) (*Result, erro
 	// folding, so a pass can expose more dead state for the next one).
 	for iter := 0; iter < 4; iter++ {
 		before := len(res.M.Nodes) + len(res.M.Regs)
-		simplified, regMap := rtl.Simplify(res.M, res.WitnessRegs)
+		var simplified *rtl.Module
+		var regMap map[int]int
+		if opt.Prune {
+			simplified, regMap = absint.Prune(res.M, res.WitnessRegs)
+		} else {
+			simplified, regMap = rtl.Simplify(res.M, res.WitnessRegs)
+		}
 		remapped := make([]int, len(res.WitnessRegs))
 		for i, ri := range res.WitnessRegs {
 			nri, ok := regMap[ri]

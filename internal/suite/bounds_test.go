@@ -1,0 +1,75 @@
+package suite
+
+import (
+	"testing"
+
+	"repro/internal/absint"
+	"repro/internal/accel"
+	"repro/internal/rtl"
+)
+
+// TestStaticBoundsFiniteOnSuite is the acceptance gate for the static
+// cycle-bound analysis: every benchmark must get finite
+// [MinCycles, MaxCycles] on the bare design, the instrumented design,
+// AND its hardware slice. An unbounded result here means the analysis
+// regressed on an idiom one of the real controllers uses.
+func TestStaticBoundsFiniteOnSuite(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			bare := absint.Bounds(spec.Build())
+			if !bare.MaxBounded {
+				t.Errorf("bare design unbounded: %s (%s) %+v", bare, bare.Reason, bare.Unbounded)
+			}
+			ins, sl := instrumentAndSlice(t, spec)
+			bi := absint.Bounds(ins.M)
+			if !bi.MaxBounded {
+				t.Errorf("instrumented design unbounded: %s (%s) %+v", bi, bi.Reason, bi.Unbounded)
+			}
+			bs := absint.Bounds(sl.M)
+			if !bs.MaxBounded {
+				t.Errorf("slice unbounded: %s (%s) %+v", bs, bs.Reason, bs.Unbounded)
+			}
+			if bi.Min == 0 || (bi.MaxBounded && bi.Max < bi.Min) {
+				t.Errorf("degenerate instrumented bounds %s", bi)
+			}
+			// Instrumentation is cycle-neutral, so the full-design and
+			// instrumented bounds must agree.
+			if bare.Min != bi.Min || (bare.MaxBounded && bi.MaxBounded && bare.Max != bi.Max) {
+				t.Errorf("instrumentation changed bounds: bare %s vs instrumented %s", bare, bi)
+			}
+		})
+	}
+}
+
+// TestObservedTicksWithinStaticBounds simulates real jobs on every
+// benchmark and asserts each observed tick count falls inside the
+// design's static bounds — the soundness property that licenses the
+// predictor clamp and the out-of-bounds trace tripwire.
+func TestObservedTicksWithinStaticBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulating the full suite is slow")
+	}
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			m := spec.Build()
+			bd := absint.Bounds(m)
+			jobs := append(spec.TrainJobs(1), spec.TestJobs(2)...)
+			if len(jobs) > 40 {
+				jobs = jobs[:40]
+			}
+			for i, job := range jobs {
+				s := rtl.NewSim(m)
+				ticks, err := accel.RunJob(s, job, spec.MaxTicks)
+				if err != nil {
+					t.Fatalf("job %d: %v", i, err)
+				}
+				if !bd.Contains(ticks) {
+					t.Fatalf("job %d (%s): observed %d ticks outside static %s",
+						i, job.Desc, ticks, bd)
+				}
+			}
+		})
+	}
+}

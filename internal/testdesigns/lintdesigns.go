@@ -182,6 +182,66 @@ func DataWaitOnly() *rtl.Module {
 	return b.MustBuild()
 }
 
+// SkippingCounter seeds the counter-overflow class: the wait counter
+// steps by 2 from 0 but the exit compares against the odd limit 5, so
+// the counter steps past the bound, wraps, and realigns on the same
+// even orbit forever — the machine never leaves state 0. lint rule
+// counter-overflow reports the skip at Warning.
+func SkippingCounter() *rtl.Module {
+	b := rtl.NewBuilder("skipping_counter")
+	f := b.FSM("ctrl", 2)
+	cnt := b.Reg("cnt", 4, 0)
+	b.SetNext(cnt, f.In(0).Mux(cnt.Signal.Add(b.Const(2, 4)).Trunc(4), cnt.Signal))
+	f.When(0, cnt.Signal.EqK(5), 1)
+	f.Build()
+	b.SetDone(f.In(1))
+	return b.MustBuild()
+}
+
+// GuardedDeadState has a transition to state 2 in the table, but its
+// guard is a register provably frozen at its reset value 0 — the table
+// says reachable, the abstract values say the arc is dead. The plain
+// fsm-unreachable rule cannot see this (the table arc exists); lint
+// rule unreachable-fsm-state reports it at Warning.
+func GuardedDeadState() *rtl.Module {
+	b := rtl.NewBuilder("guarded_dead_state")
+	flag := b.Reg("flag", 1, 0)
+	b.SetNext(flag, flag.Signal) // frozen at 0: the 0->2 guard is dead
+	f := b.FSM("ctrl", 3)
+	f.When(0, flag.Signal, 2)
+	f.Always(0, 1)
+	f.Build()
+	b.SetDone(f.In(1))
+	return b.MustBuild()
+}
+
+// FrozenConstant holds a register that reloads its own value forever —
+// provably the literal 42 on every reachable cycle — plus the constant
+// combinational cone it feeds. lint rule const-node reports both at
+// Info (the register by name, the cone summarized).
+func FrozenConstant() *rtl.Module {
+	b := rtl.NewBuilder("frozen_constant")
+	frozen := b.Reg("frozen", 8, 42)
+	b.SetNext(frozen, frozen.Signal)
+	cnt := b.Reg("cnt", 8, 0)
+	b.SetNext(cnt, cnt.Signal.Add(frozen.Signal.ShrK(1)).Trunc(8))
+	b.SetDone(cnt.Signal.EqK(210))
+	return b.MustBuild()
+}
+
+// PartiallyDeadReg latches a full 8-bit input but the done condition
+// only ever observes the low nibble — bits 4-7 are assigned state no
+// observable output depends on. lint rule dead-bits reports the dead
+// bit range at Info.
+func PartiallyDeadReg() *rtl.Module {
+	b := rtl.NewBuilder("partially_dead_reg")
+	x := b.Input("x", 8)
+	wide := b.Reg("wide", 8, 0)
+	b.SetNext(wide, x)
+	b.SetDone(wide.Signal.And(b.Const(0x0f, 8)).EqK(9))
+	return b.MustBuild()
+}
+
 // CombCycle hand-assembles a netlist whose two And nodes feed each
 // other — a combinational loop no register breaks. It deliberately
 // bypasses the builder (which enforces SSA order); lint rules validate
