@@ -21,6 +21,11 @@ import (
 	"strings"
 
 	"repro/internal/rtl"
+
+	// Register the suite's pre-generated native simulators so
+	// -engine native resolves them for matching netlists.
+	_ "repro/internal/rtl/native"
+
 	"repro/internal/verilog"
 )
 
@@ -51,7 +56,7 @@ func (m memFlags) Set(s string) error {
 func main() {
 	maxCycles := flag.Uint64("max", 1<<20, "cycle limit")
 	vcdPath := flag.String("vcd", "", "write a VCD waveform here")
-	engine := flag.String("engine", "", "RTL engine: compiled, event, interp, or batch (default: compiled, or $REPRO_ENGINE)")
+	engine := flag.String("engine", "", "RTL engine: compiled, event, interp, batch, or native (default: compiled, or $REPRO_ENGINE)")
 	mems := memFlags{}
 	flag.Var(mems, "mem", "load a memory: name=v0,v1,... (repeatable)")
 	flag.Parse()

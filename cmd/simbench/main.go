@@ -9,16 +9,21 @@
 //
 // It reports four things:
 //
-//  1. engine throughput (Mevals/s, ns/cycle) for all four engines —
-//     interp, compiled, event, batch (measured as 64 lanes of the
-//     same job, aggregate) — on the Toy design and on every
-//     benchmark of the suite, with per-design speedup ratios,
+//  1. engine throughput (Mevals/s, ns/cycle) for all five engines —
+//     interp, compiled, event, native (pre-generated straight-line
+//     code), and batch (measured as 64 lanes of the same job,
+//     aggregate) — on the Toy design and on every benchmark of the
+//     suite, with per-design speedup ratios. Toy has no generated
+//     native sim by design, so its native row measures the compiled
+//     fallback,
 //  2. CollectTraces wall-clock swept across worker counts
-//     (1, 2, 4, 8, capped at GOMAXPROCS) for both the compiled and
-//     the batch engine,
+//     (1, 2, 4, 8, capped at GOMAXPROCS) under the compiled, batch,
+//     and native engines (retraining per engine, since Train binds
+//     the predictor's simulators to the engine current at that time),
 //  3. trace-collection throughput (instrumented design + hardware
 //     slice per job, the work core.CollectTraces does) per benchmark:
-//     scalar compiled jobs/s vs batched jobs/s and their ratio,
+//     scalar compiled jobs/s vs batched jobs/s vs native jobs/s and
+//     their ratios,
 //  4. the wall-clock of warming the full (quick) experiment lab
 //     (skipped with -warm=false).
 //
@@ -68,6 +73,11 @@ type DesignResult struct {
 	CompiledVsInterp float64 `json:"compiled_vs_interp"`
 	EventVsCompiled  float64 `json:"event_vs_compiled"`
 	EventVsInterp    float64 `json:"event_vs_interp"`
+	// NativeVsCompiled compares the pre-generated native code against
+	// the compiled instruction stream on the same single job. For
+	// designs without a registered native sim (toy) the native row is
+	// the compiled fallback and this ratio sits near 1.
+	NativeVsCompiled float64 `json:"native_vs_compiled"`
 	// BatchVsCompiled compares aggregate batch throughput (64 lanes
 	// of the same job) against one scalar compiled run of it.
 	BatchVsCompiled float64 `json:"batch_vs_compiled"`
@@ -94,6 +104,11 @@ type ThroughputResult struct {
 	ScalarJobsPerS  float64 `json:"scalar_jobs_per_s"`
 	BatchJobsPerS   float64 `json:"batch_jobs_per_s"`
 	BatchVsCompiled float64 `json:"batch_vs_compiled"`
+	// NativeJobsPerS measures the same per-job work on the generated
+	// native sims — the single-job latency story, where batch's lane
+	// amortization does not apply.
+	NativeJobsPerS   float64 `json:"native_jobs_per_s"`
+	NativeVsCompiled float64 `json:"native_vs_compiled"`
 }
 
 // PruneResult records the static win of absint pruning on one
@@ -122,7 +137,7 @@ type Report struct {
 
 // engineOrder fixes the measurement and report order; interp first so
 // every ratio reads engines[i] vs engines[0].
-var engineOrder = []rtl.Engine{rtl.EngineInterp, rtl.EngineCompiled, rtl.EngineEvent}
+var engineOrder = []rtl.Engine{rtl.EngineInterp, rtl.EngineCompiled, rtl.EngineEvent, rtl.EngineNative}
 
 // measurePasses splits each engine measurement into this many timed
 // passes and reports the fastest one, so a transient background blip
@@ -156,7 +171,7 @@ func measure(reps int, fn func() (uint64, error)) (uint64, float64, error) {
 	return bestCycles, bestSecs, nil
 }
 
-// measureDesign runs one job on a design under the three scalar
+// measureDesign runs one job on a design under the four scalar
 // engines, then the same job on all 64 lanes of the batch engine
 // (whose cycles and Mevals/s are therefore aggregate numbers).
 func measureDesign(design string, m *rtl.Module, job accel.Job, maxTicks uint64, reps int,
@@ -172,6 +187,8 @@ func measureDesign(design string, m *rtl.Module, job accel.Job, maxTicks uint64,
 			s = p.NewSim()
 		case rtl.EngineEvent:
 			s = p.NewEventSim()
+		case rtl.EngineNative:
+			s = rtl.NewSimEngine(m, rtl.EngineNative)
 		}
 		cycles, secs, err := measure(reps, runner(s))
 		if err != nil {
@@ -219,7 +236,8 @@ func measureDesign(design string, m *rtl.Module, job accel.Job, maxTicks uint64,
 	dr.CompiledVsInterp = compiled / interp
 	dr.EventVsCompiled = event / compiled
 	dr.EventVsInterp = event / interp
-	dr.BatchVsCompiled = dr.Engines[3].MevalsPerS / compiled
+	dr.NativeVsCompiled = dr.Engines[3].MevalsPerS / compiled
+	dr.BatchVsCompiled = dr.Engines[4].MevalsPerS / compiled
 	return dr, nil
 }
 
@@ -229,7 +247,7 @@ func run() error {
 	seed := flag.Int64("seed", 42, "workload generation seed")
 	reps := flag.Int("reps", 60, "jobs per engine measurement")
 	designs := flag.String("designs", "", "comma-separated benchmark subset for the throughput sections (default: all)")
-	engine := flag.String("engine", "", "process-wide default RTL engine: compiled, event, interp, or batch")
+	engine := flag.String("engine", "", "process-wide default RTL engine: compiled, event, interp, batch, or native")
 	warm := flag.Bool("warm", true, "measure the quick-lab warm-up wall-clock")
 	cacheDir := flag.String("cachedir", os.Getenv("REPRO_CACHE_DIR"),
 		"persistent trace cache directory (default: $REPRO_CACHE_DIR; empty disables)")
@@ -316,12 +334,11 @@ func run() error {
 	}
 
 	// 2. CollectTraces fan-out: sweep worker counts 1, 2, 4, 8 (capped
-	// at GOMAXPROCS) under the compiled and the batch engine.
+	// at GOMAXPROCS) under the compiled, batch, and native engines.
+	// Train binds the predictor's simulators to the engine current at
+	// train time, so each engine gets its own (cheap, cache-served)
+	// Train call before its sweep.
 	spec, err := suite.ByName("stencil")
-	if err != nil {
-		return err
-	}
-	pred, err := core.Train(spec, core.Options{Seed: *seed})
 	if err != nil {
 		return err
 	}
@@ -336,12 +353,17 @@ func run() error {
 	// The sweep times real simulation: detach the cache so every pass
 	// actually runs RTL, then restore it for the lab warm-up below.
 	sweepCache := core.TraceCache()
-	core.SetTraceCache(nil)
 	sweepDefault := rtl.DefaultEngine()
-	for _, eng := range []rtl.Engine{rtl.EngineCompiled, rtl.EngineBatch} {
+	for _, eng := range []rtl.Engine{rtl.EngineCompiled, rtl.EngineBatch, rtl.EngineNative} {
 		if err := rtl.SetDefaultEngine(eng); err != nil {
 			return err
 		}
+		core.SetTraceCache(sweepCache)
+		pred, err := core.Train(spec, core.Options{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		core.SetTraceCache(nil)
 		var oneWorkerS float64
 		for _, w := range counts {
 			core.SetWorkers(w)
@@ -401,9 +423,16 @@ func run() error {
 		return err
 	}
 	twoX := 0
+	nativeThreeX := 0
 	for _, d := range rep.Designs {
-		if d.Design != "toy" && d.EventVsCompiled >= 2 {
+		if d.Design == "toy" {
+			continue
+		}
+		if d.EventVsCompiled >= 2 {
 			twoX++
+		}
+		if d.NativeVsCompiled >= 3 {
+			nativeThreeX++
 		}
 	}
 	fourX := 0
@@ -413,8 +442,8 @@ func run() error {
 		}
 	}
 	last := rep.WorkerSweep[len(rep.WorkerSweep)-1]
-	fmt.Printf("simbench: event>=2x compiled on %d/%d benchmarks, batch>=4x compiled traces on %d/%d, traces %.2fx with %d workers (%s), quick suite %.1fs -> %s\n",
-		twoX, len(rep.Designs)-1, fourX, len(rep.TraceThroughput), last.Speedup, last.Workers, last.Engine, rep.SuiteWallclockS, *out)
+	fmt.Printf("simbench: event>=2x compiled on %d/%d benchmarks, native>=3x compiled on %d/%d, batch>=4x compiled traces on %d/%d, traces %.2fx with %d workers (%s), quick suite %.1fs -> %s\n",
+		twoX, len(rep.Designs)-1, nativeThreeX, len(rep.Designs)-1, fourX, len(rep.TraceThroughput), last.Speedup, last.Workers, last.Engine, rep.SuiteWallclockS, *out)
 	fmt.Printf("jobs batched: %d; jobs simulated: %d\n", core.BatchedJobs(), core.SimulatedJobs())
 	return nil
 }
@@ -510,13 +539,29 @@ func measureTraceThroughput(spec accel.Spec) (ThroughputResult, error) {
 	if err != nil {
 		return ThroughputResult{}, err
 	}
+	nativeFull := rtl.NewSimEngine(ins.M, rtl.EngineNative)
+	nativeSlice := rtl.NewSimEngine(sl.M, rtl.EngineNative)
+	_, nativeSecs, err := measure(scalarReps, func() (uint64, error) {
+		for _, s := range []*rtl.Sim{nativeFull, nativeSlice} {
+			if _, err := accel.RunJob(s, job, spec.MaxTicks); err != nil {
+				return 0, err
+			}
+		}
+		return 1, nil
+	})
+	if err != nil {
+		return ThroughputResult{}, err
+	}
 	scalarJPS := float64(scalarReps/measurePasses) / scalarSecs
 	batchJPS := float64(len(jobs)) / batchSecs
+	nativeJPS := float64(scalarReps/measurePasses) / nativeSecs
 	return ThroughputResult{
-		Benchmark:       spec.Name,
-		ScalarJobsPerS:  scalarJPS,
-		BatchJobsPerS:   batchJPS,
-		BatchVsCompiled: batchJPS / scalarJPS,
+		Benchmark:        spec.Name,
+		ScalarJobsPerS:   scalarJPS,
+		BatchJobsPerS:    batchJPS,
+		BatchVsCompiled:  batchJPS / scalarJPS,
+		NativeJobsPerS:   nativeJPS,
+		NativeVsCompiled: nativeJPS / scalarJPS,
 	}, nil
 }
 

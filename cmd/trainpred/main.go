@@ -11,8 +11,9 @@
 // evaluates a previously saved model instead. -cachedir (or
 // REPRO_CACHE_DIR) enables the persistent trace cache, so retraining
 // with unchanged netlists and workloads skips all RTL simulation.
-// -engine selects the RTL engine (compiled, event, interp, batch);
-// batch packs training jobs 64 to a simulation.
+// -engine selects the RTL engine (compiled, event, interp, batch,
+// native); batch packs training jobs 64 to a simulation, native runs
+// pre-generated straight-line code where registered.
 package main
 
 import (
@@ -30,7 +31,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload generation seed")
 	save := flag.String("save", "", "write the trained model as JSON (single benchmark only)")
 	load := flag.String("load", "", "evaluate a saved model instead of training")
-	engine := flag.String("engine", "", "RTL engine: compiled, event, interp, or batch (default: compiled, or $REPRO_ENGINE)")
+	engine := flag.String("engine", "", "RTL engine: compiled, event, interp, batch, or native (default: compiled, or $REPRO_ENGINE)")
 	cacheDir := flag.String("cachedir", os.Getenv("REPRO_CACHE_DIR"),
 		"persistent trace cache directory (default: $REPRO_CACHE_DIR; empty disables)")
 	flag.Parse()

@@ -30,6 +30,13 @@ import (
 	"repro/internal/lint"
 	"repro/internal/model"
 	"repro/internal/rtl"
+
+	// Register the pre-generated native simulators for the benchmark
+	// suite: with this import, REPRO_ENGINE=native resolves suite
+	// netlists (full designs, pruned twins, predictor slices) to
+	// specialized straight-line code in every flow built on core.
+	_ "repro/internal/rtl/native"
+
 	"repro/internal/slice"
 )
 
@@ -365,6 +372,13 @@ type JobSimulator struct {
 func (p *Predictor) NewJobSimulator() *JobSimulator {
 	return &JobSimulator{p: p, full: p.fullSim.Clone(), slice: p.sliceSim.Clone()}
 }
+
+// Engine reports the engine actually executing the slice — the
+// latency-critical simulator on the serving path. When the default
+// engine is native but the slice's netlist has no registered generated
+// step, this reports the compiled fallback, making a silently stale
+// registry observable (see rtl.NativeFallbacks).
+func (js *JobSimulator) Engine() rtl.Engine { return js.slice.Engine() }
 
 // Trace runs one job on both the instrumented full design and the
 // hardware slice, returning its complete trace (ground-truth cycles

@@ -1,0 +1,356 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rtl"
+)
+
+// EmitFunc renders the plan as the source of one Go function with the
+// rtl.NativeStep signature:
+//
+//	func <name>(vals []uint64, mems [][]uint64) bool
+//
+// The body is the cycle unrolled into straight-line statements:
+// register and input values are loaded into locals once, each residual
+// node becomes an SSA local (so consumers read machine registers, not
+// memory), folded constants print as literals at their use sites, and
+// the state-dependent suffix becomes a switch over the latched FSM
+// register with one case per reachable state. Every node's value is
+// still stored into vals so observation (Value, toggles, VCD) stays
+// bit-exact with the interpreter.
+//
+// The output is plain unformatted Go; cmd/rtlgen runs the assembled
+// file through go/format before writing it.
+func EmitFunc(p *Plan, name string) string {
+	e := &emitter{p: p, m: p.m, defined: map[int32]bool{}}
+	return e.run(name)
+}
+
+type emitter struct {
+	p *Plan
+	m *rtl.Module
+	b strings.Builder
+	// defined marks nodes with a function-scope local v<N> (loads and
+	// prefix results). Arm-scope locals are tracked per arm.
+	defined map[int32]bool
+}
+
+func (e *emitter) pf(format string, args ...any) {
+	fmt.Fprintf(&e.b, format, args...)
+}
+
+func (e *emitter) run(name string) string {
+	p, m := e.p, e.m
+	e.pf("func %s(vals []uint64, mems [][]uint64) bool {\n", name)
+	if n := len(m.Nodes); n > 0 {
+		e.pf("_ = vals[%d]\n", n-1)
+	}
+	for _, mi := range e.usedMems() {
+		e.pf("m%d := mems[%d]\n", mi, mi)
+	}
+
+	// Function-scope loads: register/input values referenced by residual
+	// instructions (in any scope where they are not a known literal).
+	for _, id := range e.loadNodes() {
+		e.pf("v%d := vals[%d]\n", id, id)
+		e.defined[id] = true
+	}
+
+	// Scope knowledge: OpConst node values hold everywhere (preloaded at
+	// Reset, and printed as literals at use sites), extended by each
+	// instruction list's own folded constants.
+	prefixKnown := map[int32]uint64{}
+	for i := range m.Nodes {
+		if n := &m.Nodes[i]; n.Op == rtl.OpConst {
+			prefixKnown[int32(i)] = n.Const & n.Mask()
+		}
+	}
+	for k, v := range knownIn(p.prefix) { //detlint:allow scratch map, never ranged for output
+		prefixKnown[k] = v
+	}
+	for _, in := range p.prefix {
+		if in.kind != pConst {
+			e.defined[in.dst] = true
+		}
+	}
+	e.emitInsts(p.prefix, prefixKnown, e.defined)
+
+	if p.stateNode >= 0 {
+		e.pf("switch vals[%d] {\n", p.stateNode)
+		for ai, sv := range p.stateVals {
+			e.pf("case %#x:\n", sv)
+			armKnown := knownIn(p.arms[ai])
+			for k, v := range prefixKnown { //detlint:allow scratch map, never ranged for output
+				armKnown[k] = v
+			}
+			armKnown[p.stateNode] = sv
+			e.emitInsts(p.arms[ai], armKnown, armDefined(e.defined, p.arms[ai]))
+		}
+		e.pf("default:\n")
+		genKnown := knownIn(p.generic)
+		for k, v := range prefixKnown { //detlint:allow scratch map, never ranged for output
+			genKnown[k] = v
+		}
+		e.emitInsts(p.generic, genKnown, armDefined(e.defined, p.generic))
+		e.pf("}\n")
+	}
+
+	e.pf("done := vals[%d] != 0\n", m.Done)
+	for i := range m.Writes {
+		w := &m.Writes[i]
+		e.pf("if vals[%d] != 0 {\n", w.En)
+		e.pf("if addr := vals[%d]; addr < uint64(len(m%d)) {\n", w.Addr, w.Mem)
+		e.pf("m%d[addr] = vals[%d]\n", w.Mem, w.Data)
+		e.pf("}\n}\n")
+	}
+	// Registers latch simultaneously: all next values are read into
+	// locals before any register's vals entry is overwritten.
+	for i := range m.Regs {
+		r := &m.Regs[i]
+		e.pf("l%d := vals[%d]%s\n", i, r.Next, maskSuffix(m.Nodes[r.Node].Mask()))
+	}
+	for i := range m.Regs {
+		e.pf("vals[%d] = l%d\n", m.Regs[i].Node, i)
+	}
+	e.pf("return done\n}\n")
+	return e.b.String()
+}
+
+// usedMems lists memory indices touched by read or write ports, in
+// index order.
+func (e *emitter) usedMems() []int32 {
+	used := make([]bool, len(e.m.Mems))
+	mark := func(insts []inst) {
+		for i := range insts {
+			if insts[i].kind == pGeneric && insts[i].op == rtl.OpMemRead {
+				used[insts[i].mem] = true
+			}
+		}
+	}
+	mark(e.p.prefix)
+	for _, arm := range e.p.arms {
+		mark(arm)
+	}
+	mark(e.p.generic)
+	for i := range e.m.Writes {
+		used[e.m.Writes[i].Mem] = true
+	}
+	var out []int32
+	for i, u := range used {
+		if u {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// loadNodes lists register/input nodes that some residual instruction
+// reads in a scope where the value is not a known literal, in ID order.
+func (e *emitter) loadNodes() []int32 {
+	m := e.m
+	need := make([]bool, len(m.Nodes))
+	scan := func(insts []inst, known map[int32]uint64) {
+		for i := range insts {
+			in := &insts[i]
+			if in.kind == pConst {
+				continue
+			}
+			nargs := 1
+			if in.kind == pGeneric {
+				nargs = int(m.Nodes[in.dst].NArgs)
+			}
+			args := [3]int32{in.a, in.b, in.c}
+			for a := 0; a < nargs; a++ {
+				id := args[a]
+				if _, ok := known[id]; ok {
+					continue
+				}
+				switch m.Nodes[id].Op {
+				case rtl.OpReg, rtl.OpInput:
+					need[id] = true
+				}
+			}
+		}
+	}
+	prefixKnown := knownIn(e.p.prefix)
+	scan(e.p.prefix, prefixKnown)
+	for ai, arm := range e.p.arms {
+		armKnown := knownIn(arm)
+		armKnown[e.p.stateNode] = e.p.stateVals[ai]
+		scan(arm, armKnown)
+	}
+	scan(e.p.generic, knownIn(e.p.generic))
+	var out []int32
+	for i, n := range need {
+		if n {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// knownIn collects the literal results proven within an instruction
+// list (its pConst entries), used to print consumers as literals.
+func knownIn(insts []inst) map[int32]uint64 {
+	known := map[int32]uint64{}
+	for i := range insts {
+		if insts[i].kind == pConst {
+			known[insts[i].dst] = insts[i].imm
+		}
+	}
+	return known
+}
+
+// armDefined extends the function-scope defined set with the locals the
+// arm itself will introduce (its residual instructions), so intra-arm
+// consumers read those locals.
+func armDefined(fn map[int32]bool, insts []inst) map[int32]bool {
+	d := make(map[int32]bool, len(fn)+len(insts))
+	for k, v := range fn { //detlint:allow scratch map, never ranged for output
+		d[k] = v
+	}
+	for i := range insts {
+		if insts[i].kind != pConst {
+			d[insts[i].dst] = true
+		}
+	}
+	return d
+}
+
+// ref renders a read of node id: a literal when known in scope, the SSA
+// local when one exists, else the backing array.
+func ref(id int32, known map[int32]uint64, defined map[int32]bool) string {
+	if v, ok := known[id]; ok {
+		return fmt.Sprintf("%#x", v)
+	}
+	if defined[id] {
+		return fmt.Sprintf("v%d", id)
+	}
+	return fmt.Sprintf("vals[%d]", id)
+}
+
+// maskSuffix renders "& mask", or nothing for full-width values.
+func maskSuffix(mask uint64) string {
+	if mask == ^uint64(0) {
+		return ""
+	}
+	return fmt.Sprintf(" & %#x", mask)
+}
+
+// bound returns a mask covering every value a node reference can hold:
+// a literal's exact bits, otherwise the node's width mask (all engines
+// store width-truncated values).
+func bound(id int32, m *rtl.Module, known map[int32]uint64) uint64 {
+	if v, ok := known[id]; ok {
+		return v
+	}
+	return m.Nodes[id].Mask()
+}
+
+// emitInsts renders one instruction list. known maps nodes to literal
+// values in this scope; defined holds every node with a visible local
+// (including this list's own, precomputed by the caller).
+func (e *emitter) emitInsts(insts []inst, known map[int32]uint64, defined map[int32]bool) {
+	m := e.m
+	r := func(id int32) string { return ref(id, known, defined) }
+	for i := range insts {
+		in := &insts[i]
+		d := in.dst
+		switch in.kind {
+		case pConst:
+			e.pf("vals[%d] = %#x\n", d, in.imm)
+			continue
+		case pCopy:
+			msk := maskSuffix(in.mask)
+			if bound(in.a, m, known)&^in.mask == 0 {
+				msk = ""
+			}
+			e.pf("v%d := %s%s\n", d, r(in.a), msk)
+		case pShlImm:
+			e.pf("v%d := (%s << %d)%s\n", d, r(in.a), in.imm, maskSuffix(in.mask))
+		case pShrImm:
+			msk := maskSuffix(in.mask)
+			if bound(in.a, m, known)>>in.imm&^in.mask == 0 {
+				msk = ""
+			}
+			e.pf("v%d := (%s >> %d)%s\n", d, r(in.a), in.imm, msk)
+		default:
+			e.emitGeneric(in, r, known, defined)
+		}
+		e.pf("vals[%d] = v%d\n", d, d)
+	}
+}
+
+// emitGeneric renders a pGeneric instruction as the statements defining
+// local v<dst> (the caller appends the vals store).
+func (e *emitter) emitGeneric(in *inst, r func(int32) string, known map[int32]uint64, defined map[int32]bool) {
+	m := e.m
+	d := in.dst
+	msk := maskSuffix(in.mask)
+	ab := bound(in.a, m, known)
+	var bb uint64
+	if m.Nodes[d].NArgs > 1 {
+		bb = bound(in.b, m, known)
+	}
+	switch in.op {
+	case rtl.OpAdd:
+		e.pf("v%d := (%s + %s)%s\n", d, r(in.a), r(in.b), msk)
+	case rtl.OpSub:
+		e.pf("v%d := (%s - %s)%s\n", d, r(in.a), r(in.b), msk)
+	case rtl.OpMul:
+		e.pf("v%d := (%s * %s)%s\n", d, r(in.a), r(in.b), msk)
+	case rtl.OpAnd:
+		if ab&bb&^in.mask == 0 {
+			msk = ""
+		}
+		e.pf("v%d := %s & %s%s\n", d, r(in.a), r(in.b), msk)
+	case rtl.OpOr:
+		if (ab|bb)&^in.mask == 0 {
+			msk = ""
+		}
+		e.pf("v%d := (%s | %s)%s\n", d, r(in.a), r(in.b), msk)
+	case rtl.OpXor:
+		if (ab|bb)&^in.mask == 0 {
+			msk = ""
+		}
+		e.pf("v%d := (%s ^ %s)%s\n", d, r(in.a), r(in.b), msk)
+	case rtl.OpNot:
+		e.pf("v%d := ^%s%s\n", d, r(in.a), msk)
+	case rtl.OpShl:
+		e.pf("var v%d uint64\n", d)
+		e.pf("if sh := %s; sh < 64 {\nv%d = (%s << sh)%s\n}\n", r(in.b), d, r(in.a), msk)
+	case rtl.OpShr:
+		e.pf("var v%d uint64\n", d)
+		e.pf("if sh := %s; sh < 64 {\nv%d = (%s >> sh)%s\n}\n", r(in.b), d, r(in.a), msk)
+	case rtl.OpEq:
+		e.pf("var v%d uint64\nif %s == %s {\nv%d = 1\n}\n", d, r(in.a), r(in.b), d)
+	case rtl.OpNe:
+		e.pf("var v%d uint64\nif %s != %s {\nv%d = 1\n}\n", d, r(in.a), r(in.b), d)
+	case rtl.OpLt:
+		e.pf("var v%d uint64\nif %s < %s {\nv%d = 1\n}\n", d, r(in.a), r(in.b), d)
+	case rtl.OpLe:
+		e.pf("var v%d uint64\nif %s <= %s {\nv%d = 1\n}\n", d, r(in.a), r(in.b), d)
+	case rtl.OpMux:
+		cb := bound(in.c, m, known)
+		bmsk, cmsk := msk, msk
+		if bb&^in.mask == 0 {
+			bmsk = ""
+		}
+		if cb&^in.mask == 0 {
+			cmsk = ""
+		}
+		e.pf("var v%d uint64\n", d)
+		e.pf("if %s != 0 {\nv%d = %s%s\n} else {\nv%d = %s%s\n}\n",
+			r(in.a), d, r(in.b), bmsk, d, r(in.c), cmsk)
+	case rtl.OpMemRead:
+		e.pf("var v%d uint64\n", d)
+		// The uint64 conversion keeps a folded-literal address from
+		// typing the local as int; it is a no-op for value reads.
+		e.pf("if addr := uint64(%s); addr < uint64(len(m%d)) {\nv%d = m%d[addr]%s\n}\n",
+			r(in.a), in.mem, d, in.mem, msk)
+	default:
+		panic(fmt.Sprintf("codegen: cannot emit op %v", in.op))
+	}
+}

@@ -1,0 +1,130 @@
+package codegen
+
+import "repro/internal/rtl"
+
+// Step executes one cycle of the plan directly — the interpretive
+// backend over the same specialized instruction lists the emitter turns
+// into Go source. Its signature matches rtl.NativeStep, so
+// rtl.NewNativeSim(m, plan.Step) yields a simulator the differential
+// tests can run against the other engines on arbitrary modules,
+// exercising the partial-evaluation and FSM-dispatch logic without the
+// Go toolchain. It allocates a latch scratch per call rather than
+// capturing one, keeping the step pure over (vals, mems) as the
+// NativeStep contract requires; the emitted code uses stack locals and
+// pays no such allocation.
+func (p *Plan) Step(vals []uint64, mems [][]uint64) bool {
+	m := p.m
+	// Phase 1: combinational evaluation — prefix, then the suffix arm
+	// specialized for the current state (or the generic default).
+	runInsts(p.prefix, vals, mems)
+	if p.stateNode >= 0 {
+		if ai, ok := p.armOf[vals[p.stateNode]]; ok {
+			runInsts(p.arms[ai], vals, mems)
+		} else {
+			runInsts(p.generic, vals, mems)
+		}
+	}
+	done := vals[m.Done] != 0
+	// Phase 2: memory writes commit.
+	for i := range m.Writes {
+		w := &m.Writes[i]
+		if vals[w.En] != 0 {
+			data := mems[w.Mem]
+			if addr := vals[w.Addr]; addr < uint64(len(data)) {
+				data[addr] = vals[w.Data]
+			}
+		}
+	}
+	// Phase 3: registers latch simultaneously.
+	latch := make([]uint64, len(m.Regs))
+	for i := range m.Regs {
+		r := &m.Regs[i]
+		latch[i] = vals[r.Next] & m.Nodes[r.Node].Mask()
+	}
+	for i := range m.Regs {
+		vals[m.Regs[i].Node] = latch[i]
+	}
+	return done
+}
+
+func runInsts(insts []inst, vals []uint64, mems [][]uint64) {
+	for i := range insts {
+		in := &insts[i]
+		switch in.kind {
+		case pConst:
+			vals[in.dst] = in.imm
+		case pCopy:
+			vals[in.dst] = vals[in.a] & in.mask
+		case pShlImm:
+			vals[in.dst] = (vals[in.a] << in.imm) & in.mask
+		case pShrImm:
+			vals[in.dst] = (vals[in.a] >> in.imm) & in.mask
+		default:
+			switch in.op {
+			case rtl.OpMemRead:
+				data := mems[in.mem]
+				if addr := vals[in.a]; addr < uint64(len(data)) {
+					vals[in.dst] = data[addr] & in.mask
+				} else {
+					vals[in.dst] = 0
+				}
+			case rtl.OpMux:
+				if vals[in.a] != 0 {
+					vals[in.dst] = vals[in.b] & in.mask
+				} else {
+					vals[in.dst] = vals[in.c] & in.mask
+				}
+			case rtl.OpAdd:
+				vals[in.dst] = (vals[in.a] + vals[in.b]) & in.mask
+			case rtl.OpSub:
+				vals[in.dst] = (vals[in.a] - vals[in.b]) & in.mask
+			case rtl.OpMul:
+				vals[in.dst] = (vals[in.a] * vals[in.b]) & in.mask
+			case rtl.OpAnd:
+				vals[in.dst] = vals[in.a] & vals[in.b] & in.mask
+			case rtl.OpOr:
+				vals[in.dst] = (vals[in.a] | vals[in.b]) & in.mask
+			case rtl.OpXor:
+				vals[in.dst] = (vals[in.a] ^ vals[in.b]) & in.mask
+			case rtl.OpNot:
+				vals[in.dst] = ^vals[in.a] & in.mask
+			case rtl.OpShl:
+				if sh := vals[in.b]; sh < 64 {
+					vals[in.dst] = (vals[in.a] << sh) & in.mask
+				} else {
+					vals[in.dst] = 0
+				}
+			case rtl.OpShr:
+				if sh := vals[in.b]; sh < 64 {
+					vals[in.dst] = (vals[in.a] >> sh) & in.mask
+				} else {
+					vals[in.dst] = 0
+				}
+			case rtl.OpEq:
+				if vals[in.a] == vals[in.b] {
+					vals[in.dst] = 1
+				} else {
+					vals[in.dst] = 0
+				}
+			case rtl.OpNe:
+				if vals[in.a] != vals[in.b] {
+					vals[in.dst] = 1
+				} else {
+					vals[in.dst] = 0
+				}
+			case rtl.OpLt:
+				if vals[in.a] < vals[in.b] {
+					vals[in.dst] = 1
+				} else {
+					vals[in.dst] = 0
+				}
+			case rtl.OpLe:
+				if vals[in.a] <= vals[in.b] {
+					vals[in.dst] = 1
+				} else {
+					vals[in.dst] = 0
+				}
+			}
+		}
+	}
+}

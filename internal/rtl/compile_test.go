@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/rtl"
+	"repro/internal/rtl/codegen"
 	"repro/internal/testdesigns"
 )
 
@@ -115,16 +116,20 @@ type engineSim struct {
 	s    *rtl.Sim
 }
 
-// engineSims instantiates all three engines over one module, with the
+// engineSims instantiates the scalar engines over one module, with the
 // interpreter first — it is the reference the others are compared to.
 // The compiled and event Sims share one Program, exactly like the
-// production fan-out does.
+// production fan-out does. The native leg runs a freshly built codegen
+// plan (the same specialized instruction lists cmd/rtlgen emits as Go
+// source), so the partial evaluator and FSM-state dispatch face every
+// random netlist here and in FuzzEngineDifferential.
 func engineSims(m *rtl.Module) []engineSim {
 	p := rtl.Compile(m)
 	return []engineSim{
 		{"interp", rtl.NewInterpSim(m)},
 		{"compiled", p.NewSim()},
 		{"event", p.NewEventSim()},
+		{"native", rtl.NewNativeSim(m, codegen.Build(m).Step)},
 	}
 }
 

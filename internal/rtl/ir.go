@@ -369,6 +369,14 @@ func (m *Module) EvalConst(id NodeID) (uint64, bool) {
 	return evalOp(n, vals), true
 }
 
+// EvalNode applies a combinational node's operation to
+// already-evaluated argument values, truncating to the node's width —
+// the single-node semantics every engine implements. Exported for the
+// codegen translator (internal/rtl/codegen), whose constant folding
+// must agree with the engines bit for bit. Panics on non-combinational
+// ops (OpConst, OpInput, OpReg, OpMemRead).
+func EvalNode(n *Node, v [3]uint64) uint64 { return evalOp(n, v) }
+
 // evalOp applies a combinational operation to already-evaluated args.
 func evalOp(n *Node, v [3]uint64) uint64 {
 	var r uint64

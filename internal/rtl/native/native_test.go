@@ -1,0 +1,121 @@
+package native_test
+
+import (
+	"testing"
+
+	"repro/internal/absint"
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/rtl"
+	"repro/internal/suite"
+
+	_ "repro/internal/rtl/native"
+)
+
+// TestRegistryCoversSuiteShapes asserts the checked-in generated code
+// actually resolves for every netlist shape the production flows
+// simulate — raw design, instrumented design, pruned twin — on all 7
+// benchmarks. A miss here means internal/rtl/native is stale:
+// regenerate with `go generate ./internal/rtl/native`.
+func TestRegistryCoversSuiteShapes(t *testing.T) {
+	for _, spec := range suite.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			mods := map[string]*rtl.Module{"raw": spec.Build()}
+			ins, err := instrument.Instrument(spec.Build())
+			if err != nil {
+				t.Fatal(err)
+			}
+			mods["instrumented"] = ins.M
+			featRegs := make([]int, len(ins.Features))
+			for i, f := range ins.Features {
+				featRegs[i] = f.Witness
+			}
+			pm, _ := absint.Prune(ins.M, featRegs)
+			mods["pruned"] = pm
+			for shape, m := range mods { //detlint:allow independent subtests, order immaterial for pass/fail
+				s := rtl.NewSimEngine(m, rtl.EngineNative)
+				if got := s.Engine(); got != rtl.EngineNative {
+					t.Errorf("%s %s: engine %q (registry stale? run go generate ./internal/rtl/native)",
+						spec.Name, shape, got)
+				}
+			}
+		})
+	}
+}
+
+// TestGeneratedCodeMatchesInterpOnSuite is the differential check of
+// the emitted (checked-in) code itself, as opposed to the codegen plan
+// evaluator the rtl package fuzzes: for every benchmark, real jobs run
+// on the generated native sims for the raw design and the trained
+// predictor slice, and ticks, node values, toggles, and memories must
+// match the interpreter bit-exactly.
+func TestGeneratedCodeMatchesInterpOnSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite run in -short mode")
+	}
+	for _, spec := range suite.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			if !core.PruningEnabled() {
+				// The checked-in slices are generated under default
+				// pruning; REPRO_PRUNE=0 slices legitimately fall back
+				// to compiled (covered by TestNativeFallback in rtl).
+				t.Skip("pruning disabled; generated slices target the pruned flow")
+			}
+			pred, err := core.Train(spec, core.Options{Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs := spec.TestJobs(17)
+			if len(jobs) > 3 {
+				jobs = jobs[:3]
+			}
+			for _, m := range []*rtl.Module{spec.Build(), pred.Slice.M} {
+				nat := rtl.NewSimEngine(m, rtl.EngineNative)
+				if got := nat.Engine(); got != rtl.EngineNative {
+					t.Fatalf("%s: engine %q, want native (stale registry?)", m.Name, got)
+				}
+				ref := rtl.NewInterpSim(m)
+				nat.EnableActivity()
+				ref.EnableActivity()
+				for ji, job := range jobs {
+					rt, err := accel.RunJob(ref, job, spec.MaxTicks)
+					if err != nil {
+						t.Fatal(err)
+					}
+					nt, err := accel.RunJob(nat, job, spec.MaxTicks)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if nt != rt {
+						t.Fatalf("%s job %d: ticks %d (native) != %d (interp)", m.Name, ji, nt, rt)
+					}
+					for id := 0; id < m.NumNodes(); id++ {
+						if nv, rv := nat.Value(rtl.NodeID(id)), ref.Value(rtl.NodeID(id)); nv != rv {
+							t.Fatalf("%s job %d node %d (%s): %#x (native) != %#x (interp)",
+								m.Name, ji, id, m.Nodes[id].Op, nv, rv)
+						}
+					}
+					ng, rg := nat.Toggles(), ref.Toggles()
+					for id := range rg {
+						if ng[id] != rg[id] {
+							t.Fatalf("%s job %d node %d: toggles %d (native) != %d (interp)",
+								m.Name, ji, id, ng[id], rg[id])
+						}
+					}
+					for _, mem := range m.Mems {
+						nm, rm := nat.Mem(mem.Name), ref.Mem(mem.Name)
+						for a := range rm {
+							if nm[a] != rm[a] {
+								t.Fatalf("%s job %d mem %s[%d]: %#x (native) != %#x (interp)",
+									m.Name, ji, mem.Name, a, nm[a], rm[a])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -26,6 +26,11 @@ import (
 //     datapath values run in structure-of-arrays lane loops. It has its
 //     own simulator type (BatchSim); NewSimEngine falls back to the
 //     compiled engine for callers that need a scalar Sim.
+//   - EngineNative executes pre-generated straight-line Go specialized
+//     to one netlist (see native.go and internal/rtl/codegen): no
+//     instruction dispatch at all, the fastest single-job engine.
+//     Netlists without a registered generated step fall back to the
+//     compiled engine (counted in NativeFallbacks).
 type Engine string
 
 const (
@@ -33,6 +38,7 @@ const (
 	EngineInterp   Engine = "interp"
 	EngineEvent    Engine = "event"
 	EngineBatch    Engine = "batch"
+	EngineNative   Engine = "native"
 )
 
 // ParseEngine validates an engine name ("" selects the compiled
@@ -41,10 +47,10 @@ func ParseEngine(name string) (Engine, error) {
 	switch Engine(name) {
 	case "", EngineCompiled:
 		return EngineCompiled, nil
-	case EngineInterp, EngineEvent, EngineBatch:
+	case EngineInterp, EngineEvent, EngineBatch, EngineNative:
 		return Engine(name), nil
 	}
-	return "", fmt.Errorf("rtl: unknown engine %q (have compiled, event, interp, batch)", name)
+	return "", fmt.Errorf("rtl: unknown engine %q (have compiled, event, interp, batch, native)", name)
 }
 
 // defaultEngine holds the Engine NewSim selects; set by init from the
@@ -127,6 +133,9 @@ type Sim struct {
 	// ev holds the event engine's dynamic state; nil selects the
 	// compiled loop (prog != nil) or the interpreter (prog == nil).
 	ev *evState
+	// nat is a pre-generated specialized step function (see native.go);
+	// when set it overrides every other engine selection.
+	nat NativeStep
 }
 
 // ErrNoProgress is returned by Run when the cycle limit is reached
@@ -147,13 +156,21 @@ func NewSim(m *Module) *Sim {
 // through BatchSim); callers that need a single-job simulator under the
 // batch engine — retries, serving shards, VCD dumps — get the compiled
 // engine, which the batch fan-out in package core uses as its per-job
-// fallback as well.
+// fallback as well. EngineNative requires a generated step registered
+// for the module's fingerprint (see RegisterNative); without one the
+// caller gets a compiled Sim and NativeFallbacks increments.
 func NewSimEngine(m *Module, e Engine) *Sim {
 	switch e {
 	case EngineInterp:
 		return NewInterpSim(m)
 	case EngineEvent:
 		return Compile(m).NewEventSim()
+	case EngineNative:
+		if step, ok := NativeStepFor(m); ok {
+			return NewNativeSim(m, step)
+		}
+		nativeFallbacks.Add(1)
+		return Compile(m).NewSim()
 	default:
 		return Compile(m).NewSim()
 	}
@@ -228,6 +245,7 @@ func (s *Sim) Clone() *Sim {
 	c := newSimState(s.m)
 	c.prog = s.prog
 	c.masks = s.masks
+	c.nat = s.nat
 	if s.ev != nil {
 		c.initEvent()
 	}
@@ -238,9 +256,14 @@ func (s *Sim) Clone() *Sim {
 	return c
 }
 
-// Engine reports which execution engine this simulator uses.
+// Engine reports which execution engine this simulator uses. A Sim
+// built by NewSimEngine(m, EngineNative) reports EngineCompiled when it
+// fell back, so silent fallback is detectable per simulator as well as
+// through the NativeFallbacks counter.
 func (s *Sim) Engine() Engine {
 	switch {
+	case s.nat != nil:
+		return EngineNative
 	case s.ev != nil:
 		return EngineEvent
 	case s.prog != nil:
@@ -372,6 +395,14 @@ func (s *Sim) Cycles() uint64 { return s.cycles }
 
 // Step executes one cycle and reports whether Done was high.
 func (s *Sim) Step() bool {
+	if s.nat != nil {
+		done := s.nat(s.vals, s.mems)
+		if s.countToggles {
+			s.countActivity()
+		}
+		s.cycles++
+		return done
+	}
 	if s.ev != nil {
 		return s.stepEvent()
 	}

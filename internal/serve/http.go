@@ -233,4 +233,18 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "dvfserved_latency_seconds_sum{shard=%q} %g\n", name, sum)
 		fmt.Fprintf(w, "dvfserved_latency_seconds_count{shard=%q} %d\n", name, cum[len(cum)-1])
 	}
+	fmt.Fprintf(w, "# HELP dvfserved_predict_ns Wall-clock prediction latency in nanoseconds, labeled with the RTL engine executing the slice.\n# TYPE dvfserved_predict_ns histogram\n")
+	for _, name := range a.srv.Names() {
+		sh := a.srv.Shard(name)
+		if sh.predEngine == "" {
+			continue // replay-only shard: no predictor, no predictions
+		}
+		cum, sum := sh.predHist.Snapshot()
+		for i, b := range sh.predHist.bkts() {
+			fmt.Fprintf(w, "dvfserved_predict_ns_bucket{shard=%q,engine=%q,le=%q} %d\n", name, sh.predEngine, fmt.Sprintf("%g", b), cum[i])
+		}
+		fmt.Fprintf(w, "dvfserved_predict_ns_bucket{shard=%q,engine=%q,le=\"+Inf\"} %d\n", name, sh.predEngine, cum[len(cum)-1])
+		fmt.Fprintf(w, "dvfserved_predict_ns_sum{shard=%q,engine=%q} %g\n", name, sh.predEngine, sum)
+		fmt.Fprintf(w, "dvfserved_predict_ns_count{shard=%q,engine=%q} %d\n", name, sh.predEngine, cum[len(cum)-1])
+	}
 }

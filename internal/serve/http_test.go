@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/accel"
+	"repro/internal/rtl"
 	"repro/internal/serve"
 	"repro/internal/suite"
 )
@@ -140,6 +141,8 @@ func TestHTTPAPI(t *testing.T) {
 		`dvfserved_queue_depth{shard="aes"} 0`,
 		`dvfserved_bound_clamps_total{shard="aes"}`,
 		"# TYPE dvfserved_energy_joules_total counter",
+		"# TYPE dvfserved_predict_ns histogram",
+		`dvfserved_predict_ns_count{shard="aes",engine="` + string(rtl.DefaultEngine()) + `"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q", want)

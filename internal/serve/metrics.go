@@ -55,16 +55,43 @@ var histBuckets = func() []float64 {
 	return b
 }()
 
-// histogram counts observations into histBuckets.
+// predBuckets are the upper bounds (nanoseconds) of the prediction
+// latency histogram: 24 logarithmic buckets from 1 µs to ~50 ms plus a
+// +Inf overflow. Prediction latencies span a native slice run (a few
+// µs) up to a full-design degraded simulation, which this brackets.
+var predBuckets = func() []float64 {
+	b := make([]float64, 24)
+	v := 1000.0
+	for i := range b {
+		b[i] = v
+		v *= 1.6
+	}
+	return b
+}()
+
+// histogram counts observations into 24 logarithmic buckets plus
+// overflow. The zero value uses histBuckets (seconds); set buckets
+// before the first Observe to use another scale with the same ×1.6
+// growth (predBuckets).
 type histogram struct {
-	counts [25]atomic.Uint64 // len(histBuckets) + overflow
-	total  atomic.Uint64
-	sum    afloat
+	counts  [25]atomic.Uint64 // len(bkts()) + overflow
+	total   atomic.Uint64
+	sum     afloat
+	buckets []float64
+}
+
+// bkts returns the bucket bounds this histogram counts into.
+func (h *histogram) bkts() []float64 {
+	if h.buckets == nil {
+		return histBuckets
+	}
+	return h.buckets
 }
 
 func (h *histogram) Observe(v float64) {
+	buckets := h.bkts()
 	i := 0
-	for i < len(histBuckets) && v > histBuckets[i] {
+	for i < len(buckets) && v > buckets[i] {
 		i++
 	}
 	h.counts[i].Add(1)
@@ -81,24 +108,25 @@ func (h *histogram) Quantile(q float64) float64 {
 		return 0
 	}
 	rank := q * float64(total)
+	buckets := h.bkts()
 	var seen float64
 	for i := range h.counts {
 		n := float64(h.counts[i].Load())
 		if seen+n >= rank && n > 0 {
 			lo := 0.0
 			if i > 0 {
-				lo = histBuckets[i-1]
+				lo = buckets[i-1]
 			}
 			hi := lo * 1.6
-			if i < len(histBuckets) {
-				hi = histBuckets[i]
+			if i < len(buckets) {
+				hi = buckets[i]
 			}
 			frac := (rank - seen) / n
 			return lo + frac*(hi-lo)
 		}
 		seen += n
 	}
-	return histBuckets[len(histBuckets)-1]
+	return buckets[len(buckets)-1]
 }
 
 // Mean returns the average observation, or 0 with none.

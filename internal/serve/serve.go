@@ -285,6 +285,16 @@ type Shard struct {
 	clock                          afloat
 	depth                          gauge
 	waitHist, latHist              histogram
+
+	// predHist tracks wall-clock prediction latency in nanoseconds,
+	// labeled with the engine actually executing the slice (native vs
+	// compiled fallback vs others) so the codegen engine's serving-path
+	// win — or a stale native registry — is visible on /metrics. It is
+	// deliberately NOT part of Stats: Stats must stay a deterministic
+	// function of the job stream (the chaos suite replays and diffs
+	// it), and wall-clock is not.
+	predHist   histogram
+	predEngine string
 }
 
 // NewShard validates the configuration and starts the shard's worker.
@@ -321,8 +331,10 @@ func NewShard(cfg ShardConfig) (*Shard, error) {
 		return nil, fmt.Errorf("serve: %s: %w", cfg.Name, err)
 	}
 	s := &Shard{cfg: cfg, queue: make(chan Job, cfg.QueueDepth), stepper: stepper}
+	s.predHist.buckets = predBuckets
 	if cfg.Pred != nil {
 		s.js = cfg.Pred.NewJobSimulator()
+		s.predEngine = string(s.js.Engine())
 	}
 	s.wg.Add(1)
 	go s.run()
@@ -569,8 +581,16 @@ func (s *Shard) simulate(j Job, degraded bool) (core.JobTrace, bool, error) {
 	case s.js == nil:
 		return core.JobTrace{}, false, fmt.Errorf("serve: %s: job without trace on a replay-only shard", s.cfg.Name)
 	}
+	// Prediction latency is observed for successful non-degraded
+	// attempts only (timed-out and errored attempts would measure the
+	// failure mode, not the engine) and never enters Stats — see the
+	// predHist field comment.
+	predStart := time.Now() //detlint:allow metrics-only wall-clock; no effect on serving behavior
 	if s.cfg.JobTimeout <= 0 {
 		tr, err := execute(s.js, j, degraded)
+		if err == nil && !degraded {
+			s.predHist.Observe(float64(time.Since(predStart).Nanoseconds()))
+		}
 		return tr, false, err
 	}
 	type result struct {
@@ -587,6 +607,9 @@ func (s *Shard) simulate(j Job, degraded bool) (core.JobTrace, bool, error) {
 	defer timer.Stop()
 	select {
 	case r := <-ch:
+		if r.err == nil && !degraded {
+			s.predHist.Observe(float64(time.Since(predStart).Nanoseconds()))
+		}
 		return r.tr, false, r.err
 	case <-timer.C:
 		// The attempt wedged. The goroutine owns js and will exit into

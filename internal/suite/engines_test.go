@@ -5,14 +5,17 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/rtl"
+
+	// The native engine resolves generated steps registered at init.
+	_ "repro/internal/rtl/native"
 )
 
 // TestEnginesMatchOnSuite is the suite-wide differential test: for
 // every benchmark, the instrumented full design AND its hardware slice
-// are run on real jobs by all three engines — interpreter (reference),
-// compiled, and event-driven — and every observable (ticks, every node
-// value, every toggle counter, every memory word) must agree
-// bit-exactly. The toggle counters feed the energy model, so their
+// are run on real jobs by the scalar engines — interpreter (reference),
+// compiled, event-driven, and the generated native code — and every
+// observable (ticks, every node value, every toggle counter, every
+// memory word) must agree bit-exactly. The toggle counters feed the energy model, so their
 // equivalence is what licenses making the faster engines the default.
 // TestBatchEngineMatchesOnSuite extends the differential net to the
 // batch engine on every benchmark: several real jobs of differing
@@ -83,12 +86,18 @@ func TestEnginesMatchOnSuite(t *testing.T) {
 			for _, mod := range []*rtl.Module{ins.M, sl.M} {
 				p := rtl.Compile(mod)
 				ref := rtl.NewInterpSim(mod)
+				nat := rtl.NewSimEngine(mod, rtl.EngineNative)
+				if got := nat.Engine(); got != rtl.EngineNative {
+					t.Fatalf("%s: native sim reports %q — generated registry stale? run go generate ./internal/rtl/native",
+						mod.Name, got)
+				}
 				others := []struct {
 					name string
 					s    *rtl.Sim
 				}{
 					{"compiled", p.NewSim()},
 					{"event", p.NewEventSim()},
+					{"native", nat},
 				}
 				ref.EnableActivity()
 				for _, o := range others {

@@ -138,3 +138,69 @@ func TestBatchEngineNoRegression(t *testing.T) {
 		})
 	}
 }
+
+// TestNativeEngineNoRegression guards the native (codegen) engine's
+// reason to exist: single-job latency, the quantity that matters on
+// the serving path where a prediction runs inline before each job and
+// batch's 64-lane amortization cannot help. Aggregate single-job
+// throughput (instrumented full design + hardware slice per job)
+// across the whole suite must comfortably beat the scalar compiled
+// engine. Measured per-design ratios are ≥3x on most benchmarks (see
+// the native section of BENCH_sim.json); the aggregate floor here is
+// 2x so only a real regression — not scheduler noise on a loaded
+// runner — can trip it. Skipped under -short: it measures wall-clock
+// on purpose.
+func TestNativeEngineNoRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement; skipped with -short")
+	}
+	const floor = 2.0
+	type pair struct {
+		compiled, native *rtl.Sim
+		job              accel.Job
+		max              uint64
+	}
+	var pairs []pair
+	for _, spec := range All() {
+		ins, sl := instrumentAndSlice(t, spec)
+		job := spec.TestJobs(3)[0]
+		for _, m := range []*rtl.Module{ins.M, sl.M} {
+			nat := rtl.NewSimEngine(m, rtl.EngineNative)
+			if got := nat.Engine(); got != rtl.EngineNative {
+				t.Fatalf("%s: native sim reports %q — regenerate internal/rtl/native", m.Name, got)
+			}
+			pairs = append(pairs, pair{
+				compiled: rtl.NewSimEngine(m, rtl.EngineCompiled),
+				native:   nat,
+				job:      job,
+				max:      spec.MaxTicks,
+			})
+		}
+	}
+	run := func(pick func(p *pair) *rtl.Sim) float64 {
+		// Best of three passes, one warm-up job per sim inside each.
+		best := 0.0
+		jobs := 0
+		for p := 0; p < 3; p++ {
+			start := time.Now() //detlint:allow perf guard measures wall-clock by design
+			n := 0
+			for i := range pairs {
+				if _, err := accel.RunJob(pick(&pairs[i]), pairs[i].job, pairs[i].max); err != nil {
+					t.Fatal(err)
+				}
+				n++
+			}
+			if s := time.Since(start).Seconds(); best == 0 || s < best {
+				best, jobs = s, n
+			}
+		}
+		return float64(jobs) / best
+	}
+	compiledJPS := run(func(p *pair) *rtl.Sim { return p.compiled })
+	nativeJPS := run(func(p *pair) *rtl.Sim { return p.native })
+	ratio := nativeJPS / compiledJPS
+	t.Logf("compiled %.0f jobs/s, native %.0f jobs/s, aggregate ratio %.2fx", compiledJPS, nativeJPS, ratio)
+	if ratio < floor {
+		t.Errorf("native single-job throughput only %.2fx compiled across the suite (floor %.1fx)", ratio, floor)
+	}
+}
