@@ -12,6 +12,12 @@
 //	          [-overflow shed|degrade] [-job-timeout-ms F] [-job-retries N]
 //	          [-retry-backoff-ms F] [-stall-penalty-ms F]
 //	          [-faults SPEC] [-fault-seed N]
+//	          [-replicas N] [-router predict|pressure|hash]
+//	          [-autoscale-max N] [-autoscale-window N] [-max-backlog N]
+//
+// With -replicas > 1 (or any -router) the daemon runs in cluster mode:
+// N replicas per accelerator behind a predict-then-place router (see
+// package cluster), adding /v1/cluster and /v1/retire endpoints.
 //
 // Endpoints:
 //
@@ -42,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/accel"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dvfs"
 	"repro/internal/exp"
@@ -72,6 +79,11 @@ func main() {
 	stallPenaltyMs := flag.Float64("stall-penalty-ms", 0, "virtual time charged per stalled attempt in ms (0 = the job timeout)")
 	faults := flag.String("faults", "", `fault-injection spec, e.g. "serve.stall=0.1,tracecache.read=0.05" (empty disables)`)
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the injected fault schedule")
+	replicas := flag.Int("replicas", 1, "replicas per accelerator; >1 enables cluster mode (predict-then-place router)")
+	router := flag.String("router", "", "cluster routing policy: predict, pressure, or hash (implies cluster mode)")
+	autoscaleMax := flag.Int("autoscale-max", 0, "cluster mode: autoscale replicas up to this count (0 disables; min is -replicas)")
+	autoscaleWindow := flag.Int("autoscale-window", 64, "cluster mode: autoscaler evaluation window in submissions")
+	maxBacklog := flag.Int("max-backlog", 0, "cluster mode: per-replica virtual backlog bound in jobs (0 = unbounded)")
 	flag.Parse()
 
 	policy, err := serve.ParseOverflowPolicy(*overflow)
@@ -119,23 +131,22 @@ func main() {
 
 	lab := exp.NewLab(*seed)
 	lab.Quick = *quick
-	srv := serve.NewServer()
-	for _, name := range names {
-		name = strings.TrimSpace(name)
+	shardCfg := func(name string) (serve.ShardConfig, string, error) {
 		entry, err := lab.Entry(name)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dvfserved: train %s: %v\n", name, err)
-			os.Exit(1)
+			return serve.ShardConfig{}, "", err
 		}
-		_, err = srv.AddShard(serve.ShardConfig{
-			Name:         name,
-			Pred:         entry.Pred,
-			Device:       dvfs.ASIC(entry.Pred.Spec.NominalHz, *boost),
-			Power:        entry.Power,
-			SlicePower:   entry.SlicePower,
-			Deadline:     *deadlineMs * 1e-3,
-			Margin:       exp.PredictiveMargin,
-			AllowBoost:   *boost,
+		return serve.ShardConfig{
+			Name: name,
+			Profile: serve.Profile{
+				Pred:       entry.Pred,
+				Device:     dvfs.ASIC(entry.Pred.Spec.NominalHz, *boost),
+				Power:      entry.Power,
+				SlicePower: entry.SlicePower,
+				Deadline:   *deadlineMs * 1e-3,
+				Margin:     exp.PredictiveMargin,
+				AllowBoost: *boost,
+			},
 			QueueDepth:   *queueDepth,
 			DegradeWait:  *degradeMs * 1e-3,
 			Overflow:     policy,
@@ -144,15 +155,9 @@ func main() {
 			RetryBackoff: time.Duration(*retryBackoffMs * float64(time.Millisecond)),
 			StallPenalty: *stallPenaltyMs * 1e-3,
 			Faults:       injector,
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "dvfserved: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("dvfserved: shard %s ready (%s)\n", name, entry.Pred.Spec.Description)
+		}, entry.Pred.Spec.Description, nil
 	}
-
-	api := serve.NewAPI(srv, func(bench string, n int, jobSeed int64) ([]accel.Job, error) {
+	source := func(bench string, n int, jobSeed int64) ([]accel.Job, error) {
 		spec, err := suite.ByName(bench)
 		if err != nil {
 			return nil, err
@@ -166,10 +171,62 @@ func main() {
 			jobs[i] = pool[i%len(pool)]
 		}
 		return jobs, nil
-	})
+	}
 
-	fmt.Printf("dvfserved: listening on %s, serving %v\n", *addr, srv.Names())
-	if err := http.ListenAndServe(*addr, api.Handler()); err != nil {
+	var handler http.Handler
+	if *replicas > 1 || *router != "" {
+		// Cluster mode: N replicas per accelerator behind the
+		// predict-then-place router.
+		routePolicy, err := cluster.ParsePolicy(*router)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvfserved: %v\n", err)
+			os.Exit(2)
+		}
+		var scale *cluster.AutoscaleConfig
+		if *autoscaleMax > 0 {
+			scale = &cluster.AutoscaleConfig{Min: *replicas, Max: *autoscaleMax, Window: *autoscaleWindow}
+		}
+		fleet := cluster.NewFleet()
+		for _, name := range names {
+			name = strings.TrimSpace(name)
+			cfg, desc, err := shardCfg(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dvfserved: train %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			if _, err := fleet.AddPool(cluster.Config{
+				Shard:      cfg,
+				Replicas:   *replicas,
+				Policy:     routePolicy,
+				MaxBacklog: *maxBacklog,
+				Autoscale:  scale,
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "dvfserved: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("dvfserved: pool %s ready, %d %s-routed replicas (%s)\n", name, *replicas, routePolicy.Name(), desc)
+		}
+		handler = cluster.NewAPI(fleet, source).Handler()
+		fmt.Printf("dvfserved: listening on %s, cluster mode, serving %v\n", *addr, fleet.Names())
+	} else {
+		srv := serve.NewServer()
+		for _, name := range names {
+			name = strings.TrimSpace(name)
+			cfg, desc, err := shardCfg(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dvfserved: train %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			if _, err := srv.AddShard(cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "dvfserved: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("dvfserved: shard %s ready (%s)\n", name, desc)
+		}
+		handler = serve.NewAPI(srv, source).Handler()
+		fmt.Printf("dvfserved: listening on %s, serving %v\n", *addr, srv.Names())
+	}
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fmt.Fprintf(os.Stderr, "dvfserved: %v\n", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,129 @@
+package cluster
+
+import "fmt"
+
+// AutoscaleConfig drives replica autoscaling from the router's own
+// deterministic signals — the shed counter and projected queue wait the
+// PR-5 serving layer exposed — evaluated every Window submissions.
+// Sustained overload (sheds, or average wait above the hot threshold)
+// scales up; sustained idleness drains the newest replica, whose
+// admitted work still completes (drain-then-retire). Streak and
+// cooldown requirements give the loop hysteresis so a boundary load
+// does not flap.
+type AutoscaleConfig struct {
+	// Min and Max bound the active replica count.
+	Min, Max int
+	// Window is the evaluation period in submissions (default 64).
+	Window int
+	// HotWait is the average projected wait, as a fraction of the
+	// deadline, at or above which a window counts as hot. Any shed in
+	// the window also makes it hot. Default 0.25.
+	HotWait float64
+	// IdleWait is the average wait fraction at or below which a window
+	// counts as idle (default 0: only a wait-free window is idle).
+	IdleWait float64
+	// HotStreak hot windows in a row trigger a scale-up (default 2);
+	// IdleStreak idle windows in a row trigger a drain (default 4).
+	HotStreak, IdleStreak int
+	// Cooldown is how many windows after any action both streaks are
+	// ignored (default 2).
+	Cooldown int
+}
+
+type scaleAction int
+
+const (
+	scaleHold scaleAction = iota
+	scaleUp
+	scaleDown
+)
+
+// autoscaler accumulates one window of router observations and decides.
+// All state is advanced from Pool.Submit under the pool lock, so the
+// decision stream is a pure function of the job stream.
+type autoscaler struct {
+	cfg AutoscaleConfig
+
+	count    int
+	sheds    int
+	waitFrac float64
+
+	hotRun, idleRun int
+	cooldown        int
+}
+
+func newAutoscaler(cfg AutoscaleConfig, replicas int) (*autoscaler, error) {
+	if cfg.Min < 1 {
+		cfg.Min = 1
+	}
+	if cfg.Max == 0 {
+		cfg.Max = replicas
+	}
+	if cfg.Max < cfg.Min {
+		return nil, fmt.Errorf("cluster: autoscale max %d below min %d", cfg.Max, cfg.Min)
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 64
+	}
+	if cfg.HotWait <= 0 {
+		cfg.HotWait = 0.25
+	}
+	if cfg.HotStreak <= 0 {
+		cfg.HotStreak = 2
+	}
+	if cfg.IdleStreak <= 0 {
+		cfg.IdleStreak = 4
+	}
+	if cfg.Cooldown < 0 {
+		return nil, fmt.Errorf("cluster: negative autoscale cooldown")
+	}
+	if cfg.Cooldown == 0 {
+		cfg.Cooldown = 2
+	}
+	return &autoscaler{cfg: cfg}, nil
+}
+
+// observe feeds one submission (its projected wait, or shed) and
+// returns the action to apply, scaleHold except at window boundaries.
+func (a *autoscaler) observe(wait, deadline float64, shed bool, active int) scaleAction {
+	a.count++
+	if shed {
+		a.sheds++
+	} else if deadline > 0 {
+		a.waitFrac += wait / deadline
+	}
+	if a.count < a.cfg.Window {
+		return scaleHold
+	}
+	avg := a.waitFrac / float64(a.cfg.Window)
+	hot := a.sheds > 0 || avg >= a.cfg.HotWait
+	idle := a.sheds == 0 && avg <= a.cfg.IdleWait
+	a.count, a.sheds, a.waitFrac = 0, 0, 0
+
+	if a.cooldown > 0 {
+		a.cooldown--
+		a.hotRun, a.idleRun = 0, 0
+		return scaleHold
+	}
+	switch {
+	case hot:
+		a.hotRun++
+		a.idleRun = 0
+	case idle:
+		a.idleRun++
+		a.hotRun = 0
+	default:
+		a.hotRun, a.idleRun = 0, 0
+	}
+	if a.hotRun >= a.cfg.HotStreak && active < a.cfg.Max {
+		a.hotRun = 0
+		a.cooldown = a.cfg.Cooldown
+		return scaleUp
+	}
+	if a.idleRun >= a.cfg.IdleStreak && active > a.cfg.Min {
+		a.idleRun = 0
+		a.cooldown = a.cfg.Cooldown
+		return scaleDown
+	}
+	return scaleHold
+}

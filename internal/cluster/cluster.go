@@ -1,0 +1,736 @@
+// Package cluster scales the serving layer (package serve) from one
+// shard per accelerator to a fleet: N replicas per accelerator type,
+// each an ordinary serve.Shard with its own predictor clone, queue, and
+// virtual clock, behind a front-end router that does predict-then-place.
+//
+// The trained-slice prediction runs once, at the router: the arriving
+// job is simulated (slice + full design) on the pool's own predictor
+// clone, and the resulting trace — which carries both the prediction
+// and the actual cycle count — is what the chosen replica replays. For
+// every replica the router keeps a twin of the replica's governor (a
+// sim.Stepper seeded identically) and a virtual clock advanced by the
+// same accounting the shard applies. Because traces carry actual
+// cycles, the twin's projection of a job IS the outcome the shard will
+// compute: projected completion, energy, and deadline feasibility at
+// each candidate are exact, not estimates. The router admits the job to
+// the replica that can still meet the deadline at the lowest energy
+// (policy "predict"), shedding only when no replica can; least-pressure
+// and consistent-hash policies are available behind the same interface.
+//
+// Determinism holds at fleet scale: placement, shedding, autoscaling,
+// and replica-kill handling are all pure functions of the virtual-time
+// job stream, so the same seed yields bit-identical fleet-wide
+// energy/miss/shed statistics regardless of wall-clock worker progress.
+// The one deliberately wall-clock path is RetireNow (operator-initiated
+// drain-with-handoff), which is documented as such.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+// Kill is one entry of a seeded chaos schedule: the replica at the
+// given initial index crashes at virtual time At (its shard's KillAt
+// horizon). RestartAfter >= 0 spawns a replacement replica that starts
+// accepting work at At+RestartAfter; negative means no restart.
+type Kill struct {
+	Replica      int
+	At           float64
+	RestartAfter float64
+}
+
+// Config describes one replica pool (all replicas of one accelerator
+// type).
+type Config struct {
+	// Shard is the replica template: its Profile (predictor, device,
+	// energy models, deadline) is shared by every replica and by the
+	// router's twin governors; its queueing knobs apply per replica.
+	// Name names the pool; replicas are named "<Name>/<id>". Overflow
+	// and Faults are ignored — the router is the admission authority
+	// and replica-level fault injection is not modeled by the twins.
+	Shard serve.ShardConfig
+	// Replicas is the initial replica count (minimum 1).
+	Replicas int
+	// Policy picks the placement policy; nil selects PolicyPredict.
+	Policy Policy
+	// MaxBacklog bounds each replica's virtual backlog in jobs: a
+	// replica with this many placed-but-unfinished jobs (in virtual
+	// time) stops being feasible. 0 means unbounded.
+	MaxBacklog int
+	// Autoscale enables replica autoscaling; nil fixes the fleet size.
+	Autoscale *AutoscaleConfig
+	// Kills is the seeded chaos schedule, applied to initial replicas
+	// by index. Entries referencing out-of-range replicas are rejected.
+	Kills []Kill
+}
+
+// Job is one unit of arriving work at the router.
+type Job struct {
+	// Arrival is the job's virtual timestamp; submissions must be in
+	// nondecreasing arrival order (one stream per pool).
+	Arrival float64
+	// Key is the routing key for affinity policies (consistent hash).
+	// Empty selects the pool's job sequence number.
+	Key string
+	// Payload is simulated at the router (predict-then-place). Ignored
+	// when Trace is set.
+	Payload accel.Job
+	// Trace replays a pre-simulated job, bypassing router prediction.
+	Trace *core.JobTrace
+	// Result, when non-nil, receives the job's outcome from whichever
+	// replica finally serves it (exactly one send; buffer it).
+	Result chan<- serve.Outcome
+}
+
+// ErrShed is returned by Submit when no replica can meet the job's
+// deadline (or every replica's backlog bound is saturated); the job
+// never executes and no outcome is delivered.
+var ErrShed = fmt.Errorf("cluster: no replica can serve the job")
+
+// replica is one serve.Shard plus the router's twin bookkeeping.
+type replica struct {
+	id    int
+	name  string
+	shard *serve.Shard
+	// model is the twin governor: a sim.Stepper identical to the
+	// shard's, advanced by the router at placement time with the exact
+	// accounting the shard will apply. clock mirrors the shard's
+	// virtual clock (including the frame-drop resync).
+	model *sim.Stepper
+	clock float64
+	// backlog holds projected virtual finish times of placed jobs,
+	// pruned as arrivals pass them; its length is the virtual queue
+	// depth the MaxBacklog bound applies to.
+	backlog []float64
+	// activeFrom gates placements: the replica is a candidate only for
+	// arrivals at or after it (0 for initial replicas; kill time +
+	// restart delay for restarts).
+	activeFrom float64
+	// killAt mirrors the shard's KillAt crash horizon (0: immortal).
+	// restartAfter < 0 means the crash is permanent.
+	killAt       float64
+	restartAfter float64
+	dead         bool
+	draining     bool
+	// doomed holds jobs placed on this replica whose projected service
+	// start is at or past killAt — in-flight work that will die with
+	// the replica. The shard will hand each of them back unserved; the
+	// router re-places them when it detects the death.
+	doomed []doomedJob
+	placed uint64
+}
+
+type doomedJob struct {
+	job serve.Job
+	key string
+}
+
+func (r *replica) state() string {
+	switch {
+	case r.dead:
+		return "dead"
+	case r.draining:
+		return "draining"
+	default:
+		return "active"
+	}
+}
+
+// Pool routes one accelerator type's job stream across its replicas.
+// Submit, Close and RetireNow must be called from one goroutine (one
+// stream, like a shard); Stats may be called concurrently.
+type Pool struct {
+	mu  sync.Mutex
+	cfg Config
+	js  *core.JobSimulator
+
+	replicas []*replica
+	nextID   int
+	seq      uint64
+	last     float64
+	closed   bool
+
+	scaler *autoscaler
+
+	// Deterministic router counters (guarded by mu).
+	submitted uint64
+	placed    uint64
+	shed      uint64
+	intrinsic uint64
+	replaced  uint64
+	faultDebt uint64
+	lost      uint64
+	kills     uint64
+	scaleUps  uint64
+	scaleDown uint64
+}
+
+// NewPool validates the configuration and starts the initial replicas.
+func NewPool(cfg Config) (*Pool, error) {
+	if cfg.Shard.Name == "" {
+		return nil, fmt.Errorf("cluster: pool has no name")
+	}
+	if err := cfg.Shard.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = PolicyPredict{}
+	}
+	if cfg.MaxBacklog < 0 {
+		return nil, fmt.Errorf("cluster: %s: negative backlog bound", cfg.Shard.Name)
+	}
+	for _, k := range cfg.Kills {
+		if k.Replica < 0 || k.Replica >= cfg.Replicas {
+			return nil, fmt.Errorf("cluster: %s: kill references replica %d of %d", cfg.Shard.Name, k.Replica, cfg.Replicas)
+		}
+		if k.At <= 0 {
+			return nil, fmt.Errorf("cluster: %s: kill at %g", cfg.Shard.Name, k.At)
+		}
+	}
+	p := &Pool{cfg: cfg, js: cfg.Shard.Profile.NewJobSimulator()}
+	if cfg.Autoscale != nil {
+		s, err := newAutoscaler(*cfg.Autoscale, cfg.Replicas)
+		if err != nil {
+			return nil, err
+		}
+		p.scaler = s
+	}
+	for i := 0; i < cfg.Replicas; i++ {
+		killAt, restartAfter := 0.0, -1.0
+		for _, k := range cfg.Kills {
+			if k.Replica == i {
+				killAt, restartAfter = k.At, k.RestartAfter
+			}
+		}
+		if _, err := p.addReplica(0, killAt, restartAfter); err != nil {
+			p.closeLocked()
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Name returns the pool's accelerator name.
+func (p *Pool) Name() string { return p.cfg.Shard.Name }
+
+// addReplica spawns a shard and its twin governor. Caller holds mu (or
+// is NewPool).
+func (p *Pool) addReplica(activeFrom, killAt, restartAfter float64) (*replica, error) {
+	id := p.nextID
+	p.nextID++
+	scfg := p.cfg.Shard
+	scfg.Name = fmt.Sprintf("%s/%d", p.cfg.Shard.Name, id)
+	scfg.Overflow = serve.OverflowShed
+	scfg.Faults = nil
+	scfg.KillAt = killAt
+	sh, err := serve.NewShard(scfg)
+	if err != nil {
+		return nil, err
+	}
+	model, err := scfg.Profile.Stepper()
+	if err != nil {
+		sh.Close()
+		return nil, err
+	}
+	r := &replica{
+		id: id, name: scfg.Name, shard: sh, model: model,
+		activeFrom: activeFrom, killAt: killAt, restartAfter: restartAfter,
+	}
+	p.replicas = append(p.replicas, r)
+	return r, nil
+}
+
+// Submit routes one job. It returns ErrShed when no replica can meet
+// the deadline (the job never executes), or an error for a simulation
+// failure; otherwise the job has been placed and its outcome will
+// arrive on Job.Result from the serving replica.
+func (p *Pool) Submit(j Job) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("cluster: %s: pool is closed", p.cfg.Shard.Name)
+	}
+	if j.Arrival < p.last {
+		return fmt.Errorf("cluster: %s: arrival %g before %g (submissions must be ordered)", p.cfg.Shard.Name, j.Arrival, p.last)
+	}
+	p.last = j.Arrival
+	p.submitted++
+	p.detectKills(j.Arrival)
+
+	var tr core.JobTrace
+	if j.Trace != nil {
+		tr = *j.Trace
+	} else {
+		if p.js == nil {
+			return fmt.Errorf("cluster: %s: job without trace on a replay-only pool", p.cfg.Shard.Name)
+		}
+		var err error
+		tr, err = p.js.Trace(j.Payload)
+		if err != nil {
+			return fmt.Errorf("cluster: %s: predict: %w", p.cfg.Shard.Name, err)
+		}
+	}
+	key := j.Key
+	if key == "" {
+		key = strconv.FormatUint(p.seq, 10)
+	}
+	p.seq++
+
+	sj := serve.Job{Arrival: j.Arrival, Trace: &tr, Result: j.Result}
+	wait, ok := p.place(sj, key, false)
+	if p.scaler != nil {
+		p.autoscaleTick(j.Arrival, wait, !ok)
+	}
+	if !ok {
+		p.shed++
+		return ErrShed
+	}
+	return nil
+}
+
+// place routes one already-predicted job. replaced marks re-placements
+// of work recovered from a dead replica: those are never shed (the job
+// was already admitted once), and a re-placed job that then misses its
+// deadline is attributed to fault debt. It reports the placed job's
+// projected queue wait and whether it was placed at all.
+func (p *Pool) place(sj serve.Job, key string, replaced bool) (float64, bool) {
+	cands := p.candidates(sj.Arrival)
+	if len(cands) == 0 && replaced {
+		// Every active replica is gone; draining ones still own live
+		// queues, so recovered work prefers them over being dropped.
+		cands = p.drainingReplicas()
+	}
+	if len(cands) == 0 {
+		if replaced {
+			p.lost++
+			if sj.Result != nil {
+				sj.Result <- serve.Outcome{Err: fmt.Errorf("cluster: %s: no live replica for recovered job", p.cfg.Shard.Name)}
+			}
+		}
+		return 0, false
+	}
+	views := make([]Candidate, len(cands))
+	for i, r := range cands {
+		views[i] = p.project(r, sj.Arrival, *sj.Trace)
+	}
+	idx := p.cfg.Policy.Pick(views, key)
+	if idx < 0 || idx >= len(cands) {
+		if !replaced {
+			return 0, false
+		}
+		// Recovered work is force-placed on the earliest-starting
+		// candidate rather than shed a second time.
+		idx = minStart(views)
+	}
+	if !replaced && !views[idx].Feasible {
+		// The policy placed a job it knows will miss — predict does this
+		// only for intrinsically infeasible jobs (they would miss even a
+		// fresh deadline everywhere), which offline replay also serves
+		// and counts, so shedding them would skew reconciliation.
+		p.intrinsic++
+	}
+	p.commit(cands[idx], sj, views[idx], key, replaced)
+	return views[idx].Wait, true
+}
+
+// candidates returns placement-eligible replicas in id order: alive,
+// not draining, and activated at or before the arrival.
+func (p *Pool) candidates(arrival float64) []*replica {
+	out := make([]*replica, 0, len(p.replicas))
+	for _, r := range p.replicas {
+		if !r.dead && !r.draining && arrival >= r.activeFrom {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (p *Pool) drainingReplicas() []*replica {
+	out := make([]*replica, 0, 1)
+	for _, r := range p.replicas {
+		if !r.dead && r.draining {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// project computes one replica's Candidate view of a job: the exact
+// outcome the shard would produce, from the twin governor.
+func (p *Pool) project(r *replica, arrival float64, tr core.JobTrace) Candidate {
+	start := r.clock
+	if arrival > start {
+		start = arrival
+	}
+	wait := start - arrival
+	budget := p.cfg.Shard.Deadline - wait
+	degraded := budget <= p.cfg.Shard.Device.SwitchTime
+	if dw := p.cfg.Shard.EffectiveDegradeWait(); !degraded && dw > 0 && wait >= dw {
+		degraded = true
+	}
+	jr := r.model.Project(tr, budget, degraded)
+	backlog := 0
+	for _, f := range r.backlog {
+		if f > arrival {
+			backlog++
+		}
+	}
+	feasible := !jr.Missed
+	if p.cfg.MaxBacklog > 0 && backlog >= p.cfg.MaxBacklog {
+		feasible = false
+	}
+	fresh := r.model.Project(tr, p.cfg.Shard.Deadline, false)
+	return Candidate{
+		ID: r.id, Name: r.name,
+		Start: start, Wait: wait, Budget: budget, Finish: start + jr.TotalSeconds,
+		Backlog: backlog, Degraded: degraded,
+		Feasible: feasible, FreshFeasible: !fresh.Missed,
+		Result: jr,
+	}
+}
+
+// commit places the job on the chosen replica: the twin governor and
+// clock advance with the shard's exact accounting, and the job is
+// enqueued on the shard. A job whose projected start is at or past the
+// replica's crash horizon is doomed: the shard will hand it back
+// unserved, so the twin does not advance — the router records it for
+// re-placement at death detection instead.
+func (p *Pool) commit(r *replica, sj serve.Job, v Candidate, key string, replaced bool) {
+	if r.killAt > 0 && v.Start >= r.killAt {
+		r.doomed = append(r.doomed, doomedJob{job: sj, key: key})
+		r.placed++
+		p.placed++
+		r.shard.SubmitWait(sj)
+		return
+	}
+	var jr sim.JobResult
+	if v.Degraded {
+		jr = r.model.StepDegraded(*sj.Trace, v.Budget)
+	} else {
+		jr = r.model.Step(*sj.Trace, v.Budget)
+	}
+	finish := v.Start + jr.TotalSeconds
+	r.clock = finish
+	if jr.Missed && r.clock > sj.Arrival+p.cfg.Shard.Deadline {
+		// Frame-drop resync, mirroring serve.Shard exactly.
+		r.clock = sj.Arrival + p.cfg.Shard.Deadline
+	}
+	// Prune finishes the stream has passed, then record this job's.
+	kept := r.backlog[:0]
+	for _, f := range r.backlog {
+		if f > sj.Arrival {
+			kept = append(kept, f)
+		}
+	}
+	r.backlog = append(kept, finish)
+	r.placed++
+	p.placed++
+	if replaced && jr.Missed {
+		p.faultDebt++
+	}
+	r.shard.SubmitWait(sj)
+}
+
+func minStart(views []Candidate) int {
+	best := 0
+	for i := 1; i < len(views); i++ {
+		if views[i].Start < views[best].Start ||
+			(views[i].Start == views[best].Start && views[i].ID < views[best].ID) {
+			best = i
+		}
+	}
+	return best
+}
+
+// detectKills fires every crash horizon the stream has reached: the
+// replica is marked dead, its replacement (if scheduled) is registered,
+// and the doomed jobs — work placed on it that its shard will hand back
+// unserved — are re-placed on live replicas in their original order.
+// All of it is a pure function of the arrival, so a seeded kill
+// schedule replays bit-identically.
+func (p *Pool) detectKills(arrival float64) {
+	for i := 0; i < len(p.replicas); i++ {
+		r := p.replicas[i]
+		if r.dead || r.killAt <= 0 || arrival < r.killAt {
+			continue
+		}
+		r.dead = true
+		p.kills++
+		if r.restartAfter >= 0 {
+			// The replacement registers now but only becomes a candidate
+			// once the stream reaches its activation time.
+			if _, err := p.addReplica(r.killAt+r.restartAfter, 0, -1); err != nil {
+				// Profile already validated at pool construction; a failure
+				// here means the process is out of resources. Skip the
+				// restart rather than wedge the stream.
+				p.lost++
+			}
+		}
+		doomed := r.doomed
+		r.doomed = nil
+		for _, d := range doomed {
+			p.replaced++
+			p.place(d.job, d.key, true)
+		}
+	}
+}
+
+// autoscaleTick feeds the scaler one submission observation and applies
+// its decision. Caller holds mu.
+func (p *Pool) autoscaleTick(arrival, wait float64, shed bool) {
+	switch p.scaler.observe(wait, p.cfg.Shard.Deadline, shed, p.activeCount()) {
+	case scaleUp:
+		// Prefer reactivating a draining replica — its governor state is
+		// intact — over spawning a cold one.
+		for _, r := range p.replicas {
+			if !r.dead && r.draining {
+				r.draining = false
+				p.scaleUps++
+				return
+			}
+		}
+		if _, err := p.addReplica(arrival, 0, -1); err == nil {
+			p.scaleUps++
+		}
+	case scaleDown:
+		// Drain the highest-id active replica: placements stop, its
+		// already-placed work completes, and the physical close happens
+		// at Pool.Close (drain-then-retire).
+		var victim *replica
+		for _, r := range p.replicas {
+			if !r.dead && !r.draining && arrival >= r.activeFrom {
+				victim = r
+			}
+		}
+		if victim != nil {
+			victim.draining = true
+			p.scaleDown++
+		}
+	}
+}
+
+func (p *Pool) activeCount() int {
+	n := 0
+	for _, r := range p.replicas {
+		if !r.dead && !r.draining {
+			n++
+		}
+	}
+	return n
+}
+
+// RetireNow is the operator fast-retire path: the named replica is
+// drained with handoff — its shard stops, queued-but-unstarted jobs
+// come back — and the recovered jobs are immediately re-placed on the
+// remaining replicas. Unlike everything else in this package the split
+// between served and handed-back depends on wall-clock worker progress,
+// so RetireNow is for operators, not for deterministic replays.
+func (p *Pool) RetireNow(name string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var victim *replica
+	for _, r := range p.replicas {
+		if r.name == name && !r.dead {
+			victim = r
+		}
+	}
+	if victim == nil {
+		return fmt.Errorf("cluster: %s: no live replica %q", p.cfg.Shard.Name, name)
+	}
+	if cands := p.candidates(p.last); len(cands) == 1 && cands[0] == victim {
+		// Retiring the last active replica would strand its queue.
+		return fmt.Errorf("cluster: %s: %q is the last active replica", p.cfg.Shard.Name, name)
+	}
+	victim.dead = true
+	for _, sj := range victim.shard.CloseHandoff() {
+		p.replaced++
+		p.place(sj, "", true)
+	}
+	return nil
+}
+
+// Close finalizes the stream: pending crash horizons past the last
+// arrival fire (their doomed jobs are re-placed), every shard drains
+// and stops, and the pool's statistics freeze. Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closeLocked()
+}
+
+func (p *Pool) closeLocked() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	p.detectKills(math.Inf(1))
+	for _, r := range p.replicas {
+		r.shard.Close()
+	}
+}
+
+// ReplicaStats is one replica's serve.Stats plus its router-side view.
+type ReplicaStats struct {
+	serve.Stats
+	ID         int     `json:"id"`
+	State      string  `json:"state"`
+	ActiveFrom float64 `json:"active_from"`
+	// Placed counts jobs the router committed here (including doomed
+	// ones later recovered); Doomed is the current recovery backlog.
+	Placed uint64 `json:"placed"`
+	Doomed int    `json:"doomed"`
+}
+
+// Rollup is the fleet-wide sum over replicas.
+type Rollup struct {
+	Done, Misses, ServingMisses, FaultMisses uint64
+	Degraded, HandedOff, Switches            uint64
+	Energy                                   float64
+}
+
+// PoolStats snapshots the pool: router counters, per-replica stats, and
+// the fleet rollup. Deterministic once Close has returned.
+type PoolStats struct {
+	Name   string `json:"name"`
+	Policy string `json:"policy"`
+	// Submitted counts Submit calls; Placed, router placements
+	// (including re-placements); Shed, jobs refused because no replica
+	// could meet the deadline; Intrinsic, jobs placed despite missing
+	// everywhere because they would miss even a fresh deadline (the
+	// miss is the job's, not the fleet's); Replaced, jobs recovered
+	// from dead replicas; FaultDebtMisses, recovered jobs that then
+	// missed; Lost, recovered jobs with no live replica left (reported
+	// as errors, never silent); Kills, crash horizons fired; ScaleUps/
+	// ScaleDowns, autoscaler actions.
+	Submitted, Placed, Shed, Intrinsic uint64
+	Replaced, FaultDebtMisses, Lost    uint64
+	Kills, ScaleUps, ScaleDowns        uint64
+	Replicas                           []ReplicaStats
+	Fleet                              Rollup
+}
+
+// Stats snapshots the pool. Safe to call concurrently with serving;
+// bit-deterministic once the stream is closed.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := PoolStats{
+		Name: p.cfg.Shard.Name, Policy: p.cfg.Policy.Name(),
+		Submitted: p.submitted, Placed: p.placed, Shed: p.shed, Intrinsic: p.intrinsic,
+		Replaced: p.replaced, FaultDebtMisses: p.faultDebt, Lost: p.lost,
+		Kills: p.kills, ScaleUps: p.scaleUps, ScaleDowns: p.scaleDown,
+	}
+	for _, r := range p.replicas {
+		rs := ReplicaStats{
+			Stats: r.shard.Stats(),
+			ID:    r.id, State: r.state(), ActiveFrom: r.activeFrom,
+			Placed: r.placed, Doomed: len(r.doomed),
+		}
+		st.Replicas = append(st.Replicas, rs)
+		st.Fleet.Done += rs.Done
+		st.Fleet.Misses += rs.Misses
+		st.Fleet.ServingMisses += rs.ServingMisses
+		st.Fleet.FaultMisses += rs.FaultMisses
+		st.Fleet.Degraded += rs.Degraded
+		st.Fleet.HandedOff += rs.HandedOff
+		st.Fleet.Switches += rs.Switches
+		st.Fleet.Energy += rs.Energy
+	}
+	return st
+}
+
+// Shards returns the pool's shards in replica-id order (for metrics).
+func (p *Pool) Shards() []*serve.Shard {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*serve.Shard, len(p.replicas))
+	for i, r := range p.replicas {
+		out[i] = r.shard
+	}
+	return out
+}
+
+// Fleet is a set of pools keyed by accelerator name — the cluster
+// equivalent of serve.Server.
+type Fleet struct {
+	mu    sync.Mutex
+	pools map[string]*Pool
+}
+
+// NewFleet returns an empty fleet; add pools with AddPool.
+func NewFleet() *Fleet {
+	return &Fleet{pools: make(map[string]*Pool)}
+}
+
+// AddPool creates and registers a pool.
+func (f *Fleet) AddPool(cfg Config) (*Pool, error) {
+	p, err := NewPool(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.pools[p.Name()]; dup {
+		p.Close()
+		return nil, fmt.Errorf("cluster: duplicate pool %q", p.Name())
+	}
+	f.pools[p.Name()] = p
+	return p, nil
+}
+
+// Pool returns the named pool, or nil.
+func (f *Fleet) Pool(name string) *Pool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pools[name]
+}
+
+// Names returns registered pool names, sorted.
+func (f *Fleet) Names() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	names := make([]string, 0, len(f.pools))
+	for n := range f.pools { //detlint:allow sorted immediately below
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Submit routes a job to the named pool.
+func (f *Fleet) Submit(name string, j Job) error {
+	p := f.Pool(name)
+	if p == nil {
+		return fmt.Errorf("cluster: unknown pool %q", name)
+	}
+	return p.Submit(j)
+}
+
+// Stats snapshots every pool, sorted by name.
+func (f *Fleet) Stats() []PoolStats {
+	names := f.Names()
+	out := make([]PoolStats, 0, len(names))
+	for _, n := range names {
+		out = append(out, f.Pool(n).Stats())
+	}
+	return out
+}
+
+// Close finalizes and stops every pool.
+func (f *Fleet) Close() {
+	for _, n := range f.Names() {
+		f.Pool(n).Close()
+	}
+}

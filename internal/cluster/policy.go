@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// Candidate is one placement-eligible replica's exact projected view of
+// a job, computed by the router from the replica's twin governor.
+type Candidate struct {
+	// ID and Name identify the replica (IDs are stable and unique for
+	// the pool's lifetime; candidates arrive in ascending ID order).
+	ID   int
+	Name string
+	// Start is the projected virtual service start (max of the
+	// replica's clock and the arrival); Wait = Start − arrival; Budget
+	// is the deadline remaining at Start; Finish = Start + projected
+	// slice/switch/execution time.
+	Start, Wait, Budget, Finish float64
+	// Backlog counts placed jobs still unfinished (in virtual time) at
+	// the arrival.
+	Backlog int
+	// Degraded reports that the replica would serve this job on the
+	// max-frequency bypass (budget or queue-wait trigger).
+	Degraded bool
+	// Feasible: the projection meets the deadline and the backlog
+	// bound. FreshFeasible: the job would meet a full deadline from an
+	// empty queue — false on every candidate means the job is
+	// intrinsically infeasible, not a victim of fleet load.
+	Feasible, FreshFeasible bool
+	// Result is the exact outcome the replica's shard would produce
+	// (level, energy, miss, total time).
+	Result sim.JobResult
+}
+
+// Policy picks a replica for a job. Pick returns an index into cands,
+// or -1 to shed. cands is non-empty and sorted by ascending replica ID;
+// key is the job's routing key. Implementations must be deterministic
+// pure functions of their arguments.
+type Policy interface {
+	Name() string
+	Pick(cands []Candidate, key string) int
+}
+
+// ParsePolicy maps the flag spellings "predict", "pressure" and "hash".
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "predict", "":
+		return PolicyPredict{}, nil
+	case "pressure":
+		return PolicyPressure{}, nil
+	case "hash":
+		return PolicyHash{}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown routing policy %q (want predict, pressure or hash)", s)
+}
+
+// PolicyPredict is predict-then-place, the paper's predictor driving
+// placement: admit the job to the replica that still meets the deadline
+// at the lowest projected energy; ties break on earlier finish, then
+// lower replica ID. When no replica is feasible, a job that would miss
+// even a fresh deadline everywhere (intrinsically infeasible) is placed
+// on the earliest-starting replica — its miss belongs to the job, and
+// offline replay serves such jobs too — while a job that only today's
+// backlog makes infeasible is shed.
+type PolicyPredict struct{}
+
+// Name implements Policy.
+func (PolicyPredict) Name() string { return "predict" }
+
+// Pick implements Policy.
+func (PolicyPredict) Pick(cands []Candidate, key string) int {
+	best := -1
+	for i, c := range cands {
+		if !c.Feasible {
+			continue
+		}
+		if best < 0 || less3(c.Result.Energy, c.Finish, float64(c.ID),
+			cands[best].Result.Energy, cands[best].Finish, float64(cands[best].ID)) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	for _, c := range cands {
+		if c.FreshFeasible {
+			return -1 // only the current backlog blocks this job: shed
+		}
+	}
+	return minStart(cands) // intrinsically infeasible: place, serve, count the miss
+}
+
+// less3 is a three-key lexicographic comparison.
+func less3(a1, a2, a3, b1, b2, b3 float64) bool {
+	if a1 != b1 {
+		return a1 < b1
+	}
+	if a2 != b2 {
+		return a2 < b2
+	}
+	return a3 < b3
+}
+
+// PolicyPressure is least-budget-pressure routing: place on the replica
+// whose queue eats the least of the job's deadline (minimum projected
+// wait; ties break on smaller backlog, then lower ID). It ignores
+// energy and feasibility — classic load balancing — shedding only when
+// every replica's backlog bound is saturated.
+type PolicyPressure struct{}
+
+// Name implements Policy.
+func (PolicyPressure) Name() string { return "pressure" }
+
+// Pick implements Policy.
+func (PolicyPressure) Pick(cands []Candidate, key string) int {
+	best := -1
+	for i, c := range cands {
+		if best < 0 || less3(c.Wait, float64(c.Backlog), float64(c.ID),
+			cands[best].Wait, float64(cands[best].Backlog), float64(cands[best].ID)) {
+			best = i
+		}
+	}
+	return best
+}
+
+// PolicyHash is consistent-hash affinity routing: the job's key hashes
+// onto a ring of virtual nodes (hashVnodes per replica), and the job
+// goes to the replica owning the next point clockwise. Adding or
+// removing a replica remaps only the keys whose owning arc changed —
+// the stability property the router tests pin down. Feasibility is
+// ignored: affinity callers trade deadline awareness for placement
+// stickiness.
+type PolicyHash struct{}
+
+const hashVnodes = 32
+
+// Name implements Policy.
+func (PolicyHash) Name() string { return "hash" }
+
+// Pick implements Policy.
+func (PolicyHash) Pick(cands []Candidate, key string) int {
+	type point struct {
+		h   uint64
+		idx int
+	}
+	points := make([]point, 0, len(cands)*hashVnodes)
+	for i, c := range cands {
+		for v := 0; v < hashVnodes; v++ {
+			points = append(points, point{hash64(c.Name + "#" + strconv.Itoa(v)), i})
+		}
+	}
+	sort.Slice(points, func(a, b int) bool {
+		if points[a].h != points[b].h {
+			return points[a].h < points[b].h
+		}
+		return points[a].idx < points[b].idx
+	})
+	h := hash64(key)
+	lo, hi := 0, len(points)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if points[mid].h < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(points) {
+		lo = 0 // wrap around the ring
+	}
+	return points[lo].idx
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

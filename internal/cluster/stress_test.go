@@ -1,0 +1,19 @@
+package cluster
+
+import "testing"
+
+// TestRouterPlacementStress replays a pathological scenario through the
+// fuzz harness deterministically: a single replica under pressure
+// routing, killed without restart, fed ~2000 oversized jobs at 200x
+// capacity. Every admitted job must still be conserved — served before
+// the horizon, or recovered and reported lost (no survivor exists) —
+// never silently dropped, and the run must not wedge on the shard's
+// physical backpressure (the queue is far smaller than the stream).
+func TestRouterPlacementStress(t *testing.T) {
+	data := make([]byte, 4000)
+	data[0], data[1], data[2], data[3] = 1, 0, 0, 1
+	for i := 4; i < len(data); i += 2 {
+		data[i], data[i+1] = 1, 200 // 0.1 ms gaps, 20 ms jobs
+	}
+	fuzzScenario(t, data)
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -185,6 +186,22 @@ func (a *API) handleDrain(w http.ResponseWriter, r *http.Request) {
 
 func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	shards := make([]*Shard, 0)
+	for _, name := range a.srv.Names() {
+		shards = append(shards, a.srv.Shard(name))
+	}
+	WriteMetrics(w, shards)
+}
+
+// WriteMetrics renders the Prometheus-style text exposition for the
+// given shards, in order, labeling every series with the shard's name.
+// The single-server /metrics endpoint and the cluster endpoint (where
+// each replica is a shard named "bench/i") share this renderer.
+func WriteMetrics(w io.Writer, shards []*Shard) {
+	stats := make([]Stats, len(shards))
+	for i, sh := range shards {
+		stats[i] = sh.Stats()
+	}
 	counters := []struct {
 		name, help string
 		get        func(Stats) uint64
@@ -201,13 +218,13 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"dvfserved_degraded_stall_total", "Degraded jobs triggered by stall-retry exhaustion.", func(s Stats) uint64 { return s.DegradedStall }},
 		{"dvfserved_stalled_attempts_total", "Prediction attempts that timed out.", func(s Stats) uint64 { return s.Stalled }},
 		{"dvfserved_stall_retries_total", "Retries provoked by stalled attempts.", func(s Stats) uint64 { return s.Retries }},
+		{"dvfserved_jobs_handed_off_total", "Queued jobs handed back at drain or crash horizon.", func(s Stats) uint64 { return s.HandedOff }},
 		{"dvfserved_deadline_misses_total", "Arrival-relative deadline misses.", func(s Stats) uint64 { return s.Misses }},
 		{"dvfserved_serving_misses_total", "Misses attributable to queue wait.", func(s Stats) uint64 { return s.ServingMisses }},
 		{"dvfserved_fault_misses_total", "Misses attributable to injected stall delays.", func(s Stats) uint64 { return s.FaultMisses }},
 		{"dvfserved_dvfs_switches_total", "Charged DVFS transitions.", func(s Stats) uint64 { return s.Switches }},
 		{"dvfserved_bound_clamps_total", "Predictions clamped into static cycle bounds.", func(s Stats) uint64 { return s.BoundClamps }},
 	}
-	stats := a.srv.Stats()
 	for _, c := range counters {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)
 		for _, st := range stats {
@@ -223,8 +240,8 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "dvfserved_queue_depth{shard=%q} %d\n", st.Name, st.QueueDepth)
 	}
 	fmt.Fprintf(w, "# HELP dvfserved_latency_seconds Total job latency (queue wait + service).\n# TYPE dvfserved_latency_seconds histogram\n")
-	for _, name := range a.srv.Names() {
-		sh := a.srv.Shard(name)
+	for _, sh := range shards {
+		name := sh.Name()
 		cum, sum := sh.latHist.Snapshot()
 		for i, b := range Buckets() {
 			fmt.Fprintf(w, "dvfserved_latency_seconds_bucket{shard=%q,le=%q} %d\n", name, fmt.Sprintf("%g", b), cum[i])
@@ -234,8 +251,8 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "dvfserved_latency_seconds_count{shard=%q} %d\n", name, cum[len(cum)-1])
 	}
 	fmt.Fprintf(w, "# HELP dvfserved_predict_ns Wall-clock prediction latency in nanoseconds, labeled with the RTL engine executing the slice.\n# TYPE dvfserved_predict_ns histogram\n")
-	for _, name := range a.srv.Names() {
-		sh := a.srv.Shard(name)
+	for _, sh := range shards {
+		name := sh.Name()
 		if sh.predEngine == "" {
 			continue // replay-only shard: no predictor, no predictions
 		}

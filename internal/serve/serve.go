@@ -39,11 +39,8 @@ import (
 	"time"
 
 	"repro/internal/accel"
-	"repro/internal/control"
 	"repro/internal/core"
-	"repro/internal/dvfs"
 	"repro/internal/fault"
-	"repro/internal/power"
 	"repro/internal/sim"
 )
 
@@ -89,25 +86,16 @@ func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
 	return 0, fmt.Errorf("serve: unknown overflow policy %q (want shed or degrade)", s)
 }
 
-// ShardConfig configures one accelerator shard.
+// ShardConfig configures one accelerator shard: the shared accelerator
+// Profile plus the shard-local queueing and failure-handling knobs.
 type ShardConfig struct {
-	// Name labels the shard (benchmark name).
+	// Name labels the shard (benchmark name, or "bench/i" for a cluster
+	// replica).
 	Name string
-	// Pred simulates arriving jobs online (slice + full design). It may
-	// be nil for replay-only shards, whose jobs all carry a Trace.
-	Pred *core.Predictor
-	// Device, Power and SlicePower are the DVFS profile and energy
-	// models, as in sim.Config.
-	Device     *dvfs.Device
-	Power      power.Model
-	SlicePower power.Model
-	// Deadline is each job's response-time requirement measured from
-	// its arrival, in seconds.
-	Deadline float64
-	// Margin is the predictive controller's safety-margin fraction.
-	Margin float64
-	// AllowBoost permits the device's boost point under budget pressure.
-	AllowBoost bool
+	// Profile is the accelerator-side configuration (predictor, device,
+	// energy models, deadline contract), shared verbatim by every
+	// replica of a cluster pool and by the router's projections.
+	Profile
 	// QueueDepth bounds the shard's queue; Submit rejects when full
 	// (admission control / backpressure). 0 selects DefaultQueueDepth.
 	QueueDepth int
@@ -140,6 +128,25 @@ type ShardConfig struct {
 	// Faults optionally injects stalls at the FaultStall site on a
 	// deterministic seeded schedule; nil injects nothing.
 	Faults *fault.Injector
+	// KillAt, when positive, is a virtual-time crash horizon: any
+	// queued job whose service would start at or after KillAt is handed
+	// back (see Handoff) instead of served — the job boundary is where
+	// the crash lands, so a job already started completes. Because the
+	// decision is a pure function of the virtual clock, a seeded chaos
+	// schedule of replica kills replays bit-identically regardless of
+	// wall-clock worker progress. 0 disables (the shard is immortal).
+	KillAt float64
+}
+
+// EffectiveDegradeWait resolves the DegradeWait zero-value default
+// exactly as NewShard does (DefaultDegradeFrac of the deadline), so
+// the cluster router's replica model can mirror the shard's
+// degradation trigger without constructing a shard.
+func (c ShardConfig) EffectiveDegradeWait() float64 {
+	if c.DegradeWait == 0 {
+		return DefaultDegradeFrac * c.Deadline
+	}
+	return c.DegradeWait
 }
 
 // Defaults for ShardConfig's zero values.
@@ -222,6 +229,10 @@ type Stats struct {
 	Misses, ServingMisses, FaultMisses uint64
 	// Switches counts charged DVFS transitions.
 	Switches uint64
+	// HandedOff counts queued jobs the worker handed back to the caller
+	// instead of serving: jobs past the KillAt crash horizon, plus jobs
+	// yanked by CloseHandoff. Retrieve them with Handoff.
+	HandedOff uint64
 	// BoundClamps counts predictions the predictor pulled into its
 	// static cycle bounds (see core.Predictor.PredFromSliceOrFloor).
 	// Always 0 on replay-only shards, which have no predictor.
@@ -252,9 +263,17 @@ func (s Stats) MissRate() float64 {
 // worker goroutine that owns the predictor simulators, the stepper
 // (controller + DVFS level state), and the virtual clock.
 type Shard struct {
-	cfg   ShardConfig
-	queue chan Job
-	wg    sync.WaitGroup
+	cfg       ShardConfig
+	queue     chan Job
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	// handoffNow makes the worker hand back (rather than serve) every
+	// job it dequeues from the moment the flag is set — the
+	// CloseHandoff fast-drain path. handoff is worker-private while the
+	// worker runs; reading it is safe once Close has returned.
+	handoffNow atomic.Bool
+	handoff    []Job
 
 	// Worker-private state (no locks needed).
 	stepper      *sim.Stepper
@@ -278,6 +297,7 @@ type Shard struct {
 	degWait, degBudget             counter
 	degOverload, degStall          counter
 	stalled, retries               counter
+	handedOff                      counter
 	misses, servingMisses          counter
 	faultMisses                    counter
 	switches                       counter
@@ -320,20 +340,17 @@ func NewShard(cfg ShardConfig) (*Shard, error) {
 	if cfg.StallPenalty <= 0 {
 		cfg.StallPenalty = cfg.JobTimeout.Seconds()
 	}
-	stepper, err := sim.NewStepper(sim.Config{
-		Device:     cfg.Device,
-		Power:      cfg.Power,
-		SlicePower: cfg.SlicePower,
-		Deadline:   cfg.Deadline,
-		Controller: control.NewPredictive(cfg.Margin, cfg.AllowBoost),
-	})
+	if cfg.KillAt < 0 {
+		return nil, fmt.Errorf("serve: %s: negative kill horizon", cfg.Name)
+	}
+	stepper, err := cfg.Profile.Stepper()
 	if err != nil {
 		return nil, fmt.Errorf("serve: %s: %w", cfg.Name, err)
 	}
 	s := &Shard{cfg: cfg, queue: make(chan Job, cfg.QueueDepth), stepper: stepper}
 	s.predHist.buckets = predBuckets
-	if cfg.Pred != nil {
-		s.js = cfg.Pred.NewJobSimulator()
+	if js := cfg.Profile.NewJobSimulator(); js != nil {
+		s.js = js
 		s.predEngine = string(s.js.Engine())
 	}
 	s.wg.Add(1)
@@ -368,17 +385,64 @@ func (s *Shard) Submit(j Job) error {
 	return ErrQueueFull
 }
 
+// SubmitWait enqueues a job, blocking while the queue is full instead
+// of shedding. It exists for callers that are themselves the admission
+// authority — the cluster router admits or sheds against its own
+// virtual-time replica model, so the shard's physical queue is pure
+// backpressure and must not inflect the shed counters on a transient
+// wall-clock backlog. The caller must not call SubmitWait concurrently
+// with (or after) Close.
+func (s *Shard) SubmitWait(j Job) {
+	s.queue <- j
+	s.depth.Add(1)
+}
+
 // Close stops accepting work and waits for the queue to drain.
+// Idempotent: a second Close (or a Close after CloseHandoff) just
+// waits for the worker.
 func (s *Shard) Close() {
-	close(s.queue)
+	s.closeOnce.Do(func() { close(s.queue) })
 	s.wg.Wait()
 }
+
+// CloseHandoff is drain-with-handoff: it stops the shard like Close,
+// but instead of grinding through the backlog the worker hands back
+// every job it has not yet started, and CloseHandoff returns them so
+// the caller can re-place the work elsewhere. At most one job — the
+// one the worker had already dequeued when the flag landed — is still
+// served. This is the fast-retire path: an autoscaler or operator
+// draining a replica moves its admitted-but-unstarted jobs instead of
+// silently dropping them or waiting out the queue.
+func (s *Shard) CloseHandoff() []Job {
+	s.handoffNow.Store(true)
+	s.Close()
+	return s.handoff
+}
+
+// Handoff returns the jobs the worker handed back instead of serving —
+// jobs past the KillAt crash horizon plus jobs yanked by CloseHandoff,
+// in queue order. Only valid after Close or CloseHandoff has returned.
+func (s *Shard) Handoff() []Job { return s.handoff }
 
 // run is the shard worker: one goroutine consuming the queue in
 // arrival order.
 func (s *Shard) run() {
 	defer s.wg.Done()
 	for j := range s.queue {
+		// Crash horizon / fast drain: a job whose service would start at
+		// or after KillAt died with the replica, and once CloseHandoff
+		// has fired every remaining job is handed back. Handed-back jobs
+		// get no Outcome from this shard — the caller re-places them.
+		start := s.now
+		if j.Arrival > start {
+			start = j.Arrival
+		}
+		if (s.cfg.KillAt > 0 && start >= s.cfg.KillAt) || s.handoffNow.Load() {
+			s.handoff = append(s.handoff, j)
+			s.handedOff.Inc()
+			s.depth.Add(-1)
+			continue
+		}
 		out := s.serve(j)
 		// The depth gauge counts queued AND executing jobs, so it only
 		// drops after the job completes — "depth 0" means fully drained.
@@ -652,6 +716,7 @@ func (s *Shard) Stats() Stats {
 		DegradedStall:    s.degStall.Value(),
 		Stalled:          s.stalled.Value(),
 		Retries:          s.retries.Value(),
+		HandedOff:        s.handedOff.Value(),
 		Misses:           s.misses.Value(),
 		ServingMisses:    s.servingMisses.Value(),
 		FaultMisses:      s.faultMisses.Value(),

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"math"
+	"runtime"
 	"testing"
 	"time"
 
@@ -52,12 +53,14 @@ func testModels() (power.Model, power.Model) {
 func testShardConfig(name string) ShardConfig {
 	pm, spm := testModels()
 	return ShardConfig{
-		Name:       name,
-		Device:     dvfs.ASIC(testHz, false),
-		Power:      pm,
-		SlicePower: spm,
-		Deadline:   testDeadline,
-		Margin:     testMargin,
+		Name: name,
+		Profile: Profile{
+			Device:     dvfs.ASIC(testHz, false),
+			Power:      pm,
+			SlicePower: spm,
+			Deadline:   testDeadline,
+			Margin:     testMargin,
+		},
 	}
 }
 
@@ -92,6 +95,142 @@ func TestShardValidation(t *testing.T) {
 	cfg.Device = nil
 	if _, err := NewShard(cfg); err == nil {
 		t.Error("missing device accepted")
+	}
+	cfg = testShardConfig("x")
+	cfg.KillAt = -1
+	if _, err := NewShard(cfg); err == nil {
+		t.Error("negative kill horizon accepted")
+	}
+}
+
+// TestCloseHandoffReturnsQueuedJobs is the drain-with-handoff
+// regression test: a retiring shard must hand its admitted-but-
+// unstarted backlog back to the caller instead of silently grinding
+// through (or dropping) it. The worker is pinned mid-job on an
+// unbuffered result send, the queue is filled behind it, and
+// CloseHandoff must return exactly that backlog in queue order.
+func TestCloseHandoffReturnsQueuedJobs(t *testing.T) {
+	cfg := testShardConfig("retire")
+	cfg.QueueDepth = 16
+	sh, err := NewShard(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin the worker: it serves the gate job, then blocks sending the
+	// outcome on the unbuffered channel.
+	gate := make(chan Outcome)
+	gateTr := synthTraces([]float64{1})[0]
+	if err := sh.Submit(Job{Trace: &gateTr, Result: gate}); err != nil {
+		t.Fatal(err)
+	}
+	for sh.Stats().Done != 1 {
+		runtime.Gosched() // wait until the worker is blocked on the gate send
+	}
+	const n = 5
+	traces := synthTraces([]float64{2, 2, 2, 2, 2})
+	for i := 0; i < n; i++ {
+		if err := sh.Submit(Job{Arrival: float64(i), Trace: &traces[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan []Job, 1)
+	go func() { done <- sh.CloseHandoff() }()
+	for !sh.handoffNow.Load() {
+		runtime.Gosched() // the handoff flag must land before the worker resumes
+	}
+	<-gate // unblock the worker; every queued job is now handed back
+	handoff := <-done
+	if len(handoff) != n {
+		t.Fatalf("handoff returned %d jobs, want %d", len(handoff), n)
+	}
+	for i, j := range handoff {
+		if j.Arrival != float64(i) {
+			t.Errorf("handoff[%d].Arrival = %g, want %d (queue order broken)", i, j.Arrival, i)
+		}
+	}
+	st := sh.Stats()
+	if st.HandedOff != n {
+		t.Errorf("HandedOff = %d, want %d", st.HandedOff, n)
+	}
+	if st.Done != 1 {
+		t.Errorf("Done = %d, want 1 (only the in-flight gate job serves)", st.Done)
+	}
+	if got := sh.Handoff(); len(got) != n {
+		t.Errorf("Handoff() = %d jobs, want %d", len(got), n)
+	}
+}
+
+// TestKillAtHandsBackJobsPastHorizon: the virtual-time crash horizon
+// partitions the stream at the job boundary — jobs whose service would
+// start at or after KillAt are handed back, earlier ones serve
+// normally — as a pure function of the virtual clock.
+func TestKillAtHandsBackJobsPastHorizon(t *testing.T) {
+	cfg := testShardConfig("mortal")
+	cfg.KillAt = 2.5 * testDeadline
+	sh, err := NewShard(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := synthTraces([]float64{4, 4, 4, 4, 4, 4})
+	arrivals := workload.PeriodicArrivals(len(traces), testDeadline)
+	res := make(chan Outcome, len(traces))
+	for i := range traces {
+		if err := sh.Submit(Job{Arrival: arrivals[i], Trace: &traces[i], Result: res}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh.Close()
+	// Arrivals 0, 1d, 2d start before 2.5d; 3d, 4d, 5d are past the
+	// horizon and die with the replica.
+	for i := 0; i < 3; i++ {
+		if o := <-res; o.Err != nil {
+			t.Fatalf("pre-horizon job %d: %v", i, o.Err)
+		}
+	}
+	st := sh.Stats()
+	if st.Done != 3 || st.HandedOff != 3 {
+		t.Fatalf("done %d handed off %d, want 3 and 3", st.Done, st.HandedOff)
+	}
+	handoff := sh.Handoff()
+	if len(handoff) != 3 {
+		t.Fatalf("handoff holds %d jobs, want 3", len(handoff))
+	}
+	for i, j := range handoff {
+		if j.Arrival < cfg.KillAt {
+			t.Errorf("handoff[%d] arrived at %g, before the %g horizon", i, j.Arrival, cfg.KillAt)
+		}
+	}
+}
+
+// TestKillAtUsesServiceStartNotArrival: a job that arrives before the
+// horizon but whose service would start after it (backlog pushed it
+// past) still dies with the replica — the crash lands where the work
+// would have run, not where it was enqueued.
+func TestKillAtUsesServiceStartNotArrival(t *testing.T) {
+	cfg := testShardConfig("backlogged")
+	cfg.KillAt = 10e-3
+	cfg.DegradeWait = -1
+	sh, err := NewShard(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := synthTraces([]float64{15, 2})
+	res := make(chan Outcome, len(traces))
+	for i := range traces {
+		if err := sh.Submit(Job{Arrival: 0, Trace: &traces[i], Result: res}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh.Close()
+	if o := <-res; o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	st := sh.Stats()
+	if st.Done != 1 || st.HandedOff != 1 {
+		t.Fatalf("done %d handed off %d, want 1 and 1", st.Done, st.HandedOff)
+	}
+	if hj := sh.Handoff(); len(hj) != 1 || hj[0].Arrival != 0 {
+		t.Fatalf("handoff = %+v, want the second t=0 job", hj)
 	}
 }
 

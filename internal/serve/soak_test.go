@@ -44,13 +44,15 @@ func shardCfgFor(t *testing.T, lab *exp.Lab, name string, queue int) serve.Shard
 		t.Fatal(err)
 	}
 	return serve.ShardConfig{
-		Name:       name,
-		Pred:       e.Pred,
-		Device:     dvfs.ASIC(e.Pred.Spec.NominalHz, false),
-		Power:      e.Power,
-		SlicePower: e.SlicePower,
-		Deadline:   exp.Deadline,
-		Margin:     exp.PredictiveMargin,
+		Name: name,
+		Profile: serve.Profile{
+			Pred:       e.Pred,
+			Device:     dvfs.ASIC(e.Pred.Spec.NominalHz, false),
+			Power:      e.Power,
+			SlicePower: e.SlicePower,
+			Deadline:   exp.Deadline,
+			Margin:     exp.PredictiveMargin,
+		},
 		QueueDepth: queue,
 	}
 }

@@ -130,7 +130,35 @@ func (st *Stepper) StepDegraded(tr core.JobTrace, budget float64) JobResult {
 	return st.step(tr, budget, true)
 }
 
+// Project evaluates one job without committing it: the JobResult that
+// Step (or, with degraded set, StepDegraded) would return for tr at
+// this budget, with the device level, switch count, and controller
+// state all left untouched. The cluster router uses it to assess
+// candidate replicas before placing a job (predict-then-place).
+// Exact for controllers whose Plan method is pure — every built-in
+// controller qualifies (the reactive ones mutate only in Observe).
+func (st *Stepper) Project(tr core.JobTrace, budget float64, degraded bool) JobResult {
+	jr, _ := st.compute(tr, budget, degraded)
+	return jr
+}
+
+// step evaluates the job and commits its effects: the device moves to
+// the chosen level, a charged transition increments the switch count,
+// and the controller observes the outcome.
 func (st *Stepper) step(tr core.JobTrace, budget float64, degraded bool) JobResult {
+	jr, chargedSwitch := st.compute(tr, budget, degraded)
+	st.curLevel = jr.Level
+	if chargedSwitch {
+		st.switches++
+	}
+	st.cfg.Controller.Observe(tr.Seconds)
+	return jr
+}
+
+// compute is the pure core of Step: plan, level selection, and the
+// time/energy/miss accounting, with no state mutation. It reports
+// whether a DVFS transition was charged so step can commit it.
+func (st *Stepper) compute(tr core.JobTrace, budget float64, degraded bool) (JobResult, bool) {
 	cfg := &st.cfg
 	ctrl := cfg.Controller
 	view := control.JobView{
@@ -180,7 +208,6 @@ func (st *Stepper) step(tr core.JobTrace, budget float64, degraded bool) JobResu
 	}
 
 	switched := level != st.curLevel
-	st.curLevel = level
 	pt := cfg.Device.Points[level]
 
 	tExec := tr.Cycles / pt.Freq
@@ -189,13 +216,12 @@ func (st *Stepper) step(tr core.JobTrace, budget float64, degraded bool) JobResu
 	if plan.SliceTime > 0 {
 		energy += cfg.SlicePower.SliceEnergy(cfg.Device, float64(tr.SliceTicks)*(tr.Cycles/float64(tr.Ticks)))
 	}
-	if switched && plan.ChargeSwitch {
+	chargedSwitch := switched && plan.ChargeSwitch
+	if chargedSwitch {
 		total += cfg.Device.SwitchTime
 		energy += cfg.Power.TransitionEnergy(1)
-		st.switches++
 	}
 
-	ctrl.Observe(tr.Seconds)
 	return JobResult{
 		Level:        level,
 		Missed:       total > budget*(1+1e-12),
@@ -203,7 +229,7 @@ func (st *Stepper) step(tr core.JobTrace, budget float64, degraded bool) JobResu
 		TotalSeconds: total,
 		Switched:     switched,
 		PredT0:       plan.PredT0,
-	}
+	}, chargedSwitch
 }
 
 // Run replays the traces under the configuration.
