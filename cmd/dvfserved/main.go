@@ -12,6 +12,7 @@
 //	          [-overflow shed|degrade] [-job-timeout-ms F] [-job-retries N]
 //	          [-retry-backoff-ms F] [-stall-penalty-ms F]
 //	          [-faults SPEC] [-fault-seed N]
+//	          [-online] [-drift-window N] [-canary-window N]
 //	          [-replicas N] [-router predict|pressure|hash]
 //	          [-autoscale-max N] [-autoscale-window N] [-max-backlog N]
 //
@@ -24,6 +25,7 @@
 //	GET  /healthz        liveness probe
 //	GET  /v1/benchmarks  served accelerators
 //	GET  /v1/stats       per-shard stats (JSON)
+//	GET  /v1/model       live model per shard: version, β, trainer counters
 //	POST /v1/jobs        submit a generated job stream
 //	POST /v1/drain       block until queues drain
 //	GET  /metrics        counters and histograms (text exposition)
@@ -53,6 +55,7 @@ import (
 	"repro/internal/dvfs"
 	"repro/internal/exp"
 	"repro/internal/fault"
+	"repro/internal/online"
 	"repro/internal/rtl"
 	"repro/internal/serve"
 	"repro/internal/suite"
@@ -79,6 +82,9 @@ func main() {
 	stallPenaltyMs := flag.Float64("stall-penalty-ms", 0, "virtual time charged per stalled attempt in ms (0 = the job timeout)")
 	faults := flag.String("faults", "", `fault-injection spec, e.g. "serve.stall=0.1,tracecache.read=0.05" (empty disables)`)
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the injected fault schedule")
+	onlineLearn := flag.Bool("online", false, "enable online learning: drift detection, background refit, canary hot-swap (per shard, or at the router in cluster mode)")
+	driftWindow := flag.Int("drift-window", 64, "online: drift-monitor evaluation window in observations")
+	canaryWindow := flag.Int("canary-window", 64, "online: canary shadow-prediction window in observations")
 	replicas := flag.Int("replicas", 1, "replicas per accelerator; >1 enables cluster mode (predict-then-place router)")
 	router := flag.String("router", "", "cluster routing policy: predict, pressure, or hash (implies cluster mode)")
 	autoscaleMax := flag.Int("autoscale-max", 0, "cluster mode: autoscale replicas up to this count (0 disables; min is -replicas)")
@@ -131,6 +137,10 @@ func main() {
 
 	lab := exp.NewLab(*seed)
 	lab.Quick = *quick
+	var onlineCfg *online.Config
+	if *onlineLearn {
+		onlineCfg = &online.Config{DriftWindow: *driftWindow, CanaryWindow: *canaryWindow}
+	}
 	shardCfg := func(name string) (serve.ShardConfig, string, error) {
 		entry, err := lab.Entry(name)
 		if err != nil {
@@ -155,6 +165,7 @@ func main() {
 			RetryBackoff: time.Duration(*retryBackoffMs * float64(time.Millisecond)),
 			StallPenalty: *stallPenaltyMs * 1e-3,
 			Faults:       injector,
+			Online:       onlineCfg,
 		}, entry.Pred.Spec.Description, nil
 	}
 	source := func(bench string, n int, jobSeed int64) ([]accel.Job, error) {

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/core"
+	"repro/internal/online"
 	"repro/internal/serve"
 	"repro/internal/sim"
 )
@@ -57,6 +58,12 @@ type Config struct {
 	// Name names the pool; replicas are named "<Name>/<id>". Overflow
 	// and Faults are ignored — the router is the admission authority
 	// and replica-level fault injection is not modeled by the twins.
+	// Shard.Online attaches the online trainer to the POOL, not to the
+	// replicas: prediction happens once at the router over the shared
+	// predictor, so drift detection, refits and canary decisions run
+	// there, and one promotion swaps the live model every replica and
+	// every router projection reads — promote-on-all-replicas by
+	// construction.
 	Shard serve.ShardConfig
 	// Replicas is the initial replica count (minimum 1).
 	Replicas int
@@ -152,6 +159,10 @@ type Pool struct {
 	mu  sync.Mutex
 	cfg Config
 	js  *core.JobSimulator
+	// trainer is the pool-level online trainer (nil when disabled); it
+	// observes committed placements under mu, so its Observe-from-one-
+	// owner contract holds.
+	trainer *online.Trainer
 
 	replicas []*replica
 	nextID   int
@@ -200,6 +211,16 @@ func NewPool(cfg Config) (*Pool, error) {
 		}
 	}
 	p := &Pool{cfg: cfg, js: cfg.Shard.Profile.NewJobSimulator()}
+	if cfg.Shard.Online != nil {
+		if cfg.Shard.Pred == nil {
+			return nil, fmt.Errorf("cluster: %s: online learning needs a predictor", cfg.Shard.Name)
+		}
+		tr, err := online.NewTrainer(cfg.Shard.Pred, cfg.Shard.Profile.Stepper, cfg.Shard.Deadline, *cfg.Shard.Online)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %s: %w", cfg.Shard.Name, err)
+		}
+		p.trainer = tr
+	}
 	if cfg.Autoscale != nil {
 		s, err := newAutoscaler(*cfg.Autoscale, cfg.Replicas)
 		if err != nil {
@@ -234,6 +255,9 @@ func (p *Pool) addReplica(activeFrom, killAt, restartAfter float64) (*replica, e
 	scfg.Name = fmt.Sprintf("%s/%d", p.cfg.Shard.Name, id)
 	scfg.Overflow = serve.OverflowShed
 	scfg.Faults = nil
+	// Replicas replay router-predicted traces; the pool-level trainer
+	// owns online learning (see Config.Shard).
+	scfg.Online = nil
 	scfg.KillAt = killAt
 	sh, err := serve.NewShard(scfg)
 	if err != nil {
@@ -440,6 +464,14 @@ func (p *Pool) commit(r *replica, sj serve.Job, v Candidate, key string, replace
 	if replaced && jr.Missed {
 		p.faultDebt++
 	}
+	// Online-learning tap, mirroring the shard tap: committed,
+	// non-degraded placements feed the pool trainer, which may hot-swap
+	// the shared live model here — before the next submission is
+	// predicted. Re-placements of recovered work are skipped to keep
+	// each job observed at most once.
+	if p.trainer != nil && !replaced && !v.Degraded {
+		p.trainer.Observe(*sj.Trace, jr.Missed)
+	}
 	r.shard.SubmitWait(sj)
 }
 
@@ -576,6 +608,7 @@ func (p *Pool) closeLocked() {
 	}
 	p.closed = true
 	p.detectKills(math.Inf(1))
+	p.trainer.Close()
 	for _, r := range p.replicas {
 		r.shard.Close()
 	}
@@ -617,8 +650,12 @@ type PoolStats struct {
 	Submitted, Placed, Shed, Intrinsic uint64
 	Replaced, FaultDebtMisses, Lost    uint64
 	Kills, ScaleUps, ScaleDowns        uint64
-	Replicas                           []ReplicaStats
-	Fleet                              Rollup
+	// Online is the pool-level trainer's snapshot (zeros with State
+	// "off" when online learning is disabled). Every replica serves the
+	// same live model, so Online.ModelVersion is the fleet's version.
+	Online   online.Stats
+	Replicas []ReplicaStats
+	Fleet    Rollup
 }
 
 // Stats snapshots the pool. Safe to call concurrently with serving;
@@ -631,6 +668,7 @@ func (p *Pool) Stats() PoolStats {
 		Submitted: p.submitted, Placed: p.placed, Shed: p.shed, Intrinsic: p.intrinsic,
 		Replaced: p.replaced, FaultDebtMisses: p.faultDebt, Lost: p.lost,
 		Kills: p.kills, ScaleUps: p.scaleUps, ScaleDowns: p.scaleDown,
+		Online: p.trainer.Stats(),
 	}
 	for _, r := range p.replicas {
 		rs := ReplicaStats{
@@ -649,6 +687,16 @@ func (p *Pool) Stats() PoolStats {
 		st.Fleet.Energy += rs.Energy
 	}
 	return st
+}
+
+// ModelStatus reports the pool's shared serving model — the one every
+// replica and every router projection reads; ok is false for
+// replay-only pools, which have no predictor.
+func (p *Pool) ModelStatus() (serve.ModelStatus, bool) {
+	if p.cfg.Shard.Pred == nil {
+		return serve.ModelStatus{}, false
+	}
+	return serve.ModelStatusFor(p.cfg.Shard.Name, p.cfg.Shard.Pred, p.trainer), true
 }
 
 // Shards returns the pool's shards in replica-id order (for metrics).

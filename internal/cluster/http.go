@@ -48,6 +48,7 @@ func (a *API) Handler() http.Handler {
 	})
 	mux.HandleFunc("/v1/stats", a.handleStats)
 	mux.HandleFunc("/v1/cluster", a.handleStats)
+	mux.HandleFunc("/v1/model", a.handleModel)
 	mux.HandleFunc("/v1/jobs", a.handleJobs)
 	mux.HandleFunc("/v1/drain", a.handleDrain)
 	mux.HandleFunc("/v1/retire", a.handleRetire)
@@ -64,6 +65,16 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, a.fleet.Stats())
+}
+
+func (a *API) handleModel(w http.ResponseWriter, r *http.Request) {
+	out := make([]serve.ModelStatus, 0)
+	for _, name := range a.fleet.Names() {
+		if ms, ok := a.fleet.Pool(name).ModelStatus(); ok {
+			out = append(out, ms)
+		}
+	}
+	writeJSON(w, out)
 }
 
 // JobsRequest reuses the single-server request shape (serve.JobsRequest).
@@ -218,6 +229,10 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"dvfscluster_replica_kills_total", "Crash horizons fired.", func(s PoolStats) uint64 { return s.Kills }},
 		{"dvfscluster_scale_ups_total", "Autoscaler scale-up actions.", func(s PoolStats) uint64 { return s.ScaleUps }},
 		{"dvfscluster_scale_downs_total", "Autoscaler drain actions.", func(s PoolStats) uint64 { return s.ScaleDowns }},
+		{"dvfscluster_model_drift_events_total", "Drift detections by the pool's online trainer.", func(s PoolStats) uint64 { return s.Online.DriftEvents }},
+		{"dvfscluster_model_retrains_total", "Background model refits started at the router.", func(s PoolStats) uint64 { return s.Online.Retrains }},
+		{"dvfscluster_model_promotions_total", "Canary candidates promoted fleet-wide.", func(s PoolStats) uint64 { return s.Online.Promotions }},
+		{"dvfscluster_model_canary_rejects_total", "Canary candidates rejected (incumbent retained).", func(s PoolStats) uint64 { return s.Online.CanaryRejects }},
 	}
 	for _, c := range counters {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)

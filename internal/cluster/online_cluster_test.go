@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/accel/stencil"
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/online"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+// stencilImages builds n images with rows varying 8..44 at a fixed
+// column count — the covariate-drift recipe shared with the serve and
+// online test suites.
+func stencilImages(n, cols int, seed int64) []workload.StencilImage {
+	imgs := make([]workload.StencilImage, n)
+	for i := range imgs {
+		imgs[i] = workload.StencilImage{Rows: 8 + (i*7+int(seed))%37, Cols: cols, Class: "drift"}
+	}
+	return imgs
+}
+
+// TestClusterPromoteOnAllReplicas: with online learning attached to the
+// pool, prediction happens once at the router over the shared
+// predictor, so one canary promotion moves every replica — including
+// replicas the hash policy never routed a drifted job to — to the new
+// model version in the same instant. The run must also be
+// bit-deterministic.
+func TestClusterPromoteOnAllReplicas(t *testing.T) {
+	run := func() PoolStats {
+		p, err := core.Train(stencil.Spec(), core.Options{TrainJobs: stencil.JobsFrom(stencilImages(40, 40, 3), 3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pm, spm := testModels()
+		pool, err := NewPool(Config{
+			Shard: serve.ShardConfig{
+				Name: "stencil",
+				Profile: serve.Profile{
+					Pred:       p,
+					Device:     dvfs.ASIC(p.Spec.NominalHz, false),
+					Power:      pm,
+					SlicePower: spm,
+					Deadline:   testDeadline,
+					Margin:     testMargin,
+				},
+				QueueDepth: 256,
+				Online:     &online.Config{RingSize: 64, MinObservations: 64, DriftWindow: 32, CanaryWindow: 32},
+			},
+			Replicas: 3,
+			Policy:   PolicyHash{}, // spread jobs; keep some replicas off the drifted stream's hot path
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs := stencil.JobsFrom(stencilImages(96, 40, 7), 7)
+		jobs = append(jobs, stencil.JobsFrom(stencilImages(208, 8, 11), 11)...)
+		res := make(chan serve.Outcome, len(jobs))
+		for i, job := range jobs {
+			if err := pool.Submit(Job{Arrival: float64(i) * 0.02, Payload: job, Result: res}); err != nil {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+		}
+		pool.Close()
+		if got := len(res); got != len(jobs) {
+			t.Fatalf("%d outcomes for %d placed jobs", got, len(jobs))
+		}
+		return pool.Stats()
+	}
+
+	st := run()
+	// The pool-level trainer saw the full stream and ran exactly one
+	// promoted cycle — identical arithmetic to the single-shard soak,
+	// because observation order is submission order regardless of which
+	// replica serves each job.
+	o := st.Online
+	if o.Observations != 304 || o.DriftEvents != 1 || o.Retrains != 1 ||
+		o.Promotions != 1 || o.CanaryRejects != 0 || o.FitErrors != 0 {
+		t.Fatalf("pool trainer cycle: %+v", o)
+	}
+	if o.ModelVersion != 1 || !o.LastDecision.Promoted || o.LastDecision.AtObservation != 192 {
+		t.Fatalf("pool decision: %+v", o.LastDecision)
+	}
+
+	// Promote-on-all-replicas: every replica reports the new version —
+	// they share one predictor, so none can lag.
+	if len(st.Replicas) != 3 {
+		t.Fatalf("%d replicas, want 3", len(st.Replicas))
+	}
+	var served uint64
+	for _, r := range st.Replicas {
+		if r.ModelVersion != 1 {
+			t.Errorf("replica %d at model version %d, want 1", r.ID, r.ModelVersion)
+		}
+		// Replica shards must NOT run their own trainers: the pool owns
+		// the single online loop.
+		if r.Retrains != 0 || r.Promotions != 0 || r.DriftEvents != 0 {
+			t.Errorf("replica %d has a private trainer: %+v", r.ID, r.Stats)
+		}
+		served += r.Done
+	}
+	if served != 304 || st.Fleet.Done != 304 {
+		t.Fatalf("replicas served %d jobs (fleet %d), want 304", served, st.Fleet.Done)
+	}
+	if st.Placed != 304 || st.Shed != 0 {
+		t.Fatalf("placed %d shed %d, want 304/0", st.Placed, st.Shed)
+	}
+
+	// Bit-determinism: a fresh pool over the same stream reproduces the
+	// stats exactly, replica by replica.
+	st2 := run()
+	if !reflect.DeepEqual(st, st2) {
+		t.Errorf("cluster online run diverges across reruns:\n%+v\n%+v", st, st2)
+	}
+}
+
+// TestClusterOnlineNeedsPredictor: a replay-only pool cannot host the
+// trainer.
+func TestClusterOnlineNeedsPredictor(t *testing.T) {
+	cfg := testConfig("replay", 2)
+	cfg.Shard.Online = &online.Config{}
+	if _, err := NewPool(cfg); err == nil {
+		t.Error("replay-only pool accepted an online trainer")
+	}
+}

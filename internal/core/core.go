@@ -95,6 +95,12 @@ type Predictor struct {
 	// PredFromSliceOrFloor); exposed in serving metrics.
 	boundClamps atomic.Uint64
 
+	// live is the serving model: nil means Model (version 0, the
+	// offline-trained β); after a SwapModel it points at the promoted
+	// refit. An atomic pointer so the serving hot path never takes a
+	// lock and a swap is one word store (see SwapModel).
+	live atomic.Pointer[liveModel]
+
 	// fullM is the module the full-design simulators actually run: the
 	// instrumented design, or its absint-pruned twin when pruning is
 	// enabled (see SetPruning). fullFeatRegs maps each feature index to
@@ -319,12 +325,82 @@ func Train(spec accel.Spec, opt Options) (*Predictor, error) {
 	return pred, nil
 }
 
-// PredictFromSlice evaluates the model given the slice's feature values
-// (aligned with Kept). This is the runtime dot product of §3.4.
+// liveModel pairs a hot-swapped β with its monotonically increasing
+// version so readers observe both atomically.
+type liveModel struct {
+	m       *model.Predictor
+	version uint64
+}
+
+// LiveModel returns the model predictions are currently served from:
+// the training-time Model until a SwapModel, the latest promoted refit
+// after. Safe for concurrent use.
+func (p *Predictor) LiveModel() *model.Predictor {
+	if lm := p.live.Load(); lm != nil {
+		return lm.m
+	}
+	return p.Model
+}
+
+// ModelVersion returns the live model's version: 0 for the offline
+// training-time β, incremented once per promoted swap. Safe for
+// concurrent use.
+func (p *Predictor) ModelVersion() uint64 {
+	if lm := p.live.Load(); lm != nil {
+		return lm.version
+	}
+	return 0
+}
+
+// SwapModel atomically replaces the serving model with m and returns
+// the new version. The model must be full-width (one coefficient per
+// instrumented feature, like Model) and finite; the slice hardware is
+// fixed, so a swapped model may only use the Kept features — any
+// non-zero coefficient outside Kept is rejected, because the serving
+// path would silently read garbage for features the slice never
+// computes.
+//
+// Version assignment assumes one swapping owner (the online trainer);
+// readers are fully concurrent-safe, but two goroutines swapping at
+// once could mint the same version.
+func (p *Predictor) SwapModel(m *model.Predictor) (uint64, error) {
+	if m == nil {
+		return 0, fmt.Errorf("core: %s: swap of nil model", p.Spec.Name)
+	}
+	if len(m.Coef) != len(p.Model.Coef) {
+		return 0, fmt.Errorf("core: %s: swapped model has %d coefficients, predictor has %d",
+			p.Spec.Name, len(m.Coef), len(p.Model.Coef))
+	}
+	if math.IsNaN(m.Intercept) || math.IsInf(m.Intercept, 0) {
+		return 0, fmt.Errorf("core: %s: swapped model has non-finite intercept", p.Spec.Name)
+	}
+	kept := make(map[int]bool, len(p.Kept))
+	for _, k := range p.Kept {
+		kept[k] = true
+	}
+	for j, c := range m.Coef {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return 0, fmt.Errorf("core: %s: swapped model has non-finite coefficient at %d", p.Spec.Name, j)
+		}
+		if c != 0 && !kept[j] {
+			return 0, fmt.Errorf("core: %s: swapped model uses feature %d outside the hardware slice", p.Spec.Name, j)
+		}
+	}
+	version := p.ModelVersion() + 1
+	p.live.Store(&liveModel{m: m, version: version})
+	return version, nil
+}
+
+// PredictFromSlice evaluates the live model given the slice's feature
+// values (aligned with Kept). This is the runtime dot product of §3.4.
 func (p *Predictor) PredictFromSlice(sliceFeats []float64) float64 {
-	yhat := p.Model.Intercept
-	for i, k := range p.Kept {
-		yhat += p.Model.Coef[k] * sliceFeats[i]
+	return predictSlice(p.LiveModel(), p.Kept, sliceFeats)
+}
+
+func predictSlice(m *model.Predictor, kept []int, sliceFeats []float64) float64 {
+	yhat := m.Intercept
+	for i, k := range kept {
+		yhat += m.Coef[k] * sliceFeats[i]
 	}
 	return yhat
 }
@@ -569,17 +645,36 @@ func (p *Predictor) CollectTraces(jobs []accel.Job) ([]JobTrace, error) {
 // accurate and keeps the under-prediction guarantee sound. Each clamp
 // increments the BoundClamps counter.
 func (p *Predictor) PredFromSliceOrFloor(sliceFeats []float64) float64 {
-	yhat := p.PredictFromSlice(sliceFeats)
+	return p.clamp(p.PredictFromSlice(sliceFeats), true)
+}
+
+// PredictClamped evaluates an arbitrary full-width model — typically an
+// online-refit canary candidate that is not (yet) the live model — on
+// slice feature values, with the same NaN/bounds/floor clamps as the
+// serving path. Candidate predictions go through the identical safety
+// envelope the incumbent enjoys, so a pathological refit can never emit
+// values outside the provable cycle interval even while only
+// shadow-predicting. Clamps here do not count toward BoundClamps: the
+// counter tracks the served model only.
+func (p *Predictor) PredictClamped(m *model.Predictor, sliceFeats []float64) float64 {
+	return p.clamp(predictSlice(m, p.Kept, sliceFeats), false)
+}
+
+func (p *Predictor) clamp(yhat float64, count bool) float64 {
 	if math.IsNaN(yhat) {
 		return math.Inf(1)
 	}
 	if lo := p.Spec.Seconds(p.Bounds.Min); yhat < lo {
 		yhat = lo
-		p.boundClamps.Add(1)
+		if count {
+			p.boundClamps.Add(1)
+		}
 	} else if p.Bounds.MaxBounded {
 		if hi := p.Spec.Seconds(p.Bounds.Max); yhat > hi {
 			yhat = hi
-			p.boundClamps.Add(1)
+			if count {
+				p.boundClamps.Add(1)
+			}
 		}
 	}
 	if yhat < 1e-6 {

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/absint"
+	"repro/internal/accel"
+	"repro/internal/model"
+)
+
+// swapTestPredictor builds a hand-wired Predictor exercising the swap
+// machinery without any RTL: 4 full-width features of which {1, 3} are
+// kept, and static bounds [100, 10000] ticks at 1 MHz / CycleScale 1 so
+// the clamp interval is a round [1e-4 s, 1e-2 s].
+func swapTestPredictor() *Predictor {
+	return &Predictor{
+		Spec: accel.Spec{Name: "swaptest", NominalHz: 1e6, CycleScale: 1},
+		Model: &model.Predictor{
+			Coef:      []float64{0, 2e-4, 0, 3e-4},
+			Intercept: 1e-3,
+		},
+		Kept:   []int{1, 3},
+		Bounds: absint.CycleBounds{Min: 100, Max: 10000, MaxBounded: true},
+	}
+}
+
+func TestSwapModel(t *testing.T) {
+	p := swapTestPredictor()
+	if v := p.ModelVersion(); v != 0 {
+		t.Fatalf("fresh predictor ModelVersion = %d, want 0", v)
+	}
+	if p.LiveModel() != p.Model {
+		t.Fatal("fresh predictor LiveModel is not the training-time Model")
+	}
+	feats := []float64{2, 4} // aligned with Kept = {1, 3}
+	base := p.PredictFromSlice(feats)
+	if want := 1e-3 + 2e-4*2 + 3e-4*4; math.Abs(base-want) > 1e-15 {
+		t.Fatalf("baseline PredictFromSlice = %v, want %v", base, want)
+	}
+
+	next := &model.Predictor{Coef: []float64{0, 5e-4, 0, 0}, Intercept: 2e-3}
+	v, err := p.SwapModel(next)
+	if err != nil {
+		t.Fatalf("SwapModel: %v", err)
+	}
+	if v != 1 || p.ModelVersion() != 1 {
+		t.Fatalf("version after first swap = %d / %d, want 1", v, p.ModelVersion())
+	}
+	if p.LiveModel() != next {
+		t.Fatal("LiveModel does not return the swapped model")
+	}
+	if got, want := p.PredictFromSlice(feats), 2e-3+5e-4*2; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("post-swap PredictFromSlice = %v, want %v", got, want)
+	}
+	if got := p.PredFromSliceOrFloor(feats); math.Abs(got-(2e-3+5e-4*2)) > 1e-15 {
+		t.Fatalf("post-swap PredFromSliceOrFloor = %v", got)
+	}
+
+	// Versions increment monotonically.
+	if v, err = p.SwapModel(next); err != nil || v != 2 {
+		t.Fatalf("second swap: version %d err %v, want 2 nil", v, err)
+	}
+
+	// The training-time Model is untouched throughout.
+	if p.Model.Coef[1] != 2e-4 || p.Model.Intercept != 1e-3 {
+		t.Fatal("SwapModel mutated the offline Model")
+	}
+}
+
+func TestSwapModelRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *model.Predictor
+	}{
+		{"nil", nil},
+		{"width", &model.Predictor{Coef: []float64{1, 2}, Intercept: 0}},
+		{"nan-intercept", &model.Predictor{Coef: []float64{0, 0, 0, 0}, Intercept: math.NaN()}},
+		{"inf-coef", &model.Predictor{Coef: []float64{0, math.Inf(1), 0, 0}, Intercept: 0}},
+		// Feature 2 is outside Kept = {1, 3}: the slice never computes
+		// it, so a model weighting it would read garbage.
+		{"off-kept", &model.Predictor{Coef: []float64{0, 1e-4, 7e-5, 0}, Intercept: 0}},
+	}
+	for _, tc := range cases {
+		p := swapTestPredictor()
+		if _, err := p.SwapModel(tc.m); err == nil {
+			t.Errorf("%s: SwapModel accepted an invalid model", tc.name)
+		}
+		if p.ModelVersion() != 0 || p.LiveModel() != p.Model {
+			t.Errorf("%s: rejected swap still changed the live model", tc.name)
+		}
+	}
+	// A zero coefficient outside Kept is fine — zero rows from the
+	// full-width refit scatter are expected.
+	p := swapTestPredictor()
+	ok := &model.Predictor{Coef: []float64{0, 1e-4, 0, 2e-4}, Intercept: 5e-4}
+	if _, err := p.SwapModel(ok); err != nil {
+		t.Errorf("SwapModel rejected a valid Kept-only model: %v", err)
+	}
+}
+
+func TestPredictClamped(t *testing.T) {
+	p := swapTestPredictor()
+	lo, hi := p.Spec.Seconds(p.Bounds.Min), p.Spec.Seconds(p.Bounds.Max)
+
+	// In-bounds predictions pass through untouched.
+	in := &model.Predictor{Coef: []float64{0, 1e-4, 0, 0}, Intercept: 1e-3}
+	if got, want := p.PredictClamped(in, []float64{10, 0}), 2e-3; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("in-bounds PredictClamped = %v, want %v", got, want)
+	}
+
+	// NaN maps to +Inf (infeasible), never to the floor.
+	nan := &model.Predictor{Coef: []float64{0, math.NaN(), 0, 0}, Intercept: 0}
+	if got := p.PredictClamped(nan, []float64{1, 1}); !math.IsInf(got, 1) {
+		t.Fatalf("NaN prediction clamped to %v, want +Inf", got)
+	}
+
+	// Below Bounds.Min pulls up to the provable minimum; above
+	// Bounds.Max pulls down — and neither touches BoundClamps, which
+	// tracks the served model only.
+	low := &model.Predictor{Coef: []float64{0, 0, 0, 0}, Intercept: 1e-9}
+	if got := p.PredictClamped(low, []float64{0, 0}); got != lo {
+		t.Fatalf("low PredictClamped = %v, want bound %v", got, lo)
+	}
+	high := &model.Predictor{Coef: []float64{0, 0, 0, 0}, Intercept: 42}
+	if got := p.PredictClamped(high, []float64{0, 0}); got != hi {
+		t.Fatalf("high PredictClamped = %v, want bound %v", got, hi)
+	}
+	if n := p.BoundClamps(); n != 0 {
+		t.Fatalf("PredictClamped incremented BoundClamps to %d — the counter must track the served model only", n)
+	}
+
+	// The serving path's clamps DO count.
+	if got := p.PredFromSliceOrFloor([]float64{-100, -100}); got != lo {
+		t.Fatalf("served low prediction = %v, want bound %v", got, lo)
+	}
+	if n := p.BoundClamps(); n != 1 {
+		t.Fatalf("BoundClamps = %d after a served clamp, want 1", n)
+	}
+
+	// With zero-value bounds (hand-built predictors) only the 1e-6
+	// floor applies.
+	free := swapTestPredictor()
+	free.Bounds = absint.CycleBounds{}
+	if got := free.PredictClamped(low, []float64{0, 0}); got != 1e-6 {
+		t.Fatalf("unbounded low PredictClamped = %v, want 1e-6 floor", got)
+	}
+}

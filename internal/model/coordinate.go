@@ -14,14 +14,29 @@ func FitCD(X [][]float64, y []float64, gamma float64, sweeps int) (*Predictor, e
 		return nil, ErrBadShape
 	}
 	d := len(X[0])
+	for _, row := range X {
+		if len(row) != d {
+			return nil, ErrBadShape
+		}
+	}
 	st := standardize(X)
 	Z := st.apply(X)
 
-	// Precompute column norms; residual maintained incrementally.
+	// Precompute column norms; residual maintained incrementally. After
+	// standardization a live column has colSq ≈ n, so anything orders of
+	// magnitude below that is numerical dust: dividing the coordinate
+	// update by it would manufacture enormous coefficients from rounding
+	// noise. Zero such columns out entirely.
 	colSq := make([]float64, d)
 	for _, row := range Z {
 		for j, v := range row {
 			colSq[j] += v * v
+		}
+	}
+	minColSq := 1e-12 * float64(n)
+	for j := range colSq {
+		if colSq[j] <= minColSq {
+			colSq[j] = 0
 		}
 	}
 	w := make([]float64, d)
@@ -82,6 +97,9 @@ func FitCD(X [][]float64, y []float64, gamma float64, sweeps int) (*Predictor, e
 		c := w[j] / st.sigma[j]
 		p.Coef[j] = c
 		p.Intercept -= c * st.mu[j]
+	}
+	if err := p.checkFinite(); err != nil {
+		return nil, err
 	}
 	return p, nil
 }

@@ -82,6 +82,20 @@ var ErrBadShape = errors.New("model: inconsistent training data shape")
 // Fit trains a predictor on the design matrix X (rows = jobs, columns =
 // features) and target vector y (execution times).
 func Fit(X [][]float64, y []float64, cfg Config) (*Predictor, error) {
+	return fit(X, y, cfg, nil)
+}
+
+// FitWarm trains like Fit but starts FISTA from the coefficients of an
+// existing predictor instead of from zero. On a refit over data that
+// drifted only partially from the incumbent's training set, the
+// incumbent is already near the optimum and warm-starting converges in
+// far fewer iterations. init must have exactly one coefficient per
+// column of X; a nil init is equivalent to Fit.
+func FitWarm(X [][]float64, y []float64, cfg Config, init *Predictor) (*Predictor, error) {
+	return fit(X, y, cfg, init)
+}
+
+func fit(X [][]float64, y []float64, cfg Config, init *Predictor) (*Predictor, error) {
 	n := len(X)
 	if n == 0 || n != len(y) {
 		return nil, fmt.Errorf("%w: %d rows, %d targets", ErrBadShape, n, len(y))
@@ -90,6 +104,14 @@ func Fit(X [][]float64, y []float64, cfg Config) (*Predictor, error) {
 	for _, row := range X {
 		if len(row) != d {
 			return nil, fmt.Errorf("%w: ragged rows", ErrBadShape)
+		}
+	}
+	if init != nil && len(init.Coef) != d {
+		return nil, fmt.Errorf("%w: warm start has %d coefficients, data has %d columns", ErrBadShape, len(init.Coef), d)
+	}
+	for _, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("model: non-finite target %v", v)
 		}
 	}
 	if cfg.Alpha < 1 {
@@ -108,6 +130,30 @@ func Fit(X [][]float64, y []float64, cfg Config) (*Predictor, error) {
 	// as an explicit unpenalized coordinate starting from mean(y).
 	w := make([]float64, d)
 	b0 := mean(y)
+	if init != nil {
+		// Map the raw-unit warm start into standardized coordinates:
+		// raw c_j x_j + b  ==  (c_j σ_j) z_j + (b + Σ c_j μ_j).
+		wb := init.Intercept
+		ok := true
+		for j := 0; j < d; j++ {
+			w[j] = init.Coef[j] * st.sigma[j]
+			wb += init.Coef[j] * st.mu[j]
+			if math.IsNaN(w[j]) || math.IsInf(w[j], 0) {
+				ok = false
+				break
+			}
+		}
+		if ok && !math.IsNaN(wb) && !math.IsInf(wb, 0) {
+			b0 = wb
+		} else {
+			// A poisoned warm start (non-finite incumbent) must not
+			// contaminate the refit; fall back to the cold start.
+			for j := range w {
+				w[j] = 0
+			}
+			b0 = mean(y)
+		}
+	}
 
 	// Lipschitz constant of the smooth part: 2·max(1,α)·λmax(AᵀA) where
 	// A is Z with an all-ones intercept column.
@@ -192,7 +238,27 @@ func Fit(X [][]float64, y []float64, cfg Config) (*Predictor, error) {
 		p.Coef[j] = c
 		p.Intercept -= c * st.mu[j]
 	}
+	if err := p.checkFinite(); err != nil {
+		return nil, err
+	}
 	return p, nil
+}
+
+// checkFinite rejects a diverged solve: a caller that gets a nil error
+// holds a predictor that can only emit finite values on finite inputs.
+// Divergence is reachable with extreme-magnitude targets (the squared
+// loss overflows before the step size can compensate), and a NaN β
+// silently poisons every downstream prediction.
+func (p *Predictor) checkFinite() error {
+	if math.IsNaN(p.Intercept) || math.IsInf(p.Intercept, 0) {
+		return fmt.Errorf("model: fit diverged to non-finite intercept")
+	}
+	for j, c := range p.Coef {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("model: fit diverged to non-finite coefficient %d", j)
+		}
+	}
+	return nil
 }
 
 // objective computes the full training objective.
@@ -310,6 +376,15 @@ func standardize(X [][]float64) scaler {
 	}
 	for j := range st.sigma {
 		s := math.Sqrt(st.sigma[j] / n)
+		// A non-finite mean or spread (an Inf/NaN cell anywhere in the
+		// column) poisons every standardized value; such a column carries
+		// no usable signal, so it is dropped the same way a constant one
+		// is: sigma 0 means apply() zeroes it and the back-transform
+		// skips it.
+		if math.IsNaN(s) || math.IsInf(s, 0) || math.IsNaN(st.mu[j]) || math.IsInf(st.mu[j], 0) {
+			st.mu[j], st.sigma[j] = 0, 0
+			continue
+		}
 		// Columns that are constant up to floating-point noise must be
 		// treated as exactly constant, or the back-transform divides by
 		// a denormal-scale sigma and manufactures enormous coefficients.

@@ -1,0 +1,50 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Snapshot is a serialization-friendly copy of a trained predictor's β:
+// only the values a serving replica needs to evaluate (and audit) the
+// model, with none of the training bookkeeping. It marshals cleanly to
+// JSON for the /v1/model endpoint and for shipping a hot-swapped model
+// between processes.
+type Snapshot struct {
+	Coef      []float64 `json:"coef"`
+	Intercept float64   `json:"intercept"`
+	Iters     int       `json:"iters,omitempty"`
+	Objective float64   `json:"objective,omitempty"`
+}
+
+// Snapshot copies the predictor's state into a detached Snapshot. The
+// coefficient slice is cloned so the snapshot stays stable if the
+// predictor is retrained or swapped afterwards.
+func (p *Predictor) Snapshot() Snapshot {
+	return Snapshot{
+		Coef:      append([]float64(nil), p.Coef...),
+		Intercept: p.Intercept,
+		Iters:     p.Iters,
+		Objective: p.Objective,
+	}
+}
+
+// FromSnapshot reconstructs a Predictor from a snapshot, validating
+// that every value is finite — a model restored from the wire must
+// never be able to emit NaN predictions.
+func FromSnapshot(s Snapshot) (*Predictor, error) {
+	if math.IsNaN(s.Intercept) || math.IsInf(s.Intercept, 0) {
+		return nil, fmt.Errorf("model: non-finite intercept %v in snapshot", s.Intercept)
+	}
+	for j, c := range s.Coef {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, fmt.Errorf("model: non-finite coefficient %v at %d in snapshot", c, j)
+		}
+	}
+	return &Predictor{
+		Coef:      append([]float64(nil), s.Coef...),
+		Intercept: s.Intercept,
+		Iters:     s.Iters,
+		Objective: s.Objective,
+	}, nil
+}

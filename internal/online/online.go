@@ -1,0 +1,472 @@
+// Package online closes the serving loop around the paper's predictor:
+// the asymmetric-Lasso β is trained offline once, but served workloads
+// drift, and every completed job already yields a (slice features,
+// actual seconds) pair for free. A Trainer accumulates those pairs in a
+// bounded ring, watches a windowed under/over-prediction monitor with
+// hysteresis (the same counter-window style as the cluster autoscaler),
+// refits the model in a background goroutine on a ring snapshot when
+// drift sustains, and hot-swaps β behind a canary phase: the candidate
+// shadow-predicts alongside the incumbent for a configurable window and
+// is promoted only if its projected miss count and energy dominate the
+// incumbent's on that window.
+//
+// Determinism is load-bearing: every piece of trainer state advances
+// only from Observe, which the owner (a shard worker goroutine, or the
+// cluster router under its pool lock) calls once per completed job in
+// stream order. The background fit is joined — not polled — at the
+// deterministic job index where the canary window completes, so the
+// promotion decision and the swap land between the same two jobs on
+// every rerun no matter how fast the fit goroutine happens to run.
+// Candidate predictions pass through core.Predictor.PredictClamped, so
+// even a pathological refit can never emit values outside the
+// statically provable cycle bounds.
+package online
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Config tunes the online trainer. The zero value of every field means
+// "use the default"; thresholds that are rates can be disabled by
+// setting them above 1 (a window can never exceed a 100% rate).
+type Config struct {
+	// RingSize bounds the observation ring (default 256). Refits train
+	// on a snapshot of the ring, newest observations last.
+	RingSize int
+	// MinObservations gates refitting until the ring holds at least
+	// this many samples (default RingSize/2, clamped to RingSize).
+	MinObservations int
+	// DriftWindow is the monitor's evaluation window in observations
+	// (default 64). Rates are judged only at window boundaries.
+	DriftWindow int
+	// UnderRate triggers when the fraction of under-predicted jobs in a
+	// window reaches it (default 0.25). Under-prediction is the
+	// deadline-risk direction.
+	UnderRate float64
+	// OverRate triggers when the fraction of over-predicted jobs
+	// reaches it (default 0.5). Over-prediction is the energy-waste
+	// direction: the governor buys more frequency than the job needs.
+	OverRate float64
+	// MissRate triggers on served deadline misses (default 0.75).
+	MissRate float64
+	// UnderMargin and OverMargin classify a job as under/over-predicted
+	// when the relative error (pred−actual)/actual falls below
+	// −UnderMargin or above +OverMargin (defaults 0.05 and 0.5).
+	UnderMargin float64
+	OverMargin  float64
+	// HotStreak is how many consecutive hot windows arm a refit
+	// (default 2), and Cooldown how many windows after a decision the
+	// monitor ignores (default 2) — together the autoscaler-style
+	// hysteresis that keeps a transient from thrashing retrains.
+	HotStreak int
+	Cooldown  int
+	// CanaryWindow is how many post-trigger observations the candidate
+	// shadow-predicts before the promotion decision (default 64).
+	CanaryWindow int
+	// Model overrides the refit hyper-parameters; the zero value means
+	// model.DefaultConfig() (asymmetric α=8, no extra L1 — feature
+	// selection already happened in hardware, the refit only re-weights
+	// the slice's features).
+	Model model.Config
+	// ColdStart disables warm-starting the refit from the incumbent β.
+	ColdStart bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.RingSize <= 0 {
+		c.RingSize = 256
+	}
+	if c.MinObservations <= 0 {
+		c.MinObservations = c.RingSize / 2
+	}
+	if c.MinObservations > c.RingSize {
+		c.MinObservations = c.RingSize
+	}
+	if c.DriftWindow <= 0 {
+		c.DriftWindow = 64
+	}
+	if c.UnderRate <= 0 {
+		c.UnderRate = 0.25
+	}
+	if c.OverRate <= 0 {
+		c.OverRate = 0.5
+	}
+	if c.MissRate <= 0 {
+		c.MissRate = 0.75
+	}
+	if c.UnderMargin <= 0 {
+		c.UnderMargin = 0.05
+	}
+	if c.OverMargin <= 0 {
+		c.OverMargin = 0.5
+	}
+	if c.HotStreak <= 0 {
+		c.HotStreak = 2
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2
+	}
+	if c.CanaryWindow <= 0 {
+		c.CanaryWindow = 64
+	}
+	if c.Model.Alpha == 0 {
+		c.Model = model.DefaultConfig()
+	}
+	return c
+}
+
+// Shadow is one model's projected score over a canary window: both
+// models replay the identical recorded traces through fresh governors,
+// so the comparison isolates the model change from queue effects.
+type Shadow struct {
+	Misses int     `json:"misses"`
+	Energy float64 `json:"energy"`
+}
+
+// Decision records the outcome of one completed canary phase.
+type Decision struct {
+	// Promoted reports whether the candidate replaced the incumbent.
+	Promoted bool `json:"promoted"`
+	// Version is the live model version after the decision.
+	Version uint64 `json:"version"`
+	// AtObservation is the 1-based observation index the decision
+	// landed on — the deterministic join point.
+	AtObservation uint64 `json:"at_observation"`
+	// Incumbent and Candidate are the shadow-window scores the
+	// dominance rule compared.
+	Incumbent Shadow `json:"incumbent"`
+	Candidate Shadow `json:"candidate"`
+}
+
+// Stats is a point-in-time snapshot of trainer counters. All fields are
+// cumulative and deterministic for a deterministic job stream.
+type Stats struct {
+	Observations  uint64 `json:"observations"`
+	DriftEvents   uint64 `json:"drift_events"`
+	Retrains      uint64 `json:"retrains"`
+	Promotions    uint64 `json:"promotions"`
+	CanaryRejects uint64 `json:"canary_rejects"`
+	FitErrors     uint64 `json:"fit_errors"`
+	// ModelVersion mirrors the predictor's live model version.
+	ModelVersion uint64 `json:"model_version"`
+	RingFill     int    `json:"ring_fill"`
+	CanaryFill   int    `json:"canary_fill"`
+	State        string `json:"state"`
+	// LastDecision is the most recent completed canary decision (zero
+	// value until the first one).
+	LastDecision Decision `json:"last_decision"`
+}
+
+const (
+	stIdle int32 = iota
+	stCanary
+)
+
+// Trainer is the per-predictor online learning loop. Observe must be
+// called from a single owning goroutine (or under the owner's lock);
+// Stats and the predictor's live-model accessors are safe from any
+// goroutine, which is what the metrics scraper needs.
+type Trainer struct {
+	pred       *core.Predictor
+	newStepper func() (*sim.Stepper, error)
+	deadline   float64
+	cfg        Config
+
+	// Owner-goroutine state.
+	ring     []core.JobTrace
+	ringHead int
+	winCount int
+	winUnder int
+	winOver  int
+	winMiss  int
+	hotRun   int
+	cooldown int
+	canary   []core.JobTrace
+	fitCh    chan fitOutcome
+
+	// Shared, scrape-safe state.
+	observations  atomic.Uint64
+	driftEvents   atomic.Uint64
+	retrains      atomic.Uint64
+	promotions    atomic.Uint64
+	canaryRejects atomic.Uint64
+	fitErrors     atomic.Uint64
+	ringFill      atomic.Int64
+	canaryFill    atomic.Int64
+	state         atomic.Int32
+	lastDecision  atomic.Pointer[Decision]
+}
+
+type fitOutcome struct {
+	m   *model.Predictor // full-width candidate (scattered over Kept)
+	err error
+}
+
+// NewTrainer builds a trainer for pred. newStepper must build a fresh
+// governor identical to the serving one (serve.Profile.Stepper); the
+// canary evaluation replays recorded windows through two such twins.
+// deadline is the per-job budget the replay charges.
+func NewTrainer(pred *core.Predictor, newStepper func() (*sim.Stepper, error), deadline float64, cfg Config) (*Trainer, error) {
+	if pred == nil {
+		return nil, errors.New("online: nil predictor")
+	}
+	if newStepper == nil {
+		return nil, errors.New("online: nil stepper factory")
+	}
+	if deadline <= 0 {
+		return nil, fmt.Errorf("online: non-positive deadline %v", deadline)
+	}
+	if _, err := newStepper(); err != nil {
+		return nil, fmt.Errorf("online: stepper factory: %w", err)
+	}
+	cfg = cfg.withDefaults()
+	return &Trainer{
+		pred:       pred,
+		newStepper: newStepper,
+		deadline:   deadline,
+		cfg:        cfg,
+		ring:       make([]core.JobTrace, 0, cfg.RingSize),
+	}, nil
+}
+
+// Config returns the resolved (defaulted) configuration.
+func (t *Trainer) Config() Config { return t.cfg }
+
+// Observe feeds one completed, predicted job into the trainer: the
+// trace's slice features and actual seconds enter the ring, the drift
+// monitor advances, and — when a canary window completes — the
+// promotion decision runs and may hot-swap the predictor's live model
+// before the owner serves the next job. missed is whether the job
+// missed its served deadline.
+func (t *Trainer) Observe(tr core.JobTrace, missed bool) {
+	if len(tr.SliceFeatures) != len(t.pred.Kept) || tr.Seconds <= 0 {
+		// Degraded/replayed jobs carry no usable features; nothing to
+		// learn from.
+		return
+	}
+	obs := t.observations.Add(1)
+	t.push(tr)
+
+	if t.state.Load() == stCanary {
+		t.canary = append(t.canary, tr)
+		t.canaryFill.Store(int64(len(t.canary)))
+		if len(t.canary) >= t.cfg.CanaryWindow {
+			t.decide(obs)
+		}
+		return
+	}
+
+	t.winCount++
+	e := (tr.PredSeconds - tr.Seconds) / tr.Seconds
+	if e < -t.cfg.UnderMargin {
+		t.winUnder++
+	} else if e > t.cfg.OverMargin {
+		t.winOver++
+	}
+	if missed {
+		t.winMiss++
+	}
+	if t.winCount < t.cfg.DriftWindow {
+		return
+	}
+	n := float64(t.winCount)
+	hot := float64(t.winUnder) >= t.cfg.UnderRate*n ||
+		float64(t.winOver) >= t.cfg.OverRate*n ||
+		float64(t.winMiss) >= t.cfg.MissRate*n
+	t.winCount, t.winUnder, t.winOver, t.winMiss = 0, 0, 0, 0
+	switch {
+	case t.cooldown > 0:
+		t.cooldown--
+		t.hotRun = 0
+	case hot:
+		t.hotRun++
+		if t.hotRun >= t.cfg.HotStreak && len(t.ring) >= t.cfg.MinObservations {
+			t.hotRun = 0
+			t.startRefit()
+		}
+	default:
+		t.hotRun = 0
+	}
+}
+
+func (t *Trainer) push(tr core.JobTrace) {
+	if len(t.ring) < t.cfg.RingSize {
+		t.ring = append(t.ring, tr)
+	} else {
+		t.ring[t.ringHead] = tr
+		t.ringHead = (t.ringHead + 1) % t.cfg.RingSize
+	}
+	t.ringFill.Store(int64(len(t.ring)))
+}
+
+// snapshotRing copies the ring oldest-first; the background fit works
+// on the copy while the owner keeps pushing.
+func (t *Trainer) snapshotRing() []core.JobTrace {
+	out := make([]core.JobTrace, 0, len(t.ring))
+	out = append(out, t.ring[t.ringHead:]...)
+	out = append(out, t.ring[:t.ringHead]...)
+	return out
+}
+
+func (t *Trainer) startRefit() {
+	t.driftEvents.Add(1)
+	t.retrains.Add(1)
+	snap := t.snapshotRing()
+	ch := make(chan fitOutcome, 1)
+	t.fitCh = ch
+	t.canary = t.canary[:0]
+	t.canaryFill.Store(0)
+	t.state.Store(stCanary)
+	go func() { ch <- t.refit(snap) }()
+}
+
+// refit trains the candidate on a ring snapshot. The refit design
+// matrix is the slice's feature columns — production telemetry only
+// carries the features the hardware slice computes — and the resulting
+// narrow β is scattered back to full width over Kept.
+func (t *Trainer) refit(snap []core.JobTrace) fitOutcome {
+	X := make([][]float64, len(snap))
+	y := make([]float64, len(snap))
+	for i, tr := range snap {
+		X[i] = tr.SliceFeatures
+		y[i] = tr.Seconds
+	}
+	var init *model.Predictor
+	if !t.cfg.ColdStart {
+		live := t.pred.LiveModel()
+		init = &model.Predictor{Coef: make([]float64, len(t.pred.Kept)), Intercept: live.Intercept}
+		for i, k := range t.pred.Kept {
+			init.Coef[i] = live.Coef[k]
+		}
+	}
+	m, err := model.FitWarm(X, y, t.cfg.Model, init)
+	if err != nil {
+		return fitOutcome{err: err}
+	}
+	full := &model.Predictor{
+		Coef:      make([]float64, len(t.pred.Model.Coef)),
+		Intercept: m.Intercept,
+		Iters:     m.Iters,
+		Objective: m.Objective,
+	}
+	for i, k := range t.pred.Kept {
+		full.Coef[k] = m.Coef[i]
+	}
+	return fitOutcome{m: full}
+}
+
+// decide joins the background fit and runs the promotion decision at
+// the deterministic observation index obs.
+func (t *Trainer) decide(obs uint64) {
+	out := <-t.fitCh
+	t.fitCh = nil
+	window := t.canary
+	t.canary = nil
+	t.canaryFill.Store(0)
+	t.state.Store(stIdle)
+	t.cooldown = t.cfg.Cooldown
+	t.hotRun = 0
+	t.winCount, t.winUnder, t.winOver, t.winMiss = 0, 0, 0, 0
+	if out.err != nil {
+		t.fitErrors.Add(1)
+		return
+	}
+	promote, inc, cand := t.shadowScore(out.m, window)
+	dec := &Decision{Promoted: promote, AtObservation: obs, Incumbent: inc, Candidate: cand}
+	if promote {
+		v, err := t.pred.SwapModel(out.m)
+		if err != nil {
+			// A candidate the safety checks reject (non-finite, wrong
+			// width, off-slice features) counts as a canary reject: the
+			// incumbent stays.
+			t.canaryRejects.Add(1)
+			dec.Promoted = false
+			dec.Version = t.pred.ModelVersion()
+			t.lastDecision.Store(dec)
+			return
+		}
+		t.promotions.Add(1)
+		dec.Version = v
+	} else {
+		t.canaryRejects.Add(1)
+		dec.Version = t.pred.ModelVersion()
+	}
+	t.lastDecision.Store(dec)
+}
+
+// shadowScore replays the canary window through two fresh governor
+// twins — incumbent predictions as served, candidate predictions
+// clamped through the predictor's safety envelope — and applies the
+// dominance rule: promote only on strictly fewer projected misses, or
+// equal misses and strictly lower projected energy.
+func (t *Trainer) shadowScore(cand *model.Predictor, window []core.JobTrace) (bool, Shadow, Shadow) {
+	incSt, err1 := t.newStepper()
+	candSt, err2 := t.newStepper()
+	if err1 != nil || err2 != nil || len(window) == 0 {
+		return false, Shadow{}, Shadow{}
+	}
+	var inc, cnd Shadow
+	for _, tr := range window {
+		jr := incSt.Step(tr, t.deadline)
+		if jr.Missed {
+			inc.Misses++
+		}
+		inc.Energy += jr.Energy
+
+		shadow := tr
+		shadow.PredSeconds = t.pred.PredictClamped(cand, tr.SliceFeatures)
+		jr = candSt.Step(shadow, t.deadline)
+		if jr.Missed {
+			cnd.Misses++
+		}
+		cnd.Energy += jr.Energy
+	}
+	promote := cnd.Misses < inc.Misses || (cnd.Misses == inc.Misses && cnd.Energy < inc.Energy)
+	return promote, inc, cnd
+}
+
+// Close joins any in-flight background fit so no goroutine outlives the
+// owner. Call from the owning goroutine once the job stream ends. Safe
+// on a nil trainer.
+func (t *Trainer) Close() {
+	if t == nil {
+		return
+	}
+	if t.fitCh != nil {
+		<-t.fitCh
+		t.fitCh = nil
+	}
+}
+
+// Stats snapshots the trainer counters. Safe from any goroutine; safe
+// on a nil trainer (all zeros).
+func (t *Trainer) Stats() Stats {
+	if t == nil {
+		return Stats{State: "off"}
+	}
+	s := Stats{
+		Observations:  t.observations.Load(),
+		DriftEvents:   t.driftEvents.Load(),
+		Retrains:      t.retrains.Load(),
+		Promotions:    t.promotions.Load(),
+		CanaryRejects: t.canaryRejects.Load(),
+		FitErrors:     t.fitErrors.Load(),
+		ModelVersion:  t.pred.ModelVersion(),
+		RingFill:      int(t.ringFill.Load()),
+		CanaryFill:    int(t.canaryFill.Load()),
+		State:         "idle",
+	}
+	if t.state.Load() == stCanary {
+		s.State = "canary"
+	}
+	if d := t.lastDecision.Load(); d != nil {
+		s.LastDecision = *d
+	}
+	return s
+}

@@ -1,0 +1,326 @@
+package online_test
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/model"
+	"repro/internal/online"
+	"repro/internal/power"
+	"repro/internal/rtl"
+	"repro/internal/sim"
+)
+
+const (
+	synHz       = 250e6
+	synDeadline = 16.7e-3
+)
+
+// synPredictor is a hand-wired predictor serving y = 1e-3·x seconds
+// from a single kept feature (x is "milliseconds of work"): full width
+// 2 so the Kept scatter/gather paths are exercised, no static bounds.
+func synPredictor() *core.Predictor {
+	return &core.Predictor{
+		Spec:  accel.Spec{Name: "syn", NominalHz: synHz, CycleScale: 1},
+		Model: &model.Predictor{Coef: []float64{1e-3, 0}, Intercept: 0},
+		Kept:  []int{0},
+	}
+}
+
+func synModels() (power.Model, power.Model) {
+	st := rtl.AreaStats{LogicGates: 40000, RegGates: 15000, MemGates: 20000}
+	sliceSt := rtl.AreaStats{LogicGates: 2000, RegGates: 800}
+	return power.FromStats(st, power.DefaultParams(synHz)),
+		power.FromStats(sliceSt, power.DefaultParams(synHz))
+}
+
+// synStepper builds the governor twin factory the trainer replays
+// canaries through — the same predictive controller serving uses.
+func synStepper() (*sim.Stepper, error) {
+	pm, spm := synModels()
+	return sim.NewStepper(sim.Config{
+		Device:     dvfs.ASIC(synHz, false),
+		Power:      pm,
+		SlicePower: spm,
+		Deadline:   synDeadline,
+		Controller: control.NewPredictive(0.05, false),
+	})
+}
+
+// synTrace builds one completed-job trace: actual seconds as executed,
+// prediction from the predictor's live model (exactly what the serving
+// path records).
+func synTrace(p *core.Predictor, x, actual float64) core.JobTrace {
+	cycles := actual * synHz
+	return core.JobTrace{
+		Ticks:         uint64(cycles),
+		Cycles:        cycles,
+		Seconds:       actual,
+		PredSeconds:   p.PredFromSliceOrFloor([]float64{x}),
+		SliceTicks:    uint64(20e-6 * synHz),
+		SliceSeconds:  20e-6,
+		SliceFeatures: []float64{x},
+		Class:         "c",
+	}
+}
+
+// synConfig keeps windows small so one test drives full
+// drift→refit→canary cycles: trigger lands exactly 32 drifted
+// observations after an accurate stream, with a pure post-drift ring.
+func synConfig() online.Config {
+	return online.Config{RingSize: 32, MinObservations: 32, DriftWindow: 16, CanaryWindow: 16}
+}
+
+// feed serves n jobs — x cycling 8..12, actual = scale·x ms — through
+// the serving governor and the trainer, returning the traces in order.
+func feed(tr *online.Trainer, p *core.Predictor, st *sim.Stepper, n int, scale float64) []core.JobTrace {
+	out := make([]core.JobTrace, 0, n)
+	for i := 0; i < n; i++ {
+		x := float64(8 + i%5)
+		trace := synTrace(p, x, scale*x*1e-3)
+		jr := st.Step(trace, synDeadline)
+		tr.Observe(trace, jr.Missed)
+		out = append(out, trace)
+	}
+	return out
+}
+
+func TestTrainerValidation(t *testing.T) {
+	p := synPredictor()
+	if _, err := online.NewTrainer(nil, synStepper, synDeadline, online.Config{}); err == nil {
+		t.Error("nil predictor accepted")
+	}
+	if _, err := online.NewTrainer(p, nil, synDeadline, online.Config{}); err == nil {
+		t.Error("nil stepper factory accepted")
+	}
+	if _, err := online.NewTrainer(p, synStepper, 0, online.Config{}); err == nil {
+		t.Error("zero deadline accepted")
+	}
+	bad := func() (*sim.Stepper, error) { return nil, errors.New("boom") }
+	if _, err := online.NewTrainer(p, bad, synDeadline, online.Config{}); err == nil {
+		t.Error("failing stepper factory accepted")
+	}
+
+	tr, err := online.NewTrainer(p, synStepper, synDeadline, online.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tr.Config()
+	if cfg.RingSize != 256 || cfg.MinObservations != 128 || cfg.DriftWindow != 64 ||
+		cfg.CanaryWindow != 64 || cfg.HotStreak != 2 || cfg.Cooldown != 2 {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+	if cfg.Model.Alpha == 0 {
+		t.Error("zero Model config not defaulted")
+	}
+
+	// A nil trainer (online learning disabled) is a safe no-op.
+	var off *online.Trainer
+	off.Close()
+	if s := off.Stats(); s.State != "off" {
+		t.Errorf("nil trainer state = %q, want off", s.State)
+	}
+}
+
+func TestObserveSkipsUnusableJobs(t *testing.T) {
+	p := synPredictor()
+	tr, err := online.NewTrainer(p, synStepper, synDeadline, synConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	// Wrong feature width (degraded jobs carry none) and non-positive
+	// seconds never enter the ring.
+	tr.Observe(core.JobTrace{Seconds: 1e-3}, false)
+	tr.Observe(core.JobTrace{SliceFeatures: []float64{1, 2}, Seconds: 1e-3}, false)
+	tr.Observe(core.JobTrace{SliceFeatures: []float64{1}, Seconds: 0}, true)
+	if s := tr.Stats(); s.Observations != 0 || s.RingFill != 0 {
+		t.Errorf("unusable jobs were observed: %+v", s)
+	}
+}
+
+func TestAccurateStreamNeverRetrains(t *testing.T) {
+	p := synPredictor()
+	tr, err := online.NewTrainer(p, synStepper, synDeadline, synConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	st, _ := synStepper()
+	feed(tr, p, st, 80, 1) // 5 full windows, all accurate
+	s := tr.Stats()
+	if s.Observations != 80 || s.RingFill != 32 {
+		t.Errorf("observations %d ring %d, want 80/32", s.Observations, s.RingFill)
+	}
+	if s.DriftEvents != 0 || s.Retrains != 0 || s.Promotions != 0 || s.State != "idle" {
+		t.Errorf("accurate stream triggered the monitor: %+v", s)
+	}
+	if p.ModelVersion() != 0 {
+		t.Errorf("model version %d on an accurate stream", p.ModelVersion())
+	}
+}
+
+// TestDriftDetectRefitPromote drives one full cycle: 32 accurate
+// observations, then the workload speeds up 2× (the incumbent
+// over-predicts 100%, the energy-waste direction). Two hot windows arm
+// the refit at observation 64 over a pure post-drift ring; the canary
+// completes at observation 80; the candidate dominates (equal misses,
+// strictly lower energy) and is promoted. The whole run is repeated to
+// pin bit-determinism, and the promoted β is checked bit-identical to
+// an offline refit on the same ring snapshot.
+func TestDriftDetectRefitPromote(t *testing.T) {
+	run := func() (online.Stats, []float64, float64, []core.JobTrace) {
+		p := synPredictor()
+		tr, err := online.NewTrainer(p, synStepper, synDeadline, synConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		st, _ := synStepper()
+
+		feed(tr, p, st, 32, 1)
+		drift := feed(tr, p, st, 32, 0.5)
+		mid := tr.Stats()
+		if mid.DriftEvents != 1 || mid.Retrains != 1 || mid.State != "canary" {
+			t.Fatalf("after 2 hot windows: %+v, want armed canary", mid)
+		}
+		feed(tr, p, st, 16, 0.5) // canary window; decision at observation 80
+		live := p.LiveModel()
+		return tr.Stats(), append([]float64(nil), live.Coef...), live.Intercept, drift
+	}
+
+	s, coef, intercept, drift := run()
+	if s.Promotions != 1 || s.CanaryRejects != 0 || s.FitErrors != 0 {
+		t.Fatalf("promotions/rejects/fit errors = %d/%d/%d, want 1/0/0",
+			s.Promotions, s.CanaryRejects, s.FitErrors)
+	}
+	if s.ModelVersion != 1 || s.State != "idle" || s.CanaryFill != 0 {
+		t.Fatalf("post-decision stats: %+v", s)
+	}
+	d := s.LastDecision
+	if !d.Promoted || d.Version != 1 || d.AtObservation != 80 {
+		t.Fatalf("decision: %+v", d)
+	}
+	if d.Candidate.Misses > d.Incumbent.Misses {
+		t.Fatalf("promoted candidate misses more: %+v", d)
+	}
+	if d.Candidate.Misses == d.Incumbent.Misses && d.Candidate.Energy >= d.Incumbent.Energy {
+		t.Fatalf("promotion without dominance: %+v", d)
+	}
+
+	// The promoted model tracks the drifted workload: y = 0.5e-3·x.
+	p2 := &core.Predictor{Spec: accel.Spec{Name: "chk", NominalHz: synHz, CycleScale: 1},
+		Model: &model.Predictor{Coef: coef, Intercept: intercept}, Kept: []int{0}}
+	if got, want := p2.PredictFromSlice([]float64{10}), 5e-3; math.Abs(got-want) > 0.01*want {
+		t.Errorf("promoted model predicts %v for x=10, want ~%v", got, want)
+	}
+
+	// Offline refit on the same ring snapshot (the 32 drifted traces),
+	// warm-started from the incumbent exactly as the trainer does, must
+	// reproduce the promoted β bit for bit.
+	X := make([][]float64, len(drift))
+	y := make([]float64, len(drift))
+	for i, tr := range drift {
+		X[i] = tr.SliceFeatures
+		y[i] = tr.Seconds
+	}
+	init := &model.Predictor{Coef: []float64{1e-3}, Intercept: 0}
+	m, err := model.FitWarm(X, y, model.DefaultConfig(), init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := []float64{m.Coef[0], 0}
+	if !reflect.DeepEqual(coef, offline) || intercept != m.Intercept {
+		t.Errorf("promoted β diverges from offline refit: %v/%v vs %v/%v",
+			coef, intercept, offline, m.Intercept)
+	}
+
+	// Same seedless deterministic stream ⇒ bit-identical rerun.
+	s2, coef2, intercept2, _ := run()
+	if !reflect.DeepEqual(s, s2) {
+		t.Errorf("stats diverge across reruns:\n%+v\n%+v", s, s2)
+	}
+	if !reflect.DeepEqual(coef, coef2) || intercept != intercept2 {
+		t.Errorf("promoted β diverges across reruns")
+	}
+}
+
+// TestCanaryReject is the transient-drift case: the stream speeds up
+// long enough to arm a refit, then reverts before the canary window
+// completes. The candidate — trained on the drifted ring — badly
+// under-predicts the reverted workload, misses deadlines in the shadow
+// replay, and is rejected; the incumbent keeps serving, at version 0.
+// The cooldown then holds two hot windows back before a second refit
+// can arm (the autoscaler-style hysteresis).
+func TestCanaryReject(t *testing.T) {
+	p := synPredictor()
+	tr, err := online.NewTrainer(p, synStepper, synDeadline, synConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := synStepper()
+
+	feed(tr, p, st, 32, 1)   // accurate
+	feed(tr, p, st, 32, 0.5) // transient drift: arms the refit
+	feed(tr, p, st, 16, 1)   // reverted — this is the canary window
+	s := tr.Stats()
+	if s.DriftEvents != 1 || s.Retrains != 1 || s.Promotions != 0 || s.CanaryRejects != 1 {
+		t.Fatalf("transient drift: %+v, want exactly one rejected canary", s)
+	}
+	if s.ModelVersion != 0 || p.LiveModel() != p.Model {
+		t.Fatal("rejected canary still swapped the live model")
+	}
+	d := s.LastDecision
+	if d.Promoted || d.Candidate.Misses <= d.Incumbent.Misses {
+		t.Fatalf("rejection decision: %+v — candidate should have missed more", d)
+	}
+
+	// Cooldown: the next two windows are ignored even though hot.
+	feed(tr, p, st, 32, 0.5)
+	if s := tr.Stats(); s.DriftEvents != 1 {
+		t.Fatalf("drift re-armed during cooldown: %+v", s)
+	}
+	// Two more hot windows arm a second refit.
+	feed(tr, p, st, 32, 0.5)
+	if s := tr.Stats(); s.DriftEvents != 2 || s.State != "canary" {
+		t.Fatalf("sustained drift after cooldown: %+v, want second canary", s)
+	}
+	// Close joins the in-flight background fit.
+	tr.Close()
+}
+
+// TestFitErrorCounted: a ring poisoned with non-finite targets makes
+// the background refit fail; the failure is counted, nothing swaps, and
+// the trainer keeps serving.
+func TestFitErrorCounted(t *testing.T) {
+	p := synPredictor()
+	tr, err := online.NewTrainer(p, synStepper, synDeadline, synConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	st, _ := synStepper()
+
+	feed(tr, p, st, 32, 1)
+	// Infinite observed seconds pass the Seconds > 0 gate but poison the
+	// refit target vector; every job reports missed, tripping the
+	// miss-rate trigger.
+	bad := synTrace(p, 10, 1)
+	bad.Seconds = math.Inf(1)
+	for i := 0; i < 48; i++ { // 2 hot windows + the canary window
+		tr.Observe(bad, true)
+	}
+	s := tr.Stats()
+	if s.FitErrors != 1 || s.Promotions != 0 || s.CanaryRejects != 0 {
+		t.Fatalf("poisoned refit: %+v, want one counted fit error and no decision", s)
+	}
+	if p.ModelVersion() != 0 {
+		t.Error("failed refit still swapped the model")
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/online"
 	"repro/internal/workload"
 )
 
@@ -49,6 +51,7 @@ func (a *API) Handler() http.Handler {
 	})
 	mux.HandleFunc("/v1/benchmarks", a.handleBenchmarks)
 	mux.HandleFunc("/v1/stats", a.handleStats)
+	mux.HandleFunc("/v1/model", a.handleModel)
 	mux.HandleFunc("/v1/jobs", a.handleJobs)
 	mux.HandleFunc("/v1/drain", a.handleDrain)
 	mux.HandleFunc("/metrics", a.handleMetrics)
@@ -68,6 +71,66 @@ func (a *API) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 
 func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, a.srv.Stats())
+}
+
+// ModelStatus is one shard's serving-model report: the live β
+// snapshot, its version, and — when online learning is enabled — the
+// trainer's counters. The /v1/model endpoint returns one per shard.
+type ModelStatus struct {
+	Shard string `json:"shard"`
+	// Version is 0 for the offline-trained β, incremented per promoted
+	// online refit.
+	Version uint64 `json:"version"`
+	// Online reports whether a trainer is attached to this shard.
+	Online bool `json:"online"`
+	// Model is the live β restricted to the slice's kept features,
+	// keyed by feature name — the coefficients the hardware actually
+	// multiplies.
+	Model map[string]float64 `json:"model"`
+	// Intercept is the live model's constant term.
+	Intercept float64 `json:"intercept"`
+	// Trainer is the online trainer's counter snapshot (zeros with
+	// State "off" when disabled).
+	Trainer online.Stats `json:"trainer"`
+}
+
+// ModelStatusFor builds a ModelStatus for a predictor and its optional
+// trainer (nil when online learning is disabled). Shared by the
+// single-server and cluster /v1/model endpoints.
+func ModelStatusFor(name string, pred *core.Predictor, trainer *online.Trainer) ModelStatus {
+	live := pred.LiveModel()
+	names := pred.Ins.Names()
+	coefs := make(map[string]float64, len(pred.Kept))
+	for _, k := range pred.Kept {
+		coefs[names[k]] = live.Coef[k]
+	}
+	return ModelStatus{
+		Shard:     name,
+		Version:   pred.ModelVersion(),
+		Online:    trainer != nil,
+		Model:     coefs,
+		Intercept: live.Intercept,
+		Trainer:   trainer.Stats(),
+	}
+}
+
+// ModelStatus reports the shard's live serving model; ok is false for
+// replay-only shards, which have no predictor.
+func (s *Shard) ModelStatus() (ModelStatus, bool) {
+	if s.cfg.Pred == nil {
+		return ModelStatus{}, false
+	}
+	return ModelStatusFor(s.cfg.Name, s.cfg.Pred, s.trainer), true
+}
+
+func (a *API) handleModel(w http.ResponseWriter, r *http.Request) {
+	out := make([]ModelStatus, 0)
+	for _, name := range a.srv.Names() {
+		if ms, ok := a.srv.Shard(name).ModelStatus(); ok {
+			out = append(out, ms)
+		}
+	}
+	writeJSON(w, out)
 }
 
 // JobsRequest is the POST /v1/jobs body.
@@ -224,6 +287,10 @@ func WriteMetrics(w io.Writer, shards []*Shard) {
 		{"dvfserved_fault_misses_total", "Misses attributable to injected stall delays.", func(s Stats) uint64 { return s.FaultMisses }},
 		{"dvfserved_dvfs_switches_total", "Charged DVFS transitions.", func(s Stats) uint64 { return s.Switches }},
 		{"dvfserved_bound_clamps_total", "Predictions clamped into static cycle bounds.", func(s Stats) uint64 { return s.BoundClamps }},
+		{"dvfserved_model_drift_events_total", "Drift detections by the online trainer.", func(s Stats) uint64 { return s.DriftEvents }},
+		{"dvfserved_model_retrains_total", "Background model refits started.", func(s Stats) uint64 { return s.Retrains }},
+		{"dvfserved_model_promotions_total", "Canary candidates promoted to the live model.", func(s Stats) uint64 { return s.Promotions }},
+		{"dvfserved_model_canary_rejects_total", "Canary candidates rejected (incumbent retained).", func(s Stats) uint64 { return s.CanaryRejects }},
 	}
 	for _, c := range counters {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.name, c.help, c.name)
@@ -238,6 +305,10 @@ func WriteMetrics(w io.Writer, shards []*Shard) {
 	fmt.Fprintf(w, "# HELP dvfserved_queue_depth Jobs queued or executing.\n# TYPE dvfserved_queue_depth gauge\n")
 	for _, st := range stats {
 		fmt.Fprintf(w, "dvfserved_queue_depth{shard=%q} %d\n", st.Name, st.QueueDepth)
+	}
+	fmt.Fprintf(w, "# HELP dvfserved_model_version Live model version (0 = offline-trained).\n# TYPE dvfserved_model_version gauge\n")
+	for _, st := range stats {
+		fmt.Fprintf(w, "dvfserved_model_version{shard=%q} %d\n", st.Name, st.ModelVersion)
 	}
 	fmt.Fprintf(w, "# HELP dvfserved_latency_seconds Total job latency (queue wait + service).\n# TYPE dvfserved_latency_seconds histogram\n")
 	for _, sh := range shards {

@@ -41,6 +41,7 @@ import (
 	"repro/internal/accel"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/online"
 	"repro/internal/sim"
 )
 
@@ -128,6 +129,14 @@ type ShardConfig struct {
 	// Faults optionally injects stalls at the FaultStall site on a
 	// deterministic seeded schedule; nil injects nothing.
 	Faults *fault.Injector
+	// Online enables the per-shard online trainer: completed predicted
+	// jobs feed a drift monitor that can refit the model in the
+	// background and hot-swap β behind a canary phase (see package
+	// online). nil disables. Requires a predictor; replay-only shards
+	// reject it. Cluster pools strip it from replica shards and run a
+	// single trainer at the router instead, so one promotion serves
+	// every replica.
+	Online *online.Config
 	// KillAt, when positive, is a virtual-time crash horizon: any
 	// queued job whose service would start at or after KillAt is handed
 	// back (see Handoff) instead of served — the job boundary is where
@@ -237,6 +246,15 @@ type Stats struct {
 	// static cycle bounds (see core.Predictor.PredFromSliceOrFloor).
 	// Always 0 on replay-only shards, which have no predictor.
 	BoundClamps uint64
+	// ModelVersion is the predictor's live model version: 0 for the
+	// offline-trained β, incremented per promoted online refit. Cluster
+	// replicas share one predictor, so every replica reports the pool's
+	// version.
+	ModelVersion uint64
+	// DriftEvents, Retrains, Promotions and CanaryRejects are the
+	// shard-attached online trainer's counters (see online.Stats);
+	// all 0 when online learning is disabled.
+	DriftEvents, Retrains, Promotions, CanaryRejects uint64
 	// Energy is total joules across completed jobs.
 	Energy float64
 	// QueueDepth is the instantaneous backlog: jobs queued or
@@ -277,6 +295,7 @@ type Shard struct {
 
 	// Worker-private state (no locks needed).
 	stepper      *sim.Stepper
+	trainer      *online.Trainer
 	js           *core.JobSimulator
 	now          float64
 	prevSwitches int
@@ -353,6 +372,16 @@ func NewShard(cfg ShardConfig) (*Shard, error) {
 		s.js = js
 		s.predEngine = string(s.js.Engine())
 	}
+	if cfg.Online != nil {
+		if cfg.Pred == nil {
+			return nil, fmt.Errorf("serve: %s: online learning needs a predictor", cfg.Name)
+		}
+		trainer, err := online.NewTrainer(cfg.Pred, cfg.Profile.Stepper, cfg.Deadline, *cfg.Online)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %s: %w", cfg.Name, err)
+		}
+		s.trainer = trainer
+	}
 	s.wg.Add(1)
 	go s.run()
 	return s, nil
@@ -428,6 +457,9 @@ func (s *Shard) Handoff() []Job { return s.handoff }
 // arrival order.
 func (s *Shard) run() {
 	defer s.wg.Done()
+	// Join any in-flight background refit on exit so no trainer
+	// goroutine outlives the shard.
+	defer s.trainer.Close()
 	for j := range s.queue {
 		// Crash horizon / fast drain: a job whose service would start at
 		// or after KillAt died with the replica, and once CloseHandoff
@@ -620,6 +652,18 @@ func (s *Shard) serve(j Job) Outcome {
 		s.faultDebt = 0
 	}
 
+	// Online-learning tap: every completed predicted job feeds the
+	// trainer, which may hot-swap the live model right here — between
+	// this job and the next — so retrains land at a deterministic job
+	// index. Degraded jobs never ran the slice (no features, no
+	// prediction), so there is nothing to learn from them. The canary
+	// evaluation is pure replay arithmetic: it touches neither predHist
+	// (no wall-clock prediction happens) nor the serving counters, so
+	// shadow-predictions can never double-count.
+	if s.trainer != nil && !degraded {
+		s.trainer.Observe(tr, jr.Missed)
+	}
+
 	s.waitHist.Observe(wait)
 	s.latHist.Observe(wait + stallDelay + jr.TotalSeconds)
 	return Outcome{
@@ -698,10 +742,12 @@ func execute(js *core.JobSimulator, j Job, degraded bool) (core.JobTrace, error)
 // Stats snapshots the shard's counters. Safe to call concurrently with
 // serving.
 func (s *Shard) Stats() Stats {
-	var clamps uint64
+	var clamps, version uint64
 	if s.cfg.Pred != nil {
 		clamps = s.cfg.Pred.BoundClamps()
+		version = s.cfg.Pred.ModelVersion()
 	}
+	ts := s.trainer.Stats()
 	return Stats{
 		Name:             s.cfg.Name,
 		Done:             s.done.Value(),
@@ -722,6 +768,11 @@ func (s *Shard) Stats() Stats {
 		FaultMisses:      s.faultMisses.Value(),
 		Switches:         s.switches.Value(),
 		BoundClamps:      clamps,
+		ModelVersion:     version,
+		DriftEvents:      ts.DriftEvents,
+		Retrains:         ts.Retrains,
+		Promotions:       ts.Promotions,
+		CanaryRejects:    ts.CanaryRejects,
 		Energy:           s.energy.Value(),
 		QueueDepth:       s.depth.Value(),
 		Clock:            s.clock.Value(),
@@ -731,6 +782,15 @@ func (s *Shard) Stats() Stats {
 		LatencyP99:       s.latHist.Quantile(0.99),
 		LatencyMean:      s.latHist.Mean(),
 	}
+}
+
+// OnlineStats snapshots the shard-attached online trainer's counters;
+// ok is false when online learning is disabled on this shard.
+func (s *Shard) OnlineStats() (online.Stats, bool) {
+	if s.trainer == nil {
+		return online.Stats{}, false
+	}
+	return s.trainer.Stats(), true
 }
 
 // Server shards jobs across accelerators by benchmark name.
